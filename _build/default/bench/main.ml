@@ -1,0 +1,149 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section and times the real software code paths with
+   Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 run everything
+     dune exec bench/main.exe -- table1 fig6  run selected experiments
+     dune exec bench/main.exe -- micro        only the Bechamel suite
+*)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the software compile/load paths behind    *)
+(* Table 1's bmv2-vs-ipbm comparison, plus the hot packet path          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_full_p4_flow c =
+  Test.make
+    ~name:(Printf.sprintf "P4-full-flow/%s" (Harness.Paper.case_name c))
+    (Staged.stage (fun () ->
+         let p4 = P4lite.Parser.parse_string (Harness.Cases.p4_source_of c) in
+         let rp4_prog = Rp4fc.Translate.translate p4 in
+         let pool = Ipsa.Device.default_pool () in
+         match Rp4bc.Compile.compile_full ~pool rp4_prog with
+         | Ok _ -> ()
+         | Error errs -> failwith (String.concat "; " errs)))
+
+(* The incremental t_C path: snippet parsing + rp4bc incremental compile
+   against a pre-booted base design. [insert_function] is pure with
+   respect to the base design (it returns a new one), so the same booted
+   state serves every run; patch application is measured separately by the
+   table1 experiment. *)
+let base_state =
+  lazy
+    (let session, device = Harness.Cases.boot_base () in
+     (Controller.Session.design session, Ipsa.Device.pool device))
+
+let snippet_of = function
+  | Harness.Paper.C1 -> (Usecases.Ecmp.source, "ecmp")
+  | Harness.Paper.C2 -> (Usecases.Srv6.source, "srv6")
+  | Harness.Paper.C3 -> (Usecases.Flowprobe.source, "flow_probe")
+
+let cmds_of script =
+  Controller.Command.parse_script script
+  |> List.filter_map (function
+       | Controller.Command.Add_link (a, b) -> Some (Rp4bc.Compile.Add_link (a, b))
+       | Controller.Command.Del_link (a, b) -> Some (Rp4bc.Compile.Del_link (a, b))
+       | Controller.Command.Link_header { pre; next; tag } ->
+         Some (Rp4bc.Compile.Link_hdr (pre, tag, next))
+       | _ -> None)
+
+let bench_incremental_flow c =
+  Test.make
+    ~name:(Printf.sprintf "rP4-incremental-tC/%s" (Harness.Paper.case_name c))
+    (Staged.stage (fun () ->
+         let design, pool = Lazy.force base_state in
+         let src, func_name = snippet_of c in
+         let snippet = Rp4.Parser.parse_string src in
+         let cmds = cmds_of (Harness.Cases.script_of c) in
+         match
+           Rp4bc.Compile.insert_function design ~snippet ~func_name ~cmds
+             ~algo:Rp4bc.Layout.Dp ~pool
+         with
+         | Ok _ -> ()
+         | Error errs -> failwith (String.concat "; " errs)))
+
+let bench_base_compile =
+  Test.make ~name:"rp4bc-full/base-design"
+    (Staged.stage (fun () ->
+         let prog = Rp4.Parser.parse_string Usecases.Base_l23.source in
+         let pool = Ipsa.Device.default_pool () in
+         match Rp4bc.Compile.compile_full ~pool prog with
+         | Ok _ -> ()
+         | Error errs -> failwith (String.concat "; " errs)))
+
+let bench_parse =
+  Test.make ~name:"rp4-parser/base-design"
+    (Staged.stage (fun () -> ignore (Rp4.Parser.parse_string Usecases.Base_l23.source)))
+
+let bench_packet_path =
+  let session_device = lazy (Harness.Cases.boot_base ()) in
+  Test.make ~name:"ipbm/packet-forward"
+    (Staged.stage (fun () ->
+         let _, device = Lazy.force session_device in
+         let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+         ignore (Ipsa.Device.inject device pkt)))
+
+let run_micro () =
+  print_endline "\n=== Bechamel micro-benchmarks (software code paths) ===";
+  let tests =
+    [ bench_parse; bench_base_compile; bench_packet_path ]
+    @ List.map bench_full_p4_flow Harness.Paper.cases
+    @ List.map bench_incremental_flow Harness.Paper.cases
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.fold
+          (fun name est acc ->
+            let time =
+              match Analyze.OLS.estimates est with
+              | Some (e :: _) -> Printf.sprintf "%12.0f ns/run  (%.3f ms)" e (e /. 1e6)
+              | _ -> "n/a"
+            in
+            [ name; time ] :: acc)
+          analyzed []
+        |> List.sort compare)
+      tests
+  in
+  Prelude.Texttab.print ~header:[ "benchmark"; "estimated time" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("table1", fun () -> ignore (Harness.Experiments.table1 ()));
+    ("throughput", Harness.Experiments.throughput);
+    ("table2", Harness.Experiments.table2);
+    ("table3", Harness.Experiments.table3);
+    ("fig6", Harness.Experiments.fig6);
+    ("fig4", Harness.Experiments.fig4);
+    ("ablation-layout", Harness.Experiments.ablation_layout);
+    ("ablation-throughput", Harness.Experiments.ablation_throughput);
+    ("ablation-crossbar", Harness.Experiments.ablation_crossbar);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (( <> ) "--") in
+  let selected = match args with [] -> List.map fst all_experiments | names -> names in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat ", " (List.map fst all_experiments));
+        exit 1)
+    selected;
+  print_endline "\nAll requested experiments completed."

@@ -1,0 +1,102 @@
+(* ipbm — run the IPSA behavioral-model switch from the command line.
+
+     ipbm run BASE.rp4 [--script SCRIPT] [--traffic N] [--seed S]
+
+   Boots a device with the base design, optionally applies a controller
+   script (runtime updates and/or table population), injects a
+   deterministic mixed traffic stream, and prints the device statistics
+   and per-port output counts. With no arguments it runs the built-in
+   L2/L3 base design demo. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run base script traffic seed =
+  try
+    let source =
+      match base with Some f -> read_file f | None -> Usecases.Base_l23.source
+    in
+    let device = Ipsa.Device.create ~ntsps:8 () in
+    let resolve_file name =
+      match name with
+      | "ecmp.rp4" -> Usecases.Ecmp.source
+      | "srv6.rp4" -> Usecases.Srv6.source
+      | "probe.rp4" -> Usecases.Flowprobe.source
+      | f -> read_file f
+    in
+    match Controller.Session.boot ~resolve_file ~source device with
+    | Error errs -> `Error (false, String.concat "\n" errs)
+    | Ok session -> (
+      let population =
+        match (base, script) with
+        | None, None -> Some Usecases.Base_l23.population
+        | _ -> None
+      in
+      let scripts =
+        (match population with Some p -> [ p ] | None -> [])
+        @ (match script with Some f -> [ read_file f ] | None -> [])
+      in
+      let rec apply = function
+        | [] -> Ok ()
+        | s :: rest -> (
+          match Controller.Session.run_script session s with
+          | Ok outputs ->
+            List.iter print_endline outputs;
+            apply rest
+          | Error e -> Error e)
+      in
+      match apply scripts with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+        print_endline "TSP mapping:";
+        print_endline (Rp4bc.Design.mapping_to_string (Controller.Session.design session));
+        let packets = Net.Flowgen.mixed_stream ~seed ~n:traffic ~nflows:16 () in
+        let per_port = Hashtbl.create 8 in
+        List.iter
+          (fun pkt ->
+            match Ipsa.Device.inject device pkt with
+            | Some (port, _) ->
+              Hashtbl.replace per_port port
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_port port))
+            | None -> ())
+          packets;
+        let stats = Ipsa.Device.stats device in
+        Printf.printf
+          "\ninjected %d, forwarded %d, dropped %d, avg cycles/pkt %.1f\n"
+          stats.Ipsa.Device.injected stats.Ipsa.Device.forwarded
+          stats.Ipsa.Device.dropped
+          (if stats.Ipsa.Device.injected = 0 then 0.0
+           else
+             float_of_int stats.Ipsa.Device.total_cycles
+             /. float_of_int stats.Ipsa.Device.injected);
+        Hashtbl.fold (fun port n acc -> (port, n) :: acc) per_port []
+        |> List.sort compare
+        |> List.iter (fun (port, n) -> Printf.printf "  port %d: %d packets\n" port n);
+        `Ok ())
+  with
+  | Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
+  | Sys_error e -> `Error (false, e)
+
+let () =
+  let base =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"BASE.rp4")
+  in
+  let script =
+    Arg.(value & opt (some file) None & info [ "script" ] ~docv:"SCRIPT")
+  in
+  let traffic =
+    Arg.(value & opt int 1000 & info [ "traffic" ] ~doc:"packets to inject")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"traffic RNG seed") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "ipbm" ~doc:"IPSA behavioral-model software switch")
+      Term.(ret (const run $ base $ script $ traffic $ seed))
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,121 @@
+(* rp4c — the rP4 compiler command-line front end.
+
+   Subcommands mirror the paper's design flow (Fig. 3):
+     rp4c fc FILE.p4              P4 -> rP4 source + runtime table APIs
+     rp4c bc FILE.rp4             full back-end compile: mapping + JSON config
+     rp4c patch --base B --snippet S --func F --script SCRIPT
+                                  incremental compile: updated design + patch *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- fc ---------------------------------------------------------------- *)
+
+let fc_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.p4") in
+  let run file =
+    try
+      let p4 = P4lite.Parser.parse_string (read_file file) in
+      let rp4_prog = Rp4fc.Translate.translate p4 in
+      print_endline (Rp4.Pretty.program rp4_prog);
+      `Ok ()
+    with
+    | P4lite.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
+    | P4lite.Hlir.Unsupported e -> `Error (false, e)
+    | Rp4fc.Translate.Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "fc" ~doc:"front-end compile: P4 to semantically equivalent rP4")
+    Term.(ret (const run $ file))
+
+(* --- bc ---------------------------------------------------------------- *)
+
+let bc_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.rp4") in
+  let ntsps =
+    Arg.(value & opt int 8 & info [ "ntsps" ] ~doc:"number of physical TSPs")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"print the full device configuration JSON")
+  in
+  let run file ntsps json =
+    try
+      let prog = Rp4.Parser.parse_string (read_file file) in
+      let pool = Ipsa.Device.default_pool () in
+      let opts = { Rp4bc.Compile.default_options with Rp4bc.Compile.ntsps } in
+      match Rp4bc.Compile.compile_full ~opts ~pool prog with
+      | Error errs -> `Error (false, String.concat "\n" errs)
+      | Ok compiled ->
+        print_endline "TSP mapping:";
+        print_endline (Rp4bc.Design.mapping_to_string compiled.Rp4bc.Compile.design);
+        Printf.printf "\nconfig: %d bytes, %d templates, %d tables placed\n"
+          compiled.Rp4bc.Compile.stats.Rp4bc.Compile.config_bytes
+          compiled.Rp4bc.Compile.stats.Rp4bc.Compile.templates_emitted
+          compiled.Rp4bc.Compile.stats.Rp4bc.Compile.tables_placed;
+        if json then print_endline (Ipsa.Config.to_string compiled.Rp4bc.Compile.patch);
+        `Ok ()
+    with Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "bc" ~doc:"back-end compile: rP4 to TSP templates and configuration")
+    Term.(ret (const run $ file $ ntsps $ json))
+
+(* --- patch ------------------------------------------------------------- *)
+
+let patch_cmd =
+  let base =
+    Arg.(required & opt (some file) None & info [ "base" ] ~docv:"BASE.rp4")
+  in
+  let script =
+    Arg.(required & opt (some file) None & info [ "script" ] ~docv:"SCRIPT")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"print the patch JSON")
+  in
+  let run base script json =
+    try
+      let device = Ipsa.Device.create ~ntsps:8 () in
+      let dir = Filename.dirname script in
+      let resolve_file name =
+        read_file (if Filename.is_relative name then Filename.concat dir name else name)
+      in
+      match
+        Controller.Session.boot ~resolve_file ~source:(read_file base) device
+      with
+      | Error errs -> `Error (false, String.concat "\n" errs)
+      | Ok session -> (
+        match Controller.Session.run_script session (read_file script) with
+        | Error e -> `Error (false, e)
+        | Ok outputs ->
+          List.iter print_endline outputs;
+          (match Controller.Session.last_timing session with
+          | Some t ->
+            Printf.printf
+              "\ncompile: %.2f ms, %d templates rewritten, %d tables placed, %d freed\n"
+              (t.Controller.Session.compile_ns /. 1e6)
+              t.Controller.Session.compile_stats.Rp4bc.Compile.templates_emitted
+              t.Controller.Session.compile_stats.Rp4bc.Compile.tables_placed
+              t.Controller.Session.compile_stats.Rp4bc.Compile.tables_freed
+          | None -> ());
+          print_endline "\nupdated base design:";
+          print_endline (Rp4bc.Design.to_source (Controller.Session.design session));
+          if json then ();
+          `Ok ())
+    with
+    | Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
+    | Sys_error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "patch"
+       ~doc:"incremental compile: apply an update script to a base design")
+    Term.(ret (const run $ base $ script $ json))
+
+let () =
+  let doc = "rP4 compiler tool-chain (front end, back end, incremental patches)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "rp4c" ~doc) [ fc_cmd; bc_cmd; patch_cmd ]))

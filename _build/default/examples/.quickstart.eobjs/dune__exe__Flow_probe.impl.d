@@ -1,0 +1,1 @@
+examples/flow_probe.ml: Controller Ipsa Net Printf Rp4bc String Usecases

@@ -1,0 +1,1 @@
+examples/p4_migration.ml: Controller Ipsa List Net P4lite Printf Rp4 Rp4bc Rp4fc String Usecases

@@ -1,0 +1,1 @@
+examples/p4_migration.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Controller Ipsa Net Printf Rp4bc String Usecases

@@ -1,0 +1,1 @@
+examples/runtime_ecmp.ml: Controller Hashtbl Ipsa List Net Option P4lite Pisa Printf Rp4 Rp4bc Rp4fc String Usecases

@@ -1,0 +1,1 @@
+examples/srv6_demo.ml: Controller Ipsa Net Printf Rp4bc String Usecases

@@ -1,0 +1,1 @@
+examples/srv6_demo.mli:

@@ -1,0 +1,120 @@
+(* C1, live: insert the ECMP function into a *running* switch while
+   traffic flows, and contrast with the PISA baseline, which must reload
+   the whole design (dropping packets and losing every table entry).
+
+     dune exec examples/runtime_ecmp.exe *)
+
+let resolve_file = function
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | f -> invalid_arg f
+
+let routed i =
+  Net.Flowgen.ipv4_udp ~in_port:0
+    (Net.Flowgen.make_flow
+       ~dst_mac:(Net.Addr.Mac.of_string_exn Usecases.Base_l23.router_mac)
+       ~dst_ip4:(Net.Addr.Ipv4.of_int (0x0A010000 lor (32 + i)))
+       ())
+
+let () =
+  print_endline "=== IPSA: in-situ ECMP insertion ===";
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  let session =
+    match
+      Controller.Session.boot ~resolve_file ~source:Usecases.Base_l23.source device
+    with
+    | Ok s -> s
+    | Error errs -> failwith (String.concat "; " errs)
+  in
+  (match Controller.Session.run_script session Usecases.Base_l23.population with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+
+  (* traffic before the update: everything goes through nexthop to port 1 *)
+  for i = 0 to 9 do
+    ignore (Ipsa.Device.inject device (routed i))
+  done;
+  let before = Ipsa.Device.stats device in
+  Printf.printf "before update: %d forwarded, %d dropped\n"
+    before.Ipsa.Device.forwarded before.Ipsa.Device.dropped;
+
+  (* the in-situ update: Fig. 5(b)'s script, then member population *)
+  (match Controller.Session.run_script session Usecases.Ecmp.script with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (match Controller.Session.run_script session Usecases.Ecmp.population with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (match Controller.Session.last_timing session with
+  | Some t ->
+    Printf.printf
+      "update: compiled in %.2f ms, %d template(s) rewritten, %d bytes of config, \
+       nexthop table recycled\n"
+      (t.Controller.Session.compile_ns /. 1e6)
+      t.Controller.Session.compile_stats.Rp4bc.Compile.templates_emitted
+      t.Controller.Session.load_report.Ipsa.Device.lr_bytes
+  | None -> ());
+
+  (* traffic after: flows spread over both ECMP members, zero loss *)
+  let ports = Hashtbl.create 4 in
+  for i = 0 to 63 do
+    match Ipsa.Device.inject device (routed i) with
+    | Some (port, _) ->
+      Hashtbl.replace ports port (1 + Option.value ~default:0 (Hashtbl.find_opt ports port))
+    | None -> ()
+  done;
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) ports []
+  |> List.sort compare
+  |> List.iter (fun (p, n) -> Printf.printf "after update: port %d carries %d flows\n" p n);
+  let after = Ipsa.Device.stats device in
+  Printf.printf "packets dropped across the whole update: %d\n\n"
+    (after.Ipsa.Device.dropped - before.Ipsa.Device.dropped);
+
+  print_endline "=== PISA baseline: same update needs a full reload ===";
+  let prog = Rp4.Parser.parse_string Usecases.Base_l23.source in
+  let pool = Ipsa.Device.default_pool () in
+  let compiled =
+    match Rp4bc.Compile.compile_full ~pool prog with
+    | Ok c -> c
+    | Error errs -> failwith (String.concat "; " errs)
+  in
+  let pisa = Pisa.Device.create ~nstages:8 () in
+  (match Pisa.Deploy.install pisa compiled.Rp4bc.Compile.design with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (match
+     Pisa.Deploy.populate pisa compiled.Rp4bc.Compile.design Usecases.Base_l23.population
+   with
+  | Ok n -> Printf.printf "initial population: %d entries\n" n
+  | Error e -> failwith e);
+  (* the update: recompile base+ECMP as a whole, swap it in *)
+  let p4 = P4lite.Parser.parse_string Usecases.P4_base.source_with_ecmp in
+  let compiled' =
+    match Rp4bc.Compile.compile_full ~pool:(Ipsa.Device.default_pool ())
+            (Rp4fc.Translate.translate p4)
+    with
+    | Ok c -> c
+    | Error errs -> failwith (String.concat "; " errs)
+  in
+  Pisa.Device.begin_reload pisa;
+  (* traffic arriving during the swap window is lost *)
+  for i = 0 to 9 do
+    ignore (Pisa.Device.inject pisa (routed i))
+  done;
+  (match Pisa.Deploy.install pisa compiled'.Rp4bc.Compile.design with
+  | Ok r -> Printf.printf "reload shipped %d bytes of full-design config\n" r.Pisa.Device.rr_config_bytes
+  | Error e -> failwith e);
+  Pisa.Device.end_reload pisa;
+  let population' =
+    String.split_on_char '\n' Usecases.Base_l23.population
+    |> List.filter (fun l -> not (String.length l > 18 && String.sub l 10 7 = "nexthop"))
+    |> String.concat "\n"
+  in
+  (match
+     Pisa.Deploy.populate pisa compiled'.Rp4bc.Compile.design
+       (population' ^ "\n" ^ Usecases.Ecmp.population)
+   with
+  | Ok n -> Printf.printf "had to repopulate ALL %d entries (IPSA repopulated 3)\n" n
+  | Error e -> failwith e);
+  let s = Pisa.Device.stats pisa in
+  Printf.printf "packets dropped during the PISA reload window: %d\n"
+    s.Pisa.Device.dropped_during_reload

@@ -1,0 +1,1 @@
+lib/controller/command.ml: Format Int64 List String

@@ -1,0 +1,1 @@
+lib/controller/runtime.ml: Format Int64 Ipsa List Net Printf Rp4 Rp4bc String Table

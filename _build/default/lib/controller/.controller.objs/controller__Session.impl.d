@@ -1,0 +1,1 @@
+lib/controller/session.ml: Command Ipsa List Printf Rp4 Rp4bc Runtime String Unix

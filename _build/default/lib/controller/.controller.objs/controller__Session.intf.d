@@ -1,0 +1,1 @@
+lib/controller/session.mli: Command Ipsa Rp4bc Runtime

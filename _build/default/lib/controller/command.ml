@@ -1,0 +1,124 @@
+(* Controller command language.
+
+   The paper's runtime scripts (Fig. 5(b,c)) drive rp4bc and the device:
+
+     load ecmp.rp4 --func_name ecmp
+     add_link ipv4_lpm ecmp
+     del_link nexthop l2_l3_rewrite
+     link_header --pre ipv6 --next srh --tag 43
+     unload --func_name ecmp
+     table_add <table> <action> <key...> => <args...>
+     table_del <table> <key...>
+     show_mapping | show_design
+
+   Commands are whitespace-separated, one per line; '#' starts a comment. *)
+
+type t =
+  | Load of { file : string; func_name : string }
+  | Unload of { func_name : string }
+  | Add_link of string * string
+  | Del_link of string * string
+  | Link_header of { pre : string; next : string; tag : int64 }
+  | Unlink_header of { pre : string; next : string }
+  | Set_entry of { pipe : string; stage : string } (* "ingress" | "egress" *)
+  | Commit (* compile pending load/link commands and push to the device *)
+  | Table_add of { table : string; action : string; keys : string list; args : string list }
+  | Table_del of { table : string; keys : string list }
+  | Show_mapping
+  | Show_design
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* Extract "--key value" pairs from a token list. *)
+let rec split_flags = function
+  | [] -> ([], [])
+  | flag :: value :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" ->
+    let flags, pos = split_flags rest in
+    ((String.sub flag 2 (String.length flag - 2), value) :: flags, pos)
+  | tok :: rest ->
+    let flags, pos = split_flags rest in
+    (flags, tok :: pos)
+
+let flag_exn flags name ctx =
+  match List.assoc_opt name flags with
+  | Some v -> v
+  | None -> parse_error "%s: missing --%s" ctx name
+
+let parse_line line : t option =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match tokens_of_line line with
+  | [] -> None
+  | cmd :: rest ->
+    let flags, pos = split_flags rest in
+    let one_pos ctx =
+      match pos with [ x ] -> x | _ -> parse_error "%s: expected one argument" ctx
+    in
+    let two_pos ctx =
+      match pos with
+      | [ a; b ] -> (a, b)
+      | _ -> parse_error "%s: expected two arguments" ctx
+    in
+    Some
+      (match cmd with
+      | "load" ->
+        Load { file = one_pos "load"; func_name = flag_exn flags "func_name" "load" }
+      | "unload" -> Unload { func_name = flag_exn flags "func_name" "unload" }
+      | "add_link" ->
+        let a, b = two_pos "add_link" in
+        Add_link (a, b)
+      | "del_link" ->
+        let a, b = two_pos "del_link" in
+        Del_link (a, b)
+      | "link_header" ->
+        Link_header
+          {
+            pre = flag_exn flags "pre" "link_header";
+            next = flag_exn flags "next" "link_header";
+            tag = Int64.of_string (flag_exn flags "tag" "link_header");
+          }
+      | "unlink_header" ->
+        Unlink_header
+          {
+            pre = flag_exn flags "pre" "unlink_header";
+            next = flag_exn flags "next" "unlink_header";
+          }
+      | "set_entry" ->
+        Set_entry
+          {
+            pipe = flag_exn flags "pipe" "set_entry";
+            stage = flag_exn flags "stage" "set_entry";
+          }
+      | "commit" -> Commit
+      | "table_add" -> (
+        (* table_add <table> <action> <key...> => <arg...> *)
+        match pos with
+        | table :: action :: rest ->
+          let rec split_at_arrow acc = function
+            | "=>" :: args -> (List.rev acc, args)
+            | k :: rest -> split_at_arrow (k :: acc) rest
+            | [] -> (List.rev acc, [])
+          in
+          let keys, args = split_at_arrow [] rest in
+          Table_add { table; action; keys; args }
+        | _ -> parse_error "table_add: expected <table> <action> <keys...> => <args...>")
+      | "table_del" -> (
+        match pos with
+        | table :: keys -> Table_del { table; keys }
+        | [] -> parse_error "table_del: expected <table> <keys...>")
+      | "show_mapping" -> Show_mapping
+      | "show_design" -> Show_design
+      | other -> parse_error "unknown command %S" other)
+
+let parse_script text =
+  String.split_on_char '\n' text |> List.filter_map parse_line

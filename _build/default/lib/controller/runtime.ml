@@ -1,0 +1,187 @@
+(* Runtime table API.
+
+   rp4fc/rp4bc emit, for every logical table, the set of actions it can
+   invoke (with the switch tag each action maps to in the hosting stage's
+   executor) and the key layout. The controller uses this to translate
+   human-level [table_add] commands — action *names* and textual key
+   literals — into tagged entries for the data plane, and operators are
+   "only aware of the logical tables" (Sec. 2.4). *)
+
+type action_sig = {
+  as_name : string;
+  as_tag : int;
+  as_param_widths : int list;
+}
+
+type table_api = {
+  ta_table : string;
+  ta_key : Table.Key.field list;
+  ta_actions : action_sig list;
+}
+
+(* Build the API of every live table from the design. *)
+let of_design (design : Rp4bc.Design.t) : table_api list =
+  let env = design.Rp4bc.Design.env in
+  let prog = design.Rp4bc.Design.prog in
+  let stage_of_table tname =
+    List.find_opt
+      (fun s -> List.mem tname (Rp4.Ast.matcher_tables s.Rp4.Ast.st_matcher))
+      (Rp4.Ast.all_stages prog)
+  in
+  List.filter_map
+    (fun tname ->
+      match (Rp4.Ast.find_table prog tname, stage_of_table tname) with
+      | Some td, Some stage ->
+        let actions =
+          List.concat_map
+            (fun (tag, names) ->
+              List.map
+                (fun name ->
+                  let widths =
+                    match Rp4.Ast.find_action prog name with
+                    | Some a -> List.map snd a.Rp4.Ast.ad_params
+                    | None -> []
+                  in
+                  { as_name = name; as_tag = tag; as_param_widths = widths })
+                names)
+            stage.Rp4.Ast.st_executor.Rp4.Ast.ex_cases
+        in
+        Some
+          {
+            ta_table = tname;
+            ta_key = Rp4.Semantic.key_spec env td;
+            ta_actions = actions;
+          }
+      | _ -> None)
+    (Rp4bc.Design.live_tables design)
+
+let find_api apis tname = List.find_opt (fun a -> a.ta_table = tname) apis
+
+(* Render the API in a human-readable form (what rp4fc prints for the
+   operator). *)
+let to_string apis =
+  String.concat "\n"
+    (List.map
+       (fun api ->
+         Printf.sprintf "%s(%s) -> { %s }" api.ta_table
+           (String.concat ", "
+              (List.map
+                 (fun f ->
+                   Printf.sprintf "%s:%s" f.Table.Key.kf_ref
+                     (Table.Key.match_kind_to_string f.Table.Key.kf_kind))
+                 api.ta_key))
+           (String.concat "; "
+              (List.map
+                 (fun a ->
+                   Printf.sprintf "%s/%d(%s)" a.as_name a.as_tag
+                     (String.concat "," (List.map string_of_int a.as_param_widths)))
+                 api.ta_actions)))
+       apis)
+
+(* ------------------------------------------------------------------ *)
+(* Literal parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_literal of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad_literal s)) fmt
+
+(* Parse a value literal for a field of [width] bits. Accepts integers
+   (decimal/hex), dotted IPv4, colon MAC and colon IPv6 notations. *)
+let parse_value ~width s =
+  if String.contains s '.' && width = 32 then
+    Net.Addr.Ipv4.to_bits (Net.Addr.Ipv4.of_string_exn s)
+  else if String.contains s ':' && width = 48 then
+    Net.Addr.Mac.to_bits (Net.Addr.Mac.of_string_exn s)
+  else if String.contains s ':' && width = 128 then
+    Net.Addr.Ipv6.to_bits (Net.Addr.Ipv6.of_string_exn s)
+  else
+    match Int64.of_string_opt s with
+    | Some v -> Net.Bits.of_int64 ~width v
+    | None -> bad "cannot parse %S as a %d-bit value" s width
+
+(* Parse one key literal according to the field's match kind:
+   "*"            -> any
+   "v/plen"       -> lpm
+   "v&&&mask"     -> ternary
+   "v"            -> exact *)
+let parse_key_literal (f : Table.Key.field) s : Table.Key.fmatch =
+  let width = f.Table.Key.kf_width in
+  if s = "*" then Table.Key.M_any
+  else
+    match f.Table.Key.kf_kind with
+    | Table.Key.Lpm -> (
+      match String.rindex_opt s '/' with
+      | Some i ->
+        let v = String.sub s 0 i in
+        let plen = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+        Table.Key.M_lpm (parse_value ~width v, plen)
+      | None -> Table.Key.M_lpm (parse_value ~width s, width))
+    | Table.Key.Ternary -> (
+      (* value&&&mask *)
+      let marker = "&&&" in
+      let rec find i =
+        if i + 3 > String.length s then None
+        else if String.sub s i 3 = marker then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i ->
+        let v = String.sub s 0 i in
+        let m = String.sub s (i + 3) (String.length s - i - 3) in
+        Table.Key.M_ternary (parse_value ~width v, parse_value ~width m)
+      | None -> Table.Key.M_exact (parse_value ~width s))
+    | Table.Key.Exact | Table.Key.Hash -> Table.Key.M_exact (parse_value ~width s)
+
+(* Translate a [table_add] command into a data-plane entry and insert it.
+   [lookup] abstracts over the device (ipbm or the PISA baseline) so the
+   same runtime API drives both. *)
+let table_add_with ~(lookup : string -> Table.t option) ~apis ~table ~action
+    ~(keys : string list) ~(args : string list) : (unit, string) result =
+  match find_api apis table with
+  | None -> Error (Printf.sprintf "no such table %s" table)
+  | Some api -> (
+    match List.find_opt (fun a -> a.as_name = action) api.ta_actions with
+    | None -> Error (Printf.sprintf "table %s has no action %s" table action)
+    | Some asig -> (
+      match lookup table with
+      | None -> Error (Printf.sprintf "table %s not instantiated on device" table)
+      | Some tbl -> (
+        try
+          if List.length keys <> List.length api.ta_key then
+            Error
+              (Printf.sprintf "table %s expects %d key fields, got %d" table
+                 (List.length api.ta_key) (List.length keys))
+          else if List.length args <> List.length asig.as_param_widths then
+            Error
+              (Printf.sprintf "action %s expects %d args, got %d" action
+                 (List.length asig.as_param_widths)
+                 (List.length args))
+          else begin
+            let matches = List.map2 parse_key_literal api.ta_key keys in
+            let argv =
+              List.map2 (fun w s -> parse_value ~width:w s) asig.as_param_widths args
+            in
+            Table.insert tbl ~matches ~action:(string_of_int asig.as_tag) ~args:argv ();
+            Ok ()
+          end
+        with
+        | Bad_literal m | Invalid_argument m -> Error m
+        | Table.Full t -> Error (Printf.sprintf "table %s is full" t))))
+
+let table_add ~(device : Ipsa.Device.t) ~apis ~table ~action ~keys ~args =
+  table_add_with ~lookup:(Ipsa.Device.find_table device) ~apis ~table ~action ~keys ~args
+
+let table_del ~(device : Ipsa.Device.t) ~apis ~table ~(keys : string list) :
+    (unit, string) result =
+  match find_api apis table with
+  | None -> Error (Printf.sprintf "no such table %s" table)
+  | Some api -> (
+    match Ipsa.Device.find_table device table with
+    | None -> Error (Printf.sprintf "table %s not instantiated on device" table)
+    | Some tbl -> (
+      try
+        let matches = List.map2 parse_key_literal api.ta_key keys in
+        if Table.delete tbl matches then Ok ()
+        else Error (Printf.sprintf "no matching entry in %s" table)
+      with Bad_literal m | Invalid_argument m -> Error m))

@@ -1,0 +1,235 @@
+(* Controller session: the command-line controller of Sec. 4.1, "allowing
+   users to load or offload on-demand protocols and functions at runtime".
+
+   A session owns the current base design and a connected ipbm device.
+   [load]/[add_link]/[del_link]/[link_header] accumulate one update
+   transaction; [commit] runs rp4bc's incremental compiler and pushes the
+   resulting patch through the device's control channel, recording both
+   the compile time (t_C) and the loading report (t_L inputs) that Table 1
+   compares. *)
+
+type timing = {
+  compile_ns : float; (* measured wall time of the rp4bc run *)
+  load_ns : float; (* measured wall time of the device patch application *)
+  compile_stats : Rp4bc.Compile.stats;
+  load_report : Ipsa.Device.load_report;
+}
+
+type t = {
+  mutable design : Rp4bc.Design.t;
+  device : Ipsa.Device.t;
+  resolve_file : string -> string; (* rP4 snippet source by file name *)
+  algo : Rp4bc.Layout.algo;
+  mutable pending_load : (string * Rp4.Ast.program) option; (* func, snippet *)
+  mutable pending_cmds : Rp4bc.Compile.cmd list;
+  mutable last_timing : timing option;
+}
+
+let now_ns () = 1e9 *. Unix.gettimeofday ()
+
+(* Boot: compile the base design with rp4bc's full flow and load it. *)
+let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
+    ?(resolve_file = fun f -> invalid_arg ("no such file " ^ f)) ~source device :
+    (t, string list) result =
+  
+  let prog =
+    try Rp4.Parser.parse_string source
+    with Rp4.Parser.Error e | Rp4.Lexer.Error e -> raise (Failure e)
+  in
+  match Rp4bc.Compile.compile_full ~opts ~pool:(Ipsa.Device.pool device) prog with
+  | Error errs -> Error errs
+  | Ok compiled -> (
+    match Ipsa.Device.apply_patch device compiled.Rp4bc.Compile.patch with
+    | Error e -> Error [ e ]
+    | Ok _report ->
+      Ok
+        {
+          design = compiled.Rp4bc.Compile.design;
+          device;
+          resolve_file;
+          algo;
+          pending_load = None;
+          pending_cmds = [];
+          last_timing = None;
+        })
+
+let apis t = Runtime.of_design t.design
+let design t = t.design
+let device t = t.device
+let last_timing t = t.last_timing
+
+(* --- pre-compiled updates -------------------------------------------- *)
+
+(* Sec. 4.3: "In cases the incremental updates can be pre-compiled, t_L
+   will dominate the performance." [prepare] runs rp4bc on the pending
+   transaction without touching the device; [apply_prepared] pushes the
+   stored patch later, so the in-service disruption is pure loading. *)
+
+type prepared = {
+  pre_result : Rp4bc.Compile.result_t;
+  pre_compile_ns : float;
+  pre_base : Rp4bc.Design.t; (* design the patch was compiled against *)
+}
+
+let compile_pending t : (Rp4bc.Compile.result_t, string list) result =
+  match t.pending_load with
+  | Some (func_name, snippet) ->
+    Rp4bc.Compile.insert_function t.design ~snippet ~func_name ~cmds:t.pending_cmds
+      ~algo:t.algo ~pool:(Ipsa.Device.pool t.device)
+  | None -> (
+    (* Pure link edits without a new function. *)
+    match t.pending_cmds with
+    | [] -> Error [ "commit: nothing pending" ]
+    | cmds ->
+      Rp4bc.Compile.insert_function t.design ~snippet:Rp4.Ast.empty_program
+        ~func_name:"__links__" ~cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device))
+
+let prepare t : (prepared, string list) result =
+  let start = now_ns () in
+  match compile_pending t with
+  | Error errs -> Error errs
+  | Ok result ->
+    t.pending_load <- None;
+    t.pending_cmds <- [];
+    Ok { pre_result = result; pre_compile_ns = now_ns () -. start; pre_base = t.design }
+
+let apply_prepared t (p : prepared) : (timing, string list) result =
+  if p.pre_base != t.design then
+    Error [ "apply_prepared: the base design changed since this patch was compiled" ]
+  else begin
+    let load_start = now_ns () in
+    match Ipsa.Device.apply_patch t.device p.pre_result.Rp4bc.Compile.patch with
+    | Error e -> Error [ e ]
+    | Ok report ->
+      t.design <- p.pre_result.Rp4bc.Compile.design;
+      let timing =
+        {
+          compile_ns = p.pre_compile_ns;
+          load_ns = now_ns () -. load_start;
+          compile_stats = p.pre_result.Rp4bc.Compile.stats;
+          load_report = report;
+        }
+      in
+      t.last_timing <- Some timing;
+      Ok timing
+  end
+
+(* Compile the pending transaction and push it to the device. *)
+let commit t : (timing, string list) result =
+  let start = now_ns () in
+  let compiled = compile_pending t in
+  match compiled with
+  | Error errs -> Error errs
+  | Ok result -> (
+    let compile_ns = now_ns () -. start in
+    let load_start = now_ns () in
+    match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
+    | Error e -> Error [ e ]
+    | Ok report ->
+      t.design <- result.Rp4bc.Compile.design;
+      t.pending_load <- None;
+      t.pending_cmds <- [];
+      let timing =
+        {
+          compile_ns;
+          load_ns = now_ns () -. load_start;
+          compile_stats = result.Rp4bc.Compile.stats;
+          load_report = report;
+        }
+      in
+      t.last_timing <- Some timing;
+      Ok timing)
+
+let unload t ~func_name : (timing, string list) result =
+  let start = now_ns () in
+  match
+    Rp4bc.Compile.delete_function t.design ~func_name ~algo:t.algo
+      ~pool:(Ipsa.Device.pool t.device)
+  with
+  | Error errs -> Error errs
+  | Ok result -> (
+    let compile_ns = now_ns () -. start in
+    let load_start = now_ns () in
+    match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
+    | Error e -> Error [ e ]
+    | Ok report ->
+      t.design <- result.Rp4bc.Compile.design;
+      let timing =
+        { compile_ns; load_ns = now_ns () -. load_start;
+          compile_stats = result.Rp4bc.Compile.stats; load_report = report }
+      in
+      t.last_timing <- Some timing;
+      Ok timing)
+
+(* Execute one controller command; returns the textual response. *)
+let exec t (cmd : Command.t) : (string, string) result =
+  match cmd with
+  | Command.Load { file; func_name } -> (
+    try
+      let src = t.resolve_file file in
+      let snippet = Rp4.Parser.parse_string src in
+      t.pending_load <- Some (func_name, snippet);
+      Ok (Printf.sprintf "staged function %s from %s" func_name file)
+    with
+    | Rp4.Parser.Error e | Rp4.Lexer.Error e -> Error e
+    | Invalid_argument e -> Error e)
+  | Command.Add_link (a, b) ->
+    t.pending_cmds <- t.pending_cmds @ [ Rp4bc.Compile.Add_link (a, b) ];
+    Ok (Printf.sprintf "staged add_link %s -> %s" a b)
+  | Command.Del_link (a, b) ->
+    t.pending_cmds <- t.pending_cmds @ [ Rp4bc.Compile.Del_link (a, b) ];
+    Ok (Printf.sprintf "staged del_link %s -> %s" a b)
+  | Command.Link_header { pre; next; tag } ->
+    t.pending_cmds <- t.pending_cmds @ [ Rp4bc.Compile.Link_hdr (pre, tag, next) ];
+    Ok (Printf.sprintf "staged link_header %s -[%Ld]-> %s" pre tag next)
+  | Command.Unlink_header { pre; next } ->
+    t.pending_cmds <- t.pending_cmds @ [ Rp4bc.Compile.Unlink_hdr (pre, next) ];
+    Ok (Printf.sprintf "staged unlink_header %s -> %s" pre next)
+  | Command.Set_entry { pipe; stage } -> (
+    match pipe with
+    | "ingress" ->
+      t.pending_cmds <-
+        t.pending_cmds @ [ Rp4bc.Compile.Set_entry (Rp4bc.Compile.Pipe_ingress, stage) ];
+      Ok (Printf.sprintf "staged set_entry ingress -> %s" stage)
+    | "egress" ->
+      t.pending_cmds <-
+        t.pending_cmds @ [ Rp4bc.Compile.Set_entry (Rp4bc.Compile.Pipe_egress, stage) ];
+      Ok (Printf.sprintf "staged set_entry egress -> %s" stage)
+    | other -> Error (Printf.sprintf "set_entry: unknown pipe %S" other))
+  | Command.Commit -> (
+    match commit t with
+    | Ok timing ->
+      Ok
+        (Printf.sprintf "committed: %d templates rewritten, %d bytes of config"
+           timing.compile_stats.Rp4bc.Compile.templates_emitted
+           timing.load_report.Ipsa.Device.lr_bytes)
+    | Error errs -> Error (String.concat "; " errs))
+  | Command.Unload { func_name } -> (
+    match unload t ~func_name with
+    | Ok timing ->
+      Ok
+        (Printf.sprintf "unloaded %s: %d tables recycled" func_name
+           timing.compile_stats.Rp4bc.Compile.tables_freed)
+    | Error errs -> Error (String.concat "; " errs))
+  | Command.Table_add { table; action; keys; args } -> (
+    match Runtime.table_add ~device:t.device ~apis:(apis t) ~table ~action ~keys ~args with
+    | Ok () -> Ok (Printf.sprintf "added entry to %s" table)
+    | Error e -> Error e)
+  | Command.Table_del { table; keys } -> (
+    match Runtime.table_del ~device:t.device ~apis:(apis t) ~table ~keys with
+    | Ok () -> Ok (Printf.sprintf "deleted entry from %s" table)
+    | Error e -> Error e)
+  | Command.Show_mapping -> Ok (Rp4bc.Design.mapping_to_string t.design)
+  | Command.Show_design -> Ok (Rp4bc.Design.to_source t.design)
+
+(* Run a whole script; stops at the first error. *)
+let run_script t text : (string list, string) result =
+  let cmds = Command.parse_script text in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | cmd :: rest -> (
+      match exec t cmd with
+      | Ok out -> go (out :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] cmds

@@ -1,0 +1,71 @@
+(** Controller sessions — the command-line controller of Sec. 4.1,
+    "allowing users to load or offload on-demand protocols and functions
+    at runtime".
+
+    A session owns the current base design and a connected ipbm device.
+    [load]/[add_link]/[del_link]/[link_header]/[set_entry] accumulate one
+    update transaction; [commit] runs rp4bc's incremental compiler and
+    pushes the resulting patch through the device's control channel,
+    recording both the compile time (t_C) and the loading report (the
+    t_L inputs) that Table 1 compares. *)
+
+type timing = {
+  compile_ns : float;  (** measured wall time of the rp4bc run *)
+  load_ns : float;  (** measured wall time of the device patch application *)
+  compile_stats : Rp4bc.Compile.stats;
+  load_report : Ipsa.Device.load_report;
+}
+
+type t
+
+val boot :
+  ?opts:Rp4bc.Compile.options ->
+  ?algo:Rp4bc.Layout.algo ->
+  ?resolve_file:(string -> string) ->
+  source:string ->
+  Ipsa.Device.t ->
+  (t, string list) result
+(** Parse [source] as rP4, run rp4bc's full flow and load the device.
+    [resolve_file] maps the file names of later [load] commands to rP4
+    snippet source text. The layout algorithm defaults to DP alignment. *)
+
+val apis : t -> Runtime.table_api list
+(** The runtime table APIs of the current design (action names, tags,
+    key layouts) — what rp4fc emits for the operator. *)
+
+val design : t -> Rp4bc.Design.t
+val device : t -> Ipsa.Device.t
+val last_timing : t -> timing option
+
+(** {1 Transactions} *)
+
+val commit : t -> (timing, string list) result
+(** Compile the staged transaction and apply it in-service. The staged
+    state is cleared on success; on failure both the design and the
+    device are untouched. *)
+
+val unload : t -> func_name:string -> (timing, string list) result
+(** Delete a function: splice its stages out, recycle its tables. *)
+
+(** {2 Pre-compiled updates}
+
+    Sec. 4.3: "In cases the incremental updates can be pre-compiled, t_L
+    will dominate the performance." *)
+
+type prepared
+
+val prepare : t -> (prepared, string list) result
+(** Compile the staged transaction {e without} touching the device. *)
+
+val apply_prepared : t -> prepared -> (timing, string list) result
+(** Push a prepared patch; rejected if the base design has changed since
+    it was compiled. *)
+
+(** {1 Command execution} *)
+
+val exec : t -> Command.t -> (string, string) result
+(** Execute one controller command, returning its textual response. *)
+
+val run_script : t -> string -> (string list, string) result
+(** Run a whole script (one command per line); stops at the first
+    error. *)

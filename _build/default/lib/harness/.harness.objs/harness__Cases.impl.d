@@ -1,0 +1,1 @@
+lib/harness/cases.ml: Controller Float Format Ipsa List P4lite Paper Pisa Rp4bc Rp4fc String Unix Usecases

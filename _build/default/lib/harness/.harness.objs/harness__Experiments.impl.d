@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Cases Controller Ipsa_cost List Mem Paper Prelude Printf Rp4 Rp4bc Synth Usecases

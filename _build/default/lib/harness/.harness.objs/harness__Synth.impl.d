@@ -1,0 +1,1 @@
+lib/harness/synth.ml: Buffer List Mem Prelude Printf Rp4 Rp4bc String Unix

@@ -1,0 +1,1 @@
+lib/ipsa/action_eval.ml: Context Format List Net Rp4

@@ -1,0 +1,1 @@
+lib/ipsa/config.ml: Int64 List Net Option Pipeline Prelude String Template

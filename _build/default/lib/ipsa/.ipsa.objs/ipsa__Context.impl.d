@@ -1,0 +1,1 @@
+lib/ipsa/context.ml: Net

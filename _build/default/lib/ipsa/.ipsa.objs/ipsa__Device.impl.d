@@ -1,0 +1,1 @@
+lib/ipsa/device.ml: Array Config Context Cycles Hashtbl List Logs Mem Net Pipeline Printf Queue Table Template Tm Tsp

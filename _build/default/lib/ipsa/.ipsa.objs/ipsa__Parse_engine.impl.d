@@ -1,0 +1,1 @@
+lib/ipsa/parse_engine.ml: Context List Logs Net

@@ -1,0 +1,1 @@
+lib/ipsa/pipeline.ml: Array Context List Printf String Tsp

@@ -1,0 +1,1 @@
+lib/ipsa/template.ml: Int64 List Option Prelude Rp4 String Table

@@ -1,0 +1,1 @@
+lib/ipsa/tm.ml: Queue

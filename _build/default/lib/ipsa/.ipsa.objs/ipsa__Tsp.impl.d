@@ -1,0 +1,1 @@
+lib/ipsa/tsp.ml: Action_eval Context Cycles List Net Parse_engine Printf Rp4 String Table Template

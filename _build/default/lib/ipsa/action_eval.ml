@@ -1,0 +1,118 @@
+(* Interpreter for rP4 expressions, conditions and action bodies.
+
+   Shared by the IPSA TSP executor and the PISA baseline stage engine so
+   both architectures have identical packet-transformation semantics and
+   the evaluation differences come only from the architecture, never from
+   divergent interpreters. *)
+
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type env = {
+  ctx : Context.t;
+  params : (string * Net.Bits.t) list; (* action arguments *)
+}
+
+let read_field (ctx : Context.t) = function
+  | Rp4.Ast.Meta_field f -> Net.Meta.get ctx.Context.meta f
+  | Rp4.Ast.Hdr_field (h, f) -> (
+    match Net.Pmap.get_field ctx.Context.pkt ctx.Context.pmap ~hdr:h ~field:f with
+    | Some v -> v
+    | None -> runtime_error "read of invalid header field %s.%s" h f)
+
+(* Expressions evaluate to [Bits.t]; widths follow the left operand for
+   binary operations, and unsized constants adopt the width demanded by
+   their context (64 bits when free-standing). *)
+let rec eval_expr ?(want = 64) env (e : Rp4.Ast.expr) : Net.Bits.t =
+  match e with
+  | Rp4.Ast.E_const (v, Some w) -> Net.Bits.of_int64 ~width:w v
+  | Rp4.Ast.E_const (v, None) -> Net.Bits.of_int64 ~width:want v
+  | Rp4.Ast.E_field fr -> read_field env.ctx fr
+  | Rp4.Ast.E_param p -> (
+    match List.assoc_opt p env.params with
+    | Some v -> v
+    | None -> runtime_error "unbound action parameter %s" p)
+  | Rp4.Ast.E_binop (op, a, b) ->
+    let va = eval_expr ~want env a in
+    let w = Net.Bits.width va in
+    let vb = Net.Bits.resize (eval_expr ~want:w env b) w in
+    (match op with
+    | Rp4.Ast.Add -> Net.Bits.add va vb
+    | Rp4.Ast.Sub -> Net.Bits.sub va vb
+    | Rp4.Ast.Band -> Net.Bits.logand va vb
+    | Rp4.Ast.Bor -> Net.Bits.logor va vb
+    | Rp4.Ast.Bxor -> Net.Bits.logxor va vb)
+
+let rec eval_cond env (c : Rp4.Ast.cond) : bool =
+  match c with
+  | Rp4.Ast.C_true -> true
+  | Rp4.Ast.C_valid h -> Net.Pmap.is_valid env.ctx.Context.pmap h
+  | Rp4.Ast.C_not c -> not (eval_cond env c)
+  | Rp4.Ast.C_and (a, b) -> eval_cond env a && eval_cond env b
+  | Rp4.Ast.C_or (a, b) -> eval_cond env a || eval_cond env b
+  | Rp4.Ast.C_rel (op, a, b) ->
+    let va = eval_expr env a in
+    let w = Net.Bits.width va in
+    let vb = Net.Bits.resize (eval_expr ~want:w env b) w in
+    let cmp = Net.Bits.compare va vb in
+    (match op with
+    | Rp4.Ast.Eq -> cmp = 0
+    | Rp4.Ast.Neq -> cmp <> 0
+    | Rp4.Ast.Lt -> cmp < 0
+    | Rp4.Ast.Gt -> cmp > 0
+    | Rp4.Ast.Le -> cmp <= 0
+    | Rp4.Ast.Ge -> cmp >= 0)
+
+let write_field (ctx : Context.t) fr v =
+  match fr with
+  | Rp4.Ast.Meta_field f -> Net.Meta.set ctx.Context.meta f v
+  | Rp4.Ast.Hdr_field (h, f) ->
+    Net.Pmap.set_field ctx.Context.pkt ctx.Context.pmap ~hdr:h ~field:f v
+
+let dest_width (ctx : Context.t) = function
+  | Rp4.Ast.Meta_field f -> (
+    match Net.Meta.width_of ctx.Context.meta f with Some w -> w | None -> 64)
+  | Rp4.Ast.Hdr_field (h, f) -> (
+    match Net.Pmap.find ctx.Context.pmap h with
+    | Some inst -> (
+      match Net.Hdrdef.field_offset inst.Net.Pmap.def f with
+      | Some (_, w) -> w
+      | None -> 64)
+    | None -> 64)
+
+let exec_stmt env (s : Rp4.Ast.stmt) =
+  let ctx = env.ctx in
+  match s with
+  | Rp4.Ast.S_noop -> ()
+  | Rp4.Ast.S_drop -> Net.Meta.set_int ctx.Context.meta "drop" 1
+  | Rp4.Ast.S_mark e ->
+    Net.Meta.set ctx.Context.meta "mark" (eval_expr ~want:8 env e)
+  | Rp4.Ast.S_assign (fr, e) ->
+    let w = dest_width ctx fr in
+    write_field ctx fr (Net.Bits.resize (eval_expr ~want:w env e) w)
+  | Rp4.Ast.S_set_valid _ ->
+    () (* instance becomes valid when parsed; explicit insertion is a
+          controller-level operation in this model *)
+  | Rp4.Ast.S_set_invalid h -> Net.Pmap.invalidate ctx.Context.pmap h
+  | Rp4.Ast.S_mark_exceed (th, v) ->
+    let hits =
+      match ctx.Context.last_lookup with Some lr -> lr.Context.lr_hits | None -> 0
+    in
+    let threshold = Net.Bits.to_int (eval_expr ~want:32 env th) in
+    if hits > threshold then
+      Net.Meta.set ctx.Context.meta "mark" (eval_expr ~want:8 env v)
+
+(* Run a full action with arguments bound positionally to parameters. *)
+let run_action ctx (a : Rp4.Ast.action_decl) (args : Net.Bits.t list) =
+  let params =
+    try
+      List.map2
+        (fun (name, w) v -> (name, Net.Bits.resize v w))
+        a.Rp4.Ast.ad_params args
+    with Invalid_argument _ ->
+      runtime_error "action %s expects %d args, got %d" a.Rp4.Ast.ad_name
+        (List.length a.Rp4.Ast.ad_params) (List.length args)
+  in
+  let env = { ctx; params } in
+  List.iter (exec_stmt env) a.Rp4.Ast.ad_body

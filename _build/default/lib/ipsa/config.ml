@@ -1,0 +1,165 @@
+(* Device configuration patches — what the control channel (CCM) carries.
+
+   rp4bc's second output is "the new TSP templates and switch
+   configuration"; this module is that wire format. A patch is an ordered
+   list of operations covering everything an in-situ update can touch:
+   template writes, selector (role) changes, memory-pool allocation,
+   crossbar rewiring, and header-linkage edits. Patches serialize to JSON
+   so their byte volume can drive the loading-time model. *)
+
+module J = Prelude.Json
+
+type op =
+  | Declare_meta of (string * int) list (* program metadata fields + widths *)
+  | Write_template of int * Template.t option (* None unloads the TSP *)
+  | Set_role of int * Pipeline.role
+  | Alloc_table of Template.compiled_table * int option (* cluster preference *)
+  | Free_table of string
+  | Connect_table of int * string (* wire TSP <-> all blocks of table *)
+  | Disconnect_table of int * string
+  | Add_header of Net.Hdrdef.t
+  | Link_header of { pre : string; tag : int64; next : string }
+  | Unlink_header of { pre : string; next : string }
+  | Set_first_header of string
+
+type t = { ops : op list }
+
+let empty = { ops = [] }
+let append a b = { ops = a.ops @ b.ops }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let role_to_json r = J.String (Pipeline.role_to_string r)
+
+let role_of_json j =
+  match J.to_str j with
+  | "ingress" -> Pipeline.Ingress
+  | "egress" -> Pipeline.Egress
+  | "bypass" -> Pipeline.Bypass
+  | s -> raise (J.Parse_error ("bad role " ^ s))
+
+let hdrdef_to_json (d : Net.Hdrdef.t) =
+  J.Obj
+    [
+      ("name", J.String d.Net.Hdrdef.name);
+      ( "fields",
+        J.List
+          (List.map
+             (fun f ->
+               J.Obj
+                 [
+                   ("n", J.String f.Net.Hdrdef.f_name); ("w", J.Int f.Net.Hdrdef.f_width);
+                 ])
+             d.Net.Hdrdef.fields) );
+      ("sel", J.List (List.map (fun s -> J.String s) d.Net.Hdrdef.sel_fields));
+    ]
+
+let hdrdef_of_json j =
+  Net.Hdrdef.make
+    ~name:(J.to_str (J.member_exn "name" j))
+    ~fields:
+      (List.map
+         (fun fj ->
+           {
+             Net.Hdrdef.f_name = J.to_str (J.member_exn "n" fj);
+             f_width = J.to_int (J.member_exn "w" fj);
+           })
+         (J.to_list (J.member_exn "fields" j)))
+    ~sel_fields:(List.map J.to_str (J.to_list (J.member_exn "sel" j)))
+
+let op_to_json = function
+  | Declare_meta fields ->
+    J.Obj
+      [
+        ("op", J.String "declare_meta");
+        ( "fields",
+          J.List
+            (List.map (fun (n, w) -> J.Obj [ ("n", J.String n); ("w", J.Int w) ]) fields)
+        );
+      ]
+  | Write_template (tsp, tmpl) ->
+    J.Obj
+      [
+        ("op", J.String "write_template");
+        ("tsp", J.Int tsp);
+        ( "template",
+          match tmpl with Some t -> Template.to_json t | None -> J.Null );
+      ]
+  | Set_role (tsp, role) ->
+    J.Obj [ ("op", J.String "set_role"); ("tsp", J.Int tsp); ("role", role_to_json role) ]
+  | Alloc_table (ct, cluster) ->
+    J.Obj
+      ([ ("op", J.String "alloc_table"); ("table", Template.table_to_json ct) ]
+      @ match cluster with Some c -> [ ("cluster", J.Int c) ] | None -> [])
+  | Free_table name -> J.Obj [ ("op", J.String "free_table"); ("name", J.String name) ]
+  | Connect_table (tsp, name) ->
+    J.Obj [ ("op", J.String "connect"); ("tsp", J.Int tsp); ("name", J.String name) ]
+  | Disconnect_table (tsp, name) ->
+    J.Obj [ ("op", J.String "disconnect"); ("tsp", J.Int tsp); ("name", J.String name) ]
+  | Add_header d -> J.Obj [ ("op", J.String "add_header"); ("header", hdrdef_to_json d) ]
+  | Link_header { pre; tag; next } ->
+    J.Obj
+      [
+        ("op", J.String "link_header");
+        ("pre", J.String pre);
+        ("tag", J.String (Int64.to_string tag));
+        ("next", J.String next);
+      ]
+  | Unlink_header { pre; next } ->
+    J.Obj
+      [ ("op", J.String "unlink_header"); ("pre", J.String pre); ("next", J.String next) ]
+  | Set_first_header name ->
+    J.Obj [ ("op", J.String "set_first_header"); ("name", J.String name) ]
+
+let op_of_json j =
+  match J.to_str (J.member_exn "op" j) with
+  | "declare_meta" ->
+    Declare_meta
+      (List.map
+         (fun fj -> (J.to_str (J.member_exn "n" fj), J.to_int (J.member_exn "w" fj)))
+         (J.to_list (J.member_exn "fields" j)))
+  | "write_template" ->
+    let tmpl =
+      match J.member_exn "template" j with
+      | J.Null -> None
+      | t -> Some (Template.of_json t)
+    in
+    Write_template (J.to_int (J.member_exn "tsp" j), tmpl)
+  | "set_role" ->
+    Set_role (J.to_int (J.member_exn "tsp" j), role_of_json (J.member_exn "role" j))
+  | "alloc_table" ->
+    Alloc_table
+      ( Template.table_of_json (J.member_exn "table" j),
+        Option.map J.to_int (J.member "cluster" j) )
+  | "free_table" -> Free_table (J.to_str (J.member_exn "name" j))
+  | "connect" ->
+    Connect_table (J.to_int (J.member_exn "tsp" j), J.to_str (J.member_exn "name" j))
+  | "disconnect" ->
+    Disconnect_table (J.to_int (J.member_exn "tsp" j), J.to_str (J.member_exn "name" j))
+  | "add_header" -> Add_header (hdrdef_of_json (J.member_exn "header" j))
+  | "link_header" ->
+    Link_header
+      {
+        pre = J.to_str (J.member_exn "pre" j);
+        tag = Int64.of_string (J.to_str (J.member_exn "tag" j));
+        next = J.to_str (J.member_exn "next" j);
+      }
+  | "unlink_header" ->
+    Unlink_header
+      { pre = J.to_str (J.member_exn "pre" j); next = J.to_str (J.member_exn "next" j) }
+  | "set_first_header" -> Set_first_header (J.to_str (J.member_exn "name" j))
+  | op -> raise (J.Parse_error ("bad config op " ^ op))
+
+let to_json t = J.Obj [ ("ops", J.List (List.map op_to_json t.ops)) ]
+let of_json j = { ops = List.map op_of_json (J.to_list (J.member_exn "ops" j)) }
+let to_string t = J.to_string_pretty (to_json t)
+let of_string s = of_json (J.of_string s)
+
+(* Configuration volume in bytes, the dominant term of loading time. *)
+let byte_size t = String.length (J.to_string (to_json t))
+
+let templates_written t =
+  List.length
+    (List.filter (function Write_template _ -> true | _ -> false) t.ops)

@@ -1,0 +1,47 @@
+(* Per-packet execution context flowing through the pipeline.
+
+   Bundles the packet with its parsed-header map, metadata, the result of
+   the most recent table lookup (consumed by the executor), and cycle
+   accounting. *)
+
+type lookup_result = {
+  lr_tag : int; (* switch tag selected by the matcher *)
+  lr_args : Net.Bits.t list; (* action data from the matched entry *)
+  lr_hit : bool;
+  lr_hits : int; (* entry hit counter after this lookup *)
+}
+
+type t = {
+  pkt : Net.Packet.t;
+  pmap : Net.Pmap.t;
+  meta : Net.Meta.t;
+  mutable last_lookup : lookup_result option;
+  mutable cycles : int;
+  mutable parse_attempts : int; (* distributed-parsing work counter *)
+  mutable lookups : int;
+}
+
+let create pkt =
+  let meta = Net.Meta.create () in
+  Net.Meta.set_int meta "in_port" pkt.Net.Packet.in_port;
+  {
+    pkt;
+    pmap = Net.Pmap.create ();
+    meta;
+    last_lookup = None;
+    cycles = 0;
+    parse_attempts = 0;
+    lookups = 0;
+  }
+
+let add_cycles t n = t.cycles <- t.cycles + n
+
+let dropped t = t.pkt.Net.Packet.dropped || Net.Meta.get_int t.meta "drop" = 1
+
+(* Commit the metadata routing decision onto the packet. *)
+let finalize t =
+  if dropped t then Net.Packet.drop t.pkt
+  else begin
+    let out = Net.Meta.get_int t.meta "out_port" in
+    Net.Packet.set_out_port t.pkt out
+  end

@@ -1,0 +1,33 @@
+(* Per-packet cycle accounting parameters.
+
+   The behavioral model counts the cycles a hardware TSP would spend on
+   each packet; Sec. 5 of the paper attributes IPSA's throughput deficit
+   to (a) memory accesses wider than the data bus and (b) loading the
+   per-packet template configuration in each TSP. Both knobs are explicit
+   here so the throughput experiment (and the paper's two suggested
+   remedies: wider bus, pipelined TSP) can be reproduced by varying them. *)
+
+type t = {
+  parse_per_header : int; (* cycles to locate+extract one header *)
+  match_base : int; (* fixed cycles per table lookup *)
+  bus_width_bits : int; (* memory data bus width *)
+  template_fetch : int; (* cycles to load TSP template parameters, per packet *)
+  executor_base : int; (* cycles per executed action *)
+  tsp_pipelined : bool; (* pipelined TSP internals hide template fetch *)
+}
+
+let default =
+  {
+    parse_per_header = 1;
+    match_base = 1;
+    bus_width_bits = 128;
+    template_fetch = 2;
+    executor_base = 1;
+    tsp_pipelined = false;
+  }
+
+(* Cycles to read one table entry of [entry_width] bits over the bus. *)
+let mem_access_cycles t ~entry_width =
+  t.match_base + ((entry_width + t.bus_width_bits - 1) / t.bus_width_bits)
+
+let template_cycles t = if t.tsp_pipelined then 0 else t.template_fetch

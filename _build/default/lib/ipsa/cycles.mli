@@ -1,0 +1,25 @@
+(** Per-packet cycle accounting parameters.
+
+    Sec. 5 attributes IPSA's throughput deficit to (a) memory accesses
+    wider than the pool's data bus and (b) loading the per-packet template
+    configuration in each TSP; both are explicit knobs here, so the
+    paper's two remedies (wider bus, pipelined TSP internals) are
+    reproducible by varying them. *)
+
+type t = {
+  parse_per_header : int;  (** cycles to locate+extract one header *)
+  match_base : int;  (** fixed cycles per table lookup *)
+  bus_width_bits : int;  (** memory data-bus width *)
+  template_fetch : int;  (** per-packet TSP template load *)
+  executor_base : int;  (** cycles per executed action *)
+  tsp_pipelined : bool;  (** pipelined TSP internals hide the fetch *)
+}
+
+val default : t
+(** 128-bit bus, 2-cycle template fetch, non-pipelined TSPs. *)
+
+val mem_access_cycles : t -> entry_width:int -> int
+(** Cycles to read one table entry of [entry_width] bits over the bus. *)
+
+val template_cycles : t -> int
+(** The exposed per-packet template-fetch cost (0 when pipelined). *)

@@ -1,0 +1,320 @@
+(* ipbm — the IPSA behavioral-model software switch (Sec. 4.1).
+
+   Four modules, as in the paper:
+   - CM  (communication): [inject]/[collect] packet I/O with an input
+     buffer that back-pressures during updates,
+   - PM  (pipeline): the elastic TSP pipeline and TM,
+   - SM  (storage): the disaggregated memory pool, crossbar and the
+     logical tables living in it,
+   - CCM (control channel): [apply_patch], which drains the pipeline,
+     applies a configuration patch and resumes.
+
+   In-situ updates lose no packets: in-flight packets finish, arriving
+   packets wait in the CM buffer. The companion PISA model reloads the
+   whole design instead and drops arrivals — the behavioural contrast the
+   paper's Table 1 quantifies. *)
+
+let log = Logs.Src.create "ipsa.device" ~doc:"ipbm device"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type stats = {
+  mutable injected : int;
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable buffered_during_update : int;
+  mutable updates_applied : int;
+  mutable stall_cycles : int; (* cumulative pipeline-stall cycles *)
+  mutable total_cycles : int; (* cumulative packet-processing cycles *)
+}
+
+type t = {
+  registry : Net.Hdrdef.registry;
+  meta_decl : (string, int) Hashtbl.t; (* program metadata fields *)
+  pool : Mem.Pool.t;
+  crossbar : Mem.Crossbar.t;
+  tables : (string, Table.t) Hashtbl.t;
+  allocations : (string, Mem.Pool.allocation) Hashtbl.t;
+  pipeline : Pipeline.t;
+  tm : Context.t Tm.t;
+  cycles_cfg : Cycles.t;
+  nports : int;
+  outputs : Net.Packet.t Queue.t array;
+  input_buffer : Net.Packet.t Queue.t;
+  mutable updating : bool;
+  stats : stats;
+}
+
+let default_pool () =
+  Mem.Pool.create ~nblocks:64 ~block_width:128 ~block_depth:1024 ~nclusters:4
+
+let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
+    ?(crossbar_kind = Mem.Crossbar.Full) ?pool () =
+  let pool = match pool with Some p -> p | None -> default_pool () in
+  {
+    registry = Net.Hdrdef.create_registry ();
+    meta_decl = Hashtbl.create 16;
+    pool;
+    crossbar = Mem.Crossbar.create ~kind:crossbar_kind ~ntsps;
+    tables = Hashtbl.create 16;
+    allocations = Hashtbl.create 16;
+    pipeline = Pipeline.create ~ntsps;
+    tm = Tm.create ();
+    cycles_cfg;
+    nports;
+    outputs = Array.init nports (fun _ -> Queue.create ());
+    input_buffer = Queue.create ();
+    updating = false;
+    stats =
+      {
+        injected = 0;
+        forwarded = 0;
+        dropped = 0;
+        buffered_during_update = 0;
+        updates_applied = 0;
+        stall_cycles = 0;
+        total_cycles = 0;
+      };
+  }
+
+let stats t = t.stats
+let pipeline t = t.pipeline
+let registry t = t.registry
+let pool t = t.pool
+let crossbar t = t.crossbar
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+
+(* A TSP reaches a logical table iff the crossbar connects it to every
+   memory block backing the table. *)
+let table_reachable t ~tsp name =
+  match Hashtbl.find_opt t.allocations name with
+  | None -> false
+  | Some alloc ->
+    List.for_all
+      (fun b -> Mem.Crossbar.connected t.crossbar ~tsp ~block:b)
+      alloc.Mem.Pool.blocks
+
+let env t : Tsp.env =
+  {
+    Tsp.registry = t.registry;
+    find_table =
+      (fun ~tsp name ->
+        if table_reachable t ~tsp name then Hashtbl.find_opt t.tables name else None);
+    cycles_cfg = t.cycles_cfg;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PM: packet processing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let process_one t pkt =
+  let ctx = Context.create pkt in
+  Hashtbl.iter (fun n w -> Net.Meta.declare ctx.Context.meta n w) t.meta_decl;
+  let env = env t in
+  Pipeline.process_ingress env t.pipeline ctx;
+  if Context.dropped ctx then begin
+    Context.finalize ctx;
+    t.stats.dropped <- t.stats.dropped + 1;
+    t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
+    None
+  end
+  else begin
+    ignore (Tm.enqueue t.tm ctx);
+    match Tm.dequeue t.tm with
+    | None -> None
+    | Some ctx ->
+      Pipeline.process_egress env t.pipeline ctx;
+      Context.finalize ctx;
+      t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
+      if Context.dropped ctx then begin
+        t.stats.dropped <- t.stats.dropped + 1;
+        None
+      end
+      else begin
+        t.stats.forwarded <- t.stats.forwarded + 1;
+        let port = Net.Meta.get_int ctx.Context.meta "out_port" mod t.nports in
+        Queue.add ctx.Context.pkt t.outputs.(port);
+        Some (port, ctx)
+      end
+  end
+
+(* CM: packet input. During an update, packets wait in the input buffer. *)
+let inject t pkt =
+  t.stats.injected <- t.stats.injected + 1;
+  if t.updating then begin
+    Queue.add pkt t.input_buffer;
+    t.stats.buffered_during_update <- t.stats.buffered_during_update + 1;
+    None
+  end
+  else process_one t pkt
+
+(* CM: packet output. *)
+let collect t port =
+  if port < 0 || port >= t.nports then invalid_arg "Device.collect: bad port";
+  let q = t.outputs.(port) in
+  let out = List.of_seq (Queue.to_seq q) in
+  Queue.clear q;
+  out
+
+let collect_all t = List.concat (List.init t.nports (fun p -> collect t p))
+
+(* ------------------------------------------------------------------ *)
+(* CCM: configuration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type load_report = {
+  lr_bytes : int; (* configuration volume *)
+  lr_templates : int; (* templates (re)written *)
+  lr_tables_created : int;
+  lr_tables_freed : int;
+  lr_crossbar_changes : int;
+  lr_drain_cycles : int; (* pipeline stall during the patch *)
+}
+
+let apply_op t = function
+  | Config.Declare_meta fields ->
+    List.iter (fun (n, w) -> Hashtbl.replace t.meta_decl n w) fields;
+    Ok ()
+  | Config.Write_template (tsp, tmpl) ->
+    if tsp < 0 || tsp >= Pipeline.ntsps t.pipeline then
+      Error (Printf.sprintf "write_template: no TSP %d" tsp)
+    else begin
+      Tsp.load (Pipeline.slot t.pipeline tsp) tmpl;
+      (* Powered state follows role. *)
+      (Pipeline.slot t.pipeline tsp).Tsp.powered <-
+        tmpl <> None && Pipeline.role t.pipeline tsp <> Pipeline.Bypass;
+      Ok ()
+    end
+  | Config.Set_role (tsp, role) -> Pipeline.set_role t.pipeline tsp role
+  | Config.Alloc_table (ct, cluster) ->
+    if Hashtbl.mem t.tables ct.Template.ct_name then Ok () (* already present *)
+    else begin
+      match
+        Mem.Pool.allocate t.pool ~table:ct.Template.ct_name
+          ~entry_width:ct.Template.ct_entry_width ~depth:ct.Template.ct_size ?cluster ()
+      with
+      | Error e -> Error e
+      | Ok alloc ->
+        Hashtbl.replace t.allocations ct.Template.ct_name alloc;
+        Hashtbl.replace t.tables ct.Template.ct_name
+          (Table.create
+             {
+               Table.name = ct.Template.ct_name;
+               fields = ct.Template.ct_fields;
+               size = ct.Template.ct_size;
+             });
+        Ok ()
+    end
+  | Config.Free_table name ->
+    let existed = Hashtbl.mem t.tables name in
+    Hashtbl.remove t.tables name;
+    Hashtbl.remove t.allocations name;
+    ignore (Mem.Pool.release t.pool ~table:name);
+    (* Remove any crossbar wiring to the recycled blocks. *)
+    if existed then Ok () else Error (Printf.sprintf "free_table: unknown table %s" name)
+  | Config.Connect_table (tsp, name) -> (
+    match Hashtbl.find_opt t.allocations name with
+    | None -> Error (Printf.sprintf "connect: table %s not allocated" name)
+    | Some alloc ->
+      let rec wire = function
+        | [] -> Ok ()
+        | b :: rest -> (
+          let cluster = (Mem.Pool.block t.pool b).Mem.Pool.cluster in
+          match Mem.Crossbar.connect t.crossbar ~tsp ~block:b ~block_cluster:cluster with
+          | Ok () -> wire rest
+          | Error e -> Error e)
+      in
+      wire alloc.Mem.Pool.blocks)
+  | Config.Disconnect_table (tsp, name) -> (
+    match Hashtbl.find_opt t.allocations name with
+    | None -> Ok () (* freed table: wiring is already moot *)
+    | Some alloc ->
+      List.iter
+        (fun b -> ignore (Mem.Crossbar.disconnect t.crossbar ~tsp ~block:b))
+        alloc.Mem.Pool.blocks;
+      Ok ())
+  | Config.Add_header d ->
+    Net.Hdrdef.add_def t.registry d;
+    Ok ()
+  | Config.Link_header { pre; tag; next } ->
+    (try
+       Net.Hdrdef.link t.registry ~pre ~tag:(Net.Bits.of_int64 ~width:64 tag) ~next;
+       Ok ()
+     with Invalid_argument e -> Error e)
+  | Config.Unlink_header { pre; next } ->
+    Net.Hdrdef.unlink t.registry ~pre ~next;
+    Ok ()
+  | Config.Set_first_header name ->
+    if Net.Hdrdef.mem t.registry name then begin
+      Net.Hdrdef.set_first t.registry name;
+      Ok ()
+    end
+    else Error (Printf.sprintf "set_first_header: unknown header %s" name)
+
+(* Apply a configuration patch with the paper's drain-rewrite-resume
+   procedure: back-pressure the input, let in-flight packets finish, write
+   the affected templates (a few cycles each), reconfigure selector and
+   crossbar, release the input buffer. *)
+let apply_patch t (patch : Config.t) : (load_report, string) result =
+  t.updating <- true;
+  (* Drain: finish everything queued in the TM through egress. *)
+  let env_now = env t in
+  let drained =
+    Tm.drain t.tm (fun ctx ->
+        Pipeline.process_egress env_now t.pipeline ctx;
+        Context.finalize ctx;
+        if Context.dropped ctx then t.stats.dropped <- t.stats.dropped + 1
+        else begin
+          t.stats.forwarded <- t.stats.forwarded + 1;
+          let port = Net.Meta.get_int ctx.Context.meta "out_port" mod t.nports in
+          Queue.add ctx.Context.pkt t.outputs.(port)
+        end)
+  in
+  let xbar_before = Mem.Crossbar.reconfigs t.crossbar in
+  let rec apply_all = function
+    | [] -> Ok ()
+    | op :: rest -> (
+      match apply_op t op with
+      | Ok () -> apply_all rest
+      | Error e -> Error e)
+  in
+  let result = apply_all patch.Config.ops in
+  let created =
+    List.length
+      (List.filter (function Config.Alloc_table _ -> true | _ -> false) patch.Config.ops)
+  in
+  let freed =
+    List.length
+      (List.filter (function Config.Free_table _ -> true | _ -> false) patch.Config.ops)
+  in
+  t.updating <- false;
+  t.stats.updates_applied <- t.stats.updates_applied + 1;
+  (* Release buffered arrivals through the (new) pipeline. *)
+  let rec flush () =
+    match Queue.take_opt t.input_buffer with
+    | Some pkt ->
+      ignore (process_one t pkt);
+      flush ()
+    | None -> ()
+  in
+  flush ();
+  match result with
+  | Error e -> Error e
+  | Ok () ->
+    let templates = Config.templates_written patch in
+    let drain_cycles =
+      Pipeline.depth t.pipeline + drained + (templates * 4 (* cycles per template write *))
+    in
+    t.stats.stall_cycles <- t.stats.stall_cycles + drain_cycles;
+    Ok
+      {
+        lr_bytes = Config.byte_size patch;
+        lr_templates = templates;
+        lr_tables_created = created;
+        lr_tables_freed = freed;
+        lr_crossbar_changes = Mem.Crossbar.reconfigs t.crossbar - xbar_before;
+        lr_drain_cycles = drain_cycles;
+      }

@@ -1,0 +1,84 @@
+(* Distributed on-demand parsing (Sec. 2.1 of the paper).
+
+   IPSA has no front parser: when a stage's parser module names a header
+   instance, the engine walks the header-linkage chain from the start of
+   the packet, extracting headers *lazily* and recording them in the
+   packet's parsed-header map so later stages never re-parse. A requested
+   header that is not on the packet's parse path simply stays invalid —
+   matcher conditions ([isValid]) observe that. *)
+
+let log = Logs.Src.create "ipsa.parse" ~doc:"IPSA distributed parser"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* Selector value of header instance [name] already parsed at [bit_off]. *)
+let read_selector pkt (def : Net.Hdrdef.t) ~bit_off =
+  let parts =
+    List.map
+      (fun sel ->
+        let off, width = Net.Hdrdef.field_offset_exn def sel in
+        Net.Packet.get_bits pkt ~off:(bit_off + off) ~width)
+      def.Net.Hdrdef.sel_fields
+  in
+  Net.Bits.concat_list parts
+
+(* Parse forward along the chain until [target] is located or the chain
+   ends. Every header discovered on the way is recorded. Returns whether
+   [target] is now valid. [budget] bounds work on malformed linkage loops. *)
+let ensure_parsed ?(budget = 32) (ctx : Context.t) (registry : Net.Hdrdef.registry) target
+    =
+  if Net.Pmap.is_valid ctx.Context.pmap target then true
+  else begin
+    (* Resume from the deepest already-parsed header, or packet start. *)
+    let deepest =
+      List.fold_left
+        (fun acc name ->
+          match Net.Pmap.find ctx.Context.pmap name with
+          | Some inst -> (
+            match acc with
+            | Some (_, best) when best.Net.Pmap.bit_off >= inst.Net.Pmap.bit_off -> acc
+            | _ -> Some (name, inst))
+          | None -> acc)
+        None
+        (Net.Pmap.names ctx.Context.pmap)
+    in
+    let rec walk name bit_off steps =
+      if steps <= 0 then false
+      else
+        match Net.Hdrdef.find registry name with
+        | None -> false
+        | Some def ->
+          let width = def.Net.Hdrdef.width in
+          if bit_off + width > 8 * Net.Packet.length ctx.Context.pkt then false
+          else begin
+            ctx.Context.parse_attempts <- ctx.Context.parse_attempts + 1;
+            if not (Net.Pmap.is_valid ctx.Context.pmap name) then
+              Net.Pmap.add ctx.Context.pmap ~def ~bit_off;
+            if name = target then true
+            else begin
+              match def.Net.Hdrdef.sel_fields with
+              | [] -> false (* leaf header; chain ends *)
+              | _ -> (
+                let tag = read_selector ctx.Context.pkt def ~bit_off in
+                match Net.Hdrdef.next_header registry ~pre:name ~tag with
+                | Some next -> walk next (bit_off + width) (steps - 1)
+                | None -> false)
+            end
+          end
+    in
+    match deepest with
+    | Some (name, inst) when name <> target -> (
+      (* Continue the chain from after the deepest parsed header. *)
+      match Net.Hdrdef.find registry name with
+      | Some def when def.Net.Hdrdef.sel_fields <> [] -> (
+        let tag = read_selector ctx.Context.pkt def ~bit_off:inst.Net.Pmap.bit_off in
+        match Net.Hdrdef.next_header registry ~pre:name ~tag with
+        | Some next ->
+          walk next (inst.Net.Pmap.bit_off + def.Net.Hdrdef.width) budget
+        | None -> false)
+      | _ -> false)
+    | _ -> (
+      match registry.Net.Hdrdef.first with
+      | Some first -> walk first 0 budget
+      | None -> false)
+  end

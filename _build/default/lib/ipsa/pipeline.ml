@@ -1,0 +1,88 @@
+(* Elastic pipeline (Sec. 2.3 of the paper).
+
+   All TSPs are physically chained; the selector designates a TSP on the
+   left as the TM input and one on the right as the TM output, so a middle
+   TSP can serve ingress, serve egress, or be bypassed entirely (kept in a
+   low-power state). Ingress stages map to the leftmost TSPs and egress to
+   the rightmost; rp4bc maintains that invariant when computing layouts. *)
+
+type role = Ingress | Egress | Bypass
+
+let role_to_string = function Ingress -> "ingress" | Egress -> "egress" | Bypass -> "bypass"
+
+type t = {
+  slots : Tsp.slot array;
+  roles : role array;
+}
+
+let create ~ntsps =
+  if ntsps <= 0 then invalid_arg "Pipeline.create: ntsps must be positive";
+  { slots = Array.init ntsps Tsp.make; roles = Array.make ntsps Bypass }
+
+let ntsps t = Array.length t.slots
+let slot t i = t.slots.(i)
+let role t i = t.roles.(i)
+
+(* Selector invariant: ingress TSPs form a prefix and egress TSPs a suffix
+   of the physical chain (bypassed TSPs may appear anywhere). *)
+let check_roles roles =
+  let n = Array.length roles in
+  let last_ingress = ref (-1) and first_egress = ref n in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ingress -> last_ingress := i
+      | Egress -> if !first_egress = n then first_egress := i
+      | Bypass -> ())
+    roles;
+  if !last_ingress >= !first_egress then
+    Error
+      (Printf.sprintf
+         "selector violation: ingress TSP %d is right of egress TSP %d" !last_ingress
+         !first_egress)
+  else Ok ()
+
+let set_role t i role =
+  if i < 0 || i >= ntsps t then invalid_arg "Pipeline.set_role: bad TSP index";
+  let saved = t.roles.(i) in
+  t.roles.(i) <- role;
+  match check_roles t.roles with
+  | Ok () ->
+    t.slots.(i).Tsp.powered <- role <> Bypass && t.slots.(i).Tsp.template <> None;
+    Ok ()
+  | Error e ->
+    t.roles.(i) <- saved;
+    Error e
+
+let ingress_slots t =
+  Array.to_list t.slots
+  |> List.filteri (fun i _ -> t.roles.(i) = Ingress)
+
+let egress_slots t =
+  Array.to_list t.slots
+  |> List.filteri (fun i _ -> t.roles.(i) = Egress)
+
+let active_count t =
+  Array.fold_left (fun n r -> if r = Bypass then n else n + 1) 0 t.roles
+
+(* Pipeline depth in TSPs actually traversed — bypassed TSPs are excluded
+   from the physical path, reducing latency (Sec. 5, Discussion (3)). *)
+let depth t = active_count t
+
+let process_ingress env t ctx =
+  List.iter (fun slot -> if not (Context.dropped ctx) then Tsp.process env slot ctx) (ingress_slots t)
+
+let process_egress env t ctx =
+  List.iter (fun slot -> if not (Context.dropped ctx) then Tsp.process env slot ctx) (egress_slots t)
+
+let describe t =
+  String.concat " "
+    (Array.to_list
+       (Array.mapi
+          (fun i r ->
+            let tag =
+              match r with Ingress -> "I" | Egress -> "E" | Bypass -> "-"
+            in
+            let loaded = if t.slots.(i).Tsp.template <> None then "*" else "" in
+            Printf.sprintf "%d:%s%s" i tag loaded)
+          t.roles))

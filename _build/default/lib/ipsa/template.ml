@@ -1,0 +1,274 @@
+(* TSP template parameters — the unit of in-situ programming.
+
+   Programming a TSP "simply means downloading the template parameters,
+   such as header field indicators, match type, table pointer, and action
+   primitives" (Sec. 2.2). A template bundles one or more compiled logical
+   stages (rp4bc may merge independent stages into one TSP) with the full
+   information the stage processor needs: which headers to ensure parsed,
+   the matcher program, the executor's tag→action mapping, and the specs
+   of the tables it touches.
+
+   rp4bc emits templates as JSON (the paper's configuration format); this
+   module owns that round-trippable encoding, and its byte size feeds the
+   loading-time model for Table 1. *)
+
+module J = Prelude.Json
+
+type compiled_table = {
+  ct_name : string;
+  ct_fields : Table.Key.field list;
+  ct_size : int;
+  ct_entry_width : int; (* bits, for memory sizing and bus-cycle cost *)
+}
+
+type compiled_stage = {
+  cs_name : string;
+  cs_parser : string list;
+  cs_matcher : Rp4.Ast.matcher;
+  cs_cases : (int * Rp4.Ast.action_decl list) list;
+  cs_default : Rp4.Ast.action_decl list;
+  cs_tables : compiled_table list;
+}
+
+type t = { stages : compiled_stage list }
+
+let stage_names t = List.map (fun s -> s.cs_name) t.stages
+
+let tables t = List.concat_map (fun s -> s.cs_tables) t.stages
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let field_ref_to_json fr = J.String (Rp4.Ast.field_ref_to_string fr)
+
+let field_ref_of_json j =
+  let s = J.to_str j in
+  match String.index_opt s '.' with
+  | Some i ->
+    let a = String.sub s 0 i and b = String.sub s (i + 1) (String.length s - i - 1) in
+    if a = "meta" then Rp4.Ast.Meta_field b else Rp4.Ast.Hdr_field (a, b)
+  | None -> raise (J.Parse_error ("bad field ref " ^ s))
+
+let rec expr_to_json : Rp4.Ast.expr -> J.t = function
+  | E_const (v, w) ->
+    J.Obj
+      ([ ("k", J.String "const"); ("v", J.String (Int64.to_string v)) ]
+      @ match w with Some w -> [ ("w", J.Int w) ] | None -> [])
+  | E_field fr -> J.Obj [ ("k", J.String "field"); ("f", field_ref_to_json fr) ]
+  | E_param p -> J.Obj [ ("k", J.String "param"); ("p", J.String p) ]
+  | E_binop (op, a, b) ->
+    J.Obj
+      [
+        ("k", J.String "binop");
+        ("op", J.String (Rp4.Ast.binop_to_string op));
+        ("a", expr_to_json a);
+        ("b", expr_to_json b);
+      ]
+
+let rec expr_of_json j : Rp4.Ast.expr =
+  match J.to_str (J.member_exn "k" j) with
+  | "const" ->
+    let v = Int64.of_string (J.to_str (J.member_exn "v" j)) in
+    let w = Option.map J.to_int (J.member "w" j) in
+    E_const (v, w)
+  | "field" -> E_field (field_ref_of_json (J.member_exn "f" j))
+  | "param" -> E_param (J.to_str (J.member_exn "p" j))
+  | "binop" ->
+    let op =
+      match J.to_str (J.member_exn "op" j) with
+      | "+" -> Rp4.Ast.Add
+      | "-" -> Rp4.Ast.Sub
+      | "&" -> Rp4.Ast.Band
+      | "|" -> Rp4.Ast.Bor
+      | "^" -> Rp4.Ast.Bxor
+      | s -> raise (J.Parse_error ("bad binop " ^ s))
+    in
+    E_binop (op, expr_of_json (J.member_exn "a" j), expr_of_json (J.member_exn "b" j))
+  | k -> raise (J.Parse_error ("bad expr kind " ^ k))
+
+let rec cond_to_json : Rp4.Ast.cond -> J.t = function
+  | C_true -> J.Obj [ ("k", J.String "true") ]
+  | C_valid h -> J.Obj [ ("k", J.String "valid"); ("h", J.String h) ]
+  | C_not c -> J.Obj [ ("k", J.String "not"); ("c", cond_to_json c) ]
+  | C_and (a, b) ->
+    J.Obj [ ("k", J.String "and"); ("a", cond_to_json a); ("b", cond_to_json b) ]
+  | C_or (a, b) ->
+    J.Obj [ ("k", J.String "or"); ("a", cond_to_json a); ("b", cond_to_json b) ]
+  | C_rel (op, a, b) ->
+    J.Obj
+      [
+        ("k", J.String "rel");
+        ("op", J.String (Rp4.Ast.relop_to_string op));
+        ("a", expr_to_json a);
+        ("b", expr_to_json b);
+      ]
+
+let rec cond_of_json j : Rp4.Ast.cond =
+  match J.to_str (J.member_exn "k" j) with
+  | "true" -> C_true
+  | "valid" -> C_valid (J.to_str (J.member_exn "h" j))
+  | "not" -> C_not (cond_of_json (J.member_exn "c" j))
+  | "and" -> C_and (cond_of_json (J.member_exn "a" j), cond_of_json (J.member_exn "b" j))
+  | "or" -> C_or (cond_of_json (J.member_exn "a" j), cond_of_json (J.member_exn "b" j))
+  | "rel" ->
+    let op =
+      match J.to_str (J.member_exn "op" j) with
+      | "==" -> Rp4.Ast.Eq
+      | "!=" -> Rp4.Ast.Neq
+      | "<" -> Rp4.Ast.Lt
+      | ">" -> Rp4.Ast.Gt
+      | "<=" -> Rp4.Ast.Le
+      | ">=" -> Rp4.Ast.Ge
+      | s -> raise (J.Parse_error ("bad relop " ^ s))
+    in
+    C_rel (op, expr_of_json (J.member_exn "a" j), expr_of_json (J.member_exn "b" j))
+  | k -> raise (J.Parse_error ("bad cond kind " ^ k))
+
+let rec matcher_to_json : Rp4.Ast.matcher -> J.t = function
+  | M_nop -> J.Obj [ ("k", J.String "nop") ]
+  | M_apply t -> J.Obj [ ("k", J.String "apply"); ("t", J.String t) ]
+  | M_seq ms -> J.Obj [ ("k", J.String "seq"); ("ms", J.List (List.map matcher_to_json ms)) ]
+  | M_if (c, a, b) ->
+    J.Obj
+      [
+        ("k", J.String "if");
+        ("c", cond_to_json c);
+        ("then", matcher_to_json a);
+        ("else", matcher_to_json b);
+      ]
+
+let rec matcher_of_json j : Rp4.Ast.matcher =
+  match J.to_str (J.member_exn "k" j) with
+  | "nop" -> M_nop
+  | "apply" -> M_apply (J.to_str (J.member_exn "t" j))
+  | "seq" -> M_seq (List.map matcher_of_json (J.to_list (J.member_exn "ms" j)))
+  | "if" ->
+    M_if
+      ( cond_of_json (J.member_exn "c" j),
+        matcher_of_json (J.member_exn "then" j),
+        matcher_of_json (J.member_exn "else" j) )
+  | k -> raise (J.Parse_error ("bad matcher kind " ^ k))
+
+let stmt_to_json : Rp4.Ast.stmt -> J.t = function
+  | S_assign (fr, e) ->
+    J.Obj [ ("k", J.String "assign"); ("f", field_ref_to_json fr); ("e", expr_to_json e) ]
+  | S_drop -> J.Obj [ ("k", J.String "drop") ]
+  | S_noop -> J.Obj [ ("k", J.String "noop") ]
+  | S_mark e -> J.Obj [ ("k", J.String "mark"); ("e", expr_to_json e) ]
+  | S_set_valid h -> J.Obj [ ("k", J.String "set_valid"); ("h", J.String h) ]
+  | S_set_invalid h -> J.Obj [ ("k", J.String "set_invalid"); ("h", J.String h) ]
+  | S_mark_exceed (t, v) ->
+    J.Obj [ ("k", J.String "mark_exceed"); ("t", expr_to_json t); ("v", expr_to_json v) ]
+
+let stmt_of_json j : Rp4.Ast.stmt =
+  match J.to_str (J.member_exn "k" j) with
+  | "assign" ->
+    S_assign (field_ref_of_json (J.member_exn "f" j), expr_of_json (J.member_exn "e" j))
+  | "drop" -> S_drop
+  | "noop" -> S_noop
+  | "mark" -> S_mark (expr_of_json (J.member_exn "e" j))
+  | "set_valid" -> S_set_valid (J.to_str (J.member_exn "h" j))
+  | "set_invalid" -> S_set_invalid (J.to_str (J.member_exn "h" j))
+  | "mark_exceed" ->
+    S_mark_exceed (expr_of_json (J.member_exn "t" j), expr_of_json (J.member_exn "v" j))
+  | k -> raise (J.Parse_error ("bad stmt kind " ^ k))
+
+let action_to_json (a : Rp4.Ast.action_decl) =
+  J.Obj
+    [
+      ("name", J.String a.ad_name);
+      ( "params",
+        J.List
+          (List.map
+             (fun (p, w) -> J.Obj [ ("n", J.String p); ("w", J.Int w) ])
+             a.ad_params) );
+      ("body", J.List (List.map stmt_to_json a.ad_body));
+    ]
+
+let action_of_json j : Rp4.Ast.action_decl =
+  {
+    ad_name = J.to_str (J.member_exn "name" j);
+    ad_params =
+      List.map
+        (fun pj -> (J.to_str (J.member_exn "n" pj), J.to_int (J.member_exn "w" pj)))
+        (J.to_list (J.member_exn "params" j));
+    ad_body = List.map stmt_of_json (J.to_list (J.member_exn "body" j));
+  }
+
+let table_to_json ct =
+  J.Obj
+    [
+      ("name", J.String ct.ct_name);
+      ( "key",
+        J.List
+          (List.map
+             (fun f ->
+               J.Obj
+                 [
+                   ("f", J.String f.Table.Key.kf_ref);
+                   ("w", J.Int f.Table.Key.kf_width);
+                   ("kind", J.String (Table.Key.match_kind_to_string f.Table.Key.kf_kind));
+                 ])
+             ct.ct_fields) );
+      ("size", J.Int ct.ct_size);
+      ("entry_width", J.Int ct.ct_entry_width);
+    ]
+
+let table_of_json j =
+  {
+    ct_name = J.to_str (J.member_exn "name" j);
+    ct_fields =
+      List.map
+        (fun fj ->
+          {
+            Table.Key.kf_ref = J.to_str (J.member_exn "f" fj);
+            kf_width = J.to_int (J.member_exn "w" fj);
+            kf_kind = Table.Key.match_kind_of_string (J.to_str (J.member_exn "kind" fj));
+          })
+        (J.to_list (J.member_exn "key" j));
+    ct_size = J.to_int (J.member_exn "size" j);
+    ct_entry_width = J.to_int (J.member_exn "entry_width" j);
+  }
+
+let stage_to_json cs =
+  J.Obj
+    [
+      ("name", J.String cs.cs_name);
+      ("parser", J.List (List.map (fun h -> J.String h) cs.cs_parser));
+      ("matcher", matcher_to_json cs.cs_matcher);
+      ( "cases",
+        J.List
+          (List.map
+             (fun (tag, acts) ->
+               J.Obj
+                 [ ("tag", J.Int tag); ("actions", J.List (List.map action_to_json acts)) ])
+             cs.cs_cases) );
+      ("default", J.List (List.map action_to_json cs.cs_default));
+      ("tables", J.List (List.map table_to_json cs.cs_tables));
+    ]
+
+let stage_of_json j =
+  {
+    cs_name = J.to_str (J.member_exn "name" j);
+    cs_parser = List.map J.to_str (J.to_list (J.member_exn "parser" j));
+    cs_matcher = matcher_of_json (J.member_exn "matcher" j);
+    cs_cases =
+      List.map
+        (fun cj ->
+          ( J.to_int (J.member_exn "tag" cj),
+            List.map action_of_json (J.to_list (J.member_exn "actions" cj)) ))
+        (J.to_list (J.member_exn "cases" j));
+    cs_default = List.map action_of_json (J.to_list (J.member_exn "default" j));
+    cs_tables = List.map table_of_json (J.to_list (J.member_exn "tables" j));
+  }
+
+let to_json t = J.Obj [ ("stages", J.List (List.map stage_to_json t.stages)) ]
+
+let of_json j = { stages = List.map stage_of_json (J.to_list (J.member_exn "stages" j)) }
+
+let to_string t = J.to_string_pretty (to_json t)
+let of_string s = of_json (J.of_string s)
+
+(* Configuration volume in bytes — drives the loading-time model. *)
+let byte_size t = String.length (J.to_string (to_json t))

@@ -1,0 +1,43 @@
+(* Traffic manager separating ingress from egress in the elastic pipeline.
+
+   Modeled as a bounded FIFO: packets finishing ingress enqueue here and
+   egress drains it. During an in-situ update the pipeline is drained
+   through back-pressure — the TM (and the CM input buffer) is where
+   packets wait, which is why IPSA updates lose no packets while PISA
+   reloads do. *)
+
+type 'a t = {
+  queue : 'a Queue.t;
+  capacity : int;
+  mutable enqueued : int;
+  mutable dropped : int; (* overflow drops *)
+  mutable high_watermark : int;
+}
+
+let create ?(capacity = 4096) () =
+  { queue = Queue.create (); capacity; enqueued = 0; dropped = 0; high_watermark = 0 }
+
+let length t = Queue.length t.queue
+
+let enqueue t x =
+  if Queue.length t.queue >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.add x t.queue;
+    t.enqueued <- t.enqueued + 1;
+    t.high_watermark <- max t.high_watermark (Queue.length t.queue);
+    true
+  end
+
+let dequeue t = Queue.take_opt t.queue
+
+let drain t f =
+  let n = Queue.length t.queue in
+  while not (Queue.is_empty t.queue) do
+    f (Queue.take t.queue)
+  done;
+  n
+
+let stats t = (t.enqueued, t.dropped, t.high_watermark)

@@ -1,0 +1,26 @@
+(** Traffic manager separating ingress from egress in the elastic
+    pipeline.
+
+    A bounded FIFO: packets finishing ingress enqueue here and egress
+    drains it. During an in-situ update the pipeline is drained through
+    back-pressure — the TM (together with the CM input buffer) is where
+    packets wait, which is why IPSA updates lose no packets while PISA
+    reloads do. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 4096 entries. *)
+
+val length : 'a t -> int
+
+val enqueue : 'a t -> 'a -> bool
+(** [false] = queue full, the item was dropped (counted). *)
+
+val dequeue : 'a t -> 'a option
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Apply [f] to everything queued, in order; returns how many. *)
+
+val stats : 'a t -> int * int * int
+(** [(enqueued, dropped, high_watermark)]. *)

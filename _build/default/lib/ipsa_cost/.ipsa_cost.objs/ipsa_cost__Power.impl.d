@@ -1,0 +1,1 @@
+lib/ipsa_cost/power.ml: List Option Resources

@@ -1,0 +1,1 @@
+lib/ipsa_cost/resources.ml: List

@@ -1,0 +1,1 @@
+lib/ipsa_cost/throughput.ml: Float Ipsa List Resources Rp4 Rp4bc Table

@@ -1,0 +1,1 @@
+lib/ipsa_cost/timing.ml: Ipsa Rp4bc

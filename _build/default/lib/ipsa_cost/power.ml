@@ -1,0 +1,84 @@
+(* Power model (Table 3 and Fig. 6 of the paper).
+
+   Structure follows the paper's observations:
+   - PISA: every physical stage sits in the pipeline whether or not it is
+     functional, so power is flat in the number of *effective* stages and
+     includes the front parser.
+   - IPSA: bypassed TSPs are excluded from the physical path and held in a
+     low-power idle state, so power grows with the number of active TSPs;
+     the crossbar adds a fixed tax. At the full 8-stage point IPSA costs
+     about 10% more than PISA; below ~6 effective stages IPSA is cheaper —
+     exactly the crossover Fig. 6 shows.
+
+   Constants are in watts, calibrated so that the full base-design point
+   (7-8 active stages) lands near the paper's ~2.95 W PISA total. *)
+
+type arch = Resources.arch = Pisa | Ipsa
+
+type params = {
+  nstages : int; (* physical stage processors *)
+  effective : int; (* active (functional) stages of the running design *)
+  table_kbits : int; (* total table capacity in kilobits (memory power) *)
+}
+
+(* calibrated constants *)
+let p_static = 0.55 (* clocking, I/O shell *)
+let p_front_parser = 0.22
+let p_stage_dynamic = 0.26 (* PISA stage processor, always on *)
+let p_tsp_dynamic = 0.295 (* IPSA TSP when active (template machinery) *)
+let p_tsp_idle = 0.03 (* bypassed TSP in low-power state *)
+let p_crossbar = 0.24
+let p_mem_per_mbit = 0.012
+
+let mem_power p = p_mem_per_mbit *. (float_of_int p.table_kbits /. 1000.0)
+
+let total arch p =
+  match arch with
+  | Pisa ->
+    (* all [nstages] burn dynamic power regardless of how many are used *)
+    p_static +. p_front_parser
+    +. (float_of_int p.nstages *. p_stage_dynamic)
+    +. mem_power p
+  | Ipsa ->
+    p_static +. p_crossbar
+    +. (float_of_int p.effective *. p_tsp_dynamic)
+    +. (float_of_int (p.nstages - p.effective) *. p_tsp_idle)
+    +. mem_power p
+
+(* Component breakdown, Table 3 shape. *)
+type breakdown = {
+  b_front_parser : float;
+  b_processors : float;
+  b_crossbar : float;
+  b_static_mem : float;
+  b_total : float;
+}
+
+let breakdown arch p =
+  let procs =
+    match arch with
+    | Pisa -> float_of_int p.nstages *. p_stage_dynamic
+    | Ipsa ->
+      (float_of_int p.effective *. p_tsp_dynamic)
+      +. (float_of_int (p.nstages - p.effective) *. p_tsp_idle)
+  in
+  {
+    b_front_parser = (if arch = Pisa then p_front_parser else 0.0);
+    b_processors = procs;
+    b_crossbar = (if arch = Ipsa then p_crossbar else 0.0);
+    b_static_mem = p_static +. mem_power p;
+    b_total = total arch p;
+  }
+
+(* Fig. 6: power as a function of the number of effective stages. *)
+let sweep ~nstages ~table_kbits =
+  List.init nstages (fun i ->
+      let effective = i + 1 in
+      let p = { nstages; effective; table_kbits } in
+      (effective, total Pisa p, total Ipsa p))
+
+(* The crossover point: smallest effective-stage count at which IPSA stops
+   being cheaper. *)
+let crossover ~nstages ~table_kbits =
+  List.find_opt (fun (_, pisa, ipsa) -> ipsa >= pisa) (sweep ~nstages ~table_kbits)
+  |> Option.map (fun (n, _, _) -> n)

@@ -1,0 +1,151 @@
+(* Throughput model (Sec. 5 of the paper).
+
+   Both prototypes run at 200 MHz and are pipelined across stages, so
+   packets-per-second = clock / II where II is the initiation interval of
+   the *bottleneck* stage. The model derives II from the compiled design:
+
+   - PISA stages match in stage-local SRAM (one access) and pay a small
+     serialisation penalty on wide keys/entries; the front parser can also
+     bottleneck deep parse chains (that is why the SRv6 case is slowest).
+   - IPSA TSPs additionally pay (a) per-packet template-parameter loading
+     and (b) multi-beat memory access whenever a table entry exceeds the
+     pool's data-bus width — the two causes the paper names for the
+     throughput gap, along with the two remedies (pipelined TSP internals
+     hide (a), a wider bus shrinks (b)), both of which are knobs here. *)
+
+type arch = Resources.arch = Pisa | Ipsa
+
+type params = {
+  clock_mhz : float;
+  bus_width_bits : int; (* IPSA memory pool data bus *)
+  template_fetch_cycles : float; (* IPSA per-packet template load *)
+  tsp_pipelined : bool; (* remedy (a): overlap the fetch *)
+  pisa_entry_serialize_per_kbit : float; (* PISA wide-entry penalty *)
+  parser_bits_per_cycle : int; (* PISA front-parser extraction rate *)
+}
+
+let default_params =
+  {
+    clock_mhz = 200.0;
+    bus_width_bits = 128;
+    template_fetch_cycles = 2.0;
+    tsp_pipelined = false;
+    pisa_entry_serialize_per_kbit = 0.4;
+    parser_bits_per_cycle = 512;
+  }
+
+(* Per-TSP work extracted from a compiled template. *)
+type table_cost = {
+  tc_name : string;
+  tc_entry_width : int;
+  tc_hashed : bool; (* hash-kind keys pay a hash-unit cycle *)
+}
+
+type tsp_profile = {
+  tp_tables : table_cost list;
+  tp_parse_bits : int; (* header bits this TSP may have to extract *)
+}
+
+let profile_of_template registry_width_of (tmpl : Ipsa.Template.t) : tsp_profile =
+  {
+    tp_tables =
+      List.map
+        (fun (ct : Ipsa.Template.compiled_table) ->
+          {
+            tc_name = ct.Ipsa.Template.ct_name;
+            tc_entry_width = ct.Ipsa.Template.ct_entry_width;
+            tc_hashed =
+              List.exists
+                (fun f -> f.Table.Key.kf_kind = Table.Key.Hash)
+                ct.Ipsa.Template.ct_fields;
+          })
+        (Ipsa.Template.tables tmpl);
+    tp_parse_bits =
+      List.fold_left
+        (fun acc cs ->
+          List.fold_left
+            (fun acc h -> acc + registry_width_of h)
+            acc cs.Ipsa.Template.cs_parser)
+        0 tmpl.Ipsa.Template.stages;
+  }
+
+(* Profiles for a whole compiled design. *)
+let profiles_of_design (design : Rp4bc.Design.t) : tsp_profile list =
+  let env = design.Rp4bc.Design.env in
+  let width_of hname =
+    match Rp4.Ast.find_header design.Rp4bc.Design.prog hname with
+    | Some h -> List.fold_left (fun acc f -> acc + f.Rp4.Ast.fd_width) 0 h.Rp4.Ast.hd_fields
+    | None -> 0
+  in
+  List.map
+    (fun (_, g) ->
+      profile_of_template width_of (Rp4bc.Compile.template_of_group env g))
+    (Rp4bc.Layout.assignment design.Rp4bc.Design.layout)
+
+(* Initiation interval of one stage under each architecture. In a stage
+   hosting several merged logical stages, the guards are mutually
+   exclusive, so a packet pays for exactly one of the hosted tables — the
+   bottleneck is the widest access *on the traffic's path* ([relevant]
+   filters to the tables the experiment's workload can actually hit). *)
+let stage_ii ?(relevant = fun _ -> true) arch p (tp : tsp_profile) =
+  let tables = List.filter (fun tc -> relevant tc.tc_name) tp.tp_tables in
+  let widest = List.fold_left (fun acc tc -> max acc tc.tc_entry_width) 0 tables in
+  let hash_cycle = if List.exists (fun tc -> tc.tc_hashed) tables then 1.0 else 0.0 in
+  match arch with
+  | Pisa ->
+    1.0
+    +. (p.pisa_entry_serialize_per_kbit *. (float_of_int widest /. 1000.0))
+    +. (hash_cycle /. 4.0) (* PISA hash units are local and mostly hidden *)
+  | Ipsa ->
+    let beats =
+      if widest = 0 then 1
+      else (widest + p.bus_width_bits - 1) / p.bus_width_bits
+    in
+    let fetch = if p.tsp_pipelined then 0.0 else p.template_fetch_cycles in
+    (* one cycle of match setup + memory beats + template fetch; the hash
+       unit overlaps with the (multi-beat) pool access, so only half a
+       cycle of it is exposed *)
+    fetch +. 1.0 +. float_of_int beats +. (hash_cycle /. 2.0)
+
+(* PISA's standalone front parser: extraction is serialised over the parse
+   chain. IPSA has no front parser — distributed parsing overlaps with the
+   per-stage work already charged above. *)
+let front_parser_ii p ~max_chain_bits =
+  float_of_int max_chain_bits /. float_of_int p.parser_bits_per_cycle
+
+let design_ii ?relevant arch p ~(profiles : tsp_profile list) ~max_chain_bits =
+  let stage_bottleneck =
+    List.fold_left (fun acc tp -> Float.max acc (stage_ii ?relevant arch p tp)) 1.0 profiles
+  in
+  match arch with
+  | Pisa -> Float.max stage_bottleneck (front_parser_ii p ~max_chain_bits)
+  | Ipsa -> stage_bottleneck
+
+let mpps ?relevant arch p ~profiles ~max_chain_bits =
+  p.clock_mhz /. design_ii ?relevant arch p ~profiles ~max_chain_bits
+
+(* Total bits on the longest parse chain of a design (ethernet->ipv6->srh
+   for the SRv6 case). *)
+let max_chain_bits (design : Rp4bc.Design.t) =
+  let prog = design.Rp4bc.Design.prog in
+  let width_of hname =
+    match Rp4.Ast.find_header prog hname with
+    | Some h -> List.fold_left (fun acc f -> acc + f.Rp4.Ast.fd_width) 0 h.Rp4.Ast.hd_fields
+    | None -> 0
+  in
+  (* walk the implicit-parser linkage depth-first *)
+  let rec longest seen hname =
+    if List.mem hname seen then 0
+    else
+      let w = width_of hname in
+      match Rp4.Ast.find_header prog hname with
+      | Some { Rp4.Ast.hd_parser = Some ip; _ } ->
+        w
+        + List.fold_left
+            (fun acc (_, next) -> max acc (longest (hname :: seen) next))
+            0 ip.Rp4.Ast.ip_cases
+      | _ -> w
+  in
+  match prog.Rp4.Ast.headers with
+  | first :: _ -> longest [] first.Rp4.Ast.hd_name
+  | [] -> 0

@@ -1,0 +1,1 @@
+lib/mem/crossbar.ml: Hashtbl Int List Printf

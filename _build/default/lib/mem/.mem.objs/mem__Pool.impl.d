@@ -1,0 +1,1 @@
+lib/mem/pool.ml: Array Int List Printf

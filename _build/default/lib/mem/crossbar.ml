@@ -1,0 +1,94 @@
+(* TSP ↔ memory-block crossbar (Sec. 2.4 of the paper).
+
+   A [Full] crossbar lets any stage processor reach any block; a
+   [Clustered] crossbar only connects a cluster of TSPs to the matching
+   cluster of memory blocks, trading flexibility for wiring cost (the
+   dRMT-style trade-off the paper cites). The crossbar is statically
+   configured per design; updates reconfigure it, and the cost model
+   charges for both the wiring (LUT/FF) and reconfiguration events. *)
+
+type kind = Full | Clustered of int (* number of clusters *)
+
+type t = {
+  kind : kind;
+  ntsps : int;
+  (* tsp id -> connected block ids *)
+  conn : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable reconfigs : int; (* configuration events, for the cost model *)
+}
+
+let create ~kind ~ntsps =
+  if ntsps <= 0 then invalid_arg "Crossbar.create: ntsps must be positive";
+  (match kind with
+  | Clustered c when c <= 0 || ntsps mod c <> 0 ->
+    invalid_arg "Crossbar.create: ntsps must be a positive multiple of clusters"
+  | _ -> ());
+  { kind; ntsps; conn = Hashtbl.create 16; reconfigs = 0 }
+
+let kind t = t.kind
+let ntsps t = t.ntsps
+let reconfigs t = t.reconfigs
+
+let tsp_cluster t tsp =
+  match t.kind with
+  | Full -> 0
+  | Clustered c -> tsp * c / t.ntsps
+
+(* Can [tsp] be wired to a block living in [block_cluster]? *)
+let reachable t ~tsp ~block_cluster =
+  if tsp < 0 || tsp >= t.ntsps then invalid_arg "Crossbar.reachable: bad tsp id";
+  match t.kind with
+  | Full -> true
+  | Clustered _ -> tsp_cluster t tsp = block_cluster
+
+let connections t tsp =
+  match Hashtbl.find_opt t.conn tsp with
+  | Some set -> Hashtbl.fold (fun b () acc -> b :: acc) set [] |> List.sort Int.compare
+  | None -> []
+
+let connected t ~tsp ~block =
+  match Hashtbl.find_opt t.conn tsp with
+  | Some set -> Hashtbl.mem set block
+  | None -> false
+
+let connect t ~tsp ~block ~block_cluster =
+  if not (reachable t ~tsp ~block_cluster) then
+    Error
+      (Printf.sprintf "tsp %d (cluster %d) cannot reach block %d (cluster %d)" tsp
+         (tsp_cluster t tsp) block block_cluster)
+  else begin
+    let set =
+      match Hashtbl.find_opt t.conn tsp with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace t.conn tsp s;
+        s
+    in
+    if not (Hashtbl.mem set block) then begin
+      Hashtbl.replace set block ();
+      t.reconfigs <- t.reconfigs + 1
+    end;
+    Ok ()
+  end
+
+let disconnect t ~tsp ~block =
+  match Hashtbl.find_opt t.conn tsp with
+  | Some set when Hashtbl.mem set block ->
+    Hashtbl.remove set block;
+    t.reconfigs <- t.reconfigs + 1;
+    true
+  | _ -> false
+
+let disconnect_all t ~tsp =
+  match Hashtbl.find_opt t.conn tsp with
+  | Some set ->
+    let n = Hashtbl.length set in
+    Hashtbl.remove t.conn tsp;
+    if n > 0 then t.reconfigs <- t.reconfigs + 1;
+    n
+  | None -> 0
+
+(* Total crossbar ports in use; feeds the resource model. *)
+let ports_in_use t =
+  Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.conn 0

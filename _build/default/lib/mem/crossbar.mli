@@ -1,0 +1,42 @@
+(** TSP ↔ memory-block crossbar (Sec. 2.4 of the paper).
+
+    A [Full] crossbar lets any stage processor reach any block; a
+    [Clustered] crossbar only connects a cluster of TSPs to the matching
+    cluster of blocks — the dRMT-style trade of flexibility for wiring.
+    The configuration is static per design; updates rewire it, and the
+    cost model charges for both the fabric and reconfiguration events. *)
+
+type kind = Full | Clustered of int  (** number of clusters *)
+
+type t
+
+val create : kind:kind -> ntsps:int -> t
+(** @raise Invalid_argument unless [ntsps] is positive (and a multiple of
+    the cluster count when clustered). *)
+
+val kind : t -> kind
+val ntsps : t -> int
+
+val reconfigs : t -> int
+(** Cumulative configuration events, for the cost model. *)
+
+val tsp_cluster : t -> int -> int
+(** The cluster a TSP belongs to (always 0 under [Full]). *)
+
+val reachable : t -> tsp:int -> block_cluster:int -> bool
+(** Can this TSP be wired to a block in that cluster at all?
+    @raise Invalid_argument on a bad TSP id. *)
+
+val connections : t -> int -> int list
+(** Block ids currently wired to a TSP, sorted. *)
+
+val connected : t -> tsp:int -> block:int -> bool
+
+val connect : t -> tsp:int -> block:int -> block_cluster:int -> (unit, string) result
+(** Idempotent; fails when the clustering forbids the wire. *)
+
+val disconnect : t -> tsp:int -> block:int -> bool
+val disconnect_all : t -> tsp:int -> int
+
+val ports_in_use : t -> int
+(** Total wired TSP↔block pairs; feeds the resource model. *)

@@ -1,0 +1,145 @@
+(* Disaggregated memory pool (Sec. 2.4 of the paper).
+
+   The pool is a set of fixed-size memory blocks of [block_width] ×
+   [block_depth] bits, optionally partitioned into clusters. A logical
+   table of entry width W and depth D occupies ⌈W/w⌉ × ⌈D/d⌉ blocks;
+   deleting the owning logical stage recycles them. Blocks are identified
+   by index; each knows its cluster so the (possibly clustered) crossbar
+   can check reachability. *)
+
+type block = {
+  id : int;
+  cluster : int;
+  mutable owner : string option; (* owning logical table, None = free *)
+}
+
+type t = {
+  blocks : block array;
+  block_width : int; (* bits *)
+  block_depth : int; (* entries *)
+  nclusters : int;
+}
+
+let create ~nblocks ~block_width ~block_depth ~nclusters =
+  if nblocks <= 0 || block_width <= 0 || block_depth <= 0 || nclusters <= 0 then
+    invalid_arg "Pool.create: all parameters must be positive";
+  if nblocks mod nclusters <> 0 then
+    invalid_arg "Pool.create: nblocks must be a multiple of nclusters";
+  let per_cluster = nblocks / nclusters in
+  {
+    blocks = Array.init nblocks (fun id -> { id; cluster = id / per_cluster; owner = None });
+    block_width;
+    block_depth;
+    nclusters;
+  }
+
+let nblocks t = Array.length t.blocks
+let block_width t = t.block_width
+let block_depth t = t.block_depth
+let nclusters t = t.nclusters
+let block t id = t.blocks.(id)
+
+(* ⌈W/w⌉ × ⌈D/d⌉ blocks for a W×D table. *)
+let blocks_needed t ~entry_width ~depth =
+  if entry_width <= 0 || depth <= 0 then
+    invalid_arg "Pool.blocks_needed: width and depth must be positive";
+  let cols = (entry_width + t.block_width - 1) / t.block_width in
+  let rows = (depth + t.block_depth - 1) / t.block_depth in
+  cols * rows
+
+let free_blocks t =
+  Array.fold_left (fun acc b -> if b.owner = None then b :: acc else acc) [] t.blocks
+  |> List.rev
+
+let free_in_cluster t c =
+  List.filter (fun b -> b.cluster = c) (free_blocks t)
+
+let used_blocks t =
+  Array.fold_left (fun acc b -> if b.owner <> None then b :: acc else acc) [] t.blocks
+  |> List.rev
+
+let owner_blocks t table =
+  Array.fold_left
+    (fun acc b -> if b.owner = Some table then b :: acc else acc)
+    [] t.blocks
+  |> List.rev
+
+let utilization t =
+  float_of_int (List.length (used_blocks t)) /. float_of_int (nblocks t)
+
+type allocation = {
+  table : string;
+  blocks : int list; (* block ids *)
+  entry_width : int;
+  depth : int;
+}
+
+(* Allocate blocks for [table]. Blocks need not be adjacent (the paper:
+   "an SRAM table can be mapped to some non-adjacent memory blocks"), but
+   when [cluster] is given, all must come from that cluster — the
+   clustered-crossbar constraint. *)
+let allocate t ~table ~entry_width ~depth ?cluster () =
+  if owner_blocks t table <> [] then
+    Error (Printf.sprintf "table %s already has an allocation" table)
+  else begin
+    let needed = blocks_needed t ~entry_width ~depth in
+    let candidates =
+      match cluster with
+      | Some c when c < 0 || c >= t.nclusters ->
+        invalid_arg "Pool.allocate: bad cluster index"
+      | Some c -> free_in_cluster t c
+      | None ->
+        (* Prefer filling one cluster at a time: take the cluster with the
+           most free blocks first so tables stay colocated. *)
+        let by_cluster =
+          List.init t.nclusters (fun c -> free_in_cluster t c)
+          |> List.sort (fun a b -> Int.compare (List.length b) (List.length a))
+        in
+        List.concat by_cluster
+    in
+    if List.length candidates < needed then
+      Error
+        (Printf.sprintf "table %s needs %d blocks, only %d free%s" table needed
+           (List.length candidates)
+           (match cluster with
+           | Some c -> Printf.sprintf " in cluster %d" c
+           | None -> ""))
+    else begin
+      let chosen = List.filteri (fun i _ -> i < needed) candidates in
+      List.iter (fun b -> b.owner <- Some table) chosen;
+      Ok { table; blocks = List.map (fun b -> b.id) chosen; entry_width; depth }
+    end
+  end
+
+(* Recycle all blocks owned by [table]; returns how many were freed. *)
+let release t ~table =
+  let freed = owner_blocks t table in
+  List.iter (fun b -> b.owner <- None) freed;
+  List.length freed
+
+(* Move a table's allocation to [cluster]; returns the new allocation and
+   the number of entries that had to be copied (the migration cost the
+   paper warns about when a logical stage moves across clusters). *)
+let migrate t ~table ~entry_width ~depth ~cluster =
+  let old_blocks = owner_blocks t table in
+  if old_blocks = [] then Error (Printf.sprintf "table %s has no allocation" table)
+  else begin
+    (* Release first so same-cluster shrink/regrow can reuse blocks. *)
+    let _ = release t ~table in
+    match allocate t ~table ~entry_width ~depth ~cluster () with
+    | Ok alloc -> Ok (alloc, depth)
+    | Error e ->
+      (* Roll back. *)
+      List.iter (fun b -> b.owner <- Some table) old_blocks;
+      Error e
+  end
+
+let stats t =
+  let used = List.length (used_blocks t) in
+  (used, nblocks t - used)
+
+let cluster_stats t =
+  List.init t.nclusters (fun c ->
+      let total = Array.fold_left (fun n b -> if b.cluster = c then n + 1 else n) 0 t.blocks in
+      let free = List.length (free_in_cluster t c) in
+      (c, total - free, total))

@@ -1,0 +1,65 @@
+(** Disaggregated memory pool (Sec. 2.4 of the paper).
+
+    A set of fixed-size memory blocks of [block_width × block_depth]
+    bits/entries, optionally partitioned into clusters. A logical table of
+    entry width [W] and depth [D] occupies [⌈W/w⌉ × ⌈D/d⌉] blocks, which
+    need not be adjacent; deleting the owning logical stage recycles
+    them. *)
+
+type block = {
+  id : int;
+  cluster : int;
+  mutable owner : string option;  (** owning logical table, [None] = free *)
+}
+
+type t
+
+val create : nblocks:int -> block_width:int -> block_depth:int -> nclusters:int -> t
+(** @raise Invalid_argument unless all parameters are positive and
+    [nblocks] is a multiple of [nclusters]. *)
+
+val nblocks : t -> int
+val block_width : t -> int
+val block_depth : t -> int
+val nclusters : t -> int
+val block : t -> int -> block
+
+val blocks_needed : t -> entry_width:int -> depth:int -> int
+(** The paper's [⌈W/w⌉ × ⌈D/d⌉] formula.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val free_blocks : t -> block list
+val free_in_cluster : t -> int -> block list
+val used_blocks : t -> block list
+val owner_blocks : t -> string -> block list
+val utilization : t -> float
+
+type allocation = {
+  table : string;
+  blocks : int list;  (** block ids, possibly non-adjacent *)
+  entry_width : int;
+  depth : int;
+}
+
+val allocate :
+  t -> table:string -> entry_width:int -> depth:int -> ?cluster:int -> unit ->
+  (allocation, string) result
+(** Grab blocks for [table]. With [?cluster] every block comes from that
+    cluster (the clustered-crossbar constraint); otherwise clusters are
+    filled most-free-first to keep tables colocated. Fails without side
+    effects when the table already has an allocation or blocks run out. *)
+
+val release : t -> table:string -> int
+(** Recycle all blocks owned by [table]; returns how many were freed. *)
+
+val migrate :
+  t -> table:string -> entry_width:int -> depth:int -> cluster:int ->
+  (allocation * int, string) result
+(** Move a table's blocks to [cluster]; the [int] is the entries copied —
+    the migration cost the paper warns about. Rolls back on failure. *)
+
+val stats : t -> int * int
+(** [(used, free)] block counts. *)
+
+val cluster_stats : t -> (int * int * int) list
+(** Per cluster: [(cluster, used, total)]. *)

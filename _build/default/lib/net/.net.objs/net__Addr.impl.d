@@ -1,0 +1,1 @@
+lib/net/addr.ml: Bits Bytes Char Int32 Int64 List Printf String

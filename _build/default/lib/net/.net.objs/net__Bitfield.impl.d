@@ -1,0 +1,1 @@
+lib/net/bitfield.ml: Bits Bytes Printf

@@ -1,0 +1,1 @@
+lib/net/bits.ml: Bytes Char Format Int Int64 List Prelude Printf String

@@ -1,0 +1,1 @@
+lib/net/bits.mli: Format

@@ -1,0 +1,1 @@
+lib/net/flowgen.ml: Addr Array Char List Packet Prelude Proto String

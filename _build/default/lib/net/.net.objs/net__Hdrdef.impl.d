@@ -1,0 +1,1 @@
+lib/net/hdrdef.ml: Bits Hashtbl List Printf

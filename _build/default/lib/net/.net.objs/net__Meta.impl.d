@@ -1,0 +1,1 @@
+lib/net/meta.ml: Bits Hashtbl List Printf

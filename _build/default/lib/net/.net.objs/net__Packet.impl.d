@@ -1,0 +1,1 @@
+lib/net/packet.ml: Bitfield Bits Bytes Format Prelude Printf String

@@ -1,0 +1,1 @@
+lib/net/pmap.ml: Bits Hashtbl Hdrdef Packet Printf

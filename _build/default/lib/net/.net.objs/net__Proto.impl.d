@@ -1,0 +1,1 @@
+lib/net/proto.ml: Addr Array Bytes Char Checksum Int32 String

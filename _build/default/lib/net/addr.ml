@@ -1,0 +1,145 @@
+(* Network address types: 48-bit MAC, 32-bit IPv4, 128-bit IPv6.
+
+   These are the concrete address types used by the test traffic
+   generators and by the protocol header codecs. The data plane itself is
+   protocol independent and only ever sees [Bits.t] values. *)
+
+module Mac = struct
+  type t = string (* exactly 6 bytes *)
+
+  let of_string_exn s =
+    let parts = String.split_on_char ':' s in
+    if List.length parts <> 6 then invalid_arg ("Mac.of_string: " ^ s);
+    String.concat ""
+      (List.map
+         (fun p ->
+           if String.length p <> 2 then invalid_arg ("Mac.of_string: " ^ s);
+           String.make 1 (Char.chr (int_of_string ("0x" ^ p))))
+         parts)
+
+  let to_string t =
+    String.concat ":" (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code t.[i])))
+
+  let of_raw s =
+    if String.length s <> 6 then invalid_arg "Mac.of_raw: need 6 bytes";
+    s
+
+  let to_raw t = t
+  let to_bits t = Bits.of_string ~width:48 t
+  let of_bits b =
+    if Bits.width b <> 48 then invalid_arg "Mac.of_bits: need 48 bits";
+    Bits.to_raw_string b
+
+  let broadcast = String.make 6 '\255'
+  let zero = String.make 6 '\000'
+  let equal = String.equal
+  let compare = String.compare
+
+  (* Deterministic locally-administered MAC derived from an index. *)
+  let of_index i =
+    let b = Bytes.make 6 '\000' in
+    Bytes.set_uint8 b 0 0x02;
+    Bytes.set_uint8 b 2 ((i lsr 24) land 0xFF);
+    Bytes.set_uint8 b 3 ((i lsr 16) land 0xFF);
+    Bytes.set_uint8 b 4 ((i lsr 8) land 0xFF);
+    Bytes.set_uint8 b 5 (i land 0xFF);
+    Bytes.unsafe_to_string b
+end
+
+module Ipv4 = struct
+  type t = int32
+
+  let of_string_exn s =
+    match String.split_on_char '.' s with
+    | [ a; b; c; d ] ->
+      let p x =
+        let v = int_of_string x in
+        if v < 0 || v > 255 then invalid_arg ("Ipv4.of_string: " ^ s);
+        v
+      in
+      Int32.of_int (((p a) lsl 24) lor ((p b) lsl 16) lor ((p c) lsl 8) lor p d)
+    | _ -> invalid_arg ("Ipv4.of_string: " ^ s)
+
+  let to_string t =
+    let v = Int32.to_int (Int32.logand t 0xFFFFFFFFl) land 0xFFFFFFFF in
+    Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xFF) ((v lsr 16) land 0xFF)
+      ((v lsr 8) land 0xFF) (v land 0xFF)
+
+  let to_bits t = Bits.of_int64 ~width:32 (Int64.logand (Int64.of_int32 t) 0xFFFFFFFFL)
+  let of_bits b =
+    if Bits.width b <> 32 then invalid_arg "Ipv4.of_bits: need 32 bits";
+    Int64.to_int32 (Bits.to_int64 b)
+
+  let of_int i = Int32.of_int i
+  let equal = Int32.equal
+  let compare = Int32.compare
+end
+
+module Ipv6 = struct
+  type t = string (* exactly 16 bytes *)
+
+  let of_raw s =
+    if String.length s <> 16 then invalid_arg "Ipv6.of_raw: need 16 bytes";
+    s
+
+  let to_raw t = t
+
+  (* Parse the full and [::]-compressed textual forms. *)
+  let of_string_exn s =
+    let groups_of part =
+      if part = "" then []
+      else
+        List.map
+          (fun g ->
+            match int_of_string_opt ("0x" ^ g) with
+            | Some v when v >= 0 && v <= 0xFFFF -> v
+            | _ -> invalid_arg ("Ipv6.of_string: " ^ s))
+          (String.split_on_char ':' part)
+    in
+    (* Locate a "::" marker, if any. *)
+    let double =
+      let rec find i =
+        if i + 1 >= String.length s then None
+        else if s.[i] = ':' && s.[i + 1] = ':' then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let groups =
+      match double with
+      | Some i ->
+        let left = groups_of (String.sub s 0 i) in
+        let right = groups_of (String.sub s (i + 2) (String.length s - i - 2)) in
+        let fill = 8 - List.length left - List.length right in
+        if fill < 0 then invalid_arg ("Ipv6.of_string: " ^ s);
+        left @ List.init fill (fun _ -> 0) @ right
+      | None -> groups_of s
+    in
+    if List.length groups <> 8 then invalid_arg ("Ipv6.of_string: " ^ s);
+    let b = Bytes.create 16 in
+    List.iteri (fun i g -> Bytes.set_uint16_be b (2 * i) g) groups;
+    Bytes.unsafe_to_string b
+
+  let to_string t =
+    String.concat ":"
+      (List.init 8 (fun i ->
+           Printf.sprintf "%x" (Char.code t.[2 * i] lsl 8 lor Char.code t.[(2 * i) + 1])))
+
+  let to_bits t = Bits.of_string ~width:128 t
+  let of_bits b =
+    if Bits.width b <> 128 then invalid_arg "Ipv6.of_bits: need 128 bits";
+    Bits.to_raw_string b
+
+  let zero = String.make 16 '\000'
+  let equal = String.equal
+  let compare = String.compare
+
+  (* Deterministic test address: 2001:db8::<i> *)
+  let of_index i =
+    let b = Bytes.make 16 '\000' in
+    Bytes.set_uint16_be b 0 0x2001;
+    Bytes.set_uint16_be b 2 0x0db8;
+    Bytes.set_uint16_be b 12 ((i lsr 16) land 0xFFFF);
+    Bytes.set_uint16_be b 14 (i land 0xFFFF);
+    Bytes.unsafe_to_string b
+end

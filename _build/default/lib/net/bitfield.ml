@@ -1,0 +1,38 @@
+(* Bit-granular access to packet buffers.
+
+   Header fields live at arbitrary bit offsets inside a packet buffer
+   (e.g. IPv4 [ihl] is 4 bits at bit offset 4), so reads and writes work at
+   bit granularity, with a byte-wise fast path for the common aligned
+   case. *)
+
+(* Read [width] bits starting at absolute bit offset [off]. *)
+let get buf ~off ~width =
+  if off < 0 || width < 0 || off + width > 8 * Bytes.length buf then
+    invalid_arg
+      (Printf.sprintf "Bitfield.get: [%d,+%d) beyond buffer of %d bits" off width
+         (8 * Bytes.length buf));
+  if off mod 8 = 0 && width mod 8 = 0 then
+    Bits.of_string ~width (Bytes.sub_string buf (off / 8) (width / 8))
+  else
+    Bits.init width (fun i ->
+        let pos = off + i in
+        Bytes.get_uint8 buf (pos / 8) land (1 lsl (7 - (pos mod 8))) <> 0)
+
+(* Write the value [v] at absolute bit offset [off]. *)
+let set buf ~off v =
+  let width = Bits.width v in
+  if off < 0 || off + width > 8 * Bytes.length buf then
+    invalid_arg
+      (Printf.sprintf "Bitfield.set: [%d,+%d) beyond buffer of %d bits" off width
+         (8 * Bytes.length buf));
+  if off mod 8 = 0 && width mod 8 = 0 then
+    Bytes.blit_string (Bits.to_raw_string v) 0 buf (off / 8) (width / 8)
+  else
+    for i = 0 to width - 1 do
+      let pos = off + i in
+      let idx = pos / 8 in
+      let mask = 1 lsl (7 - (pos mod 8)) in
+      let cur = Bytes.get_uint8 buf idx in
+      if Bits.get_bit v i then Bytes.set_uint8 buf idx (cur lor mask)
+      else Bytes.set_uint8 buf idx (cur land lnot mask)
+    done

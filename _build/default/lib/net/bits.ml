@@ -1,0 +1,178 @@
+(* Arbitrary-width bit vectors.
+
+   This is the universal value type of the data plane: header field values,
+   table keys, action arguments and metadata are all [Bits.t]. A value of
+   width [w] is stored right-aligned in [ceil(w/8)] bytes, big-endian, with
+   the unused high bits of byte 0 kept at zero (the normalised form), so
+   that structural equality and lexicographic comparison coincide with
+   numeric equality and ordering for equal widths.
+
+   Bit index 0 refers to the most significant bit of the value, matching
+   the order in which fields appear in a header definition. *)
+
+type t = { width : int; data : string }
+
+let width t = t.width
+
+let nbytes_of_width w = (w + 7) / 8
+
+(* Zero out the unused high bits of byte 0. *)
+let normalize ~width data =
+  let nbytes = nbytes_of_width width in
+  assert (String.length data = nbytes);
+  let pad = (8 * nbytes) - width in
+  if pad = 0 || nbytes = 0 then data
+  else begin
+    let b = Bytes.of_string data in
+    let mask = 0xFF lsr pad in
+    Bytes.set_uint8 b 0 (Bytes.get_uint8 b 0 land mask);
+    Bytes.unsafe_to_string b
+  end
+
+let create ~width data =
+  if width < 0 then invalid_arg "Bits.create: negative width";
+  if String.length data <> nbytes_of_width width then
+    invalid_arg
+      (Printf.sprintf "Bits.create: width %d needs %d bytes, got %d" width
+         (nbytes_of_width width) (String.length data));
+  { width; data = normalize ~width data }
+
+let zero width = { width; data = String.make (nbytes_of_width width) '\000' }
+
+let ones width =
+  create ~width (String.make (nbytes_of_width width) '\255')
+
+let of_int64 ~width v =
+  let nbytes = nbytes_of_width width in
+  let b = Bytes.make nbytes '\000' in
+  for i = 0 to min nbytes 8 - 1 do
+    let shift = 8 * i in
+    Bytes.set_uint8 b
+      (nbytes - 1 - i)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL))
+  done;
+  create ~width (Bytes.unsafe_to_string b)
+
+let of_int ~width v = of_int64 ~width (Int64.of_int v)
+
+(* Low 64 bits of the value; widths beyond 64 bits are truncated, which is
+   what every numeric consumer (hashing, arithmetic on counters) wants. *)
+let to_int64 t =
+  let nbytes = String.length t.data in
+  let acc = ref 0L in
+  for i = max 0 (nbytes - 8) to nbytes - 1 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code t.data.[i]))
+  done;
+  !acc
+
+let to_int t = Int64.to_int (to_int64 t)
+
+let of_string ~width s = create ~width s
+let to_raw_string t = t.data
+
+let of_hex ~width hex = create ~width (Prelude.Hex.to_string hex)
+let to_hex t = Prelude.Hex.of_string t.data
+
+let equal a b = a.width = b.width && String.equal a.data b.data
+
+let compare a b =
+  match Int.compare a.width b.width with
+  | 0 -> String.compare a.data b.data
+  | c -> c
+
+let is_zero t = String.for_all (fun c -> c = '\000') t.data
+
+(* Bit [i] of the value, where bit 0 is the MSB. *)
+let get_bit t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.get_bit: out of range";
+  let pad = (8 * String.length t.data) - t.width in
+  let pos = pad + i in
+  let byte = Char.code t.data.[pos / 8] in
+  byte land (1 lsl (7 - (pos mod 8))) <> 0
+
+(* Build a [width]-bit value from a bit predicate (bit 0 = MSB). *)
+let init width f =
+  let nbytes = nbytes_of_width width in
+  let b = Bytes.make nbytes '\000' in
+  let pad = (8 * nbytes) - width in
+  for i = 0 to width - 1 do
+    if f i then begin
+      let pos = pad + i in
+      let idx = pos / 8 in
+      Bytes.set_uint8 b idx (Bytes.get_uint8 b idx lor (1 lsl (7 - (pos mod 8))))
+    end
+  done;
+  { width; data = Bytes.unsafe_to_string b }
+
+let concat a b =
+  init (a.width + b.width) (fun i ->
+      if i < a.width then get_bit a i else get_bit b (i - a.width))
+
+let concat_list = function
+  | [] -> zero 0
+  | x :: rest -> List.fold_left concat x rest
+
+(* Bits [off, off+len) of the value. *)
+let slice t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.width then
+    invalid_arg
+      (Printf.sprintf "Bits.slice: [%d,%d) out of width %d" off (off + len) t.width);
+  init len (fun i -> get_bit t (off + i))
+
+let map2 name f a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" name a.width b.width);
+  let n = String.length a.data in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set_uint8 out i (f (Char.code a.data.[i]) (Char.code b.data.[i]))
+  done;
+  { width = a.width; data = normalize ~width:a.width (Bytes.unsafe_to_string out) }
+
+let logand = map2 "logand" ( land )
+let logor = map2 "logor" ( lor )
+let logxor = map2 "logxor" ( lxor )
+
+let lognot t =
+  let n = String.length t.data in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set_uint8 out i (lnot (Char.code t.data.[i]) land 0xFF)
+  done;
+  { width = t.width; data = normalize ~width:t.width (Bytes.unsafe_to_string out) }
+
+(* Modular addition over 2^width, byte-wise with carry. *)
+let add a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.add: width mismatch (%d vs %d)" a.width b.width);
+  let n = String.length a.data in
+  let out = Bytes.create n in
+  let carry = ref 0 in
+  for i = n - 1 downto 0 do
+    let s = Char.code a.data.[i] + Char.code b.data.[i] + !carry in
+    Bytes.set_uint8 out i (s land 0xFF);
+    carry := s lsr 8
+  done;
+  { width = a.width; data = normalize ~width:a.width (Bytes.unsafe_to_string out) }
+
+let sub a b = add a (add (lognot b) (of_int ~width:b.width 1))
+
+let succ t = add t (of_int ~width:t.width 1)
+let pred t = sub t (of_int ~width:t.width 1)
+
+(* Zero-extend or truncate (keeping the low bits) to a new width. *)
+let resize t width =
+  if width = t.width then t
+  else if width > t.width then concat (zero (width - t.width)) t
+  else slice t ~off:(t.width - width) ~len:width
+
+(* Ternary match: does [v] match [value] under [mask]? A set mask bit means
+   the corresponding value bit must match. *)
+let matches_ternary ~value ~mask v =
+  equal (logand v mask) (logand value mask)
+
+let to_string t = Printf.sprintf "0x%s/%d" (to_hex t) t.width
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let hash t = Prelude.Xxh.digest_int t.data

@@ -1,0 +1,100 @@
+(** Arbitrary-width bit vectors — the universal value type of the data
+    plane.
+
+    Header field values, table keys, action arguments and metadata are all
+    [Bits.t]. A value of width [w] is stored right-aligned in [⌈w/8⌉]
+    bytes, big-endian, with unused high bits kept zero (the normalised
+    form), so structural equality and lexicographic comparison coincide
+    with numeric equality and ordering for equal widths.
+
+    Bit index 0 refers to the most significant bit of the value, matching
+    the order fields appear in a header definition. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : width:int -> string -> t
+(** [create ~width data] wraps raw big-endian bytes; [data] must be
+    exactly [⌈width/8⌉] bytes long. High padding bits are cleared.
+    @raise Invalid_argument on a width/length mismatch. *)
+
+val zero : int -> t
+(** [zero w] is the all-zero value of width [w]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones value of width [w]. *)
+
+val of_int64 : width:int -> int64 -> t
+(** [of_int64 ~width v] truncates [v] to [width] bits (low bits kept). *)
+
+val of_int : width:int -> int -> t
+
+val of_string : width:int -> string -> t
+(** Alias of {!create}. *)
+
+val of_hex : width:int -> string -> t
+(** [of_hex ~width h] parses hex digits (spaces tolerated) as raw bytes. *)
+
+val init : int -> (int -> bool) -> t
+(** [init w f] builds a [w]-bit value whose bit [i] (0 = MSB) is [f i]. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val to_int64 : t -> int64
+(** Low 64 bits of the value; wider values are truncated. *)
+
+val to_int : t -> int
+val to_raw_string : t -> string
+val to_hex : t -> string
+
+val to_string : t -> string
+(** ["0x<hex>/<width>"], for diagnostics. *)
+
+val pp : Format.formatter -> t -> unit
+
+val get_bit : t -> int -> bool
+(** [get_bit v i] is bit [i] of the value, bit 0 being the MSB.
+    @raise Invalid_argument when [i] is out of range. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders by width first, then numerically. *)
+
+val hash : t -> int
+
+(** {1 Structure} *)
+
+val concat : t -> t -> t
+(** [concat a b] has [a]'s bits above [b]'s; width is the sum. *)
+
+val concat_list : t list -> t
+
+val slice : t -> off:int -> len:int -> t
+(** [slice v ~off ~len] is bits [off, off+len) of [v] (0 = MSB). *)
+
+val resize : t -> int -> t
+(** Zero-extend, or truncate keeping the low bits. *)
+
+(** {1 Arithmetic and logic} *)
+
+val add : t -> t -> t
+(** Modular addition over [2^width]; widths must agree. *)
+
+val sub : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Matching} *)
+
+val matches_ternary : value:t -> mask:t -> t -> bool
+(** [matches_ternary ~value ~mask v]: every set bit of [mask] must agree
+    between [value] and [v] — the TCAM match rule. *)

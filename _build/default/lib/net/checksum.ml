@@ -1,0 +1,20 @@
+(* RFC 1071 Internet checksum (16-bit ones' complement sum). *)
+
+let ones_complement_sum s =
+  let n = String.length s in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Char.code s.[n - 1] lsl 8);
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  !sum
+
+let compute s = lnot (ones_complement_sum s) land 0xFFFF
+
+(* A segment with a correct checksum sums to 0xFFFF. *)
+let verify s = ones_complement_sum s = 0xFFFF

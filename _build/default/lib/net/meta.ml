@@ -1,0 +1,54 @@
+(* Per-packet program metadata.
+
+   rP4 programs declare metadata structs (the [structs] section of the
+   EBNF); a [Meta.t] instance holds those fields for one packet, plus the
+   intrinsic fields every architecture provides. Reads of never-written
+   fields yield zero, as on hardware after reset. *)
+
+type t = {
+  widths : (string, int) Hashtbl.t;
+  values : (string, Bits.t) Hashtbl.t;
+}
+
+(* Intrinsic metadata present in every pipeline. *)
+let intrinsic = [
+  ("in_port", 16);
+  ("out_port", 16);
+  ("drop", 1);
+  ("mark", 8);
+  ("switch_tag", 16);
+]
+
+let create () =
+  let t = { widths = Hashtbl.create 16; values = Hashtbl.create 16 } in
+  List.iter (fun (n, w) -> Hashtbl.replace t.widths n w) intrinsic;
+  t
+
+let declare t name width = Hashtbl.replace t.widths name width
+
+let declared t name = Hashtbl.mem t.widths name
+
+let width_of t name = Hashtbl.find_opt t.widths name
+
+let get t name =
+  match Hashtbl.find_opt t.values name with
+  | Some v -> v
+  | None -> (
+    match Hashtbl.find_opt t.widths name with
+    | Some w -> Bits.zero w
+    | None -> invalid_arg (Printf.sprintf "Meta.get: undeclared field meta.%s" name))
+
+let set t name v =
+  match Hashtbl.find_opt t.widths name with
+  | Some w -> Hashtbl.replace t.values name (Bits.resize v w)
+  | None -> invalid_arg (Printf.sprintf "Meta.set: undeclared field meta.%s" name)
+
+let get_int t name = Bits.to_int (get t name)
+let set_int t name v =
+  match Hashtbl.find_opt t.widths name with
+  | Some w -> Hashtbl.replace t.values name (Bits.of_int ~width:w v)
+  | None -> invalid_arg (Printf.sprintf "Meta.set_int: undeclared field meta.%s" name)
+
+let copy t = { widths = Hashtbl.copy t.widths; values = Hashtbl.copy t.values }
+
+let fields t = Hashtbl.fold (fun name w acc -> (name, w) :: acc) t.widths []

@@ -1,0 +1,80 @@
+(* Packet buffers as they travel through a switch model.
+
+   A packet owns a mutable byte buffer plus the per-packet intrinsic
+   metadata every architecture needs (ingress port, egress decision).
+   Program-visible metadata and the parsed-header map are kept in separate
+   structures ([Meta.t], [Pmap.t]) because they are artifacts of a
+   particular pipeline program, not of the packet itself. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable len : int; (* valid bytes in [buf] *)
+  in_port : int;
+  mutable out_port : int option;
+  mutable dropped : bool;
+  id : int; (* unique per injection, for tracing *)
+}
+
+let counter = ref 0
+
+let create ?(in_port = 0) payload =
+  incr counter;
+  {
+    buf = Bytes.of_string payload;
+    len = String.length payload;
+    in_port;
+    out_port = None;
+    dropped = false;
+    id = !counter;
+  }
+
+let contents t = Bytes.sub_string t.buf 0 t.len
+
+let length t = t.len
+
+let drop t = t.dropped <- true
+
+let set_out_port t p = t.out_port <- Some p
+
+(* Grow the buffer so that [n] bytes fit. *)
+let reserve t n =
+  if n > Bytes.length t.buf then begin
+    let nb = Bytes.make (max n (2 * Bytes.length t.buf)) '\000' in
+    Bytes.blit t.buf 0 nb 0 t.len;
+    t.buf <- nb
+  end
+
+(* Insert [s] at byte offset [off], shifting the tail right. Used when a
+   header (e.g. an SRH) is pushed into an existing packet. *)
+let insert t ~off s =
+  if off < 0 || off > t.len then invalid_arg "Packet.insert: offset out of range";
+  let n = String.length s in
+  reserve t (t.len + n);
+  Bytes.blit t.buf off t.buf (off + n) (t.len - off);
+  Bytes.blit_string s 0 t.buf off n;
+  t.len <- t.len + n
+
+(* Remove [n] bytes at byte offset [off], shifting the tail left. *)
+let remove t ~off ~n =
+  if off < 0 || n < 0 || off + n > t.len then
+    invalid_arg "Packet.remove: range out of bounds";
+  Bytes.blit t.buf (off + n) t.buf off (t.len - off - n);
+  t.len <- t.len - n
+
+let get_bits t ~off ~width =
+  if off + width > 8 * t.len then
+    invalid_arg
+      (Printf.sprintf "Packet.get_bits: [%d,+%d) beyond %d-byte packet" off width t.len);
+  Bitfield.get t.buf ~off ~width
+
+let set_bits t ~off v =
+  if off + Bits.width v > 8 * t.len then
+    invalid_arg "Packet.set_bits: beyond packet";
+  Bitfield.set t.buf ~off v
+
+let pp fmt t =
+  Format.fprintf fmt "packet#%d[%d bytes, in=%d, out=%s%s]" t.id t.len t.in_port
+    (match t.out_port with Some p -> string_of_int p | None -> "?")
+    (if t.dropped then ", DROPPED" else "")
+
+let hexdump t = Prelude.Hex.dump (contents t)

@@ -1,0 +1,71 @@
+(* Parsed-header map: which header instances have been located in a packet
+   and at which bit offset.
+
+   In IPSA the map is built incrementally as stages parse headers on
+   demand and travels with the packet so later stages never re-parse
+   (Sec. 2.1 of the paper). In the PISA model the front parser fills the
+   whole map before the pipeline. *)
+
+type inst = { def : Hdrdef.t; mutable bit_off : int; mutable valid : bool }
+
+type t = (string, inst) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let add t ~(def : Hdrdef.t) ~bit_off =
+  Hashtbl.replace t def.Hdrdef.name { def; bit_off; valid = true }
+
+let invalidate t name =
+  match Hashtbl.find_opt t name with
+  | Some inst -> inst.valid <- false
+  | None -> ()
+
+let remove t name = Hashtbl.remove t name
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some inst when inst.valid -> Some inst
+  | _ -> None
+
+let is_valid t name = find t name <> None
+
+let names t =
+  Hashtbl.fold (fun name inst acc -> if inst.valid then name :: acc else acc) t []
+
+(* Absolute bit offset of [hdr.field] in the packet. *)
+let field_pos t ~hdr ~field =
+  match find t hdr with
+  | None -> None
+  | Some inst ->
+    (match Hdrdef.field_offset inst.def field with
+    | None -> None
+    | Some (off, width) -> Some (inst.bit_off + off, width))
+
+let get_field pkt t ~hdr ~field =
+  match field_pos t ~hdr ~field with
+  | Some (off, width) -> Some (Packet.get_bits pkt ~off ~width)
+  | None -> None
+
+let get_field_exn pkt t ~hdr ~field =
+  match get_field pkt t ~hdr ~field with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Pmap.get_field: %s.%s not parsed/valid" hdr field)
+
+let set_field pkt t ~hdr ~field v =
+  match field_pos t ~hdr ~field with
+  | Some (off, width) -> Packet.set_bits pkt ~off (Bits.resize v width)
+  | None -> invalid_arg (Printf.sprintf "Pmap.set_field: %s.%s not parsed/valid" hdr field)
+
+(* Shift all instances at or beyond [bit_off] by [delta] bits; used when
+   bytes are inserted into or removed from the packet buffer. *)
+let shift_from t ~bit_off ~delta =
+  Hashtbl.iter
+    (fun _ inst -> if inst.bit_off >= bit_off then inst.bit_off <- inst.bit_off + delta)
+    t
+
+let copy (t : t) : t =
+  let c = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter
+    (fun k inst -> Hashtbl.replace c k { inst with bit_off = inst.bit_off })
+    t;
+  c

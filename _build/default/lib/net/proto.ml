@@ -1,0 +1,285 @@
+(* Concrete protocol header codecs.
+
+   The switch data plane is protocol independent; these codecs exist so
+   that tests, examples and the traffic generator can build and inspect
+   real packets (Ethernet / VLAN / IPv4 / IPv6 / SRH / UDP / TCP) without
+   hand-assembling bytes. Each [to_string] emits wire bytes; each
+   [of_string ~off] decodes the header starting at byte offset [off]. *)
+
+let ethertype_ipv4 = 0x0800
+let ethertype_ipv6 = 0x86DD
+let ethertype_vlan = 0x8100
+let proto_tcp = 6
+let proto_udp = 17
+let next_header_srh = 43
+let next_header_ipv4 = 4
+let next_header_ipv6 = 41
+
+module Eth = struct
+  type t = { dst : Addr.Mac.t; src : Addr.Mac.t; ethertype : int }
+
+  let size = 14
+
+  let to_string t =
+    let b = Bytes.create size in
+    Bytes.blit_string (Addr.Mac.to_raw t.dst) 0 b 0 6;
+    Bytes.blit_string (Addr.Mac.to_raw t.src) 0 b 6 6;
+    Bytes.set_uint16_be b 12 t.ethertype;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    {
+      dst = Addr.Mac.of_raw (String.sub s off 6);
+      src = Addr.Mac.of_raw (String.sub s (off + 6) 6);
+      ethertype = (Char.code s.[off + 12] lsl 8) lor Char.code s.[off + 13];
+    }
+end
+
+module Vlan = struct
+  type t = { pcp : int; dei : int; vid : int; ethertype : int }
+
+  let size = 4
+
+  let to_string t =
+    let b = Bytes.create size in
+    Bytes.set_uint16_be b 0
+      (((t.pcp land 0x7) lsl 13) lor ((t.dei land 1) lsl 12) lor (t.vid land 0xFFF));
+    Bytes.set_uint16_be b 2 t.ethertype;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    let tci = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
+    {
+      pcp = tci lsr 13;
+      dei = (tci lsr 12) land 1;
+      vid = tci land 0xFFF;
+      ethertype = (Char.code s.[off + 2] lsl 8) lor Char.code s.[off + 3];
+    }
+end
+
+module Ipv4 = struct
+  type t = {
+    dscp : int;
+    ecn : int;
+    total_len : int;
+    ident : int;
+    flags : int;
+    frag_off : int;
+    ttl : int;
+    protocol : int;
+    src : Addr.Ipv4.t;
+    dst : Addr.Ipv4.t;
+  }
+
+  let size = 20 (* no options in the test substrate *)
+
+  let make ?(dscp = 0) ?(ecn = 0) ?(ident = 0) ?(flags = 2) ?(frag_off = 0) ?(ttl = 64)
+      ~protocol ~src ~dst ~payload_len () =
+    { dscp; ecn; total_len = size + payload_len; ident; flags; frag_off; ttl; protocol;
+      src; dst }
+
+  let to_string t =
+    let b = Bytes.create size in
+    Bytes.set_uint8 b 0 ((4 lsl 4) lor 5);
+    Bytes.set_uint8 b 1 ((t.dscp lsl 2) lor t.ecn);
+    Bytes.set_uint16_be b 2 t.total_len;
+    Bytes.set_uint16_be b 4 t.ident;
+    Bytes.set_uint16_be b 6 ((t.flags lsl 13) lor t.frag_off);
+    Bytes.set_uint8 b 8 t.ttl;
+    Bytes.set_uint8 b 9 t.protocol;
+    Bytes.set_uint16_be b 10 0;
+    Bytes.set_int32_be b 12 t.src;
+    Bytes.set_int32_be b 16 t.dst;
+    let csum = Checksum.compute (Bytes.to_string b) in
+    Bytes.set_uint16_be b 10 csum;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    let u8 i = Char.code s.[off + i] in
+    let u16 i = (u8 i lsl 8) lor u8 (i + 1) in
+    let u32 i =
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (u16 i)) 16)
+        (Int32.of_int (u16 (i + 2)))
+    in
+    {
+      dscp = u8 1 lsr 2;
+      ecn = u8 1 land 3;
+      total_len = u16 2;
+      ident = u16 4;
+      flags = u16 6 lsr 13;
+      frag_off = u16 6 land 0x1FFF;
+      ttl = u8 8;
+      protocol = u8 9;
+      src = u32 12;
+      dst = u32 16;
+    }
+end
+
+module Ipv6 = struct
+  type t = {
+    traffic_class : int;
+    flow_label : int;
+    payload_len : int;
+    next_header : int;
+    hop_limit : int;
+    src : Addr.Ipv6.t;
+    dst : Addr.Ipv6.t;
+  }
+
+  let size = 40
+
+  let make ?(traffic_class = 0) ?(flow_label = 0) ?(hop_limit = 64) ~next_header ~src
+      ~dst ~payload_len () =
+    { traffic_class; flow_label; payload_len; next_header; hop_limit; src; dst }
+
+  let to_string t =
+    let b = Bytes.create size in
+    let word0 =
+      Int32.logor
+        (Int32.shift_left 6l 28)
+        (Int32.of_int ((t.traffic_class lsl 20) lor (t.flow_label land 0xFFFFF)))
+    in
+    Bytes.set_int32_be b 0 word0;
+    Bytes.set_uint16_be b 4 t.payload_len;
+    Bytes.set_uint8 b 6 t.next_header;
+    Bytes.set_uint8 b 7 t.hop_limit;
+    Bytes.blit_string (Addr.Ipv6.to_raw t.src) 0 b 8 16;
+    Bytes.blit_string (Addr.Ipv6.to_raw t.dst) 0 b 24 16;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    let u8 i = Char.code s.[off + i] in
+    let u16 i = (u8 i lsl 8) lor u8 (i + 1) in
+    {
+      traffic_class = ((u8 0 land 0xF) lsl 4) lor (u8 1 lsr 4);
+      flow_label = ((u8 1 land 0xF) lsl 16) lor u16 2;
+      payload_len = u16 4;
+      next_header = u8 6;
+      hop_limit = u8 7;
+      src = Addr.Ipv6.of_raw (String.sub s (off + 8) 16);
+      dst = Addr.Ipv6.of_raw (String.sub s (off + 24) 16);
+    }
+end
+
+module Srh = struct
+  (* IPv6 Segment Routing Header, RFC 8754. *)
+  type t = {
+    next_header : int;
+    segments_left : int;
+    last_entry : int;
+    flags : int;
+    tag : int;
+    segments : Addr.Ipv6.t array;
+  }
+
+  let size t = 8 + (16 * Array.length t.segments)
+  let size_of_segments n = 8 + (16 * n)
+
+  let make ~next_header ~segments_left ~segments () =
+    {
+      next_header;
+      segments_left;
+      last_entry = Array.length segments - 1;
+      flags = 0;
+      tag = 0;
+      segments;
+    }
+
+  let to_string t =
+    let n = Array.length t.segments in
+    let b = Bytes.create (size t) in
+    Bytes.set_uint8 b 0 t.next_header;
+    Bytes.set_uint8 b 1 (2 * n) (* hdr ext len in 8-byte units, excluding first 8 *);
+    Bytes.set_uint8 b 2 4 (* routing type: segment routing *);
+    Bytes.set_uint8 b 3 t.segments_left;
+    Bytes.set_uint8 b 4 t.last_entry;
+    Bytes.set_uint8 b 5 t.flags;
+    Bytes.set_uint16_be b 6 t.tag;
+    Array.iteri
+      (fun i seg -> Bytes.blit_string (Addr.Ipv6.to_raw seg) 0 b (8 + (16 * i)) 16)
+      t.segments;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    let u8 i = Char.code s.[off + i] in
+    let hdr_ext_len = u8 1 in
+    let n = hdr_ext_len / 2 in
+    {
+      next_header = u8 0;
+      segments_left = u8 3;
+      last_entry = u8 4;
+      flags = u8 5;
+      tag = (u8 6 lsl 8) lor u8 7;
+      segments =
+        Array.init n (fun i -> Addr.Ipv6.of_raw (String.sub s (off + 8 + (16 * i)) 16));
+    }
+end
+
+module Udp = struct
+  type t = { src_port : int; dst_port : int; length : int; checksum : int }
+
+  let size = 8
+
+  let make ~src_port ~dst_port ~payload_len () =
+    { src_port; dst_port; length = size + payload_len; checksum = 0 }
+
+  let to_string t =
+    let b = Bytes.create size in
+    Bytes.set_uint16_be b 0 t.src_port;
+    Bytes.set_uint16_be b 2 t.dst_port;
+    Bytes.set_uint16_be b 4 t.length;
+    Bytes.set_uint16_be b 6 t.checksum;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    let u16 i = (Char.code s.[off + i] lsl 8) lor Char.code s.[off + i + 1] in
+    { src_port = u16 0; dst_port = u16 2; length = u16 4; checksum = u16 6 }
+end
+
+module Tcp = struct
+  type t = {
+    src_port : int;
+    dst_port : int;
+    seq : int32;
+    ack : int32;
+    flags : int;
+    window : int;
+  }
+
+  let size = 20
+
+  let make ?(seq = 0l) ?(ack = 0l) ?(flags = 0x10) ?(window = 65535) ~src_port ~dst_port
+      () =
+    { src_port; dst_port; seq; ack; flags; window }
+
+  let to_string t =
+    let b = Bytes.create size in
+    Bytes.set_uint16_be b 0 t.src_port;
+    Bytes.set_uint16_be b 2 t.dst_port;
+    Bytes.set_int32_be b 4 t.seq;
+    Bytes.set_int32_be b 8 t.ack;
+    Bytes.set_uint8 b 12 (5 lsl 4);
+    Bytes.set_uint8 b 13 t.flags;
+    Bytes.set_uint16_be b 14 t.window;
+    Bytes.set_uint16_be b 16 0;
+    Bytes.set_uint16_be b 18 0;
+    Bytes.unsafe_to_string b
+
+  let of_string ?(off = 0) s =
+    let u8 i = Char.code s.[off + i] in
+    let u16 i = (u8 i lsl 8) lor u8 (i + 1) in
+    let u32 i =
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (u16 i)) 16)
+        (Int32.of_int (u16 (i + 2)))
+    in
+    {
+      src_port = u16 0;
+      dst_port = u16 2;
+      seq = u32 4;
+      ack = u32 8;
+      flags = u8 13;
+      window = u16 14;
+    }
+end

@@ -1,0 +1,1 @@
+lib/p4lite/ast.ml: List Rp4 Table

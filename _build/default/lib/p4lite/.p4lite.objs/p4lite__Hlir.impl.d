@@ -1,0 +1,1 @@
+lib/p4lite/hlir.ml: Ast Format List Rp4 String

@@ -1,0 +1,1 @@
+lib/p4lite/parser.ml: Array Ast Format Int64 List Rp4 String Table

@@ -1,0 +1,65 @@
+(* Abstract syntax for the P4_16 subset the front end accepts.
+
+   The subset covers what the paper's base design and use cases need:
+   header type declarations, a headers struct (instances), a metadata
+   struct, a parser state machine with extract/select, actions with
+   assignment bodies, tables with typed keys and action lists, and an
+   ingress control with an apply block of conditionals and table applies.
+
+   Action statements, expressions and conditions reuse the rP4 AST types:
+   rp4fc's job is structural transformation (parse graph -> implicit
+   parsers, apply block -> stages), not expression rewriting. *)
+
+type field = { f_name : string; f_width : int }
+
+type header_type = { ht_name : string; ht_fields : field list }
+
+(* One member of the [struct headers { ethernet_t ethernet; ... }]. *)
+type instance = { i_name : string; i_type : string }
+
+(* A parser state: extracts then transitions. *)
+type select_case = { sc_tag : int64; sc_state : string }
+
+type transition =
+  | T_direct of string (* transition parse_x; "accept" ends *)
+  | T_select of Rp4.Ast.field_ref * select_case list * string (* default state *)
+
+type pstate = {
+  ps_name : string;
+  ps_extracts : string list; (* instance names, in order *)
+  ps_transition : transition;
+}
+
+type action_decl = {
+  a_name : string;
+  a_params : (string * int) list;
+  a_body : Rp4.Ast.stmt list;
+}
+
+type table_decl = {
+  t_name : string;
+  t_key : (Rp4.Ast.field_ref * Table.Key.match_kind) list;
+  t_actions : string list; (* in declaration order; positions define tags *)
+  t_size : int;
+  t_default : string option;
+}
+
+type apply_stmt =
+  | A_apply of string
+  | A_if of Rp4.Ast.cond * apply_stmt list * apply_stmt list
+
+type program = {
+  header_types : header_type list;
+  instances : instance list;
+  metadata : field list;
+  states : pstate list;
+  actions : action_decl list;
+  tables : table_decl list;
+  apply : apply_stmt list;
+}
+
+let find_header_type p name = List.find_opt (fun h -> h.ht_name = name) p.header_types
+let find_instance p name = List.find_opt (fun i -> i.i_name = name) p.instances
+let find_state p name = List.find_opt (fun s -> s.ps_name = name) p.states
+let find_table p name = List.find_opt (fun t -> t.t_name = name) p.tables
+let find_action p name = List.find_opt (fun a -> a.a_name = name) p.actions

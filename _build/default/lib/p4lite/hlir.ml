@@ -1,0 +1,90 @@
+(* HLIR: the target-independent facts rp4fc consumes (the paper: "rp4fc
+   takes the HLIR, the target-independent output of p4c, as input").
+
+   From the parser state machine we recover the *header-linkage* view:
+   which instance is parsed first, and which (instance, selector-field,
+   tag) triples lead to which next instance. This is exactly the shape of
+   rP4's implicit parsers. *)
+
+type parse_edge = {
+  pe_from : string; (* instance whose field is selected on *)
+  pe_sel_field : string;
+  pe_tag : int64;
+  pe_to : string; (* instance extracted next *)
+}
+
+type parse_graph = {
+  pg_first : string option; (* first instance extracted *)
+  pg_edges : parse_edge list;
+}
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* First instance extracted when entering [state_name], following direct
+   transitions through non-extracting states. *)
+let rec first_extract prog state_name depth =
+  if depth > 64 then unsupported "parser transition loop";
+  if state_name = "accept" || state_name = "reject" then None
+  else
+    match Ast.find_state prog state_name with
+    | None -> unsupported "parser: unknown state %s" state_name
+    | Some s -> (
+      match s.Ast.ps_extracts with
+      | inst :: _ -> Some inst
+      | [] -> (
+        match s.Ast.ps_transition with
+        | Ast.T_direct next -> first_extract prog next (depth + 1)
+        | Ast.T_select _ ->
+          unsupported "parser: select in non-extracting state %s" state_name))
+
+let build (prog : Ast.program) : parse_graph =
+  let first = first_extract prog "start" 0 in
+  let edges = ref [] in
+  List.iter
+    (fun (s : Ast.pstate) ->
+      match s.Ast.ps_transition with
+      | Ast.T_direct next ->
+        (* A direct transition between two extracting states has no tag to
+           dispatch on; rP4's implicit parser cannot express it. The start
+           chain (non-extracting states) is handled by [first_extract]. *)
+        if s.Ast.ps_extracts <> [] && first_extract prog next 0 <> None then
+          unsupported
+            "parser: unconditional chaining from extracting state %s is not \
+             expressible as an implicit parser"
+            s.Ast.ps_name
+      | Ast.T_select (fr, cases, _default) ->
+        let from_inst, sel_field =
+          match fr with
+          | Rp4.Ast.Hdr_field (i, f) -> (i, f)
+          | Rp4.Ast.Meta_field _ -> unsupported "parser: select on metadata"
+        in
+        List.iter
+          (fun (c : Ast.select_case) ->
+            match first_extract prog c.Ast.sc_state 0 with
+            | Some next_inst ->
+              edges :=
+                {
+                  pe_from = from_inst;
+                  pe_sel_field = sel_field;
+                  pe_tag = c.Ast.sc_tag;
+                  pe_to = next_inst;
+                }
+                :: !edges
+            | None -> () (* case leads straight to accept *))
+          cases)
+    prog.Ast.states;
+  { pg_first = first; pg_edges = List.rev !edges }
+
+(* Selector fields of an instance (fields its selects dispatch on). *)
+let sel_fields_of graph inst =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun e -> if e.pe_from = inst then Some e.pe_sel_field else None)
+       graph.pg_edges)
+
+let cases_of graph inst =
+  List.filter_map
+    (fun e -> if e.pe_from = inst then Some (e.pe_tag, e.pe_to) else None)
+    graph.pg_edges

@@ -1,0 +1,530 @@
+(* Recursive-descent parser for the P4_16 subset.
+
+   Reuses the rP4 lexer (preprocessor lines are stripped first, P4 has the
+   same token shapes). Architecture boilerplate is tolerated and ignored:
+   parser/control parameter lists are skipped, `V1Switch(...) main;` is
+   consumed, verify/compute-checksum and deparser controls contribute
+   nothing. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+module L = Rp4.Lexer
+
+type state = {
+  toks : L.located array;
+  mutable pos : int;
+  mutable typedefs : (string * int) list; (* typedef bit<w> name *)
+}
+
+let peek st = st.toks.(st.pos).L.tok
+let peek_ahead st n = st.toks.(min (st.pos + n) (Array.length st.toks - 1)).L.tok
+let line st = st.toks.(st.pos).L.line
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error "line %d: expected %s, found %s" (line st) (L.token_to_string tok)
+      (L.token_to_string (peek st))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | L.IDENT s ->
+    advance st;
+    s
+  | other -> error "line %d: expected identifier, found %s" (line st) (L.token_to_string other)
+
+let int_lit st =
+  match peek st with
+  | L.INT v ->
+    advance st;
+    v
+  | L.WINT (_, v) ->
+    advance st;
+    v
+  | other -> error "line %d: expected integer, found %s" (line st) (L.token_to_string other)
+
+(* A type in field/param position: bit<w>, a typedef name, or a header
+   type name (returns None for non-bit types). *)
+let type_width st =
+  match peek st with
+  | L.IDENT "bit" ->
+    advance st;
+    expect st L.LT;
+    let w = Int64.to_int (int_lit st) in
+    expect st L.GT;
+    Some w
+  | L.IDENT name -> (
+    advance st;
+    match List.assoc_opt name st.typedefs with Some w -> Some w | None -> None)
+  | other -> error "line %d: expected type, found %s" (line st) (L.token_to_string other)
+
+(* Skip a balanced parenthesised parameter list. *)
+let skip_parens st =
+  expect st L.LPAREN;
+  let depth = ref 1 in
+  while !depth > 0 do
+    (match peek st with
+    | L.LPAREN -> incr depth
+    | L.RPAREN -> decr depth
+    | L.EOF -> error "unterminated parenthesis"
+    | _ -> ());
+    if !depth > 0 then advance st else advance st
+  done
+
+(* --- field refs --------------------------------------------------------- *)
+
+(* hdr.ethernet.dstAddr | meta.x | standard_metadata.ingress_port *)
+let field_ref st : Rp4.Ast.field_ref =
+  let a = ident st in
+  expect st L.DOT;
+  let b = ident st in
+  match a with
+  | "hdr" ->
+    expect st L.DOT;
+    let c = ident st in
+    Rp4.Ast.Hdr_field (b, c)
+  | "meta" -> Rp4.Ast.Meta_field b
+  | "standard_metadata" -> (
+    match b with
+    | "ingress_port" -> Rp4.Ast.Meta_field "in_port"
+    | "egress_spec" | "egress_port" -> Rp4.Ast.Meta_field "out_port"
+    | other -> Rp4.Ast.Meta_field other)
+  | other -> error "line %d: unknown reference root %s" (line st) other
+
+(* --- expressions and conditions ----------------------------------------- *)
+
+let rec primary st : Rp4.Ast.expr =
+  match peek st with
+  | L.INT _ | L.WINT _ -> (
+    match peek st with
+    | L.WINT (w, v) ->
+      advance st;
+      Rp4.Ast.E_const (v, Some w)
+    | _ -> Rp4.Ast.E_const (int_lit st, None))
+  | L.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st L.RPAREN;
+    e
+  | L.IDENT ("hdr" | "meta" | "standard_metadata") -> Rp4.Ast.E_field (field_ref st)
+  | L.IDENT _ -> Rp4.Ast.E_param (ident st)
+  | other -> error "line %d: expected expression, found %s" (line st) (L.token_to_string other)
+
+and expr st : Rp4.Ast.expr =
+  let lhs = primary st in
+  let rec loop lhs =
+    match peek st with
+    | L.PLUS ->
+      advance st;
+      loop (Rp4.Ast.E_binop (Rp4.Ast.Add, lhs, primary st))
+    | L.MINUS ->
+      advance st;
+      loop (Rp4.Ast.E_binop (Rp4.Ast.Sub, lhs, primary st))
+    | L.AMP ->
+      advance st;
+      loop (Rp4.Ast.E_binop (Rp4.Ast.Band, lhs, primary st))
+    | L.PIPE ->
+      advance st;
+      loop (Rp4.Ast.E_binop (Rp4.Ast.Bor, lhs, primary st))
+    | L.CARET ->
+      advance st;
+      loop (Rp4.Ast.E_binop (Rp4.Ast.Bxor, lhs, primary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+let rec cond st : Rp4.Ast.cond =
+  let lhs = cond_and st in
+  if accept st L.OROR then Rp4.Ast.C_or (lhs, cond st) else lhs
+
+and cond_and st =
+  let lhs = cond_not st in
+  if accept st L.ANDAND then Rp4.Ast.C_and (lhs, cond_and st) else lhs
+
+and cond_not st = if accept st L.BANG then Rp4.Ast.C_not (cond_not st) else cond_atom st
+
+and cond_atom st =
+  (* hdr.X.isValid() *)
+  match (peek st, peek_ahead st 1, peek_ahead st 2, peek_ahead st 3, peek_ahead st 4) with
+  | L.IDENT "hdr", L.DOT, L.IDENT h, L.DOT, L.IDENT "isValid" ->
+    advance st;
+    advance st;
+    advance st;
+    advance st;
+    advance st;
+    expect st L.LPAREN;
+    expect st L.RPAREN;
+    Rp4.Ast.C_valid h
+  | L.LPAREN, _, _, _, _ ->
+    let save = st.pos in
+    (try
+       advance st;
+       let c = cond st in
+       expect st L.RPAREN;
+       c
+     with Error _ ->
+       st.pos <- save;
+       rel st)
+  | _ -> rel st
+
+and rel st =
+  let lhs = expr st in
+  let op =
+    match peek st with
+    | L.EQEQ -> Rp4.Ast.Eq
+    | L.NEQ -> Rp4.Ast.Neq
+    | L.LT -> Rp4.Ast.Lt
+    | L.GT -> Rp4.Ast.Gt
+    | L.LE -> Rp4.Ast.Le
+    | L.GE -> Rp4.Ast.Ge
+    | other -> error "line %d: expected relational operator, found %s" (line st) (L.token_to_string other)
+  in
+  advance st;
+  Rp4.Ast.C_rel (op, lhs, expr st)
+
+(* --- declarations -------------------------------------------------------- *)
+
+let header_type st : Ast.header_type =
+  (* "header" consumed by caller *)
+  let name = ident st in
+  expect st L.LBRACE;
+  let fields = ref [] in
+  while peek st <> L.RBRACE do
+    match type_width st with
+    | Some w ->
+      let f = ident st in
+      expect st L.SEMI;
+      fields := { Ast.f_name = f; f_width = w } :: !fields
+    | None -> error "line %d: non-bit field in header %s" (line st) name
+  done;
+  expect st L.RBRACE;
+  { Ast.ht_name = name; ht_fields = List.rev !fields }
+
+(* struct <name> { ... }: "headers"-shaped structs carry instances,
+   "metadata"-shaped structs carry bit fields. *)
+type struct_kind = S_instances of Ast.instance list | S_fields of Ast.field list
+
+let struct_decl st =
+  let name = ident st in
+  expect st L.LBRACE;
+  let instances = ref [] and fields = ref [] in
+  while peek st <> L.RBRACE do
+    match peek st with
+    | L.IDENT "bit" ->
+      (match type_width st with
+      | Some w ->
+        let f = ident st in
+        expect st L.SEMI;
+        fields := { Ast.f_name = f; f_width = w } :: !fields
+      | None -> assert false)
+    | L.IDENT tname -> (
+      advance st;
+      match List.assoc_opt tname st.typedefs with
+      | Some w ->
+        let f = ident st in
+        expect st L.SEMI;
+        fields := { Ast.f_name = f; f_width = w } :: !fields
+      | None ->
+        let iname = ident st in
+        expect st L.SEMI;
+        instances := { Ast.i_name = iname; i_type = tname } :: !instances)
+    | other -> error "line %d: in struct %s: unexpected %s" (line st) name (L.token_to_string other)
+  done;
+  expect st L.RBRACE;
+  if !instances <> [] then (name, S_instances (List.rev !instances))
+  else (name, S_fields (List.rev !fields))
+
+let parser_state st : Ast.pstate =
+  (* "state" consumed *)
+  let name = ident st in
+  expect st L.LBRACE;
+  let extracts = ref [] and transition = ref (Ast.T_direct "accept") in
+  while peek st <> L.RBRACE do
+    match peek st with
+    | L.IDENT "packet" ->
+      advance st;
+      expect st L.DOT;
+      let m = ident st in
+      if m <> "extract" then error "line %d: unsupported packet method %s" (line st) m;
+      expect st L.LPAREN;
+      let _hdr = ident st in
+      expect st L.DOT;
+      let inst = ident st in
+      expect st L.RPAREN;
+      expect st L.SEMI;
+      extracts := inst :: !extracts
+    | L.IDENT "transition" -> (
+      advance st;
+      match peek st with
+      | L.IDENT "select" ->
+        advance st;
+        expect st L.LPAREN;
+        let fr = field_ref st in
+        expect st L.RPAREN;
+        expect st L.LBRACE;
+        let cases = ref [] and default = ref "accept" in
+        while peek st <> L.RBRACE do
+          (match peek st with
+          | L.IDENT "default" ->
+            advance st;
+            expect st L.COLON;
+            default := ident st
+          | _ ->
+            let tag = int_lit st in
+            expect st L.COLON;
+            let state' = ident st in
+            cases := { Ast.sc_tag = tag; sc_state = state' } :: !cases);
+          expect st L.SEMI
+        done;
+        expect st L.RBRACE;
+        transition := Ast.T_select (fr, List.rev !cases, !default)
+      | _ ->
+        let target = ident st in
+        expect st L.SEMI;
+        transition := Ast.T_direct target)
+    | other -> error "line %d: in state %s: unexpected %s" (line st) name (L.token_to_string other)
+  done;
+  expect st L.RBRACE;
+  { Ast.ps_name = name; ps_extracts = List.rev !extracts; ps_transition = !transition }
+
+let action_stmt st : Rp4.Ast.stmt =
+  match (peek st, peek_ahead st 1) with
+  | L.IDENT "mark_to_drop", L.LPAREN ->
+    advance st;
+    skip_parens st;
+    expect st L.SEMI;
+    Rp4.Ast.S_drop
+  | L.IDENT "mark_exceed", L.LPAREN ->
+    advance st;
+    expect st L.LPAREN;
+    let a = expr st in
+    expect st L.COMMA;
+    let b = expr st in
+    expect st L.RPAREN;
+    expect st L.SEMI;
+    Rp4.Ast.S_mark_exceed (a, b)
+  | _ ->
+    let fr = field_ref st in
+    expect st L.EQ;
+    let e = expr st in
+    expect st L.SEMI;
+    Rp4.Ast.S_assign (fr, e)
+
+let action_decl st : Ast.action_decl =
+  (* "action" consumed *)
+  let name = ident st in
+  expect st L.LPAREN;
+  let params = ref [] in
+  if peek st <> L.RPAREN then begin
+    let rec loop () =
+      (* optional direction keywords *)
+      (match peek st with
+      | L.IDENT ("in" | "out" | "inout") -> advance st
+      | _ -> ());
+      match type_width st with
+      | Some w ->
+        let p = ident st in
+        params := (p, w) :: !params;
+        if accept st L.COMMA then loop ()
+      | None -> error "line %d: non-bit action parameter" (line st)
+    in
+    loop ()
+  end;
+  expect st L.RPAREN;
+  expect st L.LBRACE;
+  let body = ref [] in
+  while peek st <> L.RBRACE do
+    body := action_stmt st :: !body
+  done;
+  expect st L.RBRACE;
+  { Ast.a_name = name; a_params = List.rev !params; a_body = List.rev !body }
+
+let table_decl st : Ast.table_decl =
+  (* "table" consumed *)
+  let name = ident st in
+  expect st L.LBRACE;
+  let key = ref [] and actions = ref [] and size = ref 1024 and default = ref None in
+  while peek st <> L.RBRACE do
+    match peek st with
+    | L.IDENT "key" ->
+      advance st;
+      expect st L.EQ;
+      expect st L.LBRACE;
+      while peek st <> L.RBRACE do
+        let fr = field_ref st in
+        expect st L.COLON;
+        let kind = Table.Key.match_kind_of_string (ident st) in
+        expect st L.SEMI;
+        key := (fr, kind) :: !key
+      done;
+      expect st L.RBRACE
+    | L.IDENT "actions" ->
+      advance st;
+      expect st L.EQ;
+      expect st L.LBRACE;
+      while peek st <> L.RBRACE do
+        actions := ident st :: !actions;
+        expect st L.SEMI
+      done;
+      expect st L.RBRACE
+    | L.IDENT "size" ->
+      advance st;
+      expect st L.EQ;
+      size := Int64.to_int (int_lit st);
+      expect st L.SEMI
+    | L.IDENT "default_action" ->
+      advance st;
+      expect st L.EQ;
+      let a = ident st in
+      if peek st = L.LPAREN then skip_parens st;
+      expect st L.SEMI;
+      default := Some a
+    | other -> error "line %d: in table %s: unexpected %s" (line st) name (L.token_to_string other)
+  done;
+  expect st L.RBRACE;
+  {
+    Ast.t_name = name;
+    t_key = List.rev !key;
+    t_actions = List.rev !actions;
+    t_size = !size;
+    t_default = !default;
+  }
+
+let rec apply_stmt st : Ast.apply_stmt =
+  match peek st with
+  | L.IDENT "if" ->
+    advance st;
+    expect st L.LPAREN;
+    let c = cond st in
+    expect st L.RPAREN;
+    let then_ = apply_block st in
+    let else_ = if accept st (L.IDENT "else") then apply_block st else [] in
+    Ast.A_if (c, then_, else_)
+  | L.IDENT _ ->
+    let t = ident st in
+    expect st L.DOT;
+    let m = ident st in
+    if m <> "apply" then error "line %d: unsupported call %s.%s" (line st) t m;
+    expect st L.LPAREN;
+    expect st L.RPAREN;
+    expect st L.SEMI;
+    Ast.A_apply t
+  | other -> error "line %d: in apply: unexpected %s" (line st) (L.token_to_string other)
+
+and apply_block st : Ast.apply_stmt list =
+  if accept st L.LBRACE then begin
+    let stmts = ref [] in
+    while peek st <> L.RBRACE do
+      stmts := apply_stmt st :: !stmts
+    done;
+    expect st L.RBRACE;
+    List.rev !stmts
+  end
+  else [ apply_stmt st ]
+
+(* --- top level ------------------------------------------------------------ *)
+
+let strip_preprocessor src =
+  String.split_on_char '\n' src
+  |> List.map (fun l ->
+         let t = String.trim l in
+         if String.length t > 0 && t.[0] = '#' then "" else l)
+  |> String.concat "\n"
+
+let parse_string src : Ast.program =
+  let toks = L.tokenize (strip_preprocessor src) in
+  let st = { toks; pos = 0; typedefs = [] } in
+  let header_types = ref [] in
+  let instances = ref [] in
+  let metadata = ref [] in
+  let states = ref [] in
+  let actions = ref [] in
+  let tables = ref [] in
+  let apply = ref [] in
+  let rec top () =
+    match peek st with
+    | L.EOF -> ()
+    | L.IDENT "typedef" ->
+      advance st;
+      (match type_width st with
+      | Some w ->
+        let name = ident st in
+        expect st L.SEMI;
+        st.typedefs <- (name, w) :: st.typedefs
+      | None -> error "line %d: unsupported typedef" (line st));
+      top ()
+    | L.IDENT "header" ->
+      advance st;
+      header_types := header_type st :: !header_types;
+      top ()
+    | L.IDENT "struct" ->
+      advance st;
+      (match struct_decl st with
+      | _, S_instances is -> instances := !instances @ is
+      | name, S_fields fs ->
+        (* the metadata struct; "headers"-shaped empties are ignored *)
+        if fs <> [] || name = "metadata" then metadata := !metadata @ fs);
+      top ()
+    | L.IDENT "parser" ->
+      advance st;
+      let _name = ident st in
+      skip_parens st;
+      expect st L.LBRACE;
+      while peek st <> L.RBRACE do
+        match peek st with
+        | L.IDENT "state" ->
+          advance st;
+          states := parser_state st :: !states
+        | other -> error "line %d: in parser: unexpected %s" (line st) (L.token_to_string other)
+      done;
+      expect st L.RBRACE;
+      top ()
+    | L.IDENT "control" ->
+      advance st;
+      let _name = ident st in
+      skip_parens st;
+      expect st L.LBRACE;
+      while peek st <> L.RBRACE do
+        match peek st with
+        | L.IDENT "action" ->
+          advance st;
+          actions := action_decl st :: !actions
+        | L.IDENT "table" ->
+          advance st;
+          tables := table_decl st :: !tables
+        | L.IDENT "apply" ->
+          advance st;
+          apply := !apply @ apply_block st
+        | other -> error "line %d: in control: unexpected %s" (line st) (L.token_to_string other)
+      done;
+      expect st L.RBRACE;
+      top ()
+    | L.IDENT "V1Switch" ->
+      (* V1Switch(MyParser(), MyIngress(), ...) main; *)
+      advance st;
+      skip_parens st;
+      let _ = ident st in
+      ignore (accept st L.SEMI);
+      top ()
+    | other -> error "line %d: unexpected %s at top level" (line st) (L.token_to_string other)
+  in
+  top ();
+  {
+    Ast.header_types = List.rev !header_types;
+    instances = !instances;
+    metadata = !metadata;
+    states = List.rev !states;
+    actions = List.rev !actions;
+    tables = List.rev !tables;
+    apply = !apply;
+  }

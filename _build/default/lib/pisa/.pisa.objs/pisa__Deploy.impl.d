@@ -1,0 +1,1 @@
+lib/pisa/deploy.ml: Array Controller Device Hashtbl Ipsa List Option Rp4 Rp4bc

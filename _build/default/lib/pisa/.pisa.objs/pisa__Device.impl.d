@@ -1,0 +1,1 @@
+lib/pisa/device.ml: Array Hashtbl Ipsa List Net Printf Queue Table

@@ -1,0 +1,61 @@
+(* Deploying a compiled design onto the PISA baseline.
+
+   PISA consumes the same compiled design rp4bc produces (the match-action
+   semantics are architecture independent); what changes is the delivery:
+   the *whole* design is synthesised into one monolithic image and swapped
+   in, instead of patching individual TSPs. [full_image] builds that image
+   from a design; [install] performs the swap (losing all table state). *)
+
+let templates_of_design (design : Rp4bc.Design.t) : Ipsa.Template.t option array =
+  let layout = design.Rp4bc.Design.layout in
+  Array.init layout.Rp4bc.Layout.ntsps (fun i ->
+      Option.map
+        (fun g -> Rp4bc.Compile.template_of_group design.Rp4bc.Design.env g)
+        (Rp4bc.Layout.group_at layout i))
+
+let headers_of_design (design : Rp4bc.Design.t) =
+  List.map Rp4bc.Compile.hdrdef_of_decl design.Rp4bc.Design.prog.Rp4.Ast.headers
+
+let meta_of_design (design : Rp4bc.Design.t) =
+  Hashtbl.fold
+    (fun n w acc -> (n, w) :: acc)
+    design.Rp4bc.Design.env.Rp4.Semantic.meta_widths []
+
+(* Full-image install: wipes the device and loads the design. Returns the
+   reload report; the caller is responsible for repopulating *all* tables
+   afterwards (the cost Table 1's discussion points out). *)
+let install (device : Device.t) (design : Rp4bc.Design.t) :
+    (Device.reload_report, string) result =
+  let first =
+    match design.Rp4bc.Design.prog.Rp4.Ast.headers with
+    | h :: _ -> Some h.Rp4.Ast.hd_name
+    | [] -> None
+  in
+  Device.reload device
+    ~registry_headers:(headers_of_design design)
+    ~first_header:first
+    ~links:(Rp4bc.Compile.links_of_prog design.Rp4bc.Design.prog)
+    ~meta:(meta_of_design design)
+    ~templates:(templates_of_design design)
+
+(* Replay a population script (the same text the ipbm controller runs)
+   against the PISA device's local tables. *)
+let populate (device : Device.t) (design : Rp4bc.Design.t) script :
+    (int, string) result =
+  let apis = Controller.Runtime.of_design design in
+  let cmds = Controller.Command.parse_script script in
+  let rec go n = function
+    | [] ->
+      Device.note_repopulated device n;
+      Ok n
+    | Controller.Command.Table_add { table; action; keys; args } :: rest -> (
+      match
+        Controller.Runtime.table_add_with
+          ~lookup:(Device.find_table device)
+          ~apis ~table ~action ~keys ~args
+      with
+      | Ok () -> go (n + 1) rest
+      | Error e -> Error e)
+    | _ :: rest -> go n rest
+  in
+  go 0 cmds

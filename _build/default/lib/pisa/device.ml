@@ -1,0 +1,234 @@
+(* PISA baseline behavioral model (the bmv2 counterpart of Table 1).
+
+   The contrast with ipbm is architectural, not semantic — packets are
+   transformed by the same interpreter. What differs:
+
+   - a standalone *front parser* extracts every header on the packet's
+     parse path before the pipeline (Sec. 2.1: parsing entangled with
+     processing);
+   - a *fixed* pipeline of stage processors with *per-stage local memory*
+     (Sec. 2.4): tables live inside the stage, no pool, no crossbar;
+   - no runtime patching: any functional change requires [reload] — swap
+     the whole design in, losing all table state (the controller must
+     repopulate every table afterwards) and dropping packets that arrive
+     during the swap window. *)
+
+type stats = {
+  mutable injected : int;
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable dropped_during_reload : int;
+  mutable reloads : int;
+  mutable entries_repopulated : int;
+  mutable total_cycles : int;
+}
+
+type stage = {
+  id : int;
+  mutable template : Ipsa.Template.t option;
+  tables : (string, Table.t) Hashtbl.t; (* stage-local memory *)
+}
+
+type t = {
+  registry : Net.Hdrdef.registry;
+  meta_decl : (string, int) Hashtbl.t;
+  stages : stage array;
+  nports : int;
+  outputs : Net.Packet.t Queue.t array;
+  cycles_cfg : Ipsa.Cycles.t;
+  mutable reloading : bool;
+  stats : stats;
+}
+
+(* PISA stages read local SRAM: one access regardless of entry width, and
+   there is no per-packet template fetch. *)
+let pisa_cycles =
+  {
+    Ipsa.Cycles.default with
+    Ipsa.Cycles.bus_width_bits = 1 lsl 20;
+    template_fetch = 0;
+  }
+
+let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles) () =
+  {
+    registry = Net.Hdrdef.create_registry ();
+    meta_decl = Hashtbl.create 16;
+    stages = Array.init nstages (fun id -> { id; template = None; tables = Hashtbl.create 4 });
+    nports;
+    outputs = Array.init nports (fun _ -> Queue.create ());
+    cycles_cfg;
+    reloading = false;
+    stats =
+      {
+        injected = 0;
+        forwarded = 0;
+        dropped = 0;
+        dropped_during_reload = 0;
+        reloads = 0;
+        entries_repopulated = 0;
+        total_cycles = 0;
+      };
+  }
+
+let stats t = t.stats
+let nstages t = Array.length t.stages
+
+let find_table t name =
+  Array.fold_left
+    (fun acc stage ->
+      match acc with Some _ -> acc | None -> Hashtbl.find_opt stage.tables name)
+    None t.stages
+
+let table_names t =
+  Array.to_list t.stages
+  |> List.concat_map (fun s -> Hashtbl.fold (fun k _ acc -> k :: acc) s.tables [])
+
+(* ------------------------------------------------------------------ *)
+(* Reload: the only way to change a PISA design                        *)
+(* ------------------------------------------------------------------ *)
+
+type reload_report = {
+  rr_templates : int;
+  rr_tables : int;
+  rr_config_bytes : int; (* full design volume, not a diff *)
+}
+
+(* Install a full design: one template (merged stage group) per physical
+   stage, tables recreated empty in the hosting stage's local memory. *)
+let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
+    ~(links : (string * int64 * string) list) ~(meta : (string * int) list)
+    ~(templates : Ipsa.Template.t option array) : (reload_report, string) result =
+  if Array.length templates > Array.length t.stages then
+    Error
+      (Printf.sprintf "design needs %d stages, device has %d" (Array.length templates)
+         (Array.length t.stages))
+  else begin
+    t.stats.reloads <- t.stats.reloads + 1;
+    (* wipe everything: headers, metadata, templates, tables *)
+    Hashtbl.reset t.meta_decl;
+    List.iter (fun (n, w) -> Hashtbl.replace t.meta_decl n w) meta;
+    let fresh = Net.Hdrdef.create_registry () in
+    List.iter (Net.Hdrdef.add_def fresh) registry_headers;
+    (match first_header with
+    | Some h -> Net.Hdrdef.set_first fresh h
+    | None -> ());
+    List.iter
+      (fun (pre, tag, next) ->
+        Net.Hdrdef.link fresh ~pre ~tag:(Net.Bits.of_int64 ~width:64 tag) ~next)
+      links;
+    (* replace registry contents in place *)
+    Hashtbl.reset t.registry.Net.Hdrdef.defs;
+    Hashtbl.iter (Hashtbl.replace t.registry.Net.Hdrdef.defs) fresh.Net.Hdrdef.defs;
+    t.registry.Net.Hdrdef.links <- fresh.Net.Hdrdef.links;
+    t.registry.Net.Hdrdef.first <- fresh.Net.Hdrdef.first;
+    let total_tables = ref 0 and bytes = ref 0 in
+    Array.iteri
+      (fun i stage ->
+        Hashtbl.reset stage.tables;
+        let tmpl = if i < Array.length templates then templates.(i) else None in
+        stage.template <- tmpl;
+        match tmpl with
+        | None -> ()
+        | Some tm ->
+          bytes := !bytes + Ipsa.Template.byte_size tm;
+          List.iter
+            (fun (ct : Ipsa.Template.compiled_table) ->
+              incr total_tables;
+              Hashtbl.replace stage.tables ct.Ipsa.Template.ct_name
+                (Table.create
+                   {
+                     Table.name = ct.Ipsa.Template.ct_name;
+                     fields = ct.Ipsa.Template.ct_fields;
+                     size = ct.Ipsa.Template.ct_size;
+                   }))
+            (Ipsa.Template.tables tm))
+      t.stages;
+    Ok
+      {
+        rr_templates =
+          Array.fold_left (fun n s -> if s.template = None then n else n + 1) 0 t.stages;
+        rr_tables = !total_tables;
+        rr_config_bytes = !bytes;
+      }
+  end
+
+(* The reload window: packets injected between [begin_reload] and
+   [end_reload] are lost — PISA's in-service downtime. *)
+let begin_reload t = t.reloading <- true
+let end_reload t = t.reloading <- false
+
+let note_repopulated t n = t.stats.entries_repopulated <- t.stats.entries_repopulated + n
+
+(* ------------------------------------------------------------------ *)
+(* Packet processing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Front parser: eagerly extract the full header chain. *)
+let front_parse t (ctx : Ipsa.Context.t) =
+  match t.registry.Net.Hdrdef.first with
+  | None -> ()
+  | Some _first ->
+    (* Walk as deep as the packet allows: request every defined header so
+       the chain is followed to its end, as a PISA front parser would. *)
+    List.iter
+      (fun (def : Net.Hdrdef.t) ->
+        ignore (Ipsa.Parse_engine.ensure_parsed ctx t.registry def.Net.Hdrdef.name))
+      (Net.Hdrdef.defs t.registry);
+    Ipsa.Context.add_cycles ctx
+      (ctx.Ipsa.Context.parse_attempts * t.cycles_cfg.Ipsa.Cycles.parse_per_header)
+
+let env_for_stage t (stage : stage) : Ipsa.Tsp.env =
+  {
+    Ipsa.Tsp.registry = t.registry;
+    find_table = (fun ~tsp:_ name -> Hashtbl.find_opt stage.tables name);
+    cycles_cfg = t.cycles_cfg;
+  }
+
+let inject t pkt =
+  t.stats.injected <- t.stats.injected + 1;
+  if t.reloading then begin
+    (* hard downtime: the pipeline is being swapped *)
+    t.stats.dropped <- t.stats.dropped + 1;
+    t.stats.dropped_during_reload <- t.stats.dropped_during_reload + 1;
+    Net.Packet.drop pkt;
+    None
+  end
+  else begin
+    let ctx = Ipsa.Context.create pkt in
+    Hashtbl.iter (fun n w -> Net.Meta.declare ctx.Ipsa.Context.meta n w) t.meta_decl;
+    front_parse t ctx;
+    Array.iter
+      (fun stage ->
+        if not (Ipsa.Context.dropped ctx) then
+          match stage.template with
+          | Some tmpl ->
+            let env = env_for_stage t stage in
+            let slot = Ipsa.Tsp.make stage.id in
+            slot.Ipsa.Tsp.template <- Some tmpl;
+            slot.Ipsa.Tsp.powered <- true;
+            (* run the stage body directly: no per-packet template fetch *)
+            List.iter
+              (fun cs ->
+                if not (Ipsa.Context.dropped ctx) then Ipsa.Tsp.run_stage env slot ctx cs)
+              tmpl.Ipsa.Template.stages
+          | None -> ())
+      t.stages;
+    Ipsa.Context.finalize ctx;
+    t.stats.total_cycles <- t.stats.total_cycles + ctx.Ipsa.Context.cycles;
+    if Ipsa.Context.dropped ctx then begin
+      t.stats.dropped <- t.stats.dropped + 1;
+      None
+    end
+    else begin
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      let port = Net.Meta.get_int ctx.Ipsa.Context.meta "out_port" mod t.nports in
+      Queue.add ctx.Ipsa.Context.pkt t.outputs.(port);
+      Some (port, ctx)
+    end
+  end
+
+let collect t port =
+  let q = t.outputs.(port) in
+  let out = List.of_seq (Queue.to_seq q) in
+  Queue.clear q;
+  out

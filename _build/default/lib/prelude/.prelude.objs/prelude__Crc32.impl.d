@@ -1,0 +1,1 @@
+lib/prelude/crc32.ml: Array Char Int32 String

@@ -1,0 +1,1 @@
+lib/prelude/crc32.mli:

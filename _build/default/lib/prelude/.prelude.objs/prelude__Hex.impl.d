@@ -1,0 +1,1 @@
+lib/prelude/hex.ml: Array Buffer Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/prelude/hex.mli: Bytes

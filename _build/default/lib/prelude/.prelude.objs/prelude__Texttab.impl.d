@@ -1,0 +1,1 @@
+lib/prelude/texttab.ml: Array Buffer List Printf String

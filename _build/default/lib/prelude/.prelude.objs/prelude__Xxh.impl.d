@@ -1,0 +1,1 @@
+lib/prelude/xxh.ml: Char Int64 String

@@ -1,0 +1,34 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected).
+
+   Used as one of the flow hash functions for ECMP member selection; the
+   table is generated once at module initialisation. *)
+
+let table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      if Int32.logand !c 1l <> 0l then
+        c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+      else c := Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let update crc s =
+  let crc = ref (Int32.lognot crc) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.lognot !crc
+
+let digest s = update 0l s
+
+(* CRC folded to a non-negative OCaml int, convenient for modular bucket
+   selection. *)
+let digest_int s = Int32.to_int (digest s) land 0x3FFFFFFF

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected) — one of the two flow-hash
+    families used for ECMP member selection. *)
+
+val update : int32 -> string -> int32
+(** [update crc s] continues a running CRC over [s]. *)
+
+val digest : string -> int32
+(** [digest s] = [update 0l s]; matches the standard test vectors
+    (e.g. [digest "123456789" = 0xCBF43926l]). *)
+
+val digest_int : string -> int
+(** The CRC folded to a non-negative OCaml [int], convenient for modular
+    bucket selection. *)

@@ -1,0 +1,52 @@
+(* Hexadecimal encoding helpers shared by packet dumps and debug output. *)
+
+let of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_bytes b = of_string (Bytes.to_string b)
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hex.nibble: invalid hex digit %C" c)
+
+(* Inverse of [of_string]; ignores single spaces between byte pairs so that
+   test vectors can be written readably. *)
+let to_string s =
+  let digits = ref [] in
+  String.iter
+    (fun c -> if c <> ' ' && c <> '\n' then digits := c :: !digits)
+    s;
+  let digits = Array.of_list (List.rev !digits) in
+  if Array.length digits mod 2 <> 0 then invalid_arg "Hex.to_string: odd digit count";
+  String.init (Array.length digits / 2) (fun i ->
+      Char.chr ((nibble digits.(2 * i) lsl 4) lor nibble digits.((2 * i) + 1)))
+
+(* Classic 16-bytes-per-line hex dump with an ASCII gutter. *)
+let dump s =
+  let buf = Buffer.create (String.length s * 4) in
+  let n = String.length s in
+  let rec line off =
+    if off < n then begin
+      Buffer.add_string buf (Printf.sprintf "%04x  " off);
+      for i = 0 to 15 do
+        if off + i < n then
+          Buffer.add_string buf (Printf.sprintf "%02x " (Char.code s.[off + i]))
+        else Buffer.add_string buf "   ";
+        if i = 7 then Buffer.add_char buf ' '
+      done;
+      Buffer.add_string buf " |";
+      for i = 0 to min 15 (n - off - 1) do
+        let c = s.[off + i] in
+        Buffer.add_char buf (if Char.code c >= 0x20 && Char.code c < 0x7F then c else '.')
+      done;
+      Buffer.add_string buf "|\n";
+      line (off + 16)
+    end
+  in
+  line 0;
+  Buffer.contents buf

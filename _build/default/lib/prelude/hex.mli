@@ -1,0 +1,17 @@
+(** Hexadecimal encoding helpers for packet dumps and debug output. *)
+
+val of_string : string -> string
+(** Raw bytes to lowercase hex digits. *)
+
+val of_bytes : Bytes.t -> string
+
+val to_string : string -> string
+(** Inverse of {!of_string}; single spaces and newlines between byte
+    pairs are ignored so test vectors can be written readably.
+    @raise Invalid_argument on odd digit counts or non-hex characters. *)
+
+val nibble : char -> int
+(** Value of one hex digit. @raise Invalid_argument otherwise. *)
+
+val dump : string -> string
+(** Classic 16-bytes-per-line hex dump with an ASCII gutter. *)

@@ -1,0 +1,319 @@
+(* Minimal self-contained JSON implementation.
+
+   The sealed build environment has no yojson, and the rP4 tool-chain only
+   needs JSON for TSP template parameters and device configuration files
+   (the same role the paper assigns to rp4bc's JSON output), so a small
+   hand-rolled value type with an emitter and a recursive-descent parser is
+   sufficient and keeps the dependency footprint at zero. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_buf buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        emit_buf buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  emit_buf buf t;
+  Buffer.contents buf
+
+let rec pp_indented buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> emit_buf buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        pp_indented buf (indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\": ";
+        pp_indented buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_char buf '}'
+
+let to_string_pretty t =
+  let buf = Buffer.create 512 in
+  pp_indented buf 0 t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c = c' -> advance st
+  | Some c' -> parse_error "expected '%c' at offset %d, found '%c'" c st.pos c'
+  | None -> parse_error "expected '%c' at offset %d, found end of input" c st.pos
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = lit then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" st.pos
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> parse_error "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        (* Decode \uXXXX as a raw byte when < 0x100; the tool-chain only
+           produces ASCII, so surrogate pairs are not supported. *)
+        if st.pos + 4 >= String.length st.src then parse_error "truncated \\u escape";
+        let hex = String.sub st.src (st.pos + 1) 4 in
+        let code = int_of_string ("0x" ^ hex) in
+        if code < 0x100 then Buffer.add_char buf (Char.chr code)
+        else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+        st.pos <- st.pos + 4
+      | Some c -> parse_error "invalid escape '\\%c'" c
+      | None -> parse_error "unterminated escape");
+      advance st;
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec loop () =
+    match peek st with
+    | Some c when is_num_char c ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_error "invalid number %S at offset %d" text start)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_error "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' ->
+    advance st;
+    String (parse_string_body st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value st ] in
+      skip_ws st;
+      let rec loop () =
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items := parse_value st :: !items;
+          skip_ws st;
+          loop ()
+        | Some ']' -> advance st
+        | _ -> parse_error "expected ',' or ']' at offset %d" st.pos
+      in
+      loop ();
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let parse_field () =
+        skip_ws st;
+        expect st '"';
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (key, v)
+      in
+      let fields = ref [ parse_field () ] in
+      skip_ws st;
+      let rec loop () =
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields := parse_field () :: !fields;
+          skip_ws st;
+          loop ()
+        | Some '}' -> advance st
+        | _ -> parse_error "expected ',' or '}' at offset %d" st.pos
+      in
+      loop ();
+      Obj (List.rev !fields)
+    end
+  | Some c -> parse_number st |> fun v -> ignore c; v
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then
+    parse_error "trailing garbage at offset %d" st.pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let member_exn key json =
+  match member key json with
+  | Some v -> v
+  | None -> parse_error "missing field %S" key
+
+let to_int = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | _ -> parse_error "expected int"
+
+let to_str = function
+  | String s -> s
+  | _ -> parse_error "expected string"
+
+let to_list = function
+  | List items -> items
+  | _ -> parse_error "expected list"
+
+let to_bool = function
+  | Bool b -> b
+  | _ -> parse_error "expected bool"
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> parse_error "expected float"
+
+let equal = ( = )

@@ -1,0 +1,52 @@
+(** Minimal self-contained JSON: the wire format of rp4bc's TSP templates
+    and device configuration (the role the paper assigns to its JSON
+    output), implemented in-tree because the sealed build environment has
+    no yojson. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** {1 Emission} *)
+
+val to_string : t -> string
+(** Compact single-line encoding with full string escaping. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented encoding; parses back to the same value. *)
+
+(** {1 Parsing} *)
+
+val of_string : string -> t
+(** Recursive-descent parser.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+(** {1 Accessors}
+
+    The [to_*] accessors raise {!Parse_error} on a type mismatch, so
+    decoding code reads linearly. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val member_exn : string -> t -> t
+(** @raise Parse_error when the field is missing. *)
+
+val to_int : t -> int
+(** Also accepts integral floats. *)
+
+val to_str : t -> string
+val to_list : t -> t list
+val to_bool : t -> bool
+
+val to_float : t -> float
+(** Also accepts ints. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,58 @@
+(* Deterministic pseudo-random number generation (splitmix64).
+
+   Benchmarks and property tests need reproducible workloads across runs
+   and machines, so the tool-chain never touches [Random]: every random
+   stream is a seeded splitmix64 generator. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: Sebastiano Vigna's reference constants. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). The masked conversion keeps the value in
+   OCaml's 63-bit non-negative range. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bits /. 9007199254740992.0
+
+(* Random byte string of length [n]. *)
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set_uint8 b i (int t 256)
+  done;
+  Bytes.unsafe_to_string b
+
+let int32 t = Int64.to_int32 (next_int64 t)
+
+(* Pick a uniformly random element of a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(* In-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Benchmarks and property tests need workloads that are reproducible
+    across runs and machines, so the tool-chain never touches [Random]:
+    every random stream is a seeded generator of this type. *)
+
+type t
+
+val create : int -> t
+(** [create seed] starts a stream; equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** An independent generator continuing from the same state. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit splitmix64 step. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)], 53 bits of precision. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte random string. *)
+
+val int32 : t -> int32
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,45 @@
+(* Plain-text table rendering for the benchmark harness.
+
+   Every experiment in the harness prints its result in the same row/column
+   shape as the corresponding table or figure in the paper; this module
+   renders those rows with aligned columns. *)
+
+type align = Left | Right
+
+let render ?(aligns = [||]) ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let align i = if i < Array.length aligns then aligns.(i) else Left in
+  let pad i cell =
+    let w = widths.(i) in
+    let gap = w - String.length cell in
+    match align i with
+    | Left -> cell ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ cell
+  in
+  let buf = Buffer.create 256 in
+  let sep () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let row_line row =
+    let cells = Array.make ncols "" in
+    List.iteri (fun i c -> if i < ncols then cells.(i) <- c) row;
+    Array.iteri
+      (fun i cell -> Buffer.add_string buf (Printf.sprintf "| %s " (pad i cell)))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  sep ();
+  row_line header;
+  sep ();
+  List.iter row_line rows;
+  sep ();
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

@@ -1,0 +1,12 @@
+(** Plain-text table rendering for the benchmark harness: every
+    experiment prints its result in the same row/column shape as the
+    corresponding table or figure of the paper. *)
+
+type align = Left | Right
+
+val render : ?aligns:align array -> header:string list -> string list list -> string
+(** [render ~header rows] draws an ASCII box table with aligned columns;
+    rows shorter than the widest row are padded with empty cells. *)
+
+val print : ?aligns:align array -> header:string list -> string list list -> unit
+(** [render] straight to stdout. *)

@@ -1,0 +1,19 @@
+(* FNV-1a 64-bit hash.
+
+   A second, independent hash family next to CRC-32 so that ECMP hashing
+   and flow-probe bucketing do not collide systematically on the same
+   inputs. *)
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let digest64 ?(seed = 0L) s =
+  let h = ref (Int64.logxor fnv_offset seed) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let digest_int ?seed s = Int64.to_int (digest64 ?seed s) land max_int

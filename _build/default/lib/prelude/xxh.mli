@@ -1,0 +1,8 @@
+(** FNV-1a 64-bit hashing — a second, independent hash family next to
+    CRC-32 so ECMP hashing and flow-probe bucketing do not collide
+    systematically on the same inputs. *)
+
+val digest64 : ?seed:int64 -> string -> int64
+
+val digest_int : ?seed:int64 -> string -> int
+(** Folded to a non-negative OCaml [int]. *)

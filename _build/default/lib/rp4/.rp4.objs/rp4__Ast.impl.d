@@ -1,0 +1,1 @@
+lib/rp4/ast.ml: List Table

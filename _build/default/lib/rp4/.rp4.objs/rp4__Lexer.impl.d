@@ -1,0 +1,1 @@
+lib/rp4/lexer.ml: Array Buffer Format Int64 List Printf String

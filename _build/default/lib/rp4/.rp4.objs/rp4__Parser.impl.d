@@ -1,0 +1,1 @@
+lib/rp4/parser.ml: Array Ast Format Int64 Lexer List Table

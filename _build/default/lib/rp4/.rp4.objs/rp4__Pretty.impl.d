@@ -1,0 +1,1 @@
+lib/rp4/pretty.ml: Ast Buffer Int64 List Printf String Table

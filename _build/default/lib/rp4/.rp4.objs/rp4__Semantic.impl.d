@@ -1,0 +1,1 @@
+lib/rp4/semantic.ml: Ast Hashtbl Int64 List Net Printf Table

@@ -1,0 +1,219 @@
+(* Abstract syntax of rP4 (Fig. 2 of the paper).
+
+   An rP4 program is stage oriented: headers carry *implicit parsers*
+   (field-driven next-header dispatch), and the ingress/egress pipes are
+   sequences of stages, each a parser–matcher–executor triad. [user_funcs]
+   groups stages into named, loadable functions — the unit of in-situ
+   insertion and removal.
+
+   Incremental-update snippets (e.g. Fig. 5(a)) are also programs: they
+   carry only the new tables/actions/stages, and name resolution happens
+   against the base design at load time. *)
+
+type width = int
+
+type field_ref =
+  | Hdr_field of string * string (* ethernet.dst_addr *)
+  | Meta_field of string (* meta.nexthop *)
+
+let field_ref_to_string = function
+  | Hdr_field (h, f) -> h ^ "." ^ f
+  | Meta_field f -> "meta." ^ f
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and conditions                                          *)
+(* ------------------------------------------------------------------ *)
+
+type binop = Add | Sub | Band | Bor | Bxor
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+
+type expr =
+  | E_const of int64 * width option (* value, optional explicit width *)
+  | E_field of field_ref
+  | E_param of string (* action parameter *)
+  | E_binop of binop * expr * expr
+
+type relop = Eq | Neq | Lt | Gt | Le | Ge
+
+let relop_to_string = function
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+type cond =
+  | C_valid of string (* hdr.isValid() *)
+  | C_rel of relop * expr * expr
+  | C_not of cond
+  | C_and of cond * cond
+  | C_or of cond * cond
+  | C_true
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type field_decl = { fd_name : string; fd_width : width }
+
+(* implicit parser(sel_fields) { tag : next_header; ... } *)
+type implicit_parser = {
+  ip_sel : string list;
+  ip_cases : (int64 * string) list;
+}
+
+type header_decl = {
+  hd_name : string;
+  hd_fields : field_decl list;
+  hd_parser : implicit_parser option;
+}
+
+type struct_decl = {
+  sd_name : string;
+  sd_members : field_decl list;
+  sd_alias : string option; (* instance alias, e.g. "meta" *)
+}
+
+(* Action bodies are straight-line primitive sequences, as in P4. The two
+   externs beyond assignment cover the paper's use cases: [mark_exceed]
+   backs the event-triggered flow probe (C3) and [drop]/[mark]/[noop] are
+   the intrinsic primitives. *)
+type stmt =
+  | S_assign of field_ref * expr
+  | S_drop
+  | S_mark of expr
+  | S_noop
+  | S_set_valid of string
+  | S_set_invalid of string
+  (* mark_exceed(threshold, value): if the matched entry's hit counter
+     exceeds [threshold], set meta.mark to [value]. *)
+  | S_mark_exceed of expr * expr
+
+type action_decl = {
+  ad_name : string;
+  ad_params : (string * width) list;
+  ad_body : stmt list;
+}
+
+type table_decl = {
+  td_name : string;
+  td_key : (field_ref * Table.Key.match_kind) list;
+  td_size : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stages                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type matcher =
+  | M_apply of string (* table.apply() *)
+  | M_if of cond * matcher * matcher
+  | M_seq of matcher list
+  | M_nop
+
+(* executor { tag : actions; ...; default : actions } *)
+type executor = {
+  ex_cases : (int * string list) list;
+  ex_default : string list;
+}
+
+type stage_decl = {
+  st_name : string;
+  st_parser : string list; (* header instances this stage may parse *)
+  st_matcher : matcher;
+  st_executor : executor;
+}
+
+type func_decl = { fn_name : string; fn_stages : string list }
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type program = {
+  headers : header_decl list;
+  structs : struct_decl list;
+  actions : action_decl list;
+  tables : table_decl list;
+  ingress : stage_decl list;
+  egress : stage_decl list;
+  (* Stages declared outside a control block — update snippets. *)
+  loose_stages : stage_decl list;
+  funcs : func_decl list;
+  ingress_entry : string option;
+  egress_entry : string option;
+}
+
+let empty_program =
+  {
+    headers = [];
+    structs = [];
+    actions = [];
+    tables = [];
+    ingress = [];
+    egress = [];
+    loose_stages = [];
+    funcs = [];
+    ingress_entry = None;
+    egress_entry = None;
+  }
+
+let all_stages p = p.ingress @ p.egress @ p.loose_stages
+
+let find_stage p name = List.find_opt (fun s -> s.st_name = name) (all_stages p)
+let find_table p name = List.find_opt (fun t -> t.td_name = name) p.tables
+let find_action p name = List.find_opt (fun a -> a.ad_name = name) p.actions
+let find_header p name = List.find_opt (fun h -> h.hd_name = name) p.headers
+let find_func p name = List.find_opt (fun f -> f.fn_name = name) p.funcs
+
+(* Tables applied by a matcher, in order of appearance. *)
+let rec matcher_tables = function
+  | M_apply t -> [ t ]
+  | M_if (_, a, b) -> matcher_tables a @ matcher_tables b
+  | M_seq ms -> List.concat_map matcher_tables ms
+  | M_nop -> []
+
+(* Header instances a condition inspects. *)
+let rec cond_headers = function
+  | C_valid h -> [ h ]
+  | C_rel (_, a, b) -> expr_headers a @ expr_headers b
+  | C_not c -> cond_headers c
+  | C_and (a, b) | C_or (a, b) -> cond_headers a @ cond_headers b
+  | C_true -> []
+
+and expr_headers = function
+  | E_const _ | E_param _ -> []
+  | E_field (Hdr_field (h, _)) -> [ h ]
+  | E_field (Meta_field _) -> []
+  | E_binop (_, a, b) -> expr_headers a @ expr_headers b
+
+(* Field references read by an expression / condition. *)
+let rec expr_reads = function
+  | E_const _ | E_param _ -> []
+  | E_field fr -> [ fr ]
+  | E_binop (_, a, b) -> expr_reads a @ expr_reads b
+
+let rec cond_reads = function
+  | C_valid _ | C_true -> []
+  | C_rel (_, a, b) -> expr_reads a @ expr_reads b
+  | C_not c -> cond_reads c
+  | C_and (a, b) | C_or (a, b) -> cond_reads a @ cond_reads b
+
+let stmt_reads = function
+  | S_assign (_, e) -> expr_reads e
+  | S_mark e -> expr_reads e
+  | S_mark_exceed (a, b) -> expr_reads a @ expr_reads b
+  | S_drop | S_noop | S_set_valid _ | S_set_invalid _ -> []
+
+let stmt_writes = function
+  | S_assign (fr, _) -> [ fr ]
+  | S_mark _ | S_mark_exceed _ -> [ Meta_field "mark" ]
+  | S_drop -> [ Meta_field "drop" ]
+  | S_noop | S_set_valid _ | S_set_invalid _ -> []

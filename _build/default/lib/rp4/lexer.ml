@@ -1,0 +1,246 @@
+(* Hand-written lexer shared by the rP4 and P4-subset front ends.
+
+   Produces located tokens; `//` and `/* */` comments are skipped. Integer
+   literals may be decimal, hexadecimal (0x…), binary (0b…) or P4-style
+   width-annotated (`8w0x0800`). *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | WINT of int * int64 (* width-annotated literal: 8w255 *)
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQ (* = *)
+  | EQEQ (* == *)
+  | NEQ (* != *)
+  | COLON
+  | SEMI
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | AMP (* & *)
+  | PIPE (* | *)
+  | CARET (* ^ *)
+  | ANDAND
+  | OROR
+  | BANG
+  | ARROW (* -> *)
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %Ld" i
+  | WINT (w, v) -> Printf.sprintf "literal %dw%Ld" w v
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | EQ -> "'='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | ARROW -> "'->'"
+  | EOF -> "end of input"
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+let is_ident_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance st;
+    skip_trivia st
+  | Some '/', Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/', Some '*' ->
+    advance st;
+    advance st;
+    let rec loop () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> error "line %d: unterminated comment" st.line
+      | _ ->
+        advance st;
+        loop ()
+    in
+    loop ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let consume_while pred =
+    while (match peek st with Some c -> pred c | None -> false) do
+      advance st
+    done
+  in
+  (* leading digits *)
+  consume_while is_digit;
+  match peek st with
+  | Some ('x' | 'X') when st.pos = start + 1 && st.src.[start] = '0' ->
+    advance st;
+    consume_while (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false);
+    let text = String.sub st.src start (st.pos - start) in
+    INT (Int64.of_string text)
+  | Some ('b' | 'B') when st.pos = start + 1 && st.src.[start] = '0' ->
+    advance st;
+    consume_while (function '0' | '1' -> true | _ -> false);
+    let text = String.sub st.src start (st.pos - start) in
+    INT (Int64.of_string text)
+  | Some 'w' ->
+    (* width-annotated: <digits>w<literal> *)
+    let width = int_of_string (String.sub st.src start (st.pos - start)) in
+    advance st;
+    let vstart = st.pos in
+    (match (peek st, peek2 st) with
+    | Some '0', Some ('x' | 'X') ->
+      advance st;
+      advance st;
+      consume_while (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+    | _ -> consume_while is_digit);
+    let text = String.sub st.src vstart (st.pos - vstart) in
+    if text = "" then error "line %d: malformed width literal" st.line;
+    WINT (width, Int64.of_string text)
+  | _ ->
+    let text = String.sub st.src start (st.pos - start) in
+    INT (Int64.of_string text)
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some c -> Buffer.add_char buf c
+      | None -> error "line %d: unterminated string" st.line);
+      advance st;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+    | None -> error "line %d: unterminated string" st.line
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk tok = { tok; line; col } in
+  match peek st with
+  | None -> mk EOF
+  | Some c when is_ident_start c ->
+    let start = st.pos in
+    while (match peek st with Some c -> is_ident_char c | None -> false) do
+      advance st
+    done;
+    mk (IDENT (String.sub st.src start (st.pos - start)))
+  | Some c when is_digit c -> mk (lex_number st)
+  | Some '"' -> mk (lex_string st)
+  | Some c ->
+    let two tok = advance st; advance st; mk tok in
+    let one tok = advance st; mk tok in
+    (match (c, peek2 st) with
+    | '=', Some '=' -> two EQEQ
+    | '!', Some '=' -> two NEQ
+    | '<', Some '=' -> two LE
+    | '>', Some '=' -> two GE
+    | '&', Some '&' -> two ANDAND
+    | '|', Some '|' -> two OROR
+    | '-', Some '>' -> two ARROW
+    | '{', _ -> one LBRACE
+    | '}', _ -> one RBRACE
+    | '(', _ -> one LPAREN
+    | ')', _ -> one RPAREN
+    | '[', _ -> one LBRACKET
+    | ']', _ -> one RBRACKET
+    | '<', _ -> one LT
+    | '>', _ -> one GT
+    | '=', _ -> one EQ
+    | ':', _ -> one COLON
+    | ';', _ -> one SEMI
+    | ',', _ -> one COMMA
+    | '.', _ -> one DOT
+    | '+', _ -> one PLUS
+    | '-', _ -> one MINUS
+    | '*', _ -> one STAR
+    | '/', _ -> one SLASH
+    | '&', _ -> one AMP
+    | '|', _ -> one PIPE
+    | '^', _ -> one CARET
+    | '!', _ -> one BANG
+    | _ -> error "line %d, col %d: unexpected character %C" line col c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let t = next_token st in
+    if t.tok = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  Array.of_list (loop [])

@@ -1,0 +1,617 @@
+(* Recursive-descent parser for rP4 (EBNF of Fig. 2).
+
+   Accepts both complete programs and incremental-update snippets: any of
+   the top-level sections may appear, in any order, and stages may appear
+   outside a control block (they land in [loose_stages] and are grouped
+   into a function by the controller's [load … --func_name] command). *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let peek st = st.toks.(st.pos).Lexer.tok
+let peek_loc st = st.toks.(st.pos)
+
+let peek_ahead st n =
+  let i = min (st.pos + n) (Array.length st.toks - 1) in
+  st.toks.(i).Lexer.tok
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  let t = peek_loc st in
+  if t.Lexer.tok = tok then advance st
+  else
+    error "line %d: expected %s, found %s" t.Lexer.line (Lexer.token_to_string tok)
+      (Lexer.token_to_string t.Lexer.tok)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  let t = peek_loc st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | other -> error "line %d: expected identifier, found %s" t.Lexer.line (Lexer.token_to_string other)
+
+let keyword st kw =
+  let t = peek_loc st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s when s = kw -> advance st
+  | other ->
+    error "line %d: expected keyword %S, found %s" t.Lexer.line kw
+      (Lexer.token_to_string other)
+
+let int_lit st =
+  let t = peek_loc st in
+  match t.Lexer.tok with
+  | Lexer.INT v ->
+    advance st;
+    (v, None)
+  | Lexer.WINT (w, v) ->
+    advance st;
+    (v, Some w)
+  | other ->
+    error "line %d: expected integer, found %s" t.Lexer.line (Lexer.token_to_string other)
+
+(* bit<width> *)
+let bit_type st =
+  keyword st "bit";
+  expect st Lexer.LT;
+  let w, _ = int_lit st in
+  expect st Lexer.GT;
+  Int64.to_int w
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* In expression position: "a.b" is a header field (metadata when a =
+   "meta"); a bare identifier is an action parameter. The semantic pass
+   re-resolves struct aliases and checks parameter declarations. *)
+let rec primary st : Ast.expr =
+  match peek st with
+  | Lexer.INT _ | Lexer.WINT _ ->
+    let v, w = int_lit st in
+    Ast.E_const (v, w)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT _ ->
+    let a = ident st in
+    if accept st Lexer.DOT then begin
+      let b = ident st in
+      if a = "meta" then Ast.E_field (Ast.Meta_field b)
+      else Ast.E_field (Ast.Hdr_field (a, b))
+    end
+    else Ast.E_param a
+  | other ->
+    error "line %d: expected expression, found %s" (peek_loc st).Lexer.line
+      (Lexer.token_to_string other)
+
+and expr st : Ast.expr =
+  let lhs = primary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.E_binop (Ast.Add, lhs, primary st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.E_binop (Ast.Sub, lhs, primary st))
+    | Lexer.AMP ->
+      advance st;
+      loop (Ast.E_binop (Ast.Band, lhs, primary st))
+    | Lexer.PIPE ->
+      advance st;
+      loop (Ast.E_binop (Ast.Bor, lhs, primary st))
+    | Lexer.CARET ->
+      advance st;
+      loop (Ast.E_binop (Ast.Bxor, lhs, primary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* isValid atoms: <hdr>.isValid() — detected by lookahead before falling
+   back to a relational expression. *)
+let rec cond st : Ast.cond = cond_or st
+
+and cond_or st =
+  let lhs = cond_and st in
+  if accept st Lexer.OROR then Ast.C_or (lhs, cond_or st) else lhs
+
+and cond_and st =
+  let lhs = cond_not st in
+  if accept st Lexer.ANDAND then Ast.C_and (lhs, cond_and st) else lhs
+
+and cond_not st =
+  if accept st Lexer.BANG then Ast.C_not (cond_not st) else cond_atom st
+
+and cond_atom st =
+  (* Try "<ident>.isValid()" *)
+  match (peek st, peek_ahead st 1, peek_ahead st 2) with
+  | Lexer.IDENT h, Lexer.DOT, Lexer.IDENT "isValid" ->
+    advance st;
+    advance st;
+    advance st;
+    expect st Lexer.LPAREN;
+    expect st Lexer.RPAREN;
+    Ast.C_valid h
+  | Lexer.LPAREN, _, _ ->
+    (* Could be a parenthesised condition or expression; backtrack if the
+       condition parse fails. *)
+    let save = st.pos in
+    (try
+       advance st;
+       let c = cond st in
+       expect st Lexer.RPAREN;
+       c
+     with Error _ ->
+       st.pos <- save;
+       rel st)
+  | _ -> rel st
+
+and rel st =
+  let lhs = expr st in
+  let op =
+    match peek st with
+    | Lexer.EQEQ -> Some Ast.Eq
+    | Lexer.NEQ -> Some Ast.Neq
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Ast.C_rel (op, lhs, expr st)
+  | None ->
+    error "line %d: expected relational operator in condition" (peek_loc st).Lexer.line
+
+(* ------------------------------------------------------------------ *)
+(* Sections                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let field_decl st =
+  let w = bit_type st in
+  let name = ident st in
+  expect st Lexer.SEMI;
+  { Ast.fd_name = name; fd_width = w }
+
+let implicit_parser st =
+  keyword st "implicit";
+  keyword st "parser";
+  expect st Lexer.LPAREN;
+  let rec sel acc =
+    let f = ident st in
+    if accept st Lexer.COMMA then sel (f :: acc) else List.rev (f :: acc)
+  in
+  let sel_fields = sel [] in
+  expect st Lexer.RPAREN;
+  expect st Lexer.LBRACE;
+  let cases = ref [] in
+  while peek st <> Lexer.RBRACE do
+    let tag, _ = int_lit st in
+    expect st Lexer.COLON;
+    let next = ident st in
+    expect st Lexer.SEMI;
+    cases := (tag, next) :: !cases
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.ip_sel = sel_fields; ip_cases = List.rev !cases }
+
+let header_decl st =
+  keyword st "header";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let fields = ref [] and parser_ = ref None in
+  let rec loop () =
+    match peek st with
+    | Lexer.RBRACE -> ()
+    | Lexer.IDENT "implicit" ->
+      if !parser_ <> None then error "header %s: duplicate implicit parser" name;
+      parser_ := Some (implicit_parser st);
+      loop ()
+    | Lexer.IDENT "bit" ->
+      fields := field_decl st :: !fields;
+      loop ()
+    | other ->
+      error "line %d: in header %s: unexpected %s" (peek_loc st).Lexer.line name
+        (Lexer.token_to_string other)
+  in
+  loop ();
+  expect st Lexer.RBRACE;
+  { Ast.hd_name = name; hd_fields = List.rev !fields; hd_parser = !parser_ }
+
+let struct_decl st =
+  keyword st "struct";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let members = ref [] in
+  while peek st <> Lexer.RBRACE do
+    members := field_decl st :: !members
+  done;
+  expect st Lexer.RBRACE;
+  let alias = match peek st with
+    | Lexer.IDENT a ->
+      advance st;
+      Some a
+    | _ -> None
+  in
+  if accept st Lexer.SEMI then ();
+  { Ast.sd_name = name; sd_members = List.rev !members; sd_alias = alias }
+
+let lvalue st =
+  let a = ident st in
+  expect st Lexer.DOT;
+  let b = ident st in
+  if a = "meta" then Ast.Meta_field b else Ast.Hdr_field (a, b)
+
+let stmt st : Ast.stmt =
+  match (peek st, peek_ahead st 1) with
+  | Lexer.IDENT "drop", Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.S_drop
+  | Lexer.IDENT ("no_op" | "NoAction"), Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.S_noop
+  | Lexer.IDENT "mark", Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.S_mark e
+  | Lexer.IDENT "mark_exceed", Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let threshold = expr st in
+    expect st Lexer.COMMA;
+    let v = expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.S_mark_exceed (threshold, v)
+  | Lexer.IDENT "set_valid", Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let h = ident st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.S_set_valid h
+  | Lexer.IDENT "set_invalid", Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let h = ident st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    Ast.S_set_invalid h
+  | _ ->
+    let lv = lvalue st in
+    expect st Lexer.EQ;
+    let e = expr st in
+    expect st Lexer.SEMI;
+    Ast.S_assign (lv, e)
+
+let action_decl st =
+  keyword st "action";
+  let name = ident st in
+  expect st Lexer.LPAREN;
+  let params = ref [] in
+  if peek st <> Lexer.RPAREN then begin
+    let rec loop () =
+      let w = bit_type st in
+      let p = ident st in
+      params := (p, w) :: !params;
+      if accept st Lexer.COMMA then loop ()
+    in
+    loop ()
+  end;
+  expect st Lexer.RPAREN;
+  expect st Lexer.LBRACE;
+  let body = ref [] in
+  while peek st <> Lexer.RBRACE do
+    body := stmt st :: !body
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.ad_name = name; ad_params = List.rev !params; ad_body = List.rev !body }
+
+let table_decl st =
+  keyword st "table";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let key = ref [] and size = ref 1024 in
+  let rec loop () =
+    match peek st with
+    | Lexer.RBRACE -> ()
+    | Lexer.IDENT "key" ->
+      advance st;
+      expect st Lexer.EQ;
+      expect st Lexer.LBRACE;
+      while peek st <> Lexer.RBRACE do
+        let fr =
+          let a = ident st in
+          expect st Lexer.DOT;
+          let b = ident st in
+          if a = "meta" then Ast.Meta_field b else Ast.Hdr_field (a, b)
+        in
+        expect st Lexer.COLON;
+        let kind_line = (peek_loc st).Lexer.line in
+        let kind_name = ident st in
+        let kind =
+          try Table.Key.match_kind_of_string kind_name
+          with Invalid_argument _ ->
+            error "line %d: unknown match kind %S" kind_line kind_name
+        in
+        expect st Lexer.SEMI;
+        key := (fr, kind) :: !key
+      done;
+      expect st Lexer.RBRACE;
+      ignore (accept st Lexer.SEMI);
+      loop ()
+    | Lexer.IDENT "size" ->
+      advance st;
+      expect st Lexer.EQ;
+      let v, _ = int_lit st in
+      expect st Lexer.SEMI;
+      size := Int64.to_int v;
+      loop ()
+    | other ->
+      error "line %d: in table %s: unexpected %s" (peek_loc st).Lexer.line name
+        (Lexer.token_to_string other)
+  in
+  loop ();
+  expect st Lexer.RBRACE;
+  { Ast.td_name = name; td_key = List.rev !key; td_size = !size }
+
+(* matcher body: sequence of applies / conditionals / empty statements *)
+let rec matcher_item st : Ast.matcher =
+  match peek st with
+  | Lexer.IDENT "if" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = cond st in
+    expect st Lexer.RPAREN;
+    let then_ = matcher_item st in
+    let else_ =
+      if peek st = Lexer.IDENT "else" then begin
+        advance st;
+        (* "else;" = explicit empty branch *)
+        if accept st Lexer.SEMI then Ast.M_nop else matcher_item st
+      end
+      else Ast.M_nop
+    in
+    Ast.M_if (c, then_, else_)
+  | Lexer.SEMI ->
+    advance st;
+    Ast.M_nop
+  | Lexer.LBRACE ->
+    advance st;
+    let items = ref [] in
+    while peek st <> Lexer.RBRACE do
+      items := matcher_item st :: !items
+    done;
+    expect st Lexer.RBRACE;
+    Ast.M_seq (List.rev !items)
+  | Lexer.IDENT _ ->
+    let t = ident st in
+    expect st Lexer.DOT;
+    keyword st "apply";
+    expect st Lexer.LPAREN;
+    expect st Lexer.RPAREN;
+    ignore (accept st Lexer.SEMI);
+    Ast.M_apply t
+  | other ->
+    error "line %d: in matcher: unexpected %s" (peek_loc st).Lexer.line
+      (Lexer.token_to_string other)
+
+let stage_decl st =
+  keyword st "stage";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let parser_ = ref [] and matcher_ = ref Ast.M_nop and executor = ref { Ast.ex_cases = []; ex_default = [] } in
+  let rec loop () =
+    match peek st with
+    | Lexer.RBRACE -> ()
+    | Lexer.IDENT "parser" ->
+      advance st;
+      expect st Lexer.LBRACE;
+      let insts = ref [] in
+      while peek st <> Lexer.RBRACE do
+        insts := ident st :: !insts;
+        ignore (accept st Lexer.COMMA);
+        ignore (accept st Lexer.SEMI)
+      done;
+      expect st Lexer.RBRACE;
+      ignore (accept st Lexer.SEMI);
+      parser_ := List.rev !insts;
+      loop ()
+    | Lexer.IDENT "matcher" ->
+      advance st;
+      expect st Lexer.LBRACE;
+      let items = ref [] in
+      while peek st <> Lexer.RBRACE do
+        items := matcher_item st :: !items
+      done;
+      expect st Lexer.RBRACE;
+      ignore (accept st Lexer.SEMI);
+      matcher_ :=
+        (match List.rev !items with [ m ] -> m | items -> Ast.M_seq items);
+      loop ()
+    | Lexer.IDENT "executor" ->
+      advance st;
+      expect st Lexer.LBRACE;
+      let cases = ref [] and default = ref [] in
+      while peek st <> Lexer.RBRACE do
+        let tag =
+          match peek st with
+          | Lexer.IDENT "default" ->
+            advance st;
+            None
+          | _ ->
+            let v, _ = int_lit st in
+            Some (Int64.to_int v)
+        in
+        expect st Lexer.COLON;
+        let acts = ref [ ident st ] in
+        while accept st Lexer.COMMA do
+          acts := ident st :: !acts
+        done;
+        expect st Lexer.SEMI;
+        (match tag with
+        | Some t -> cases := (t, List.rev !acts) :: !cases
+        | None -> default := List.rev !acts)
+      done;
+      expect st Lexer.RBRACE;
+      ignore (accept st Lexer.SEMI);
+      executor := { Ast.ex_cases = List.rev !cases; ex_default = !default };
+      loop ()
+    | other ->
+      error "line %d: in stage %s: unexpected %s" (peek_loc st).Lexer.line name
+        (Lexer.token_to_string other)
+  in
+  loop ();
+  expect st Lexer.RBRACE;
+  {
+    Ast.st_name = name;
+    st_parser = !parser_;
+    st_matcher = !matcher_;
+    st_executor = !executor;
+  }
+
+let user_funcs st =
+  keyword st "user_funcs";
+  expect st Lexer.LBRACE;
+  let funcs = ref [] and ientry = ref None and eentry = ref None in
+  let rec loop () =
+    match peek st with
+    | Lexer.RBRACE -> ()
+    | Lexer.IDENT "func" ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.LBRACE;
+      let stages = ref [] in
+      while peek st <> Lexer.RBRACE do
+        stages := ident st :: !stages;
+        ignore (accept st Lexer.COMMA);
+        ignore (accept st Lexer.SEMI)
+      done;
+      expect st Lexer.RBRACE;
+      funcs := { Ast.fn_name = name; fn_stages = List.rev !stages } :: !funcs;
+      loop ()
+    | Lexer.IDENT "ingress_entry" ->
+      advance st;
+      expect st Lexer.COLON;
+      ientry := Some (ident st);
+      expect st Lexer.SEMI;
+      loop ()
+    | Lexer.IDENT "egress_entry" ->
+      advance st;
+      expect st Lexer.COLON;
+      eentry := Some (ident st);
+      expect st Lexer.SEMI;
+      loop ()
+    | other ->
+      error "line %d: in user_funcs: unexpected %s" (peek_loc st).Lexer.line
+        (Lexer.token_to_string other)
+  in
+  loop ();
+  expect st Lexer.RBRACE;
+  (List.rev !funcs, !ientry, !eentry)
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let program st =
+  let p = ref Ast.empty_program in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT "headers" ->
+      advance st;
+      expect st Lexer.LBRACE;
+      while peek st <> Lexer.RBRACE do
+        p := { !p with Ast.headers = !p.Ast.headers @ [ header_decl st ] }
+      done;
+      expect st Lexer.RBRACE;
+      loop ()
+    | Lexer.IDENT "header" ->
+      p := { !p with Ast.headers = !p.Ast.headers @ [ header_decl st ] };
+      loop ()
+    | Lexer.IDENT "structs" ->
+      advance st;
+      expect st Lexer.LBRACE;
+      while peek st <> Lexer.RBRACE do
+        p := { !p with Ast.structs = !p.Ast.structs @ [ struct_decl st ] }
+      done;
+      expect st Lexer.RBRACE;
+      loop ()
+    | Lexer.IDENT "struct" ->
+      p := { !p with Ast.structs = !p.Ast.structs @ [ struct_decl st ] };
+      loop ()
+    | Lexer.IDENT "action" ->
+      p := { !p with Ast.actions = !p.Ast.actions @ [ action_decl st ] };
+      loop ()
+    | Lexer.IDENT "table" ->
+      p := { !p with Ast.tables = !p.Ast.tables @ [ table_decl st ] };
+      loop ()
+    | Lexer.IDENT "control" ->
+      advance st;
+      let which = ident st in
+      expect st Lexer.LBRACE;
+      let stages = ref [] in
+      while peek st <> Lexer.RBRACE do
+        stages := stage_decl st :: !stages
+      done;
+      expect st Lexer.RBRACE;
+      let stages = List.rev !stages in
+      (match which with
+      | "rP4_Ingress" -> p := { !p with Ast.ingress = !p.Ast.ingress @ stages }
+      | "rP4_Egress" -> p := { !p with Ast.egress = !p.Ast.egress @ stages }
+      | other -> error "unknown control block %S (expected rP4_Ingress/rP4_Egress)" other);
+      loop ()
+    | Lexer.IDENT "stage" ->
+      p := { !p with Ast.loose_stages = !p.Ast.loose_stages @ [ stage_decl st ] };
+      loop ()
+    | Lexer.IDENT "user_funcs" ->
+      let funcs, ientry, eentry = user_funcs st in
+      p :=
+        {
+          !p with
+          Ast.funcs = !p.Ast.funcs @ funcs;
+          ingress_entry = (match ientry with Some _ -> ientry | None -> !p.Ast.ingress_entry);
+          egress_entry = (match eentry with Some _ -> eentry | None -> !p.Ast.egress_entry);
+        };
+      loop ()
+    | other ->
+      error "line %d: unexpected %s at top level" (peek_loc st).Lexer.line
+        (Lexer.token_to_string other)
+  in
+  loop ();
+  !p
+
+let parse_string src =
+  let toks = Lexer.tokenize src in
+  program { toks; pos = 0 }

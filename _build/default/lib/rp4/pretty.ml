@@ -1,0 +1,169 @@
+(* Canonical rP4 source emission.
+
+   rp4bc's first output for an incremental update is "the updated base
+   design" — rP4 source text. Pretty-printing the AST back to source makes
+   the design round-trippable: [Parser.parse_string (Pretty.program p)]
+   yields [p] again (a property-tested invariant). *)
+
+open Ast
+
+let rec expr_to_string = function
+  | E_const (v, None) ->
+    if Int64.compare v 255L > 0 then Printf.sprintf "0x%Lx" v else Int64.to_string v
+  | E_const (v, Some w) -> Printf.sprintf "%dw0x%Lx" w v
+  | E_field fr -> field_ref_to_string fr
+  | E_param p -> p
+  | E_binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+
+let rec cond_to_string = function
+  | C_valid h -> Printf.sprintf "%s.isValid()" h
+  | C_rel (op, a, b) ->
+    Printf.sprintf "%s %s %s" (expr_to_string a) (relop_to_string op) (expr_to_string b)
+  | C_not c -> Printf.sprintf "!(%s)" (cond_to_string c)
+  | C_and (a, b) -> Printf.sprintf "(%s && %s)" (cond_to_string a) (cond_to_string b)
+  | C_or (a, b) -> Printf.sprintf "(%s || %s)" (cond_to_string a) (cond_to_string b)
+  | C_true -> "1 == 1"
+
+let stmt_to_string = function
+  | S_assign (fr, e) -> Printf.sprintf "%s = %s;" (field_ref_to_string fr) (expr_to_string e)
+  | S_drop -> "drop();"
+  | S_mark e -> Printf.sprintf "mark(%s);" (expr_to_string e)
+  | S_noop -> "no_op();"
+  | S_set_valid h -> Printf.sprintf "set_valid(%s);" h
+  | S_set_invalid h -> Printf.sprintf "set_invalid(%s);" h
+  | S_mark_exceed (t, v) ->
+    Printf.sprintf "mark_exceed(%s, %s);" (expr_to_string t) (expr_to_string v)
+
+let header_to_string (h : header_decl) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "  header %s {\n" h.hd_name);
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "    bit<%d> %s;\n" f.fd_width f.fd_name))
+    h.hd_fields;
+  (match h.hd_parser with
+  | Some ip ->
+    Buffer.add_string buf
+      (Printf.sprintf "    implicit parser (%s) {\n" (String.concat ", " ip.ip_sel));
+    List.iter
+      (fun (tag, next) -> Buffer.add_string buf (Printf.sprintf "      0x%Lx : %s;\n" tag next))
+      ip.ip_cases;
+    Buffer.add_string buf "    }\n"
+  | None -> ());
+  Buffer.add_string buf "  }\n";
+  Buffer.contents buf
+
+let struct_to_string (s : struct_decl) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "  struct %s {\n" s.sd_name);
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "    bit<%d> %s;\n" f.fd_width f.fd_name))
+    s.sd_members;
+  Buffer.add_string buf
+    (match s.sd_alias with Some a -> Printf.sprintf "  } %s;\n" a | None -> "  }\n");
+  Buffer.contents buf
+
+let action_to_string (a : action_decl) =
+  let params =
+    String.concat ", "
+      (List.map (fun (p, w) -> Printf.sprintf "bit<%d> %s" w p) a.ad_params)
+  in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "action %s(%s) {\n" a.ad_name params);
+  List.iter (fun s -> Buffer.add_string buf ("  " ^ stmt_to_string s ^ "\n")) a.ad_body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let table_to_string (t : table_decl) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "table %s {\n  key = {\n" t.td_name);
+  List.iter
+    (fun (fr, kind) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s : %s;\n" (field_ref_to_string fr)
+           (Table.Key.match_kind_to_string kind)))
+    t.td_key;
+  Buffer.add_string buf (Printf.sprintf "  }\n  size = %d;\n}\n" t.td_size);
+  Buffer.contents buf
+
+let rec matcher_lines indent = function
+  | M_apply t -> [ indent ^ t ^ ".apply();" ]
+  | M_nop -> [ indent ^ ";" ]
+  | M_seq ms -> List.concat_map (matcher_lines indent) ms
+  | M_if (c, then_, else_) ->
+    let then_lines =
+      match matcher_lines (indent ^ "  ") then_ with
+      | [] -> [ indent ^ "  ;" ]
+      | ls -> ls
+    in
+    let head = Printf.sprintf "%sif (%s)" indent (cond_to_string c) in
+    let else_lines =
+      match else_ with
+      | M_nop -> []
+      | e -> (indent ^ "else") :: matcher_lines (indent ^ "  ") e
+    in
+    (head :: then_lines) @ else_lines
+
+let stage_to_string ?(indent = "  ") (s : stage_decl) =
+  let buf = Buffer.create 128 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  line "%sstage %s {" indent s.st_name;
+  line "%s  parser { %s };" indent (String.concat ", " s.st_parser);
+  line "%s  matcher {" indent;
+  List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) (matcher_lines (indent ^ "    ") s.st_matcher);
+  line "%s  };" indent;
+  line "%s  executor {" indent;
+  List.iter
+    (fun (tag, acts) -> line "%s    %d : %s;" indent tag (String.concat ", " acts))
+    s.st_executor.ex_cases;
+  (match s.st_executor.ex_default with
+  | [] -> ()
+  | acts -> line "%s    default : %s;" indent (String.concat ", " acts));
+  line "%s  }" indent;
+  line "%s}" indent;
+  Buffer.contents buf
+
+let program (p : program) =
+  let buf = Buffer.create 1024 in
+  if p.headers <> [] then begin
+    Buffer.add_string buf "headers {\n";
+    List.iter (fun h -> Buffer.add_string buf (header_to_string h)) p.headers;
+    Buffer.add_string buf "}\n\n"
+  end;
+  if p.structs <> [] then begin
+    Buffer.add_string buf "structs {\n";
+    List.iter (fun s -> Buffer.add_string buf (struct_to_string s)) p.structs;
+    Buffer.add_string buf "}\n\n"
+  end;
+  List.iter (fun a -> Buffer.add_string buf (action_to_string a ^ "\n")) p.actions;
+  List.iter (fun t -> Buffer.add_string buf (table_to_string t ^ "\n")) p.tables;
+  if p.ingress <> [] then begin
+    Buffer.add_string buf "control rP4_Ingress {\n";
+    List.iter (fun s -> Buffer.add_string buf (stage_to_string s)) p.ingress;
+    Buffer.add_string buf "}\n\n"
+  end;
+  if p.egress <> [] then begin
+    Buffer.add_string buf "control rP4_Egress {\n";
+    List.iter (fun s -> Buffer.add_string buf (stage_to_string s)) p.egress;
+    Buffer.add_string buf "}\n\n"
+  end;
+  List.iter
+    (fun s -> Buffer.add_string buf (stage_to_string ~indent:"" s ^ "\n"))
+    p.loose_stages;
+  if p.funcs <> [] || p.ingress_entry <> None || p.egress_entry <> None then begin
+    Buffer.add_string buf "user_funcs {\n";
+    List.iter
+      (fun f ->
+        Buffer.add_string buf
+          (Printf.sprintf "  func %s { %s }\n" f.fn_name (String.concat " " f.fn_stages)))
+      p.funcs;
+    (match p.ingress_entry with
+    | Some e -> Buffer.add_string buf (Printf.sprintf "  ingress_entry : %s;\n" e)
+    | None -> ());
+    (match p.egress_entry with
+    | Some e -> Buffer.add_string buf (Printf.sprintf "  egress_entry : %s;\n" e)
+    | None -> ());
+    Buffer.add_string buf "}\n"
+  end;
+  Buffer.contents buf

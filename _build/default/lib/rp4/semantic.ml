@@ -1,0 +1,295 @@
+(* Semantic analysis for rP4 programs and update snippets.
+
+   A snippet (the unit of in-situ update) references names from the base
+   design, so checking happens against a *combined* program: base merged
+   with snippet. [build] returns an environment with resolved widths that
+   the back-end compiler consumes; all diagnostics are collected rather
+   than failing on the first. *)
+
+open Ast
+
+type env = {
+  prog : program; (* merged program *)
+  meta_widths : (string, int) Hashtbl.t;
+}
+
+let intrinsic_meta = Net.Meta.intrinsic
+
+(* ------------------------------------------------------------------ *)
+(* Program merging (base design + snippet)                             *)
+(* ------------------------------------------------------------------ *)
+
+let merge_by_name ~what ~name_of errors base extra =
+  let out = ref (List.rev base) in
+  List.iter
+    (fun item ->
+      let n = name_of item in
+      match List.find_opt (fun b -> name_of b = n) base with
+      | Some existing when existing = item -> () (* identical redefinition ok *)
+      | Some _ -> errors := Printf.sprintf "%s %s: conflicting redefinition" what n :: !errors
+      | None -> out := item :: !out)
+    extra;
+  List.rev !out
+
+let merge errors (base : program) (snippet : program) : program =
+  {
+    headers =
+      merge_by_name ~what:"header" ~name_of:(fun h -> h.hd_name) errors base.headers
+        snippet.headers;
+    structs =
+      merge_by_name ~what:"struct" ~name_of:(fun s -> s.sd_name) errors base.structs
+        snippet.structs;
+    actions =
+      merge_by_name ~what:"action" ~name_of:(fun a -> a.ad_name) errors base.actions
+        snippet.actions;
+    tables =
+      merge_by_name ~what:"table" ~name_of:(fun t -> t.td_name) errors base.tables
+        snippet.tables;
+    ingress =
+      merge_by_name ~what:"stage" ~name_of:(fun s -> s.st_name) errors base.ingress
+        snippet.ingress;
+    egress =
+      merge_by_name ~what:"stage" ~name_of:(fun s -> s.st_name) errors base.egress
+        snippet.egress;
+    loose_stages =
+      merge_by_name ~what:"stage" ~name_of:(fun s -> s.st_name) errors base.loose_stages
+        snippet.loose_stages;
+    funcs =
+      merge_by_name ~what:"func" ~name_of:(fun f -> f.fn_name) errors base.funcs
+        snippet.funcs;
+    ingress_entry =
+      (match snippet.ingress_entry with Some _ as e -> e | None -> base.ingress_entry);
+    egress_entry =
+      (match snippet.egress_entry with Some _ as e -> e | None -> base.egress_entry);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_unique ~what names errors =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then errors := Printf.sprintf "duplicate %s %s" what n :: !errors
+      else Hashtbl.add seen n ())
+    names
+
+let meta_widths_of prog =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (n, w) -> Hashtbl.replace tbl n w) intrinsic_meta;
+  List.iter
+    (fun s -> List.iter (fun f -> Hashtbl.replace tbl f.fd_name f.fd_width) s.sd_members)
+    prog.structs;
+  tbl
+
+let field_width env = function
+  | Meta_field f -> Hashtbl.find_opt env.meta_widths f
+  | Hdr_field (h, f) -> (
+    match find_header env.prog h with
+    | None -> None
+    | Some hd ->
+      List.find_map
+        (fun fd -> if fd.fd_name = f then Some fd.fd_width else None)
+        hd.hd_fields)
+
+let check_field_ref env ~ctx errors fr =
+  match field_width env fr with
+  | Some _ -> ()
+  | None ->
+    errors := Printf.sprintf "%s: unknown field %s" ctx (field_ref_to_string fr) :: !errors
+
+let rec check_expr env ~ctx ~params errors = function
+  | E_const _ -> ()
+  | E_field fr -> check_field_ref env ~ctx errors fr
+  | E_param p ->
+    if not (List.mem_assoc p params) then
+      errors := Printf.sprintf "%s: unknown parameter %s" ctx p :: !errors
+  | E_binop (_, a, b) ->
+    check_expr env ~ctx ~params errors a;
+    check_expr env ~ctx ~params errors b
+
+let rec check_cond env ~ctx errors = function
+  | C_valid h ->
+    if find_header env.prog h = None then
+      errors := Printf.sprintf "%s: isValid on unknown header %s" ctx h :: !errors
+  | C_rel (_, a, b) ->
+    check_expr env ~ctx ~params:[] errors a;
+    check_expr env ~ctx ~params:[] errors b
+  | C_not c -> check_cond env ~ctx errors c
+  | C_and (a, b) | C_or (a, b) ->
+    check_cond env ~ctx errors a;
+    check_cond env ~ctx errors b
+  | C_true -> ()
+
+let check_header env errors (h : header_decl) =
+  let ctx = Printf.sprintf "header %s" h.hd_name in
+  check_unique ~what:(ctx ^ " field") (List.map (fun f -> f.fd_name) h.hd_fields) errors;
+  List.iter
+    (fun f ->
+      if f.fd_width <= 0 || f.fd_width > 1024 then
+        errors := Printf.sprintf "%s: field %s has invalid width %d" ctx f.fd_name f.fd_width :: !errors)
+    h.hd_fields;
+  match h.hd_parser with
+  | None -> ()
+  | Some ip ->
+    List.iter
+      (fun sel ->
+        if not (List.exists (fun f -> f.fd_name = sel) h.hd_fields) then
+          errors := Printf.sprintf "%s: selector field %s undeclared" ctx sel :: !errors)
+      ip.ip_sel;
+    if ip.ip_sel = [] then errors := Printf.sprintf "%s: empty selector" ctx :: !errors;
+    List.iter
+      (fun (_, next) ->
+        if find_header env.prog next = None then
+          errors := Printf.sprintf "%s: implicit parser targets unknown header %s" ctx next :: !errors)
+      ip.ip_cases;
+    check_unique ~what:(ctx ^ " parser tag")
+      (List.map (fun (tag, _) -> Int64.to_string tag) ip.ip_cases)
+      errors
+
+let check_action env errors (a : action_decl) =
+  let ctx = Printf.sprintf "action %s" a.ad_name in
+  check_unique ~what:(ctx ^ " param") (List.map fst a.ad_params) errors;
+  List.iter
+    (fun stmt ->
+      (match stmt with
+      | S_assign (fr, _) -> check_field_ref env ~ctx errors fr
+      | S_set_valid h | S_set_invalid h ->
+        if find_header env.prog h = None then
+          errors := Printf.sprintf "%s: unknown header %s" ctx h :: !errors
+      | _ -> ());
+      List.iter
+        (function
+          | E_param _ as e -> check_expr env ~ctx ~params:a.ad_params errors e
+          | _ -> ())
+        [];
+      match stmt with
+      | S_assign (_, e) | S_mark e -> check_expr env ~ctx ~params:a.ad_params errors e
+      | S_mark_exceed (e1, e2) ->
+        check_expr env ~ctx ~params:a.ad_params errors e1;
+        check_expr env ~ctx ~params:a.ad_params errors e2
+      | _ -> ())
+    a.ad_body
+
+let check_table env errors (t : table_decl) =
+  let ctx = Printf.sprintf "table %s" t.td_name in
+  if t.td_key = [] then errors := Printf.sprintf "%s: empty key" ctx :: !errors;
+  if t.td_size <= 0 then errors := Printf.sprintf "%s: non-positive size" ctx :: !errors;
+  List.iter (fun (fr, _) -> check_field_ref env ~ctx errors fr) t.td_key
+
+let check_stage env errors (s : stage_decl) =
+  let ctx = Printf.sprintf "stage %s" s.st_name in
+  List.iter
+    (fun h ->
+      if find_header env.prog h = None then
+        errors := Printf.sprintf "%s: parser lists unknown header %s" ctx h :: !errors)
+    s.st_parser;
+  let rec walk = function
+    | M_apply t ->
+      if find_table env.prog t = None then
+        errors := Printf.sprintf "%s: applies unknown table %s" ctx t :: !errors
+    | M_if (c, a, b) ->
+      check_cond env ~ctx errors c;
+      walk a;
+      walk b
+    | M_seq ms -> List.iter walk ms
+    | M_nop -> ()
+  in
+  walk s.st_matcher;
+  check_unique ~what:(ctx ^ " executor tag")
+    (List.map (fun (tag, _) -> string_of_int tag) s.st_executor.ex_cases)
+    errors;
+  let check_act name =
+    if name <> "NoAction" && find_action env.prog name = None then
+      errors := Printf.sprintf "%s: executor references unknown action %s" ctx name :: !errors
+  in
+  List.iter (fun (_, acts) -> List.iter check_act acts) s.st_executor.ex_cases;
+  List.iter check_act s.st_executor.ex_default
+
+let check_funcs _env errors (p : program) =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun sname ->
+          if find_stage p sname = None then
+            errors := Printf.sprintf "func %s: unknown stage %s" f.fn_name sname :: !errors)
+        f.fn_stages)
+    p.funcs;
+  (match p.ingress_entry with
+  | Some e when find_stage p e = None ->
+    errors := Printf.sprintf "ingress_entry: unknown stage %s" e :: !errors
+  | _ -> ());
+  match p.egress_entry with
+  | Some e when find_stage p e = None ->
+    errors := Printf.sprintf "egress_entry: unknown stage %s" e :: !errors
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build ?(base = empty_program) (snippet : program) : (env, string list) result =
+  let errors = ref [] in
+  let prog = merge errors base snippet in
+  let env = { prog; meta_widths = meta_widths_of prog } in
+  check_unique ~what:"header" (List.map (fun h -> h.hd_name) prog.headers) errors;
+  check_unique ~what:"struct" (List.map (fun s -> s.sd_name) prog.structs) errors;
+  check_unique ~what:"action" (List.map (fun a -> a.ad_name) prog.actions) errors;
+  check_unique ~what:"table" (List.map (fun t -> t.td_name) prog.tables) errors;
+  check_unique ~what:"stage" (List.map (fun s -> s.st_name) (all_stages prog)) errors;
+  check_unique ~what:"func" (List.map (fun f -> f.fn_name) prog.funcs) errors;
+  List.iter (check_header env errors) prog.headers;
+  List.iter (check_action env errors) prog.actions;
+  List.iter (check_table env errors) prog.tables;
+  List.iter (check_stage env errors) (all_stages prog);
+  check_funcs env errors prog;
+  match !errors with
+  | [] -> Ok env
+  | errs -> Error (List.rev errs)
+
+(* Key spec for the table library, widths resolved from the env. *)
+let key_spec env (t : table_decl) : Table.Key.field list =
+  List.map
+    (fun (fr, kind) ->
+      let width =
+        match field_width env fr with
+        | Some w -> w
+        | None -> invalid_arg ("Semantic.key_spec: unknown field " ^ field_ref_to_string fr)
+      in
+      { Table.Key.kf_ref = field_ref_to_string fr; kf_width = width; kf_kind = kind })
+    t.td_key
+
+(* Width of an action's argument vector, for memory sizing. *)
+let action_args_width (a : action_decl) =
+  List.fold_left (fun acc (_, w) -> acc + w) 0 a.ad_params
+
+(* Entry width of a table: key bits + the widest argument vector among the
+   actions the hosting stages may execute, approximated by all actions in
+   the program that any executor pairs with this table's stage. For memory
+   sizing we use key + 64 bits of action data headroom when unknown. *)
+let entry_width env (t : table_decl) =
+  let key_bits =
+    List.fold_left
+      (fun acc (fr, _) ->
+        acc + match field_width env fr with Some w -> w | None -> 0)
+      0 t.td_key
+  in
+  (* locate stages applying this table, take their executors' max args *)
+  let max_args =
+    List.fold_left
+      (fun acc s ->
+        if List.mem t.td_name (matcher_tables s.st_matcher) then
+          let acts =
+            List.concat_map snd s.st_executor.ex_cases @ s.st_executor.ex_default
+          in
+          List.fold_left
+            (fun acc name ->
+              match find_action env.prog name with
+              | Some a -> max acc (action_args_width a)
+              | None -> acc)
+            acc acts
+        else acc)
+      0 (all_stages env.prog)
+  in
+  key_bits + (if max_args = 0 then 16 else max_args) + 16 (* tag bits *)

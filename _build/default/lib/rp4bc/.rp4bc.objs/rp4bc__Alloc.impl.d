@@ -1,0 +1,1 @@
+lib/rp4bc/alloc.ml: Array List Mem Printf Solver String

@@ -1,0 +1,1 @@
+lib/rp4bc/compile.ml: Alloc Array Design Graph Group Hashtbl Int64 Ipsa Layout List Mem Net Option Printf Rp4 String

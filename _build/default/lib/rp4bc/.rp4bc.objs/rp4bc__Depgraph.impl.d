@@ -1,0 +1,1 @@
+lib/rp4bc/depgraph.ml: Int64 List Rp4 Set String

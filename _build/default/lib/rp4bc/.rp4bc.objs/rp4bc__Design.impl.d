@@ -1,0 +1,1 @@
+lib/rp4bc/design.ml: Array Graph Group Ipsa Layout List Printf Rp4 String

@@ -1,0 +1,1 @@
+lib/rp4bc/graph.mli:

@@ -1,0 +1,1 @@
+lib/rp4bc/group.ml: Depgraph List Rp4 String

@@ -1,0 +1,1 @@
+lib/rp4bc/layout.ml: Array Group Ipsa List Option Printf

@@ -1,0 +1,118 @@
+(* Table placement into the disaggregated memory pool.
+
+   The paper formulates table mapping as a set-packing problem and embeds
+   an integer-programming solver (YALMIP) into rp4bc; here the [Solver]
+   library's branch-and-bound ILP plays that role. Decision variable
+   x[t][c] places table t in cluster c; each cluster's free-block capacity
+   bounds its load, and placements in the cluster of the hosting TSP are
+   preferred (a cross-cluster placement would be unreachable through a
+   clustered crossbar, so with clustering enabled it is excluded outright
+   rather than merely penalised). *)
+
+type request = {
+  rq_table : string;
+  rq_entry_width : int;
+  rq_depth : int;
+  rq_host_cluster : int option; (* cluster of the hosting TSP, if clustered *)
+}
+
+type decision = {
+  dc_table : string;
+  dc_cluster : int option; (* None = full crossbar, blocks may span clusters *)
+  dc_blocks : int;
+}
+
+let place ~(pool : Mem.Pool.t) ~(clustered : bool) (requests : request list) :
+    (decision list, string) result =
+  (* With a full crossbar a table's blocks may come from anywhere, so the
+     capacity model is one pool-wide bucket; a clustered crossbar makes
+     each cluster a separate bucket and pins tables to their host's. *)
+  let nclusters = if clustered then Mem.Pool.nclusters pool else 1 in
+  let free =
+    if clustered then
+      Array.of_list
+        (List.map (fun (_, used, total) -> total - used) (Mem.Pool.cluster_stats pool))
+    else begin
+      let used, free_blocks = Mem.Pool.stats pool in
+      ignore used;
+      [| free_blocks |]
+    end
+  in
+  let reqs = Array.of_list requests in
+  let ntables = Array.length reqs in
+  (* Variables: one per admissible (table, cluster) pair. *)
+  let vars = ref [] in
+  Array.iteri
+    (fun ti rq ->
+      let need = Mem.Pool.blocks_needed pool ~entry_width:rq.rq_entry_width ~depth:rq.rq_depth in
+      for c = 0 to nclusters - 1 do
+        let admissible =
+          match (clustered, rq.rq_host_cluster) with
+          | true, Some hc -> c = hc
+          | true, None | false, _ -> true
+        in
+        if admissible && need <= free.(c) then begin
+          let preferred = clustered && rq.rq_host_cluster = Some c in
+          vars := (ti, c, need, preferred) :: !vars
+        end
+      done)
+    reqs;
+  let vars = Array.of_list (List.rev !vars) in
+  let nvars = Array.length vars in
+  let objective =
+    Array.map (fun (_, _, _, preferred) -> if preferred then 1001.0 else 1000.0) vars
+  in
+  (* One placement per table. *)
+  let per_table =
+    List.init ntables (fun ti ->
+        let coefs = Array.make nvars 0.0 in
+        Array.iteri (fun v (t, _, _, _) -> if t = ti then coefs.(v) <- 1.0) vars;
+        (coefs, 1.0))
+  in
+  (* Cluster capacity. *)
+  let per_cluster =
+    List.init nclusters (fun c ->
+        let coefs = Array.make nvars 0.0 in
+        Array.iteri
+          (fun v (_, c', need, _) -> if c' = c then coefs.(v) <- float_of_int need)
+          vars;
+        (coefs, float_of_int free.(c)))
+  in
+  let problem =
+    { Solver.Ilp.nvars; objective; constraints = Array.of_list (per_table @ per_cluster) }
+  in
+  let sol = Solver.Ilp.solve problem in
+  let decisions = ref [] and placed = Array.make ntables false in
+  Array.iteri
+    (fun v chosen ->
+      if chosen then begin
+        let ti, c, need, _ = vars.(v) in
+        placed.(ti) <- true;
+        let cluster =
+          if clustered then Some c
+          else
+            (* full crossbar: honour the host preference when that cluster
+               has room, otherwise let the pool pick blocks anywhere *)
+            match reqs.(ti).rq_host_cluster with
+            | Some hc ->
+              let free_in_hc =
+                List.fold_left
+                  (fun acc (c', used, total) -> if c' = hc then total - used else acc)
+                  0 (Mem.Pool.cluster_stats pool)
+              in
+              if need <= free_in_hc then Some hc else None
+            | None -> None
+        in
+        decisions :=
+          { dc_table = reqs.(ti).rq_table; dc_cluster = cluster; dc_blocks = need }
+          :: !decisions
+      end)
+    sol.Solver.Ilp.assignment;
+  let unplaced =
+    List.filteri (fun ti _ -> not placed.(ti)) (Array.to_list reqs)
+  in
+  if unplaced <> [] then
+    Error
+      (Printf.sprintf "memory pool cannot fit tables: %s"
+         (String.concat ", " (List.map (fun r -> r.rq_table) unplaced)))
+  else Ok (List.rev !decisions)

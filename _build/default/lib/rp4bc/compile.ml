@@ -1,0 +1,567 @@
+(* rp4bc — the rP4 back-end compiler.
+
+   Full flow: rP4 program -> stage graphs -> dependency-driven merging ->
+   TSP layout -> ILP table placement -> TSP templates + device
+   configuration (Config.t, JSON-serialisable).
+
+   Incremental flow: base design + rP4 snippet + link commands ->
+   minimal-diff layout (greedy or DP alignment) -> patch touching only the
+   affected TSPs/tables + the updated base design. Function deletion works
+   the same way from link removal and graph splicing. *)
+
+type pipe = Pipe_ingress | Pipe_egress
+
+type cmd =
+  | Add_link of string * string
+  | Del_link of string * string
+  | Link_hdr of string * int64 * string (* pre, tag, next *)
+  | Unlink_hdr of string * string
+  | Set_entry of pipe * string (* retarget a pipe's entry stage *)
+
+type stats = {
+  stages_compiled : int; (* stages (re)compiled into templates *)
+  templates_emitted : int;
+  tables_placed : int;
+  tables_freed : int;
+  align : Layout.align_stats option; (* None for full compiles *)
+  work_units : int; (* machine-independent compile-effort measure *)
+  config_bytes : int;
+}
+
+type result_t = {
+  design : Design.t;
+  patch : Ipsa.Config.t;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* AST -> runtime structures                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hdrdef_of_decl (h : Rp4.Ast.header_decl) : Net.Hdrdef.t =
+  Net.Hdrdef.make ~name:h.Rp4.Ast.hd_name
+    ~fields:
+      (List.map
+         (fun f ->
+           { Net.Hdrdef.f_name = f.Rp4.Ast.fd_name; f_width = f.Rp4.Ast.fd_width })
+         h.Rp4.Ast.hd_fields)
+    ~sel_fields:
+      (match h.Rp4.Ast.hd_parser with
+      | Some ip -> ip.Rp4.Ast.ip_sel
+      | None -> [])
+
+let links_of_prog (prog : Rp4.Ast.program) =
+  List.concat_map
+    (fun (h : Rp4.Ast.header_decl) ->
+      match h.Rp4.Ast.hd_parser with
+      | Some ip ->
+        List.map (fun (tag, next) -> (h.Rp4.Ast.hd_name, tag, next)) ip.Rp4.Ast.ip_cases
+      | None -> [])
+    prog.Rp4.Ast.headers
+
+let compile_table env (td : Rp4.Ast.table_decl) : Ipsa.Template.compiled_table =
+  {
+    Ipsa.Template.ct_name = td.Rp4.Ast.td_name;
+    ct_fields = Rp4.Semantic.key_spec env td;
+    ct_size = td.Rp4.Ast.td_size;
+    ct_entry_width = Rp4.Semantic.entry_width env td;
+  }
+
+let noaction : Rp4.Ast.action_decl =
+  { Rp4.Ast.ad_name = "NoAction"; ad_params = []; ad_body = [] }
+
+let resolve_action env name =
+  if name = "NoAction" then noaction
+  else
+    match Rp4.Ast.find_action env.Rp4.Semantic.prog name with
+    | Some a -> a
+    | None -> invalid_arg ("rp4bc: unknown action " ^ name)
+
+let compile_stage env (sd : Rp4.Ast.stage_decl) : Ipsa.Template.compiled_stage =
+  let tables =
+    List.map
+      (fun tname ->
+        match Rp4.Ast.find_table env.Rp4.Semantic.prog tname with
+        | Some td -> compile_table env td
+        | None -> invalid_arg ("rp4bc: unknown table " ^ tname))
+      (Rp4.Ast.matcher_tables sd.Rp4.Ast.st_matcher)
+  in
+  {
+    Ipsa.Template.cs_name = sd.Rp4.Ast.st_name;
+    cs_parser = sd.Rp4.Ast.st_parser;
+    cs_matcher = sd.Rp4.Ast.st_matcher;
+    cs_cases =
+      List.map
+        (fun (tag, names) -> (tag, List.map (resolve_action env) names))
+        sd.Rp4.Ast.st_executor.Rp4.Ast.ex_cases;
+    cs_default =
+      List.map (resolve_action env) sd.Rp4.Ast.st_executor.Rp4.Ast.ex_default;
+    cs_tables = tables;
+  }
+
+let template_of_group env (g : Group.t) : Ipsa.Template.t =
+  {
+    Ipsa.Template.stages =
+      List.map
+        (fun sname ->
+          match Rp4.Ast.find_stage env.Rp4.Semantic.prog sname with
+          | Some sd -> compile_stage env sd
+          | None -> invalid_arg ("rp4bc: unknown stage " ^ sname))
+        g.Group.g_stages;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared pieces                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  ntsps : int;
+  limits : Group.limits;
+  clustered : bool;
+}
+
+let default_options = { ntsps = 8; limits = Group.default_limits; clustered = false }
+
+let tsp_cluster ~ntsps ~nclusters tsp = tsp * nclusters / ntsps
+
+(* Hosting TSP per live table under [layout]. *)
+let table_hosts env layout =
+  List.concat_map
+    (fun (tsp, g) ->
+      List.concat_map
+        (fun sname ->
+          match Rp4.Ast.find_stage env.Rp4.Semantic.prog sname with
+          | Some s -> List.map (fun t -> (t, tsp)) (Rp4.Ast.matcher_tables s.Rp4.Ast.st_matcher)
+          | None -> [])
+        g.Group.g_stages)
+    (Layout.assignment layout)
+
+let groups_of_graph env limits graph =
+  Group.merge ~limits env (Graph.topo_order graph)
+
+(* ------------------------------------------------------------------ *)
+(* Full compile                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile_full ?(opts = default_options) ~pool (prog : Rp4.Ast.program) :
+    (result_t, string list) result =
+  match Rp4.Semantic.build prog with
+  | Error errs -> Error errs
+  | Ok env -> (
+    let prog = env.Rp4.Semantic.prog in
+    let igraph = Graph.of_chain (List.map (fun s -> s.Rp4.Ast.st_name) prog.Rp4.Ast.ingress) in
+    (match prog.Rp4.Ast.ingress_entry with
+    | Some e -> Graph.set_entry igraph e
+    | None -> ());
+    let egraph = Graph.of_chain (List.map (fun s -> s.Rp4.Ast.st_name) prog.Rp4.Ast.egress) in
+    (match prog.Rp4.Ast.egress_entry with
+    | Some e ->
+      if List.exists (fun s -> s.Rp4.Ast.st_name = e) prog.Rp4.Ast.egress then
+        Graph.set_entry egraph e
+    | None -> ());
+    let ingress_groups = groups_of_graph env opts.limits igraph in
+    let egress_groups = groups_of_graph env opts.limits egraph in
+    match Layout.place_full ~ntsps:opts.ntsps ~ingress:ingress_groups ~egress:egress_groups with
+    | Error e -> Error [ e ]
+    | Ok layout -> (
+      let hosts = table_hosts env layout in
+      let nclusters = Mem.Pool.nclusters pool in
+      let requests =
+        List.map
+          (fun (tname, tsp) ->
+            let td = Option.get (Rp4.Ast.find_table prog tname) in
+            {
+              Alloc.rq_table = tname;
+              rq_entry_width = Rp4.Semantic.entry_width env td;
+              rq_depth = td.Rp4.Ast.td_size;
+              rq_host_cluster =
+                (if opts.clustered then Some (tsp_cluster ~ntsps:opts.ntsps ~nclusters tsp)
+                 else None);
+            })
+          hosts
+      in
+      match Alloc.place ~pool ~clustered:opts.clustered requests with
+      | Error e -> Error [ e ]
+      | Ok decisions ->
+        let ops = ref [] in
+        let emit op = ops := op :: !ops in
+        (* program metadata *)
+        emit
+          (Ipsa.Config.Declare_meta
+             (Hashtbl.fold (fun n w acc -> (n, w) :: acc) env.Rp4.Semantic.meta_widths []));
+        (* headers + linkage *)
+        List.iter (fun h -> emit (Ipsa.Config.Add_header (hdrdef_of_decl h))) prog.Rp4.Ast.headers;
+        (match prog.Rp4.Ast.headers with
+        | first :: _ -> emit (Ipsa.Config.Set_first_header first.Rp4.Ast.hd_name)
+        | [] -> ());
+        List.iter
+          (fun (pre, tag, next) -> emit (Ipsa.Config.Link_header { pre; tag; next }))
+          (links_of_prog prog);
+        (* tables *)
+        List.iter
+          (fun (d : Alloc.decision) ->
+            let td = Option.get (Rp4.Ast.find_table prog d.Alloc.dc_table) in
+            emit
+              (Ipsa.Config.Alloc_table (compile_table env td, d.Alloc.dc_cluster)))
+          decisions;
+        (* roles + templates + wiring *)
+        Array.iteri (fun i role -> emit (Ipsa.Config.Set_role (i, role))) layout.Layout.roles;
+        List.iter
+          (fun (tsp, g) ->
+            emit (Ipsa.Config.Write_template (tsp, Some (template_of_group env g))))
+          (Layout.assignment layout);
+        List.iter (fun (t, tsp) -> emit (Ipsa.Config.Connect_table (tsp, t))) hosts;
+        let patch = { Ipsa.Config.ops = List.rev !ops } in
+        let design =
+          {
+            Design.prog;
+            env;
+            igraph;
+            egraph;
+            layout;
+            table_cluster = List.map (fun (d : Alloc.decision) -> (d.Alloc.dc_table, d.Alloc.dc_cluster)) decisions;
+            table_host = hosts;
+            limits = opts.limits;
+            clustered = opts.clustered;
+          }
+        in
+        let nstages = List.length (Rp4.Ast.all_stages prog) in
+        Ok
+          {
+            design;
+            patch;
+            stats =
+              {
+                stages_compiled = nstages;
+                templates_emitted = List.length (Layout.assignment layout);
+                tables_placed = List.length decisions;
+                tables_freed = 0;
+                align = None;
+                work_units =
+                  (10 * nstages)
+                  + (8 * List.length decisions)
+                  + (4 * List.length prog.Rp4.Ast.headers)
+                  + (6 * List.length (Layout.assignment layout));
+                config_bytes = Ipsa.Config.byte_size patch;
+              };
+          }))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental updates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a Link_hdr/Unlink_hdr command to the program's implicit parsers,
+   keeping the AST the single source of truth for header linkage. *)
+let apply_hdr_cmd errors prog = function
+  | Link_hdr (pre, tag, next) ->
+    let found = ref false in
+    let headers =
+      List.map
+        (fun (h : Rp4.Ast.header_decl) ->
+          if h.Rp4.Ast.hd_name = pre then begin
+            found := true;
+            match h.Rp4.Ast.hd_parser with
+            | Some ip ->
+              let cases =
+                List.filter (fun (t, _) -> not (Int64.equal t tag)) ip.Rp4.Ast.ip_cases
+                @ [ (tag, next) ]
+              in
+              { h with Rp4.Ast.hd_parser = Some { ip with Rp4.Ast.ip_cases = cases } }
+            | None ->
+              errors :=
+                Printf.sprintf "link_header: header %s has no implicit parser" pre
+                :: !errors;
+              h
+          end
+          else h)
+        prog.Rp4.Ast.headers
+    in
+    if not !found then
+      errors := Printf.sprintf "link_header: unknown header %s" pre :: !errors;
+    { prog with Rp4.Ast.headers = headers }
+  | Unlink_hdr (pre, next) ->
+    let headers =
+      List.map
+        (fun (h : Rp4.Ast.header_decl) ->
+          if h.Rp4.Ast.hd_name = pre then
+            match h.Rp4.Ast.hd_parser with
+            | Some ip ->
+              let cases = List.filter (fun (_, n) -> n <> next) ip.Rp4.Ast.ip_cases in
+              { h with Rp4.Ast.hd_parser = Some { ip with Rp4.Ast.ip_cases = cases } }
+            | None -> h
+          else h)
+        prog.Rp4.Ast.headers
+    in
+    { prog with Rp4.Ast.headers = headers }
+  | Add_link _ | Del_link _ | Set_entry _ -> prog
+
+(* Graph that owns (or should own) a stage named in a link command: the
+   one whose reachable set contains the peer endpoint. *)
+let apply_link_cmd errors (prog : Rp4.Ast.program) igraph egraph = function
+  | Add_link (a, b) ->
+    let target =
+      if List.mem a (Graph.reachable igraph) || List.mem b (Graph.reachable igraph) then igraph
+      else if List.mem a (Graph.reachable egraph) || List.mem b (Graph.reachable egraph)
+      then egraph
+      else igraph
+    in
+    if Rp4.Ast.find_stage prog a = None && Rp4.Ast.find_stage prog b = None then
+      errors := Printf.sprintf "add_link: unknown stages %s, %s" a b :: !errors;
+    Graph.add_link target ~from_:a ~to_:b
+  | Del_link (a, b) ->
+    Graph.del_link igraph ~from_:a ~to_:b;
+    Graph.del_link egraph ~from_:a ~to_:b
+  | Set_entry (pipe, s) -> (
+    if Rp4.Ast.find_stage prog s = None then
+      errors := Printf.sprintf "set_entry: unknown stage %s" s :: !errors
+    else
+      match pipe with
+      | Pipe_ingress -> Graph.set_entry igraph s
+      | Pipe_egress -> Graph.set_entry egraph s)
+  | Link_hdr _ | Unlink_hdr _ -> ()
+
+(* Diff-based patch emission shared by insert and delete. *)
+let emit_update ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool :
+    (result_t, string list) result =
+  let ingress_groups = groups_of_graph env' design.Design.limits igraph in
+  let egress_groups = groups_of_graph env' design.Design.limits egraph in
+  match
+    Layout.place_incremental ~algo ~old:design.Design.layout ~ingress:ingress_groups
+      ~egress:egress_groups
+  with
+  | Error e -> Error [ e ]
+  | Ok (layout', align) -> (
+    let hosts' = table_hosts env' layout' in
+    let prog' = env'.Rp4.Semantic.prog in
+    let old_tables = List.map fst design.Design.table_cluster in
+    let live' = List.sort_uniq String.compare (List.map fst hosts') in
+    let new_tables = List.filter (fun t -> not (List.mem t old_tables)) live' in
+    let dead_tables = List.filter (fun t -> not (List.mem t live')) old_tables in
+    let nclusters = Mem.Pool.nclusters pool in
+    let ntsps = layout'.Layout.ntsps in
+    let requests =
+      List.map
+        (fun tname ->
+          let td = Option.get (Rp4.Ast.find_table prog' tname) in
+          let host = List.assoc_opt tname hosts' in
+          {
+            Alloc.rq_table = tname;
+            rq_entry_width = Rp4.Semantic.entry_width env' td;
+            rq_depth = td.Rp4.Ast.td_size;
+            rq_host_cluster =
+              (match (design.Design.clustered, host) with
+              | true, Some tsp -> Some (tsp_cluster ~ntsps ~nclusters tsp)
+              | _ -> None);
+          })
+        new_tables
+    in
+    match Alloc.place ~pool ~clustered:design.Design.clustered requests with
+    | Error e -> Error [ e ]
+    | Ok decisions ->
+      let ops = ref [] in
+      let emit op = ops := op :: !ops in
+      (* newly declared metadata fields *)
+      let new_meta =
+        Hashtbl.fold
+          (fun n w acc ->
+            if Hashtbl.mem design.Design.env.Rp4.Semantic.meta_widths n then acc
+            else (n, w) :: acc)
+          env'.Rp4.Semantic.meta_widths []
+      in
+      if new_meta <> [] then emit (Ipsa.Config.Declare_meta new_meta);
+      (* header linkage changes: emit the diff against the old program *)
+      let old_links = links_of_prog design.Design.prog in
+      let new_links = links_of_prog prog' in
+      List.iter
+        (fun (h : Rp4.Ast.header_decl) ->
+          if Rp4.Ast.find_header design.Design.prog h.Rp4.Ast.hd_name = None then
+            emit (Ipsa.Config.Add_header (hdrdef_of_decl h)))
+        prog'.Rp4.Ast.headers;
+      List.iter
+        (fun (pre, tag, next) ->
+          if not (List.mem (pre, tag, next) old_links) then
+            emit (Ipsa.Config.Link_header { pre; tag; next }))
+        new_links;
+      List.iter
+        (fun (pre, tag, next) ->
+          if not (List.mem (pre, tag, next) new_links) then begin
+            ignore tag;
+            emit (Ipsa.Config.Unlink_header { pre; next })
+          end)
+        old_links;
+      (* table changes *)
+      List.iter
+        (fun tname ->
+          (match List.assoc_opt tname design.Design.table_host with
+          | Some tsp -> emit (Ipsa.Config.Disconnect_table (tsp, tname))
+          | None -> ());
+          emit (Ipsa.Config.Free_table tname))
+        dead_tables;
+      List.iter
+        (fun (d : Alloc.decision) ->
+          let td = Option.get (Rp4.Ast.find_table prog' d.Alloc.dc_table) in
+          emit (Ipsa.Config.Alloc_table (compile_table env' td, d.Alloc.dc_cluster)))
+        decisions;
+      (* templates for changed TSPs only *)
+      let changed = Layout.diff_tsps ~old:design.Design.layout ~next:layout' in
+      List.iter
+        (fun tsp ->
+          let tmpl =
+            Option.map (template_of_group env') (Layout.group_at layout' tsp)
+          in
+          if design.Design.layout.Layout.roles.(tsp) <> layout'.Layout.roles.(tsp) then
+            emit (Ipsa.Config.Set_role (tsp, layout'.Layout.roles.(tsp)));
+          emit (Ipsa.Config.Write_template (tsp, tmpl)))
+        changed;
+      (* wiring for tables hosted on changed TSPs or newly allocated *)
+      List.iter
+        (fun (tname, tsp) ->
+          let was = List.assoc_opt tname design.Design.table_host in
+          if was <> Some tsp || List.mem tname new_tables then begin
+            (match was with
+            | Some old_tsp when old_tsp <> tsp ->
+              emit (Ipsa.Config.Disconnect_table (old_tsp, tname))
+            | _ -> ());
+            emit (Ipsa.Config.Connect_table (tsp, tname))
+          end)
+        hosts';
+      let patch = { Ipsa.Config.ops = List.rev !ops } in
+      let table_cluster' =
+        List.filter (fun (t, _) -> not (List.mem t dead_tables)) design.Design.table_cluster
+        @ List.map (fun (d : Alloc.decision) -> (d.Alloc.dc_table, d.Alloc.dc_cluster)) decisions
+      in
+      let design' =
+        {
+          design with
+          Design.prog = prog';
+          env = env';
+          igraph;
+          egraph;
+          layout = layout';
+          table_cluster = table_cluster';
+          table_host = hosts';
+        }
+      in
+      let recompiled =
+        List.fold_left
+          (fun acc tsp ->
+            match Layout.group_at layout' tsp with
+            | Some g -> acc + List.length g.Group.g_stages
+            | None -> acc)
+          0 changed
+      in
+      Ok
+        {
+          design = design';
+          patch;
+          stats =
+            {
+              stages_compiled = recompiled;
+              templates_emitted = List.length changed;
+              tables_placed = List.length decisions;
+              tables_freed = List.length dead_tables;
+              align = Some align;
+              work_units =
+                (10 * recompiled)
+                + (8 * List.length decisions)
+                + (6 * List.length changed)
+                + align.Layout.work / 4;
+              config_bytes = Ipsa.Config.byte_size patch;
+            };
+        })
+
+(* Insert an rP4 function: the [load <file> --func_name <f>] +
+   add_link/del_link/link_header script of Fig. 5(b,c). *)
+let insert_function (design : Design.t) ~(snippet : Rp4.Ast.program) ~func_name
+    ~(cmds : cmd list) ~algo ~pool : (result_t, string list) result =
+  match Rp4.Semantic.build ~base:design.Design.prog snippet with
+  | Error errs -> Error errs
+  | Ok env0 -> (
+    let errors = ref [] in
+    (* register the function: its stages are the snippet's stages *)
+    let snippet_stages =
+      List.map (fun s -> s.Rp4.Ast.st_name) (Rp4.Ast.all_stages snippet)
+    in
+    let prog0 = env0.Rp4.Semantic.prog in
+    let prog0 =
+      if Rp4.Ast.find_func prog0 func_name = None then
+        {
+          prog0 with
+          Rp4.Ast.funcs =
+            prog0.Rp4.Ast.funcs @ [ { Rp4.Ast.fn_name = func_name; fn_stages = snippet_stages } ];
+        }
+      else prog0
+    in
+    let prog1 = List.fold_left (apply_hdr_cmd errors) prog0 cmds in
+    let igraph = Graph.copy design.Design.igraph in
+    let egraph = Graph.copy design.Design.egraph in
+    List.iter (apply_link_cmd errors prog1 igraph egraph) cmds;
+    match !errors with
+    | _ :: _ -> Error (List.rev !errors)
+    | [] -> (
+      (* re-check the edited program *)
+      match Rp4.Semantic.build prog1 with
+      | Error errs -> Error errs
+      | Ok env' -> emit_update ~design ~env' ~igraph ~egraph ~algo ~pool))
+
+(* Remove declarations that are no longer referenced after a deletion. *)
+let prune_program (prog : Rp4.Ast.program) ~(dead_stages : string list) =
+  let keep_stage s = not (List.mem s.Rp4.Ast.st_name dead_stages) in
+  let prog =
+    {
+      prog with
+      Rp4.Ast.ingress = List.filter keep_stage prog.Rp4.Ast.ingress;
+      egress = List.filter keep_stage prog.Rp4.Ast.egress;
+      loose_stages = List.filter keep_stage prog.Rp4.Ast.loose_stages;
+    }
+  in
+  let live_stages = Rp4.Ast.all_stages prog in
+  let used_tables =
+    List.concat_map (fun s -> Rp4.Ast.matcher_tables s.Rp4.Ast.st_matcher) live_stages
+  in
+  let used_actions =
+    List.concat_map
+      (fun (s : Rp4.Ast.stage_decl) ->
+        List.concat_map snd s.Rp4.Ast.st_executor.Rp4.Ast.ex_cases
+        @ s.Rp4.Ast.st_executor.Rp4.Ast.ex_default)
+      live_stages
+  in
+  {
+    prog with
+    Rp4.Ast.tables = List.filter (fun t -> List.mem t.Rp4.Ast.td_name used_tables) prog.Rp4.Ast.tables;
+    actions = List.filter (fun a -> List.mem a.Rp4.Ast.ad_name used_actions) prog.Rp4.Ast.actions;
+  }
+
+(* Delete a function: splice its stages out of the graphs, recycle its
+   tables and prune the program. *)
+let delete_function (design : Design.t) ~func_name ~algo ~pool :
+    (result_t, string list) result =
+  match Rp4.Ast.find_func design.Design.prog func_name with
+  | None -> Error [ Printf.sprintf "delete: unknown function %s" func_name ]
+  | Some f ->
+    let dead = f.Rp4.Ast.fn_stages in
+    let igraph = Graph.copy design.Design.igraph in
+    let egraph = Graph.copy design.Design.egraph in
+    let splice graph s =
+      let ps = Graph.preds graph s and ss = Graph.succs graph s in
+      List.iter (fun p -> Graph.del_link graph ~from_:p ~to_:s) ps;
+      List.iter (fun n -> Graph.del_link graph ~from_:s ~to_:n) ss;
+      List.iter
+        (fun p -> List.iter (fun n -> Graph.add_link graph ~from_:p ~to_:n) ss)
+        ps
+    in
+    List.iter
+      (fun s ->
+        splice igraph s;
+        splice egraph s)
+      dead;
+    let prog' = prune_program design.Design.prog ~dead_stages:dead in
+    let prog' =
+      {
+        prog' with
+        Rp4.Ast.funcs = List.filter (fun g -> g.Rp4.Ast.fn_name <> func_name) prog'.Rp4.Ast.funcs;
+      }
+    in
+    (match Rp4.Semantic.build prog' with
+    | Error errs -> Error errs
+    | Ok env' -> emit_update ~design ~env' ~igraph ~egraph ~algo ~pool)

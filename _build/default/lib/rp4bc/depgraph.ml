@@ -1,0 +1,142 @@
+(* Stage dependency analysis.
+
+   rp4bc merges *independent* logical stages into one TSP (Sec. 3.1: "One
+   TSP can host multiple independent stages"). Independence is established
+   from read/write sets, with one refinement: stages whose guards are
+   provably mutually exclusive (e.g. [meta.l3_type == 4] vs
+   [meta.l3_type == 6], or validity of two alternative headers reached by
+   different tags of the same implicit parser) may conflict on writes —
+   only one of them ever fires per packet. *)
+
+module SS = Set.Make (String)
+
+type stage_summary = {
+  ss_name : string;
+  ss_reads : SS.t; (* field refs read: keys, conditions, action exprs *)
+  ss_writes : SS.t; (* field refs written by any reachable action *)
+  ss_tables : SS.t;
+  ss_guard : Rp4.Ast.cond; (* top-level matcher guard, C_true if none *)
+}
+
+let ref_str = Rp4.Ast.field_ref_to_string
+
+let valid_ref h = h ^ ".$valid"
+
+(* The guard of a stage: the condition wrapping the whole matcher, if the
+   matcher is a single if-chain. *)
+let guard_of (s : Rp4.Ast.stage_decl) =
+  match s.Rp4.Ast.st_matcher with
+  | Rp4.Ast.M_if (c, _, Rp4.Ast.M_nop) -> c
+  | _ -> Rp4.Ast.C_true
+
+let summarize env (s : Rp4.Ast.stage_decl) : stage_summary =
+  let reads = ref SS.empty and writes = ref SS.empty in
+  let add_read fr = reads := SS.add (ref_str fr) !reads in
+  let add_write fr = writes := SS.add (ref_str fr) !writes in
+  (* matcher conditions *)
+  let rec walk_matcher m =
+    match m with
+    | Rp4.Ast.M_nop -> ()
+    | Rp4.Ast.M_seq ms -> List.iter walk_matcher ms
+    | Rp4.Ast.M_if (c, a, b) ->
+      List.iter add_read (Rp4.Ast.cond_reads c);
+      List.iter (fun h -> reads := SS.add (valid_ref h) !reads) (Rp4.Ast.cond_headers c);
+      walk_matcher a;
+      walk_matcher b
+    | Rp4.Ast.M_apply tname -> (
+      match Rp4.Ast.find_table env.Rp4.Semantic.prog tname with
+      | Some td -> List.iter (fun (fr, _) -> add_read fr) td.Rp4.Ast.td_key
+      | None -> ())
+  in
+  walk_matcher s.Rp4.Ast.st_matcher;
+  (* executor actions *)
+  let actions =
+    List.concat_map snd s.Rp4.Ast.st_executor.Rp4.Ast.ex_cases
+    @ s.Rp4.Ast.st_executor.Rp4.Ast.ex_default
+  in
+  List.iter
+    (fun name ->
+      match Rp4.Ast.find_action env.Rp4.Semantic.prog name with
+      | Some a ->
+        List.iter
+          (fun stmt ->
+            List.iter add_read (Rp4.Ast.stmt_reads stmt);
+            List.iter add_write (Rp4.Ast.stmt_writes stmt))
+          a.Rp4.Ast.ad_body
+      | None -> ())
+    actions;
+  {
+    ss_name = s.Rp4.Ast.st_name;
+    ss_reads = !reads;
+    ss_writes = !writes;
+    ss_tables = SS.of_list (Rp4.Ast.matcher_tables s.Rp4.Ast.st_matcher);
+    ss_guard = guard_of s;
+  }
+
+(* --- guard exclusivity ------------------------------------------------ *)
+
+(* Equality atoms (field = constant) of a conjunction. *)
+let rec eq_atoms = function
+  | Rp4.Ast.C_rel (Rp4.Ast.Eq, Rp4.Ast.E_field fr, Rp4.Ast.E_const (v, _))
+  | Rp4.Ast.C_rel (Rp4.Ast.Eq, Rp4.Ast.E_const (v, _), Rp4.Ast.E_field fr) ->
+    [ (ref_str fr, v) ]
+  | Rp4.Ast.C_and (a, b) -> eq_atoms a @ eq_atoms b
+  | _ -> []
+
+let rec validity_atoms = function
+  | Rp4.Ast.C_valid h -> [ h ]
+  | Rp4.Ast.C_and (a, b) -> validity_atoms a @ validity_atoms b
+  | _ -> []
+
+(* Two headers are parse-alternatives when some implicit parser reaches
+   them through different tags of the same selector — they cannot both be
+   on one packet's parse chain. *)
+let parse_alternatives env h1 h2 =
+  h1 <> h2
+  && List.exists
+       (fun (hd : Rp4.Ast.header_decl) ->
+         match hd.Rp4.Ast.hd_parser with
+         | Some ip ->
+           let targets = List.map snd ip.Rp4.Ast.ip_cases in
+           List.mem h1 targets && List.mem h2 targets
+         | None -> false)
+       env.Rp4.Semantic.prog.Rp4.Ast.headers
+
+let guards_exclusive env g1 g2 =
+  (* same field constrained to different constants *)
+  let atoms1 = eq_atoms g1 and atoms2 = eq_atoms g2 in
+  List.exists
+    (fun (f1, v1) ->
+      List.exists (fun (f2, v2) -> f1 = f2 && not (Int64.equal v1 v2)) atoms2)
+    atoms1
+  || (* validity of alternative headers *)
+  List.exists
+    (fun h1 -> List.exists (fun h2 -> parse_alternatives env h1 h2) (validity_atoms g2))
+    (validity_atoms g1)
+
+(* --- independence ------------------------------------------------------ *)
+
+type dependency =
+  | Independent
+  | Match_dep of string (* b's match reads a field a writes *)
+  | Action_dep of string (* write/write or a reads what b writes *)
+  | Table_shared of string
+
+let classify env a b =
+  let shared_tables = SS.inter a.ss_tables b.ss_tables in
+  if not (SS.is_empty shared_tables) then Table_shared (SS.choose shared_tables)
+  else begin
+    let excl = guards_exclusive env a.ss_guard b.ss_guard in
+    if excl then Independent
+    else begin
+      let w_r = SS.inter a.ss_writes b.ss_reads in
+      let w_w = SS.inter a.ss_writes b.ss_writes in
+      let r_w = SS.inter a.ss_reads b.ss_writes in
+      if not (SS.is_empty w_r) then Match_dep (SS.choose w_r)
+      else if not (SS.is_empty w_w) then Action_dep (SS.choose w_w)
+      else if not (SS.is_empty r_w) then Action_dep (SS.choose r_w)
+      else Independent
+    end
+  end
+
+let independent env a b = classify env a b = Independent

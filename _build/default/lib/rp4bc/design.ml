@@ -1,0 +1,73 @@
+(* A compiled base design: the artifact users reason about when planning
+   in-situ updates.
+
+   Holds the merged rP4 program (single source of truth, including the
+   current header linkage inside the implicit parsers), the stage graphs
+   of both pipes, the physical layout, and the table placement decisions.
+   rp4bc's incremental flow consumes a design plus a snippet and produces
+   an updated design plus a device patch. *)
+
+type t = {
+  prog : Rp4.Ast.program;
+  env : Rp4.Semantic.env;
+  igraph : Graph.t;
+  egraph : Graph.t;
+  layout : Layout.t;
+  table_cluster : (string * int option) list; (* placement decisions *)
+  table_host : (string * int) list; (* table -> hosting TSP *)
+  limits : Group.limits;
+  clustered : bool;
+}
+
+let layout t = t.layout
+let program t = t.prog
+
+(* The updated base design as rP4 source — rp4bc's first output for an
+   incremental update. Stages are emitted in execution (topological)
+   order so that re-parsing the source reproduces the same chain. *)
+let to_source t =
+  let ordered_stages graph =
+    List.filter_map (Rp4.Ast.find_stage t.prog) (Graph.topo_order graph)
+  in
+  let prog =
+    {
+      t.prog with
+      Rp4.Ast.ingress = ordered_stages t.igraph;
+      egress = ordered_stages t.egraph;
+      loose_stages = [];
+    }
+  in
+  Rp4.Pretty.program prog
+
+(* Stages of a function, per the user_funcs section. *)
+let func_stages t name =
+  match Rp4.Ast.find_func t.prog name with
+  | Some f -> f.Rp4.Ast.fn_stages
+  | None -> []
+
+(* Fig. 4-style description: TSP index -> hosted logical stages. *)
+let mapping t =
+  List.map
+    (fun (i, g) ->
+      (i, g.Group.g_stages, Ipsa.Pipeline.role_to_string t.layout.Layout.roles.(i)))
+    (Layout.assignment t.layout)
+
+let mapping_to_string t =
+  String.concat "\n"
+    (List.map
+       (fun (i, stages, role) ->
+         Printf.sprintf "TSP %d [%s]: %s" i role (String.concat " + " stages))
+       (mapping t))
+
+(* Tables referenced by stages reachable in either pipe. *)
+let live_tables t =
+  let stages =
+    Graph.reachable t.igraph @ Graph.reachable t.egraph
+  in
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun sname ->
+         match Rp4.Ast.find_stage t.prog sname with
+         | Some s -> Rp4.Ast.matcher_tables s.Rp4.Ast.st_matcher
+         | None -> [])
+       stages)

@@ -1,0 +1,91 @@
+(* Stage graph: the logical control flow between pipeline stages.
+
+   A design's stages form a DAG rooted at the pipe entry; the controller's
+   [add_link]/[del_link] commands (Fig. 5(b)) edit the edges, and function
+   deletion is simply edge removal — stages that become unreachable are
+   recycled along with their tables. The back-end compiler linearises the
+   DAG (topological order) onto the physical TSP chain; stage guards make
+   off-path stages no-ops, so linearisation preserves semantics. *)
+
+type t = {
+  mutable edges : (string * string) list;
+  mutable entry : string option;
+}
+
+let create ?entry () = { edges = []; entry }
+
+let copy t = { edges = t.edges; entry = t.entry }
+
+(* Build the initial graph of a pipe: consecutive stages are chained. *)
+let of_chain stages =
+  let rec chain = function
+    | a :: (b :: _ as rest) -> (a, b) :: chain rest
+    | _ -> []
+  in
+  {
+    edges = chain stages;
+    entry = (match stages with s :: _ -> Some s | [] -> None);
+  }
+
+let set_entry t s = t.entry <- Some s
+let entry t = t.entry
+let edges t = t.edges
+
+let add_link t ~from_ ~to_ =
+  if not (List.mem (from_, to_) t.edges) then t.edges <- t.edges @ [ (from_, to_) ]
+
+let del_link t ~from_ ~to_ =
+  t.edges <- List.filter (fun e -> e <> (from_, to_)) t.edges
+
+let succs t s = List.filter_map (fun (a, b) -> if a = s then Some b else None) t.edges
+let preds t s = List.filter_map (fun (a, b) -> if b = s then Some a else None) t.edges
+
+(* Stages reachable from the entry. *)
+let reachable t =
+  match t.entry with
+  | None -> []
+  | Some entry ->
+    let seen = Hashtbl.create 16 in
+    let rec go s acc =
+      if Hashtbl.mem seen s then acc
+      else begin
+        Hashtbl.add seen s ();
+        List.fold_left (fun acc n -> go n acc) (s :: acc) (succs t s)
+      end
+    in
+    List.rev (go entry [])
+
+exception Cycle of string
+
+(* Topological order of the reachable stages (entry first). Branch
+   siblings end up adjacent, which is what the merge pass wants. *)
+let topo_order t =
+  let nodes = reachable t in
+  let node_set = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace node_set n ()) nodes;
+  let indeg = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let d =
+        List.length (List.filter (fun p -> Hashtbl.mem node_set p) (preds t n))
+      in
+      Hashtbl.replace indeg n d)
+    nodes;
+  (* Kahn's algorithm preserving the original node order for stability. *)
+  let order = ref [] in
+  let remaining = ref nodes in
+  let rec step () =
+    match List.find_opt (fun n -> Hashtbl.find indeg n = 0) !remaining with
+    | None -> if !remaining <> [] then raise (Cycle (String.concat "," !remaining))
+    | Some n ->
+      order := n :: !order;
+      remaining := List.filter (( <> ) n) !remaining;
+      List.iter
+        (fun s ->
+          if Hashtbl.mem node_set s then
+            Hashtbl.replace indeg s (Hashtbl.find indeg s - 1))
+        (succs t n);
+      if !remaining <> [] then step ()
+  in
+  if nodes <> [] then step ();
+  List.rev !order

@@ -1,0 +1,38 @@
+(** Stage graphs: the logical control flow between pipeline stages.
+
+    A design's stages form a DAG rooted at the pipe entry; the
+    controller's [add_link]/[del_link] commands (Fig. 5(b)) edit the
+    edges, and function deletion is edge removal — stages that become
+    unreachable are recycled with their tables. rp4bc linearises the DAG
+    (topological order) onto the physical TSP chain; stage guards make
+    off-path stages no-ops, so linearisation preserves semantics. *)
+
+type t
+
+val create : ?entry:string -> unit -> t
+val copy : t -> t
+
+val of_chain : string list -> t
+(** Consecutive stages chained by edges; the first is the entry. *)
+
+val set_entry : t -> string -> unit
+val entry : t -> string option
+val edges : t -> (string * string) list
+
+val add_link : t -> from_:string -> to_:string -> unit
+(** Idempotent. *)
+
+val del_link : t -> from_:string -> to_:string -> unit
+
+val succs : t -> string -> string list
+val preds : t -> string -> string list
+
+val reachable : t -> string list
+(** Stages reachable from the entry, preorder. *)
+
+exception Cycle of string
+
+val topo_order : t -> string list
+(** Topological order of the reachable stages, entry first; branch
+    siblings come out adjacent (what the merge pass wants).
+    @raise Cycle when the reachable subgraph is cyclic. *)

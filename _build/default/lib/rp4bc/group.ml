@@ -1,0 +1,54 @@
+(* Stage merging: pack consecutive independent logical stages into TSP
+   groups (Sec. 3.1: "One TSP can host multiple independent stages after
+   compiling").
+
+   Greedy scan over the topologically-ordered stage list: a stage joins
+   the current group when it is pairwise independent of every member and
+   the group stays within the TSP's capacity (stage count and table
+   count); otherwise it opens a new group. *)
+
+type t = {
+  g_stages : string list; (* in execution order *)
+  g_tables : string list;
+}
+
+let key t = String.concat "+" t.g_stages
+
+let equal a b = a.g_stages = b.g_stages
+
+type limits = { max_stages : int; max_tables : int }
+
+let default_limits = { max_stages = 4; max_tables = 4 }
+
+let merge ?(limits = default_limits) env (ordered : string list) : t list =
+  let summary name =
+    match Rp4.Ast.find_stage env.Rp4.Semantic.prog name with
+    | Some s -> Depgraph.summarize env s
+    | None -> invalid_arg ("Group.merge: unknown stage " ^ name)
+  in
+  let summaries = List.map summary ordered in
+  let close group = { g_stages = List.rev group.g_stages; g_tables = List.rev group.g_tables } in
+  let rec go acc current members = function
+    | [] -> List.rev (if current.g_stages = [] then acc else close current :: acc)
+    | ss :: rest ->
+      let tables = Depgraph.SS.elements ss.Depgraph.ss_tables in
+      let fits =
+        List.length current.g_stages < limits.max_stages
+        && List.length current.g_tables + List.length tables <= limits.max_tables
+        && List.for_all (fun m -> Depgraph.independent env m ss) members
+      in
+      if current.g_stages <> [] && fits then
+        go acc
+          {
+            g_stages = ss.Depgraph.ss_name :: current.g_stages;
+            g_tables = List.rev_append tables current.g_tables;
+          }
+          (ss :: members) rest
+      else begin
+        let acc = if current.g_stages = [] then acc else close current :: acc in
+        go acc
+          { g_stages = [ ss.Depgraph.ss_name ]; g_tables = tables }
+          [ ss ] rest
+      end
+  in
+  go [] { g_stages = []; g_tables = [] } [] summaries

@@ -1,0 +1,240 @@
+(* Physical layout: mapping TSP groups onto the elastic pipeline.
+
+   Initial designs map ingress groups to the leftmost TSPs and egress
+   groups to the rightmost (Sec. 2.3). Incremental updates re-align the
+   new group sequence against the old assignment so that unchanged groups
+   keep their TSP (no template rewrite); two algorithms are provided —
+   the trade-off the paper mentions between "dynamic programming and
+   greedy algorithm in terms of the function placement time and the
+   degree of optimization":
+
+   - [align_greedy]: first-fit left to right; fast, may rewrite more.
+   - [align_dp]: sequence-alignment DP minimising the number of template
+     rewrites; optimal, costs O(groups × TSPs) table cells. *)
+
+type t = {
+  ntsps : int;
+  slots : Group.t option array; (* physical TSP -> group *)
+  roles : Ipsa.Pipeline.role array;
+}
+
+let copy l = { l with slots = Array.copy l.slots; roles = Array.copy l.roles }
+
+let empty ntsps =
+  {
+    ntsps;
+    slots = Array.make ntsps None;
+    roles = Array.make ntsps Ipsa.Pipeline.Bypass;
+  }
+
+let group_at l i = l.slots.(i)
+
+let assignment l =
+  Array.to_list l.slots
+  |> List.mapi (fun i g -> (i, g))
+  |> List.filter_map (fun (i, g) -> Option.map (fun g -> (i, g)) g)
+
+let tsp_of_stage l stage =
+  let rec find i =
+    if i >= l.ntsps then None
+    else
+      match l.slots.(i) with
+      | Some g when List.mem stage g.Group.g_stages -> Some i
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let active_tsps l =
+  Array.fold_left (fun n s -> if s = None then n else n + 1) 0 l.slots
+
+(* ------------------------------------------------------------------ *)
+(* Initial placement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let place_full ~ntsps ~(ingress : Group.t list) ~(egress : Group.t list) :
+    (t, string) result =
+  let ni = List.length ingress and ne = List.length egress in
+  if ni + ne > ntsps then
+    Error
+      (Printf.sprintf "design needs %d ingress + %d egress TSPs, only %d available" ni
+         ne ntsps)
+  else begin
+    let l = empty ntsps in
+    List.iteri
+      (fun i g ->
+        l.slots.(i) <- Some g;
+        l.roles.(i) <- Ipsa.Pipeline.Ingress)
+      ingress;
+    List.iteri
+      (fun i g ->
+        let idx = ntsps - ne + i in
+        l.slots.(idx) <- Some g;
+        l.roles.(idx) <- Ipsa.Pipeline.Egress)
+      egress;
+    Ok l
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-alignment                                            *)
+(* ------------------------------------------------------------------ *)
+
+type align_stats = {
+  rewrites : int; (* templates written *)
+  kept : int; (* groups that kept their TSP untouched *)
+  work : int; (* algorithm steps, a machine-independent placement-time proxy *)
+}
+
+(* Assign ordered [groups] to strictly increasing positions in
+   [lo, hi); keeping a group on a TSP whose old content is identical
+   costs 0, any other position costs 1 rewrite. Returns positions. *)
+
+let align_greedy ~(old : Group.t option array) ~lo ~hi (groups : Group.t list) :
+    (int list * align_stats, string) result =
+  let work = ref 0 in
+  let rec go cursor acc rewrites kept = function
+    | [] -> Ok (List.rev acc, { rewrites; kept; work = !work })
+    | g :: rest ->
+      (* Scan for an identical old group at or right of the cursor. *)
+      let rec scan i =
+        incr work;
+        if i >= hi then None
+        else
+          match old.(i) with
+          | Some og when Group.equal og g -> Some i
+          | _ -> scan (i + 1)
+      in
+      (match scan cursor with
+      | Some i -> go (i + 1) (i :: acc) rewrites (kept + 1) rest
+      | None ->
+        if cursor >= hi then
+          Error
+            (Printf.sprintf "no TSP available for group %s in [%d,%d)" (Group.key g) lo
+               hi)
+        else begin
+          (* First-fit: take the cursor slot (rewrite). But skip slots whose
+             identical old group is needed by a later new group — greedy
+             doesn't look ahead, which is exactly its weakness. *)
+          go (cursor + 1) (cursor :: acc) (rewrites + 1) kept rest
+        end)
+  in
+  go lo [] 0 0 groups
+
+let align_dp ~(old : Group.t option array) ~lo ~hi (groups : Group.t list) :
+    (int list * align_stats, string) result =
+  let groups_arr = Array.of_list groups in
+  let k = Array.length groups_arr in
+  let n = hi - lo in
+  if k > n then Error (Printf.sprintf "%d groups cannot fit in %d TSP slots" k n)
+  else begin
+    let work = ref 0 in
+    let inf = max_int / 2 in
+    (* cost.(i).(j): min rewrites assigning groups i.. to slots (lo+j).. *)
+    let cost = Array.make_matrix (k + 1) (n + 1) inf in
+    let take = Array.make_matrix (k + 1) (n + 1) false in
+    for j = 0 to n do
+      cost.(k).(j) <- 0
+    done;
+    for i = k - 1 downto 0 do
+      for j = n - 1 downto 0 do
+        incr work;
+        (* Option A: place group i at slot lo+j. *)
+        let here =
+          let c =
+            match old.(lo + j) with
+            | Some og when Group.equal og groups_arr.(i) -> 0
+            | _ -> 1
+          in
+          if cost.(i + 1).(j + 1) < inf then c + cost.(i + 1).(j + 1) else inf
+        in
+        (* Option B: skip slot lo+j. *)
+        let skip = cost.(i).(j + 1) in
+        if here <= skip then begin
+          cost.(i).(j) <- here;
+          take.(i).(j) <- true
+        end
+        else cost.(i).(j) <- skip
+      done;
+      (* can't start past the end *)
+      ()
+    done;
+    if cost.(0).(0) >= inf then Error "dp alignment found no feasible placement"
+    else begin
+      let positions = ref [] in
+      let i = ref 0 and j = ref 0 in
+      while !i < k do
+        if take.(!i).(!j) then begin
+          positions := (lo + !j) :: !positions;
+          incr i;
+          incr j
+        end
+        else incr j
+      done;
+      let positions = List.rev !positions in
+      let rewrites =
+        List.fold_left2
+          (fun acc g pos ->
+            match old.(pos) with
+            | Some og when Group.equal og g -> acc
+            | _ -> acc + 1)
+          0 groups positions
+      in
+      Ok
+        ( positions,
+          { rewrites; kept = k - rewrites; work = !work } )
+    end
+  end
+
+type algo = Greedy | Dp
+
+let align = function Greedy -> align_greedy | Dp -> align_dp
+
+(* Re-layout a full design incrementally: align ingress groups into the
+   left region and egress groups into the right region of the pipeline,
+   then report which TSPs changed. *)
+let place_incremental ~algo ~(old : t) ~(ingress : Group.t list)
+    ~(egress : Group.t list) : (t * align_stats, string) result =
+  let ne = List.length egress in
+  (* Egress stays right-aligned: it occupies the last [ne] slots unless an
+     old identical group sits elsewhere in the right region. *)
+  let egress_lo = old.ntsps - ne in
+  if egress_lo < 0 then Error "too many egress groups"
+  else
+    match align algo ~old:old.slots ~lo:0 ~hi:egress_lo ingress with
+    | Error e -> Error e
+    | Ok (ipos, istats) -> (
+      match align algo ~old:old.slots ~lo:egress_lo ~hi:old.ntsps egress with
+      | Error e -> Error e
+      | Ok (epos, estats) ->
+        let l = empty old.ntsps in
+        List.iter2
+          (fun g pos ->
+            l.slots.(pos) <- Some g;
+            l.roles.(pos) <- Ipsa.Pipeline.Ingress)
+          ingress ipos;
+        List.iter2
+          (fun g pos ->
+            l.slots.(pos) <- Some g;
+            l.roles.(pos) <- Ipsa.Pipeline.Egress)
+          egress epos;
+        Ok
+          ( l,
+            {
+              rewrites = istats.rewrites + estats.rewrites;
+              kept = istats.kept + estats.kept;
+              work = istats.work + estats.work;
+            } ))
+
+(* TSPs whose content differs between two layouts — these need a template
+   write (or an unload when the new content is None). *)
+let diff_tsps ~(old : t) ~(next : t) =
+  let changed = ref [] in
+  for i = old.ntsps - 1 downto 0 do
+    let same =
+      match (old.slots.(i), next.slots.(i)) with
+      | None, None -> true
+      | Some a, Some b -> Group.equal a b
+      | _ -> false
+    in
+    if not same then changed := i :: !changed
+  done;
+  !changed

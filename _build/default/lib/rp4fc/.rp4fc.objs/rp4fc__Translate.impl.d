@@ -1,0 +1,1 @@
+lib/rp4fc/translate.ml: List P4lite Rp4 String

@@ -1,0 +1,159 @@
+(* rp4fc — the rP4 front-end compiler: P4 (HLIR) -> semantically
+   equivalent rP4 (Sec. 3.2, "Flow for Base Design").
+
+   Structure of the transformation:
+   - header instances become rP4 headers; the parse graph becomes each
+     header's implicit parser (selector fields + tag cases);
+   - the metadata struct carries over;
+   - actions carry over unchanged (the statement language is shared);
+   - every [table.apply()] in the ingress apply block becomes one rP4
+     stage whose matcher guard is the conjunction of the enclosing
+     conditionals, and whose executor is derived from the table's action
+     list: the i-th declared action gets switch tag i+1, the default
+     action handles misses. *)
+
+exception Error of string
+
+let conj conds =
+  match conds with
+  | [] -> Rp4.Ast.C_true
+  | c :: rest -> List.fold_left (fun acc c -> Rp4.Ast.C_and (acc, c)) c rest
+
+(* Header instances a condition or key refers to — the stage's parser
+   module must request them. *)
+let headers_of_table (t : P4lite.Ast.table_decl) =
+  List.filter_map
+    (function Rp4.Ast.Hdr_field (h, _), _ -> Some h | _ -> None)
+    t.P4lite.Ast.t_key
+
+let stage_of_table (prog : P4lite.Ast.program) conds (t : P4lite.Ast.table_decl) :
+    Rp4.Ast.stage_decl =
+  let guard = conj (List.rev conds) in
+  let matcher =
+    match guard with
+    | Rp4.Ast.C_true -> Rp4.Ast.M_apply t.P4lite.Ast.t_name
+    | g -> Rp4.Ast.M_if (g, Rp4.Ast.M_apply t.P4lite.Ast.t_name, Rp4.Ast.M_nop)
+  in
+  let tagged =
+    List.mapi (fun i a -> (i + 1, [ a ])) t.P4lite.Ast.t_actions
+    |> List.filter (fun (_, acts) -> acts <> [ "NoAction" ])
+  in
+  let default =
+    match t.P4lite.Ast.t_default with Some a -> [ a ] | None -> [ "NoAction" ]
+  in
+  let parse_hdrs =
+    List.sort_uniq String.compare
+      (headers_of_table t
+      @ List.concat_map Rp4.Ast.cond_headers conds)
+  in
+  ignore prog;
+  {
+    Rp4.Ast.st_name = t.P4lite.Ast.t_name;
+    st_parser = parse_hdrs;
+    st_matcher = matcher;
+    st_executor = { Rp4.Ast.ex_cases = tagged; ex_default = default };
+  }
+
+let rec stages_of_apply prog conds (stmts : P4lite.Ast.apply_stmt list) :
+    Rp4.Ast.stage_decl list =
+  List.concat_map
+    (function
+      | P4lite.Ast.A_apply tname -> (
+        match P4lite.Ast.find_table prog tname with
+        | Some t -> [ stage_of_table prog conds t ]
+        | None -> raise (Error ("apply of unknown table " ^ tname)))
+      | P4lite.Ast.A_if (c, then_, else_) ->
+        stages_of_apply prog (c :: conds) then_
+        @ stages_of_apply prog (Rp4.Ast.C_not c :: conds) else_)
+    stmts
+
+let translate (prog : P4lite.Ast.program) : Rp4.Ast.program =
+  let graph = P4lite.Hlir.build prog in
+  (* headers: instances in extraction-relevant order (first instance
+     leads, so the device's first-header setting is right) *)
+  let instance_order =
+    let first = match graph.P4lite.Hlir.pg_first with Some f -> [ f ] | None -> [] in
+    first
+    @ List.filter
+        (fun i -> Some i <> graph.P4lite.Hlir.pg_first)
+        (List.map (fun i -> i.P4lite.Ast.i_name) prog.P4lite.Ast.instances)
+  in
+  let headers =
+    List.map
+      (fun iname ->
+        let inst =
+          match P4lite.Ast.find_instance prog iname with
+          | Some i -> i
+          | None -> raise (Error ("undeclared header instance " ^ iname))
+        in
+        let ht =
+          match P4lite.Ast.find_header_type prog inst.P4lite.Ast.i_type with
+          | Some h -> h
+          | None -> raise (Error ("unknown header type " ^ inst.P4lite.Ast.i_type))
+        in
+        let sel = P4lite.Hlir.sel_fields_of graph iname in
+        {
+          Rp4.Ast.hd_name = iname;
+          hd_fields =
+            List.map
+              (fun f -> { Rp4.Ast.fd_name = f.P4lite.Ast.f_name; fd_width = f.P4lite.Ast.f_width })
+              ht.P4lite.Ast.ht_fields;
+          hd_parser =
+            (if sel = [] then None
+             else
+               Some
+                 {
+                   Rp4.Ast.ip_sel = sel;
+                   ip_cases = P4lite.Hlir.cases_of graph iname;
+                 });
+        })
+      instance_order
+  in
+  let structs =
+    if prog.P4lite.Ast.metadata = [] then []
+    else
+      [
+        {
+          Rp4.Ast.sd_name = "metadata_t";
+          sd_members =
+            List.map
+              (fun f -> { Rp4.Ast.fd_name = f.P4lite.Ast.f_name; fd_width = f.P4lite.Ast.f_width })
+              prog.P4lite.Ast.metadata;
+          sd_alias = Some "meta";
+        };
+      ]
+  in
+  let actions =
+    List.map
+      (fun (a : P4lite.Ast.action_decl) ->
+        { Rp4.Ast.ad_name = a.P4lite.Ast.a_name; ad_params = a.P4lite.Ast.a_params; ad_body = a.P4lite.Ast.a_body })
+      prog.P4lite.Ast.actions
+  in
+  let tables =
+    List.map
+      (fun (t : P4lite.Ast.table_decl) ->
+        { Rp4.Ast.td_name = t.P4lite.Ast.t_name; td_key = t.P4lite.Ast.t_key; td_size = t.P4lite.Ast.t_size })
+      prog.P4lite.Ast.tables
+  in
+  let stages = stages_of_apply prog [] prog.P4lite.Ast.apply in
+  {
+    Rp4.Ast.empty_program with
+    Rp4.Ast.headers;
+    structs;
+    actions;
+    tables;
+    ingress = stages;
+    funcs =
+      [
+        {
+          Rp4.Ast.fn_name = "ingress";
+          fn_stages = List.map (fun s -> s.Rp4.Ast.st_name) stages;
+        };
+      ];
+    ingress_entry =
+      (match stages with s :: _ -> Some s.Rp4.Ast.st_name | [] -> None);
+  }
+
+(* Convenience: P4 source text -> rP4 source text (what the rp4fc binary
+   prints). *)
+let source_to_source p4_src = Rp4.Pretty.program (translate (P4lite.Parser.parse_string p4_src))

@@ -1,0 +1,1 @@
+lib/solver/ilp.ml: Array Float

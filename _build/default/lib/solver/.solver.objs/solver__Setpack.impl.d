@@ -1,0 +1,1 @@
+lib/solver/setpack.ml: Array Ilp List

@@ -1,0 +1,125 @@
+(* 0-1 integer linear programming by branch-and-bound.
+
+   The paper embeds YALMIP into rp4bc to solve the (NP-complete) table
+   set-packing problem; the sealed environment has no external solver, so
+   this module provides an equivalent from scratch: maximise c·x subject
+   to Ax ≤ b with x ∈ {0,1}ⁿ. A greedy warm start gives the incumbent;
+   depth-first branch-and-bound with a residual-capacity feasibility check
+   and an optimistic remaining-objective bound either proves optimality or
+   stops at a node budget and reports the best heuristic solution — the
+   same "heuristic solution" behaviour the paper describes. *)
+
+type problem = {
+  nvars : int;
+  objective : float array; (* length nvars *)
+  (* each constraint: coefficients (length nvars), bound *)
+  constraints : (float array * float) array;
+}
+
+type solution = {
+  assignment : bool array;
+  value : float;
+  optimal : bool; (* true if branch-and-bound exhausted the tree *)
+  nodes : int; (* nodes explored *)
+}
+
+let check_problem p =
+  if Array.length p.objective <> p.nvars then invalid_arg "Ilp: objective length";
+  Array.iter
+    (fun (coefs, _) ->
+      if Array.length coefs <> p.nvars then invalid_arg "Ilp: constraint length")
+    p.constraints
+
+let feasible p assignment =
+  Array.for_all
+    (fun (coefs, bound) ->
+      let lhs = ref 0.0 in
+      Array.iteri (fun i a -> if a then lhs := !lhs +. coefs.(i)) assignment;
+      !lhs <= bound +. 1e-9)
+    p.constraints
+
+let value_of p assignment =
+  let v = ref 0.0 in
+  Array.iteri (fun i a -> if a then v := !v +. p.objective.(i)) assignment;
+  !v
+
+(* Greedy: take variables in decreasing objective order when they fit. *)
+let solve_greedy p =
+  check_problem p;
+  let order = Array.init p.nvars (fun i -> i) in
+  Array.sort (fun a b -> Float.compare p.objective.(b) p.objective.(a)) order;
+  let residual = Array.map snd p.constraints in
+  let assignment = Array.make p.nvars false in
+  Array.iter
+    (fun i ->
+      if p.objective.(i) > 0.0 then begin
+        let fits =
+          Array.for_all2
+            (fun (coefs, _) r -> coefs.(i) <= r +. 1e-9)
+            p.constraints residual
+        in
+        if fits then begin
+          assignment.(i) <- true;
+          Array.iteri (fun k (coefs, _) -> residual.(k) <- residual.(k) -. coefs.(i))
+            p.constraints
+        end
+      end)
+    order;
+  { assignment; value = value_of p assignment; optimal = false; nodes = 0 }
+
+let solve ?(node_budget = 200_000) p =
+  check_problem p;
+  if p.nvars = 0 then
+    { assignment = [||]; value = 0.0; optimal = true; nodes = 0 }
+  else begin
+    let greedy = solve_greedy p in
+    (* Branch order: decreasing objective, so good solutions surface early
+       and the optimistic bound tightens fast. *)
+    let order = Array.init p.nvars (fun i -> i) in
+    Array.sort (fun a b -> Float.compare p.objective.(b) p.objective.(a)) order;
+    (* suffix_pos.(k) = sum of positive objectives of order.(k..) *)
+    let suffix_pos = Array.make (p.nvars + 1) 0.0 in
+    for k = p.nvars - 1 downto 0 do
+      suffix_pos.(k) <- suffix_pos.(k + 1) +. Float.max 0.0 p.objective.(order.(k))
+    done;
+    let best = Array.copy greedy.assignment in
+    let best_value = ref greedy.value in
+    let nodes = ref 0 in
+    let exhausted = ref true in
+    let current = Array.make p.nvars false in
+    let residual = Array.map snd p.constraints in
+    let rec branch k acc =
+      incr nodes;
+      if !nodes > node_budget then exhausted := false
+      else if k = p.nvars then begin
+        if acc > !best_value +. 1e-9 then begin
+          best_value := acc;
+          Array.blit current 0 best 0 p.nvars
+        end
+      end
+      else if acc +. suffix_pos.(k) > !best_value +. 1e-9 then begin
+        let i = order.(k) in
+        (* Branch x_i = 1 first when it fits. *)
+        let fits =
+          Array.for_all2
+            (fun (coefs, _) r -> coefs.(i) <= r +. 1e-9)
+            p.constraints residual
+        in
+        if fits then begin
+          current.(i) <- true;
+          Array.iteri
+            (fun c (coefs, _) -> residual.(c) <- residual.(c) -. coefs.(i))
+            p.constraints;
+          branch (k + 1) (acc +. p.objective.(i));
+          Array.iteri
+            (fun c (coefs, _) -> residual.(c) <- residual.(c) +. coefs.(i))
+            p.constraints;
+          current.(i) <- false
+        end;
+        branch (k + 1) acc
+      end
+    in
+    branch 0 0.0;
+    assert (feasible p best);
+    { assignment = best; value = !best_value; optimal = !exhausted; nodes = !nodes }
+  end

@@ -1,0 +1,39 @@
+(** 0-1 integer linear programming by branch-and-bound.
+
+    The stand-in for the YALMIP solver the paper embeds into rp4bc:
+    maximise [c·x] subject to [Ax ≤ b] with [x ∈ {0,1}ⁿ]. A greedy warm
+    start seeds the incumbent; depth-first branch-and-bound with a
+    residual-capacity feasibility check and an optimistic
+    remaining-objective bound either proves optimality or stops at the
+    node budget with the best heuristic solution found — the same
+    "heuristic solution" behaviour the paper describes. *)
+
+type problem = {
+  nvars : int;
+  objective : float array;  (** length [nvars] *)
+  constraints : (float array * float) array;
+      (** each row: coefficients (length [nvars]) and its upper bound *)
+}
+
+type solution = {
+  assignment : bool array;
+  value : float;
+  optimal : bool;  (** [true] iff the search tree was exhausted *)
+  nodes : int;  (** branch-and-bound nodes explored *)
+}
+
+val feasible : problem -> bool array -> bool
+(** Does the assignment satisfy every constraint (with a small float
+    tolerance)? *)
+
+val value_of : problem -> bool array -> float
+
+val solve_greedy : problem -> solution
+(** Take variables in decreasing objective order while they fit. Always
+    feasible; [optimal] is reported [false]. *)
+
+val solve : ?node_budget:int -> problem -> solution
+(** Branch-and-bound (default budget 200_000 nodes). The returned
+    assignment is always feasible; [optimal] tells whether it is proved
+    best.
+    @raise Invalid_argument on malformed dimensions. *)

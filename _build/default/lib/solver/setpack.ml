@@ -1,0 +1,59 @@
+(* Weighted set packing on top of the 0-1 ILP solver.
+
+   rp4bc's table-allocation problem (Sec. 3.2, "Algorithms in rP4
+   Compiler") is a set-packing instance: each *option* is one way of
+   placing one table into a set of memory blocks; options conflict when
+   they share a block or place the same table twice; pick a
+   maximum-weight conflict-free subset. *)
+
+type option_ = {
+  opt_table : int; (* table index; at most one option per table is chosen *)
+  opt_resources : int list; (* resource (block) ids, each usable once *)
+  opt_weight : float;
+}
+
+type result = {
+  chosen : int list; (* indices into the options array *)
+  weight : float;
+  optimal : bool;
+}
+
+let solve ?(node_budget = 200_000) ~n_tables ~n_resources (options : option_ array) =
+  let nvars = Array.length options in
+  (* One ≤1 constraint per table and per resource. Only constraints that
+     some option actually touches are emitted. *)
+  let table_rows = Array.make n_tables [] in
+  let resource_rows = Array.make n_resources [] in
+  Array.iteri
+    (fun v o ->
+      if o.opt_table < 0 || o.opt_table >= n_tables then
+        invalid_arg "Setpack.solve: bad table index";
+      table_rows.(o.opt_table) <- v :: table_rows.(o.opt_table);
+      List.iter
+        (fun r ->
+          if r < 0 || r >= n_resources then invalid_arg "Setpack.solve: bad resource id";
+          resource_rows.(r) <- v :: resource_rows.(r))
+        o.opt_resources)
+    options;
+  let mk_constraint vars =
+    let coefs = Array.make nvars 0.0 in
+    List.iter (fun v -> coefs.(v) <- 1.0) vars;
+    (coefs, 1.0)
+  in
+  let constraints =
+    Array.of_list
+      (List.filter_map
+         (fun vars -> if List.length vars > 1 then Some (mk_constraint vars) else None)
+         (Array.to_list table_rows @ Array.to_list resource_rows))
+  in
+  let problem =
+    {
+      Ilp.nvars;
+      objective = Array.map (fun o -> o.opt_weight) options;
+      constraints;
+    }
+  in
+  let sol = Ilp.solve ~node_budget problem in
+  let chosen = ref [] in
+  Array.iteri (fun i b -> if b then chosen := i :: !chosen) sol.Ilp.assignment;
+  { chosen = List.rev !chosen; weight = sol.Ilp.value; optimal = sol.Ilp.optimal }

@@ -1,0 +1,1 @@
+lib/table/table.ml: Hashtbl Key List Lpm_trie Net Prelude Printf String Tcam

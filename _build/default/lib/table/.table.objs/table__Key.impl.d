@@ -1,0 +1,1 @@
+lib/table/key.ml: List Net Printf

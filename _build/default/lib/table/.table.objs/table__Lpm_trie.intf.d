@@ -1,0 +1,1 @@
+lib/table/lpm_trie.mli: Net

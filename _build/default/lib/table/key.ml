@@ -1,0 +1,90 @@
+(* Match-key descriptions.
+
+   A table's key is an ordered list of fields, each with a match kind, as
+   in the rP4 [key = { ... }] block. Field references are textual
+   ("ipv4.dst_addr", "meta.nexthop"); binding them to packet bits is the
+   data plane's job, keeping this library usable from both the IPSA and
+   PISA models. *)
+
+type match_kind = Exact | Lpm | Ternary | Hash
+
+let match_kind_to_string = function
+  | Exact -> "exact"
+  | Lpm -> "lpm"
+  | Ternary -> "ternary"
+  | Hash -> "hash"
+
+let match_kind_of_string = function
+  | "exact" -> Exact
+  | "lpm" -> Lpm
+  | "ternary" -> Ternary
+  | "hash" -> Hash
+  | s -> invalid_arg ("Key.match_kind_of_string: " ^ s)
+
+type field = {
+  kf_ref : string; (* "hdr.field" or "meta.field" *)
+  kf_width : int;
+  kf_kind : match_kind;
+}
+
+(* How one entry matches one key field. *)
+type fmatch =
+  | M_exact of Net.Bits.t
+  | M_lpm of Net.Bits.t * int (* value, prefix length *)
+  | M_ternary of Net.Bits.t * Net.Bits.t (* value, mask *)
+  | M_any
+
+let fmatch_equal a b =
+  match (a, b) with
+  | M_exact x, M_exact y -> Net.Bits.equal x y
+  | M_lpm (x, lx), M_lpm (y, ly) -> lx = ly && Net.Bits.equal x y
+  | M_ternary (x, mx), M_ternary (y, my) -> Net.Bits.equal x y && Net.Bits.equal mx my
+  | M_any, M_any -> true
+  | _ -> false
+
+(* Does a concrete field value satisfy an entry's field match? *)
+let fmatch_matches fm v =
+  match fm with
+  | M_exact x -> Net.Bits.equal x v
+  | M_lpm (x, plen) ->
+    plen <= Net.Bits.width v
+    && Net.Bits.equal (Net.Bits.slice x ~off:0 ~len:plen) (Net.Bits.slice v ~off:0 ~len:plen)
+  | M_ternary (value, mask) -> Net.Bits.matches_ternary ~value ~mask v
+  | M_any -> true
+
+let fmatch_to_string = function
+  | M_exact v -> Net.Bits.to_string v
+  | M_lpm (v, plen) -> Printf.sprintf "%s/%d" (Net.Bits.to_string v) plen
+  | M_ternary (v, m) -> Printf.sprintf "%s &&& %s" (Net.Bits.to_string v) (Net.Bits.to_string m)
+  | M_any -> "*"
+
+(* Total key width of a field list, in bits. *)
+let total_width fields = List.fold_left (fun acc f -> acc + f.kf_width) 0 fields
+
+(* Validate that an entry's matches agree with the key spec. *)
+let check_matches fields matches =
+  if List.length fields <> List.length matches then
+    invalid_arg
+      (Printf.sprintf "Key.check_matches: %d fields but %d matches" (List.length fields)
+         (List.length matches));
+  List.iter2
+    (fun f m ->
+      let bad why =
+        invalid_arg (Printf.sprintf "Key.check_matches: field %s: %s" f.kf_ref why)
+      in
+      match (f.kf_kind, m) with
+      | _, M_any -> ()
+      | (Exact | Hash), M_exact v ->
+        if Net.Bits.width v <> f.kf_width then bad "width mismatch"
+      | (Exact | Hash), _ -> bad "expected exact match"
+      | Lpm, M_lpm (v, plen) ->
+        if Net.Bits.width v <> f.kf_width then bad "width mismatch";
+        if plen < 0 || plen > f.kf_width then bad "bad prefix length"
+      | Lpm, M_exact v -> if Net.Bits.width v <> f.kf_width then bad "width mismatch"
+      | Lpm, _ -> bad "expected lpm match"
+      | Ternary, M_ternary (v, m') ->
+        if Net.Bits.width v <> f.kf_width || Net.Bits.width m' <> f.kf_width then
+          bad "width mismatch"
+      | Ternary, M_exact v -> if Net.Bits.width v <> f.kf_width then bad "width mismatch"
+      | Ternary, _ -> bad "expected ternary match")
+    fields matches

@@ -1,0 +1,112 @@
+(* Longest-prefix-match binary trie over [Net.Bits.t] keys.
+
+   Generic in the stored value; the FIB tables of the L2/L3 base design
+   use it through [Table]. *)
+
+type 'a node = {
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+  mutable value : 'a option;
+}
+
+type 'a t = { root : 'a node; mutable count : int }
+
+let make_node () = { zero = None; one = None; value = None }
+
+let create () = { root = make_node (); count = 0 }
+
+let count t = t.count
+
+let insert t ~prefix ~plen v =
+  if plen < 0 || plen > Net.Bits.width prefix then
+    invalid_arg "Lpm_trie.insert: bad prefix length";
+  let rec go node i =
+    if i = plen then begin
+      if node.value = None then t.count <- t.count + 1;
+      node.value <- Some v
+    end
+    else begin
+      let bit = Net.Bits.get_bit prefix i in
+      let child =
+        match (if bit then node.one else node.zero) with
+        | Some c -> c
+        | None ->
+          let c = make_node () in
+          if bit then node.one <- Some c else node.zero <- Some c;
+          c
+      in
+      go child (i + 1)
+    end
+  in
+  go t.root 0
+
+let remove t ~prefix ~plen =
+  let removed = ref false in
+  (* Returns true if the subtree became empty and can be pruned. *)
+  let rec go node i =
+    if i = plen then begin
+      if node.value <> None then begin
+        node.value <- None;
+        removed := true;
+        t.count <- t.count - 1
+      end;
+      node.zero = None && node.one = None
+    end
+    else begin
+      let bit = Net.Bits.get_bit prefix i in
+      match (if bit then node.one else node.zero) with
+      | None -> false
+      | Some c ->
+        let prune = go c (i + 1) in
+        if prune then if bit then node.one <- None else node.zero <- None;
+        node.value = None && node.zero = None && node.one = None
+    end
+  in
+  ignore (go t.root 0);
+  !removed
+
+(* Longest-prefix lookup: the value at the deepest node with a value on the
+   path spelled by [key]. *)
+let lookup t key =
+  let width = Net.Bits.width key in
+  let best = ref t.root.value in
+  let rec go node i =
+    if i < width then begin
+      let bit = Net.Bits.get_bit key i in
+      match (if bit then node.one else node.zero) with
+      | None -> ()
+      | Some c ->
+        if c.value <> None then best := c.value;
+        go c (i + 1)
+    end
+  in
+  go t.root 0;
+  !best
+
+(* Exact-prefix fetch (for delete/update verification). *)
+let find t ~prefix ~plen =
+  let rec go node i =
+    if i = plen then node.value
+    else
+      let bit = Net.Bits.get_bit prefix i in
+      match (if bit then node.one else node.zero) with
+      | None -> None
+      | Some c -> go c (i + 1)
+  in
+  go t.root 0
+
+let iter t f =
+  let rec go node acc_bits =
+    (match node.value with
+    | Some v -> f ~prefix:(List.rev acc_bits) v
+    | None -> ());
+    (match node.zero with Some c -> go c (false :: acc_bits) | None -> ());
+    match node.one with Some c -> go c (true :: acc_bits) | None -> ()
+  in
+  go t.root []
+
+let clear t =
+  t.root.zero <- None;
+  t.root.one <- None;
+  t.root.value <- None;
+  t.count <- 0

@@ -1,0 +1,33 @@
+(** Longest-prefix-match binary trie over {!Net.Bits.t} keys.
+
+    Generic in the stored value; the FIB tables of the L2/L3 base design
+    use it through {!Table}. Prefix bits are taken MSB-first, matching
+    [Bits] bit order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val count : 'a t -> int
+(** Number of prefixes currently stored. *)
+
+val insert : 'a t -> prefix:Net.Bits.t -> plen:int -> 'a -> unit
+(** [insert t ~prefix ~plen v] stores [v] under the first [plen] bits of
+    [prefix], replacing any previous value of that exact prefix.
+    @raise Invalid_argument when [plen] exceeds the prefix width. *)
+
+val remove : 'a t -> prefix:Net.Bits.t -> plen:int -> bool
+(** Removes the exact prefix, pruning now-empty branches; [false] if it
+    was not present. *)
+
+val lookup : 'a t -> Net.Bits.t -> 'a option
+(** [lookup t key] is the value of the longest stored prefix of [key]
+    (a zero-length prefix acts as a default route). *)
+
+val find : 'a t -> prefix:Net.Bits.t -> plen:int -> 'a option
+(** Exact-prefix fetch (no longest-match semantics). *)
+
+val iter : 'a t -> (prefix:bool list -> 'a -> unit) -> unit
+(** Visits every stored prefix as its MSB-first bit list. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,52 @@
+(* Ternary CAM model: priority-ordered (value, mask) entries.
+
+   Matches the behaviour of a hardware TCAM: highest priority wins; within
+   equal priority the earliest-inserted entry wins (stable order). Lookup
+   is a linear scan — the behavioral model optimises for clarity, and the
+   cost model (not this code) accounts for hardware lookup cost. *)
+
+type 'a entry = {
+  value : Net.Bits.t;
+  mask : Net.Bits.t;
+  priority : int;
+  payload : 'a;
+  seq : int; (* insertion order tiebreaker *)
+}
+
+type 'a t = { mutable entries : 'a entry list; mutable next_seq : int }
+
+let create () = { entries = []; next_seq = 0 }
+
+let count t = List.length t.entries
+
+(* Keep the list sorted: priority desc, then seq asc. *)
+let order a b =
+  match Int.compare b.priority a.priority with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let insert t ~value ~mask ~priority payload =
+  if Net.Bits.width value <> Net.Bits.width mask then
+    invalid_arg "Tcam.insert: value/mask width mismatch";
+  let e = { value; mask; priority; payload; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  t.entries <- List.sort order (e :: t.entries)
+
+let remove t ~value ~mask =
+  let before = List.length t.entries in
+  t.entries <-
+    List.filter
+      (fun e -> not (Net.Bits.equal e.value value && Net.Bits.equal e.mask mask))
+      t.entries;
+  List.length t.entries < before
+
+let lookup t key =
+  List.find_map
+    (fun e ->
+      if Net.Bits.matches_ternary ~value:e.value ~mask:e.mask key then Some e.payload
+      else None)
+    t.entries
+
+let iter t f = List.iter (fun e -> f ~value:e.value ~mask:e.mask ~priority:e.priority e.payload) t.entries
+
+let clear t = t.entries <- []

@@ -1,0 +1,27 @@
+(** Ternary CAM model: priority-ordered (value, mask) entries.
+
+    Matches hardware TCAM behaviour: the highest-priority matching entry
+    wins; among equal priorities the earliest-inserted wins (stable
+    order). Lookup is a linear scan — the behavioral model optimises for
+    clarity; hardware lookup cost is the cost model's business. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val count : 'a t -> int
+
+val insert : 'a t -> value:Net.Bits.t -> mask:Net.Bits.t -> priority:int -> 'a -> unit
+(** @raise Invalid_argument when value and mask widths differ. *)
+
+val remove : 'a t -> value:Net.Bits.t -> mask:Net.Bits.t -> bool
+(** Removes every entry with exactly this value/mask; [false] if none. *)
+
+val lookup : 'a t -> Net.Bits.t -> 'a option
+(** First entry (in priority order) whose masked bits match the key. *)
+
+val iter :
+  'a t -> (value:Net.Bits.t -> mask:Net.Bits.t -> priority:int -> 'a -> unit) -> unit
+(** Visits entries in match order. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/usecases/base_l23.ml: List Net Printf String

@@ -1,0 +1,1 @@
+lib/usecases/base_split.ml: Base_l23 String

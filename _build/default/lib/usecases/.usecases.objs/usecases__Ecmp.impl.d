@@ -1,0 +1,1 @@
+lib/usecases/ecmp.ml: String

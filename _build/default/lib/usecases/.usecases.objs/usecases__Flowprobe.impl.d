@@ -1,0 +1,1 @@
+lib/usecases/flowprobe.ml: Base_l23 Net Printf

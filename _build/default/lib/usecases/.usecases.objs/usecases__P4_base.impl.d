@@ -1,0 +1,1 @@
+lib/usecases/p4_base.ml: String

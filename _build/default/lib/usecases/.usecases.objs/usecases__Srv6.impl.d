@@ -1,0 +1,1 @@
+lib/usecases/srv6.ml: Base_l23 Net Printf String

@@ -1,0 +1,297 @@
+(* The base design: simple L2/L3 forwarding (Sec. 4.2, Fig. 4).
+
+   Ten logical stages A..J map onto seven TSPs:
+
+     A port_map        get interface index via the port mapping table
+     B bridge_vrf      bind the bridge domain and the VRF
+     C l2_l3_decide    determine L2 or L3 forwarding (router MAC lookup)
+     D ipv4_lpm        IPv4 FIB, longest prefix      (merged with E)
+     E ipv6_lpm        IPv6 FIB, longest prefix
+     F ipv4_host       IPv4 FIB, host routes         (merged with G)
+     G ipv6_host       IPv6 FIB, host routes
+     H nexthop         bind egress bridge and set DMAC
+     I l2_l3_rewrite   decrement TTL / hop limit, set SMAC (merged with J)
+     J dmac            retrieve the egress interface via the DMAC table
+
+   The LPM stages run before the host stages so that a host-route hit
+   overwrites the LPM result (most-specific wins). D/E and F/G carry
+   provably-exclusive guards (meta.l3_type == 4 vs == 6), which is what
+   lets rp4bc merge each pair into a single TSP. *)
+
+let router_mac = "02:00:00:00:00:aa"
+
+let source =
+  {src|
+headers {
+  header ethernet {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ethertype;
+    implicit parser (ethertype) {
+      0x0800 : ipv4;
+      0x86dd : ipv6;
+    }
+  }
+  header ipv4 {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> tos;
+    bit<16> total_len;
+    bit<16> ident;
+    bit<16> flags_frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+    implicit parser (protocol) { }
+  }
+  header ipv6 {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_header;
+    bit<8> hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+    implicit parser (next_header) { }
+  }
+}
+
+structs {
+  struct metadata_t {
+    bit<16> ifindex;
+    bit<16> bd;
+    bit<16> vrf;
+    bit<8> l3_type;
+    bit<16> nexthop;
+  } meta;
+}
+
+action set_ifindex(bit<16> ifindex) { meta.ifindex = ifindex; }
+action set_bd_vrf(bit<16> bd, bit<16> vrf) {
+  meta.bd = bd;
+  meta.vrf = vrf;
+}
+action set_l3_v4() { meta.l3_type = 4; }
+action set_l3_v6() { meta.l3_type = 6; }
+action set_l2() { meta.l3_type = 0; }
+action set_nexthop(bit<16> nh) { meta.nexthop = nh; }
+action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+  meta.bd = bd;
+  ethernet.dst_addr = dmac;
+}
+action rewrite_v4(bit<48> smac) {
+  ipv4.ttl = ipv4.ttl - 1;
+  ethernet.src_addr = smac;
+}
+action rewrite_v6(bit<48> smac) {
+  ipv6.hop_limit = ipv6.hop_limit - 1;
+  ethernet.src_addr = smac;
+}
+action set_out_port(bit<16> port) { meta.out_port = port; }
+
+table port_map {
+  key = { meta.in_port : exact; }
+  size = 64;
+}
+table bridge_vrf {
+  key = { meta.ifindex : exact; }
+  size = 256;
+}
+table routable_v4 {
+  key = { meta.vrf : exact; ethernet.dst_addr : exact; }
+  size = 128;
+}
+table routable_v6 {
+  key = { meta.vrf : exact; ethernet.dst_addr : exact; }
+  size = 128;
+}
+table ipv4_lpm {
+  key = { meta.vrf : exact; ipv4.dst_addr : lpm; }
+  size = 4096;
+}
+table ipv6_lpm {
+  key = { meta.vrf : exact; ipv6.dst_addr : lpm; }
+  size = 2048;
+}
+table ipv4_host {
+  key = { meta.vrf : exact; ipv4.dst_addr : exact; }
+  size = 4096;
+}
+table ipv6_host {
+  key = { meta.vrf : exact; ipv6.dst_addr : exact; }
+  size = 2048;
+}
+table nexthop {
+  key = { meta.nexthop : exact; }
+  size = 1024;
+}
+table smac_v4 {
+  key = { meta.bd : exact; }
+  size = 256;
+}
+table smac_v6 {
+  key = { meta.bd : exact; }
+  size = 256;
+}
+table dmac {
+  key = { meta.bd : exact; ethernet.dst_addr : exact; }
+  size = 4096;
+}
+
+control rP4_Ingress {
+  stage port_map {
+    parser { };
+    matcher { port_map.apply(); };
+    executor {
+      1 : set_ifindex;
+      default : NoAction;
+    }
+  }
+  stage bridge_vrf {
+    parser { };
+    matcher { bridge_vrf.apply(); };
+    executor {
+      1 : set_bd_vrf;
+      default : NoAction;
+    }
+  }
+  stage l2_l3_decide {
+    parser { ethernet, ipv4, ipv6 };
+    matcher {
+      if (ipv4.isValid()) routable_v4.apply();
+      else if (ipv6.isValid()) routable_v6.apply();
+      else;
+    };
+    executor {
+      1 : set_l3_v4;
+      2 : set_l3_v6;
+      default : set_l2;
+    }
+  }
+  stage ipv4_lpm {
+    parser { ipv4 };
+    matcher { if (meta.l3_type == 4) ipv4_lpm.apply(); else; };
+    executor {
+      1 : set_nexthop;
+      default : NoAction;
+    }
+  }
+  stage ipv6_lpm {
+    parser { ipv6 };
+    matcher { if (meta.l3_type == 6) ipv6_lpm.apply(); else; };
+    executor {
+      1 : set_nexthop;
+      default : NoAction;
+    }
+  }
+  stage ipv4_host {
+    parser { ipv4 };
+    matcher { if (meta.l3_type == 4) ipv4_host.apply(); else; };
+    executor {
+      1 : set_nexthop;
+      default : NoAction;
+    }
+  }
+  stage ipv6_host {
+    parser { ipv6 };
+    matcher { if (meta.l3_type == 6) ipv6_host.apply(); else; };
+    executor {
+      1 : set_nexthop;
+      default : NoAction;
+    }
+  }
+  stage nexthop {
+    parser { };
+    matcher { if (meta.nexthop != 0) nexthop.apply(); else; };
+    executor {
+      1 : set_bd_dmac;
+      default : NoAction;
+    }
+  }
+  stage l2_l3_rewrite {
+    parser { ipv4, ipv6 };
+    matcher {
+      if (meta.l3_type == 4) smac_v4.apply();
+      else if (meta.l3_type == 6) smac_v6.apply();
+      else;
+    };
+    executor {
+      1 : rewrite_v4;
+      2 : rewrite_v6;
+      default : NoAction;
+    }
+  }
+  stage dmac {
+    parser { ethernet };
+    matcher { dmac.apply(); };
+    executor {
+      1 : set_out_port;
+      default : NoAction;
+    }
+  }
+}
+
+user_funcs {
+  func l2_forwarding { port_map bridge_vrf dmac }
+  func l3_ipv4 { l2_l3_decide ipv4_lpm ipv4_host nexthop l2_l3_rewrite }
+  func l3_ipv6 { ipv6_lpm ipv6_host }
+  ingress_entry : port_map;
+}
+|src}
+
+(* Population: the runtime entries the examples and tests install after
+   loading the base design. Routed traffic targets 10.1.0.0/16 (nexthop 1),
+   the host route 10.1.0.1 (nexthop 2) and 2001:db8::/32 (nexthop 3);
+   bridged traffic switches on the DMAC table in bridge domain 1. *)
+let population =
+  String.concat "\n"
+    (List.init 8 (fun p ->
+         Printf.sprintf "table_add port_map set_ifindex %d => %d" p (100 + p))
+    @ List.init 8 (fun p ->
+          Printf.sprintf "table_add bridge_vrf set_bd_vrf %d => 1 10" (100 + p))
+    @ [
+        Printf.sprintf "table_add routable_v4 set_l3_v4 10 %s =>" router_mac;
+        Printf.sprintf "table_add routable_v6 set_l3_v6 10 %s =>" router_mac;
+        "table_add ipv4_lpm set_nexthop 10 10.1.0.0/16 => 1";
+        "table_add ipv4_host set_nexthop 10 10.1.0.1 => 2";
+        "table_add ipv6_lpm set_nexthop 10 2001:db8::/32 => 3";
+        "table_add nexthop set_bd_dmac 1 => 2 02:00:00:00:00:b1";
+        "table_add nexthop set_bd_dmac 2 => 2 02:00:00:00:00:b2";
+        "table_add nexthop set_bd_dmac 3 => 3 02:00:00:00:00:b3";
+        Printf.sprintf "table_add smac_v4 rewrite_v4 2 => %s" router_mac;
+        Printf.sprintf "table_add smac_v6 rewrite_v6 3 => %s" router_mac;
+        "table_add dmac set_out_port 2 02:00:00:00:00:b1 => 1";
+        "table_add dmac set_out_port 2 02:00:00:00:00:b2 => 2";
+        "table_add dmac set_out_port 3 02:00:00:00:00:b3 => 3";
+        "table_add dmac set_out_port 1 02:00:00:00:07:d1 => 4";
+      ])
+
+(* Canonical test flows matching the population above. *)
+let routed_v4_flow =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn router_mac)
+    ~dst_ip4:(Net.Addr.Ipv4.of_string_exn "10.1.0.99")
+    ()
+
+let host_route_v4_flow =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn router_mac)
+    ~dst_ip4:(Net.Addr.Ipv4.of_string_exn "10.1.0.1")
+    ()
+
+let routed_v6_flow =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn router_mac)
+    ~dst_ip6:(Net.Addr.Ipv6.of_string_exn "2001:db8::42")
+    ()
+
+let bridged_flow = Net.Flowgen.make_flow ~dst_mac:(Net.Addr.Mac.of_index 2001) ()
+
+(* Expected egress ports for the canonical flows. *)
+let expected_port_routed_v4 = 1
+let expected_port_host_v4 = 2
+let expected_port_routed_v6 = 3
+let expected_port_bridged = 4

@@ -1,0 +1,59 @@
+(* The base design with a real ingress/egress split.
+
+   The paper's FPGA prototypes omit the TM "for simplicity", so the main
+   [Base_l23] design maps everything to ingress. This variant splits the
+   same ten logical stages across the TM — nexthop resolution, rewrite and
+   DMAC lookup move to the egress pipe — exercising the elastic pipeline's
+   selector (ingress TSPs on the left, egress TSPs on the right, bypassed
+   TSPs between) and the traffic manager on the full forwarding path.
+
+   Generated from [Base_l23.source] by moving the tail stages into a
+   [control rP4_Egress] block, so the two designs cannot drift apart. *)
+
+let find_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = if i + n > m then None else if String.sub s i n = sub then Some i else go (i + 1) in
+  go 0
+
+let source =
+  let src = Base_l23.source in
+  let marker = "  stage nexthop {" in
+  let funcs_marker = "user_funcs {" in
+  match (find_sub src marker, find_sub src funcs_marker) with
+  | Some split_at, Some funcs_at ->
+    (* the ingress control runs up to the nexthop stage; find the end of
+       the rP4_Ingress block (the "}" just before user_funcs) *)
+    let before = String.sub src 0 split_at in
+    let tail = String.sub src split_at (funcs_at - split_at) in
+    (* tail = "  stage nexthop { ... }\n  stage l2_l3_rewrite {...}\n  stage dmac {...}\n}\n\n" *)
+    let tail_end =
+      match find_sub tail "\n}" with
+      | Some _ ->
+        (* last "}" closes rP4_Ingress; strip it *)
+        let i = String.rindex tail '}' in
+        String.sub tail 0 (String.rindex_from tail (i - 1) '}' + 1)
+      | None -> tail
+    in
+    let funcs =
+      {src|
+user_funcs {
+  func l2_forwarding { port_map bridge_vrf dmac }
+  func l3_ipv4 { l2_l3_decide ipv4_lpm ipv4_host nexthop l2_l3_rewrite }
+  func l3_ipv6 { ipv6_lpm ipv6_host }
+  ingress_entry : port_map;
+  egress_entry : nexthop;
+}
+|src}
+    in
+    String.concat ""
+      [
+        before;
+        "}\n\ncontrol rP4_Egress {\n";
+        tail_end;
+        "\n}\n\n";
+        funcs;
+      ]
+  | _ -> invalid_arg "Base_split: marker not found in base source"
+
+(* Same population and flows as the unsplit base design. *)
+let population = Base_l23.population

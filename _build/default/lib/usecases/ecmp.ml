@@ -1,0 +1,62 @@
+(* C1: Equal-Cost Multi-Path routing (Fig. 5(a,b)).
+
+   Inserted at runtime after the FIB lookup; selects among equal-cost
+   next hops by hashing {nexthop, flow destination}, sets the egress
+   bridge and DMAC, and thereby covers and replaces the base design's
+   [nexthop] stage (H). *)
+
+let source =
+  {src|
+table ecmp_ipv4 {
+  key = {
+    meta.nexthop : hash;
+    ipv4.dst_addr : hash; // similar with P4's selector
+  }
+  size = 4096;
+}
+table ecmp_ipv6 {
+  key = {
+    meta.nexthop : hash;
+    ipv6.dst_addr : hash;
+  }
+  size = 4096;
+}
+// parse ipv4 or ipv6, match table
+stage ecmp { /*** parser-matcher-executor ***/
+  parser { ipv4, ipv6 };
+  matcher {
+    if (ipv4.isValid() && meta.nexthop != 0) ecmp_ipv4.apply();
+    else if (ipv6.isValid() && meta.nexthop != 0) ecmp_ipv6.apply();
+    else;
+  };
+  executor {
+    1 : set_bd_dmac;
+    default : NoAction;
+  }
+}
+|src}
+
+(* Loading script (Fig. 5(b)): splice [ecmp] where [nexthop] was. *)
+let script =
+  {s|
+load ecmp.rp4 --func_name ecmp
+add_link ipv6_host ecmp
+add_link ecmp l2_l3_rewrite
+del_link ipv6_host nexthop
+del_link nexthop l2_l3_rewrite
+commit
+|s}
+
+(* ECMP members: two equal-cost links for the v4 routes and two for v6.
+   All entries are candidates of the hash selection; the DMACs below are
+   present in the base DMAC table (ports 1 and 2 for v4, port 3 for v6). *)
+let population =
+  String.concat "\n"
+    [
+      "table_add ecmp_ipv4 set_bd_dmac * * => 2 02:00:00:00:00:b1";
+      "table_add ecmp_ipv4 set_bd_dmac * * => 2 02:00:00:00:00:b2";
+      "table_add ecmp_ipv6 set_bd_dmac * * => 3 02:00:00:00:00:b3";
+    ]
+
+(* The set of ports ECMP may legitimately choose for routed IPv4. *)
+let v4_member_ports = [ 1; 2 ]

@@ -1,0 +1,55 @@
+(* C3: event-triggered flow probe.
+
+   A user installs, at runtime, a probe that counts packets of a specific
+   IPv4 flow {SIP, DIP}; once the count exceeds a threshold the packets
+   are marked (meta.mark) so the controller can apply ACL/QoS downstream.
+   No new protocol header is involved — only a new flow table and logic. *)
+
+let source =
+  {src|
+table flow_probe {
+  key = { ipv4.src_addr : exact; ipv4.dst_addr : exact; }
+  size = 1024;
+}
+
+action probe_mark(bit<32> threshold) {
+  mark_exceed(threshold, 1);
+}
+
+stage flow_probe_st {
+  parser { ipv4 };
+  matcher { if (ipv4.isValid()) flow_probe.apply(); else; };
+  executor {
+    1 : probe_mark;
+    default : NoAction;
+  }
+}
+|src}
+
+(* The probe slots in right after port mapping; it is independent of the
+   port_map stage, so rp4bc merges both into one TSP — the smallest
+   possible data-plane footprint. *)
+let script =
+  {s|
+load probe.rp4 --func_name flow_probe
+add_link port_map flow_probe_st
+add_link flow_probe_st bridge_vrf
+del_link port_map bridge_vrf
+commit
+|s}
+
+let threshold = 10
+
+let probed_src = "10.0.0.5"
+let probed_dst = "10.1.0.99"
+
+let population =
+  Printf.sprintf "table_add flow_probe probe_mark %s %s => %d" probed_src probed_dst
+    threshold
+
+let probed_flow =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn Base_l23.router_mac)
+    ~src_ip4:(Net.Addr.Ipv4.of_string_exn probed_src)
+    ~dst_ip4:(Net.Addr.Ipv4.of_string_exn probed_dst)
+    ()

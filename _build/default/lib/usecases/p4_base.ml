@@ -1,0 +1,408 @@
+(* The base design written in P4 (the paper prefers P4 for base designs:
+   "P4 code is easier to write and many proven designs written in P4
+   exist"). rp4fc translates this into the same rP4 design as the
+   hand-written [Base_l23.source]; the PISA baseline compiles it with the
+   full (monolithic) flow.
+
+   The [variant] builders produce the *updated whole-design* sources the
+   P4 flow needs for the three use cases — under PISA every update is a
+   full recompile of base+function (Sec. 4.3). *)
+
+let headers_and_parser =
+  {src|
+header ethernet_t {
+  bit<48> dst_addr;
+  bit<48> src_addr;
+  bit<16> ethertype;
+}
+header ipv4_t {
+  bit<4> version;
+  bit<4> ihl;
+  bit<8> tos;
+  bit<16> total_len;
+  bit<16> ident;
+  bit<16> flags_frag;
+  bit<8> ttl;
+  bit<8> protocol;
+  bit<16> checksum;
+  bit<32> src_addr;
+  bit<32> dst_addr;
+}
+header ipv6_t {
+  bit<4> version;
+  bit<8> traffic_class;
+  bit<20> flow_label;
+  bit<16> payload_len;
+  bit<8> next_header;
+  bit<8> hop_limit;
+  bit<128> src_addr;
+  bit<128> dst_addr;
+}
+|src}
+
+let base_metadata =
+  {src|
+struct metadata {
+  bit<16> ifindex;
+  bit<16> bd;
+  bit<16> vrf;
+  bit<8> l3_type;
+  bit<16> nexthop;
+}
+|src}
+
+let base_instances =
+  {src|
+struct headers {
+  ethernet_t ethernet;
+  ipv4_t ipv4;
+  ipv6_t ipv6;
+}
+|src}
+
+let base_parser =
+  {src|
+parser MyParser(packet_in packet, out headers hdr, inout metadata meta) {
+  state start {
+    transition parse_ethernet;
+  }
+  state parse_ethernet {
+    packet.extract(hdr.ethernet);
+    transition select(hdr.ethernet.ethertype) {
+      0x0800 : parse_ipv4;
+      0x86dd : parse_ipv6;
+      default : accept;
+    }
+  }
+  state parse_ipv4 {
+    packet.extract(hdr.ipv4);
+    transition accept;
+  }
+  state parse_ipv6 {
+    packet.extract(hdr.ipv6);
+    transition accept;
+  }
+}
+|src}
+
+let base_actions =
+  {src|
+  action set_ifindex(bit<16> ifindex) { meta.ifindex = ifindex; }
+  action set_bd_vrf(bit<16> bd, bit<16> vrf) {
+    meta.bd = bd;
+    meta.vrf = vrf;
+  }
+  action set_l3_v4() { meta.l3_type = 4; }
+  action set_l3_v6() { meta.l3_type = 6; }
+  action set_l2() { meta.l3_type = 0; }
+  action set_nexthop(bit<16> nh) { meta.nexthop = nh; }
+  action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+    meta.bd = bd;
+    hdr.ethernet.dst_addr = dmac;
+  }
+  action rewrite_v4(bit<48> smac) {
+    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    hdr.ethernet.src_addr = smac;
+  }
+  action rewrite_v6(bit<48> smac) {
+    hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 1;
+    hdr.ethernet.src_addr = smac;
+  }
+  action set_out_port(bit<16> port) { standard_metadata.egress_spec = port; }
+|src}
+
+let base_tables =
+  {src|
+  table port_map {
+    key = { standard_metadata.ingress_port : exact; }
+    actions = { set_ifindex; NoAction; }
+    size = 64;
+    default_action = NoAction();
+  }
+  table bridge_vrf {
+    key = { meta.ifindex : exact; }
+    actions = { set_bd_vrf; NoAction; }
+    size = 256;
+    default_action = NoAction();
+  }
+  table routable_v4 {
+    key = { meta.vrf : exact; hdr.ethernet.dst_addr : exact; }
+    actions = { set_l3_v4; set_l2; }
+    size = 128;
+    default_action = set_l2();
+  }
+  table routable_v6 {
+    key = { meta.vrf : exact; hdr.ethernet.dst_addr : exact; }
+    actions = { set_l3_v6; set_l2; }
+    size = 128;
+    default_action = set_l2();
+  }
+  table ipv4_lpm {
+    key = { meta.vrf : exact; hdr.ipv4.dst_addr : lpm; }
+    actions = { set_nexthop; NoAction; }
+    size = 4096;
+    default_action = NoAction();
+  }
+  table ipv6_lpm {
+    key = { meta.vrf : exact; hdr.ipv6.dst_addr : lpm; }
+    actions = { set_nexthop; NoAction; }
+    size = 2048;
+    default_action = NoAction();
+  }
+  table ipv4_host {
+    key = { meta.vrf : exact; hdr.ipv4.dst_addr : exact; }
+    actions = { set_nexthop; NoAction; }
+    size = 4096;
+    default_action = NoAction();
+  }
+  table ipv6_host {
+    key = { meta.vrf : exact; hdr.ipv6.dst_addr : exact; }
+    actions = { set_nexthop; NoAction; }
+    size = 2048;
+    default_action = NoAction();
+  }
+  table nexthop {
+    key = { meta.nexthop : exact; }
+    actions = { set_bd_dmac; NoAction; }
+    size = 1024;
+    default_action = NoAction();
+  }
+  table smac_v4 {
+    key = { meta.bd : exact; }
+    actions = { rewrite_v4; NoAction; }
+    size = 256;
+    default_action = NoAction();
+  }
+  table smac_v6 {
+    key = { meta.bd : exact; }
+    actions = { rewrite_v6; NoAction; }
+    size = 256;
+    default_action = NoAction();
+  }
+  table dmac {
+    key = { meta.bd : exact; hdr.ethernet.dst_addr : exact; }
+    actions = { set_out_port; NoAction; }
+    size = 4096;
+    default_action = NoAction();
+  }
+|src}
+
+let base_apply_prefix =
+  {src|
+    port_map.apply();
+    bridge_vrf.apply();
+    if (hdr.ipv4.isValid()) { routable_v4.apply(); }
+    else { if (hdr.ipv6.isValid()) { routable_v6.apply(); } }
+    if (meta.l3_type == 4) { ipv4_lpm.apply(); }
+    if (meta.l3_type == 6) { ipv6_lpm.apply(); }
+    if (meta.l3_type == 4) { ipv4_host.apply(); }
+    if (meta.l3_type == 6) { ipv6_host.apply(); }
+|src}
+
+let base_apply_suffix =
+  {src|
+    if (meta.l3_type == 4) { smac_v4.apply(); }
+    if (meta.l3_type == 6) { smac_v6.apply(); }
+    dmac.apply();
+|src}
+
+(* Assemble a complete P4 program. *)
+let assemble ?parser_override ~extra_headers ~extra_instances ~extra_parser_states
+    ~extra_meta ~extra_actions ~extra_tables ~apply_mid ~apply_pre () =
+  String.concat "\n"
+    [
+      "#include <core.p4>";
+      "#include <v1model.p4>";
+      headers_and_parser;
+      extra_headers;
+      base_metadata;
+      (if extra_meta = "" then "" else extra_meta);
+      (if extra_instances = "" then base_instances
+       else
+         (* splice extra instances into the headers struct *)
+         String.concat "\n"
+           [
+             "struct headers {";
+             "  ethernet_t ethernet;";
+             "  ipv4_t ipv4;";
+             "  ipv6_t ipv6;";
+             extra_instances;
+             "}";
+           ]);
+      (match parser_override with
+      | Some p -> p
+      | None ->
+        if extra_parser_states = "" then base_parser
+        else
+          (* extend the parser: replace the final "}" with new states *)
+          String.sub base_parser 0 (String.rindex base_parser '}')
+          ^ extra_parser_states ^ "\n}");
+      "control MyIngress(inout headers hdr, inout metadata meta) {";
+      base_actions;
+      extra_actions;
+      base_tables;
+      extra_tables;
+      "  apply {";
+      apply_pre;
+      base_apply_prefix;
+      apply_mid;
+      "    if (meta.nexthop != 0) { nexthop.apply(); }";
+      base_apply_suffix;
+      "  }";
+      "}";
+      "V1Switch(MyParser(), MyIngress()) main;";
+    ]
+
+(* The plain base design. *)
+let source =
+  assemble ~extra_headers:"" ~extra_instances:"" ~extra_parser_states:"" ~extra_meta:""
+    ~extra_actions:"" ~extra_tables:"" ~apply_mid:"" ~apply_pre:" " ()
+
+(* C1: ECMP under the P4 flow — the whole design recompiles, with the
+   nexthop stage replaced by the ECMP tables. *)
+let source_with_ecmp =
+  String.concat "\n"
+    [
+      "#include <core.p4>";
+      headers_and_parser;
+      base_metadata;
+      base_instances;
+      base_parser;
+      "control MyIngress(inout headers hdr, inout metadata meta) {";
+      base_actions;
+      base_tables;
+      {src|
+  table ecmp_ipv4 {
+    key = { meta.nexthop : hash; hdr.ipv4.dst_addr : hash; }
+    actions = { set_bd_dmac; NoAction; }
+    size = 4096;
+    default_action = NoAction();
+  }
+  table ecmp_ipv6 {
+    key = { meta.nexthop : hash; hdr.ipv6.dst_addr : hash; }
+    actions = { set_bd_dmac; NoAction; }
+    size = 4096;
+    default_action = NoAction();
+  }
+|src};
+      "  apply {";
+      base_apply_prefix;
+      {src|
+    if (hdr.ipv4.isValid() && meta.nexthop != 0) { ecmp_ipv4.apply(); }
+    else { if (hdr.ipv6.isValid() && meta.nexthop != 0) { ecmp_ipv6.apply(); } }
+|src};
+      base_apply_suffix;
+      "  }";
+      "}";
+      "V1Switch(MyParser(), MyIngress()) main;";
+    ]
+
+(* C2: SRv6 under the P4 flow: new header type, parser states, tables. *)
+let srv6_parser =
+  {src|
+parser MyParser(packet_in packet, out headers hdr, inout metadata meta) {
+  state start {
+    transition parse_ethernet;
+  }
+  state parse_ethernet {
+    packet.extract(hdr.ethernet);
+    transition select(hdr.ethernet.ethertype) {
+      0x0800 : parse_ipv4;
+      0x86dd : parse_ipv6;
+      default : accept;
+    }
+  }
+  state parse_ipv4 {
+    packet.extract(hdr.ipv4);
+    transition accept;
+  }
+  state parse_ipv6 {
+    packet.extract(hdr.ipv6);
+    transition select(hdr.ipv6.next_header) {
+      43 : parse_srh;
+      default : accept;
+    }
+  }
+  state parse_srh {
+    packet.extract(hdr.srh);
+    transition accept;
+  }
+}
+|src}
+
+let source_with_srv6 =
+  assemble ~parser_override:srv6_parser
+    ~extra_headers:
+      {src|
+header srh_t {
+  bit<8> next_header;
+  bit<8> hdr_ext_len;
+  bit<8> routing_type;
+  bit<8> segments_left;
+  bit<8> last_entry;
+  bit<8> flags;
+  bit<16> tag;
+  bit<128> seg0;
+  bit<128> seg1;
+  bit<128> seg2;
+}
+|src}
+    ~extra_instances:"  srh_t srh;"
+    ~extra_parser_states:"" (* select extension handled below via apply guard *)
+    ~extra_meta:""
+    ~extra_actions:
+      {src|
+  action srv6_end_to0() {
+    hdr.srh.segments_left = 0;
+    hdr.ipv6.dst_addr = hdr.srh.seg0;
+  }
+  action srv6_end_to1() {
+    hdr.srh.segments_left = 1;
+    hdr.ipv6.dst_addr = hdr.srh.seg1;
+  }
+|src}
+    ~extra_tables:
+      {src|
+  table local_sid {
+    key = { hdr.ipv6.dst_addr : exact; hdr.srh.segments_left : exact; }
+    actions = { srv6_end_to0; srv6_end_to1; set_nexthop; }
+    size = 1024;
+    default_action = NoAction();
+  }
+  table end_transit {
+    key = { hdr.ipv6.dst_addr : lpm; }
+    actions = { set_nexthop; NoAction; }
+    size = 1024;
+    default_action = NoAction();
+  }
+|src}
+    ~apply_mid:"" (* SRv6 processing sits before the FIB *)
+    ~apply_pre:
+      {src|
+    if (hdr.srh.isValid() && hdr.srh.segments_left != 0) { local_sid.apply(); }
+    else { if (hdr.srh.isValid()) { end_transit.apply(); } }
+|src}
+    ()
+
+(* C3: flow probe under the P4 flow. *)
+let source_with_probe =
+  assemble ~extra_headers:"" ~extra_instances:"" ~extra_parser_states:"" ~extra_meta:""
+    ~extra_actions:
+      {src|
+  action probe_mark(bit<32> threshold) { mark_exceed(threshold, 1); }
+|src}
+    ~extra_tables:
+      {src|
+  table flow_probe {
+    key = { hdr.ipv4.src_addr : exact; hdr.ipv4.dst_addr : exact; }
+    actions = { probe_mark; NoAction; }
+    size = 1024;
+    default_action = NoAction();
+  }
+|src}
+    ~apply_mid:""
+    ~apply_pre:
+      {src|
+    if (hdr.ipv4.isValid()) { flow_probe.apply(); }
+|src}
+    ()

@@ -1,0 +1,127 @@
+(* C2: IPv6 Segment Routing (SRv6).
+
+   Loads a new protocol header (SRH) at runtime, links it between IPv6
+   and the inner IP headers (Fig. 5(c)), and installs one stage with the
+   two tables the paper names: [local_sid] for SR end-point processing
+   (advance to the next segment) and [end_transit] for transit-node
+   processing (forward on the active segment). The linkage between the
+   routable headers and ipv4/ipv6 is retained so pure L3 forwarding keeps
+   working.
+
+   The behavioral model uses a fixed three-slot segment list (the common
+   hardware simplification: P4 programs also unroll SRH to a maximum
+   depth); per-depth actions select the segment, as real P4 SRv6
+   implementations do. *)
+
+let source =
+  {src|
+header srh {
+  bit<8> next_header;
+  bit<8> hdr_ext_len;
+  bit<8> routing_type;
+  bit<8> segments_left;
+  bit<8> last_entry;
+  bit<8> flags;
+  bit<16> tag;
+  bit<128> seg0;
+  bit<128> seg1;
+  bit<128> seg2;
+  implicit parser (next_header) { }
+}
+header ipv4_inner {
+  bit<4> version;
+  bit<4> ihl;
+  bit<8> tos;
+  bit<16> total_len;
+  bit<16> ident;
+  bit<16> flags_frag;
+  bit<8> ttl;
+  bit<8> protocol;
+  bit<16> checksum;
+  bit<32> src_addr;
+  bit<32> dst_addr;
+}
+header ipv6_inner {
+  bit<4> version;
+  bit<8> traffic_class;
+  bit<20> flow_label;
+  bit<16> payload_len;
+  bit<8> next_header;
+  bit<8> hop_limit;
+  bit<128> src_addr;
+  bit<128> dst_addr;
+}
+
+table local_sid {
+  key = { ipv6.dst_addr : exact; srh.segments_left : exact; }
+  size = 1024;
+}
+table end_transit {
+  key = { ipv6.dst_addr : lpm; }
+  size = 1024;
+}
+
+action srv6_end_to0() {
+  srh.segments_left = 0;
+  ipv6.dst_addr = srh.seg0;
+}
+action srv6_end_to1() {
+  srh.segments_left = 1;
+  ipv6.dst_addr = srh.seg1;
+}
+
+stage srv6 {
+  parser { ipv6, srh };
+  matcher {
+    if (srh.isValid() && srh.segments_left != 0) local_sid.apply();
+    else if (srh.isValid()) end_transit.apply();
+    else;
+  };
+  executor {
+    1 : srv6_end_to0;
+    2 : srv6_end_to1;
+    3 : set_nexthop;
+    default : NoAction;
+  }
+}
+|src}
+
+(* Loading script (Fig. 5(c)): the new header is linked into the header
+   list; routable -> ipvx linkage is reserved. *)
+let script =
+  {s|
+load srv6.rp4 --func_name srv6
+add_link l2_l3_decide srv6
+add_link srv6 ipv4_lpm
+del_link l2_l3_decide ipv4_lpm
+link_header --pre ipv6 --next srh --tag 43
+link_header --pre srh --next ipv6_inner --tag 41 # inner IPv6
+link_header --pre srh --next ipv4_inner --tag 4  # inner IPv4
+commit
+|s}
+
+(* The local SID of this node and the SR segments used by the tests. *)
+let local_sid_addr = Net.Addr.Ipv6.of_string_exn "2001:db8:100::1"
+let seg_final = Net.Addr.Ipv6.of_string_exn "2001:db8::42"
+
+let segments = [| seg_final; local_sid_addr; Net.Addr.Ipv6.of_string_exn "2001:db8:100::9" |]
+
+(* End processing at this node: segments_left=1 and DA = our SID advances
+   to seg0 (the final destination, routed by the base v6 FIB). *)
+let population =
+  String.concat "\n"
+    [
+      Printf.sprintf "table_add local_sid srv6_end_to0 %s 1 =>"
+        (Net.Addr.Ipv6.to_string local_sid_addr);
+      Printf.sprintf "table_add end_transit set_nexthop %s/128 => 3"
+        (Net.Addr.Ipv6.to_string seg_final);
+    ]
+
+let srv6_flow =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn Base_l23.router_mac)
+    ~src_ip6:(Net.Addr.Ipv6.of_index 77)
+    ()
+
+(* After End processing the packet routes to seg_final via nexthop 3. *)
+let expected_port = 3

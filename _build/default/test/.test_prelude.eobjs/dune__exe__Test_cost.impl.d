@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Float Ipsa Ipsa_cost List Rp4bc

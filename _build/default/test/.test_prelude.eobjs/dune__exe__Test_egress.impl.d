@@ -1,0 +1,1 @@
+test/test_egress.ml: Alcotest Controller Ipsa List Net Rp4 Rp4bc String Usecases

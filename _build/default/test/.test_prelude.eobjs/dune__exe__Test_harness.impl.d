@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Controller Harness Ipsa_cost List Option Rp4 Rp4bc String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Controller Format Hashtbl Ipsa List Net Rp4bc String Usecases

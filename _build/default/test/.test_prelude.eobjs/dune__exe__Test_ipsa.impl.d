@@ -1,0 +1,1 @@
+test/test_ipsa.ml: Alcotest Ipsa List Net Printf Rp4 Rp4bc String Table Usecases

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Char List Net Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_p4flow.ml: Alcotest Controller Ipsa List Net P4lite Pisa Rp4 Rp4bc Rp4fc String Table Usecases

@@ -1,0 +1,1 @@
+test/test_rp4.ml: Alcotest Array List Option Rp4 String Table Usecases

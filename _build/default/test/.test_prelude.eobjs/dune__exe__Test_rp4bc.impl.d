@@ -1,0 +1,1 @@
+test/test_rp4bc.ml: Alcotest Array Ipsa List Mem Option Prelude Printf Rp4 Rp4bc String Usecases

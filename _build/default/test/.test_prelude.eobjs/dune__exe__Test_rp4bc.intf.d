@@ -1,0 +1,1 @@
+test/test_rp4bc.mli:

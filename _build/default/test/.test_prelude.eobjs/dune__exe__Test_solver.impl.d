@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Float Hashtbl List Prelude QCheck QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Hashtbl List Net Option QCheck QCheck_alcotest Table

@@ -1,0 +1,279 @@
+(* Tests for the controller: command-language parsing, the runtime table
+   API (literal parsing, action-name resolution), and session error
+   handling. *)
+
+let check = Alcotest.check
+
+(* --- command parsing ----------------------------------------------------------- *)
+
+let parse1 line =
+  match Controller.Command.parse_line line with
+  | Some c -> c
+  | None -> Alcotest.failf "no command parsed from %S" line
+
+let test_parse_load () =
+  match parse1 "load ecmp.rp4 --func_name ecmp" with
+  | Controller.Command.Load { file; func_name } ->
+    check Alcotest.string "file" "ecmp.rp4" file;
+    check Alcotest.string "func" "ecmp" func_name
+  | _ -> Alcotest.fail "expected Load"
+
+let test_parse_links () =
+  (match parse1 "add_link ipv4_lpm ecmp" with
+  | Controller.Command.Add_link ("ipv4_lpm", "ecmp") -> ()
+  | _ -> Alcotest.fail "expected Add_link");
+  match parse1 "del_link nexthop l2_l3_rewrite" with
+  | Controller.Command.Del_link ("nexthop", "l2_l3_rewrite") -> ()
+  | _ -> Alcotest.fail "expected Del_link"
+
+let test_parse_link_header () =
+  match parse1 "link_header --pre ipv6 --next srh --tag 43" with
+  | Controller.Command.Link_header { pre = "ipv6"; next = "srh"; tag = 43L } -> ()
+  | _ -> Alcotest.fail "expected Link_header"
+
+let test_parse_table_add () =
+  match parse1 "table_add dmac set_out_port 2 02:00:00:00:00:b1 => 1" with
+  | Controller.Command.Table_add { table; action; keys; args } ->
+    check Alcotest.string "table" "dmac" table;
+    check Alcotest.string "action" "set_out_port" action;
+    check (Alcotest.list Alcotest.string) "keys" [ "2"; "02:00:00:00:00:b1" ] keys;
+    check (Alcotest.list Alcotest.string) "args" [ "1" ] args
+  | _ -> Alcotest.fail "expected Table_add"
+
+let test_parse_table_add_no_args () =
+  match parse1 "table_add routable_v4 set_l3_v4 10 02:00:00:00:00:aa =>" with
+  | Controller.Command.Table_add { keys; args; _ } ->
+    check Alcotest.int "two keys" 2 (List.length keys);
+    check Alcotest.int "no args" 0 (List.length args)
+  | _ -> Alcotest.fail "expected Table_add"
+
+let test_parse_comments_and_blanks () =
+  check Alcotest.bool "comment line" true (Controller.Command.parse_line "# hi" = None);
+  check Alcotest.bool "blank line" true (Controller.Command.parse_line "   " = None);
+  match parse1 "add_link a b # trailing comment" with
+  | Controller.Command.Add_link ("a", "b") -> ()
+  | _ -> Alcotest.fail "trailing comment not stripped"
+
+let test_parse_script () =
+  let cmds =
+    Controller.Command.parse_script
+      "load x.rp4 --func_name f\n# comment\n\nadd_link a b\ncommit\n"
+  in
+  check Alcotest.int "three commands" 3 (List.length cmds)
+
+let test_parse_errors () =
+  let fails line =
+    match Controller.Command.parse_line line with
+    | exception Controller.Command.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "unknown command" true (fails "frobnicate x");
+  check Alcotest.bool "load without func" true (fails "load x.rp4");
+  check Alcotest.bool "add_link arity" true (fails "add_link onlyone")
+
+(* --- runtime API ------------------------------------------------------------------ *)
+
+let resolve_file = function
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | "srv6.rp4" -> Usecases.Srv6.source
+  | "probe.rp4" -> Usecases.Flowprobe.source
+  | f -> invalid_arg f
+
+let booted () =
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  match
+    Controller.Session.boot ~resolve_file ~source:Usecases.Base_l23.source device
+  with
+  | Ok s -> (s, device)
+  | Error errs -> Alcotest.failf "boot: %s" (String.concat "; " errs)
+
+let test_apis_cover_live_tables () =
+  let session, _ = booted () in
+  let apis = Controller.Session.apis session in
+  check Alcotest.int "twelve table APIs" 12 (List.length apis);
+  match Controller.Runtime.find_api apis "ipv4_lpm" with
+  | Some api ->
+    check Alcotest.int "key arity" 2 (List.length api.Controller.Runtime.ta_key);
+    (match api.Controller.Runtime.ta_actions with
+    | [ a ] ->
+      check Alcotest.string "action name" "set_nexthop" a.Controller.Runtime.as_name;
+      check Alcotest.int "tag" 1 a.Controller.Runtime.as_tag;
+      check (Alcotest.list Alcotest.int) "param widths" [ 16 ] a.Controller.Runtime.as_param_widths
+    | _ -> Alcotest.fail "one action expected")
+  | None -> Alcotest.fail "ipv4_lpm API missing"
+
+let test_runtime_literals () =
+  let f width kind =
+    { Table.Key.kf_ref = "x"; kf_width = width; kf_kind = kind }
+  in
+  (match Controller.Runtime.parse_key_literal (f 32 Table.Key.Exact) "10.1.2.3" with
+  | Table.Key.M_exact v -> check Alcotest.int "dotted quad" 0x0A010203 (Net.Bits.to_int v)
+  | _ -> Alcotest.fail "exact expected");
+  (match Controller.Runtime.parse_key_literal (f 32 Table.Key.Lpm) "10.1.0.0/16" with
+  | Table.Key.M_lpm (v, 16) -> check Alcotest.int "prefix value" 0x0A010000 (Net.Bits.to_int v)
+  | _ -> Alcotest.fail "lpm expected");
+  (match Controller.Runtime.parse_key_literal (f 16 Table.Key.Ternary) "0x1200&&&0xFF00" with
+  | Table.Key.M_ternary (v, m) ->
+    check Alcotest.int "value" 0x1200 (Net.Bits.to_int v);
+    check Alcotest.int "mask" 0xFF00 (Net.Bits.to_int m)
+  | _ -> Alcotest.fail "ternary expected");
+  (match Controller.Runtime.parse_key_literal (f 48 Table.Key.Hash) "*" with
+  | Table.Key.M_any -> ()
+  | _ -> Alcotest.fail "wildcard expected");
+  match Controller.Runtime.parse_key_literal (f 128 Table.Key.Exact) "2001:db8::1" with
+  | Table.Key.M_exact v -> check Alcotest.int "v6 width" 128 (Net.Bits.width v)
+  | _ -> Alcotest.fail "v6 exact expected"
+
+let test_runtime_table_add_errors () =
+  let session, device = booted () in
+  let apis = Controller.Session.apis session in
+  let add table action keys args =
+    Controller.Runtime.table_add ~device ~apis ~table ~action ~keys ~args
+  in
+  (match add "no_such" "a" [] [] with
+  | Error e -> check Alcotest.bool "names table" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "unknown table accepted");
+  (match add "ipv4_lpm" "wrong_action" [ "10"; "10.0.0.0/8" ] [ "1" ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown action accepted");
+  (match add "ipv4_lpm" "set_nexthop" [ "10" ] [ "1" ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong key arity accepted");
+  (match add "ipv4_lpm" "set_nexthop" [ "10"; "10.0.0.0/8" ] [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong arg arity accepted");
+  match add "ipv4_lpm" "set_nexthop" [ "10"; "not-an-ip/8" ] [ "1" ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad literal accepted"
+
+let test_runtime_table_del () =
+  let session, device = booted () in
+  let apis = Controller.Session.apis session in
+  (match
+     Controller.Runtime.table_add ~device ~apis ~table:"nexthop" ~action:"set_bd_dmac"
+       ~keys:[ "5" ] ~args:[ "2"; "02:00:00:00:00:99" ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Controller.Runtime.table_del ~device ~apis ~table:"nexthop" ~keys:[ "5" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Controller.Runtime.table_del ~device ~apis ~table:"nexthop" ~keys:[ "5" ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double delete accepted"
+
+(* --- session ---------------------------------------------------------------------- *)
+
+let test_session_commit_without_pending () =
+  let session, _ = booted () in
+  match Controller.Session.exec session Controller.Command.Commit with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty commit accepted"
+
+let test_session_load_unknown_file () =
+  let session, _ = booted () in
+  match
+    Controller.Session.exec session
+      (Controller.Command.Load { file = "missing.rp4"; func_name = "x" })
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown file accepted"
+
+let test_session_failed_commit_preserves_design () =
+  let session, device = booted () in
+  let before = Rp4bc.Design.mapping (Controller.Session.design session) in
+  (* stage a snippet whose links reference nothing; commit must fail *)
+  (match
+     Controller.Session.run_script session
+       "load ecmp.rp4 --func_name ecmp\nadd_link ghost1 ghost2\ncommit"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad commit accepted");
+  check Alcotest.bool "design unchanged" true
+    (before = Rp4bc.Design.mapping (Controller.Session.design session));
+  (* device still forwards *)
+  (match Controller.Session.run_script session Usecases.Base_l23.population with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Ipsa.Device.inject device (Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow) with
+  | Some (port, _) -> check Alcotest.int "still forwarding" 4 port
+  | None -> Alcotest.fail "device wedged after failed commit"
+
+let test_session_show_commands () =
+  let session, _ = booted () in
+  (match Controller.Session.exec session Controller.Command.Show_mapping with
+  | Ok out -> check Alcotest.bool "mapping text" true (String.length out > 20)
+  | Error e -> Alcotest.fail e);
+  match Controller.Session.exec session Controller.Command.Show_design with
+  | Ok out ->
+    (* the emitted design must itself be parseable rP4 *)
+    let reparsed = Rp4.Parser.parse_string out in
+    check Alcotest.int "design source has all stages" 10
+      (List.length (Rp4.Ast.all_stages reparsed))
+  | Error e -> Alcotest.fail e
+
+let test_session_sequential_updates () =
+  (* probe then ECMP then SRv6 on one running device: all three of the
+     paper's updates stack *)
+  let session, device = booted () in
+  (match Controller.Session.run_script session Usecases.Base_l23.population with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun (script, population) ->
+      (match Controller.Session.run_script session script with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "script: %s" e);
+      match Controller.Session.run_script session population with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "population: %s" e)
+    [
+      (Usecases.Flowprobe.script, Usecases.Flowprobe.population);
+      (Usecases.Ecmp.script, Usecases.Ecmp.population);
+      (Usecases.Srv6.script, Usecases.Srv6.population);
+    ];
+  (* all three functions active simultaneously *)
+  let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Flowprobe.probed_flow in
+  (match Ipsa.Device.inject device pkt with
+  | Some (port, _) ->
+    check Alcotest.bool "probed flow forwarded via ECMP" true
+      (List.mem port Usecases.Ecmp.v4_member_ports)
+  | None -> Alcotest.fail "probe+ecmp flow dropped");
+  let srv6_pkt =
+    Net.Flowgen.srv6_ipv4 ~in_port:1 ~segments:Usecases.Srv6.segments ~segments_left:1
+      Usecases.Srv6.srv6_flow
+  in
+  match Ipsa.Device.inject device srv6_pkt with
+  | Some (_, _) -> ()
+  | None -> Alcotest.fail "srv6 dropped with all functions loaded"
+
+let () =
+  Alcotest.run "controller"
+    [
+      ( "command",
+        [
+          Alcotest.test_case "load" `Quick test_parse_load;
+          Alcotest.test_case "links" `Quick test_parse_links;
+          Alcotest.test_case "link_header" `Quick test_parse_link_header;
+          Alcotest.test_case "table_add" `Quick test_parse_table_add;
+          Alcotest.test_case "table_add no args" `Quick test_parse_table_add_no_args;
+          Alcotest.test_case "comments" `Quick test_parse_comments_and_blanks;
+          Alcotest.test_case "script" `Quick test_parse_script;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "apis" `Quick test_apis_cover_live_tables;
+          Alcotest.test_case "literals" `Quick test_runtime_literals;
+          Alcotest.test_case "table_add errors" `Quick test_runtime_table_add_errors;
+          Alcotest.test_case "table_del" `Quick test_runtime_table_del;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "empty commit" `Quick test_session_commit_without_pending;
+          Alcotest.test_case "unknown file" `Quick test_session_load_unknown_file;
+          Alcotest.test_case "failed commit safe" `Quick test_session_failed_commit_preserves_design;
+          Alcotest.test_case "show commands" `Quick test_session_show_commands;
+          Alcotest.test_case "sequential updates" `Quick test_session_sequential_updates;
+        ] );
+    ]

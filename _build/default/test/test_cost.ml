@@ -1,0 +1,203 @@
+(* Tests for the hardware cost models: resources (Table 2), power
+   (Table 3, Fig. 6), throughput (Sec. 5) and update timing (Table 1).
+   Each model must (a) reproduce the paper's numbers at its calibration
+   point and (b) behave sensibly away from it. *)
+
+let check = Alcotest.check
+let approx = Alcotest.float 0.02
+
+module R = Ipsa_cost.Resources
+module P = Ipsa_cost.Power
+module T = Ipsa_cost.Throughput
+
+(* --- resources ---------------------------------------------------------------- *)
+
+let test_resources_calibration () =
+  let p = R.base_design_params in
+  let tp = R.total_usage R.Pisa p and ti = R.total_usage R.Ipsa p in
+  check approx "PISA LUT total" 6.20 tp.R.lut;
+  check approx "PISA FF total" 0.57 tp.R.ff;
+  check approx "IPSA LUT total" 7.12 ti.R.lut;
+  check approx "IPSA FF total" 0.92 ti.R.ff;
+  check (Alcotest.float 0.5) "LUT overhead ~14.84%" 14.84 (R.lut_overhead_percent p);
+  check (Alcotest.float 0.5) "FF overhead ~61.40%" 61.40 (R.ff_overhead_percent p)
+
+let test_resources_componentwise () =
+  let p = R.base_design_params in
+  check approx "front parser (PISA only)" 0.88 (R.component_usage R.Pisa p R.Front_parser).R.lut;
+  check approx "no front parser under IPSA" 0.0
+    (R.component_usage R.Ipsa p R.Front_parser).R.lut;
+  check approx "no crossbar under PISA" 0.0 (R.component_usage R.Pisa p R.Crossbar).R.lut;
+  check approx "crossbar" 1.29 (R.component_usage R.Ipsa p R.Crossbar).R.lut
+
+let test_resources_scale_with_design () =
+  let p = R.base_design_params in
+  let bigger = { p with R.nstages = 16 } in
+  check Alcotest.bool "more stages, more LUTs" true
+    ((R.total_usage R.Ipsa bigger).R.lut > (R.total_usage R.Ipsa p).R.lut);
+  let deeper_parse = { p with R.parse_bits = 2 * p.R.parse_bits } in
+  check Alcotest.bool "deeper parse graph costs PISA" true
+    ((R.total_usage R.Pisa deeper_parse).R.lut > (R.total_usage R.Pisa p).R.lut);
+  check Alcotest.bool "clustering shrinks the crossbar" true
+    ((R.crossbar_usage { p with R.clustered = true }).R.lut
+    < (R.crossbar_usage p).R.lut)
+
+(* --- power --------------------------------------------------------------------- *)
+
+let test_power_anchors () =
+  let full = { P.nstages = 8; effective = 8; table_kbits = 900 } in
+  let pisa = P.total P.Pisa full and ipsa = P.total P.Ipsa full in
+  check Alcotest.bool "PISA total near the paper's ~2.95 W" true
+    (pisa > 2.5 && pisa < 3.3);
+  let overhead = 100.0 *. (ipsa -. pisa) /. pisa in
+  check Alcotest.bool "IPSA ~10% higher at full pipeline" true
+    (overhead > 7.0 && overhead < 14.0)
+
+let test_power_pisa_flat_ipsa_grows () =
+  let sweep = P.sweep ~nstages:8 ~table_kbits:900 in
+  let pisa_vals = List.map (fun (_, p, _) -> p) sweep in
+  let ipsa_vals = List.map (fun (_, _, i) -> i) sweep in
+  check Alcotest.bool "PISA flat in effective stages" true
+    (List.for_all (fun v -> Float.abs (v -. List.hd pisa_vals) < 1e-9) pisa_vals);
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "IPSA increases with active TSPs" true (increasing ipsa_vals)
+
+let test_power_crossover () =
+  (* Fig. 6's qualitative claim: IPSA cheaper below the crossover *)
+  match P.crossover ~nstages:8 ~table_kbits:900 with
+  | Some n ->
+    check Alcotest.bool "crossover in the upper half" true (n >= 5 && n <= 8);
+    let below = { P.nstages = 8; effective = n - 1; table_kbits = 900 } in
+    check Alcotest.bool "IPSA cheaper below crossover" true
+      (P.total P.Ipsa below < P.total P.Pisa below)
+  | None -> Alcotest.fail "expected a crossover within 8 stages"
+
+let test_power_breakdown_sums () =
+  let p = { P.nstages = 8; effective = 6; table_kbits = 500 } in
+  List.iter
+    (fun arch ->
+      let b = P.breakdown arch p in
+      check (Alcotest.float 1e-6) "breakdown sums to total" b.P.b_total
+        (b.P.b_front_parser +. b.P.b_processors +. b.P.b_crossbar +. b.P.b_static_mem))
+    [ P.Pisa; P.Ipsa ]
+
+(* --- throughput ------------------------------------------------------------------ *)
+
+let profile tables =
+  {
+    T.tp_tables =
+      List.map (fun (n, w, h) -> { T.tc_name = n; tc_entry_width = w; tc_hashed = h }) tables;
+    tp_parse_bits = 0;
+  }
+
+let test_throughput_ordering () =
+  let p = T.default_params in
+  let narrow = [ profile [ ("a", 100, false) ] ] in
+  let wide = [ profile [ ("a", 300, false) ] ] in
+  let pisa_mpps prof = T.mpps T.Pisa p ~profiles:prof ~max_chain_bits:592 in
+  let ipsa_mpps prof = T.mpps T.Ipsa p ~profiles:prof ~max_chain_bits:592 in
+  check Alcotest.bool "PISA faster than IPSA" true (pisa_mpps narrow > ipsa_mpps narrow);
+  check Alcotest.bool "wide entries slow IPSA" true (ipsa_mpps narrow > ipsa_mpps wide);
+  (* the factor is in the paper's 2-4x band for typical entries *)
+  let ratio = pisa_mpps narrow /. ipsa_mpps narrow in
+  check Alcotest.bool "gap in the 2-5x band" true (ratio > 2.0 && ratio < 5.0)
+
+let test_throughput_remedies () =
+  let narrow = [ profile [ ("a", 300, false) ] ] in
+  let base = T.mpps T.Ipsa T.default_params ~profiles:narrow ~max_chain_bits:592 in
+  let wider =
+    T.mpps T.Ipsa { T.default_params with T.bus_width_bits = 512 } ~profiles:narrow
+      ~max_chain_bits:592
+  in
+  let pipelined =
+    T.mpps T.Ipsa { T.default_params with T.tsp_pipelined = true } ~profiles:narrow
+      ~max_chain_bits:592
+  in
+  check Alcotest.bool "wider bus helps" true (wider > base);
+  check Alcotest.bool "pipelined TSP helps" true (pipelined > base)
+
+let test_throughput_bottleneck_is_max () =
+  let p = T.default_params in
+  let two_stages = [ profile [ ("a", 100, false) ]; profile [ ("b", 400, false) ] ] in
+  let only_wide = [ profile [ ("b", 400, false) ] ] in
+  check (Alcotest.float 1e-6) "pipeline limited by slowest stage"
+    (T.mpps T.Ipsa p ~profiles:only_wide ~max_chain_bits:0)
+    (T.mpps T.Ipsa p ~profiles:two_stages ~max_chain_bits:0)
+
+let test_throughput_relevant_filter () =
+  let p = T.default_params in
+  let mixed = [ profile [ ("v4", 100, false); ("v6", 400, false) ] ] in
+  let v4_only = T.mpps ~relevant:(fun t -> t = "v4") T.Ipsa p ~profiles:mixed ~max_chain_bits:0 in
+  let all = T.mpps T.Ipsa p ~profiles:mixed ~max_chain_bits:0 in
+  check Alcotest.bool "off-path tables don't bottleneck" true (v4_only > all)
+
+let test_throughput_parse_chain_limits_pisa () =
+  let p = T.default_params in
+  let prof = [ profile [ ("a", 64, false) ] ] in
+  let shallow = T.mpps T.Pisa p ~profiles:prof ~max_chain_bits:100 in
+  let deep = T.mpps T.Pisa p ~profiles:prof ~max_chain_bits:4000 in
+  check Alcotest.bool "deep parse chain slows PISA" true (shallow > deep)
+
+(* --- timing ------------------------------------------------------------------------ *)
+
+let test_timing_shape () =
+  let m = Ipsa_cost.Timing.default in
+  let mk_stats work =
+    {
+      Rp4bc.Compile.stages_compiled = 0;
+      templates_emitted = 0;
+      tables_placed = 0;
+      tables_freed = 0;
+      align = None;
+      work_units = work;
+      config_bytes = 0;
+    }
+  in
+  let t_full = Ipsa_cost.Timing.t_compile_pisa m ~full_stats:(mk_stats 280) in
+  let t_inc = Ipsa_cost.Timing.t_compile_ipsa m ~inc_stats:(mk_stats 45) in
+  check Alcotest.bool "incremental compile ~2% of full" true (t_inc /. t_full < 0.05);
+  let report =
+    {
+      Ipsa.Device.lr_bytes = 2000;
+      lr_templates = 1;
+      lr_tables_created = 2;
+      lr_tables_freed = 1;
+      lr_crossbar_changes = 2;
+      lr_drain_cycles = 20;
+    }
+  in
+  let tl_ipsa = Ipsa_cost.Timing.t_load_ipsa m ~report ~new_entries:3 in
+  let tl_pisa = Ipsa_cost.Timing.t_load_pisa m ~total_entries:30 in
+  check Alcotest.bool "patch load ~2% of full reload" true (tl_ipsa /. tl_pisa < 0.05);
+  check Alcotest.bool "ipsa load in the paper's 20-30ms regime" true
+    (tl_ipsa > 15.0 && tl_ipsa < 35.0)
+
+let () =
+  Alcotest.run "ipsa_cost"
+    [
+      ( "resources",
+        [
+          Alcotest.test_case "calibration" `Quick test_resources_calibration;
+          Alcotest.test_case "components" `Quick test_resources_componentwise;
+          Alcotest.test_case "scaling" `Quick test_resources_scale_with_design;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "anchors" `Quick test_power_anchors;
+          Alcotest.test_case "flat vs growing" `Quick test_power_pisa_flat_ipsa_grows;
+          Alcotest.test_case "crossover" `Quick test_power_crossover;
+          Alcotest.test_case "breakdown" `Quick test_power_breakdown_sums;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "ordering" `Quick test_throughput_ordering;
+          Alcotest.test_case "remedies" `Quick test_throughput_remedies;
+          Alcotest.test_case "bottleneck" `Quick test_throughput_bottleneck_is_max;
+          Alcotest.test_case "relevant filter" `Quick test_throughput_relevant_filter;
+          Alcotest.test_case "parse chain" `Quick test_throughput_parse_chain_limits_pisa;
+        ] );
+      ("timing", [ Alcotest.test_case "shape" `Quick test_timing_shape ]);
+    ]

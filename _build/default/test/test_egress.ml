@@ -1,0 +1,199 @@
+(* Tests for the ingress/egress-split base design (elastic pipeline with a
+   live TM) and for pre-compiled updates (prepare / apply_prepared). *)
+
+let check = Alcotest.check
+
+let boot_split () =
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  match Controller.Session.boot ~source:Usecases.Base_split.source device with
+  | Error errs -> Alcotest.failf "boot split: %s" (String.concat "; " errs)
+  | Ok session -> (
+    match Controller.Session.run_script session Usecases.Base_split.population with
+    | Error e -> Alcotest.failf "population: %s" e
+    | Ok _ -> (session, device))
+
+let inject_exn device pkt =
+  match Ipsa.Device.inject device pkt with
+  | Some (port, ctx) -> (port, ctx)
+  | None -> Alcotest.fail "packet dropped"
+
+(* --- split layout ------------------------------------------------------- *)
+
+let test_split_source_valid () =
+  let prog = Rp4.Parser.parse_string Usecases.Base_split.source in
+  check Alcotest.int "three egress stages" 3 (List.length prog.Rp4.Ast.egress);
+  check Alcotest.int "seven ingress stages" 7 (List.length prog.Rp4.Ast.ingress);
+  check Alcotest.bool "egress entry" true (prog.Rp4.Ast.egress_entry = Some "nexthop")
+
+let test_split_layout_roles () =
+  let session, device = boot_split () in
+  let layout = (Controller.Session.design session).Rp4bc.Design.layout in
+  (* ingress groups occupy the left, egress the right, bypass between *)
+  let pipeline = Ipsa.Device.pipeline device in
+  check Alcotest.bool "TSP 0 is ingress" true
+    (Ipsa.Pipeline.role pipeline 0 = Ipsa.Pipeline.Ingress);
+  check Alcotest.bool "TSP 7 is egress" true
+    (Ipsa.Pipeline.role pipeline 7 = Ipsa.Pipeline.Egress);
+  check Alcotest.bool "a bypassed TSP exists between" true
+    (List.exists
+       (fun i -> Ipsa.Pipeline.role pipeline i = Ipsa.Pipeline.Bypass)
+       [ 5 ]);
+  check Alcotest.int "seven active TSPs" 7 (Rp4bc.Layout.active_tsps layout)
+
+let test_split_forwarding_matches_base () =
+  let _session, device = boot_split () in
+  let cases =
+    [
+      ( Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow,
+        Usecases.Base_l23.expected_port_routed_v4 );
+      ( Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.host_route_v4_flow,
+        Usecases.Base_l23.expected_port_host_v4 );
+      ( Net.Flowgen.ipv6_udp ~in_port:1 Usecases.Base_l23.routed_v6_flow,
+        Usecases.Base_l23.expected_port_routed_v6 );
+      ( Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow,
+        Usecases.Base_l23.expected_port_bridged );
+    ]
+  in
+  List.iter
+    (fun (pkt, expected) ->
+      let port, _ = inject_exn device pkt in
+      check Alcotest.int "split design forwards like the unsplit one" expected port)
+    cases
+
+let test_split_tm_carries_traffic () =
+  let _session, device = boot_split () in
+  for _ = 1 to 20 do
+    ignore (inject_exn device (Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow))
+  done;
+  (* every packet crossed the TM between ingress and egress *)
+  let stats = Ipsa.Device.stats device in
+  check Alcotest.int "all forwarded" 20 stats.Ipsa.Device.forwarded
+
+let test_split_update_still_works () =
+  (* in-situ ECMP insertion on the split design: ecmp replaces the
+     egress-side nexthop stage *)
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  let resolve_file = function
+    | "ecmp.rp4" -> Usecases.Ecmp.source
+    | f -> invalid_arg f
+  in
+  let session =
+    match
+      Controller.Session.boot ~resolve_file ~source:Usecases.Base_split.source device
+    with
+    | Ok s -> s
+    | Error errs -> Alcotest.failf "boot: %s" (String.concat "; " errs)
+  in
+  (match Controller.Session.run_script session Usecases.Base_split.population with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* on the split design ECMP replaces the *egress entry* stage, so the
+     script retargets the egress pipe instead of splicing after a FIB
+     stage (the unsplit script's shape) *)
+  let split_ecmp_script =
+    {s|
+load ecmp.rp4 --func_name ecmp
+add_link ecmp l2_l3_rewrite
+del_link nexthop l2_l3_rewrite
+set_entry --pipe egress --stage ecmp
+commit
+|s}
+  in
+  (match Controller.Session.run_script session split_ecmp_script with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ecmp script: %s" e);
+  (match Controller.Session.run_script session Usecases.Ecmp.population with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let port, _ =
+    inject_exn device (Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow)
+  in
+  check Alcotest.bool "ECMP active on the egress side" true
+    (List.mem port Usecases.Ecmp.v4_member_ports)
+
+(* --- pre-compiled updates ------------------------------------------------- *)
+
+let resolve_file = function
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | "probe.rp4" -> Usecases.Flowprobe.source
+  | f -> invalid_arg f
+
+let boot_base () =
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  match
+    Controller.Session.boot ~resolve_file ~source:Usecases.Base_l23.source device
+  with
+  | Error errs -> Alcotest.failf "boot: %s" (String.concat "; " errs)
+  | Ok session -> (
+    match Controller.Session.run_script session Usecases.Base_l23.population with
+    | Error e -> Alcotest.failf "population: %s" e
+    | Ok _ -> (session, device))
+
+let stage_ecmp session =
+  List.iter
+    (fun line ->
+      match Controller.Command.parse_line line with
+      | Some cmd -> (
+        match Controller.Session.exec session cmd with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "stage: %s" e)
+      | None -> ())
+    (String.split_on_char '\n' Usecases.Ecmp.script
+    |> List.filter (fun l -> String.trim l <> "commit"))
+
+let test_prepare_then_apply () =
+  let session, device = boot_base () in
+  stage_ecmp session;
+  let prepared =
+    match Controller.Session.prepare session with
+    | Ok p -> p
+    | Error errs -> Alcotest.failf "prepare: %s" (String.concat "; " errs)
+  in
+  (* the device is untouched until application *)
+  check Alcotest.bool "nexthop still live" true
+    (Ipsa.Device.find_table device "nexthop" <> None);
+  check Alcotest.bool "ecmp not yet installed" true
+    (Ipsa.Device.find_table device "ecmp_ipv4" = None);
+  (match Controller.Session.apply_prepared session prepared with
+  | Ok timing ->
+    check Alcotest.int "one template rewritten" 1
+      timing.Controller.Session.compile_stats.Rp4bc.Compile.templates_emitted
+  | Error errs -> Alcotest.failf "apply: %s" (String.concat "; " errs));
+  check Alcotest.bool "ecmp installed" true
+    (Ipsa.Device.find_table device "ecmp_ipv4" <> None);
+  check Alcotest.bool "nexthop recycled" true
+    (Ipsa.Device.find_table device "nexthop" = None)
+
+let test_prepare_stale_base_rejected () =
+  let session, _device = boot_base () in
+  stage_ecmp session;
+  let prepared =
+    match Controller.Session.prepare session with
+    | Ok p -> p
+    | Error errs -> Alcotest.failf "prepare: %s" (String.concat "; " errs)
+  in
+  (* a different update lands first: the prepared patch is stale *)
+  (match Controller.Session.run_script session Usecases.Flowprobe.script with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "probe: %s" e);
+  match Controller.Session.apply_prepared session prepared with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale prepared patch accepted"
+
+let () =
+  Alcotest.run "egress+prepared"
+    [
+      ( "split-design",
+        [
+          Alcotest.test_case "source valid" `Quick test_split_source_valid;
+          Alcotest.test_case "layout roles" `Quick test_split_layout_roles;
+          Alcotest.test_case "forwarding" `Quick test_split_forwarding_matches_base;
+          Alcotest.test_case "tm carries traffic" `Quick test_split_tm_carries_traffic;
+          Alcotest.test_case "update on egress side" `Quick test_split_update_still_works;
+        ] );
+      ( "prepared-updates",
+        [
+          Alcotest.test_case "prepare then apply" `Quick test_prepare_then_apply;
+          Alcotest.test_case "stale base rejected" `Quick test_prepare_stale_base_rejected;
+        ] );
+    ]

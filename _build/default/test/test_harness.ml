@@ -1,0 +1,111 @@
+(* Tests for the experiment harness: the synthetic workload generator and
+   the cheap (model-only) experiment drivers. *)
+
+let check = Alcotest.check
+
+let test_synth_chain_compiles () =
+  let prog = Rp4.Parser.parse_string (Harness.Synth.chain_program ~nstages:5) in
+  match Rp4.Semantic.build prog with
+  | Ok env ->
+    check Alcotest.int "five stages" 5
+      (List.length (Rp4.Ast.all_stages env.Rp4.Semantic.prog))
+  | Error errs -> Alcotest.failf "synth chain invalid: %s" (String.concat "; " errs)
+
+let test_synth_stages_unmergeable () =
+  (* chain stages are chained by data dependencies: 5 stages -> 5 groups *)
+  let prog = Rp4.Parser.parse_string (Harness.Synth.chain_program ~nstages:5) in
+  match Rp4.Semantic.build prog with
+  | Error errs -> Alcotest.failf "%s" (String.concat "; " errs)
+  | Ok env ->
+    let order = List.map (fun s -> s.Rp4.Ast.st_name) env.Rp4.Semantic.prog.Rp4.Ast.ingress in
+    check Alcotest.int "no merging" 5 (List.length (Rp4bc.Group.merge env order))
+
+let test_synth_snippet_unmergeable_with_neighbours () =
+  let prog = Rp4.Parser.parse_string (Harness.Synth.chain_program ~nstages:4) in
+  let snippet = Rp4.Parser.parse_string (Harness.Synth.snippet ~id:0 ~pos:1) in
+  match Rp4.Semantic.build ~base:prog snippet with
+  | Error errs -> Alcotest.failf "%s" (String.concat "; " errs)
+  | Ok env ->
+    let s name =
+      Rp4bc.Depgraph.summarize env (Option.get (Rp4.Ast.find_stage env.Rp4.Semantic.prog name))
+    in
+    check Alcotest.bool "conflicts with predecessor" false
+      (Rp4bc.Depgraph.independent env (s "s1") (s "u0"));
+    check Alcotest.bool "conflicts with successor" false
+      (Rp4bc.Depgraph.independent env (s "u0") (s "s2"))
+
+let test_synth_stream_deterministic () =
+  let run algo =
+    Harness.Synth.run_update_stream ~seed:3 ~nstages:5 ~ntsps:16 ~nupdates:6 ~algo
+  in
+  let r1, w1, _ = run Rp4bc.Layout.Dp in
+  let r2, w2, _ = run Rp4bc.Layout.Dp in
+  check Alcotest.int "rewrites reproducible" r1 r2;
+  check Alcotest.int "work reproducible" w1 w2;
+  check Alcotest.bool "stream does real work" true (r1 >= 6)
+
+let test_synth_greedy_cheaper_alignment () =
+  let _, gw, _ =
+    Harness.Synth.run_update_stream ~seed:5 ~nstages:6 ~ntsps:20 ~nupdates:8
+      ~algo:Rp4bc.Layout.Greedy
+  in
+  let _, dw, _ =
+    Harness.Synth.run_update_stream ~seed:5 ~nstages:6 ~ntsps:20 ~nupdates:8
+      ~algo:Rp4bc.Layout.Dp
+  in
+  check Alcotest.bool "greedy does fewer alignment steps" true (gw < dw)
+
+let test_paper_constants_consistent () =
+  (* the stored paper numbers must be self-consistent with its ratios *)
+  List.iter
+    (fun c ->
+      let (p_tc, _), (i_tc, _) = Harness.Paper.table1_fpga c in
+      let ratio = 100.0 *. i_tc /. p_tc in
+      check Alcotest.bool "fpga tC ratio in 1.5-3.5%" true (ratio > 1.5 && ratio < 3.5);
+      let pisa, ipsa = Harness.Paper.throughput c in
+      check Alcotest.bool "throughput ordering" true (pisa > ipsa))
+    Harness.Paper.cases
+
+let test_case_setup_produces_designs () =
+  let session, _device, timing = Harness.Cases.ipsa_case Harness.Paper.C1 in
+  check Alcotest.bool "timing captured" true
+    (timing.Controller.Session.compile_ns > 0.0);
+  let design = Controller.Session.design session in
+  check Alcotest.bool "ecmp in updated design" true
+    (Rp4.Ast.find_table (Rp4bc.Design.program design) "ecmp_ipv4" <> None);
+  let _, run = Harness.Cases.pisa_case Harness.Paper.C1 in
+  check Alcotest.bool "pisa full compile measured" true (run.Harness.Cases.pr_compile_ms > 0.0);
+  check Alcotest.bool "pisa repopulated everything" true (run.Harness.Cases.pr_entries > 20)
+
+let test_throughput_profiles_shapes () =
+  let session, _, _ = Harness.Cases.ipsa_case Harness.Paper.C2 in
+  let profiles =
+    Ipsa_cost.Throughput.profiles_of_design (Controller.Session.design session)
+  in
+  check Alcotest.int "one profile per active TSP" 7 (List.length profiles);
+  let chain =
+    Ipsa_cost.Throughput.max_chain_bits (Controller.Session.design session)
+  in
+  (* ethernet(112) + ipv6(320) + srh(448) + inner ipv6(320) is the longest
+     chain once SRv6 is loaded *)
+  check Alcotest.int "SRv6 parse chain" (112 + 320 + 448 + 320) chain
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "synth",
+        [
+          Alcotest.test_case "chain compiles" `Quick test_synth_chain_compiles;
+          Alcotest.test_case "chain unmergeable" `Quick test_synth_stages_unmergeable;
+          Alcotest.test_case "snippet unmergeable" `Quick
+            test_synth_snippet_unmergeable_with_neighbours;
+          Alcotest.test_case "stream deterministic" `Quick test_synth_stream_deterministic;
+          Alcotest.test_case "greedy cheaper" `Quick test_synth_greedy_cheaper_alignment;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "paper constants" `Quick test_paper_constants_consistent;
+          Alcotest.test_case "case setup" `Quick test_case_setup_produces_designs;
+          Alcotest.test_case "throughput profiles" `Quick test_throughput_profiles_shapes;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+(* End-to-end integration tests: boot the base L2/L3 design on an ipbm
+   device, forward traffic, then exercise all three in-situ updates of the
+   paper (C1 ECMP, C2 SRv6, C3 flow probe) through the controller. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let resolve_file name =
+  match name with
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | "srv6.rp4" -> Usecases.Srv6.source
+  | "probe.rp4" -> Usecases.Flowprobe.source
+  | other -> invalid_arg ("no such file " ^ other)
+
+let boot_base () =
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  match
+    Controller.Session.boot ~resolve_file ~source:Usecases.Base_l23.source device
+  with
+  | Error errs -> Alcotest.failf "boot failed: %s" (String.concat "; " errs)
+  | Ok session -> (
+    match Controller.Session.run_script session Usecases.Base_l23.population with
+    | Error e -> Alcotest.failf "population failed: %s" e
+    | Ok _ -> (session, device))
+
+let run_script_exn session script =
+  match Controller.Session.run_script session script with
+  | Error e -> Alcotest.failf "script failed: %s" e
+  | Ok outputs -> outputs
+
+let inject_exn device pkt =
+  match Ipsa.Device.inject device pkt with
+  | Some (port, ctx) -> (port, ctx)
+  | None -> Alcotest.failf "packet dropped: %s" (Format.asprintf "%a" Net.Packet.pp pkt)
+
+(* --- base design ------------------------------------------------------ *)
+
+let test_base_mapping () =
+  let session, _device = boot_base () in
+  let mapping = Rp4bc.Design.mapping (Controller.Session.design session) in
+  check int "base design occupies 7 TSPs" 7 (List.length mapping);
+  (* D/E, F/G and I/J are merged pairs. *)
+  let stages_of i =
+    match List.find_opt (fun (t, _, _) -> t = i) mapping with
+    | Some (_, stages, _) -> stages
+    | None -> []
+  in
+  check (Alcotest.list Alcotest.string) "TSP3 hosts the merged LPM stages"
+    [ "ipv4_lpm"; "ipv6_lpm" ] (stages_of 3);
+  check (Alcotest.list Alcotest.string) "TSP4 hosts the merged host-route stages"
+    [ "ipv4_host"; "ipv6_host" ] (stages_of 4);
+  check (Alcotest.list Alcotest.string) "TSP6 hosts rewrite+dmac"
+    [ "l2_l3_rewrite"; "dmac" ] (stages_of 6)
+
+let test_base_routed_v4 () =
+  let _session, device = boot_base () in
+  let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+  let port, _ctx = inject_exn device pkt in
+  check int "routed v4 to port 1" Usecases.Base_l23.expected_port_routed_v4 port;
+  (* verify the rewrite: TTL decremented, SMAC = router MAC, DMAC = nexthop *)
+  let out = Net.Packet.contents pkt in
+  let eth = Net.Proto.Eth.of_string out in
+  let ip = Net.Proto.Ipv4.of_string ~off:14 out in
+  check int "TTL decremented" 63 ip.Net.Proto.Ipv4.ttl;
+  Alcotest.(check string)
+    "SMAC rewritten to router MAC" Usecases.Base_l23.router_mac
+    (Net.Addr.Mac.to_string eth.Net.Proto.Eth.src);
+  Alcotest.(check string)
+    "DMAC rewritten to nexthop MAC" "02:00:00:00:00:b1"
+    (Net.Addr.Mac.to_string eth.Net.Proto.Eth.dst)
+
+let test_base_host_route_wins () =
+  let _session, device = boot_base () in
+  let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.host_route_v4_flow in
+  let port, _ = inject_exn device pkt in
+  check int "host route beats the LPM route" Usecases.Base_l23.expected_port_host_v4 port
+
+let test_base_routed_v6 () =
+  let _session, device = boot_base () in
+  let pkt = Net.Flowgen.ipv6_udp ~in_port:2 Usecases.Base_l23.routed_v6_flow in
+  let port, _ = inject_exn device pkt in
+  check int "routed v6 to port 3" Usecases.Base_l23.expected_port_routed_v6 port;
+  let ip = Net.Proto.Ipv6.of_string ~off:14 (Net.Packet.contents pkt) in
+  check int "hop limit decremented" 63 ip.Net.Proto.Ipv6.hop_limit
+
+let test_base_bridged () =
+  let _session, device = boot_base () in
+  let pkt = Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow in
+  let port, ctx = inject_exn device pkt in
+  check int "bridged frame to port 4" Usecases.Base_l23.expected_port_bridged port;
+  check int "bridged frame is not routed" 0
+    (Net.Meta.get_int ctx.Ipsa.Context.meta "l3_type")
+
+(* --- C1: ECMP --------------------------------------------------------- *)
+
+let load_ecmp () =
+  let session, device = boot_base () in
+  let _ = run_script_exn session Usecases.Ecmp.script in
+  let _ = run_script_exn session Usecases.Ecmp.population in
+  (session, device)
+
+let test_ecmp_replaces_nexthop () =
+  let session, device = load_ecmp () in
+  check bool "nexthop table recycled" true
+    (Ipsa.Device.find_table device "nexthop" = None);
+  check bool "ecmp tables live" true (Ipsa.Device.find_table device "ecmp_ipv4" <> None);
+  (* ecmp takes over H's TSP slot; everything else keeps its template *)
+  let mapping = Rp4bc.Design.mapping (Controller.Session.design session) in
+  check int "still 7 TSPs" 7 (List.length mapping);
+  match Controller.Session.last_timing session with
+  | None -> Alcotest.fail "no timing recorded"
+  | Some t ->
+    check int "only one template rewritten"
+      1 t.Controller.Session.compile_stats.Rp4bc.Compile.templates_emitted
+
+let test_ecmp_balances () =
+  let _session, device = load_ecmp () in
+  (* Many routed flows must spread over both ECMP members (ports 1, 2). *)
+  let ports = Hashtbl.create 4 in
+  for i = 0 to 63 do
+    let flow =
+      Net.Flowgen.make_flow
+        ~dst_mac:(Net.Addr.Mac.of_string_exn Usecases.Base_l23.router_mac)
+        ~dst_ip4:(Net.Addr.Ipv4.of_int (0x0A010000 lor (2 + i)))
+        ()
+    in
+    let pkt = Net.Flowgen.ipv4_udp ~in_port:0 flow in
+    let port, _ = inject_exn device pkt in
+    check bool "port is an ECMP member" true (List.mem port Usecases.Ecmp.v4_member_ports);
+    Hashtbl.replace ports port ()
+  done;
+  check int "both members used" 2 (Hashtbl.length ports)
+
+let test_ecmp_deterministic_per_flow () =
+  let _session, device = load_ecmp () in
+  let flow = Usecases.Base_l23.routed_v4_flow in
+  let first, _ = inject_exn device (Net.Flowgen.ipv4_udp ~in_port:0 flow) in
+  for _ = 1 to 10 do
+    let port, _ = inject_exn device (Net.Flowgen.ipv4_udp ~in_port:0 flow) in
+    check int "same flow, same member" first port
+  done
+
+let test_ecmp_no_loss_during_update () =
+  let session, device = boot_base () in
+  let before = (Ipsa.Device.stats device).Ipsa.Device.dropped in
+  let _ = run_script_exn session Usecases.Ecmp.script in
+  let _ = run_script_exn session Usecases.Ecmp.population in
+  let after = (Ipsa.Device.stats device).Ipsa.Device.dropped in
+  check int "in-situ update drops no packets" before after;
+  (* and traffic flows immediately after *)
+  let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+  let port, _ = inject_exn device pkt in
+  check bool "forwarding works right after the update" true
+    (List.mem port Usecases.Ecmp.v4_member_ports)
+
+(* --- C2: SRv6 --------------------------------------------------------- *)
+
+let load_srv6 () =
+  let session, device = boot_base () in
+  let _ = run_script_exn session Usecases.Srv6.script in
+  let _ = run_script_exn session Usecases.Srv6.population in
+  (session, device)
+
+let test_srv6_end_processing () =
+  let _session, device = load_srv6 () in
+  let pkt =
+    Net.Flowgen.srv6_ipv4 ~in_port:1 ~segments:Usecases.Srv6.segments ~segments_left:1
+      Usecases.Srv6.srv6_flow
+  in
+  let port, _ = inject_exn device pkt in
+  check int "SR endpoint forwards toward the final segment" Usecases.Srv6.expected_port
+    port;
+  let out = Net.Packet.contents pkt in
+  let ip6 = Net.Proto.Ipv6.of_string ~off:14 out in
+  Alcotest.(check string)
+    "outer DA advanced to seg0"
+    (Net.Addr.Ipv6.to_string Usecases.Srv6.seg_final)
+    (Net.Addr.Ipv6.to_string ip6.Net.Proto.Ipv6.dst);
+  let srh = Net.Proto.Srh.of_string ~off:(14 + 40) out in
+  check int "segments_left decremented" 0 srh.Net.Proto.Srh.segments_left
+
+let test_srv6_transit () =
+  let _session, device = load_srv6 () in
+  (* segments_left = 0: transit/last-hop processing via end_transit. *)
+  let pkt =
+    Net.Flowgen.srv6_ipv4 ~in_port:1 ~segments:Usecases.Srv6.segments ~segments_left:0
+      Usecases.Srv6.srv6_flow
+  in
+  let port, _ = inject_exn device pkt in
+  check int "transit node forwards on the active segment" Usecases.Srv6.expected_port port
+
+let test_srv6_plain_v6_still_works () =
+  let _session, device = load_srv6 () in
+  let pkt = Net.Flowgen.ipv6_udp ~in_port:2 Usecases.Base_l23.routed_v6_flow in
+  let port, _ = inject_exn device pkt in
+  check int "pure L3 forwarding is preserved" Usecases.Base_l23.expected_port_routed_v6
+    port
+
+(* --- C3: flow probe --------------------------------------------------- *)
+
+let test_flow_probe_threshold () =
+  let session, device = boot_base () in
+  let _ = run_script_exn session Usecases.Flowprobe.script in
+  let _ = run_script_exn session Usecases.Flowprobe.population in
+  let marked = ref 0 and unmarked = ref 0 in
+  for _ = 1 to Usecases.Flowprobe.threshold + 5 do
+    let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Flowprobe.probed_flow in
+    let _, ctx = inject_exn device pkt in
+    if Net.Meta.get_int ctx.Ipsa.Context.meta "mark" = 1 then incr marked
+    else incr unmarked
+  done;
+  check int "packets below the threshold are unmarked" Usecases.Flowprobe.threshold
+    !unmarked;
+  check int "packets beyond the threshold are marked" 5 !marked;
+  (* other flows are never marked *)
+  let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+  let _, ctx = inject_exn device pkt in
+  check int "unprobed flow unmarked" 0 (Net.Meta.get_int ctx.Ipsa.Context.meta "mark")
+
+let test_flow_probe_merges_into_port_map () =
+  let session, _device = boot_base () in
+  let _ = run_script_exn session Usecases.Flowprobe.script in
+  let mapping = Rp4bc.Design.mapping (Controller.Session.design session) in
+  check int "probe merges into an existing TSP" 7 (List.length mapping);
+  match List.find_opt (fun (i, _, _) -> i = 0) mapping with
+  | Some (_, stages, _) ->
+    check
+      (Alcotest.list Alcotest.string)
+      "TSP0 hosts port_map + probe" [ "port_map"; "flow_probe_st" ] stages
+  | None -> Alcotest.fail "TSP0 empty"
+
+(* --- unload ------------------------------------------------------------ *)
+
+let test_unload_restores () =
+  let session, device = load_ecmp () in
+  (match Controller.Session.run_script session "unload --func_name ecmp" with
+  | Error e -> Alcotest.failf "unload failed: %s" e
+  | Ok _ -> ());
+  check bool "ecmp tables recycled" true (Ipsa.Device.find_table device "ecmp_ipv4" = None);
+  (* The nexthop stage is gone from the chain too (it was replaced), so
+     routed traffic now misses the DMAC rewrite; bridged traffic works. *)
+  let pkt = Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow in
+  let port, _ = inject_exn device pkt in
+  check int "bridged path unaffected" Usecases.Base_l23.expected_port_bridged port
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "base",
+        [
+          Alcotest.test_case "mapping" `Quick test_base_mapping;
+          Alcotest.test_case "routed v4" `Quick test_base_routed_v4;
+          Alcotest.test_case "host route wins" `Quick test_base_host_route_wins;
+          Alcotest.test_case "routed v6" `Quick test_base_routed_v6;
+          Alcotest.test_case "bridged" `Quick test_base_bridged;
+        ] );
+      ( "ecmp",
+        [
+          Alcotest.test_case "replaces nexthop" `Quick test_ecmp_replaces_nexthop;
+          Alcotest.test_case "balances" `Quick test_ecmp_balances;
+          Alcotest.test_case "per-flow stable" `Quick test_ecmp_deterministic_per_flow;
+          Alcotest.test_case "no loss during update" `Quick test_ecmp_no_loss_during_update;
+        ] );
+      ( "srv6",
+        [
+          Alcotest.test_case "end processing" `Quick test_srv6_end_processing;
+          Alcotest.test_case "transit" `Quick test_srv6_transit;
+          Alcotest.test_case "plain v6 preserved" `Quick test_srv6_plain_v6_still_works;
+        ] );
+      ( "flow-probe",
+        [
+          Alcotest.test_case "threshold marking" `Quick test_flow_probe_threshold;
+          Alcotest.test_case "merges into TSP0" `Quick test_flow_probe_merges_into_port_map;
+        ] );
+      ("unload", [ Alcotest.test_case "restores" `Quick test_unload_restores ]);
+    ]

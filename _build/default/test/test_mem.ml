@@ -1,0 +1,213 @@
+(* Tests for the disaggregated memory pool and the crossbar. *)
+
+let check = Alcotest.check
+
+let mk_pool ?(nblocks = 16) ?(block_width = 128) ?(block_depth = 1024) ?(nclusters = 4) ()
+    =
+  Mem.Pool.create ~nblocks ~block_width ~block_depth ~nclusters
+
+(* --- blocks needed: the paper's ceil(W/w) x ceil(D/d) formula ------------- *)
+
+let test_blocks_needed () =
+  let p = mk_pool () in
+  check Alcotest.int "fits one block" 1 (Mem.Pool.blocks_needed p ~entry_width:128 ~depth:1024);
+  check Alcotest.int "wide entry" 2 (Mem.Pool.blocks_needed p ~entry_width:129 ~depth:1024);
+  check Alcotest.int "deep table" 2 (Mem.Pool.blocks_needed p ~entry_width:64 ~depth:1025);
+  check Alcotest.int "wide and deep" 6
+    (Mem.Pool.blocks_needed p ~entry_width:300 ~depth:2000);
+  match Mem.Pool.blocks_needed p ~entry_width:0 ~depth:10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero width should fail"
+
+(* --- allocation lifecycle --------------------------------------------------- *)
+
+let test_allocate_release () =
+  let p = mk_pool () in
+  (match Mem.Pool.allocate p ~table:"t1" ~entry_width:256 ~depth:2048 () with
+  | Ok alloc ->
+    check Alcotest.int "blocks" 4 (List.length alloc.Mem.Pool.blocks);
+    check Alcotest.int "used" 4 (fst (Mem.Pool.stats p))
+  | Error e -> Alcotest.fail e);
+  (* double allocation refused *)
+  (match Mem.Pool.allocate p ~table:"t1" ~entry_width:128 ~depth:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double allocation should fail");
+  check Alcotest.int "release recycles" 4 (Mem.Pool.release p ~table:"t1");
+  check Alcotest.int "all free" 0 (fst (Mem.Pool.stats p));
+  check Alcotest.int "release idempotent" 0 (Mem.Pool.release p ~table:"t1")
+
+let test_allocate_exhaustion () =
+  let p = mk_pool ~nblocks:4 () in
+  (match Mem.Pool.allocate p ~table:"big" ~entry_width:128 ~depth:(5 * 1024) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "5 blocks from a 4-block pool should fail");
+  (* pool state untouched by the failed allocation *)
+  check Alcotest.int "nothing leaked" 0 (fst (Mem.Pool.stats p))
+
+let test_allocate_in_cluster () =
+  let p = mk_pool () in
+  (* 4 blocks per cluster *)
+  (match Mem.Pool.allocate p ~table:"a" ~entry_width:128 ~depth:4096 ~cluster:2 () with
+  | Ok alloc ->
+    List.iter
+      (fun b -> check Alcotest.int "in cluster 2" 2 (Mem.Pool.block p b).Mem.Pool.cluster)
+      alloc.Mem.Pool.blocks
+  | Error e -> Alcotest.fail e);
+  (* cluster 2 now full *)
+  match Mem.Pool.allocate p ~table:"b" ~entry_width:128 ~depth:1 ~cluster:2 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cluster 2 should be exhausted"
+
+let test_non_adjacent_allocation () =
+  (* "An SRAM table can be mapped to some non-adjacent memory blocks" *)
+  let p = mk_pool ~nblocks:8 ~nclusters:1 () in
+  let alloc_ok table depth =
+    match Mem.Pool.allocate p ~table ~entry_width:128 ~depth () with
+    | Ok a -> a
+    | Error e -> Alcotest.fail e
+  in
+  let _a = alloc_ok "a" 1024 in
+  let _b = alloc_ok "b" 1024 in
+  let _c = alloc_ok "c" 1024 in
+  ignore (Mem.Pool.release p ~table:"b");
+  (* a 2-block table now needs block 1 (the hole) and block 3+ *)
+  let d = alloc_ok "d" 2048 in
+  check Alcotest.int "two blocks" 2 (List.length d.Mem.Pool.blocks);
+  check Alcotest.bool "non-adjacent blocks used" true
+    (match d.Mem.Pool.blocks with [ x; y ] -> abs (x - y) > 1 | _ -> false)
+
+let test_migrate () =
+  let p = mk_pool () in
+  (match Mem.Pool.allocate p ~table:"t" ~entry_width:128 ~depth:1024 ~cluster:0 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Mem.Pool.migrate p ~table:"t" ~entry_width:128 ~depth:1024 ~cluster:3 with
+  | Ok (alloc, copied) ->
+    check Alcotest.int "entries copied" 1024 copied;
+    List.iter
+      (fun b -> check Alcotest.int "moved to cluster 3" 3 (Mem.Pool.block p b).Mem.Pool.cluster)
+      alloc.Mem.Pool.blocks
+  | Error e -> Alcotest.fail e);
+  (* migration of an unallocated table fails *)
+  match Mem.Pool.migrate p ~table:"zzz" ~entry_width:128 ~depth:1 ~cluster:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "migrating unknown table should fail"
+
+let test_migrate_rollback () =
+  let p = mk_pool ~nblocks:8 ~nclusters:4 () in
+  (* fill cluster 1 so migration into it must fail *)
+  (match Mem.Pool.allocate p ~table:"filler" ~entry_width:128 ~depth:2048 ~cluster:1 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Mem.Pool.allocate p ~table:"t" ~entry_width:128 ~depth:1024 ~cluster:0 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Mem.Pool.migrate p ~table:"t" ~entry_width:128 ~depth:1024 ~cluster:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "migration into a full cluster should fail");
+  (* rollback: t still owns its original block *)
+  check Alcotest.int "rollback restored ownership" 1
+    (List.length (Mem.Pool.owner_blocks p "t"))
+
+let test_cluster_stats_and_utilization () =
+  let p = mk_pool () in
+  ignore (Mem.Pool.allocate p ~table:"t" ~entry_width:128 ~depth:2048 ~cluster:1 ());
+  let stats = Mem.Pool.cluster_stats p in
+  check Alcotest.int "four clusters" 4 (List.length stats);
+  (match List.find_opt (fun (c, _, _) -> c = 1) stats with
+  | Some (_, used, total) ->
+    check Alcotest.int "cluster 1 used" 2 used;
+    check Alcotest.int "cluster 1 total" 4 total
+  | None -> Alcotest.fail "cluster 1 missing");
+  check (Alcotest.float 0.001) "utilization" 0.125 (Mem.Pool.utilization p)
+
+(* --- crossbar ----------------------------------------------------------------- *)
+
+let test_crossbar_full () =
+  let xb = Mem.Crossbar.create ~kind:Mem.Crossbar.Full ~ntsps:8 in
+  check Alcotest.bool "full reaches everything" true
+    (Mem.Crossbar.reachable xb ~tsp:0 ~block_cluster:3);
+  (match Mem.Crossbar.connect xb ~tsp:0 ~block:5 ~block_cluster:3 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "connected" true (Mem.Crossbar.connected xb ~tsp:0 ~block:5);
+  check Alcotest.int "ports in use" 1 (Mem.Crossbar.ports_in_use xb);
+  check Alcotest.bool "disconnect" true (Mem.Crossbar.disconnect xb ~tsp:0 ~block:5);
+  check Alcotest.bool "disconnected" false (Mem.Crossbar.connected xb ~tsp:0 ~block:5)
+
+let test_crossbar_clustered () =
+  let xb = Mem.Crossbar.create ~kind:(Mem.Crossbar.Clustered 4) ~ntsps:8 in
+  (* TSPs 0-1 -> cluster 0, 2-3 -> 1, etc. *)
+  check Alcotest.int "tsp 0 cluster" 0 (Mem.Crossbar.tsp_cluster xb 0);
+  check Alcotest.int "tsp 7 cluster" 3 (Mem.Crossbar.tsp_cluster xb 7);
+  check Alcotest.bool "same cluster reachable" true
+    (Mem.Crossbar.reachable xb ~tsp:2 ~block_cluster:1);
+  check Alcotest.bool "cross cluster unreachable" false
+    (Mem.Crossbar.reachable xb ~tsp:2 ~block_cluster:0);
+  match Mem.Crossbar.connect xb ~tsp:2 ~block:0 ~block_cluster:0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cross-cluster connect should fail"
+
+let test_crossbar_reconfig_count () =
+  let xb = Mem.Crossbar.create ~kind:Mem.Crossbar.Full ~ntsps:4 in
+  ignore (Mem.Crossbar.connect xb ~tsp:1 ~block:1 ~block_cluster:0);
+  ignore (Mem.Crossbar.connect xb ~tsp:1 ~block:1 ~block_cluster:0) (* idempotent *);
+  ignore (Mem.Crossbar.connect xb ~tsp:1 ~block:2 ~block_cluster:0);
+  ignore (Mem.Crossbar.disconnect xb ~tsp:1 ~block:1);
+  check Alcotest.int "reconfig events" 3 (Mem.Crossbar.reconfigs xb);
+  check Alcotest.int "disconnect_all" 1 (Mem.Crossbar.disconnect_all xb ~tsp:1)
+
+let test_crossbar_validation () =
+  (match Mem.Crossbar.create ~kind:(Mem.Crossbar.Clustered 3) ~ntsps:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ntsps must be a multiple of clusters");
+  let xb = Mem.Crossbar.create ~kind:Mem.Crossbar.Full ~ntsps:4 in
+  match Mem.Crossbar.reachable xb ~tsp:9 ~block_cluster:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad tsp id should fail"
+
+(* --- property: allocation conservation ----------------------------------------- *)
+
+let prop_pool_conservation =
+  QCheck.Test.make ~count:100 ~name:"allocate/release conserves blocks"
+    QCheck.(small_list (pair (int_range 1 400) (int_range 1 3000)))
+    (fun requests ->
+      let p = mk_pool ~nblocks:32 () in
+      let allocated = ref [] in
+      List.iteri
+        (fun i (w, d) ->
+          let table = Printf.sprintf "t%d" i in
+          match Mem.Pool.allocate p ~table ~entry_width:w ~depth:d () with
+          | Ok alloc ->
+            allocated := (table, List.length alloc.Mem.Pool.blocks) :: !allocated
+          | Error _ -> ())
+        requests;
+      let used_now = fst (Mem.Pool.stats p) in
+      let expected = List.fold_left (fun acc (_, n) -> acc + n) 0 !allocated in
+      let ok_used = used_now = expected in
+      List.iter (fun (t, _) -> ignore (Mem.Pool.release p ~table:t)) !allocated;
+      ok_used && fst (Mem.Pool.stats p) = 0)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "blocks needed" `Quick test_blocks_needed;
+          Alcotest.test_case "allocate/release" `Quick test_allocate_release;
+          Alcotest.test_case "exhaustion" `Quick test_allocate_exhaustion;
+          Alcotest.test_case "cluster constraint" `Quick test_allocate_in_cluster;
+          Alcotest.test_case "non-adjacent blocks" `Quick test_non_adjacent_allocation;
+          Alcotest.test_case "migrate" `Quick test_migrate;
+          Alcotest.test_case "migrate rollback" `Quick test_migrate_rollback;
+          Alcotest.test_case "stats" `Quick test_cluster_stats_and_utilization;
+          QCheck_alcotest.to_alcotest prop_pool_conservation;
+        ] );
+      ( "crossbar",
+        [
+          Alcotest.test_case "full" `Quick test_crossbar_full;
+          Alcotest.test_case "clustered" `Quick test_crossbar_clustered;
+          Alcotest.test_case "reconfig count" `Quick test_crossbar_reconfig_count;
+          Alcotest.test_case "validation" `Quick test_crossbar_validation;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* The P4 design flow: p4lite parses the P4 base design, rp4fc translates
+   it to rP4, rp4bc compiles it — and the result forwards exactly like the
+   hand-written rP4 base design, on both the IPSA device and the PISA
+   baseline. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* --- p4lite parsing ---------------------------------------------------- *)
+
+let test_parse_base () =
+  let prog = P4lite.Parser.parse_string Usecases.P4_base.source in
+  check int "three header types" 3 (List.length prog.P4lite.Ast.header_types);
+  check int "three instances" 3 (List.length prog.P4lite.Ast.instances);
+  check int "twelve tables" 12 (List.length prog.P4lite.Ast.tables);
+  check int "four parser states" 4 (List.length prog.P4lite.Ast.states);
+  check int "five metadata fields" 5 (List.length prog.P4lite.Ast.metadata)
+
+let test_hlir_parse_graph () =
+  let prog = P4lite.Parser.parse_string Usecases.P4_base.source in
+  let g = P4lite.Hlir.build prog in
+  Alcotest.(check (option string)) "first instance" (Some "ethernet") g.P4lite.Hlir.pg_first;
+  check int "two parse edges" 2 (List.length g.P4lite.Hlir.pg_edges);
+  Alcotest.(check (list string))
+    "ethernet selects on ethertype" [ "ethertype" ]
+    (P4lite.Hlir.sel_fields_of g "ethernet")
+
+let test_translate_roundtrips_through_parser () =
+  (* rp4fc output must be valid rP4 that parses back to the same program. *)
+  let rp4_src = Rp4fc.Translate.source_to_source Usecases.P4_base.source in
+  let prog = Rp4.Parser.parse_string rp4_src in
+  match Rp4.Semantic.build prog with
+  | Error errs -> Alcotest.failf "translated program invalid: %s" (String.concat "; " errs)
+  | Ok _ -> check int "twelve stages" 12 (List.length (Rp4.Ast.all_stages prog))
+
+(* --- behavioural equivalence on IPSA ------------------------------------ *)
+
+let boot_translated () =
+  let rp4_src = Rp4fc.Translate.source_to_source Usecases.P4_base.source in
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  match Controller.Session.boot ~source:rp4_src device with
+  | Error errs -> Alcotest.failf "boot failed: %s" (String.concat "; " errs)
+  | Ok session -> (
+    match Controller.Session.run_script session Usecases.Base_l23.population with
+    | Error e -> Alcotest.failf "population failed: %s" e
+    | Ok _ -> (session, device))
+
+let inject_exn device pkt =
+  match Ipsa.Device.inject device pkt with
+  | Some (port, ctx) -> (port, ctx)
+  | None -> Alcotest.fail "packet dropped"
+
+let test_translated_design_forwards () =
+  let _session, device = boot_translated () in
+  let cases =
+    [
+      ( Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow,
+        Usecases.Base_l23.expected_port_routed_v4 );
+      ( Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.host_route_v4_flow,
+        Usecases.Base_l23.expected_port_host_v4 );
+      ( Net.Flowgen.ipv6_udp ~in_port:1 Usecases.Base_l23.routed_v6_flow,
+        Usecases.Base_l23.expected_port_routed_v6 );
+      ( Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow,
+        Usecases.Base_l23.expected_port_bridged );
+    ]
+  in
+  List.iter
+    (fun (pkt, expected) ->
+      let port, _ = inject_exn device pkt in
+      check int "translated design forwards like the rP4 original" expected port)
+    cases
+
+let test_translated_design_merges_like_original () =
+  let session, _ = boot_translated () in
+  let mapping = Rp4bc.Design.mapping (Controller.Session.design session) in
+  check int "translated design also fits 7 TSPs" 7 (List.length mapping)
+
+(* --- PISA baseline ------------------------------------------------------ *)
+
+let compile_full_exn src =
+  let prog = Rp4.Parser.parse_string src in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~pool prog with
+  | Error errs -> Alcotest.failf "compile failed: %s" (String.concat "; " errs)
+  | Ok c -> c
+
+let pisa_with_base () =
+  let compiled = compile_full_exn Usecases.Base_l23.source in
+  let device = Pisa.Device.create ~nstages:8 () in
+  (match Pisa.Deploy.install device compiled.Rp4bc.Compile.design with
+  | Error e -> Alcotest.failf "pisa install failed: %s" e
+  | Ok _ -> ());
+  (match
+     Pisa.Deploy.populate device compiled.Rp4bc.Compile.design
+       Usecases.Base_l23.population
+   with
+  | Error e -> Alcotest.failf "pisa populate failed: %s" e
+  | Ok _ -> ());
+  (device, compiled.Rp4bc.Compile.design)
+
+let pisa_inject_exn device pkt =
+  match Pisa.Device.inject device pkt with
+  | Some (port, ctx) -> (port, ctx)
+  | None -> Alcotest.fail "pisa dropped packet"
+
+let test_pisa_forwards () =
+  let device, _ = pisa_with_base () in
+  let port, _ =
+    pisa_inject_exn device (Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow)
+  in
+  check int "pisa routes v4" Usecases.Base_l23.expected_port_routed_v4 port;
+  let port, _ =
+    pisa_inject_exn device (Net.Flowgen.ipv6_udp ~in_port:1 Usecases.Base_l23.routed_v6_flow)
+  in
+  check int "pisa routes v6" Usecases.Base_l23.expected_port_routed_v6 port;
+  let port, _ =
+    pisa_inject_exn device (Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow)
+  in
+  check int "pisa bridges" Usecases.Base_l23.expected_port_bridged port
+
+let test_pisa_reload_loses_entries_and_packets () =
+  let device, _ = pisa_with_base () in
+  (* Update under PISA = full reload of base+ECMP, all entries lost. *)
+  let compiled' =
+    let prog = P4lite.Parser.parse_string Usecases.P4_base.source_with_ecmp in
+    let rp4 = Rp4.Pretty.program (Rp4fc.Translate.translate prog) in
+    compile_full_exn rp4
+  in
+  Pisa.Device.begin_reload device;
+  (* Traffic arriving during the swap is lost. *)
+  let dropped_before = (Pisa.Device.stats device).Pisa.Device.dropped_during_reload in
+  (match Pisa.Device.inject device (Net.Flowgen.ipv4_udp Usecases.Base_l23.routed_v4_flow) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "packet should be dropped during reload");
+  check int "reload drops arrivals" (dropped_before + 1)
+    (Pisa.Device.stats device).Pisa.Device.dropped_during_reload;
+  (match Pisa.Deploy.install device compiled'.Rp4bc.Compile.design with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok _ -> ());
+  Pisa.Device.end_reload device;
+  (* All tables are empty until the controller repopulates everything. *)
+  (match Pisa.Device.find_table device "ipv4_lpm" with
+  | Some t -> check int "entries lost on reload" 0 (Table.entry_count t)
+  | None -> Alcotest.fail "ipv4_lpm missing after reload");
+  (* PISA repopulation covers every table of the *new* design: the base
+     entries (minus the removed nexthop stage's table) plus the ECMP
+     members. *)
+  let population' =
+    String.split_on_char '\n' Usecases.Base_l23.population
+    |> List.filter (fun l -> not (String.length l > 18 && String.sub l 10 7 = "nexthop"))
+    |> String.concat "\n"
+  in
+  (match
+     Pisa.Deploy.populate device compiled'.Rp4bc.Compile.design
+       (population' ^ "\n" ^ Usecases.Ecmp.population)
+   with
+  | Error e -> Alcotest.failf "repopulate failed: %s" e
+  | Ok n -> Alcotest.(check bool) "full repopulation required" true (n > 20));
+  let port, _ =
+    pisa_inject_exn device (Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow)
+  in
+  Alcotest.(check bool)
+    "ECMP active after reload" true
+    (List.mem port Usecases.Ecmp.v4_member_ports)
+
+let () =
+  Alcotest.run "p4flow"
+    [
+      ( "p4lite",
+        [
+          Alcotest.test_case "parse base" `Quick test_parse_base;
+          Alcotest.test_case "hlir graph" `Quick test_hlir_parse_graph;
+        ] );
+      ( "rp4fc",
+        [
+          Alcotest.test_case "translate roundtrip" `Quick
+            test_translate_roundtrips_through_parser;
+          Alcotest.test_case "behavioural equivalence" `Quick
+            test_translated_design_forwards;
+          Alcotest.test_case "same TSP count" `Quick
+            test_translated_design_merges_like_original;
+        ] );
+      ( "pisa",
+        [
+          Alcotest.test_case "forwards" `Quick test_pisa_forwards;
+          Alcotest.test_case "reload cost" `Quick
+            test_pisa_reload_loses_entries_and_packets;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Unit and property tests for the prelude: JSON, RNG, CRC-32, hex,
+   FNV hash, text tables. *)
+
+module J = Prelude.Json
+
+let check = Alcotest.check
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let test_json_emit () =
+  check Alcotest.string "null" "null" (J.to_string J.Null);
+  check Alcotest.string "bool" "true" (J.to_string (J.Bool true));
+  check Alcotest.string "int" "-42" (J.to_string (J.Int (-42)));
+  check Alcotest.string "string escaping" {|"a\"b\\c\nd"|}
+    (J.to_string (J.String "a\"b\\c\nd"));
+  check Alcotest.string "list" "[1,2,3]" (J.to_string (J.List [ J.Int 1; J.Int 2; J.Int 3 ]));
+  check Alcotest.string "obj" {|{"a":1,"b":[]}|}
+    (J.to_string (J.Obj [ ("a", J.Int 1); ("b", J.List []) ]))
+
+let test_json_parse () =
+  check Alcotest.bool "null" true (J.of_string "null" = J.Null);
+  check Alcotest.bool "nested" true
+    (J.of_string {| {"x": [1, {"y": "z"}], "w": -3} |}
+    = J.Obj [ ("x", J.List [ J.Int 1; J.Obj [ ("y", J.String "z") ] ]); ("w", J.Int (-3)) ]);
+  check Alcotest.bool "whitespace" true (J.of_string "  [ ]  " = J.List []);
+  check Alcotest.bool "float" true
+    (match J.of_string "1.5" with J.Float f -> f = 1.5 | _ -> false)
+
+let test_json_parse_errors () =
+  let fails s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "trailing garbage" true (fails "1 2");
+  check Alcotest.bool "unterminated string" true (fails {|"abc|});
+  check Alcotest.bool "unterminated list" true (fails "[1, 2");
+  check Alcotest.bool "bad literal" true (fails "nul");
+  check Alcotest.bool "missing colon" true (fails {|{"a" 1}|})
+
+let test_json_accessors () =
+  let j = J.of_string {|{"a": 1, "b": "x", "c": [true]}|} in
+  check Alcotest.int "member int" 1 (J.to_int (J.member_exn "a" j));
+  check Alcotest.string "member string" "x" (J.to_str (J.member_exn "b" j));
+  check Alcotest.bool "member list" true (J.to_bool (List.hd (J.to_list (J.member_exn "c" j))));
+  check Alcotest.bool "missing member" true (J.member "zz" j = None)
+
+(* Random JSON generator for the round-trip property. *)
+let json_gen =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          let leaf =
+            oneof
+              [
+                return J.Null;
+                map (fun b -> J.Bool b) bool;
+                map (fun i -> J.Int i) (int_range (-1000000) 1000000);
+                map (fun s -> J.String s) (string_size ~gen:printable (int_range 0 12));
+              ]
+          in
+          if size = 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map (fun l -> J.List l) (list_size (int_range 0 4) (self (size / 2)));
+                map
+                  (fun kvs -> J.Obj kvs)
+                  (list_size (int_range 0 4)
+                     (pair (string_size ~gen:printable (int_range 1 8)) (self (size / 2))));
+              ])
+        (min size 4))
+
+let rec has_dup_keys = function
+  | J.Obj kvs ->
+    let keys = List.map fst kvs in
+    List.length (List.sort_uniq compare keys) <> List.length keys
+    || List.exists (fun (_, v) -> has_dup_keys v) kvs
+  | J.List l -> List.exists has_dup_keys l
+  | _ -> false
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"json parse(emit(j)) = j (modulo dup keys)"
+    (QCheck.make json_gen) (fun j ->
+      QCheck.assume (not (has_dup_keys j));
+      J.equal (J.of_string (J.to_string j)) j)
+
+let prop_json_pretty_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"json parse(pretty(j)) = j"
+    (QCheck.make json_gen) (fun j ->
+      QCheck.assume (not (has_dup_keys j));
+      J.equal (J.of_string (J.to_string_pretty j)) j)
+
+(* --- RNG ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Prelude.Rng.create 7 and b = Prelude.Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same seed, same stream" (Prelude.Rng.int a 1000)
+      (Prelude.Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Prelude.Rng.create 123 in
+  for _ = 1 to 10_000 do
+    let v = Prelude.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_float_range () =
+  let rng = Prelude.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let f = Prelude.Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of [0,1): %f" f
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Prelude.Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prelude.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.bool "shuffle is a permutation" true (sorted = Array.init 50 (fun i -> i));
+  check Alcotest.bool "shuffle moved something" true (arr <> Array.init 50 (fun i -> i))
+
+let test_rng_distribution () =
+  let rng = Prelude.Rng.create 31 in
+  let buckets = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Prelude.Rng.int rng 4 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun b ->
+      let frac = float_of_int b /. float_of_int n in
+      if frac < 0.23 || frac > 0.27 then Alcotest.failf "skewed bucket: %f" frac)
+    buckets
+
+(* --- CRC-32 ------------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  check Alcotest.int32 "crc32(\"123456789\")" 0xCBF43926l
+    (Prelude.Crc32.digest "123456789");
+  check Alcotest.int32 "crc32(\"\")" 0l (Prelude.Crc32.digest "");
+  check Alcotest.int32 "crc32(\"a\")" 0xE8B7BE43l (Prelude.Crc32.digest "a")
+
+let test_crc32_int_nonneg () =
+  let rng = Prelude.Rng.create 77 in
+  for _ = 1 to 500 do
+    let s = Prelude.Rng.bytes rng (Prelude.Rng.int rng 64) in
+    if Prelude.Crc32.digest_int s < 0 then Alcotest.fail "negative crc int"
+  done
+
+(* --- Hex ---------------------------------------------------------------- *)
+
+let test_hex_roundtrip () =
+  let rng = Prelude.Rng.create 3 in
+  for _ = 1 to 200 do
+    let s = Prelude.Rng.bytes rng (Prelude.Rng.int rng 40) in
+    check Alcotest.string "hex roundtrip" s (Prelude.Hex.to_string (Prelude.Hex.of_string s))
+  done
+
+let test_hex_spaces () =
+  check Alcotest.string "spaces ignored" "\xde\xad\xbe\xef"
+    (Prelude.Hex.to_string "de ad be ef")
+
+let test_hex_odd_fails () =
+  match Prelude.Hex.to_string "abc" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd-length hex should fail"
+
+let test_hexdump_shape () =
+  let d = Prelude.Hex.dump "hello world, this is a test of the dump" in
+  check Alcotest.bool "has offset column" true
+    (String.length d > 0 && String.sub d 0 4 = "0000");
+  check Alcotest.bool "has ascii gutter" true (String.contains d '|')
+
+(* --- FNV hash ----------------------------------------------------------- *)
+
+let test_xxh_stable () =
+  check Alcotest.bool "deterministic" true
+    (Prelude.Xxh.digest64 "hello" = Prelude.Xxh.digest64 "hello");
+  check Alcotest.bool "seed changes output" true
+    (Prelude.Xxh.digest64 ~seed:1L "hello" <> Prelude.Xxh.digest64 ~seed:2L "hello");
+  check Alcotest.bool "different inputs differ" true
+    (Prelude.Xxh.digest64 "hello" <> Prelude.Xxh.digest64 "hellp")
+
+let test_xxh_int_nonneg () =
+  let rng = Prelude.Rng.create 11 in
+  for _ = 1 to 500 do
+    let s = Prelude.Rng.bytes rng (Prelude.Rng.int rng 32) in
+    if Prelude.Xxh.digest_int s < 0 then Alcotest.fail "negative hash"
+  done
+
+(* --- Texttab ------------------------------------------------------------ *)
+
+let test_texttab_alignment () =
+  let out =
+    Prelude.Texttab.render ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (( <> ) "") in
+  let widths = List.map String.length lines in
+  check Alcotest.bool "all lines same width" true
+    (List.for_all (( = ) (List.hd widths)) widths)
+
+let test_texttab_ragged_rows () =
+  let out = Prelude.Texttab.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  check Alcotest.bool "renders" true (String.length out > 0)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "emit" `Quick test_json_emit;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_pretty_roundtrip;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "distribution" `Quick test_rng_distribution;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "digest_int nonneg" `Quick test_crc32_int_nonneg;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "spaces" `Quick test_hex_spaces;
+          Alcotest.test_case "odd fails" `Quick test_hex_odd_fails;
+          Alcotest.test_case "dump shape" `Quick test_hexdump_shape;
+        ] );
+      ( "xxh",
+        [
+          Alcotest.test_case "stable" `Quick test_xxh_stable;
+          Alcotest.test_case "nonneg" `Quick test_xxh_int_nonneg;
+        ] );
+      ( "texttab",
+        [
+          Alcotest.test_case "alignment" `Quick test_texttab_alignment;
+          Alcotest.test_case "ragged rows" `Quick test_texttab_ragged_rows;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the rP4 language: lexer, parser, pretty-printer round trip,
+   and semantic analysis (including snippet merging). *)
+
+let check = Alcotest.check
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+let toks src =
+  Array.to_list (Rp4.Lexer.tokenize src) |> List.map (fun l -> l.Rp4.Lexer.tok)
+
+let test_lexer_basics () =
+  check Alcotest.bool "idents and punct" true
+    (toks "stage foo { }"
+    = [ Rp4.Lexer.IDENT "stage"; IDENT "foo"; LBRACE; RBRACE; EOF ]);
+  check Alcotest.bool "numbers" true
+    (toks "42 0x2A 0b101010"
+    = [ Rp4.Lexer.INT 42L; INT 42L; INT 42L; EOF ]);
+  check Alcotest.bool "width literal" true
+    (toks "8w0xFF" = [ Rp4.Lexer.WINT (8, 255L); EOF ]);
+  check Alcotest.bool "two-char ops" true
+    (toks "== != <= >= && || ->"
+    = [ Rp4.Lexer.EQEQ; NEQ; LE; GE; ANDAND; OROR; ARROW; EOF ])
+
+let test_lexer_comments () =
+  check Alcotest.bool "line comment" true (toks "a // foo\n b" = [ Rp4.Lexer.IDENT "a"; IDENT "b"; EOF ]);
+  check Alcotest.bool "block comment" true
+    (toks "a /* x\ny */ b" = [ Rp4.Lexer.IDENT "a"; IDENT "b"; EOF ]);
+  match Rp4.Lexer.tokenize "/* unterminated" with
+  | exception Rp4.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "unterminated comment should fail"
+
+let test_lexer_positions () =
+  let located = Rp4.Lexer.tokenize "a\n  b" in
+  check Alcotest.int "line of b" 2 located.(1).Rp4.Lexer.line;
+  check Alcotest.int "col of b" 3 located.(1).Rp4.Lexer.col
+
+(* --- parser ---------------------------------------------------------------- *)
+
+let parse = Rp4.Parser.parse_string
+
+let test_parse_header () =
+  let p =
+    parse
+      {|
+header ipv4 {
+  bit<8> ttl;
+  bit<32> dst;
+  implicit parser (ttl) { 6 : tcp; 17 : udp; }
+}
+header tcp { bit<16> sport; }
+header udp { bit<16> sport; }
+|}
+  in
+  check Alcotest.int "three headers" 3 (List.length p.Rp4.Ast.headers);
+  match Rp4.Ast.find_header p "ipv4" with
+  | Some h -> (
+    check Alcotest.int "fields" 2 (List.length h.Rp4.Ast.hd_fields);
+    match h.Rp4.Ast.hd_parser with
+    | Some ip ->
+      check Alcotest.bool "selector" true (ip.Rp4.Ast.ip_sel = [ "ttl" ]);
+      check Alcotest.int "cases" 2 (List.length ip.Rp4.Ast.ip_cases)
+    | None -> Alcotest.fail "expected implicit parser")
+  | None -> Alcotest.fail "missing header"
+
+let test_parse_action_exprs () =
+  let p =
+    parse
+      {|
+header h { bit<8> a; bit<8> b; }
+action act(bit<8> x) {
+  h.a = (h.b + 1) - x;
+  h.b = h.a & 8w0x0F;
+  drop();
+  mark(3);
+}
+|}
+  in
+  match Rp4.Ast.find_action p "act" with
+  | Some a -> check Alcotest.int "four statements" 4 (List.length a.Rp4.Ast.ad_body)
+  | None -> Alcotest.fail "missing action"
+
+let test_parse_matcher_conditions () =
+  let p =
+    parse
+      {|
+header v4 { bit<8> x; }
+header v6 { bit<8> y; }
+table t1 { key = { v4.x : exact; } size = 4; }
+table t2 { key = { v6.y : exact; } size = 4; }
+stage s {
+  parser { v4, v6 };
+  matcher {
+    if (v4.isValid() && meta.in_port != 0) t1.apply();
+    else if (!(v6.isValid())) t2.apply();
+    else;
+  };
+  executor { 1 : NoAction; default : NoAction; }
+}
+|}
+  in
+  match Rp4.Ast.find_stage p "s" with
+  | Some s -> (
+    match s.Rp4.Ast.st_matcher with
+    | Rp4.Ast.M_if (Rp4.Ast.C_and (Rp4.Ast.C_valid "v4", Rp4.Ast.C_rel (Rp4.Ast.Neq, _, _)), Rp4.Ast.M_apply "t1", Rp4.Ast.M_if (Rp4.Ast.C_not (Rp4.Ast.C_valid "v6"), Rp4.Ast.M_apply "t2", Rp4.Ast.M_nop)) ->
+      ()
+    | _ -> Alcotest.fail "unexpected matcher shape")
+  | None -> Alcotest.fail "missing stage"
+
+let test_parse_table_kinds () =
+  let p =
+    parse
+      {|
+header h { bit<32> d; }
+table t {
+  key = {
+    h.d : lpm;
+    meta.in_port : exact;
+    meta.out_port : ternary;
+    meta.mark : hash;
+  }
+  size = 128;
+}
+|}
+  in
+  match Rp4.Ast.find_table p "t" with
+  | Some t ->
+    check Alcotest.int "key fields" 4 (List.length t.Rp4.Ast.td_key);
+    check Alcotest.int "size" 128 t.Rp4.Ast.td_size;
+    check Alcotest.bool "kinds" true
+      (List.map snd t.Rp4.Ast.td_key
+      = [ Table.Key.Lpm; Table.Key.Exact; Table.Key.Ternary; Table.Key.Hash ])
+  | None -> Alcotest.fail "missing table"
+
+let test_parse_user_funcs () =
+  let p =
+    parse
+      {|
+header h { bit<8> a; }
+table t { key = { h.a : exact; } size = 4; }
+control rP4_Ingress {
+  stage s1 { parser { h }; matcher { t.apply(); }; executor { default : NoAction; } }
+}
+user_funcs {
+  func f1 { s1 }
+  ingress_entry : s1;
+}
+|}
+  in
+  check Alcotest.int "funcs" 1 (List.length p.Rp4.Ast.funcs);
+  check Alcotest.bool "entry" true (p.Rp4.Ast.ingress_entry = Some "s1")
+
+let test_parse_errors () =
+  let fails src =
+    match parse src with
+    | exception (Rp4.Parser.Error _ | Rp4.Lexer.Error _) -> true
+    | _ -> false
+  in
+  check Alcotest.bool "garbage" true (fails "garbage here");
+  check Alcotest.bool "unclosed header" true (fails "header h { bit<8> a;");
+  check Alcotest.bool "missing width" true (fails "header h { bit<> a; }");
+  check Alcotest.bool "bad match kind" true
+    (fails "header h { bit<8> a; } table t { key = { h.a : wrong; } size = 4; }");
+  check Alcotest.bool "unknown control" true (fails "control Bogus { }")
+
+(* --- pretty-printer round trip ---------------------------------------------- *)
+
+let test_pretty_roundtrip_base () =
+  let p = parse Usecases.Base_l23.source in
+  let p' = parse (Rp4.Pretty.program p) in
+  (* compare structurally: same names everywhere, same matchers *)
+  check Alcotest.bool "headers" true (p.Rp4.Ast.headers = p'.Rp4.Ast.headers);
+  check Alcotest.bool "structs" true (p.Rp4.Ast.structs = p'.Rp4.Ast.structs);
+  check Alcotest.bool "actions" true (p.Rp4.Ast.actions = p'.Rp4.Ast.actions);
+  check Alcotest.bool "tables" true (p.Rp4.Ast.tables = p'.Rp4.Ast.tables);
+  check Alcotest.bool "funcs" true (p.Rp4.Ast.funcs = p'.Rp4.Ast.funcs);
+  check Alcotest.int "stages" (List.length (Rp4.Ast.all_stages p))
+    (List.length (Rp4.Ast.all_stages p'))
+
+let test_pretty_roundtrip_snippets () =
+  List.iter
+    (fun src ->
+      let p = parse src in
+      let p' = parse (Rp4.Pretty.program p) in
+      check Alcotest.bool "snippet roundtrips" true
+        (List.map (fun s -> s.Rp4.Ast.st_name) (Rp4.Ast.all_stages p)
+        = List.map (fun s -> s.Rp4.Ast.st_name) (Rp4.Ast.all_stages p')))
+    [ Usecases.Ecmp.source; Usecases.Srv6.source; Usecases.Flowprobe.source ]
+
+(* pretty -> parse -> pretty is a fixpoint *)
+let test_pretty_fixpoint () =
+  let p = parse Usecases.Base_l23.source in
+  let once = Rp4.Pretty.program p in
+  let twice = Rp4.Pretty.program (parse once) in
+  check Alcotest.string "fixpoint" once twice
+
+(* --- semantic ----------------------------------------------------------------- *)
+
+let build src = Rp4.Semantic.build (parse src)
+
+let test_semantic_accepts_base () =
+  match build Usecases.Base_l23.source with
+  | Ok _ -> ()
+  | Error errs -> Alcotest.failf "base rejected: %s" (String.concat "; " errs)
+
+let contains_sub sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_error src fragment =
+  match build src with
+  | Ok _ -> Alcotest.failf "expected error mentioning %S" fragment
+  | Error errs ->
+    if not (List.exists (contains_sub fragment) errs) then
+      Alcotest.failf "no error mentioning %S in: %s" fragment (String.concat "; " errs)
+
+let test_semantic_errors () =
+  expect_error "header h { bit<8> a; } header h { bit<8> a; bit<8> b; }" "duplicate";
+  expect_error "header h { bit<8> a; bit<8> a; }" "duplicate";
+  expect_error "header h { bit<8> a; implicit parser (zz) { } }" "selector field zz";
+  expect_error
+    "header h { bit<8> a; } table t { key = { h.nope : exact; } size = 4; }"
+    "unknown field";
+  expect_error "header h { bit<8> a; } table t { key = { h.a : exact; } size = 0; }"
+    "non-positive size";
+  expect_error
+    {|header h { bit<8> a; }
+      stage s { parser { h }; matcher { missing.apply(); }; executor { default : NoAction; } }|}
+    "unknown table";
+  expect_error
+    {|header h { bit<8> a; }
+      table t { key = { h.a : exact; } size = 4; }
+      stage s { parser { h }; matcher { t.apply(); }; executor { 1 : ghost; default : NoAction; } }|}
+    "unknown action";
+  expect_error
+    {|user_funcs { func f { nowhere } ingress_entry : nowhere; }|}
+    "unknown stage"
+
+let test_semantic_snippet_merge () =
+  let base = parse Usecases.Base_l23.source in
+  (* the ECMP snippet references base actions/headers and must check *)
+  (match Rp4.Semantic.build ~base (parse Usecases.Ecmp.source) with
+  | Ok env ->
+    check Alcotest.bool "merged table present" true
+      (Rp4.Ast.find_table env.Rp4.Semantic.prog "ecmp_ipv4" <> None);
+    check Alcotest.bool "base table still present" true
+      (Rp4.Ast.find_table env.Rp4.Semantic.prog "ipv4_lpm" <> None)
+  | Error errs -> Alcotest.failf "snippet rejected: %s" (String.concat "; " errs));
+  (* a snippet with a dangling reference is rejected *)
+  match
+    Rp4.Semantic.build ~base
+      (parse
+         {|stage bad { parser { ipv4 }; matcher { no_such_table.apply(); };
+           executor { default : NoAction; } }|})
+  with
+  | Ok _ -> Alcotest.fail "dangling snippet accepted"
+  | Error _ -> ()
+
+let test_semantic_key_spec_and_entry_width () =
+  match build Usecases.Base_l23.source with
+  | Error errs -> Alcotest.failf "%s" (String.concat "; " errs)
+  | Ok env ->
+    let td = Option.get (Rp4.Ast.find_table env.Rp4.Semantic.prog "ipv4_lpm") in
+    let spec = Rp4.Semantic.key_spec env td in
+    check Alcotest.int "two key fields" 2 (List.length spec);
+    check Alcotest.int "key width" 48 (Table.Key.total_width spec);
+    (* entry width: key + widest action args (set_nexthop: 16) + tag 16 *)
+    check Alcotest.int "entry width" 80 (Rp4.Semantic.entry_width env td)
+
+let () =
+  Alcotest.run "rp4"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "header" `Quick test_parse_header;
+          Alcotest.test_case "action exprs" `Quick test_parse_action_exprs;
+          Alcotest.test_case "matcher conditions" `Quick test_parse_matcher_conditions;
+          Alcotest.test_case "table kinds" `Quick test_parse_table_kinds;
+          Alcotest.test_case "user funcs" `Quick test_parse_user_funcs;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "roundtrip base" `Quick test_pretty_roundtrip_base;
+          Alcotest.test_case "roundtrip snippets" `Quick test_pretty_roundtrip_snippets;
+          Alcotest.test_case "fixpoint" `Quick test_pretty_fixpoint;
+        ] );
+      ( "semantic",
+        [
+          Alcotest.test_case "accepts base" `Quick test_semantic_accepts_base;
+          Alcotest.test_case "errors" `Quick test_semantic_errors;
+          Alcotest.test_case "snippet merge" `Quick test_semantic_snippet_merge;
+          Alcotest.test_case "key spec" `Quick test_semantic_key_spec_and_entry_width;
+        ] );
+    ]

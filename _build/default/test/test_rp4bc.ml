@@ -1,0 +1,479 @@
+(* Tests for the rp4bc back-end compiler: stage graphs, dependency
+   analysis, merging, layout (greedy and DP alignment), and table
+   allocation. *)
+
+let check = Alcotest.check
+
+(* --- graph ------------------------------------------------------------------ *)
+
+let test_graph_chain () =
+  let g = Rp4bc.Graph.of_chain [ "a"; "b"; "c" ] in
+  check (Alcotest.list Alcotest.string) "topo of chain" [ "a"; "b"; "c" ]
+    (Rp4bc.Graph.topo_order g);
+  check (Alcotest.list Alcotest.string) "succs" [ "b" ] (Rp4bc.Graph.succs g "a");
+  check (Alcotest.list Alcotest.string) "preds" [ "b" ] (Rp4bc.Graph.preds g "c")
+
+let test_graph_splice () =
+  let g = Rp4bc.Graph.of_chain [ "a"; "b"; "c" ] in
+  (* replace b with x, the ECMP pattern *)
+  Rp4bc.Graph.add_link g ~from_:"a" ~to_:"x";
+  Rp4bc.Graph.add_link g ~from_:"x" ~to_:"c";
+  Rp4bc.Graph.del_link g ~from_:"a" ~to_:"b";
+  Rp4bc.Graph.del_link g ~from_:"b" ~to_:"c";
+  check (Alcotest.list Alcotest.string) "b unreachable" [ "a"; "x"; "c" ]
+    (Rp4bc.Graph.topo_order g)
+
+let test_graph_branches () =
+  let g = Rp4bc.Graph.create ~entry:"a" () in
+  Rp4bc.Graph.add_link g ~from_:"a" ~to_:"b1";
+  Rp4bc.Graph.add_link g ~from_:"a" ~to_:"b2";
+  Rp4bc.Graph.add_link g ~from_:"b1" ~to_:"c";
+  Rp4bc.Graph.add_link g ~from_:"b2" ~to_:"c";
+  let order = Rp4bc.Graph.topo_order g in
+  check Alcotest.int "all reachable" 4 (List.length order);
+  check Alcotest.string "entry first" "a" (List.hd order);
+  check Alcotest.string "join last" "c" (List.nth order 3)
+
+let test_graph_cycle_detection () =
+  let g = Rp4bc.Graph.create ~entry:"a" () in
+  Rp4bc.Graph.add_link g ~from_:"a" ~to_:"b";
+  Rp4bc.Graph.add_link g ~from_:"b" ~to_:"a";
+  match Rp4bc.Graph.topo_order g with
+  | exception Rp4bc.Graph.Cycle _ -> ()
+  | _ -> Alcotest.fail "cycle should be detected"
+
+let test_graph_empty () =
+  let g = Rp4bc.Graph.create () in
+  check (Alcotest.list Alcotest.string) "no entry, no stages" [] (Rp4bc.Graph.topo_order g)
+
+(* --- depgraph ----------------------------------------------------------------- *)
+
+let env_of src =
+  match Rp4.Semantic.build (Rp4.Parser.parse_string src) with
+  | Ok env -> env
+  | Error errs -> Alcotest.failf "bad test program: %s" (String.concat "; " errs)
+
+let base_env () = env_of Usecases.Base_l23.source
+
+let summary env name =
+  Rp4bc.Depgraph.summarize env
+    (Option.get (Rp4.Ast.find_stage env.Rp4.Semantic.prog name))
+
+let test_dep_read_write_sets () =
+  let env = base_env () in
+  let s = summary env "ipv4_lpm" in
+  check Alcotest.bool "reads guard field" true
+    (Rp4bc.Depgraph.SS.mem "meta.l3_type" s.Rp4bc.Depgraph.ss_reads);
+  check Alcotest.bool "reads key fields" true
+    (Rp4bc.Depgraph.SS.mem "ipv4.dst_addr" s.Rp4bc.Depgraph.ss_reads);
+  check Alcotest.bool "writes nexthop" true
+    (Rp4bc.Depgraph.SS.mem "meta.nexthop" s.Rp4bc.Depgraph.ss_writes);
+  check Alcotest.bool "tables" true
+    (Rp4bc.Depgraph.SS.mem "ipv4_lpm" s.Rp4bc.Depgraph.ss_tables)
+
+let test_dep_classification () =
+  let env = base_env () in
+  let s name = summary env name in
+  (* port_map writes ifindex; bridge_vrf reads it: match dependency *)
+  (match Rp4bc.Depgraph.classify env (s "port_map") (s "bridge_vrf") with
+  | Rp4bc.Depgraph.Match_dep _ -> ()
+  | _ -> Alcotest.fail "expected match dependency");
+  (* ipv4_lpm and ipv6_lpm: exclusive guards -> independent despite both
+     writing meta.nexthop *)
+  check Alcotest.bool "exclusive guards independent" true
+    (Rp4bc.Depgraph.independent env (s "ipv4_lpm") (s "ipv6_lpm"));
+  (* ipv4_lpm and ipv4_host share a guard and write the same field *)
+  (match Rp4bc.Depgraph.classify env (s "ipv4_lpm") (s "ipv4_host") with
+  | Rp4bc.Depgraph.Action_dep _ -> ()
+  | _ -> Alcotest.fail "expected action dependency");
+  (* rewrite and dmac are disjoint *)
+  check Alcotest.bool "disjoint stages independent" true
+    (Rp4bc.Depgraph.independent env (s "l2_l3_rewrite") (s "dmac"))
+
+let test_dep_table_sharing () =
+  let env =
+    env_of
+      {|header h { bit<8> a; }
+        table t { key = { h.a : exact; } size = 4; }
+        stage s1 { parser { h }; matcher { t.apply(); }; executor { default : NoAction; } }
+        stage s2 { parser { h }; matcher { t.apply(); }; executor { default : NoAction; } }|}
+  in
+  match Rp4bc.Depgraph.classify env (summary env "s1") (summary env "s2") with
+  | Rp4bc.Depgraph.Table_shared "t" -> ()
+  | _ -> Alcotest.fail "expected shared-table dependency"
+
+let test_guard_exclusivity_validity () =
+  let env = base_env () in
+  (* ipv4 and ipv6 are alternatives of ethernet's implicit parser *)
+  check Alcotest.bool "validity alternatives" true
+    (Rp4bc.Depgraph.guards_exclusive env (Rp4.Ast.C_valid "ipv4") (Rp4.Ast.C_valid "ipv6"));
+  check Alcotest.bool "same header not exclusive" false
+    (Rp4bc.Depgraph.guards_exclusive env (Rp4.Ast.C_valid "ipv4") (Rp4.Ast.C_valid "ipv4"))
+
+(* --- group merge ----------------------------------------------------------------- *)
+
+let test_group_merge_base () =
+  let env = base_env () in
+  let order =
+    List.map (fun s -> s.Rp4.Ast.st_name) env.Rp4.Semantic.prog.Rp4.Ast.ingress
+  in
+  let groups = Rp4bc.Group.merge env order in
+  check Alcotest.int "seven groups" 7 (List.length groups);
+  let stages_of i = (List.nth groups i).Rp4bc.Group.g_stages in
+  check (Alcotest.list Alcotest.string) "lpm pair" [ "ipv4_lpm"; "ipv6_lpm" ] (stages_of 3);
+  check (Alcotest.list Alcotest.string) "host pair" [ "ipv4_host"; "ipv6_host" ] (stages_of 4)
+
+let test_group_merge_respects_limits () =
+  let env = base_env () in
+  let order =
+    List.map (fun s -> s.Rp4.Ast.st_name) env.Rp4.Semantic.prog.Rp4.Ast.ingress
+  in
+  let limits = { Rp4bc.Group.max_stages = 1; max_tables = 4 } in
+  let groups = Rp4bc.Group.merge ~limits env order in
+  check Alcotest.int "no merging with max_stages=1" (List.length order) (List.length groups)
+
+(* --- layout ------------------------------------------------------------------------ *)
+
+let g names = { Rp4bc.Group.g_stages = names; g_tables = names }
+
+let test_layout_full () =
+  match
+    Rp4bc.Layout.place_full ~ntsps:8 ~ingress:[ g [ "a" ]; g [ "b" ] ]
+      ~egress:[ g [ "x" ]; g [ "y" ] ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    check Alcotest.bool "ingress at 0" true
+      (Rp4bc.Layout.group_at l 0 = Some (g [ "a" ]));
+    check Alcotest.bool "egress right-aligned" true
+      (Rp4bc.Layout.group_at l 7 = Some (g [ "y" ]));
+    check Alcotest.int "active count" 4 (Rp4bc.Layout.active_tsps l);
+    check Alcotest.bool "roles" true
+      (l.Rp4bc.Layout.roles.(0) = Ipsa.Pipeline.Ingress
+      && l.Rp4bc.Layout.roles.(7) = Ipsa.Pipeline.Egress
+      && l.Rp4bc.Layout.roles.(4) = Ipsa.Pipeline.Bypass)
+
+let test_layout_full_overflow () =
+  match
+    Rp4bc.Layout.place_full ~ntsps:2 ~ingress:[ g [ "a" ]; g [ "b" ] ]
+      ~egress:[ g [ "x" ] ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "3 groups on 2 TSPs should fail"
+
+let aligned algo old_groups new_groups =
+  let old = Rp4bc.Layout.empty 8 in
+  List.iteri
+    (fun i grp ->
+      old.Rp4bc.Layout.slots.(i) <- Some grp;
+      old.Rp4bc.Layout.roles.(i) <- Ipsa.Pipeline.Ingress)
+    old_groups;
+  match Rp4bc.Layout.place_incremental ~algo ~old ~ingress:new_groups ~egress:[] with
+  | Ok (l, stats) -> (l, stats)
+  | Error e -> Alcotest.fail e
+
+let test_layout_incremental_insert_at_end () =
+  List.iter
+    (fun algo ->
+      let _, stats =
+        aligned algo
+          [ g [ "a" ]; g [ "b" ] ]
+          [ g [ "a" ]; g [ "b" ]; g [ "new" ] ]
+      in
+      check Alcotest.int "one rewrite" 1 stats.Rp4bc.Layout.rewrites;
+      check Alcotest.int "two kept" 2 stats.Rp4bc.Layout.kept)
+    [ Rp4bc.Layout.Greedy; Rp4bc.Layout.Dp ]
+
+let test_layout_incremental_replace_middle () =
+  List.iter
+    (fun algo ->
+      let l, stats =
+        aligned algo
+          [ g [ "a" ]; g [ "b" ]; g [ "c" ] ]
+          [ g [ "a" ]; g [ "x" ]; g [ "c" ] ]
+      in
+      check Alcotest.int "one rewrite replacing middle" 1 stats.Rp4bc.Layout.rewrites;
+      check Alcotest.bool "x took b's slot" true
+        (Rp4bc.Layout.group_at l 1 = Some (g [ "x" ])))
+    [ Rp4bc.Layout.Greedy; Rp4bc.Layout.Dp ]
+
+let test_layout_incremental_insert_middle_shifts () =
+  List.iter
+    (fun algo ->
+      let _, stats =
+        aligned algo
+          [ g [ "a" ]; g [ "b" ]; g [ "c" ] ]
+          [ g [ "a" ]; g [ "u" ]; g [ "b" ]; g [ "c" ] ]
+      in
+      (* u displaces b and c: 3 rewrites *)
+      check Alcotest.int "suffix shifted" 3 stats.Rp4bc.Layout.rewrites)
+    [ Rp4bc.Layout.Greedy; Rp4bc.Layout.Dp ]
+
+let test_layout_dp_not_worse_than_greedy () =
+  let rng = Prelude.Rng.create 99 in
+  for _ = 1 to 50 do
+    (* random old layout of <=5 groups, random new sequence reusing some *)
+    let names = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+    let old_groups =
+      List.init (2 + Prelude.Rng.int rng 3) (fun i -> g [ names.(i) ])
+    in
+    let new_groups =
+      List.init
+        (1 + Prelude.Rng.int rng 5)
+        (fun _ -> g [ Prelude.Rng.choose rng names ])
+      |> List.sort_uniq compare
+    in
+    let _, gs = aligned Rp4bc.Layout.Greedy old_groups new_groups in
+    let _, ds = aligned Rp4bc.Layout.Dp old_groups new_groups in
+    if ds.Rp4bc.Layout.rewrites > gs.Rp4bc.Layout.rewrites then
+      Alcotest.failf "dp (%d) worse than greedy (%d)" ds.Rp4bc.Layout.rewrites
+        gs.Rp4bc.Layout.rewrites
+  done
+
+let test_layout_diff () =
+  let old = Rp4bc.Layout.empty 4 in
+  old.Rp4bc.Layout.slots.(0) <- Some (g [ "a" ]);
+  old.Rp4bc.Layout.slots.(1) <- Some (g [ "b" ]);
+  let next = Rp4bc.Layout.copy old in
+  next.Rp4bc.Layout.slots.(1) <- Some (g [ "x" ]);
+  next.Rp4bc.Layout.slots.(2) <- Some (g [ "y" ]);
+  check (Alcotest.list Alcotest.int) "changed TSPs" [ 1; 2 ]
+    (Rp4bc.Layout.diff_tsps ~old ~next)
+
+(* --- alloc ------------------------------------------------------------------------ *)
+
+let test_alloc_basic () =
+  let pool = Mem.Pool.create ~nblocks:16 ~block_width:128 ~block_depth:1024 ~nclusters:4 in
+  let requests =
+    [
+      { Rp4bc.Alloc.rq_table = "t1"; rq_entry_width = 128; rq_depth = 1024; rq_host_cluster = None };
+      { Rp4bc.Alloc.rq_table = "t2"; rq_entry_width = 256; rq_depth = 2048; rq_host_cluster = None };
+    ]
+  in
+  match Rp4bc.Alloc.place ~pool ~clustered:false requests with
+  | Error e -> Alcotest.fail e
+  | Ok decisions ->
+    check Alcotest.int "both placed" 2 (List.length decisions);
+    let d2 = List.find (fun d -> d.Rp4bc.Alloc.dc_table = "t2") decisions in
+    check Alcotest.int "t2 blocks" 4 d2.Rp4bc.Alloc.dc_blocks
+
+let test_alloc_prefers_host_cluster () =
+  let pool = Mem.Pool.create ~nblocks:16 ~block_width:128 ~block_depth:1024 ~nclusters:4 in
+  let requests =
+    [
+      { Rp4bc.Alloc.rq_table = "t"; rq_entry_width = 128; rq_depth = 1024; rq_host_cluster = Some 2 };
+    ]
+  in
+  match Rp4bc.Alloc.place ~pool ~clustered:false requests with
+  | Error e -> Alcotest.fail e
+  | Ok [ d ] ->
+    check (Alcotest.option Alcotest.int) "host cluster preferred" (Some 2)
+      d.Rp4bc.Alloc.dc_cluster
+  | Ok _ -> Alcotest.fail "one decision expected"
+
+let test_alloc_clustered_hard_constraint () =
+  let pool = Mem.Pool.create ~nblocks:8 ~block_width:128 ~block_depth:1024 ~nclusters:4 in
+  (* cluster 1 holds 2 blocks; a 3-block table pinned there cannot fit *)
+  let requests =
+    [
+      { Rp4bc.Alloc.rq_table = "t"; rq_entry_width = 128; rq_depth = 3000; rq_host_cluster = Some 1 };
+    ]
+  in
+  (match Rp4bc.Alloc.place ~pool ~clustered:true requests with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "clustered placement should fail");
+  (* the full crossbar can spread it *)
+  match Rp4bc.Alloc.place ~pool ~clustered:false requests with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_alloc_overcommit () =
+  let pool = Mem.Pool.create ~nblocks:4 ~block_width:128 ~block_depth:1024 ~nclusters:1 in
+  let requests =
+    List.init 3 (fun i ->
+        {
+          Rp4bc.Alloc.rq_table = Printf.sprintf "t%d" i;
+          rq_entry_width = 128;
+          rq_depth = 2048;
+          rq_host_cluster = None;
+        })
+  in
+  match Rp4bc.Alloc.place ~pool ~clustered:false requests with
+  | Error msg ->
+    check Alcotest.bool "names the unplaced table" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "6 blocks from 4 should fail"
+
+(* --- compile: full ------------------------------------------------------------------ *)
+
+let compile_base () =
+  let prog = Rp4.Parser.parse_string Usecases.Base_l23.source in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~pool prog with
+  | Ok c -> c
+  | Error errs -> Alcotest.failf "compile: %s" (String.concat "; " errs)
+
+let test_compile_full_shape () =
+  let c = compile_base () in
+  check Alcotest.int "seven templates" 7 c.Rp4bc.Compile.stats.Rp4bc.Compile.templates_emitted;
+  check Alcotest.int "twelve tables" 12 c.Rp4bc.Compile.stats.Rp4bc.Compile.tables_placed;
+  check Alcotest.bool "config bytes counted" true
+    (c.Rp4bc.Compile.stats.Rp4bc.Compile.config_bytes > 1000)
+
+let test_compile_too_many_stages () =
+  let prog = Rp4.Parser.parse_string Usecases.Base_l23.source in
+  let pool = Ipsa.Device.default_pool () in
+  let opts = { Rp4bc.Compile.default_options with Rp4bc.Compile.ntsps = 4 } in
+  match Rp4bc.Compile.compile_full ~opts ~pool prog with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "7 groups on 4 TSPs should fail"
+
+let test_design_source_roundtrip () =
+  (* the emitted base-design source recompiles to the same mapping *)
+  let c = compile_base () in
+  let src = Rp4bc.Design.to_source c.Rp4bc.Compile.design in
+  let prog = Rp4.Parser.parse_string src in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~pool prog with
+  | Error errs -> Alcotest.failf "recompile: %s" (String.concat "; " errs)
+  | Ok c' ->
+    check Alcotest.bool "same mapping" true
+      (Rp4bc.Design.mapping c.Rp4bc.Compile.design
+      = Rp4bc.Design.mapping c'.Rp4bc.Compile.design)
+
+(* --- compile: incremental ------------------------------------------------------------- *)
+
+let test_insert_emits_minimal_patch () =
+  let c = compile_base () in
+  let pool = Ipsa.Device.default_pool () in
+  (* allocate the base tables so incremental alloc sees a used pool; the
+     device normally does this, here we mimic it *)
+  List.iter
+    (fun op ->
+      match op with
+      | Ipsa.Config.Alloc_table (ct, cluster) ->
+        ignore
+          (Mem.Pool.allocate pool ~table:ct.Ipsa.Template.ct_name
+             ~entry_width:ct.Ipsa.Template.ct_entry_width ~depth:ct.Ipsa.Template.ct_size
+             ?cluster ())
+      | _ -> ())
+    c.Rp4bc.Compile.patch.Ipsa.Config.ops;
+  let snippet = Rp4.Parser.parse_string Usecases.Ecmp.source in
+  let cmds =
+    [
+      Rp4bc.Compile.Add_link ("ipv6_host", "ecmp");
+      Rp4bc.Compile.Add_link ("ecmp", "l2_l3_rewrite");
+      Rp4bc.Compile.Del_link ("ipv6_host", "nexthop");
+      Rp4bc.Compile.Del_link ("nexthop", "l2_l3_rewrite");
+    ]
+  in
+  match
+    Rp4bc.Compile.insert_function c.Rp4bc.Compile.design ~snippet ~func_name:"ecmp" ~cmds
+      ~algo:Rp4bc.Layout.Dp ~pool
+  with
+  | Error errs -> Alcotest.failf "insert: %s" (String.concat "; " errs)
+  | Ok r ->
+    check Alcotest.int "one template rewritten" 1
+      r.Rp4bc.Compile.stats.Rp4bc.Compile.templates_emitted;
+    check Alcotest.int "two tables placed" 2 r.Rp4bc.Compile.stats.Rp4bc.Compile.tables_placed;
+    check Alcotest.int "nexthop freed" 1 r.Rp4bc.Compile.stats.Rp4bc.Compile.tables_freed;
+    (* patch is much smaller than the full config *)
+    check Alcotest.bool "patch smaller than full config" true
+      (r.Rp4bc.Compile.stats.Rp4bc.Compile.config_bytes
+      < c.Rp4bc.Compile.stats.Rp4bc.Compile.config_bytes / 2);
+    (* the function is registered in the updated design *)
+    check (Alcotest.list Alcotest.string) "func registered" [ "ecmp" ]
+      (Rp4bc.Design.func_stages r.Rp4bc.Compile.design "ecmp")
+
+let test_insert_rejects_bad_snippet () =
+  let c = compile_base () in
+  let pool = Ipsa.Device.default_pool () in
+  let snippet =
+    Rp4.Parser.parse_string
+      {|stage broken { parser { ipv4 }; matcher { missing.apply(); };
+        executor { default : NoAction; } }|}
+  in
+  match
+    Rp4bc.Compile.insert_function c.Rp4bc.Compile.design ~snippet ~func_name:"bad"
+      ~cmds:[] ~algo:Rp4bc.Layout.Dp ~pool
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad snippet accepted"
+
+let test_delete_function () =
+  let c = compile_base () in
+  let pool = Ipsa.Device.default_pool () in
+  match
+    Rp4bc.Compile.delete_function c.Rp4bc.Compile.design ~func_name:"l3_ipv6"
+      ~algo:Rp4bc.Layout.Dp ~pool
+  with
+  | Error errs -> Alcotest.failf "delete: %s" (String.concat "; " errs)
+  | Ok r ->
+    check Alcotest.int "v6 tables freed" 2 r.Rp4bc.Compile.stats.Rp4bc.Compile.tables_freed;
+    check Alcotest.bool "stages pruned from design" true
+      (Rp4.Ast.find_stage r.Rp4bc.Compile.design.Rp4bc.Design.prog "ipv6_lpm" = None);
+    check Alcotest.bool "table decls pruned" true
+      (Rp4.Ast.find_table r.Rp4bc.Compile.design.Rp4bc.Design.prog "ipv6_lpm" = None);
+    check Alcotest.bool "unrelated stage kept" true
+      (Rp4.Ast.find_stage r.Rp4bc.Compile.design.Rp4bc.Design.prog "ipv4_lpm" <> None)
+
+let test_delete_unknown_function () =
+  let c = compile_base () in
+  let pool = Ipsa.Device.default_pool () in
+  match
+    Rp4bc.Compile.delete_function c.Rp4bc.Compile.design ~func_name:"ghost"
+      ~algo:Rp4bc.Layout.Dp ~pool
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deleting unknown function should fail"
+
+let () =
+  Alcotest.run "rp4bc"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "chain" `Quick test_graph_chain;
+          Alcotest.test_case "splice" `Quick test_graph_splice;
+          Alcotest.test_case "branches" `Quick test_graph_branches;
+          Alcotest.test_case "cycle" `Quick test_graph_cycle_detection;
+          Alcotest.test_case "empty" `Quick test_graph_empty;
+        ] );
+      ( "depgraph",
+        [
+          Alcotest.test_case "read/write sets" `Quick test_dep_read_write_sets;
+          Alcotest.test_case "classification" `Quick test_dep_classification;
+          Alcotest.test_case "table sharing" `Quick test_dep_table_sharing;
+          Alcotest.test_case "validity exclusivity" `Quick test_guard_exclusivity_validity;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "merge base" `Quick test_group_merge_base;
+          Alcotest.test_case "limits" `Quick test_group_merge_respects_limits;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "full" `Quick test_layout_full;
+          Alcotest.test_case "overflow" `Quick test_layout_full_overflow;
+          Alcotest.test_case "insert at end" `Quick test_layout_incremental_insert_at_end;
+          Alcotest.test_case "replace middle" `Quick test_layout_incremental_replace_middle;
+          Alcotest.test_case "insert shifts" `Quick test_layout_incremental_insert_middle_shifts;
+          Alcotest.test_case "dp <= greedy" `Quick test_layout_dp_not_worse_than_greedy;
+          Alcotest.test_case "diff" `Quick test_layout_diff;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "host cluster" `Quick test_alloc_prefers_host_cluster;
+          Alcotest.test_case "clustered constraint" `Quick test_alloc_clustered_hard_constraint;
+          Alcotest.test_case "overcommit" `Quick test_alloc_overcommit;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "full shape" `Quick test_compile_full_shape;
+          Alcotest.test_case "too many stages" `Quick test_compile_too_many_stages;
+          Alcotest.test_case "source roundtrip" `Quick test_design_source_roundtrip;
+          Alcotest.test_case "insert minimal patch" `Quick test_insert_emits_minimal_patch;
+          Alcotest.test_case "insert rejects bad snippet" `Quick test_insert_rejects_bad_snippet;
+          Alcotest.test_case "delete function" `Quick test_delete_function;
+          Alcotest.test_case "delete unknown" `Quick test_delete_unknown_function;
+        ] );
+    ]
