@@ -4,7 +4,9 @@
      rp4c fc FILE.p4              P4 -> rP4 source + runtime table APIs
      rp4c bc FILE.rp4             full back-end compile: mapping + JSON config
      rp4c patch --base B --snippet S --func F --script SCRIPT
-                                  incremental compile: updated design + patch *)
+                                  incremental compile: updated design + patch
+     rp4c check FILE.rp4 [--script SCRIPT] | rp4c check --usecases
+                                  rp4lint: dataflow / merge / update verification *)
 
 open Cmdliner
 
@@ -116,6 +118,190 @@ let patch_cmd =
        ~doc:"incremental compile: apply an update script to a base design")
     Term.(ret (const run $ base $ script $ json))
 
+(* --- check ------------------------------------------------------------- *)
+
+(* rp4lint. A run either fails to compile (the compiler's own errors) or
+   yields a diagnostic report; both count as failures when errors are
+   present, so CI can gate on the exit status. *)
+
+type outcome = (Analysis.Diag.t list, string list) result
+
+let check_prog ~ntsps prog : outcome =
+  let opts = { Rp4bc.Compile.default_options with Rp4bc.Compile.ntsps } in
+  match Analysis.Check.check_program ~opts prog with
+  | Error errs -> Error errs
+  | Ok (_result, diags) -> Ok diags
+
+(* Stage an update script the way a controller session would, but without
+   a device: the linting needs only the compiled patch. Runtime commands
+   (commit / table_add / ...) are ignored. *)
+let staged_update ~resolve_file text =
+  let load = ref None in
+  let cmds = ref [] in
+  let push c = cmds := !cmds @ [ c ] in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Controller.Command.Load { file; func_name } ->
+        load := Some (func_name, Rp4.Parser.parse_string (resolve_file file))
+      | Controller.Command.Add_link (a, b) -> push (Rp4bc.Compile.Add_link (a, b))
+      | Controller.Command.Del_link (a, b) -> push (Rp4bc.Compile.Del_link (a, b))
+      | Controller.Command.Link_header { pre; next; tag } ->
+        push (Rp4bc.Compile.Link_hdr (pre, tag, next))
+      | Controller.Command.Unlink_header { pre; next } ->
+        push (Rp4bc.Compile.Unlink_hdr (pre, next))
+      | Controller.Command.Set_entry { pipe; stage } ->
+        let p =
+          if pipe = "egress" then Rp4bc.Compile.Pipe_egress
+          else Rp4bc.Compile.Pipe_ingress
+        in
+        push (Rp4bc.Compile.Set_entry (p, stage))
+      | Controller.Command.Commit | Controller.Command.Unload _
+      | Controller.Command.Table_add _ | Controller.Command.Table_del _
+      | Controller.Command.Show_mapping | Controller.Command.Show_design -> ())
+    (Controller.Command.parse_script text);
+  match !load with
+  | Some (func_name, snippet) -> (func_name, snippet, !cmds)
+  | None -> ("__links__", Rp4.Ast.empty_program, !cmds)
+
+let check_update_source ~ntsps ~resolve_file ~script source : outcome =
+  let opts = { Rp4bc.Compile.default_options with Rp4bc.Compile.ntsps } in
+  let prog = Rp4.Parser.parse_string source in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~opts ~pool prog with
+  | Error errs -> Error errs
+  | Ok base -> (
+    let func_name, snippet, cmds = staged_update ~resolve_file script in
+    match
+      Analysis.Check.check_update base.Rp4bc.Compile.design ~snippet ~func_name
+        ~cmds ()
+    with
+    | Error errs -> Error errs
+    | Ok (_result, diags) -> Ok diags)
+
+let outcome_json = function
+  | Ok diags -> Analysis.Diag.report_to_json diags
+  | Error errs ->
+    Prelude.Json.Obj
+      [
+        ( "compile_errors",
+          Prelude.Json.List (List.map (fun e -> Prelude.Json.String e) errs) );
+      ]
+
+(* Render the named outcomes and say whether any of them failed. *)
+let report_outcomes ~json (runs : (string * outcome) list) : bool =
+  if json then begin
+    print_endline
+      (Prelude.Json.to_string_pretty
+         (Prelude.Json.Obj (List.map (fun (n, o) -> (n, outcome_json o)) runs)))
+  end
+  else
+    List.iter
+      (fun (name, outcome) ->
+        Printf.printf "== %s ==\n" name;
+        (match outcome with
+        | Error errs ->
+          List.iter (fun e -> Printf.printf "compile error: %s\n" e) errs
+        | Ok [] -> print_endline "ok: no findings"
+        | Ok diags ->
+          print_endline (Analysis.Diag.render_table diags);
+          Printf.printf "%d error(s), %d warning(s)\n"
+            (List.length (Analysis.Diag.errors diags))
+            (List.length (Analysis.Diag.warnings diags)));
+        print_newline ())
+      runs;
+  List.exists
+    (fun (_, o) ->
+      match o with Error _ -> true | Ok diags -> Analysis.Diag.has_errors diags)
+    runs
+
+(* The bundled usecases, base designs and update scripts alike. *)
+let usecase_runs ~ntsps : (string * outcome) list =
+  let resolve name =
+    match Filename.basename name with
+    | "ecmp.rp4" -> Usecases.Ecmp.source
+    | "srv6.rp4" -> Usecases.Srv6.source
+    | "probe.rp4" -> Usecases.Flowprobe.source
+    | other -> invalid_arg ("unknown usecase snippet " ^ other)
+  in
+  let update script = check_update_source ~ntsps ~resolve_file:resolve ~script in
+  [
+    ("base_l23", check_prog ~ntsps (Rp4.Parser.parse_string Usecases.Base_l23.source));
+    ( "base_split",
+      check_prog ~ntsps (Rp4.Parser.parse_string Usecases.Base_split.source) );
+    ( "p4_base (fc-translated)",
+      check_prog ~ntsps
+        (Rp4fc.Translate.translate
+           (P4lite.Parser.parse_string Usecases.P4_base.source)) );
+    ("base_l23 + ecmp", update Usecases.Ecmp.script Usecases.Base_l23.source);
+    ("base_l23 + srv6", update Usecases.Srv6.script Usecases.Base_l23.source);
+    ( "base_l23 + flow_probe",
+      update Usecases.Flowprobe.script Usecases.Base_l23.source );
+  ]
+
+let check_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.rp4") in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:
+            "Replay an update $(docv) against the base design and lint the \
+             resulting patch. Snippet files named by the script's load commands \
+             resolve relative to the script's directory.")
+  in
+  let ntsps =
+    Arg.(value & opt int 8 & info [ "ntsps" ] ~doc:"number of physical TSPs")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
+  in
+  let usecases =
+    Arg.(
+      value & flag
+      & info [ "usecases" ]
+          ~doc:"check every bundled usecase (base designs and update scripts)")
+  in
+  let run file script ntsps json usecases =
+    try
+      let runs =
+        if usecases then usecase_runs ~ntsps
+        else
+          match file with
+          | None -> invalid_arg "check: need FILE.rp4 (or --usecases)"
+          | Some f -> (
+            match script with
+            | None -> [ (f, check_prog ~ntsps (Rp4.Parser.parse_string (read_file f))) ]
+            | Some s ->
+              let dir = Filename.dirname s in
+              let resolve_file name =
+                read_file
+                  (if Filename.is_relative name then Filename.concat dir name
+                   else name)
+              in
+              [
+                ( Printf.sprintf "%s + %s" f s,
+                  check_update_source ~ntsps ~resolve_file ~script:(read_file s)
+                    (read_file f) );
+              ])
+      in
+      if report_outcomes ~json runs then
+        `Error (false, "check failed: the report contains errors")
+      else `Ok ()
+    with
+    | Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
+    | P4lite.Parser.Error e -> `Error (false, e)
+    | Invalid_argument e | Sys_error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "rp4lint: verify parse-before-use dataflow, TSP merge independence and \
+          in-situ update safety")
+    Term.(ret (const run $ file $ script $ ntsps $ json $ usecases))
+
 let () =
   let doc = "rP4 compiler tool-chain (front end, back end, incremental patches)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rp4c" ~doc) [ fc_cmd; bc_cmd; patch_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group (Cmd.info "rp4c" ~doc) [ fc_cmd; bc_cmd; patch_cmd; check_cmd ]))

@@ -1,0 +1,57 @@
+(* rp4lint orchestration: run the three passes over a compiled design and
+   its patch, and adapt the result to rp4bc's verify hook so compilation
+   fails on errors and surfaces warnings.
+
+   The passes only need what every rp4bc result already carries — the
+   semantic env, the stage graphs, the layout and the emitted patch — so
+   the same entry point serves full compiles (old = None), incremental
+   updates (old = the pre-update design) and the [rp4c check] CLI. *)
+
+let analyze ?old ~(design : Rp4bc.Design.t) ~(patch : Ipsa.Config.t) () :
+    Diag.t list =
+  let env = design.Rp4bc.Design.env in
+  Parsecheck.run ~env ~igraph:design.Rp4bc.Design.igraph
+    ~egraph:design.Rp4bc.Design.egraph
+  @ Mergecheck.audit ~env ~limits:design.Rp4bc.Design.limits
+      design.Rp4bc.Design.layout
+  @ Updatecheck.audit ~old ~design ~patch
+
+(* The hook [Rp4bc.Compile] calls when a verifier is supplied: errors
+   abort the compile, warnings ride along in the result. *)
+let verifier : Rp4bc.Compile.verifier =
+ fun vi ->
+  let diags =
+    analyze ?old:vi.Rp4bc.Compile.vi_old ~design:vi.Rp4bc.Compile.vi_design
+      ~patch:vi.Rp4bc.Compile.vi_patch ()
+  in
+  {
+    Rp4bc.Compile.v_errors = List.map Diag.to_line (Diag.errors diags);
+    v_warnings = List.map Diag.to_line (Diag.warnings diags);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stand-alone checking (the CLI and the tests)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-compile a program and lint it. The pool is only a capacity model
+   here — nothing is loaded on a device. *)
+let check_program ?(opts = Rp4bc.Compile.default_options) (prog : Rp4.Ast.program) :
+    (Rp4bc.Compile.result_t * Diag.t list, string list) result =
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~opts ~pool prog with
+  | Error errs -> Error errs
+  | Ok r ->
+    Ok (r, analyze ~design:r.Rp4bc.Compile.design ~patch:r.Rp4bc.Compile.patch ())
+
+(* Incrementally compile an update against [base] and lint the patch. *)
+let check_update (base : Rp4bc.Design.t) ~(snippet : Rp4.Ast.program) ~func_name
+    ~(cmds : Rp4bc.Compile.cmd list) ?(algo = Rp4bc.Layout.Dp) () :
+    (Rp4bc.Compile.result_t * Diag.t list, string list) result =
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.insert_function base ~snippet ~func_name ~cmds ~algo ~pool with
+  | Error errs -> Error errs
+  | Ok r ->
+    Ok
+      ( r,
+        analyze ~old:base ~design:r.Rp4bc.Compile.design ~patch:r.Rp4bc.Compile.patch
+          () )

@@ -1,0 +1,112 @@
+(* Structured diagnostics for rp4lint, the static verifier.
+
+   Every finding carries a stable code (RP4Exxx = error, RP4Wxxx =
+   warning), the pass that produced it and an optional stage/subject
+   location, so the same report serves the text renderer, the Texttab
+   summary and the JSON output that tooling consumes. *)
+
+module J = Prelude.Json
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string; (* parse-before-use | merge-hazard | update-safety *)
+  stage : string option; (* stage or TSP-group the finding anchors to *)
+  subject : string option; (* field / header / table at fault *)
+  message : string;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* The diagnostic catalog: one stable line per code. *)
+let catalog =
+  [
+    ("RP4E001", "field access on a header never parsed on any path to the stage");
+    ("RP4E002", "stage parser lists a header unreachable in the header linkage");
+    ("RP4E003", "field access on a header parsed on only some paths to the stage");
+    ("RP4E004", "stage graph contains a cycle");
+    ("RP4E005", "stage graph references an unknown stage");
+    ("RP4E010", "read-after-write hazard inside a merged TSP group");
+    ("RP4E011", "write-after-write hazard inside a merged TSP group");
+    ("RP4E012", "write-after-read hazard inside a merged TSP group");
+    ("RP4E013", "two stages of a merged TSP group share a table");
+    ("RP4E014", "merged TSP group exceeds the TSP capacity limits");
+    ("RP4E015", "merged TSP group bookkeeping disagrees with its stages");
+    ("RP4E020", "patch transits a state referencing an unallocated table");
+    ("RP4E021", "final state: template references an unallocated table");
+    ("RP4E022", "allocated table referenced by no template: leaked pool blocks");
+    ("RP4E023", "final state: template's table not connected to its TSP");
+    ("RP4E024", "inconsistent table-allocation bookkeeping in the patch");
+    ("RP4W101", "metadata field read but never written upstream");
+    ("RP4W102", "stage unreachable from any pipe entry");
+    ("RP4W103", "stage orphaned by link removal; its tables are recycled");
+    ("RP4W104", "validity probe on a header never parsed on any path");
+  ]
+
+let describe code = List.assoc_opt code catalog
+
+let make ~code ~severity ~pass ?stage ?subject message =
+  { code; severity; pass; stage; subject; message }
+
+let error ~code ~pass ?stage ?subject message =
+  make ~code ~severity:Error ~pass ?stage ?subject message
+
+let warning ~code ~pass ?stage ?subject message =
+  make ~code ~severity:Warning ~pass ?stage ?subject message
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter (fun d -> not (is_error d)) ds
+let has_errors ds = List.exists is_error ds
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let location d =
+  match (d.stage, d.subject) with
+  | Some s, Some f -> Printf.sprintf "%s: %s" s f
+  | Some s, None -> s
+  | None, Some f -> f
+  | None, None -> "-"
+
+let to_line d =
+  Printf.sprintf "%s %s [%s] %s: %s" d.code
+    (severity_to_string d.severity)
+    d.pass (location d) d.message
+
+let render_lines ds = String.concat "\n" (List.map to_line ds)
+
+let render_table ds =
+  Prelude.Texttab.render
+    ~header:[ "code"; "severity"; "pass"; "location"; "message" ]
+    (List.map
+       (fun d ->
+         [ d.code; severity_to_string d.severity; d.pass; location d; d.message ])
+       ds)
+
+let to_json d =
+  J.Obj
+    [
+      ("code", J.String d.code);
+      ("severity", J.String (severity_to_string d.severity));
+      ("pass", J.String d.pass);
+      ("stage", match d.stage with Some s -> J.String s | None -> J.Null);
+      ("subject", match d.subject with Some s -> J.String s | None -> J.Null);
+      ("message", J.String d.message);
+    ]
+
+let report_to_json ds =
+  J.Obj
+    [
+      ("errors", J.Int (List.length (errors ds)));
+      ("warnings", J.Int (List.length (warnings ds)));
+      ("diagnostics", J.List (List.map to_json ds));
+    ]
+
+let render_json ds = J.to_string_pretty (report_to_json ds)

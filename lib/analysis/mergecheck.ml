@@ -1,0 +1,118 @@
+(* Pass 2: merge-hazard audit.
+
+   rp4bc packs "independent" logical stages into one TSP (Sec. 3.1). A
+   miscompile here is silent — the merged template simply computes the
+   wrong thing — so this pass re-verifies every group in the layout from
+   scratch: it recomputes read/write/table sets with [Summary] (which,
+   unlike the compiler, also tracks validity-bit writes from
+   set_valid/set_invalid), re-proves guard mutual exclusion, and rejects
+   any group whose members conflict or that exceeds TSP capacity. *)
+
+module SS = Summary.SS
+
+let pass = "merge-hazard"
+
+let group_label tsp (g : Rp4bc.Group.t) =
+  match tsp with
+  | Some i -> Printf.sprintf "TSP %d [%s]" i (String.concat "+" g.Rp4bc.Group.g_stages)
+  | None -> String.concat "+" g.Rp4bc.Group.g_stages
+
+let fields s = String.concat ", " (SS.elements s)
+
+(* Pairwise conflicts between two member stages, unless their guards are
+   provably mutually exclusive (then only one fires per packet and the
+   shared state is unobservable). Shared tables are illegal regardless. *)
+let pair_conflicts env ~stage a b : Diag.t list =
+  let diag ~code ~subject msg = Diag.error ~code ~pass ~stage ~subject msg in
+  let shared = SS.inter a.Summary.s_tables b.Summary.s_tables in
+  let table_diags =
+    if SS.is_empty shared then []
+    else
+      [
+        diag ~code:"RP4E013" ~subject:(SS.choose shared)
+          (Printf.sprintf "stages %s and %s both apply table %s" a.Summary.s_name
+             b.Summary.s_name (SS.choose shared));
+      ]
+  in
+  let hazard_diags =
+    if Summary.exclusive env a b then []
+    else begin
+      let raw = SS.inter a.Summary.s_writes b.Summary.s_reads in
+      let waw = SS.inter a.Summary.s_writes b.Summary.s_writes in
+      let war = SS.inter a.Summary.s_reads b.Summary.s_writes in
+      let mk code kind set =
+        if SS.is_empty set then []
+        else
+          [
+            diag ~code ~subject:(SS.choose set)
+              (Printf.sprintf "%s hazard between %s and %s on {%s}" kind
+                 a.Summary.s_name b.Summary.s_name (fields set));
+          ]
+      in
+      mk "RP4E010" "read-after-write" raw
+      @ mk "RP4E011" "write-after-write" (SS.diff waw raw)
+      @ mk "RP4E012" "write-after-read" (SS.diff (SS.diff war raw) waw)
+    end
+  in
+  table_diags @ hazard_diags
+
+let audit_group env ~(limits : Rp4bc.Group.limits) ?tsp (g : Rp4bc.Group.t) :
+    Diag.t list =
+  let stage = group_label tsp g in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let summaries =
+    List.filter_map
+      (fun name ->
+        match Rp4.Ast.find_stage env.Rp4.Semantic.prog name with
+        | Some sd -> Some (Summary.of_stage env sd)
+        | None ->
+          add
+            (Diag.error ~code:"RP4E015" ~pass ~stage ~subject:name
+               (Printf.sprintf "group lists unknown stage %s" name));
+          None)
+      g.Rp4bc.Group.g_stages
+  in
+  (* pairwise independence, in execution order *)
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter (fun b -> List.iter add (pair_conflicts env ~stage a b)) rest;
+      pairs rest
+  in
+  pairs summaries;
+  (* capacity *)
+  let nstages = List.length g.Rp4bc.Group.g_stages in
+  if nstages > limits.Rp4bc.Group.max_stages then
+    add
+      (Diag.error ~code:"RP4E014" ~pass ~stage
+         (Printf.sprintf "group has %d stages; the TSP hosts at most %d" nstages
+            limits.Rp4bc.Group.max_stages));
+  let member_tables =
+    List.fold_left (fun acc s -> SS.union acc s.Summary.s_tables) SS.empty summaries
+  in
+  if SS.cardinal member_tables > limits.Rp4bc.Group.max_tables then
+    add
+      (Diag.error ~code:"RP4E014" ~pass ~stage
+         (Printf.sprintf "group applies %d tables; the TSP hosts at most %d"
+            (SS.cardinal member_tables) limits.Rp4bc.Group.max_tables));
+  (* bookkeeping: the group's recorded table list must match its stages *)
+  let recorded = SS.of_list g.Rp4bc.Group.g_tables in
+  if not (SS.equal recorded member_tables) then begin
+    let missing = SS.diff member_tables recorded in
+    let stale = SS.diff recorded member_tables in
+    add
+      (Diag.error ~code:"RP4E015" ~pass ~stage
+         (Printf.sprintf "group table list disagrees with its stages%s%s"
+            (if SS.is_empty missing then ""
+             else Printf.sprintf "; missing {%s}" (fields missing))
+            (if SS.is_empty stale then ""
+             else Printf.sprintf "; stale {%s}" (fields stale))))
+  end;
+  List.rev !diags
+
+(* Audit every group placed in a layout. *)
+let audit ~env ~limits (layout : Rp4bc.Layout.t) : Diag.t list =
+  List.concat_map
+    (fun (tsp, g) -> audit_group env ~limits ~tsp g)
+    (Rp4bc.Layout.assignment layout)

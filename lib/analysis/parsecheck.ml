@@ -1,0 +1,211 @@
+(* Pass 1: parse-before-use.
+
+   IPSA has no front parser — each stage's [parser { ... }] block is the
+   only thing that brings a header into scope, and parsed headers flow
+   downstream (across the TM into egress, Sec. 2.2). This pass runs a
+   forward dataflow over the stage graphs computing, per stage, the set of
+   headers guaranteed parse-attempted on *every* path from the pipe entry
+   (must-avail, intersection over predecessors) and on *some* path
+   (may-avail, union), and flags field references to headers outside those
+   sets. Metadata is checked the same way with may-write sets: a read of a
+   non-intrinsic field no upstream stage can write is reported.
+
+   The egress pipe is seeded from the ingress leaves: whatever every
+   ingress leaf has parsed survives the TM. *)
+
+module SS = Summary.SS
+
+let pass = "parse-before-use"
+
+type flow = {
+  f_must : SS.t; (* headers parse-attempted on every path *)
+  f_may : SS.t; (* headers parse-attempted on some path *)
+  f_meta : SS.t; (* metadata fields some upstream stage may write *)
+}
+
+let empty_flow = { f_must = SS.empty; f_may = SS.empty; f_meta = SS.empty }
+
+let meet a b =
+  {
+    f_must = SS.inter a.f_must b.f_must;
+    f_may = SS.union a.f_may b.f_may;
+    f_meta = SS.union a.f_meta b.f_meta;
+  }
+
+let intrinsic_meta = SS.of_list (List.map fst Net.Meta.intrinsic)
+
+(* Headers reachable from the first (outermost) header through the
+   implicit-parser linkage — the only headers that can ever be parsed. *)
+let linkage_reachable (prog : Rp4.Ast.program) =
+  match prog.Rp4.Ast.headers with
+  | [] -> SS.empty
+  | first :: _ ->
+    let seen = ref SS.empty in
+    let rec visit name =
+      if not (SS.mem name !seen) then begin
+        seen := SS.add name !seen;
+        match Rp4.Ast.find_header prog name with
+        | Some { Rp4.Ast.hd_parser = Some ip; _ } ->
+          List.iter (fun (_, next) -> visit next) ip.Rp4.Ast.ip_cases
+        | _ -> ()
+      end
+    in
+    visit first.Rp4.Ast.hd_name;
+    !seen
+
+let check_stage env ~linked ~inflow (summ : Summary.t) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let stage = summ.Summary.s_name in
+  let avail_must = SS.union inflow.f_must summ.Summary.s_parses in
+  let avail_may = SS.union inflow.f_may summ.Summary.s_parses in
+  (* a parser listing a header the linkage can never reach is dead code
+     at best and usually a missing link_header *)
+  (match Rp4.Ast.find_stage env.Rp4.Semantic.prog stage with
+  | Some sd ->
+    List.iter
+      (fun h ->
+        if (not (SS.mem h linked)) && not (SS.is_empty linked) then
+          add
+            (Diag.error ~code:"RP4E002" ~pass ~stage ~subject:h
+               (Printf.sprintf
+                  "parser lists header %s, which no implicit-parser chain reaches from \
+                   the first header"
+                  h)))
+      sd.Rp4.Ast.st_parser
+  | None -> ());
+  (* header accesses, deduplicated per (header, field, context) *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Summary.use) ->
+      let key = (u.Summary.u_header, u.Summary.u_field, u.Summary.u_context) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let h = u.Summary.u_header in
+        match u.Summary.u_field with
+        | None ->
+          if not (SS.mem h avail_may) then
+            add
+              (Diag.warning ~code:"RP4W104" ~pass ~stage ~subject:h
+                 (Printf.sprintf
+                    "isValid probe on header %s, but no path to this stage parses it \
+                     (%s)"
+                    h u.Summary.u_context))
+        | Some f ->
+          let access = if u.Summary.u_write then "write to" else "read of" in
+          if not (SS.mem h avail_may) then
+            add
+              (Diag.error ~code:"RP4E001" ~pass ~stage ~subject:(h ^ "." ^ f)
+                 (Printf.sprintf
+                    "%s %s.%s, but no path to this stage parses header %s (%s)" access
+                    h f h u.Summary.u_context))
+          else if not (SS.mem h avail_must) then
+            add
+              (Diag.error ~code:"RP4E003" ~pass ~stage ~subject:(h ^ "." ^ f)
+                 (Printf.sprintf
+                    "%s %s.%s, but header %s is parsed on only some paths to this \
+                     stage (%s)"
+                    access h f h u.Summary.u_context))
+      end)
+    summ.Summary.s_uses;
+  (* metadata read-before-write *)
+  let seen_meta = Hashtbl.create 16 in
+  List.iter
+    (fun (f, ctx) ->
+      if not (Hashtbl.mem seen_meta f) then begin
+        Hashtbl.add seen_meta f ();
+        if (not (SS.mem f intrinsic_meta)) && not (SS.mem f inflow.f_meta) then
+          add
+            (Diag.warning ~code:"RP4W101" ~pass ~stage ~subject:("meta." ^ f)
+               (Printf.sprintf
+                  "reads meta.%s (%s), but no upstream stage writes it and it is not \
+                   intrinsic"
+                  f ctx))
+      end)
+    summ.Summary.s_meta_reads;
+  List.rev !diags
+
+(* Dataflow over one pipe; returns the diagnostics plus the flow leaving
+   the pipe's leaves (for seeding the egress pipe). *)
+let analyze_graph env ~pipe ~linked ~seed ~summaries graph :
+    Diag.t list * flow option =
+  match Rp4bc.Graph.topo_order graph with
+  | exception Rp4bc.Graph.Cycle s ->
+    ( [
+        Diag.error ~code:"RP4E004" ~pass ~stage:s
+          (Printf.sprintf "the %s stage graph has a cycle through %s" pipe s);
+      ],
+      None )
+  | order ->
+    let diags = ref [] in
+    let flows : (string, flow) Hashtbl.t = Hashtbl.create 16 in
+    let outflow name = Hashtbl.find_opt flows name in
+    List.iter
+      (fun name ->
+        match Rp4.Ast.find_stage env.Rp4.Semantic.prog name with
+        | None ->
+          diags :=
+            Diag.error ~code:"RP4E005" ~pass ~stage:name
+              (Printf.sprintf "the %s stage graph references unknown stage %s" pipe name)
+            :: !diags
+        | Some _ ->
+          let summ = Hashtbl.find summaries name in
+          let pred_flows = List.filter_map outflow (Rp4bc.Graph.preds graph name) in
+          let inflow =
+            match pred_flows with [] -> seed | f :: fs -> List.fold_left meet f fs
+          in
+          diags := List.rev_append (check_stage env ~linked ~inflow summ) !diags;
+          Hashtbl.replace flows name
+            {
+              f_must = SS.union inflow.f_must summ.Summary.s_parses;
+              f_may = SS.union inflow.f_may summ.Summary.s_parses;
+              f_meta = SS.union inflow.f_meta summ.Summary.s_meta_writes;
+            })
+      order;
+    (* flow surviving the pipe: meet over the leaves *)
+    let leaves =
+      List.filter
+        (fun name ->
+          not
+            (List.exists
+               (fun s -> Hashtbl.mem flows s)
+               (Rp4bc.Graph.succs graph name)))
+        order
+    in
+    let out =
+      match List.filter_map outflow leaves with
+      | [] -> None
+      | f :: fs -> Some (List.fold_left meet f fs)
+    in
+    (List.rev !diags, out)
+
+let run ~env ~igraph ~egraph : Diag.t list =
+  let prog = env.Rp4.Semantic.prog in
+  let linked = linkage_reachable prog in
+  let summaries = Hashtbl.create 32 in
+  List.iter
+    (fun sd ->
+      Hashtbl.replace summaries sd.Rp4.Ast.st_name (Summary.of_stage env sd))
+    (Rp4.Ast.all_stages prog);
+  let idiags, iout =
+    analyze_graph env ~pipe:"ingress" ~linked ~seed:empty_flow ~summaries igraph
+  in
+  (* headers parsed at ingress stay parsed across the TM *)
+  let eseed = match iout with Some f -> f | None -> empty_flow in
+  let ediags, _ =
+    analyze_graph env ~pipe:"egress" ~linked ~seed:eseed ~summaries egraph
+  in
+  let reach g = try Rp4bc.Graph.reachable g with _ -> [] in
+  let reachable = SS.of_list (reach igraph @ reach egraph) in
+  let orphan_diags =
+    List.filter_map
+      (fun sd ->
+        let name = sd.Rp4.Ast.st_name in
+        if SS.mem name reachable then None
+        else
+          Some
+            (Diag.warning ~code:"RP4W102" ~pass ~stage:name
+               (Printf.sprintf "stage %s is unreachable from any pipe entry" name)))
+      (Rp4.Ast.all_stages prog)
+  in
+  idiags @ ediags @ orphan_diags

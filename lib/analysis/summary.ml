@@ -1,0 +1,171 @@
+(* Per-stage facts for the rp4lint passes.
+
+   Collected directly from the AST, independently of rp4bc's Depgraph, so
+   the merge-hazard audit re-derives read/write sets instead of trusting
+   the summaries the compiler merged with. One deliberate strengthening:
+   [set_valid]/[set_invalid] count as writes of the header's validity bit
+   ("h.$valid") here, while the compiler's own summaries ignore them — a
+   stage validating a header is NOT independent of a stage probing that
+   header's validity. *)
+
+module SS = Set.Make (String)
+
+(* One header access: a field read/write or a validity probe, with enough
+   context to produce a readable diagnostic. *)
+type use = {
+  u_header : string;
+  u_field : string option; (* None = isValid() probe *)
+  u_write : bool;
+  u_context : string; (* "key of table t", "matcher condition", "action a" *)
+}
+
+type t = {
+  s_name : string;
+  s_parses : SS.t; (* st_parser headers + set_valid targets *)
+  s_uses : use list;
+  s_meta_reads : (string * string) list; (* metadata field, context *)
+  s_meta_writes : SS.t;
+  s_reads : SS.t; (* field-ref strings, incl. h.$valid probes *)
+  s_writes : SS.t; (* field-ref strings, incl. h.$valid from set_valid *)
+  s_tables : SS.t;
+  s_guard : Rp4.Ast.cond;
+}
+
+let valid_ref h = h ^ ".$valid"
+
+(* Top-level matcher guard: the condition wrapping the whole matcher when
+   it is a single guarded block; C_true otherwise. *)
+let guard_of (s : Rp4.Ast.stage_decl) =
+  match s.Rp4.Ast.st_matcher with
+  | Rp4.Ast.M_if (c, _, Rp4.Ast.M_nop) -> c
+  | _ -> Rp4.Ast.C_true
+
+(* Headers whose validity a condition explicitly probes. *)
+let rec valid_probes = function
+  | Rp4.Ast.C_valid h -> [ h ]
+  | Rp4.Ast.C_not c -> valid_probes c
+  | Rp4.Ast.C_and (a, b) | Rp4.Ast.C_or (a, b) -> valid_probes a @ valid_probes b
+  | Rp4.Ast.C_rel _ | Rp4.Ast.C_true -> []
+
+let of_stage env (sd : Rp4.Ast.stage_decl) : t =
+  let prog = env.Rp4.Semantic.prog in
+  let uses = ref [] and meta_reads = ref [] in
+  let reads = ref SS.empty and writes = ref SS.empty in
+  let meta_writes = ref SS.empty in
+  let record_read ~ctx fr =
+    reads := SS.add (Rp4.Ast.field_ref_to_string fr) !reads;
+    match fr with
+    | Rp4.Ast.Hdr_field (h, f) ->
+      uses := { u_header = h; u_field = Some f; u_write = false; u_context = ctx } :: !uses
+    | Rp4.Ast.Meta_field f -> meta_reads := (f, ctx) :: !meta_reads
+  in
+  let record_write ~ctx fr =
+    writes := SS.add (Rp4.Ast.field_ref_to_string fr) !writes;
+    match fr with
+    | Rp4.Ast.Hdr_field (h, f) ->
+      uses := { u_header = h; u_field = Some f; u_write = true; u_context = ctx } :: !uses
+    | Rp4.Ast.Meta_field f -> meta_writes := SS.add f !meta_writes
+  in
+  let record_cond ~ctx c =
+    List.iter (record_read ~ctx) (Rp4.Ast.cond_reads c);
+    (* every header a condition inspects depends on its validity bit *)
+    List.iter (fun h -> reads := SS.add (valid_ref h) !reads) (Rp4.Ast.cond_headers c);
+    List.iter
+      (fun h ->
+        uses := { u_header = h; u_field = None; u_write = false; u_context = ctx } :: !uses)
+      (valid_probes c)
+  in
+  let rec walk_matcher m =
+    match m with
+    | Rp4.Ast.M_nop -> ()
+    | Rp4.Ast.M_seq ms -> List.iter walk_matcher ms
+    | Rp4.Ast.M_if (c, a, b) ->
+      record_cond ~ctx:"matcher condition" c;
+      walk_matcher a;
+      walk_matcher b
+    | Rp4.Ast.M_apply tname -> (
+      match Rp4.Ast.find_table prog tname with
+      | Some td ->
+        List.iter
+          (fun (fr, _) -> record_read ~ctx:(Printf.sprintf "key of table %s" tname) fr)
+          td.Rp4.Ast.td_key
+      | None -> ())
+  in
+  walk_matcher sd.Rp4.Ast.st_matcher;
+  let set_valid_targets = ref SS.empty in
+  let actions =
+    List.concat_map snd sd.Rp4.Ast.st_executor.Rp4.Ast.ex_cases
+    @ sd.Rp4.Ast.st_executor.Rp4.Ast.ex_default
+  in
+  List.iter
+    (fun name ->
+      match Rp4.Ast.find_action prog name with
+      | None -> ()
+      | Some a ->
+        let ctx = Printf.sprintf "action %s" name in
+        List.iter
+          (fun stmt ->
+            List.iter (record_read ~ctx) (Rp4.Ast.stmt_reads stmt);
+            List.iter (record_write ~ctx) (Rp4.Ast.stmt_writes stmt);
+            match stmt with
+            | Rp4.Ast.S_set_valid h ->
+              set_valid_targets := SS.add h !set_valid_targets;
+              writes := SS.add (valid_ref h) !writes
+            | Rp4.Ast.S_set_invalid h -> writes := SS.add (valid_ref h) !writes
+            | _ -> ())
+          a.Rp4.Ast.ad_body)
+    actions;
+  {
+    s_name = sd.Rp4.Ast.st_name;
+    s_parses = SS.union (SS.of_list sd.Rp4.Ast.st_parser) !set_valid_targets;
+    s_uses = List.rev !uses;
+    s_meta_reads = List.rev !meta_reads;
+    s_meta_writes = !meta_writes;
+    s_reads = !reads;
+    s_writes = !writes;
+    s_tables = SS.of_list (Rp4.Ast.matcher_tables sd.Rp4.Ast.st_matcher);
+    s_guard = guard_of sd;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Guard mutual exclusion (re-derived, same theory as the compiler)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Equality atoms (field = constant) of a conjunction. *)
+let rec eq_atoms = function
+  | Rp4.Ast.C_rel (Rp4.Ast.Eq, Rp4.Ast.E_field fr, Rp4.Ast.E_const (v, _))
+  | Rp4.Ast.C_rel (Rp4.Ast.Eq, Rp4.Ast.E_const (v, _), Rp4.Ast.E_field fr) ->
+    [ (Rp4.Ast.field_ref_to_string fr, v) ]
+  | Rp4.Ast.C_and (a, b) -> eq_atoms a @ eq_atoms b
+  | _ -> []
+
+let rec validity_atoms = function
+  | Rp4.Ast.C_valid h -> [ h ]
+  | Rp4.Ast.C_and (a, b) -> validity_atoms a @ validity_atoms b
+  | _ -> []
+
+(* Two headers reached through different tags of one implicit parser are
+   alternatives: no packet carries both. *)
+let parse_alternatives env h1 h2 =
+  h1 <> h2
+  && List.exists
+       (fun (hd : Rp4.Ast.header_decl) ->
+         match hd.Rp4.Ast.hd_parser with
+         | Some ip ->
+           let targets = List.map snd ip.Rp4.Ast.ip_cases in
+           List.mem h1 targets && List.mem h2 targets
+         | None -> false)
+       env.Rp4.Semantic.prog.Rp4.Ast.headers
+
+let guards_exclusive env g1 g2 =
+  let atoms1 = eq_atoms g1 and atoms2 = eq_atoms g2 in
+  List.exists
+    (fun (f1, v1) ->
+      List.exists (fun (f2, v2) -> f1 = f2 && not (Int64.equal v1 v2)) atoms2)
+    atoms1
+  || List.exists
+       (fun h1 ->
+         List.exists (fun h2 -> parse_alternatives env h1 h2) (validity_atoms g2))
+       (validity_atoms g1)
+
+let exclusive env a b = guards_exclusive env a.s_guard b.s_guard

@@ -1,0 +1,190 @@
+(* Pass 3: update-safety.
+
+   An in-situ patch is an ordered op list the device applies while traffic
+   waits in the CM buffer; a patch that transits a state where a live
+   template references a freed or not-yet-allocated table would forward
+   garbage on the very first buffered packet. This pass replays the patch
+   op-by-op against the pre-update design state and checks:
+
+   - no Free_table while some TSP template still references the table,
+   - no Write_template/Connect_table naming a table not yet allocated,
+   - the final state leaves every referenced table allocated and wired to
+     its hosting TSP, and no allocated table unreferenced (leaked blocks),
+   - stages orphaned by del_link (reachable before, unreachable after,
+     still present in the program) are reported with their tables. *)
+
+module SS = Summary.SS
+
+let pass = "update-safety"
+
+type state = {
+  mutable alloc : SS.t; (* tables with live pool allocations *)
+  templates : (int, SS.t) Hashtbl.t; (* TSP -> tables its template applies *)
+  mutable conns : (int * string) list; (* crossbar wiring *)
+}
+
+(* Tables a design's template on [tsp] references, from the group's
+   stages. *)
+let template_tables (design : Rp4bc.Design.t) (g : Rp4bc.Group.t) =
+  List.fold_left
+    (fun acc sname ->
+      match Rp4.Ast.find_stage design.Rp4bc.Design.prog sname with
+      | Some sd -> SS.union acc (SS.of_list (Rp4.Ast.matcher_tables sd.Rp4.Ast.st_matcher))
+      | None -> acc)
+    SS.empty g.Rp4bc.Group.g_stages
+
+let state_of_design (design : Rp4bc.Design.t) : state =
+  let templates = Hashtbl.create 16 in
+  List.iter
+    (fun (tsp, g) -> Hashtbl.replace templates tsp (template_tables design g))
+    (Rp4bc.Layout.assignment design.Rp4bc.Design.layout);
+  {
+    alloc = SS.of_list (List.map fst design.Rp4bc.Design.table_cluster);
+    templates;
+    conns = List.map (fun (t, tsp) -> (tsp, t)) design.Rp4bc.Design.table_host;
+  }
+
+let empty_state () = { alloc = SS.empty; templates = Hashtbl.create 16; conns = [] }
+
+let referencing_tsps st table =
+  Hashtbl.fold (fun tsp refs acc -> if SS.mem table refs then tsp :: acc else acc)
+    st.templates []
+
+let compiled_template_tables (t : Ipsa.Template.t) =
+  List.fold_left
+    (fun acc (cs : Ipsa.Template.compiled_stage) ->
+      List.fold_left
+        (fun acc (ct : Ipsa.Template.compiled_table) ->
+          SS.add ct.Ipsa.Template.ct_name acc)
+        acc cs.Ipsa.Template.cs_tables)
+    SS.empty t.Ipsa.Template.stages
+
+let simulate st (ops : Ipsa.Config.op list) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let step i op =
+    let at fmt = Printf.sprintf ("op %d: " ^^ fmt) i in
+    match op with
+    | Ipsa.Config.Alloc_table (ct, _) ->
+      let name = ct.Ipsa.Template.ct_name in
+      if SS.mem name st.alloc then
+        add
+          (Diag.error ~code:"RP4E024" ~pass ~subject:name
+             (at "alloc_table %s, but it already holds an allocation" name));
+      st.alloc <- SS.add name st.alloc
+    | Ipsa.Config.Free_table name ->
+      (match referencing_tsps st name with
+      | tsp :: _ ->
+        add
+          (Diag.error ~code:"RP4E020" ~pass ~subject:name
+             (at "free_table %s while TSP %d's live template still applies it" name tsp))
+      | [] -> ());
+      if not (SS.mem name st.alloc) then
+        add
+          (Diag.error ~code:"RP4E024" ~pass ~subject:name
+             (at "free_table %s, but it holds no allocation" name));
+      st.alloc <- SS.remove name st.alloc;
+      st.conns <- List.filter (fun (_, t) -> t <> name) st.conns
+    | Ipsa.Config.Write_template (tsp, tmpl) -> (
+      match tmpl with
+      | None -> Hashtbl.remove st.templates tsp
+      | Some t ->
+        let refs = compiled_template_tables t in
+        SS.iter
+          (fun name ->
+            if not (SS.mem name st.alloc) then
+              add
+                (Diag.error ~code:"RP4E020" ~pass ~subject:name
+                   (at "template for TSP %d applies table %s before it is allocated"
+                      tsp name)))
+          refs;
+        Hashtbl.replace st.templates tsp refs)
+    | Ipsa.Config.Connect_table (tsp, name) ->
+      if not (SS.mem name st.alloc) then
+        add
+          (Diag.error ~code:"RP4E020" ~pass ~subject:name
+             (at "connect of table %s to TSP %d before it is allocated" name tsp));
+      if not (List.mem (tsp, name) st.conns) then st.conns <- (tsp, name) :: st.conns
+    | Ipsa.Config.Disconnect_table (tsp, name) ->
+      st.conns <- List.filter (fun c -> c <> (tsp, name)) st.conns
+    | Ipsa.Config.Declare_meta _ | Ipsa.Config.Set_role _ | Ipsa.Config.Add_header _
+    | Ipsa.Config.Link_header _ | Ipsa.Config.Unlink_header _
+    | Ipsa.Config.Set_first_header _ -> ()
+  in
+  List.iteri step ops;
+  List.rev !diags
+
+let final_checks st : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Hashtbl.iter
+    (fun tsp refs ->
+      SS.iter
+        (fun name ->
+          if not (SS.mem name st.alloc) then
+            add
+              (Diag.error ~code:"RP4E021" ~pass ~subject:name
+                 (Printf.sprintf
+                    "after the patch, TSP %d's template applies table %s, which holds \
+                     no allocation"
+                    tsp name))
+          else if not (List.mem (tsp, name) st.conns) then
+            add
+              (Diag.error ~code:"RP4E023" ~pass ~subject:name
+                 (Printf.sprintf
+                    "after the patch, TSP %d's template applies table %s without a \
+                     crossbar connection"
+                    tsp name)))
+        refs)
+    st.templates;
+  let referenced =
+    Hashtbl.fold (fun _ refs acc -> SS.union refs acc) st.templates SS.empty
+  in
+  SS.iter
+    (fun name ->
+      if not (SS.mem name referenced) then
+        add
+          (Diag.error ~code:"RP4E022" ~pass ~subject:name
+             (Printf.sprintf
+                "table %s keeps a memory-pool allocation but no TSP template applies \
+                 it: leaked blocks"
+                name)))
+    st.alloc;
+  List.rev !diags
+
+(* Stages live before the update, unreachable after it, yet still present
+   in the program: del_link orphans. Their tables leave the layout and get
+   recycled — almost always an unintended side effect of a splice. *)
+let orphan_checks ~(old : Rp4bc.Design.t) ~(design : Rp4bc.Design.t) : Diag.t list =
+  let reach d =
+    SS.of_list
+      (Rp4bc.Graph.reachable d.Rp4bc.Design.igraph
+      @ Rp4bc.Graph.reachable d.Rp4bc.Design.egraph)
+  in
+  let before = reach old and after = reach design in
+  List.filter_map
+    (fun name ->
+      if SS.mem name after then None
+      else
+        match Rp4.Ast.find_stage design.Rp4bc.Design.prog name with
+        | None -> None (* deleted on purpose with its function *)
+        | Some sd ->
+          let tables = Rp4.Ast.matcher_tables sd.Rp4.Ast.st_matcher in
+          Some
+            (Diag.warning ~code:"RP4W103" ~pass ~stage:name
+               (Printf.sprintf
+                  "stage %s was orphaned by link removal%s" name
+                  (match tables with
+                  | [] -> ""
+                  | ts ->
+                    Printf.sprintf "; its tables {%s} are freed back to the pool"
+                      (String.concat ", " ts)))))
+    (SS.elements before)
+
+let audit ~(old : Rp4bc.Design.t option) ~(design : Rp4bc.Design.t)
+    ~(patch : Ipsa.Config.t) : Diag.t list =
+  let st = match old with Some d -> state_of_design d | None -> empty_state () in
+  let transit = simulate st patch.Ipsa.Config.ops in
+  let final = final_checks st in
+  let orphans = match old with Some o -> orphan_checks ~old:o ~design | None -> [] in
+  transit @ final @ orphans

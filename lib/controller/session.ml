@@ -23,20 +23,28 @@ type t = {
   mutable pending_load : (string * Rp4.Ast.program) option; (* func, snippet *)
   mutable pending_cmds : Rp4bc.Compile.cmd list;
   mutable last_timing : timing option;
+  mutable last_warnings : string list; (* rp4lint warnings of the last compile *)
 }
 
 let now_ns () = 1e9 *. Unix.gettimeofday ()
+
+(* Every compile a session runs goes through the rp4lint verifier: a
+   design or patch with errors never reaches the device; warnings are
+   kept for the operator. *)
+let verify = Analysis.Check.verifier
 
 (* Boot: compile the base design with rp4bc's full flow and load it. *)
 let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
     ?(resolve_file = fun f -> invalid_arg ("no such file " ^ f)) ~source device :
     (t, string list) result =
-  
+
   let prog =
     try Rp4.Parser.parse_string source
     with Rp4.Parser.Error e | Rp4.Lexer.Error e -> raise (Failure e)
   in
-  match Rp4bc.Compile.compile_full ~opts ~pool:(Ipsa.Device.pool device) prog with
+  match
+    Rp4bc.Compile.compile_full ~opts ~verify ~pool:(Ipsa.Device.pool device) prog
+  with
   | Error errs -> Error errs
   | Ok compiled -> (
     match Ipsa.Device.apply_patch device compiled.Rp4bc.Compile.patch with
@@ -51,12 +59,14 @@ let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
           pending_load = None;
           pending_cmds = [];
           last_timing = None;
+          last_warnings = compiled.Rp4bc.Compile.warnings;
         })
 
 let apis t = Runtime.of_design t.design
 let design t = t.design
 let device t = t.device
 let last_timing t = t.last_timing
+let last_warnings t = t.last_warnings
 
 (* --- pre-compiled updates -------------------------------------------- *)
 
@@ -74,14 +84,14 @@ type prepared = {
 let compile_pending t : (Rp4bc.Compile.result_t, string list) result =
   match t.pending_load with
   | Some (func_name, snippet) ->
-    Rp4bc.Compile.insert_function t.design ~snippet ~func_name ~cmds:t.pending_cmds
-      ~algo:t.algo ~pool:(Ipsa.Device.pool t.device)
+    Rp4bc.Compile.insert_function ~verify t.design ~snippet ~func_name
+      ~cmds:t.pending_cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device)
   | None -> (
     (* Pure link edits without a new function. *)
     match t.pending_cmds with
     | [] -> Error [ "commit: nothing pending" ]
     | cmds ->
-      Rp4bc.Compile.insert_function t.design ~snippet:Rp4.Ast.empty_program
+      Rp4bc.Compile.insert_function ~verify t.design ~snippet:Rp4.Ast.empty_program
         ~func_name:"__links__" ~cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device))
 
 let prepare t : (prepared, string list) result =
@@ -102,6 +112,7 @@ let apply_prepared t (p : prepared) : (timing, string list) result =
     | Error e -> Error [ e ]
     | Ok report ->
       t.design <- p.pre_result.Rp4bc.Compile.design;
+      t.last_warnings <- p.pre_result.Rp4bc.Compile.warnings;
       let timing =
         {
           compile_ns = p.pre_compile_ns;
@@ -129,6 +140,7 @@ let commit t : (timing, string list) result =
       t.design <- result.Rp4bc.Compile.design;
       t.pending_load <- None;
       t.pending_cmds <- [];
+      t.last_warnings <- result.Rp4bc.Compile.warnings;
       let timing =
         {
           compile_ns;
@@ -143,7 +155,7 @@ let commit t : (timing, string list) result =
 let unload t ~func_name : (timing, string list) result =
   let start = now_ns () in
   match
-    Rp4bc.Compile.delete_function t.design ~func_name ~algo:t.algo
+    Rp4bc.Compile.delete_function ~verify t.design ~func_name ~algo:t.algo
       ~pool:(Ipsa.Device.pool t.device)
   with
   | Error errs -> Error errs
@@ -154,6 +166,7 @@ let unload t ~func_name : (timing, string list) result =
     | Error e -> Error [ e ]
     | Ok report ->
       t.design <- result.Rp4bc.Compile.design;
+      t.last_warnings <- result.Rp4bc.Compile.warnings;
       let timing =
         { compile_ns; load_ns = now_ns () -. load_start;
           compile_stats = result.Rp4bc.Compile.stats; load_report = report }

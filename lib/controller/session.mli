@@ -37,6 +37,11 @@ val design : t -> Rp4bc.Design.t
 val device : t -> Ipsa.Device.t
 val last_timing : t -> timing option
 
+val last_warnings : t -> string list
+(** rp4lint warnings from the most recent successful compile (boot,
+    commit, prepare/apply or unload). Errors never get this far: a
+    design or patch with verifier errors is rejected before loading. *)
+
 (** {1 Transactions} *)
 
 val commit : t -> (timing, string list) result

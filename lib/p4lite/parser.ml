@@ -226,7 +226,8 @@ let struct_decl st =
         let f = ident st in
         expect st L.SEMI;
         fields := { Ast.f_name = f; f_width = w } :: !fields
-      | None -> assert false)
+      | None ->
+        error "line %d: in struct %s: expected bit<N> field type" (line st) name)
     | L.IDENT tname -> (
       advance st;
       match List.assoc_opt tname st.typedefs with

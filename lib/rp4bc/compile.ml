@@ -32,7 +32,36 @@ type result_t = {
   design : Design.t;
   patch : Ipsa.Config.t;
   stats : stats;
+  warnings : string list; (* verifier findings that do not abort *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Verify hook                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The static verifier (lib/analysis) runs over every compile result
+   before it is released: errors abort the compile, warnings ride along.
+   The hook is injected by the caller rather than called directly so that
+   rp4bc does not depend on the analysis library built on top of it. *)
+
+type verify_input = {
+  vi_old : Design.t option; (* None for full compiles *)
+  vi_design : Design.t;
+  vi_patch : Ipsa.Config.t;
+}
+
+type verdict = { v_errors : string list; v_warnings : string list }
+type verifier = verify_input -> verdict
+
+let run_verify ?verify ~old (result : result_t) : (result_t, string list) result =
+  match verify with
+  | None -> Ok result
+  | Some v ->
+    let verdict =
+      v { vi_old = old; vi_design = result.design; vi_patch = result.patch }
+    in
+    if verdict.v_errors <> [] then Error verdict.v_errors
+    else Ok { result with warnings = result.warnings @ verdict.v_warnings }
 
 (* ------------------------------------------------------------------ *)
 (* AST -> runtime structures                                           *)
@@ -143,7 +172,7 @@ let groups_of_graph env limits graph =
 (* Full compile                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let compile_full ?(opts = default_options) ~pool (prog : Rp4.Ast.program) :
+let compile_full ?(opts = default_options) ?verify ~pool (prog : Rp4.Ast.program) :
     (result_t, string list) result =
   match Rp4.Semantic.build prog with
   | Error errs -> Error errs
@@ -226,7 +255,7 @@ let compile_full ?(opts = default_options) ~pool (prog : Rp4.Ast.program) :
           }
         in
         let nstages = List.length (Rp4.Ast.all_stages prog) in
-        Ok
+        run_verify ?verify ~old:None
           {
             design;
             patch;
@@ -244,6 +273,7 @@ let compile_full ?(opts = default_options) ~pool (prog : Rp4.Ast.program) :
                   + (6 * List.length (Layout.assignment layout));
                 config_bytes = Ipsa.Config.byte_size patch;
               };
+            warnings = [];
           }))
 
 (* ------------------------------------------------------------------ *)
@@ -321,7 +351,7 @@ let apply_link_cmd errors (prog : Rp4.Ast.program) igraph egraph = function
   | Link_hdr _ | Unlink_hdr _ -> ()
 
 (* Diff-based patch emission shared by insert and delete. *)
-let emit_update ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool :
+let emit_update ?verify ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool () :
     (result_t, string list) result =
   let ingress_groups = groups_of_graph env' design.Design.limits igraph in
   let egress_groups = groups_of_graph env' design.Design.limits egraph in
@@ -389,14 +419,11 @@ let emit_update ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool :
             emit (Ipsa.Config.Unlink_header { pre; next })
           end)
         old_links;
-      (* table changes *)
-      List.iter
-        (fun tname ->
-          (match List.assoc_opt tname design.Design.table_host with
-          | Some tsp -> emit (Ipsa.Config.Disconnect_table (tsp, tname))
-          | None -> ());
-          emit (Ipsa.Config.Free_table tname))
-        dead_tables;
+      (* table changes, make-before-break: new tables are allocated before
+         the template rewrites that start referencing them, and the dead
+         tables are disconnected and freed only after the rewrites that
+         stop — no transitional state has a live template referencing an
+         unallocated table *)
       List.iter
         (fun (d : Alloc.decision) ->
           let td = Option.get (Rp4.Ast.find_table prog' d.Alloc.dc_table) in
@@ -425,6 +452,13 @@ let emit_update ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool :
             emit (Ipsa.Config.Connect_table (tsp, tname))
           end)
         hosts';
+      List.iter
+        (fun tname ->
+          (match List.assoc_opt tname design.Design.table_host with
+          | Some tsp -> emit (Ipsa.Config.Disconnect_table (tsp, tname))
+          | None -> ());
+          emit (Ipsa.Config.Free_table tname))
+        dead_tables;
       let patch = { Ipsa.Config.ops = List.rev !ops } in
       let table_cluster' =
         List.filter (fun (t, _) -> not (List.mem t dead_tables)) design.Design.table_cluster
@@ -450,7 +484,7 @@ let emit_update ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool :
             | None -> acc)
           0 changed
       in
-      Ok
+      run_verify ?verify ~old:(Some design)
         {
           design = design';
           patch;
@@ -468,12 +502,13 @@ let emit_update ~(design : Design.t) ~env' ~igraph ~egraph ~algo ~pool :
                 + align.Layout.work / 4;
               config_bytes = Ipsa.Config.byte_size patch;
             };
+          warnings = [];
         })
 
 (* Insert an rP4 function: the [load <file> --func_name <f>] +
    add_link/del_link/link_header script of Fig. 5(b,c). *)
-let insert_function (design : Design.t) ~(snippet : Rp4.Ast.program) ~func_name
-    ~(cmds : cmd list) ~algo ~pool : (result_t, string list) result =
+let insert_function ?verify (design : Design.t) ~(snippet : Rp4.Ast.program)
+    ~func_name ~(cmds : cmd list) ~algo ~pool : (result_t, string list) result =
   match Rp4.Semantic.build ~base:design.Design.prog snippet with
   | Error errs -> Error errs
   | Ok env0 -> (
@@ -502,7 +537,7 @@ let insert_function (design : Design.t) ~(snippet : Rp4.Ast.program) ~func_name
       (* re-check the edited program *)
       match Rp4.Semantic.build prog1 with
       | Error errs -> Error errs
-      | Ok env' -> emit_update ~design ~env' ~igraph ~egraph ~algo ~pool))
+      | Ok env' -> emit_update ?verify ~design ~env' ~igraph ~egraph ~algo ~pool ()))
 
 (* Remove declarations that are no longer referenced after a deletion. *)
 let prune_program (prog : Rp4.Ast.program) ~(dead_stages : string list) =
@@ -534,7 +569,7 @@ let prune_program (prog : Rp4.Ast.program) ~(dead_stages : string list) =
 
 (* Delete a function: splice its stages out of the graphs, recycle its
    tables and prune the program. *)
-let delete_function (design : Design.t) ~func_name ~algo ~pool :
+let delete_function ?verify (design : Design.t) ~func_name ~algo ~pool :
     (result_t, string list) result =
   match Rp4.Ast.find_func design.Design.prog func_name with
   | None -> Error [ Printf.sprintf "delete: unknown function %s" func_name ]
@@ -564,4 +599,4 @@ let delete_function (design : Design.t) ~func_name ~algo ~pool :
     in
     (match Rp4.Semantic.build prog' with
     | Error errs -> Error errs
-    | Ok env' -> emit_update ~design ~env' ~igraph ~egraph ~algo ~pool)
+    | Ok env' -> emit_update ?verify ~design ~env' ~igraph ~egraph ~algo ~pool ())
