@@ -87,15 +87,34 @@ let bench_packet_path =
          let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
          ignore (Ipsa.Device.inject device pkt)))
 
-let run_micro () =
-  print_endline "\n=== Bechamel micro-benchmarks (software code paths) ===";
-  let tests =
-    [ bench_parse; bench_base_compile; bench_packet_path ]
-    @ List.map bench_full_p4_flow Harness.Paper.cases
-    @ List.map bench_incremental_flow Harness.Paper.cases
+(* The telemetry disabled-cost contract: [boot_base ()] runs with the
+   no-op sink (every instrument update is one dead branch), so
+   packet-forward vs packet-forward+telemetry bounds what a live registry
+   costs, and packet-forward itself must stay within noise of the
+   pre-telemetry seed. *)
+let bench_packet_path_telemetry =
+  let session_device =
+    lazy (Harness.Cases.boot_base ~telemetry:(Telemetry.create ()) ())
   in
+  Test.make ~name:"ipbm/packet-forward+telemetry"
+    (Staged.stage (fun () ->
+         let _, device = Lazy.force session_device in
+         let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+         ignore (Ipsa.Device.inject device pkt)))
+
+let packet_path_tests = [ bench_packet_path; bench_packet_path_telemetry ]
+
+let default_micro_tests () =
+  [ bench_parse; bench_base_compile ]
+  @ packet_path_tests
+  @ List.map bench_full_p4_flow Harness.Paper.cases
+  @ List.map bench_incremental_flow Harness.Paper.cases
+
+let run_micro ?(limit = 200) ?(quota = 0.5) ?tests () =
+  print_endline "\n=== Bechamel micro-benchmarks (software code paths) ===";
+  let tests = match tests with Some ts -> ts | None -> default_micro_tests () in
   let instances = [ Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let rows =
     List.concat_map
@@ -131,7 +150,10 @@ let all_experiments =
     ("ablation-layout", Harness.Experiments.ablation_layout);
     ("ablation-throughput", Harness.Experiments.ablation_throughput);
     ("ablation-crossbar", Harness.Experiments.ablation_crossbar);
-    ("micro", run_micro);
+    ("micro", fun () -> run_micro ());
+    (* CI smoke: just the packet-path pair with a tiny iteration budget. *)
+    ( "micro-smoke",
+      fun () -> run_micro ~limit:25 ~quota:0.05 ~tests:packet_path_tests () );
   ]
 
 let () =

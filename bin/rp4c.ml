@@ -301,7 +301,176 @@ let check_cmd =
           in-situ update safety")
     Term.(ret (const run $ file $ script $ ntsps $ json $ usecases))
 
+(* --- stats ------------------------------------------------------------- *)
+
+(* Boot a design on a telemetry-enabled device, push synthetic traffic
+   through it and render the metrics registry. Without FILE the bundled
+   base_l23 design and its population script are used, with traffic
+   cycling the canonical flows so every table family records hits. *)
+
+let bundled_resolve name =
+  match Filename.basename name with
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | "srv6.rp4" -> Usecases.Srv6.source
+  | "probe.rp4" -> Usecases.Flowprobe.source
+  | other -> invalid_arg ("unknown usecase snippet " ^ other)
+
+let bundled_packet i =
+  match i mod 4 with
+  | 0 -> Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow
+  | 1 -> Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.host_route_v4_flow
+  | 2 -> Net.Flowgen.ipv6_udp ~in_port:1 Usecases.Base_l23.routed_v6_flow
+  | _ -> Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow
+
+let render_metrics tel =
+  let module T = Prelude.Texttab in
+  let int_rows kvs = List.map (fun (k, v) -> [ k; string_of_int v ]) kvs in
+  print_endline "== counters ==";
+  T.print ~aligns:[| T.Left; T.Right |] ~header:[ "counter"; "value" ]
+    (int_rows (Telemetry.counters tel));
+  print_endline "\n== gauges ==";
+  T.print ~aligns:[| T.Left; T.Right |] ~header:[ "gauge"; "value" ]
+    (int_rows (Telemetry.gauges tel));
+  match Telemetry.histograms tel with
+  | [] -> ()
+  | hs ->
+    print_endline "\n== histograms ==";
+    T.print
+      ~aligns:[| T.Left; T.Right; T.Right; T.Left |]
+      ~header:[ "histogram"; "count"; "sum"; "buckets (le:n, non-empty)" ]
+      (List.map
+         (fun (k, h) ->
+           let buckets =
+             Telemetry.Histogram.buckets h
+             |> List.filter (fun (_, n) -> n > 0)
+             |> List.map (fun (le, n) ->
+                    Printf.sprintf "%s:%d"
+                      (match le with Some b -> string_of_int b | None -> "+Inf")
+                      n)
+             |> String.concat " "
+           in
+           [
+             k;
+             string_of_int (Telemetry.Histogram.count h);
+             string_of_int (Telemetry.Histogram.sum h);
+             buckets;
+           ])
+         hs)
+
+let render_trace trace =
+  let module T = Prelude.Texttab in
+  print_endline "\n== packet trace ==";
+  T.print
+    ~aligns:[| T.Right; T.Left; T.Left; T.Left; T.Left; T.Right; T.Right |]
+    ~header:Telemetry.Trace.header
+    (List.map Telemetry.Trace.span_to_row (Telemetry.Trace.spans trace))
+
+let stats_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.rp4") in
+  let populate =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "populate" ] ~docv:"SCRIPT"
+          ~doc:
+            "Controller script (table_add / load / commit commands) run after \
+             boot, before traffic. Defaults to the bundled population when no \
+             $(b,FILE.rp4) is given.")
+  in
+  let packets =
+    Arg.(value & opt int 64 & info [ "packets" ] ~doc:"synthetic packets to inject")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"flow generator seed (with FILE.rp4)")
+  in
+  let ntsps =
+    Arg.(value & opt int 8 & info [ "ntsps" ] ~doc:"number of physical TSPs")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the metrics snapshot as JSON")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"inject one extra packet with a stage tracer and dump its per-TSP trace")
+  in
+  let run file populate packets seed ntsps json trace =
+    try
+      let tel = Telemetry.create () in
+      let device = Ipsa.Device.create ~telemetry:tel ~ntsps () in
+      let source, population, resolve_file, packet_of =
+        match file with
+        | None ->
+          ( Usecases.Base_l23.source,
+            Some Usecases.Base_l23.population,
+            bundled_resolve,
+            bundled_packet )
+        | Some f ->
+          let resolve_file name =
+            let dir =
+              match populate with Some s -> Filename.dirname s | None -> Filename.dirname f
+            in
+            read_file (if Filename.is_relative name then Filename.concat dir name else name)
+          in
+          let stream = Net.Flowgen.mixed_stream ~seed ~n:(max packets 1) ~nflows:8 () in
+          let arr = Array.of_list stream in
+          (read_file f, Option.map read_file populate, resolve_file,
+           fun i -> arr.(i mod Array.length arr))
+      in
+      match Controller.Session.boot ~resolve_file ~source device with
+      | Error errs -> `Error (false, String.concat "\n" errs)
+      | Ok session -> (
+        let populated =
+          match population with
+          | None -> Ok ()
+          | Some script -> (
+            match Controller.Session.run_script session script with
+            | Ok _ -> Ok ()
+            | Error e -> Error e)
+        in
+        match populated with
+        | Error e -> `Error (false, e)
+        | Ok () ->
+          for i = 0 to packets - 1 do
+            ignore (Ipsa.Device.inject device (packet_of i))
+          done;
+          let traced =
+            if trace then Some (snd (Ipsa.Device.inject_traced device (packet_of 0)))
+            else None
+          in
+          Ipsa.Device.refresh_telemetry device;
+          let tel = Controller.Session.metrics session in
+          if json then begin
+            let metrics = Telemetry.to_json tel in
+            let out =
+              match (metrics, traced) with
+              | Prelude.Json.Obj fields, Some tr ->
+                Prelude.Json.Obj (fields @ [ ("trace", Telemetry.Trace.to_json tr) ])
+              | _, _ -> metrics
+            in
+            print_endline (Prelude.Json.to_string_pretty out)
+          end
+          else begin
+            render_metrics tel;
+            Option.iter render_trace traced
+          end;
+          `Ok ())
+    with
+    | Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
+    | Invalid_argument e | Sys_error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "run synthetic traffic through a telemetry-enabled device and report \
+          the metrics registry (counters, gauges, histograms, optional \
+          per-packet stage trace)")
+    Term.(ret (const run $ file $ populate $ packets $ seed $ ntsps $ json $ trace))
+
 let () =
   let doc = "rP4 compiler tool-chain (front end, back end, incremental patches)" in
   exit
-    (Cmd.eval (Cmd.group (Cmd.info "rp4c" ~doc) [ fc_cmd; bc_cmd; patch_cmd; check_cmd ]))
+    (Cmd.eval
+       (Cmd.group (Cmd.info "rp4c" ~doc)
+          [ fc_cmd; bc_cmd; patch_cmd; check_cmd; stats_cmd ]))

@@ -15,6 +15,17 @@ type timing = {
   load_report : Ipsa.Device.load_report;
 }
 
+(* Session-level telemetry: control-plane activity, registered against the
+   device's metrics registry so [rp4c stats] reports data and control plane
+   side by side. *)
+type instruments = {
+  s_compiles : Telemetry.Counter.t; (* rp4bc runs (boot, commit, prepare, unload) *)
+  s_patches : Telemetry.Counter.t; (* patches successfully applied *)
+  s_warnings : Telemetry.Counter.t; (* rp4lint warnings across compiles *)
+  s_ops_make : Telemetry.Counter.t; (* make-before-break split of patch ops *)
+  s_ops_break : Telemetry.Counter.t;
+}
+
 type t = {
   mutable design : Rp4bc.Design.t;
   device : Ipsa.Device.t;
@@ -24,6 +35,7 @@ type t = {
   mutable pending_cmds : Rp4bc.Compile.cmd list;
   mutable last_timing : timing option;
   mutable last_warnings : string list; (* rp4lint warnings of the last compile *)
+  instr : instruments;
 }
 
 let now_ns () = 1e9 *. Unix.gettimeofday ()
@@ -32,6 +44,25 @@ let now_ns () = 1e9 *. Unix.gettimeofday ()
    design or patch with errors never reaches the device; warnings are
    kept for the operator. *)
 let verify = Analysis.Check.verifier
+
+let make_instruments tel =
+  {
+    s_compiles = Telemetry.counter tel "session.compiles";
+    s_patches = Telemetry.counter tel "session.patches_applied";
+    s_warnings = Telemetry.counter tel "session.warnings";
+    s_ops_make = Telemetry.counter tel "session.ops_make";
+    s_ops_break = Telemetry.counter tel "session.ops_break";
+  }
+
+let note_compile instr warnings =
+  Telemetry.Counter.incr instr.s_compiles;
+  Telemetry.Counter.add instr.s_warnings (List.length warnings)
+
+let note_patch instr patch =
+  Telemetry.Counter.incr instr.s_patches;
+  let mk, bk = Ipsa.Config.make_break_counts patch in
+  Telemetry.Counter.add instr.s_ops_make mk;
+  Telemetry.Counter.add instr.s_ops_break bk
 
 (* Boot: compile the base design with rp4bc's full flow and load it. *)
 let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
@@ -42,14 +73,17 @@ let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
     try Rp4.Parser.parse_string source
     with Rp4.Parser.Error e | Rp4.Lexer.Error e -> raise (Failure e)
   in
+  let instr = make_instruments (Ipsa.Device.telemetry device) in
   match
     Rp4bc.Compile.compile_full ~opts ~verify ~pool:(Ipsa.Device.pool device) prog
   with
   | Error errs -> Error errs
   | Ok compiled -> (
+    note_compile instr compiled.Rp4bc.Compile.warnings;
     match Ipsa.Device.apply_patch device compiled.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
     | Ok _report ->
+      note_patch instr compiled.Rp4bc.Compile.patch;
       Ok
         {
           design = compiled.Rp4bc.Compile.design;
@@ -60,6 +94,7 @@ let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
           pending_cmds = [];
           last_timing = None;
           last_warnings = compiled.Rp4bc.Compile.warnings;
+          instr;
         })
 
 let apis t = Runtime.of_design t.design
@@ -67,6 +102,7 @@ let design t = t.design
 let device t = t.device
 let last_timing t = t.last_timing
 let last_warnings t = t.last_warnings
+let metrics t = Ipsa.Device.telemetry t.device
 
 (* --- pre-compiled updates -------------------------------------------- *)
 
@@ -99,6 +135,7 @@ let prepare t : (prepared, string list) result =
   match compile_pending t with
   | Error errs -> Error errs
   | Ok result ->
+    note_compile t.instr result.Rp4bc.Compile.warnings;
     t.pending_load <- None;
     t.pending_cmds <- [];
     Ok { pre_result = result; pre_compile_ns = now_ns () -. start; pre_base = t.design }
@@ -111,6 +148,7 @@ let apply_prepared t (p : prepared) : (timing, string list) result =
     match Ipsa.Device.apply_patch t.device p.pre_result.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
     | Ok report ->
+      note_patch t.instr p.pre_result.Rp4bc.Compile.patch;
       t.design <- p.pre_result.Rp4bc.Compile.design;
       t.last_warnings <- p.pre_result.Rp4bc.Compile.warnings;
       let timing =
@@ -132,11 +170,13 @@ let commit t : (timing, string list) result =
   match compiled with
   | Error errs -> Error errs
   | Ok result -> (
+    note_compile t.instr result.Rp4bc.Compile.warnings;
     let compile_ns = now_ns () -. start in
     let load_start = now_ns () in
     match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
     | Ok report ->
+      note_patch t.instr result.Rp4bc.Compile.patch;
       t.design <- result.Rp4bc.Compile.design;
       t.pending_load <- None;
       t.pending_cmds <- [];
@@ -160,11 +200,13 @@ let unload t ~func_name : (timing, string list) result =
   with
   | Error errs -> Error errs
   | Ok result -> (
+    note_compile t.instr result.Rp4bc.Compile.warnings;
     let compile_ns = now_ns () -. start in
     let load_start = now_ns () in
     match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
     | Ok report ->
+      note_patch t.instr result.Rp4bc.Compile.patch;
       t.design <- result.Rp4bc.Compile.design;
       t.last_warnings <- result.Rp4bc.Compile.warnings;
       let timing =

@@ -42,6 +42,14 @@ val last_warnings : t -> string list
     commit, prepare/apply or unload). Errors never get this far: a
     design or patch with verifier errors is rejected before loading. *)
 
+val metrics : t -> Telemetry.t
+(** The telemetry registry shared with the connected device. Data-plane
+    instruments ([tsp.*], [table.*], [tm.*], [device.*], [pool.*],
+    [crossbar.*]) live beside the session's control-plane counters
+    ([session.compiles], [session.patches_applied], [session.warnings],
+    [session.ops_make]/[session.ops_break]). A device created without a
+    live registry yields the shared no-op sink. *)
+
 (** {1 Transactions} *)
 
 val commit : t -> (timing, string list) result

@@ -163,3 +163,20 @@ let byte_size t = String.length (J.to_string (to_json t))
 let templates_written t =
   List.length
     (List.filter (function Write_template _ -> true | _ -> false) t.ops)
+
+(* Make-before-break classification (Sec. 3.3): rp4bc orders patches so
+   that state is built before the old state is torn down. A "break" op
+   removes something the running design may depend on; everything else is
+   "make". The split feeds the session.ops_make / session.ops_break
+   telemetry counters. *)
+let op_breaks = function
+  | Free_table _ | Disconnect_table _ | Unlink_header _ | Write_template (_, None) ->
+    true
+  | Declare_meta _ | Write_template (_, Some _) | Set_role _ | Alloc_table _
+  | Connect_table _ | Add_header _ | Link_header _ | Set_first_header _ ->
+    false
+
+let make_break_counts t =
+  List.fold_left
+    (fun (mk, bk) op -> if op_breaks op then (mk, bk + 1) else (mk + 1, bk))
+    (0, 0) t.ops

@@ -19,9 +19,12 @@ type t = {
   mutable cycles : int;
   mutable parse_attempts : int; (* distributed-parsing work counter *)
   mutable lookups : int;
+  (* Per-packet stage tracer; [None] on the steady-state path, so every
+     trace event site costs one branch. *)
+  mutable trace : Telemetry.Trace.t option;
 }
 
-let create pkt =
+let create ?trace pkt =
   let meta = Net.Meta.create () in
   Net.Meta.set_int meta "in_port" pkt.Net.Packet.in_port;
   {
@@ -32,6 +35,7 @@ let create pkt =
     cycles = 0;
     parse_attempts = 0;
     lookups = 0;
+    trace;
   }
 
 let add_cycles t n = t.cycles <- t.cycles + n

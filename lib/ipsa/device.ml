@@ -28,6 +28,20 @@ type stats = {
   mutable total_cycles : int; (* cumulative packet-processing cycles *)
 }
 
+(* Device-level telemetry instruments, resolved once at construction so
+   the packet path never performs a registry lookup. Dead instruments
+   (no-op sink) make every update a single branch. *)
+type instruments = {
+  i_injected : Telemetry.Counter.t;
+  i_forwarded : Telemetry.Counter.t;
+  i_dropped : Telemetry.Counter.t;
+  i_buffered : Telemetry.Counter.t;
+  i_updates : Telemetry.Counter.t;
+  i_stall_cycles : Telemetry.Counter.t;
+  i_cycles : Telemetry.Counter.t;
+  h_packet_cycles : Telemetry.Histogram.t;
+}
+
 type t = {
   registry : Net.Hdrdef.registry;
   meta_decl : (string, int) Hashtbl.t; (* program metadata fields *)
@@ -43,14 +57,18 @@ type t = {
   input_buffer : Net.Packet.t Queue.t;
   mutable updating : bool;
   stats : stats;
+  tel : Telemetry.t;
+  instr : instruments;
+  probes : Telemetry.stage_probe array;
 }
 
 let default_pool () =
   Mem.Pool.create ~nblocks:64 ~block_width:128 ~block_depth:1024 ~nclusters:4
 
 let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
-    ?(crossbar_kind = Mem.Crossbar.Full) ?pool () =
+    ?(crossbar_kind = Mem.Crossbar.Full) ?pool ?telemetry () =
   let pool = match pool with Some p -> p | None -> default_pool () in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.nop () in
   {
     registry = Net.Hdrdef.create_registry ();
     meta_decl = Hashtbl.create 16;
@@ -59,7 +77,7 @@ let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
     tables = Hashtbl.create 16;
     allocations = Hashtbl.create 16;
     pipeline = Pipeline.create ~ntsps;
-    tm = Tm.create ();
+    tm = Tm.create ~telemetry:tel ();
     cycles_cfg;
     nports;
     outputs = Array.init nports (fun _ -> Queue.create ());
@@ -75,6 +93,19 @@ let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
         stall_cycles = 0;
         total_cycles = 0;
       };
+    tel;
+    instr =
+      {
+        i_injected = Telemetry.counter tel "device.injected";
+        i_forwarded = Telemetry.counter tel "device.forwarded";
+        i_dropped = Telemetry.counter tel "device.dropped";
+        i_buffered = Telemetry.counter tel "device.buffered_during_update";
+        i_updates = Telemetry.counter tel "device.updates_applied";
+        i_stall_cycles = Telemetry.counter tel "device.stall_cycles";
+        i_cycles = Telemetry.counter tel "device.total_cycles";
+        h_packet_cycles = Telemetry.histogram tel "device.packet_cycles";
+      };
+    probes = Array.init ntsps (fun i -> Telemetry.stage_probe tel ~tsp:i);
   }
 
 let stats t = t.stats
@@ -82,6 +113,45 @@ let pipeline t = t.pipeline
 let registry t = t.registry
 let pool t = t.pool
 let crossbar t = t.crossbar
+let telemetry t = t.tel
+
+(* Mirror the pull-style state — pool occupancy, crossbar wiring, selector
+   split — into gauges. Called after every patch; callers presenting
+   metrics mid-run ([rp4c stats]) call it once more before rendering. *)
+let refresh_telemetry t =
+  if Telemetry.enabled t.tel then begin
+    let used, free = Mem.Pool.stats t.pool in
+    Telemetry.Gauge.set (Telemetry.gauge t.tel "pool.blocks_used") used;
+    Telemetry.Gauge.set (Telemetry.gauge t.tel "pool.blocks_free") free;
+    Telemetry.Gauge.set (Telemetry.gauge t.tel "pool.peak_used") (Mem.Pool.peak_used t.pool);
+    List.iter
+      (fun (c, cused, ctotal) ->
+        let labels = [ ("cluster", string_of_int c) ] in
+        Telemetry.Gauge.set (Telemetry.gauge ~labels t.tel "pool.cluster_used") cused;
+        Telemetry.Gauge.set (Telemetry.gauge ~labels t.tel "pool.cluster_total") ctotal)
+      (Mem.Pool.cluster_stats t.pool);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "crossbar.ports_in_use")
+      (Mem.Crossbar.ports_in_use t.crossbar);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "crossbar.reconfigs")
+      (Mem.Crossbar.reconfigs t.crossbar);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "crossbar.conflicts")
+      (Mem.Crossbar.conflicts t.crossbar);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "pipeline.tm_position")
+      (Pipeline.tm_position t.pipeline);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "pipeline.ingress_tsps")
+      (Pipeline.ingress_count t.pipeline);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "pipeline.egress_tsps")
+      (Pipeline.egress_count t.pipeline);
+    Telemetry.Gauge.set
+      (Telemetry.gauge t.tel "pipeline.active_tsps")
+      (Pipeline.active_count t.pipeline)
+  end
 
 let find_table t name = Hashtbl.find_opt t.tables name
 
@@ -104,21 +174,29 @@ let env t : Tsp.env =
       (fun ~tsp name ->
         if table_reachable t ~tsp name then Hashtbl.find_opt t.tables name else None);
     cycles_cfg = t.cycles_cfg;
+    tel = t.tel;
+    probes = t.probes;
   }
 
 (* ------------------------------------------------------------------ *)
 (* PM: packet processing                                               *)
 (* ------------------------------------------------------------------ *)
 
-let process_one t pkt =
-  let ctx = Context.create pkt in
+let process_one ?trace t pkt =
+  let ctx = Context.create ?trace pkt in
   Hashtbl.iter (fun n w -> Net.Meta.declare ctx.Context.meta n w) t.meta_decl;
   let env = env t in
+  let account ctx =
+    t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
+    Telemetry.Counter.add t.instr.i_cycles ctx.Context.cycles;
+    Telemetry.Histogram.observe t.instr.h_packet_cycles ctx.Context.cycles
+  in
   Pipeline.process_ingress env t.pipeline ctx;
   if Context.dropped ctx then begin
     Context.finalize ctx;
     t.stats.dropped <- t.stats.dropped + 1;
-    t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
+    Telemetry.Counter.incr t.instr.i_dropped;
+    account ctx;
     None
   end
   else begin
@@ -128,13 +206,15 @@ let process_one t pkt =
     | Some ctx ->
       Pipeline.process_egress env t.pipeline ctx;
       Context.finalize ctx;
-      t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
+      account ctx;
       if Context.dropped ctx then begin
         t.stats.dropped <- t.stats.dropped + 1;
+        Telemetry.Counter.incr t.instr.i_dropped;
         None
       end
       else begin
         t.stats.forwarded <- t.stats.forwarded + 1;
+        Telemetry.Counter.incr t.instr.i_forwarded;
         let port = Net.Meta.get_int ctx.Context.meta "out_port" mod t.nports in
         Queue.add ctx.Context.pkt t.outputs.(port);
         Some (port, ctx)
@@ -144,12 +224,24 @@ let process_one t pkt =
 (* CM: packet input. During an update, packets wait in the input buffer. *)
 let inject t pkt =
   t.stats.injected <- t.stats.injected + 1;
+  Telemetry.Counter.incr t.instr.i_injected;
   if t.updating then begin
     Queue.add pkt t.input_buffer;
     t.stats.buffered_during_update <- t.stats.buffered_during_update + 1;
+    Telemetry.Counter.incr t.instr.i_buffered;
     None
   end
   else process_one t pkt
+
+(* Like [inject], but attach a per-packet stage tracer and return it with
+   the outcome. Traced packets skip the update buffer: the caller wants
+   this packet's path through the *current* pipeline. *)
+let inject_traced t pkt =
+  t.stats.injected <- t.stats.injected + 1;
+  Telemetry.Counter.incr t.instr.i_injected;
+  let trace = Telemetry.Trace.create () in
+  let out = process_one ~trace t pkt in
+  (out, trace)
 
 (* CM: packet output. *)
 let collect t port =
@@ -292,6 +384,7 @@ let apply_patch t (patch : Config.t) : (load_report, string) result =
   in
   t.updating <- false;
   t.stats.updates_applied <- t.stats.updates_applied + 1;
+  Telemetry.Counter.incr t.instr.i_updates;
   (* Release buffered arrivals through the (new) pipeline. *)
   let rec flush () =
     match Queue.take_opt t.input_buffer with
@@ -309,6 +402,8 @@ let apply_patch t (patch : Config.t) : (load_report, string) result =
       Pipeline.depth t.pipeline + drained + (templates * 4 (* cycles per template write *))
     in
     t.stats.stall_cycles <- t.stats.stall_cycles + drain_cycles;
+    Telemetry.Counter.add t.instr.i_stall_cycles drain_cycles;
+    refresh_telemetry t;
     Ok
       {
         lr_bytes = Config.byte_size patch;

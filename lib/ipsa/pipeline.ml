@@ -69,11 +69,34 @@ let active_count t =
    from the physical path, reducing latency (Sec. 5, Discussion (3)). *)
 let depth t = active_count t
 
+let ingress_count t =
+  Array.fold_left (fun n r -> if r = Ingress then n + 1 else n) 0 t.roles
+
+let egress_count t =
+  Array.fold_left (fun n r -> if r = Egress then n + 1 else n) 0 t.roles
+
+(* Where the selector places the TM input: the index of the first egress
+   TSP, or [ntsps] when the whole chain serves ingress (TM after the last
+   TSP). 0 means every active TSP serves egress. *)
+let tm_position t =
+  let n = ntsps t in
+  let rec go i = if i >= n then n else if t.roles.(i) = Egress then i else go (i + 1) in
+  go 0
+
+(* TSPs that would actually process a packet: non-bypassed with a loaded
+   template. This is the length of a per-packet stage trace. *)
+let powered_count t =
+  Array.fold_left (fun n s -> if s.Tsp.powered then n + 1 else n) 0 t.slots
+
 let process_ingress env t ctx =
-  List.iter (fun slot -> if not (Context.dropped ctx) then Tsp.process env slot ctx) (ingress_slots t)
+  List.iter
+    (fun slot -> if not (Context.dropped ctx) then Tsp.process ~role:"ingress" env slot ctx)
+    (ingress_slots t)
 
 let process_egress env t ctx =
-  List.iter (fun slot -> if not (Context.dropped ctx) then Tsp.process env slot ctx) (egress_slots t)
+  List.iter
+    (fun slot -> if not (Context.dropped ctx) then Tsp.process ~role:"egress" env slot ctx)
+    (egress_slots t)
 
 let describe t =
   String.concat " "

@@ -12,32 +12,56 @@ type 'a t = {
   mutable enqueued : int;
   mutable dropped : int; (* overflow drops *)
   mutable high_watermark : int;
+  (* telemetry instruments (dead under a no-op sink) *)
+  c_enqueued : Telemetry.Counter.t;
+  c_dropped : Telemetry.Counter.t;
+  g_occupancy : Telemetry.Gauge.t;
+  g_high_watermark : Telemetry.Gauge.t;
 }
 
-let create ?(capacity = 4096) () =
-  { queue = Queue.create (); capacity; enqueued = 0; dropped = 0; high_watermark = 0 }
+let create ?telemetry ?(capacity = 4096) () =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.nop () in
+  {
+    queue = Queue.create ();
+    capacity;
+    enqueued = 0;
+    dropped = 0;
+    high_watermark = 0;
+    c_enqueued = Telemetry.counter tel "tm.enqueued";
+    c_dropped = Telemetry.counter tel "tm.dropped";
+    g_occupancy = Telemetry.gauge tel "tm.occupancy";
+    g_high_watermark = Telemetry.gauge tel "tm.high_watermark";
+  }
 
 let length t = Queue.length t.queue
 
 let enqueue t x =
   if Queue.length t.queue >= t.capacity then begin
     t.dropped <- t.dropped + 1;
+    Telemetry.Counter.incr t.c_dropped;
     false
   end
   else begin
     Queue.add x t.queue;
     t.enqueued <- t.enqueued + 1;
     t.high_watermark <- max t.high_watermark (Queue.length t.queue);
+    Telemetry.Counter.incr t.c_enqueued;
+    Telemetry.Gauge.set t.g_occupancy (Queue.length t.queue);
+    Telemetry.Gauge.set t.g_high_watermark t.high_watermark;
     true
   end
 
-let dequeue t = Queue.take_opt t.queue
+let dequeue t =
+  let x = Queue.take_opt t.queue in
+  Telemetry.Gauge.set t.g_occupancy (Queue.length t.queue);
+  x
 
 let drain t f =
   let n = Queue.length t.queue in
   while not (Queue.is_empty t.queue) do
     f (Queue.take t.queue)
   done;
+  Telemetry.Gauge.set t.g_occupancy 0;
   n
 
 let stats t = (t.enqueued, t.dropped, t.high_watermark)

@@ -9,8 +9,10 @@
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
-(** Default capacity 4096 entries. *)
+val create : ?telemetry:Telemetry.t -> ?capacity:int -> unit -> 'a t
+(** Default capacity 4096 entries. [telemetry] (default: no-op sink)
+    receives the [tm.enqueued]/[tm.dropped] counters and the
+    [tm.occupancy]/[tm.high_watermark] gauges. *)
 
 val length : 'a t -> int
 

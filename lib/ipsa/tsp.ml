@@ -23,11 +23,17 @@ let load slot template =
    and logical-table resolution through the crossbar. [find_table] returns
    [None] when the table does not exist *or* the crossbar does not connect
    this TSP to the table's memory blocks — an unreachable table behaves as
-   always-miss, mirroring a misconfigured crossbar in hardware. *)
+   always-miss, mirroring a misconfigured crossbar in hardware.
+
+   [tel] and [probes] are the telemetry handle and the per-TSP instrument
+   families the device resolved at construction; with a no-op sink every
+   instrument update reduces to a single dead-instrument branch. *)
 type env = {
   registry : Net.Hdrdef.registry;
   find_table : tsp:int -> string -> Table.t option;
   cycles_cfg : Cycles.t;
+  tel : Telemetry.t;
+  probes : Telemetry.stage_probe array; (* indexed by TSP id *)
 }
 
 let split_ref s =
@@ -57,9 +63,22 @@ let apply_table env slot (ctx : Context.t) (ct : Template.compiled_table) =
   ctx.Context.lookups <- ctx.Context.lookups + 1;
   Context.add_cycles ctx
     (Cycles.mem_access_cycles env.cycles_cfg ~entry_width:ct.Template.ct_entry_width);
+  let probe = env.probes.(slot.id) in
+  Telemetry.Counter.incr probe.Telemetry.sp_lookups;
+  let record ~hit ~tag =
+    if hit then Telemetry.Counter.incr probe.Telemetry.sp_hits
+    else Telemetry.Counter.incr probe.Telemetry.sp_misses;
+    if Telemetry.enabled env.tel then
+      Telemetry.Counter.incr
+        (Telemetry.table_counter env.tel ~table:ct.Template.ct_name ~hit);
+    match ctx.Context.trace with
+    | Some tr -> Telemetry.Trace.on_lookup tr ~table:ct.Template.ct_name ~hit ~tag
+    | None -> ()
+  in
   let miss () =
     ctx.Context.last_lookup <-
-      Some { Context.lr_tag = 0; lr_args = []; lr_hit = false; lr_hits = 0 }
+      Some { Context.lr_tag = 0; lr_args = []; lr_hit = false; lr_hits = 0 };
+    record ~hit:false ~tag:0
   in
   match env.find_table ~tsp:slot.id ct.Template.ct_name with
   | None -> miss ()
@@ -80,6 +99,7 @@ let apply_table env slot (ctx : Context.t) (ct : Template.compiled_table) =
               lr_hit = o.Table.o_hit;
               lr_hits = o.Table.o_hits;
             };
+        record ~hit:o.Table.o_hit ~tag;
         Net.Meta.set_int ctx.Context.meta "switch_tag" tag
       | None -> miss ()))
 
@@ -106,7 +126,7 @@ let rec run_matcher env slot (ctx : Context.t) (cs : Template.compiled_stage) m 
    a hit dispatches on the entry's switch tag, a miss runs the default
    actions (P4 default_action semantics). A stage whose guard skipped
    every apply leaves the packet untouched. *)
-let run_executor env (ctx : Context.t) (cs : Template.compiled_stage) =
+let run_executor env slot (ctx : Context.t) (cs : Template.compiled_stage) =
   match ctx.Context.last_lookup with
   | None -> ()
   | Some lr ->
@@ -115,9 +135,14 @@ let run_executor env (ctx : Context.t) (cs : Template.compiled_stage) =
       | Some acts when lr.Context.lr_hit -> (acts, lr.Context.lr_args)
       | _ -> (cs.Template.cs_default, [])
     in
+    let probe = env.probes.(slot.id) in
     List.iter
       (fun (a : Rp4.Ast.action_decl) ->
         Context.add_cycles ctx env.cycles_cfg.Cycles.executor_base;
+        Telemetry.Counter.incr probe.Telemetry.sp_actions;
+        (match ctx.Context.trace with
+        | Some tr -> Telemetry.Trace.on_action tr
+        | None -> ());
         let args =
           (* Positional binding; NoAction-style empty bodies take no args. *)
           if a.Rp4.Ast.ad_params = [] then [] else args
@@ -126,27 +151,46 @@ let run_executor env (ctx : Context.t) (cs : Template.compiled_stage) =
       actions
 
 let run_stage env slot (ctx : Context.t) (cs : Template.compiled_stage) =
+  (match ctx.Context.trace with
+  | Some tr -> Telemetry.Trace.on_stage tr cs.Template.cs_name
+  | None -> ());
   (* Parser sub-module: distributed on-demand parsing. *)
   let before = ctx.Context.parse_attempts in
   List.iter
-    (fun hdr -> ignore (Parse_engine.ensure_parsed ctx env.registry hdr))
+    (fun hdr ->
+      let attempts0 = ctx.Context.parse_attempts in
+      ignore (Parse_engine.ensure_parsed ctx env.registry hdr);
+      match ctx.Context.trace with
+      | Some tr when ctx.Context.parse_attempts > attempts0 ->
+        Telemetry.Trace.on_parse tr hdr
+      | _ -> ())
     cs.Template.cs_parser;
   let parsed_now = ctx.Context.parse_attempts - before in
   Context.add_cycles ctx (parsed_now * env.cycles_cfg.Cycles.parse_per_header);
+  Telemetry.Counter.add env.probes.(slot.id).Telemetry.sp_parse_ops parsed_now;
   (* Matcher then executor. A fresh stage starts with no lookup result so a
      stage without an apply falls through to its default actions. *)
   ctx.Context.last_lookup <- None;
   run_matcher env slot ctx cs cs.Template.cs_matcher;
-  run_executor env ctx cs
+  run_executor env slot ctx cs
 
-(* Run a packet context through this TSP. *)
-let process env slot (ctx : Context.t) =
+(* Run a packet context through this TSP. [role] labels the traversal in a
+   per-packet trace ("ingress"/"egress"); it does not affect execution. *)
+let process ?(role = "") env slot (ctx : Context.t) =
   match slot.template with
   | None -> ()
   | Some _ when not slot.powered -> ()
   | Some template ->
     slot.packets <- slot.packets + 1;
+    Telemetry.Counter.incr env.probes.(slot.id).Telemetry.sp_packets;
+    (match ctx.Context.trace with
+    | Some tr ->
+      Telemetry.Trace.start tr ~tsp:slot.id ~role ~cycles:ctx.Context.cycles
+    | None -> ());
     Context.add_cycles ctx (Cycles.template_cycles env.cycles_cfg);
     List.iter
       (fun cs -> if not (Context.dropped ctx) then run_stage env slot ctx cs)
-      template.Template.stages
+      template.Template.stages;
+    match ctx.Context.trace with
+    | Some tr -> Telemetry.Trace.finish tr ~cycles:ctx.Context.cycles
+    | None -> ()

@@ -15,6 +15,7 @@ type t = {
   (* tsp id -> connected block ids *)
   conn : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable reconfigs : int; (* configuration events, for the cost model *)
+  mutable conflicts : int; (* rejected wirings (cluster reachability) *)
 }
 
 let create ~kind ~ntsps =
@@ -23,11 +24,12 @@ let create ~kind ~ntsps =
   | Clustered c when c <= 0 || ntsps mod c <> 0 ->
     invalid_arg "Crossbar.create: ntsps must be a positive multiple of clusters"
   | _ -> ());
-  { kind; ntsps; conn = Hashtbl.create 16; reconfigs = 0 }
+  { kind; ntsps; conn = Hashtbl.create 16; reconfigs = 0; conflicts = 0 }
 
 let kind t = t.kind
 let ntsps t = t.ntsps
 let reconfigs t = t.reconfigs
+let conflicts t = t.conflicts
 
 let tsp_cluster t tsp =
   match t.kind with
@@ -52,10 +54,12 @@ let connected t ~tsp ~block =
   | None -> false
 
 let connect t ~tsp ~block ~block_cluster =
-  if not (reachable t ~tsp ~block_cluster) then
+  if not (reachable t ~tsp ~block_cluster) then begin
+    t.conflicts <- t.conflicts + 1;
     Error
       (Printf.sprintf "tsp %d (cluster %d) cannot reach block %d (cluster %d)" tsp
          (tsp_cluster t tsp) block block_cluster)
+  end
   else begin
     let set =
       match Hashtbl.find_opt t.conn tsp with

@@ -20,6 +20,10 @@ val ntsps : t -> int
 val reconfigs : t -> int
 (** Cumulative configuration events, for the cost model. *)
 
+val conflicts : t -> int
+(** Cumulative rejected wirings — [connect] attempts the clustering
+    forbids. Mirrored into the [crossbar.conflicts] telemetry gauge. *)
+
 val tsp_cluster : t -> int -> int
 (** The cluster a TSP belongs to (always 0 under [Full]). *)
 

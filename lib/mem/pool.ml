@@ -18,6 +18,7 @@ type t = {
   block_width : int; (* bits *)
   block_depth : int; (* entries *)
   nclusters : int;
+  mutable peak_used : int; (* high watermark of occupied blocks *)
 }
 
 let create ~nblocks ~block_width ~block_depth ~nclusters =
@@ -31,6 +32,7 @@ let create ~nblocks ~block_width ~block_depth ~nclusters =
     block_width;
     block_depth;
     nclusters;
+    peak_used = 0;
   }
 
 let nblocks t = Array.length t.blocks
@@ -107,6 +109,7 @@ let allocate t ~table ~entry_width ~depth ?cluster () =
     else begin
       let chosen = List.filteri (fun i _ -> i < needed) candidates in
       List.iter (fun b -> b.owner <- Some table) chosen;
+      t.peak_used <- max t.peak_used (List.length (used_blocks t));
       Ok { table; blocks = List.map (fun b -> b.id) chosen; entry_width; depth }
     end
   end
@@ -137,6 +140,8 @@ let migrate t ~table ~entry_width ~depth ~cluster =
 let stats t =
   let used = List.length (used_blocks t) in
   (used, nblocks t - used)
+
+let peak_used t = t.peak_used
 
 let cluster_stats t =
   List.init t.nclusters (fun c ->

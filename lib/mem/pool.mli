@@ -61,5 +61,9 @@ val migrate :
 val stats : t -> int * int
 (** [(used, free)] block counts. *)
 
+val peak_used : t -> int
+(** High watermark of occupied blocks over the pool's lifetime — what the
+    [pool.peak_used] telemetry gauge reports during incremental updates. *)
+
 val cluster_stats : t -> (int * int * int) list
 (** Per cluster: [(cluster, used, total)]. *)

@@ -38,6 +38,10 @@ type t = {
   cycles_cfg : Ipsa.Cycles.t;
   mutable reloading : bool;
   stats : stats;
+  (* The PISA baseline is not instrumented: a no-op sink keeps the shared
+     interpreter's telemetry cost at a single dead branch. *)
+  tel : Telemetry.t;
+  probes : Telemetry.stage_probe array;
 }
 
 (* PISA stages read local SRAM: one access regardless of entry width, and
@@ -50,6 +54,7 @@ let pisa_cycles =
   }
 
 let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles) () =
+  let tel = Telemetry.nop () in
   {
     registry = Net.Hdrdef.create_registry ();
     meta_decl = Hashtbl.create 16;
@@ -58,6 +63,8 @@ let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles) () =
     outputs = Array.init nports (fun _ -> Queue.create ());
     cycles_cfg;
     reloading = false;
+    tel;
+    probes = Array.init nstages (fun i -> Telemetry.stage_probe tel ~tsp:i);
     stats =
       {
         injected = 0;
@@ -182,6 +189,8 @@ let env_for_stage t (stage : stage) : Ipsa.Tsp.env =
     Ipsa.Tsp.registry = t.registry;
     find_table = (fun ~tsp:_ name -> Hashtbl.find_opt stage.tables name);
     cycles_cfg = t.cycles_cfg;
+    tel = t.tel;
+    probes = t.probes;
   }
 
 let inject t pkt =

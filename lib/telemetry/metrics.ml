@@ -1,0 +1,248 @@
+(* Lightweight metrics registry: monotonic counters, gauges and
+   fixed-bucket histograms, no dependencies beyond the in-tree JSON.
+
+   The registry is the observability substrate of the IPSA device: the
+   hot packet path increments pre-registered instruments, so the per-event
+   cost is one branch plus one mutable-field write. A *disabled* registry
+   ([nop]) hands out dead instruments whose update functions reduce to the
+   single [live] branch — the contract the packet-path micro-benchmark
+   guards. Instruments are interned by full name (name plus rendered
+   labels): registering the same name twice returns the same instrument,
+   which is what makes per-table and per-TSP families cheap to build from
+   anywhere in the device. *)
+
+module J = Prelude.Json
+
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+  c_live : bool;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : int;
+  g_live : bool;
+}
+
+type histogram = {
+  h_name : string;
+  h_bounds : int array; (* ascending upper bounds; last bucket is +Inf *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 *)
+  mutable h_sum : int;
+  mutable h_count : int;
+  h_live : bool;
+}
+
+type t = {
+  enabled : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    enabled = true;
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 32;
+    histograms = Hashtbl.create 8;
+  }
+
+(* The no-op sink. All registrations return shared dead instruments and
+   record nothing; one shared value suffices because dead instruments are
+   never written. *)
+let nop () =
+  {
+    enabled = false;
+    counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
+    histograms = Hashtbl.create 1;
+  }
+
+let enabled t = t.enabled
+
+let dead_counter = { c_name = ""; c_value = 0; c_live = false }
+let dead_gauge = { g_name = ""; g_value = 0; g_live = false }
+
+let dead_histogram =
+  { h_name = ""; h_bounds = [||]; h_counts = [| 0 |]; h_sum = 0; h_count = 0; h_live = false }
+
+(* "name{k=v,...}" — the flat key instruments are interned under. *)
+let full_name name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+    name ^ "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}"
+
+module Counter = struct
+  type t = counter
+
+  let incr c = if c.c_live then c.c_value <- c.c_value + 1
+  let add c n = if c.c_live then c.c_value <- c.c_value + n
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let set g v = if g.g_live then g.g_value <- v
+  let add g n = if g.g_live then g.g_value <- g.g_value + n
+  let value g = g.g_value
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let observe h v =
+    if h.h_live then begin
+      h.h_sum <- h.h_sum + v;
+      h.h_count <- h.h_count + 1;
+      let n = Array.length h.h_bounds in
+      let rec place i =
+        if i >= n then h.h_counts.(n) <- h.h_counts.(n) + 1
+        else if v <= h.h_bounds.(i) then h.h_counts.(i) <- h.h_counts.(i) + 1
+        else place (i + 1)
+      in
+      place 0
+    end
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let name h = h.h_name
+
+  (* [(upper_bound option, count)]; [None] is the +Inf bucket. *)
+  let buckets h =
+    let n = Array.length h.h_bounds in
+    List.init n (fun i -> (Some h.h_bounds.(i), h.h_counts.(i)))
+    @ [ (None, h.h_counts.(n)) ]
+end
+
+let counter ?(labels = []) t name =
+  if not t.enabled then dead_counter
+  else begin
+    let key = full_name name labels in
+    match Hashtbl.find_opt t.counters key with
+    | Some c -> c
+    | None ->
+      let c = { c_name = key; c_value = 0; c_live = true } in
+      Hashtbl.replace t.counters key c;
+      c
+  end
+
+let gauge ?(labels = []) t name =
+  if not t.enabled then dead_gauge
+  else begin
+    let key = full_name name labels in
+    match Hashtbl.find_opt t.gauges key with
+    | Some g -> g
+    | None ->
+      let g = { g_name = key; g_value = 0; g_live = true } in
+      Hashtbl.replace t.gauges key g;
+      g
+  end
+
+let default_buckets = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let histogram ?(labels = []) ?(buckets = default_buckets) t name =
+  if not t.enabled then dead_histogram
+  else begin
+    let key = full_name name labels in
+    match Hashtbl.find_opt t.histograms key with
+    | Some h -> h
+    | None ->
+      let bounds = Array.of_list (List.sort_uniq Int.compare buckets) in
+      let h =
+        {
+          h_name = key;
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0;
+          h_count = 0;
+          h_live = true;
+        }
+      in
+      Hashtbl.replace t.histograms key h;
+      h
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_fold tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_fold t.counters (fun c -> c.c_value)
+let gauges t = sorted_fold t.gauges (fun g -> g.g_value)
+let histograms t = sorted_fold t.histograms (fun h -> h)
+
+let find_counter t name = Option.map Counter.value (Hashtbl.find_opt t.counters name)
+let find_gauge t name = Option.map Gauge.value (Hashtbl.find_opt t.gauges name)
+
+(* ------------------------------------------------------------------ *)
+(* JSON — the schema `rp4c stats --json` exposes                       *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_to_json h =
+  J.Obj
+    [
+      ("count", J.Int h.h_count);
+      ("sum", J.Int h.h_sum);
+      ( "buckets",
+        J.List
+          (List.map
+             (fun (le, n) ->
+               J.Obj
+                 [
+                   ( "le",
+                     match le with Some b -> J.Int b | None -> J.String "+Inf" );
+                   ("n", J.Int n);
+                 ])
+             (Histogram.buckets h)) );
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (counters t)));
+      ("gauges", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (gauges t)));
+      ( "histograms",
+        J.Obj (List.map (fun (k, h) -> (k, histogram_to_json h)) (histograms t)) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pre-built instrument families                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-TSP hot-path instruments, resolved once at device construction so
+   the packet path never performs a registry lookup. *)
+type stage_probe = {
+  sp_packets : counter;
+  sp_parse_ops : counter;
+  sp_lookups : counter;
+  sp_hits : counter;
+  sp_misses : counter;
+  sp_actions : counter;
+}
+
+let stage_probe t ~tsp =
+  let labels = [ ("tsp", string_of_int tsp) ] in
+  {
+    sp_packets = counter ~labels t "tsp.packets";
+    sp_parse_ops = counter ~labels t "tsp.parse_ops";
+    sp_lookups = counter ~labels t "tsp.lookups";
+    sp_hits = counter ~labels t "tsp.hits";
+    sp_misses = counter ~labels t "tsp.misses";
+    sp_actions = counter ~labels t "tsp.actions";
+  }
+
+(* Per-table hit/miss counters; interned, so the amortised cost is one
+   Hashtbl lookup per table lookup — and only when the registry is live
+   (callers guard on [enabled]). *)
+let table_counter t ~table ~hit =
+  counter ~labels:[ ("table", table) ] t
+    (if hit then "table.hits" else "table.misses")

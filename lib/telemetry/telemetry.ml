@@ -1,0 +1,12 @@
+(* Telemetry — the measurement substrate of the IPSA reproduction.
+
+   [Telemetry.t] (= [Metrics.t]) is a registry handle threaded through
+   device construction; a [nop] handle keeps every hot-path event at a
+   single branch, so running without telemetry costs nothing measurable
+   (guarded by the packet-path micro-benchmark). [Trace] is the companion
+   per-packet stage tracer behind [Ipsa.Device.inject_traced] and
+   `rp4c stats --trace`. *)
+
+module Metrics = Metrics
+module Trace = Trace
+include Metrics

@@ -1,0 +1,135 @@
+(* Per-packet stage tracer.
+
+   A trace is the ordered list of TSP traversals one packet made: which
+   templated processor ran, in which selector role, which logical stages
+   its template contained, which headers the distributed parser touched,
+   every table lookup with its hit/miss outcome and switch tag, how many
+   action primitives fired, and the cycle budget the traversal consumed.
+   The device attaches a tracer to a single packet context on demand
+   ([Ipsa.Device.inject_traced]); the steady-state path carries no tracer
+   and pays one [option] branch per event site. *)
+
+module J = Prelude.Json
+
+type lookup = {
+  lk_table : string;
+  lk_hit : bool;
+  lk_tag : int; (* switch tag selected (0 on miss) *)
+}
+
+type span = {
+  sp_tsp : int; (* physical TSP index *)
+  sp_role : string; (* "ingress" | "egress" *)
+  sp_stages : string list; (* logical stages the template bundles *)
+  sp_parsed : string list; (* headers newly parsed in this TSP *)
+  sp_lookups : lookup list;
+  sp_actions : int; (* executor primitives fired *)
+  sp_cycles : int; (* cycles consumed by this traversal *)
+}
+
+(* Span under construction; fields accumulate in reverse. *)
+type recorder = {
+  r_tsp : int;
+  r_role : string;
+  mutable r_stages : string list;
+  mutable r_parsed : string list;
+  mutable r_lookups : lookup list;
+  mutable r_actions : int;
+  r_cycles0 : int;
+}
+
+type t = {
+  mutable spans : span list; (* reversed *)
+  mutable cur : recorder option;
+}
+
+let create () = { spans = []; cur = None }
+
+let start t ~tsp ~role ~cycles =
+  t.cur <-
+    Some
+      {
+        r_tsp = tsp;
+        r_role = role;
+        r_stages = [];
+        r_parsed = [];
+        r_lookups = [];
+        r_actions = 0;
+        r_cycles0 = cycles;
+      }
+
+let on_stage t name =
+  match t.cur with Some r -> r.r_stages <- name :: r.r_stages | None -> ()
+
+let on_parse t hdr =
+  match t.cur with Some r -> r.r_parsed <- hdr :: r.r_parsed | None -> ()
+
+let on_lookup t ~table ~hit ~tag =
+  match t.cur with
+  | Some r -> r.r_lookups <- { lk_table = table; lk_hit = hit; lk_tag = tag } :: r.r_lookups
+  | None -> ()
+
+let on_action t =
+  match t.cur with Some r -> r.r_actions <- r.r_actions + 1 | None -> ()
+
+let finish t ~cycles =
+  match t.cur with
+  | None -> ()
+  | Some r ->
+    t.spans <-
+      {
+        sp_tsp = r.r_tsp;
+        sp_role = r.r_role;
+        sp_stages = List.rev r.r_stages;
+        sp_parsed = List.rev r.r_parsed;
+        sp_lookups = List.rev r.r_lookups;
+        sp_actions = r.r_actions;
+        sp_cycles = cycles - r.r_cycles0;
+      }
+      :: t.spans;
+    t.cur <- None
+
+let spans t = List.rev t.spans
+let length t = List.length t.spans
+
+let lookup_to_string l =
+  Printf.sprintf "%s:%s%s" l.lk_table
+    (if l.lk_hit then "hit" else "miss")
+    (if l.lk_hit then Printf.sprintf "(tag %d)" l.lk_tag else "")
+
+let span_to_row s =
+  [
+    string_of_int s.sp_tsp;
+    s.sp_role;
+    String.concat " " s.sp_stages;
+    String.concat " " s.sp_parsed;
+    String.concat " " (List.map lookup_to_string s.sp_lookups);
+    string_of_int s.sp_actions;
+    string_of_int s.sp_cycles;
+  ]
+
+let header = [ "tsp"; "role"; "stages"; "parsed"; "lookups"; "actions"; "cycles" ]
+
+let span_to_json s =
+  J.Obj
+    [
+      ("tsp", J.Int s.sp_tsp);
+      ("role", J.String s.sp_role);
+      ("stages", J.List (List.map (fun n -> J.String n) s.sp_stages));
+      ("parsed", J.List (List.map (fun n -> J.String n) s.sp_parsed));
+      ( "lookups",
+        J.List
+          (List.map
+             (fun l ->
+               J.Obj
+                 [
+                   ("table", J.String l.lk_table);
+                   ("hit", J.Bool l.lk_hit);
+                   ("tag", J.Int l.lk_tag);
+                 ])
+             s.sp_lookups) );
+      ("actions", J.Int s.sp_actions);
+      ("cycles", J.Int s.sp_cycles);
+    ]
+
+let to_json t = J.List (List.map span_to_json (spans t))

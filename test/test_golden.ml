@@ -1,0 +1,86 @@
+(* Golden round-trip tests for the rP4 surface syntax.
+
+   Every source file under examples/rp4/ (the bundled base designs and
+   update snippets) must survive lexer -> parser -> Rp4.Pretty -> parser
+   with a structurally equal AST, and the pretty-printer must be a
+   fixpoint (pretty (parse (pretty p)) = pretty p). Together these pin
+   down that nothing the parser accepts is lost or reshaped by printing —
+   the property "rp4c fc" and "show_design" output rely on.
+
+   The test binary runs from _build/default/test, so the example tree is
+   declared as a dune dep and addressed relative to the test directory. *)
+
+let examples_root = Filename.concat ".." "examples/rp4"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* All .rp4 files below the example root, relative paths, sorted. *)
+let rp4_files () =
+  let rec walk dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.concat_map (fun name ->
+           let path = Filename.concat dir name in
+           if Sys.is_directory path then walk path
+           else if Filename.check_suffix name ".rp4" then [ path ]
+           else [])
+  in
+  List.sort String.compare (walk examples_root)
+
+let roundtrip file () =
+  let src = read_file file in
+  let p1 =
+    try Rp4.Parser.parse_string src
+    with Rp4.Parser.Error e | Rp4.Lexer.Error e ->
+      Alcotest.failf "%s does not parse: %s" file e
+  in
+  let printed = Rp4.Pretty.program p1 in
+  let p2 =
+    try Rp4.Parser.parse_string printed
+    with Rp4.Parser.Error e | Rp4.Lexer.Error e ->
+      Alcotest.failf "pretty output of %s does not re-parse: %s" file e
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: AST equal after pretty -> parse" file)
+    true (p1 = p2);
+  Alcotest.(check string)
+    (Printf.sprintf "%s: pretty is a fixpoint" file)
+    printed
+    (Rp4.Pretty.program p2)
+
+(* The bundled usecase sources ship as OCaml strings too; round-trip them
+   through the same pipe so the two copies cannot drift in expressiveness. *)
+let bundled_sources =
+  [
+    ("base_l23", Usecases.Base_l23.source);
+    ("base_split", Usecases.Base_split.source);
+    ("ecmp", Usecases.Ecmp.source);
+    ("srv6", Usecases.Srv6.source);
+    ("flow_probe", Usecases.Flowprobe.source);
+  ]
+
+let roundtrip_source (name, src) () =
+  let p1 = Rp4.Parser.parse_string src in
+  let printed = Rp4.Pretty.program p1 in
+  let p2 = Rp4.Parser.parse_string printed in
+  Alcotest.(check bool) (name ^ ": AST equal") true (p1 = p2);
+  Alcotest.(check string) (name ^ ": fixpoint") printed (Rp4.Pretty.program p2)
+
+let () =
+  let files = rp4_files () in
+  if files = [] then failwith "test_golden: no .rp4 files found under ../examples/rp4";
+  Alcotest.run "golden"
+    [
+      ( "examples",
+        List.map
+          (fun f -> Alcotest.test_case (Filename.basename f) `Quick (roundtrip f))
+          files );
+      ( "bundled",
+        List.map
+          (fun (n, src) -> Alcotest.test_case n `Quick (roundtrip_source (n, src)))
+          bundled_sources );
+    ]

@@ -186,6 +186,39 @@ let booted_device () =
   | Error e -> Alcotest.failf "boot patch failed: %s" e);
   (device, c.Rp4bc.Compile.design)
 
+(* The TM selector can sit at either extreme of the elastic pipeline:
+   after the last TSP (all-ingress, the boot default) or before stage 0
+   (all-egress). Both boundary positions must keep forwarding packets. *)
+
+let test_tm_boundary_after_last_tsp () =
+  let device, _ = booted_device () in
+  let p = Ipsa.Device.pipeline device in
+  check Alcotest.int "tm after last tsp" (Ipsa.Pipeline.ntsps p)
+    (Ipsa.Pipeline.tm_position p);
+  check Alcotest.int "no egress tsps" 0 (Ipsa.Pipeline.egress_count p);
+  match Ipsa.Device.inject device (Net.Flowgen.ipv4_udp ~in_port:0 (Net.Flowgen.make_flow ())) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "packet lost with TM at the right boundary"
+
+let test_tm_boundary_at_stage_zero () =
+  let device, _ = booted_device () in
+  let p = Ipsa.Device.pipeline device in
+  let n = Ipsa.Pipeline.ntsps p in
+  let powered_before = Ipsa.Pipeline.powered_count p in
+  (* flip right-to-left so every intermediate state keeps the egress
+     suffix contiguous — left-to-right would violate the selector *)
+  let ops = List.init n (fun i -> Ipsa.Config.Set_role (n - 1 - i, Ipsa.Pipeline.Egress)) in
+  (match Ipsa.Device.apply_patch device { Ipsa.Config.ops } with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "all-egress patch rejected: %s" e);
+  check Alcotest.int "tm at stage 0" 0 (Ipsa.Pipeline.tm_position p);
+  check Alcotest.int "no ingress tsps" 0 (Ipsa.Pipeline.ingress_count p);
+  check Alcotest.int "powered count unchanged" powered_before
+    (Ipsa.Pipeline.powered_count p);
+  match Ipsa.Device.inject device (Net.Flowgen.ipv4_udp ~in_port:0 (Net.Flowgen.make_flow ())) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "packet lost with TM at the left boundary"
+
 let test_device_boot_report () =
   let c = compiled_base () in
   let device = Ipsa.Device.create ~ntsps:8 () in
@@ -326,6 +359,8 @@ let () =
         [
           Alcotest.test_case "fifo/overflow" `Quick test_tm_fifo_and_overflow;
           Alcotest.test_case "drain" `Quick test_tm_drain;
+          Alcotest.test_case "boundary after last tsp" `Quick test_tm_boundary_after_last_tsp;
+          Alcotest.test_case "boundary at stage 0" `Quick test_tm_boundary_at_stage_zero;
         ] );
       ( "device",
         [

@@ -399,6 +399,67 @@ let test_insert_rejects_bad_snippet () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad snippet accepted"
 
+let test_patch_replay_on_empty_base () =
+  (* the degenerate base: an empty rP4 program. Its patch must still
+     boot a device, and a self-contained function inserted on top of it
+     must replay as an incremental patch on the same device. *)
+  let pool = Ipsa.Device.default_pool () in
+  let empty = Rp4.Parser.parse_string "" in
+  let c =
+    match Rp4bc.Compile.compile_full ~pool empty with
+    | Ok c -> c
+    | Error errs -> Alcotest.failf "empty compile: %s" (String.concat "; " errs)
+  in
+  check Alcotest.int "no templates from empty base" 0
+    c.Rp4bc.Compile.stats.Rp4bc.Compile.templates_emitted;
+  let snippet =
+    Rp4.Parser.parse_string
+      {|headers {
+          header ethernet {
+            bit<48> dst_addr;
+            bit<48> src_addr;
+            bit<16> ethertype;
+          }
+        }
+        structs {
+          struct metadata_t {
+            bit<16> f0;
+          } meta;
+        }
+        action seen(bit<16> v) { meta.f0 = v; }
+        table watch {
+          key = { meta.f0 : exact; }
+          size = 64;
+        }
+        stage probe0 {
+          parser { };
+          matcher { watch.apply(); };
+          executor { 1 : seen; default : NoAction; }
+        }|}
+  in
+  let r =
+    match
+      Rp4bc.Compile.insert_function c.Rp4bc.Compile.design ~snippet ~func_name:"probe"
+        ~cmds:[ Rp4bc.Compile.Set_entry (Rp4bc.Compile.Pipe_ingress, "probe0") ]
+        ~algo:Rp4bc.Layout.Dp ~pool
+    with
+    | Ok r -> r
+    | Error errs -> Alcotest.failf "insert on empty base: %s" (String.concat "; " errs)
+  in
+  check Alcotest.int "one template" 1 r.Rp4bc.Compile.stats.Rp4bc.Compile.templates_emitted;
+  check Alcotest.int "one table" 1 r.Rp4bc.Compile.stats.Rp4bc.Compile.tables_placed;
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  (match Ipsa.Device.apply_patch device c.Rp4bc.Compile.patch with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "empty base patch rejected by device: %s" e);
+  match Ipsa.Device.apply_patch device r.Rp4bc.Compile.patch with
+  | Error e -> Alcotest.failf "incremental patch rejected by device: %s" e
+  | Ok rep ->
+    check Alcotest.int "template written" 1 rep.Ipsa.Device.lr_templates;
+    check Alcotest.int "table created" 1 rep.Ipsa.Device.lr_tables_created;
+    check Alcotest.bool "watch table live" true
+      (Ipsa.Device.find_table device "watch" <> None)
+
 let test_delete_function () =
   let c = compile_base () in
   let pool = Ipsa.Device.default_pool () in
@@ -473,6 +534,7 @@ let () =
           Alcotest.test_case "source roundtrip" `Quick test_design_source_roundtrip;
           Alcotest.test_case "insert minimal patch" `Quick test_insert_emits_minimal_patch;
           Alcotest.test_case "insert rejects bad snippet" `Quick test_insert_rejects_bad_snippet;
+          Alcotest.test_case "patch replay on empty base" `Quick test_patch_replay_on_empty_base;
           Alcotest.test_case "delete function" `Quick test_delete_function;
           Alcotest.test_case "delete unknown" `Quick test_delete_unknown_function;
         ] );

@@ -1,0 +1,283 @@
+(* Tests for the telemetry subsystem: the metrics registry itself, the
+   no-op sink's deadness contract, the instrumented device under synthetic
+   traffic, per-packet stage traces, session counters and the JSON
+   snapshot schema that `rp4c stats --json` exposes. *)
+
+let check = Alcotest.check
+
+(* --- registry basics --------------------------------------------------- *)
+
+let test_counter_basics () =
+  let tel = Telemetry.create () in
+  let c = Telemetry.counter tel "requests" in
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 4;
+  check Alcotest.int "value" 5 (Telemetry.Counter.value c);
+  (* interning: same name -> same instrument *)
+  Telemetry.Counter.incr (Telemetry.counter tel "requests");
+  check Alcotest.int "interned" 6 (Telemetry.Counter.value c);
+  (* labels make distinct instruments with a rendered full name *)
+  let l = Telemetry.counter ~labels:[ ("tsp", "3") ] tel "requests" in
+  Telemetry.Counter.incr l;
+  check Alcotest.string "label name" "requests{tsp=3}" (Telemetry.Counter.name l);
+  check (Alcotest.option Alcotest.int) "find by full name" (Some 1)
+    (Telemetry.find_counter tel "requests{tsp=3}");
+  check Alcotest.int "snapshot size" 2 (List.length (Telemetry.counters tel))
+
+let test_gauge_basics () =
+  let tel = Telemetry.create () in
+  let g = Telemetry.gauge tel "occupancy" in
+  Telemetry.Gauge.set g 7;
+  Telemetry.Gauge.add g (-2);
+  check Alcotest.int "set/add" 5 (Telemetry.Gauge.value g);
+  check (Alcotest.option Alcotest.int) "find" (Some 5)
+    (Telemetry.find_gauge tel "occupancy")
+
+let test_histogram_buckets () =
+  let tel = Telemetry.create () in
+  let h = Telemetry.histogram ~buckets:[ 10; 100 ] tel "lat" in
+  List.iter (Telemetry.Histogram.observe h) [ 1; 10; 11; 100; 5000 ];
+  check Alcotest.int "count" 5 (Telemetry.Histogram.count h);
+  check Alcotest.int "sum" 5122 (Telemetry.Histogram.sum h);
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.option Alcotest.int) Alcotest.int))
+    "bucket placement incl. +Inf"
+    [ (Some 10, 2); (Some 100, 2); (None, 1) ]
+    (Telemetry.Histogram.buckets h)
+
+let test_nop_deadness () =
+  let tel = Telemetry.nop () in
+  check Alcotest.bool "disabled" false (Telemetry.enabled tel);
+  let c = Telemetry.counter tel "c" in
+  let g = Telemetry.gauge tel "g" in
+  let h = Telemetry.histogram tel "h" in
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 10;
+  Telemetry.Gauge.set g 42;
+  Telemetry.Histogram.observe h 3;
+  check Alcotest.int "counter dead" 0 (Telemetry.Counter.value c);
+  check Alcotest.int "gauge dead" 0 (Telemetry.Gauge.value g);
+  check Alcotest.int "histogram dead" 0 (Telemetry.Histogram.count h);
+  (* the nop sink registers nothing: snapshots stay empty *)
+  check Alcotest.int "no counters" 0 (List.length (Telemetry.counters tel));
+  check Alcotest.int "no gauges" 0 (List.length (Telemetry.gauges tel));
+  check Alcotest.int "no histograms" 0 (List.length (Telemetry.histograms tel))
+
+(* --- JSON schema -------------------------------------------------------- *)
+
+module J = Prelude.Json
+
+let test_json_roundtrip () =
+  let tel = Telemetry.create () in
+  Telemetry.Counter.add (Telemetry.counter tel "a") 3;
+  Telemetry.Gauge.set (Telemetry.gauge ~labels:[ ("k", "v") ] tel "b") 9;
+  Telemetry.Histogram.observe (Telemetry.histogram tel "c") 17;
+  let j = Telemetry.to_json tel in
+  (* serialize -> parse -> structurally equal *)
+  let j' = J.of_string (J.to_string j) in
+  check Alcotest.bool "roundtrip equal" true (J.equal j j');
+  let j'' = J.of_string (J.to_string_pretty j) in
+  check Alcotest.bool "pretty roundtrip equal" true (J.equal j j'');
+  (* the three top-level sections are always present, in schema order *)
+  (match j with
+  | J.Obj fields ->
+    check (Alcotest.list Alcotest.string) "schema keys"
+      [ "counters"; "gauges"; "histograms" ]
+      (List.map fst fields)
+  | _ -> Alcotest.fail "to_json must be an object");
+  check (Alcotest.option Alcotest.int) "counter value in json" (Some 3)
+    (Option.map J.to_int (J.member "a" (J.member_exn "counters" j)));
+  check (Alcotest.option Alcotest.int) "labeled gauge in json" (Some 9)
+    (Option.map J.to_int (J.member "b{k=v}" (J.member_exn "gauges" j)));
+  let h = J.member_exn "c" (J.member_exn "histograms" j) in
+  check Alcotest.int "histogram count" 1 (J.to_int (J.member_exn "count" h));
+  check Alcotest.int "histogram sum" 17 (J.to_int (J.member_exn "sum" h))
+
+let test_json_schema_empty () =
+  (* an empty live registry still renders the full schema *)
+  let j = Telemetry.to_json (Telemetry.create ()) in
+  match j with
+  | J.Obj [ ("counters", J.Obj []); ("gauges", J.Obj []); ("histograms", J.Obj []) ] ->
+    ()
+  | _ -> Alcotest.fail "empty registry schema changed"
+
+(* --- instrumented device under traffic ---------------------------------- *)
+
+let counter_exn tel name =
+  match Telemetry.find_counter tel name with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %s not registered" name
+
+let inject_burst device n =
+  for i = 0 to n - 1 do
+    let pkt =
+      match i mod 4 with
+      | 0 -> Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow
+      | 1 -> Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.host_route_v4_flow
+      | 2 -> Net.Flowgen.ipv6_udp ~in_port:1 Usecases.Base_l23.routed_v6_flow
+      | _ -> Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow
+    in
+    ignore (Ipsa.Device.inject device pkt)
+  done
+
+let test_counters_under_traffic () =
+  let tel = Telemetry.create () in
+  let _session, device = Harness.Cases.boot_base ~telemetry:tel () in
+  inject_burst device 16;
+  let snap1 = Telemetry.counters tel in
+  check Alcotest.int "injected" 16 (counter_exn tel "device.injected");
+  check Alcotest.int "forwarded" 16 (counter_exn tel "device.forwarded");
+  check Alcotest.int "tm enqueued" 16 (counter_exn tel "tm.enqueued");
+  check Alcotest.bool "tsp 0 saw every packet" true
+    (counter_exn tel "tsp.packets{tsp=0}" = 16);
+  check Alcotest.bool "table hits recorded" true
+    (counter_exn tel "table.hits{table=port_map}" > 0
+    && counter_exn tel "table.hits{table=ipv4_lpm}" > 0);
+  (* monotone: a second burst never decreases any counter *)
+  inject_burst device 16;
+  let snap2 = Telemetry.counters tel in
+  List.iter
+    (fun (name, v1) ->
+      match List.assoc_opt name snap2 with
+      | Some v2 ->
+        if v2 < v1 then Alcotest.failf "counter %s went backwards: %d -> %d" name v1 v2
+      | None -> Alcotest.failf "counter %s vanished" name)
+    snap1;
+  check Alcotest.int "injected doubled" 32 (counter_exn tel "device.injected")
+
+let test_device_stats_mirror () =
+  (* instruments and the plain stats record must agree *)
+  let tel = Telemetry.create () in
+  let _session, device = Harness.Cases.boot_base ~telemetry:tel () in
+  inject_burst device 12;
+  let stats = Ipsa.Device.stats device in
+  check Alcotest.int "injected mirror" stats.Ipsa.Device.injected
+    (counter_exn tel "device.injected");
+  check Alcotest.int "forwarded mirror" stats.Ipsa.Device.forwarded
+    (counter_exn tel "device.forwarded");
+  check Alcotest.int "cycles mirror" stats.Ipsa.Device.total_cycles
+    (counter_exn tel "device.total_cycles");
+  check Alcotest.int "updates mirror" stats.Ipsa.Device.updates_applied
+    (counter_exn tel "device.updates_applied")
+
+let test_gauges_after_refresh () =
+  let tel = Telemetry.create () in
+  let _session, device = Harness.Cases.boot_base ~telemetry:tel () in
+  Ipsa.Device.refresh_telemetry device;
+  let pool = Ipsa.Device.pool device in
+  let used, free = Mem.Pool.stats pool in
+  check (Alcotest.option Alcotest.int) "pool used gauge" (Some used)
+    (Telemetry.find_gauge tel "pool.blocks_used");
+  check (Alcotest.option Alcotest.int) "pool free gauge" (Some free)
+    (Telemetry.find_gauge tel "pool.blocks_free");
+  check (Alcotest.option Alcotest.int) "peak >= used" (Some (Mem.Pool.peak_used pool))
+    (Telemetry.find_gauge tel "pool.peak_used");
+  check Alcotest.bool "peak covers current" true (Mem.Pool.peak_used pool >= used);
+  let pipeline = Ipsa.Device.pipeline device in
+  check (Alcotest.option Alcotest.int) "tm position gauge"
+    (Some (Ipsa.Pipeline.tm_position pipeline))
+    (Telemetry.find_gauge tel "pipeline.tm_position");
+  check (Alcotest.option Alcotest.int) "active tsps gauge"
+    (Some (Ipsa.Pipeline.active_count pipeline))
+    (Telemetry.find_gauge tel "pipeline.active_tsps")
+
+(* --- per-packet stage trace --------------------------------------------- *)
+
+let test_trace_length_powered () =
+  let tel = Telemetry.create () in
+  let _session, device = Harness.Cases.boot_base ~telemetry:tel () in
+  let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+  let out, trace = Ipsa.Device.inject_traced device pkt in
+  check Alcotest.bool "packet forwarded" true (out <> None);
+  (* one span per powered (non-bypassed, templated) TSP traversal *)
+  check Alcotest.int "trace length = powered TSPs"
+    (Ipsa.Pipeline.powered_count (Ipsa.Device.pipeline device))
+    (Telemetry.Trace.length trace);
+  (* spans walk the pipeline in order and carry the table lookups *)
+  let spans = Telemetry.Trace.spans trace in
+  let tsps = List.map (fun s -> s.Telemetry.Trace.sp_tsp) spans in
+  check Alcotest.bool "tsp order ascending" true (List.sort compare tsps = tsps);
+  let lookups =
+    List.concat_map (fun s -> s.Telemetry.Trace.sp_lookups) spans
+    |> List.map (fun l -> l.Telemetry.Trace.lk_table)
+  in
+  check Alcotest.bool "routed packet hit the LPM" true (List.mem "ipv4_lpm" lookups);
+  (* trace JSON is well-formed and one row per span *)
+  (match Telemetry.Trace.to_json trace with
+  | J.List rows -> check Alcotest.int "json rows" (List.length spans) (List.length rows)
+  | _ -> Alcotest.fail "trace json must be a list");
+  check Alcotest.int "row width" (List.length Telemetry.Trace.header)
+    (List.length (Telemetry.Trace.span_to_row (List.hd spans)))
+
+let test_trace_does_not_leak () =
+  (* an untraced inject after a traced one records no extra spans *)
+  let tel = Telemetry.create () in
+  let _session, device = Harness.Cases.boot_base ~telemetry:tel () in
+  let pkt () = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+  let _, trace = Ipsa.Device.inject_traced device (pkt ()) in
+  let len = Telemetry.Trace.length trace in
+  ignore (Ipsa.Device.inject device (pkt ()));
+  check Alcotest.int "trace unchanged by later traffic" len
+    (Telemetry.Trace.length trace)
+
+(* --- session counters --------------------------------------------------- *)
+
+let test_session_metrics () =
+  let tel = Telemetry.create () in
+  let session, _device = Harness.Cases.boot_base ~telemetry:tel () in
+  check Alcotest.bool "metrics is the shared registry" true
+    (Controller.Session.metrics session == tel);
+  check Alcotest.int "boot = one compile" 1 (counter_exn tel "session.compiles");
+  check Alcotest.int "boot = one patch" 1 (counter_exn tel "session.patches_applied");
+  check Alcotest.bool "boot patch is pure make" true
+    (counter_exn tel "session.ops_make" > 0
+    && counter_exn tel "session.ops_break" = 0);
+  (* an in-situ update adds a compile, a patch and (for ecmp, which
+     replaces the nexthop stage) break ops *)
+  let _timing = Harness.Cases.apply_case session Harness.Paper.C1 in
+  check Alcotest.int "update compiled" 2 (counter_exn tel "session.compiles");
+  check Alcotest.int "update patched" 2 (counter_exn tel "session.patches_applied");
+  check Alcotest.bool "update tore the old stage down" true
+    (counter_exn tel "session.ops_break" > 0);
+  check Alcotest.int "device saw the update" 2
+    (counter_exn tel "device.updates_applied")
+
+let test_session_nop_metrics () =
+  (* booting a device without telemetry keeps everything on the nop sink *)
+  let session, _device = Harness.Cases.boot_base () in
+  let tel = Controller.Session.metrics session in
+  check Alcotest.bool "nop sink" false (Telemetry.enabled tel);
+  check Alcotest.int "nothing registered" 0 (List.length (Telemetry.counters tel))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_basics;
+          Alcotest.test_case "gauge" `Quick test_gauge_basics;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "nop deadness" `Quick test_nop_deadness;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "empty schema" `Quick test_json_schema_empty;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "counters under traffic" `Quick test_counters_under_traffic;
+          Alcotest.test_case "stats mirror" `Quick test_device_stats_mirror;
+          Alcotest.test_case "gauges after refresh" `Quick test_gauges_after_refresh;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "length = powered TSPs" `Quick test_trace_length_powered;
+          Alcotest.test_case "no leak into later packets" `Quick test_trace_does_not_leak;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "control-plane counters" `Quick test_session_metrics;
+          Alcotest.test_case "nop by default" `Quick test_session_nop_metrics;
+        ] );
+    ]
