@@ -79,19 +79,34 @@ let bench_parse =
   Test.make ~name:"rp4-parser/base-design"
     (Staged.stage (fun () -> ignore (Rp4.Parser.parse_string Usecases.Base_l23.source)))
 
+(* Pre-render the wire bytes once so the staged function times the device
+   path (parse + match + execute), not checksum/concat packet building. *)
+let routed_v4_bytes =
+  lazy (Net.Packet.contents (Net.Flowgen.ipv4_udp Usecases.Base_l23.routed_v4_flow))
+
+(* packet-forward vs packet-forward-linked: the same booted base design
+   driven through the reference interpreter and through the load-time
+   linked fast path. The ratio is the cost of per-packet name resolution. *)
 let bench_packet_path =
-  let session_device = lazy (Harness.Cases.boot_base ()) in
+  let session_device = lazy (Harness.Cases.boot_base ~linked:false ()) in
   Test.make ~name:"ipbm/packet-forward"
     (Staged.stage (fun () ->
          let _, device = Lazy.force session_device in
-         let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+         let pkt = Net.Packet.create ~in_port:0 (Lazy.force routed_v4_bytes) in
+         ignore (Ipsa.Device.inject device pkt)))
+
+let bench_packet_path_linked =
+  let session_device = lazy (Harness.Cases.boot_base ()) in
+  Test.make ~name:"ipbm/packet-forward-linked"
+    (Staged.stage (fun () ->
+         let _, device = Lazy.force session_device in
+         let pkt = Net.Packet.create ~in_port:0 (Lazy.force routed_v4_bytes) in
          ignore (Ipsa.Device.inject device pkt)))
 
 (* The telemetry disabled-cost contract: [boot_base ()] runs with the
    no-op sink (every instrument update is one dead branch), so
-   packet-forward vs packet-forward+telemetry bounds what a live registry
-   costs, and packet-forward itself must stay within noise of the
-   pre-telemetry seed. *)
+   packet-forward-linked vs packet-forward+telemetry bounds what a live
+   registry costs on the fast path. *)
 let bench_packet_path_telemetry =
   let session_device =
     lazy (Harness.Cases.boot_base ~telemetry:(Telemetry.create ()) ())
@@ -99,10 +114,11 @@ let bench_packet_path_telemetry =
   Test.make ~name:"ipbm/packet-forward+telemetry"
     (Staged.stage (fun () ->
          let _, device = Lazy.force session_device in
-         let pkt = Net.Flowgen.ipv4_udp ~in_port:0 Usecases.Base_l23.routed_v4_flow in
+         let pkt = Net.Packet.create ~in_port:0 (Lazy.force routed_v4_bytes) in
          ignore (Ipsa.Device.inject device pkt)))
 
-let packet_path_tests = [ bench_packet_path; bench_packet_path_telemetry ]
+let packet_path_tests =
+  [ bench_packet_path; bench_packet_path_linked; bench_packet_path_telemetry ]
 
 let default_micro_tests () =
   [ bench_parse; bench_base_compile ]
@@ -110,30 +126,66 @@ let default_micro_tests () =
   @ List.map bench_full_p4_flow Harness.Paper.cases
   @ List.map bench_incremental_flow Harness.Paper.cases
 
+(* Returns [(name, ns_per_run estimate)] so callers can post-process
+   (micro-smoke derives the linked-vs-interpreted speedup artifact). *)
 let run_micro ?(limit = 200) ?(quota = 0.5) ?tests () =
   print_endline "\n=== Bechamel micro-benchmarks (software code paths) ===";
   let tests = match tests with Some ts -> ts | None -> default_micro_tests () in
   let instances = [ Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let rows =
+  let results =
     List.concat_map
       (fun test ->
         let raw = Benchmark.all cfg instances test in
         let analyzed = Analyze.all ols Instance.monotonic_clock raw in
         Hashtbl.fold
           (fun name est acc ->
-            let time =
-              match Analyze.OLS.estimates est with
-              | Some (e :: _) -> Printf.sprintf "%12.0f ns/run  (%.3f ms)" e (e /. 1e6)
-              | _ -> "n/a"
+            let ns =
+              match Analyze.OLS.estimates est with Some (e :: _) -> Some e | _ -> None
             in
-            [ name; time ] :: acc)
+            (name, ns) :: acc)
           analyzed []
         |> List.sort compare)
       tests
   in
-  Prelude.Texttab.print ~header:[ "benchmark"; "estimated time" ] rows
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        let time =
+          match ns with
+          | Some e -> Printf.sprintf "%12.0f ns/run  (%.3f ms)" e (e /. 1e6)
+          | None -> "n/a"
+        in
+        [ name; time ])
+      results
+  in
+  Prelude.Texttab.print ~header:[ "benchmark"; "estimated time" ] rows;
+  results
+
+(* The artifact the CI smoke publishes: interpreted vs linked packet path. *)
+let write_bench_link results =
+  let module J = Prelude.Json in
+  let find n = Option.join (List.assoc_opt n results) in
+  match
+    (find "ipbm/packet-forward", find "ipbm/packet-forward-linked")
+  with
+  | Some interp, Some linked when linked > 0.0 ->
+    let j =
+      J.Obj
+        [
+          ("interp_ns_per_packet", J.Float interp);
+          ("linked_ns_per_packet", J.Float linked);
+          ("speedup", J.Float (interp /. linked));
+        ]
+    in
+    let oc = open_out "BENCH_link.json" in
+    output_string oc (J.to_string_pretty j);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "BENCH_link.json: linked speedup %.2fx (%.0f -> %.0f ns)\n"
+      (interp /. linked) interp linked
+  | _ -> prerr_endline "BENCH_link.json not written: missing estimates"
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -150,10 +202,13 @@ let all_experiments =
     ("ablation-layout", Harness.Experiments.ablation_layout);
     ("ablation-throughput", Harness.Experiments.ablation_throughput);
     ("ablation-crossbar", Harness.Experiments.ablation_crossbar);
-    ("micro", fun () -> run_micro ());
-    (* CI smoke: just the packet-path pair with a tiny iteration budget. *)
+    ("micro", fun () -> ignore (run_micro ()));
+    (* CI smoke: just the packet-path trio with a tiny iteration budget;
+       emits the BENCH_link.json linked-vs-interpreted artifact. *)
     ( "micro-smoke",
-      fun () -> run_micro ~limit:25 ~quota:0.05 ~tests:packet_path_tests () );
+      fun () ->
+        write_bench_link (run_micro ~limit:25 ~quota:0.05 ~tests:packet_path_tests ())
+    );
   ]
 
 let () =

@@ -24,9 +24,15 @@ type t = {
   mutable trace : Telemetry.Trace.t option;
 }
 
-let create ?trace pkt =
-  let meta = Net.Meta.create () in
-  Net.Meta.set_int meta "in_port" pkt.Net.Packet.in_port;
+(* [layout] is the device's program-wide metadata layout; omitting it
+   gives the packet a private layout holding only the intrinsics. *)
+let create ?trace ?layout pkt =
+  let meta =
+    match layout with
+    | Some l -> Net.Meta.create_in l
+    | None -> Net.Meta.create ()
+  in
+  Net.Meta.set_int_slot meta Net.Meta.slot_in_port pkt.Net.Packet.in_port;
   {
     pkt;
     pmap = Net.Pmap.create ();
@@ -40,12 +46,14 @@ let create ?trace pkt =
 
 let add_cycles t n = t.cycles <- t.cycles + n
 
-let dropped t = t.pkt.Net.Packet.dropped || Net.Meta.get_int t.meta "drop" = 1
+let dropped t =
+  t.pkt.Net.Packet.dropped
+  || Net.Meta.get_int_slot t.meta Net.Meta.slot_drop = 1
 
 (* Commit the metadata routing decision onto the packet. *)
 let finalize t =
   if dropped t then Net.Packet.drop t.pkt
   else begin
-    let out = Net.Meta.get_int t.meta "out_port" in
+    let out = Net.Meta.get_int_slot t.meta Net.Meta.slot_out_port in
     Net.Packet.set_out_port t.pkt out
   end

@@ -44,7 +44,7 @@ type instruments = {
 
 type t = {
   registry : Net.Hdrdef.registry;
-  meta_decl : (string, int) Hashtbl.t; (* program metadata fields *)
+  meta_layout : Net.Meta.Layout.t; (* program metadata fields, dense slots *)
   pool : Mem.Pool.t;
   crossbar : Mem.Crossbar.t;
   tables : (string, Table.t) Hashtbl.t;
@@ -56,6 +56,8 @@ type t = {
   outputs : Net.Packet.t Queue.t array;
   input_buffer : Net.Packet.t Queue.t;
   mutable updating : bool;
+  mutable use_linked : bool; (* run pre-bound programs off the fast path *)
+  mutable next_pkt_id : int; (* per-device packet id sequence *)
   stats : stats;
   tel : Telemetry.t;
   instr : instruments;
@@ -66,12 +68,12 @@ let default_pool () =
   Mem.Pool.create ~nblocks:64 ~block_width:128 ~block_depth:1024 ~nclusters:4
 
 let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
-    ?(crossbar_kind = Mem.Crossbar.Full) ?pool ?telemetry () =
+    ?(crossbar_kind = Mem.Crossbar.Full) ?pool ?telemetry ?(linked = true) () =
   let pool = match pool with Some p -> p | None -> default_pool () in
   let tel = match telemetry with Some t -> t | None -> Telemetry.nop () in
   {
     registry = Net.Hdrdef.create_registry ();
-    meta_decl = Hashtbl.create 16;
+    meta_layout = Net.Meta.Layout.create ();
     pool;
     crossbar = Mem.Crossbar.create ~kind:crossbar_kind ~ntsps;
     tables = Hashtbl.create 16;
@@ -83,6 +85,8 @@ let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
     outputs = Array.init nports (fun _ -> Queue.create ());
     input_buffer = Queue.create ();
     updating = false;
+    use_linked = linked;
+    next_pkt_id = 0;
     stats =
       {
         injected = 0;
@@ -155,7 +159,9 @@ let refresh_telemetry t =
 
 let find_table t name = Hashtbl.find_opt t.tables name
 
-let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+(* Sorted for deterministic stats/trace output. *)
+let table_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
 
 (* A TSP reaches a logical table iff the crossbar connects it to every
    memory block backing the table. *)
@@ -178,13 +184,39 @@ let env t : Tsp.env =
     probes = t.probes;
   }
 
+(* The linking step of template download: compile every loaded template
+   into its pre-bound form against the device's *current* registry,
+   metadata layout, crossbar wiring and table set. Anything the linker
+   resolves can only change through a configuration patch, so re-linking
+   at the end of [apply_patch] keeps the fast path coherent. *)
+let relink t =
+  let lenv =
+    {
+      Linked.registry = t.registry;
+      find_table =
+        (fun ~tsp name ->
+          if table_reachable t ~tsp name then Hashtbl.find_opt t.tables name
+          else None);
+      cycles_cfg = t.cycles_cfg;
+      tel = t.tel;
+      probes = t.probes;
+      layout = t.meta_layout;
+    }
+  in
+  for i = 0 to Pipeline.ntsps t.pipeline - 1 do
+    let slot = Pipeline.slot t.pipeline i in
+    slot.Tsp.linked <-
+      (match slot.Tsp.template with
+      | Some tmpl when t.use_linked -> Some (Linked.link lenv ~tsp:i tmpl)
+      | _ -> None)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* PM: packet processing                                               *)
 (* ------------------------------------------------------------------ *)
 
 let process_one ?trace t pkt =
-  let ctx = Context.create ?trace pkt in
-  Hashtbl.iter (fun n w -> Net.Meta.declare ctx.Context.meta n w) t.meta_decl;
+  let ctx = Context.create ?trace ~layout:t.meta_layout pkt in
   let env = env t in
   let account ctx =
     t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
@@ -215,14 +247,23 @@ let process_one ?trace t pkt =
       else begin
         t.stats.forwarded <- t.stats.forwarded + 1;
         Telemetry.Counter.incr t.instr.i_forwarded;
-        let port = Net.Meta.get_int ctx.Context.meta "out_port" mod t.nports in
+        let port =
+          Net.Meta.get_int_slot ctx.Context.meta Net.Meta.slot_out_port mod t.nports
+        in
         Queue.add ctx.Context.pkt t.outputs.(port);
         Some (port, ctx)
       end
   end
 
+(* Restamp with this device's own id sequence, so ids are per-device
+   rather than shared process-wide. *)
+let stamp t pkt =
+  t.next_pkt_id <- t.next_pkt_id + 1;
+  Net.Packet.set_id pkt t.next_pkt_id
+
 (* CM: packet input. During an update, packets wait in the input buffer. *)
 let inject t pkt =
+  stamp t pkt;
   t.stats.injected <- t.stats.injected + 1;
   Telemetry.Counter.incr t.instr.i_injected;
   if t.updating then begin
@@ -237,6 +278,7 @@ let inject t pkt =
    the outcome. Traced packets skip the update buffer: the caller wants
    this packet's path through the *current* pipeline. *)
 let inject_traced t pkt =
+  stamp t pkt;
   t.stats.injected <- t.stats.injected + 1;
   Telemetry.Counter.incr t.instr.i_injected;
   let trace = Telemetry.Trace.create () in
@@ -268,7 +310,7 @@ type load_report = {
 
 let apply_op t = function
   | Config.Declare_meta fields ->
-    List.iter (fun (n, w) -> Hashtbl.replace t.meta_decl n w) fields;
+    List.iter (fun (n, w) -> Net.Meta.Layout.declare t.meta_layout n w) fields;
     Ok ()
   | Config.Write_template (tsp, tmpl) ->
     if tsp < 0 || tsp >= Pipeline.ntsps t.pipeline then
@@ -361,7 +403,10 @@ let apply_patch t (patch : Config.t) : (load_report, string) result =
         if Context.dropped ctx then t.stats.dropped <- t.stats.dropped + 1
         else begin
           t.stats.forwarded <- t.stats.forwarded + 1;
-          let port = Net.Meta.get_int ctx.Context.meta "out_port" mod t.nports in
+          let port =
+            Net.Meta.get_int_slot ctx.Context.meta Net.Meta.slot_out_port
+            mod t.nports
+          in
           Queue.add ctx.Context.pkt t.outputs.(port)
         end)
   in
@@ -385,6 +430,10 @@ let apply_patch t (patch : Config.t) : (load_report, string) result =
   t.updating <- false;
   t.stats.updates_applied <- t.stats.updates_applied + 1;
   Telemetry.Counter.incr t.instr.i_updates;
+  (* Linking step of template download: re-bind every loaded template
+     against the post-patch registry, layout, wiring and tables — before
+     buffered arrivals are released through the new pipeline. *)
+  relink t;
   (* Release buffered arrivals through the (new) pipeline. *)
   let rec flush () =
     match Queue.take_opt t.input_buffer with

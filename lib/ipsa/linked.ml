@@ -1,0 +1,547 @@
+(* Load-time template linking.
+
+   In the paper a TSP is programmed by "downloading the template
+   parameters" (Sec. 2.2): name resolution happens once, at configuration
+   time, and the per-packet data path then runs with pre-bound field
+   indicators. This module is that download step for the software model:
+   it compiles a [Template.t] into closures over the packet context in
+   which
+
+   - every "hdr.field" / "meta.x" reference is an interned id plus a
+     [(bit_off, width)] accessor resolved against the current header
+     registry and metadata layout,
+   - the matcher program, condition expressions and executor actions are
+     OCaml closures (no AST walking),
+   - table lookups go to the [Table.t] resolved through the crossbar at
+     link time, and
+   - distributed parsing walks an id-indexed parse graph.
+
+   The steady-state packet path therefore performs no string splitting
+   and no string-keyed hashtable lookups. The string-based interpreter in
+   [Tsp]/[Action_eval] remains the reference semantics; a linked program
+   must be observationally equivalent (the property tests in
+   test_linked.ml enforce this), so every closure below mirrors its
+   reference counterpart exactly — including which exception escapes
+   when a reference is unresolvable.
+
+   Devices re-link after every configuration patch ([Device.apply_patch],
+   [Pisa.Device.reload]); anything resolved here may go stale across a
+   patch, never within one. *)
+
+module B = Net.Bits
+
+(* What the linker needs from the device; mirrors [Tsp.env] plus the
+   program metadata layout. *)
+type env = {
+  registry : Net.Hdrdef.registry;
+  find_table : tsp:int -> string -> Table.t option;
+  cycles_cfg : Cycles.t;
+  tel : Telemetry.t;
+  probes : Telemetry.stage_probe array; (* indexed by TSP id *)
+  layout : Net.Meta.Layout.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parse graph: the header-linkage walk, pre-resolved to ids            *)
+(* ------------------------------------------------------------------ *)
+
+type pnode = {
+  pn_def : Net.Hdrdef.t;
+  pn_sel : (int * int) array; (* selector (bit_off, width) within the header *)
+  pn_links : (B.t * int) array; (* selector tag -> next header id *)
+}
+
+type pgraph = {
+  pg_nodes : (int, pnode) Hashtbl.t; (* keyed by interned header name *)
+  pg_first : int option;
+}
+
+let build_pgraph (r : Net.Hdrdef.registry) =
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun (def : Net.Hdrdef.t) ->
+      let sel =
+        Array.of_list
+          (List.map (Net.Hdrdef.field_offset_exn def) def.Net.Hdrdef.sel_fields)
+      in
+      let links =
+        Net.Hdrdef.links_of r def.Net.Hdrdef.name
+        |> List.map (fun (l : Net.Hdrdef.link) ->
+               (l.Net.Hdrdef.tag, Net.Intern.id l.Net.Hdrdef.next))
+        |> Array.of_list
+      in
+      Hashtbl.replace nodes def.Net.Hdrdef.id
+        { pn_def = def; pn_sel = sel; pn_links = links })
+    (Net.Hdrdef.defs r);
+  { pg_nodes = nodes; pg_first = Option.map Net.Intern.id r.Net.Hdrdef.first }
+
+let read_selector pkt node ~bit_off =
+  let parts =
+    Array.to_list
+      (Array.map
+         (fun (off, width) -> Net.Packet.get_bits pkt ~off:(bit_off + off) ~width)
+         node.pn_sel)
+  in
+  B.concat_list parts
+
+let next_of node tag =
+  let n = Array.length node.pn_links in
+  let rec go i =
+    if i >= n then None
+    else
+      let t, next = node.pn_links.(i) in
+      if B.equal t tag then Some next else go (i + 1)
+  in
+  go 0
+
+(* Id-indexed twin of [Parse_engine.ensure_parsed]; same resume-from-the-
+   deepest-parsed-header behaviour and the same budget on linkage loops. *)
+let ensure_parsed ?(budget = 32) g (ctx : Context.t) target =
+  let pmap = ctx.Context.pmap in
+  if Net.Pmap.is_valid_id pmap target then true
+  else begin
+    let deepest =
+      Net.Pmap.fold_valid
+        (fun hid inst acc ->
+          match acc with
+          | Some (_, best) when best.Net.Pmap.bit_off >= inst.Net.Pmap.bit_off -> acc
+          | _ -> Some (hid, inst))
+        pmap None
+    in
+    let rec walk hid bit_off steps =
+      if steps <= 0 then false
+      else
+        match Hashtbl.find_opt g.pg_nodes hid with
+        | None -> false
+        | Some node ->
+          let width = node.pn_def.Net.Hdrdef.width in
+          if bit_off + width > 8 * Net.Packet.length ctx.Context.pkt then false
+          else begin
+            ctx.Context.parse_attempts <- ctx.Context.parse_attempts + 1;
+            if not (Net.Pmap.is_valid_id pmap hid) then
+              Net.Pmap.add pmap ~def:node.pn_def ~bit_off;
+            if hid = target then true
+            else if Array.length node.pn_sel = 0 then false (* leaf header *)
+            else begin
+              let tag = read_selector ctx.Context.pkt node ~bit_off in
+              match next_of node tag with
+              | Some next -> walk next (bit_off + width) (steps - 1)
+              | None -> false
+            end
+          end
+    in
+    match deepest with
+    | Some (hid, inst) when hid <> target -> (
+      match Hashtbl.find_opt g.pg_nodes hid with
+      | Some node when Array.length node.pn_sel > 0 -> (
+        let tag = read_selector ctx.Context.pkt node ~bit_off:inst.Net.Pmap.bit_off in
+        match next_of node tag with
+        | Some next ->
+          walk next (inst.Net.Pmap.bit_off + node.pn_def.Net.Hdrdef.width) budget
+        | None -> false)
+      | _ -> false)
+    | _ -> (
+      match g.pg_first with Some first -> walk first 0 budget | None -> false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expression / condition / statement compilation                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Closure environment: the context plus positionally-bound action
+   arguments (already resized to the declared parameter widths). *)
+type aenv = { actx : Context.t; aargs : B.t array }
+
+(* Link-time resolution of a header field against the current registry.
+   [None] when the header type or field is unknown — the reference
+   interpreter would find no parsed instance either, so the compiled
+   closure behaves as "never valid". *)
+let resolve_hdr env h f =
+  match Net.Hdrdef.find env.registry h with
+  | None -> None
+  | Some def -> (
+    match Net.Hdrdef.field_offset def f with
+    | None -> None
+    | Some (off, width) -> Some (def.Net.Hdrdef.id, off, width))
+
+(* Static width of an expression under demand width [want] — mirrors the
+   width [Action_eval.eval_expr] would observe at runtime (all leaf widths
+   are known at link time). *)
+let rec expr_width env ~params ~want : Rp4.Ast.expr -> int = function
+  | Rp4.Ast.E_const (_, Some w) -> w
+  | Rp4.Ast.E_const (_, None) -> want
+  | Rp4.Ast.E_param p -> (
+    match List.assoc_opt p params with Some w -> w | None -> want)
+  | Rp4.Ast.E_field (Rp4.Ast.Meta_field f) -> (
+    match Net.Meta.Layout.slot env.layout f with
+    | Some s -> Net.Meta.Layout.width env.layout s
+    | None -> want)
+  | Rp4.Ast.E_field (Rp4.Ast.Hdr_field (h, f)) -> (
+    match resolve_hdr env h f with Some (_, _, w) -> w | None -> want)
+  | Rp4.Ast.E_binop (_, a, _) -> expr_width env ~params ~want a
+
+let compile_read env (fr : Rp4.Ast.field_ref) : aenv -> B.t =
+  match fr with
+  | Rp4.Ast.Meta_field f -> (
+    match Net.Meta.Layout.slot env.layout f with
+    | Some s -> fun e -> Net.Meta.get_slot e.actx.Context.meta s
+    | None ->
+      fun _ -> invalid_arg (Printf.sprintf "Meta.get: undeclared field meta.%s" f))
+  | Rp4.Ast.Hdr_field (h, f) -> (
+    match resolve_hdr env h f with
+    | Some (hid, off, width) ->
+      fun e -> (
+        match
+          Net.Pmap.get_field_id e.actx.Context.pkt e.actx.Context.pmap ~hid ~off
+            ~width
+        with
+        | Some v -> v
+        | None -> Action_eval.runtime_error "read of invalid header field %s.%s" h f)
+    | None ->
+      fun _ -> Action_eval.runtime_error "read of invalid header field %s.%s" h f)
+
+let rec compile_expr env ~params ~want (e : Rp4.Ast.expr) : aenv -> B.t =
+  match e with
+  | Rp4.Ast.E_const (v, Some w) ->
+    let c = B.of_int64 ~width:w v in
+    fun _ -> c
+  | Rp4.Ast.E_const (v, None) ->
+    let c = B.of_int64 ~width:want v in
+    fun _ -> c
+  | Rp4.Ast.E_field fr -> compile_read env fr
+  | Rp4.Ast.E_param p -> (
+    let rec index i = function
+      | [] -> None
+      | (q, _) :: rest -> if q = p then Some i else index (i + 1) rest
+    in
+    match index 0 params with
+    | Some i -> fun e -> e.aargs.(i)
+    | None -> fun _ -> Action_eval.runtime_error "unbound action parameter %s" p)
+  | Rp4.Ast.E_binop (op, a, b) ->
+    let fa = compile_expr env ~params ~want a in
+    let w = expr_width env ~params ~want a in
+    let fb = compile_expr env ~params ~want:w b in
+    let f =
+      match op with
+      | Rp4.Ast.Add -> B.add
+      | Rp4.Ast.Sub -> B.sub
+      | Rp4.Ast.Band -> B.logand
+      | Rp4.Ast.Bor -> B.logor
+      | Rp4.Ast.Bxor -> B.logxor
+    in
+    (* Left operand first, as in the reference interpreter. *)
+    fun e ->
+      let va = fa e in
+      let vb = B.resize (fb e) w in
+      f va vb
+
+let rec compile_cond env ~params (c : Rp4.Ast.cond) : aenv -> bool =
+  match c with
+  | Rp4.Ast.C_true -> fun _ -> true
+  | Rp4.Ast.C_valid h ->
+    let hid = Net.Intern.id h in
+    fun e -> Net.Pmap.is_valid_id e.actx.Context.pmap hid
+  | Rp4.Ast.C_not c ->
+    let f = compile_cond env ~params c in
+    fun e -> not (f e)
+  | Rp4.Ast.C_and (a, b) ->
+    let fa = compile_cond env ~params a and fb = compile_cond env ~params b in
+    fun e -> fa e && fb e
+  | Rp4.Ast.C_or (a, b) ->
+    let fa = compile_cond env ~params a and fb = compile_cond env ~params b in
+    fun e -> fa e || fb e
+  | Rp4.Ast.C_rel (op, a, b) ->
+    let fa = compile_expr env ~params ~want:64 a in
+    let w = expr_width env ~params ~want:64 a in
+    let fb = compile_expr env ~params ~want:w b in
+    let test =
+      match op with
+      | Rp4.Ast.Eq -> fun c -> c = 0
+      | Rp4.Ast.Neq -> fun c -> c <> 0
+      | Rp4.Ast.Lt -> fun c -> c < 0
+      | Rp4.Ast.Gt -> fun c -> c > 0
+      | Rp4.Ast.Le -> fun c -> c <= 0
+      | Rp4.Ast.Ge -> fun c -> c >= 0
+    in
+    fun e ->
+      let va = fa e in
+      let vb = B.resize (fb e) w in
+      test (B.compare va vb)
+
+(* Write accessor for an assignment destination: takes the value already
+   resized to the destination width. *)
+let compile_stmt env ~params (s : Rp4.Ast.stmt) : aenv -> unit =
+  match s with
+  | Rp4.Ast.S_noop -> fun _ -> ()
+  | Rp4.Ast.S_drop ->
+    let one = B.of_int ~width:1 1 in
+    fun e -> Net.Meta.set_slot e.actx.Context.meta Net.Meta.slot_drop one
+  | Rp4.Ast.S_mark m ->
+    let fm = compile_expr env ~params ~want:8 m in
+    fun e -> Net.Meta.set_slot e.actx.Context.meta Net.Meta.slot_mark (fm e)
+  | Rp4.Ast.S_set_valid _ ->
+    fun _ -> () (* as in the reference: insertion is a controller-level op *)
+  | Rp4.Ast.S_set_invalid h ->
+    let hid = Net.Intern.id h in
+    fun e -> Net.Pmap.invalidate_id e.actx.Context.pmap hid
+  | Rp4.Ast.S_mark_exceed (th, v) ->
+    let fth = compile_expr env ~params ~want:32 th in
+    let fv = compile_expr env ~params ~want:8 v in
+    fun e ->
+      let hits =
+        match e.actx.Context.last_lookup with
+        | Some lr -> lr.Context.lr_hits
+        | None -> 0
+      in
+      let threshold = B.to_int (fth e) in
+      if hits > threshold then
+        Net.Meta.set_slot e.actx.Context.meta Net.Meta.slot_mark (fv e)
+  | Rp4.Ast.S_assign (Rp4.Ast.Meta_field f, ex) -> (
+    match Net.Meta.Layout.slot env.layout f with
+    | Some s ->
+      let w = Net.Meta.Layout.width env.layout s in
+      let fe = compile_expr env ~params ~want:w ex in
+      fun e -> Net.Meta.set_slot e.actx.Context.meta s (B.resize (fe e) w)
+    | None ->
+      (* Reference order: evaluate the RHS (dest width defaults to 64),
+         then fail on the write. *)
+      let fe = compile_expr env ~params ~want:64 ex in
+      fun e ->
+        ignore (fe e);
+        invalid_arg (Printf.sprintf "Meta.set: undeclared field meta.%s" f))
+  | Rp4.Ast.S_assign (Rp4.Ast.Hdr_field (h, f), ex) -> (
+    match resolve_hdr env h f with
+    | Some (hid, off, w) ->
+      let fe = compile_expr env ~params ~want:w ex in
+      fun e ->
+        let v = B.resize (fe e) w in
+        if not (Net.Pmap.set_field_id e.actx.Context.pkt e.actx.Context.pmap ~hid ~off v)
+        then
+          invalid_arg (Printf.sprintf "Pmap.set_field: %s.%s not parsed/valid" h f)
+    | None ->
+      let fe = compile_expr env ~params ~want:64 ex in
+      fun e ->
+        ignore (fe e);
+        invalid_arg (Printf.sprintf "Pmap.set_field: %s.%s not parsed/valid" h f))
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type laction = {
+  la_name : string;
+  la_widths : int array; (* declared parameter widths, positional *)
+  la_body : (aenv -> unit) array;
+}
+
+let compile_action env (a : Rp4.Ast.action_decl) =
+  {
+    la_name = a.Rp4.Ast.ad_name;
+    la_widths = Array.of_list (List.map snd a.Rp4.Ast.ad_params);
+    la_body =
+      Array.of_list
+        (List.map (compile_stmt env ~params:a.Rp4.Ast.ad_params) a.Rp4.Ast.ad_body);
+  }
+
+(* Positional argument binding, mirroring [Action_eval.run_action]. *)
+let run_laction (ctx : Context.t) la (args : B.t list) =
+  let n = Array.length la.la_widths in
+  let nargs = List.length args in
+  if nargs <> n then
+    Action_eval.runtime_error "action %s expects %d args, got %d" la.la_name n nargs;
+  let aargs = Array.make n (B.zero 1) in
+  List.iteri (fun i v -> aargs.(i) <- B.resize v la.la_widths.(i)) args;
+  let e = { actx = ctx; aargs } in
+  Array.iter (fun f -> f e) la.la_body
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type ltable = {
+  lt_name : string;
+  lt_entry_width : int;
+  lt_table : Table.t option; (* unreachable/missing = always miss *)
+  lt_keys : (aenv -> B.t option) array; (* pre-resized to the key width *)
+}
+
+let compile_key env (f : Table.Key.field) : aenv -> B.t option =
+  let w = f.Table.Key.kf_width in
+  let a, b = Net.Fieldref.split f.Table.Key.kf_ref in
+  if a = "meta" then
+    match Net.Meta.Layout.slot env.layout b with
+    | Some s -> fun e -> Some (B.resize (Net.Meta.get_slot e.actx.Context.meta s) w)
+    | None ->
+      fun _ -> invalid_arg (Printf.sprintf "Meta.get: undeclared field meta.%s" b)
+  else
+    match resolve_hdr env a b with
+    | Some (hid, off, width) ->
+      fun e -> (
+        match
+          Net.Pmap.get_field_id e.actx.Context.pkt e.actx.Context.pmap ~hid ~off
+            ~width
+        with
+        | Some v -> Some (B.resize v w)
+        | None -> None)
+    | None -> fun _ -> None
+
+let compile_table env ~tsp (ct : Template.compiled_table) =
+  {
+    lt_name = ct.Template.ct_name;
+    lt_entry_width = ct.Template.ct_entry_width;
+    lt_table = env.find_table ~tsp ct.Template.ct_name;
+    lt_keys = Array.of_list (List.map (compile_key env) ct.Template.ct_fields);
+  }
+
+(* Mirror of [Tsp.apply_table] over pre-bound state. *)
+let apply_ltable env probe lt (ctx : Context.t) =
+  ctx.Context.lookups <- ctx.Context.lookups + 1;
+  Context.add_cycles ctx
+    (Cycles.mem_access_cycles env.cycles_cfg ~entry_width:lt.lt_entry_width);
+  Telemetry.Counter.incr probe.Telemetry.sp_lookups;
+  let record ~hit ~tag =
+    if hit then Telemetry.Counter.incr probe.Telemetry.sp_hits
+    else Telemetry.Counter.incr probe.Telemetry.sp_misses;
+    if Telemetry.enabled env.tel then
+      Telemetry.Counter.incr (Telemetry.table_counter env.tel ~table:lt.lt_name ~hit);
+    match ctx.Context.trace with
+    | Some tr -> Telemetry.Trace.on_lookup tr ~table:lt.lt_name ~hit ~tag
+    | None -> ()
+  in
+  let miss () =
+    ctx.Context.last_lookup <-
+      Some { Context.lr_tag = 0; lr_args = []; lr_hit = false; lr_hits = 0 };
+    record ~hit:false ~tag:0
+  in
+  match lt.lt_table with
+  | None -> miss ()
+  | Some table -> (
+    let e = { actx = ctx; aargs = [||] } in
+    let n = Array.length lt.lt_keys in
+    let rec values i acc =
+      if i >= n then Some (List.rev acc)
+      else
+        match lt.lt_keys.(i) e with
+        | Some v -> values (i + 1) (v :: acc)
+        | None -> None
+    in
+    match values 0 [] with
+    | None -> miss ()
+    | Some values -> (
+      match Table.apply table values with
+      | Some o ->
+        let tag =
+          match int_of_string_opt o.Table.o_action with Some t -> t | None -> 0
+        in
+        ctx.Context.last_lookup <-
+          Some
+            {
+              Context.lr_tag = tag;
+              lr_args = o.Table.o_args;
+              lr_hit = o.Table.o_hit;
+              lr_hits = o.Table.o_hits;
+            };
+        record ~hit:o.Table.o_hit ~tag;
+        Net.Meta.set_int_slot ctx.Context.meta Net.Meta.slot_switch_tag tag
+      | None -> miss ()))
+
+(* ------------------------------------------------------------------ *)
+(* Matcher, executor, stage                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_matcher env probe (cs : Template.compiled_stage) ltables
+    (m : Rp4.Ast.matcher) : Context.t -> unit =
+  match m with
+  | Rp4.Ast.M_nop -> fun _ -> ()
+  | Rp4.Ast.M_seq ms ->
+    let fs = Array.of_list (List.map (compile_matcher env probe cs ltables) ms) in
+    fun ctx -> Array.iter (fun f -> f ctx) fs
+  | Rp4.Ast.M_if (c, a, b) ->
+    let fc = compile_cond env ~params:[] c in
+    let fa = compile_matcher env probe cs ltables a in
+    let fb = compile_matcher env probe cs ltables b in
+    fun ctx -> if fc { actx = ctx; aargs = [||] } then fa ctx else fb ctx
+  | Rp4.Ast.M_apply tname -> (
+    match List.find_opt (fun lt -> lt.lt_name = tname) ltables with
+    | Some lt -> fun ctx -> apply_ltable env probe lt ctx
+    | None ->
+      fun _ ->
+        raise
+          (Action_eval.Runtime_error
+             (Printf.sprintf "stage %s applies table %s missing from template"
+                cs.Template.cs_name tname)))
+
+type prog = { lp_stages : (Context.t -> unit) array; lp_pgraph : pgraph }
+
+let link_stage env ~tsp ~pg (cs : Template.compiled_stage) : Context.t -> unit =
+  let probe = env.probes.(tsp) in
+  let parse = Array.of_list (List.map Net.Intern.id cs.Template.cs_parser) in
+  let parse_names = Array.of_list cs.Template.cs_parser in
+  let ltables = List.map (compile_table env ~tsp) cs.Template.cs_tables in
+  let matcher = compile_matcher env probe cs ltables cs.Template.cs_matcher in
+  let cases =
+    List.map
+      (fun (tag, acts) -> (tag, List.map (compile_action env) acts))
+      cs.Template.cs_cases
+  in
+  let default = List.map (compile_action env) cs.Template.cs_default in
+  let stage_name = cs.Template.cs_name in
+  let parse_per_header = env.cycles_cfg.Cycles.parse_per_header in
+  let executor_base = env.cycles_cfg.Cycles.executor_base in
+  fun ctx ->
+    (match ctx.Context.trace with
+    | Some tr -> Telemetry.Trace.on_stage tr stage_name
+    | None -> ());
+    (* Parser sub-module: distributed on-demand parsing over the graph. *)
+    let before = ctx.Context.parse_attempts in
+    Array.iteri
+      (fun i hid ->
+        let attempts0 = ctx.Context.parse_attempts in
+        ignore (ensure_parsed pg ctx hid);
+        match ctx.Context.trace with
+        | Some tr when ctx.Context.parse_attempts > attempts0 ->
+          Telemetry.Trace.on_parse tr parse_names.(i)
+        | _ -> ())
+      parse;
+    let parsed_now = ctx.Context.parse_attempts - before in
+    Context.add_cycles ctx (parsed_now * parse_per_header);
+    Telemetry.Counter.add probe.Telemetry.sp_parse_ops parsed_now;
+    (* Matcher, then executor on the lookup outcome. *)
+    ctx.Context.last_lookup <- None;
+    matcher ctx;
+    match ctx.Context.last_lookup with
+    | None -> ()
+    | Some lr ->
+      let actions, args =
+        match List.assoc_opt lr.Context.lr_tag cases with
+        | Some acts when lr.Context.lr_hit -> (acts, lr.Context.lr_args)
+        | _ -> (default, [])
+      in
+      List.iter
+        (fun la ->
+          Context.add_cycles ctx executor_base;
+          Telemetry.Counter.incr probe.Telemetry.sp_actions;
+          (match ctx.Context.trace with
+          | Some tr -> Telemetry.Trace.on_action tr
+          | None -> ());
+          (* Positional binding; NoAction-style empty bodies take no args. *)
+          let args = if Array.length la.la_widths = 0 then [] else args in
+          run_laction ctx la args)
+        actions
+
+(* Compile a full template against the device's current registry, layout,
+   crossbar wiring and table set. *)
+let link env ~tsp (tmpl : Template.t) : prog =
+  let pg = build_pgraph env.registry in
+  {
+    lp_stages =
+      Array.of_list (List.map (link_stage env ~tsp ~pg) tmpl.Template.stages);
+    lp_pgraph = pg;
+  }
+
+(* Run the stage programs; the caller ([Tsp.process]) owns trace start /
+   finish, the per-packet template fetch cost and the packet counter. *)
+let run_stages prog (ctx : Context.t) =
+  Array.iter
+    (fun f -> if not (Context.dropped ctx) then f ctx)
+    prog.lp_stages

@@ -44,10 +44,9 @@ let field_ref_to_json fr = J.String (Rp4.Ast.field_ref_to_string fr)
 
 let field_ref_of_json j =
   let s = J.to_str j in
-  match String.index_opt s '.' with
-  | Some i ->
-    let a = String.sub s 0 i and b = String.sub s (i + 1) (String.length s - i - 1) in
-    if a = "meta" then Rp4.Ast.Meta_field b else Rp4.Ast.Hdr_field (a, b)
+  match Net.Fieldref.split_opt s with
+  | Some ("meta", b) -> Rp4.Ast.Meta_field b
+  | Some (a, b) -> Rp4.Ast.Hdr_field (a, b)
   | None -> raise (J.Parse_error ("bad field ref " ^ s))
 
 let rec expr_to_json : Rp4.Ast.expr -> J.t = function

@@ -9,14 +9,18 @@
 type slot = {
   id : int;
   mutable template : Template.t option;
+  mutable linked : Linked.prog option; (* pre-bound form; rebuilt by relink *)
   mutable powered : bool; (* false = bypassed, low-power state *)
   mutable packets : int; (* packets this TSP actively processed *)
 }
 
-let make id = { id; template = None; powered = false; packets = 0 }
+let make id = { id; template = None; linked = None; powered = false; packets = 0 }
 
+(* Loading a new template invalidates any linked program; the device
+   re-links after the configuration patch completes. *)
 let load slot template =
   slot.template <- template;
+  slot.linked <- None;
   slot.powered <- template <> None
 
 (* Environment the TSP needs from the device: header linkage for parsing,
@@ -36,19 +40,13 @@ type env = {
   probes : Telemetry.stage_probe array; (* indexed by TSP id *)
 }
 
-let split_ref s =
-  match String.index_opt s '.' with
-  | Some i ->
-    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-  | None -> invalid_arg ("Tsp: malformed key field reference " ^ s)
-
 (* Read the values of a table's key fields from the packet context; [None]
    if any header field is invalid (treated as a miss). *)
 let key_values (ctx : Context.t) (ct : Template.compiled_table) =
   let rec go acc = function
     | [] -> Some (List.rev acc)
     | f :: rest ->
-      let a, b = split_ref f.Table.Key.kf_ref in
+      let a, b = Net.Fieldref.split f.Table.Key.kf_ref in
       let v =
         if a = "meta" then Some (Net.Meta.get ctx.Context.meta b)
         else Net.Pmap.get_field ctx.Context.pkt ctx.Context.pmap ~hdr:a ~field:b
@@ -188,9 +186,12 @@ let process ?(role = "") env slot (ctx : Context.t) =
       Telemetry.Trace.start tr ~tsp:slot.id ~role ~cycles:ctx.Context.cycles
     | None -> ());
     Context.add_cycles ctx (Cycles.template_cycles env.cycles_cfg);
-    List.iter
-      (fun cs -> if not (Context.dropped ctx) then run_stage env slot ctx cs)
-      template.Template.stages;
+    (match slot.linked with
+    | Some prog -> Linked.run_stages prog ctx
+    | None ->
+      List.iter
+        (fun cs -> if not (Context.dropped ctx) then run_stage env slot ctx cs)
+        template.Template.stages);
     match ctx.Context.trace with
     | Some tr -> Telemetry.Trace.finish tr ~cycles:ctx.Context.cycles
     | None -> ()

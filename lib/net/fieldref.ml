@@ -1,0 +1,21 @@
+(* The one "a.b" reference splitter.
+
+   rP4 templates and table key specs carry field references as flat
+   strings ("ipv4.dst_addr", "meta.nexthop"). Splitting them used to be
+   duplicated across the TSP and the template codec; every consumer now
+   goes through this helper, and the linking layer uses it exactly once
+   per reference at template-download time — never on the packet path. *)
+
+let split_opt s =
+  match String.index_opt s '.' with
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+let split s =
+  match split_opt s with
+  | Some p -> p
+  | None -> invalid_arg ("Fieldref.split: malformed field reference " ^ s)
+
+(* Does the reference name program metadata rather than a header? *)
+let is_meta s =
+  match split_opt s with Some ("meta", _) -> true | _ -> false

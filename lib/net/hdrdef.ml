@@ -11,6 +11,7 @@ type field = { f_name : string; f_width : int }
 
 type t = {
   name : string;
+  id : int; (* interned [name]; keys the id-indexed parsed-header map *)
   fields : field list;
   width : int; (* total header width in bits *)
   sel_fields : string list; (* fields forming the next-header tag, [] = leaf *)
@@ -23,7 +24,7 @@ let make ~name ~fields ~sel_fields =
       if not (List.exists (fun f -> f.f_name = s) fields) then
         invalid_arg (Printf.sprintf "Hdrdef.make: selector field %s.%s undeclared" name s))
     sel_fields;
-  { name; fields; width; sel_fields }
+  { name; id = Intern.id name; fields; width; sel_fields }
 
 (* Bit offset and width of a field inside the header. *)
 let field_offset t fname =
@@ -76,7 +77,10 @@ let find_exn r name =
 
 let mem r name = Hashtbl.mem r.defs name
 
-let defs r = Hashtbl.fold (fun _ d acc -> d :: acc) r.defs []
+(* Sorted by name so parse graphs and stats listings are deterministic. *)
+let defs r =
+  Hashtbl.fold (fun _ d acc -> d :: acc) r.defs []
+  |> List.sort (fun a b -> compare a.name b.name)
 
 (* Runtime header linkage: [link_header --pre X --next Y --tag v]. The tag
    width is taken from X's selector fields. *)

@@ -12,20 +12,33 @@ type t = {
   in_port : int;
   mutable out_port : int option;
   mutable dropped : bool;
-  id : int; (* unique per injection, for tracing *)
+  mutable id : int; (* creation id; devices restamp per-device at inject *)
 }
 
+(* Process-global creation counter. It only provides a provisional id so
+   packets are distinguishable before they reach a device; each device
+   restamps packets with its own per-device sequence at [inject], so two
+   devices in one process never share an id space. Overflow-safe: wraps
+   back to 1 instead of going negative (at one packet per nanosecond that
+   is ~292 years on 63-bit ints, but the guard costs nothing). *)
 let counter = ref 0
 
+let next_creation_id () =
+  let n = if !counter >= max_int - 1 then 1 else !counter + 1 in
+  counter := n;
+  n
+
+let set_id t id = t.id <- id
+let id t = t.id
+
 let create ?(in_port = 0) payload =
-  incr counter;
   {
     buf = Bytes.of_string payload;
     len = String.length payload;
     in_port;
     out_port = None;
     dropped = false;
-    id = !counter;
+    id = next_creation_id ();
   }
 
 let contents t = Bytes.sub_string t.buf 0 t.len

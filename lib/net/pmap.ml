@@ -4,33 +4,51 @@
    In IPSA the map is built incrementally as stages parse headers on
    demand and travels with the packet so later stages never re-parse
    (Sec. 2.1 of the paper). In the PISA model the front parser fills the
-   whole map before the pipeline. *)
+   whole map before the pipeline.
+
+   The map is keyed by *interned* header ids ([Intern.id] of the header
+   name, cached on [Hdrdef.t]), so the linked packet path looks instances
+   up by integer — no string hashing. The string-keyed accessors intern on
+   entry and serve the reference interpreter and tests. *)
 
 type inst = { def : Hdrdef.t; mutable bit_off : int; mutable valid : bool }
 
-type t = (string, inst) Hashtbl.t
+type t = (int, inst) Hashtbl.t
 
 let create () : t = Hashtbl.create 8
 
 let add t ~(def : Hdrdef.t) ~bit_off =
-  Hashtbl.replace t def.Hdrdef.name { def; bit_off; valid = true }
+  Hashtbl.replace t def.Hdrdef.id { def; bit_off; valid = true }
 
-let invalidate t name =
-  match Hashtbl.find_opt t name with
+let invalidate_id t hid =
+  match Hashtbl.find_opt t hid with
   | Some inst -> inst.valid <- false
   | None -> ()
 
-let remove t name = Hashtbl.remove t name
+let invalidate t name = invalidate_id t (Intern.id name)
 
-let find t name =
-  match Hashtbl.find_opt t name with
+let remove t name = Hashtbl.remove t (Intern.id name)
+
+let find_id t hid =
+  match Hashtbl.find_opt t hid with
   | Some inst when inst.valid -> Some inst
   | _ -> None
 
+let find t name = find_id t (Intern.id name)
+
+let is_valid_id t hid = find_id t hid <> None
 let is_valid t name = find t name <> None
 
+(* Sorted, so traces and stats output list headers deterministically. *)
 let names t =
-  Hashtbl.fold (fun name inst acc -> if inst.valid then name :: acc else acc) t []
+  Hashtbl.fold
+    (fun _ inst acc -> if inst.valid then inst.def.Hdrdef.name :: acc else acc)
+    t []
+  |> List.sort compare
+
+(* Fold over valid instances, in no particular order. *)
+let fold_valid f (t : t) acc =
+  Hashtbl.fold (fun hid inst acc -> if inst.valid then f hid inst acc else acc) t acc
 
 (* Absolute bit offset of [hdr.field] in the packet. *)
 let field_pos t ~hdr ~field =
@@ -55,6 +73,22 @@ let set_field pkt t ~hdr ~field v =
   match field_pos t ~hdr ~field with
   | Some (off, width) -> Packet.set_bits pkt ~off (Bits.resize v width)
   | None -> invalid_arg (Printf.sprintf "Pmap.set_field: %s.%s not parsed/valid" hdr field)
+
+(* --- id fast path: offsets pre-resolved at link time ----------------- *)
+
+let get_field_id pkt t ~hid ~off ~width =
+  match find_id t hid with
+  | Some inst -> Some (Packet.get_bits pkt ~off:(inst.bit_off + off) ~width)
+  | None -> None
+
+(* [v] must already be resized to the field width; returns [false] when
+   the instance is absent/invalid (caller decides how to report). *)
+let set_field_id pkt t ~hid ~off v =
+  match find_id t hid with
+  | Some inst ->
+    Packet.set_bits pkt ~off:(inst.bit_off + off) v;
+    true
+  | None -> false
 
 (* Shift all instances at or beyond [bit_off] by [delta] bits; used when
    bytes are inserted into or removed from the packet buffer. *)

@@ -26,17 +26,21 @@ type stats = {
 type stage = {
   id : int;
   mutable template : Ipsa.Template.t option;
+  mutable linked : Ipsa.Linked.prog option; (* pre-bound form, set at reload *)
   tables : (string, Table.t) Hashtbl.t; (* stage-local memory *)
 }
 
 type t = {
   registry : Net.Hdrdef.registry;
-  meta_decl : (string, int) Hashtbl.t;
+  mutable meta_layout : Net.Meta.Layout.t;
   stages : stage array;
   nports : int;
   outputs : Net.Packet.t Queue.t array;
   cycles_cfg : Ipsa.Cycles.t;
   mutable reloading : bool;
+  mutable use_linked : bool;
+  mutable pgraph : Ipsa.Linked.pgraph option; (* id-indexed front-parse graph *)
+  mutable next_pkt_id : int; (* per-device packet id sequence *)
   stats : stats;
   (* The PISA baseline is not instrumented: a no-op sink keeps the shared
      interpreter's telemetry cost at a single dead branch. *)
@@ -53,16 +57,22 @@ let pisa_cycles =
     template_fetch = 0;
   }
 
-let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles) () =
+let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles)
+    ?(linked = true) () =
   let tel = Telemetry.nop () in
   {
     registry = Net.Hdrdef.create_registry ();
-    meta_decl = Hashtbl.create 16;
-    stages = Array.init nstages (fun id -> { id; template = None; tables = Hashtbl.create 4 });
+    meta_layout = Net.Meta.Layout.create ();
+    stages =
+      Array.init nstages (fun id ->
+          { id; template = None; linked = None; tables = Hashtbl.create 4 });
     nports;
     outputs = Array.init nports (fun _ -> Queue.create ());
     cycles_cfg;
     reloading = false;
+    use_linked = linked;
+    pgraph = None;
+    next_pkt_id = 0;
     tel;
     probes = Array.init nstages (fun i -> Telemetry.stage_probe tel ~tsp:i);
     stats =
@@ -86,9 +96,11 @@ let find_table t name =
       match acc with Some _ -> acc | None -> Hashtbl.find_opt stage.tables name)
     None t.stages
 
+(* Sorted for deterministic stats output. *)
 let table_names t =
   Array.to_list t.stages
   |> List.concat_map (fun s -> Hashtbl.fold (fun k _ acc -> k :: acc) s.tables [])
+  |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Reload: the only way to change a PISA design                        *)
@@ -112,8 +124,9 @@ let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
   else begin
     t.stats.reloads <- t.stats.reloads + 1;
     (* wipe everything: headers, metadata, templates, tables *)
-    Hashtbl.reset t.meta_decl;
-    List.iter (fun (n, w) -> Hashtbl.replace t.meta_decl n w) meta;
+    let layout = Net.Meta.Layout.create () in
+    List.iter (fun (n, w) -> Net.Meta.Layout.declare layout n w) meta;
+    t.meta_layout <- layout;
     let fresh = Net.Hdrdef.create_registry () in
     List.iter (Net.Hdrdef.add_def fresh) registry_headers;
     (match first_header with
@@ -150,6 +163,28 @@ let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
                    }))
             (Ipsa.Template.tables tm))
       t.stages;
+    (* Linking step: PISA performs it as part of the full-design compile,
+       binding each stage's program against its local table memory. *)
+    t.pgraph <-
+      (if t.use_linked then Some (Ipsa.Linked.build_pgraph t.registry) else None);
+    Array.iter
+      (fun stage ->
+        stage.linked <-
+          (match stage.template with
+          | Some tmpl when t.use_linked ->
+            let lenv =
+              {
+                Ipsa.Linked.registry = t.registry;
+                find_table = (fun ~tsp:_ name -> Hashtbl.find_opt stage.tables name);
+                cycles_cfg = t.cycles_cfg;
+                tel = t.tel;
+                probes = t.probes;
+                layout = t.meta_layout;
+              }
+            in
+            Some (Ipsa.Linked.link lenv ~tsp:stage.id tmpl)
+          | _ -> None))
+      t.stages;
     Ok
       {
         rr_templates =
@@ -177,10 +212,17 @@ let front_parse t (ctx : Ipsa.Context.t) =
   | Some _first ->
     (* Walk as deep as the packet allows: request every defined header so
        the chain is followed to its end, as a PISA front parser would. *)
-    List.iter
-      (fun (def : Net.Hdrdef.t) ->
-        ignore (Ipsa.Parse_engine.ensure_parsed ctx t.registry def.Net.Hdrdef.name))
-      (Net.Hdrdef.defs t.registry);
+    (match t.pgraph with
+    | Some pg ->
+      List.iter
+        (fun (def : Net.Hdrdef.t) ->
+          ignore (Ipsa.Linked.ensure_parsed pg ctx def.Net.Hdrdef.id))
+        (Net.Hdrdef.defs t.registry)
+    | None ->
+      List.iter
+        (fun (def : Net.Hdrdef.t) ->
+          ignore (Ipsa.Parse_engine.ensure_parsed ctx t.registry def.Net.Hdrdef.name))
+        (Net.Hdrdef.defs t.registry));
     Ipsa.Context.add_cycles ctx
       (ctx.Ipsa.Context.parse_attempts * t.cycles_cfg.Ipsa.Cycles.parse_per_header)
 
@@ -194,6 +236,8 @@ let env_for_stage t (stage : stage) : Ipsa.Tsp.env =
   }
 
 let inject t pkt =
+  t.next_pkt_id <- t.next_pkt_id + 1;
+  Net.Packet.set_id pkt t.next_pkt_id;
   t.stats.injected <- t.stats.injected + 1;
   if t.reloading then begin
     (* hard downtime: the pipeline is being swapped *)
@@ -203,14 +247,16 @@ let inject t pkt =
     None
   end
   else begin
-    let ctx = Ipsa.Context.create pkt in
-    Hashtbl.iter (fun n w -> Net.Meta.declare ctx.Ipsa.Context.meta n w) t.meta_decl;
+    let ctx = Ipsa.Context.create ~layout:t.meta_layout pkt in
     front_parse t ctx;
     Array.iter
       (fun stage ->
         if not (Ipsa.Context.dropped ctx) then
-          match stage.template with
-          | Some tmpl ->
+          match (stage.linked, stage.template) with
+          | Some prog, _ ->
+            (* pre-bound stage body: no per-packet template fetch *)
+            Ipsa.Linked.run_stages prog ctx
+          | None, Some tmpl ->
             let env = env_for_stage t stage in
             let slot = Ipsa.Tsp.make stage.id in
             slot.Ipsa.Tsp.template <- Some tmpl;
@@ -220,7 +266,7 @@ let inject t pkt =
               (fun cs ->
                 if not (Ipsa.Context.dropped ctx) then Ipsa.Tsp.run_stage env slot ctx cs)
               tmpl.Ipsa.Template.stages
-          | None -> ())
+          | None, None -> ())
       t.stages;
     Ipsa.Context.finalize ctx;
     t.stats.total_cycles <- t.stats.total_cycles + ctx.Ipsa.Context.cycles;
@@ -230,7 +276,10 @@ let inject t pkt =
     end
     else begin
       t.stats.forwarded <- t.stats.forwarded + 1;
-      let port = Net.Meta.get_int ctx.Ipsa.Context.meta "out_port" mod t.nports in
+      let port =
+        Net.Meta.get_int_slot ctx.Ipsa.Context.meta Net.Meta.slot_out_port
+        mod t.nports
+      in
       Queue.add ctx.Ipsa.Context.pkt t.outputs.(port);
       Some (port, ctx)
     end

@@ -1,0 +1,264 @@
+(* The load-time linking layer: unit tests for the pre-bound building
+   blocks (interning, field refs, metadata layout, id-indexed pmap) and
+   the central equivalence property — for every bundled use case, traffic
+   through the linked fast path and through the reference interpreter
+   yields identical observable outcomes (egress port, metadata, header
+   bytes, cycle/lookup/parse accounting). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* --- interning -------------------------------------------------------- *)
+
+let test_intern () =
+  let a = Net.Intern.id "test_linked_alpha" in
+  let b = Net.Intern.id "test_linked_beta" in
+  check bool "distinct names, distinct ids" true (a <> b);
+  check int "id is stable" a (Net.Intern.id "test_linked_alpha");
+  check string "name roundtrip" "test_linked_alpha" (Net.Intern.name a);
+  check bool "mem after intern" true (Net.Intern.mem "test_linked_alpha");
+  check bool "mem before intern" false (Net.Intern.mem "test_linked_never_interned")
+
+(* --- shared field-reference splitter ---------------------------------- *)
+
+let test_fieldref () =
+  check (Alcotest.pair string string) "split" ("ipv4", "ttl")
+    (Net.Fieldref.split "ipv4.ttl");
+  check (Alcotest.option (Alcotest.pair string string)) "split_opt none" None
+    (Net.Fieldref.split_opt "nodot");
+  check bool "is_meta" true (Net.Fieldref.is_meta "meta.l3_nexthop");
+  check bool "is_meta hdr" false (Net.Fieldref.is_meta "ipv4.ttl");
+  Alcotest.check_raises "malformed raises"
+    (Invalid_argument "Fieldref.split: malformed field reference nodot") (fun () ->
+      ignore (Net.Fieldref.split "nodot"))
+
+(* --- metadata layout and slot accessors -------------------------------- *)
+
+let test_meta_layout () =
+  let l = Net.Meta.Layout.create () in
+  (* intrinsics occupy the documented fixed slots *)
+  List.iteri
+    (fun i (n, w) ->
+      check (Alcotest.option int) ("slot of " ^ n) (Some i) (Net.Meta.Layout.slot l n);
+      check int ("width of " ^ n) w (Net.Meta.Layout.width l i))
+    Net.Meta.intrinsic;
+  check (Alcotest.option int) "in_port slot constant" (Some Net.Meta.slot_in_port)
+    (Net.Meta.Layout.slot l "in_port");
+  check (Alcotest.option int) "switch_tag slot constant"
+    (Some Net.Meta.slot_switch_tag)
+    (Net.Meta.Layout.slot l "switch_tag");
+  Net.Meta.Layout.declare l "probe_ctr" 32;
+  let s = Option.get (Net.Meta.Layout.slot l "probe_ctr") in
+  check int "declared width" 32 (Net.Meta.Layout.width l s);
+  Net.Meta.Layout.declare l "probe_ctr" 16;
+  check int "re-declare replaces width" 16 (Net.Meta.Layout.width l s);
+  (* packets created in the shared layout see the field through both the
+     slot and the name accessors *)
+  let m = Net.Meta.create_in l in
+  Net.Meta.set_int_slot m s 0x1234;
+  check int "slot write, name read" 0x1234 (Net.Meta.get_int m "probe_ctr");
+  Net.Meta.set_int m "probe_ctr" 7;
+  check int "name write, slot read" 7 (Net.Meta.get_int_slot m s);
+  (* a field declared after the meta was created is readable (zero) *)
+  Net.Meta.Layout.declare l "late_field" 8;
+  let late = Option.get (Net.Meta.Layout.slot l "late_field") in
+  check int "late declare reads zero" 0 (Net.Meta.get_int_slot m late);
+  Net.Meta.set_int_slot m late 5;
+  check int "late declare writable" 5 (Net.Meta.get_int m "late_field");
+  (* bindings are sorted by name *)
+  let names = List.map fst (Net.Meta.bindings m) in
+  check bool "bindings sorted" true (names = List.sort compare names)
+
+(* --- id-indexed parsed-header map -------------------------------------- *)
+
+let eth_def =
+  Net.Hdrdef.make ~name:"zz_eth_test"
+    ~fields:
+      [
+        { Net.Hdrdef.f_name = "dst"; f_width = 48 };
+        { Net.Hdrdef.f_name = "src"; f_width = 48 };
+        { Net.Hdrdef.f_name = "ethertype"; f_width = 16 };
+      ]
+    ~sel_fields:[ "ethertype" ]
+
+let aa_def =
+  Net.Hdrdef.make ~name:"aa_hdr_test"
+    ~fields:[ { Net.Hdrdef.f_name = "v"; f_width = 8 } ]
+    ~sel_fields:[]
+
+let test_pmap_ids () =
+  let pm = Net.Pmap.create () in
+  Net.Pmap.add pm ~def:eth_def ~bit_off:0;
+  Net.Pmap.add pm ~def:aa_def ~bit_off:112;
+  check (Alcotest.list string) "names sorted" [ "aa_hdr_test"; "zz_eth_test" ]
+    (Net.Pmap.names pm);
+  let pkt = Net.Packet.create (String.make 32 '\xAB') in
+  let hid = eth_def.Net.Hdrdef.id in
+  check bool "is_valid_id" true (Net.Pmap.is_valid_id pm hid);
+  (* id accessors agree with the string path *)
+  let off, width = Net.Hdrdef.field_offset_exn eth_def "ethertype" in
+  let via_id = Net.Pmap.get_field_id pkt pm ~hid ~off ~width in
+  let via_name = Net.Pmap.get_field pkt pm ~hdr:"zz_eth_test" ~field:"ethertype" in
+  check bool "get agrees" true (via_id = via_name);
+  let v = Net.Bits.of_int ~width 0x86DD in
+  check bool "set_field_id writes" true (Net.Pmap.set_field_id pkt pm ~hid ~off v);
+  check bool "write visible" true
+    (Net.Pmap.get_field pkt pm ~hdr:"zz_eth_test" ~field:"ethertype"
+    = Some (Net.Bits.of_int ~width 0x86DD));
+  Net.Pmap.invalidate_id pm hid;
+  check bool "invalidate_id" false (Net.Pmap.is_valid_id pm hid);
+  check bool "set on invalid returns false" false
+    (Net.Pmap.set_field_id pkt pm ~hid ~off v);
+  check (Alcotest.list string) "names excludes invalid" [ "aa_hdr_test" ]
+    (Net.Pmap.names pm)
+
+(* --- per-device packet ids --------------------------------------------- *)
+
+let test_packet_ids () =
+  let d1 = Ipsa.Device.create ~ntsps:2 () in
+  let d2 = Ipsa.Device.create ~ntsps:2 () in
+  let mk () = Net.Packet.create ~in_port:0 (String.make 64 '\x00') in
+  let p1 = mk () and p2 = mk () and p3 = mk () in
+  ignore (Ipsa.Device.inject d1 p1);
+  ignore (Ipsa.Device.inject d1 p2);
+  ignore (Ipsa.Device.inject d2 p3);
+  check int "device1 first id" 1 (Net.Packet.id p1);
+  check int "device1 second id" 2 (Net.Packet.id p2);
+  check int "device2 restarts at 1" 1 (Net.Packet.id p3)
+
+(* --- linked/interpreted equivalence ------------------------------------ *)
+
+let boot_pair case =
+  let session_l, dev_l = Harness.Cases.boot_base () in
+  let session_i, dev_i = Harness.Cases.boot_base ~linked:false () in
+  (match case with
+  | None -> ()
+  | Some c ->
+    ignore (Harness.Cases.apply_case session_l c);
+    ignore (Harness.Cases.apply_case session_i c));
+  (dev_l, dev_i)
+
+(* Everything a packet's traversal can observably produce. *)
+let observe device bytes ~in_port =
+  let pkt = Net.Packet.create ~in_port bytes in
+  match Ipsa.Device.inject device pkt with
+  | Some (port, ctx) ->
+    ( Some port,
+      Net.Meta.bindings ctx.Ipsa.Context.meta,
+      Net.Packet.contents ctx.Ipsa.Context.pkt,
+      ( ctx.Ipsa.Context.cycles,
+        ctx.Ipsa.Context.lookups,
+        ctx.Ipsa.Context.parse_attempts ) )
+  | None -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
+
+let build_packet (kind, idx, in_port) =
+  let flow = Net.Flowgen.flow_of_index idx in
+  match kind with
+  | 0 -> Net.Flowgen.l2 ~in_port flow
+  | 1 -> Net.Flowgen.ipv4_udp ~in_port flow
+  | 2 -> Net.Flowgen.ipv4_tcp ~in_port flow
+  | 3 -> Net.Flowgen.ipv6_udp ~in_port flow
+  | _ ->
+    Net.Flowgen.srv6_ipv4 ~in_port ~segments:Usecases.Srv6.segments
+      ~segments_left:(idx mod 2) flow
+
+let equivalence_prop name case =
+  (* One device pair per property: QCheck drives the same packet sequence
+     through both, so stateful table hit counters stay in lockstep. *)
+  let pair = lazy (boot_pair case) in
+  QCheck.Test.make ~count:120 ~name:(name ^ ": linked = reference interpreter")
+    QCheck.(triple (int_range 0 4) (int_range 0 63) (int_range 0 7))
+    (fun ((_, _, in_port) as spec) ->
+      let dev_l, dev_i = Lazy.force pair in
+      let bytes = Net.Packet.contents (build_packet spec) in
+      observe dev_l bytes ~in_port = observe dev_i bytes ~in_port)
+
+let equivalence_tests =
+  List.map
+    (fun (name, case) -> QCheck_alcotest.to_alcotest (equivalence_prop name case))
+    [
+      ("base_l23", None);
+      ("c1_ecmp", Some Harness.Paper.C1);
+      ("c2_srv6", Some Harness.Paper.C2);
+      ("c3_flow_probe", Some Harness.Paper.C3);
+    ]
+
+(* --- relink regression -------------------------------------------------- *)
+
+let linked_slots device =
+  let p = Ipsa.Device.pipeline device in
+  List.init (Ipsa.Pipeline.ntsps p) (fun i -> Ipsa.Pipeline.slot p i)
+  |> List.filter (fun s -> s.Ipsa.Tsp.linked <> None)
+
+let templated_slots device =
+  let p = Ipsa.Device.pipeline device in
+  List.init (Ipsa.Pipeline.ntsps p) (fun i -> Ipsa.Pipeline.slot p i)
+  |> List.filter (fun s -> s.Ipsa.Tsp.template <> None)
+
+(* Boot links every downloaded template; a patch (which creates the ecmp
+   tables and frees nexthop) re-links, and the rebuilt programs resolve the
+   new tables — traffic keeps forwarding identically to the interpreter. *)
+let test_relink_after_patch () =
+  let session, device = Harness.Cases.boot_base () in
+  check int "every templated TSP is linked at boot"
+    (List.length (templated_slots device))
+    (List.length (linked_slots device));
+  check bool "boot produced linked programs" true (linked_slots device <> []);
+  let before =
+    List.map (fun s -> (s.Ipsa.Tsp.id, s.Ipsa.Tsp.linked)) (linked_slots device)
+  in
+  ignore (Harness.Cases.apply_case session Harness.Paper.C1);
+  check int "every templated TSP is linked after patch"
+    (List.length (templated_slots device))
+    (List.length (linked_slots device));
+  (* the programs were rebuilt, not reused *)
+  let stale =
+    List.exists
+      (fun s ->
+        List.exists
+          (fun (id, prog) ->
+            id = s.Ipsa.Tsp.id
+            &&
+            match (s.Ipsa.Tsp.linked, prog) with
+            | Some a, Some b -> a == b
+            | _ -> false)
+          before)
+      (linked_slots device)
+  in
+  check bool "relink rebuilt the programs" false stale;
+  (* the re-linked fast path resolves the *new* ecmp tables and drops the
+     freed nexthop table: outcomes still match the interpreter *)
+  let _, dev_i = boot_pair (Some Harness.Paper.C1) in
+  let bytes =
+    Net.Packet.contents (Net.Flowgen.ipv4_udp Usecases.Base_l23.routed_v4_flow)
+  in
+  check bool "post-patch traffic matches interpreter" true
+    (observe device bytes ~in_port:0 = observe dev_i bytes ~in_port:0);
+  match observe device bytes ~in_port:0 with
+  | Some _, _, _, _ -> ()
+  | None, _, _, _ -> Alcotest.fail "post-patch packet was dropped"
+
+let test_linked_opt_out () =
+  let _, device = Harness.Cases.boot_base ~linked:false () in
+  check int "opt-out leaves no linked programs" 0 (List.length (linked_slots device))
+
+let () =
+  Alcotest.run "linked"
+    [
+      ( "prebind",
+        [
+          Alcotest.test_case "intern" `Quick test_intern;
+          Alcotest.test_case "fieldref" `Quick test_fieldref;
+          Alcotest.test_case "meta layout" `Quick test_meta_layout;
+          Alcotest.test_case "pmap ids" `Quick test_pmap_ids;
+          Alcotest.test_case "per-device packet ids" `Quick test_packet_ids;
+        ] );
+      ("equivalence", equivalence_tests);
+      ( "relink",
+        [
+          Alcotest.test_case "after patch" `Quick test_relink_after_patch;
+          Alcotest.test_case "opt-out" `Quick test_linked_opt_out;
+        ] );
+    ]
