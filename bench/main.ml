@@ -120,6 +120,29 @@ let bench_packet_path_telemetry =
 let packet_path_tests =
   [ bench_packet_path; bench_packet_path_linked; bench_packet_path_telemetry ]
 
+(* Fleet rollout pair: one full rolling rollout (boot, waves, traffic,
+   drain) on a two-node line, IPSA in-situ patches vs PISA monolithic
+   reloads. Kept tiny so the CI smoke can afford whole-scenario runs. *)
+let fabric_bench_scenario =
+  lazy
+    {
+      Fabric.Fleet.default_scenario with
+      Fabric.Fleet.sc_topo = Fabric.Topo.line ~n:2 ();
+      sc_packets = 16;
+    }
+
+let bench_fabric_rollout arch name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (Fabric.Fleet.run_scenario ~arch (Lazy.force fabric_bench_scenario))))
+
+let fabric_tests =
+  [
+    bench_fabric_rollout Fabric.Sim.Ipsa "fabric/rollout-ipsa";
+    bench_fabric_rollout Fabric.Sim.Pisa "fabric/rollout-pisa";
+  ]
+
 let default_micro_tests () =
   [ bench_parse; bench_base_compile ]
   @ packet_path_tests
@@ -187,6 +210,56 @@ let write_bench_link results =
       (interp /. linked) interp linked
   | _ -> prerr_endline "BENCH_link.json not written: missing estimates"
 
+(* The fabric artifact: the leaf-spine-4 rolling C2 rollout, IPSA fleet
+   vs PISA fleet, with the bench pair's ns/rollout estimates when the
+   pair ran in the same invocation. The headline numbers are the
+   in-rollout loss counts — zero for IPSA (arrivals wait in the CM
+   buffer), non-zero for PISA (reload windows drop). *)
+let write_bench_fabric results =
+  let module J = Prelude.Json in
+  let find n = Option.join (List.assoc_opt n results) in
+  let arch_obj arch bench_name =
+    let p = Fabric.Fleet.run_scenario ~arch Fabric.Fleet.default_scenario in
+    let s = p.Fabric.Fleet.p_summary in
+    ( p,
+      J.Obj
+        ([
+           ("injected", J.Int s.Fabric.Sim.s_injected);
+           ("delivered", J.Int s.Fabric.Sim.s_delivered);
+           ("dropped", J.Int s.Fabric.Sim.s_dropped);
+           ("in_rollout_injected", J.Int p.Fabric.Fleet.p_in_rollout);
+           ("in_rollout_lost", J.Int p.Fabric.Fleet.p_in_rollout_lost);
+           ("in_rollout_delayed", J.Int p.Fabric.Fleet.p_in_rollout_delayed);
+           ( "rollout_ticks",
+             J.Int
+               (p.Fabric.Fleet.p_rollout.Fabric.Fleet.r_end
+               - p.Fabric.Fleet.p_rollout.Fabric.Fleet.r_start) );
+         ]
+        @ match find bench_name with
+          | Some ns -> [ ("bench_ns_per_rollout", J.Float ns) ]
+          | None -> []) )
+  in
+  let ipsa, ipsa_j = arch_obj Fabric.Sim.Ipsa "fabric/rollout-ipsa" in
+  let pisa, pisa_j = arch_obj Fabric.Sim.Pisa "fabric/rollout-pisa" in
+  let j =
+    J.Obj
+      [
+        ("topology", J.String "leaf-spine-4");
+        ("update", J.String ipsa.Fabric.Fleet.p_update);
+        ("ipsa", ipsa_j);
+        ("pisa", pisa_j);
+      ]
+  in
+  let oc = open_out "BENCH_fabric.json" in
+  output_string oc (J.to_string_pretty j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "BENCH_fabric.json: in-rollout loss ipsa %d/%d vs pisa %d/%d (delayed %d vs %d)\n"
+    ipsa.Fabric.Fleet.p_in_rollout_lost ipsa.Fabric.Fleet.p_in_rollout
+    pisa.Fabric.Fleet.p_in_rollout_lost pisa.Fabric.Fleet.p_in_rollout
+    ipsa.Fabric.Fleet.p_in_rollout_delayed pisa.Fabric.Fleet.p_in_rollout_delayed
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -202,13 +275,20 @@ let all_experiments =
     ("ablation-layout", Harness.Experiments.ablation_layout);
     ("ablation-throughput", Harness.Experiments.ablation_throughput);
     ("ablation-crossbar", Harness.Experiments.ablation_crossbar);
-    ("micro", fun () -> ignore (run_micro ()));
-    (* CI smoke: just the packet-path trio with a tiny iteration budget;
-       emits the BENCH_link.json linked-vs-interpreted artifact. *)
+    ("micro", fun () -> ignore (run_micro ~tests:(default_micro_tests () @ fabric_tests) ()));
+    ( "fabric-rollout",
+      fun () ->
+        write_bench_fabric (run_micro ~limit:10 ~quota:0.05 ~tests:fabric_tests ()) );
+    (* CI smoke: the packet-path trio plus the fleet-rollout pair with a
+       tiny iteration budget; emits the BENCH_link.json linked-vs-
+       interpreted artifact and the BENCH_fabric.json rollout-loss one. *)
     ( "micro-smoke",
       fun () ->
-        write_bench_link (run_micro ~limit:25 ~quota:0.05 ~tests:packet_path_tests ())
-    );
+        let results =
+          run_micro ~limit:25 ~quota:0.05 ~tests:(packet_path_tests @ fabric_tests) ()
+        in
+        write_bench_link results;
+        write_bench_fabric results );
   ]
 
 let () =

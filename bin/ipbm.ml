@@ -1,12 +1,18 @@
 (* ipbm — run the IPSA behavioral-model switch from the command line.
 
      ipbm run BASE.rp4 [--script SCRIPT] [--traffic N] [--seed S]
+     ipbm fabric [--topo NAME | --topo-file FILE] [--case C] [--arch A] ...
 
-   Boots a device with the base design, optionally applies a controller
-   script (runtime updates and/or table population), injects a
-   deterministic mixed traffic stream, and prints the device statistics
-   and per-port output counts. With no arguments it runs the built-in
-   L2/L3 base design demo. *)
+   `run` (also the default command) boots a single device with the base
+   design, optionally applies a controller script (runtime updates and/or
+   table population), injects a deterministic mixed traffic stream, and
+   prints the device statistics and per-port output counts.
+
+   `fabric` boots a multi-switch topology and performs a rolling in-situ
+   rollout of one of the paper's use-case updates across the fleet while
+   synthetic traffic flows, reporting delivery and in-rollout loss — the
+   IPSA fleet buffers through each node's window, a PISA fleet doing
+   monolithic reloads drops. *)
 
 open Cmdliner
 
@@ -16,6 +22,10 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* ------------------------------------------------------------------ *)
+(* ipbm run                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let run base script traffic seed =
   try
@@ -83,10 +93,114 @@ let run base script traffic seed =
   | Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
   | Sys_error e -> `Error (false, e)
 
-let () =
-  let base =
-    Arg.(value & pos 0 (some file) None & info [] ~docv:"BASE.rp4")
-  in
+(* ------------------------------------------------------------------ *)
+(* ipbm fabric                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let print_report (p : Fabric.Fleet.report) =
+  let s = p.Fabric.Fleet.p_summary in
+  let r = p.Fabric.Fleet.p_rollout in
+  Printf.printf "--- %s fleet, update %s ---\n"
+    (Fabric.Sim.arch_name p.Fabric.Fleet.p_arch)
+    p.Fabric.Fleet.p_update;
+  List.iter
+    (fun w ->
+      Printf.printf "  wave %-8s t=%d..%d (window %d ticks)\n"
+        w.Fabric.Fleet.w_node w.Fabric.Fleet.w_start
+        (w.Fabric.Fleet.w_start + w.Fabric.Fleet.w_window)
+        w.Fabric.Fleet.w_window)
+    r.Fabric.Fleet.r_waves;
+  Printf.printf "  injected %d, delivered %d, dropped %d (max latency %d ticks)\n"
+    s.Fabric.Sim.s_injected s.Fabric.Sim.s_delivered s.Fabric.Sim.s_dropped
+    s.Fabric.Sim.s_max_latency;
+  List.iter
+    (fun (reason, n) -> Printf.printf "    dropped[%s] = %d\n" reason n)
+    s.Fabric.Sim.s_by_reason;
+  List.iter
+    (fun (node, port, n) -> Printf.printf "    exit %s:%d = %d\n" node port n)
+    s.Fabric.Sim.s_by_exit;
+  Printf.printf
+    "  during rollout (t=%d..%d): injected %d, lost %d, delayed-not-lost %d\n"
+    r.Fabric.Fleet.r_start r.Fabric.Fleet.r_end p.Fabric.Fleet.p_in_rollout
+    p.Fabric.Fleet.p_in_rollout_lost p.Fabric.Fleet.p_in_rollout_delayed
+
+let fabric topo_name topo_file case archs packets interval gap seed start json
+    telemetry check =
+  try
+    let topo =
+      match topo_file with
+      | Some f -> Fabric.Topo.parse_spec (read_file f)
+      | None -> Fabric.Topo.canned topo_name
+    in
+    let update = Fabric.Fleet.update_of_name case in
+    let archs =
+      match archs with
+      | "ipsa" -> [ Fabric.Sim.Ipsa ]
+      | "pisa" -> [ Fabric.Sim.Pisa ]
+      | "both" -> [ Fabric.Sim.Ipsa; Fabric.Sim.Pisa ]
+      | other -> invalid_arg ("unknown arch " ^ other ^ " (ipsa | pisa | both)")
+    in
+    let sc =
+      {
+        Fabric.Fleet.sc_topo = topo;
+        sc_update = update;
+        sc_packets = packets;
+        sc_interval = interval;
+        sc_gap = gap;
+        sc_seed = seed;
+        sc_start = start;
+      }
+    in
+    let reports = List.map (fun arch -> Fabric.Fleet.run_scenario ~arch sc) archs in
+    if json then
+      print_endline
+        (Prelude.Json.to_string
+           (Prelude.Json.List (List.map Fabric.Fleet.report_json reports)))
+    else List.iter print_report reports;
+    if telemetry then
+      List.iter
+        (fun p ->
+          Printf.printf "--- %s telemetry ---\n%s\n"
+            (Fabric.Sim.arch_name p.Fabric.Fleet.p_arch)
+            (Prelude.Json.to_string (Fabric.Sim.telemetry_json p.Fabric.Fleet.p_sim)))
+        reports;
+    if check then begin
+      let failures =
+        List.concat_map
+          (fun p ->
+            match p.Fabric.Fleet.p_arch with
+            | Fabric.Sim.Ipsa ->
+              if p.Fabric.Fleet.p_in_rollout_lost > 0 then
+                [
+                  Printf.sprintf "ipsa fleet lost %d in-rollout packets (want 0)"
+                    p.Fabric.Fleet.p_in_rollout_lost;
+                ]
+              else []
+            | Fabric.Sim.Pisa ->
+              if p.Fabric.Fleet.p_in_rollout_lost = 0 then
+                [ "pisa fleet lost no in-rollout packets (reload should drop)" ]
+              else [])
+          reports
+      in
+      match failures with
+      | [] ->
+        print_endline "check: ok";
+        `Ok ()
+      | fs -> `Error (false, String.concat "\n" fs)
+    end
+    else `Ok ()
+  with
+  | Fabric.Topo.Spec_error e -> `Error (false, e)
+  | Fabric.Fleet.Rollout_error e -> `Error (false, e)
+  | Invalid_argument e -> `Error (false, e)
+  | Sys_error e -> `Error (false, e)
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_term =
+  let base = Arg.(value & pos 0 (some file) None & info [] ~docv:"BASE.rp4") in
   let script =
     Arg.(value & opt (some file) None & info [ "script" ] ~docv:"SCRIPT")
   in
@@ -94,9 +208,67 @@ let () =
     Arg.(value & opt int 1000 & info [ "traffic" ] ~doc:"packets to inject")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"traffic RNG seed") in
-  let cmd =
-    Cmd.v
-      (Cmd.info "ipbm" ~doc:"IPSA behavioral-model software switch")
-      Term.(ret (const run $ base $ script $ traffic $ seed))
+  Term.(ret (const run $ base $ script $ traffic $ seed))
+
+let fabric_term =
+  let topo =
+    Arg.(
+      value
+      & opt string "leaf-spine-4"
+      & info [ "topo" ] ~docv:"NAME" ~doc:"canned topology (line | ring | leaf-spine-4)")
   in
-  exit (Cmd.eval cmd)
+  let topo_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "topo-file" ] ~docv:"FILE" ~doc:"topology description file")
+  in
+  let case =
+    Arg.(
+      value & opt string "c2"
+      & info [ "case" ] ~docv:"CASE" ~doc:"update to roll out (c1 | c2 | c3)")
+  in
+  let arch =
+    Arg.(
+      value & opt string "both"
+      & info [ "arch" ] ~docv:"ARCH" ~doc:"fleet architecture (ipsa | pisa | both)")
+  in
+  let packets =
+    Arg.(value & opt int 60 & info [ "packets" ] ~doc:"minimum packets to inject")
+  in
+  let interval =
+    Arg.(value & opt int 3 & info [ "interval" ] ~doc:"ticks between injections")
+  in
+  let gap = Arg.(value & opt int 4 & info [ "gap" ] ~doc:"idle ticks between waves") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed") in
+  let start =
+    Arg.(value & opt int 5 & info [ "start" ] ~doc:"tick of the first wave")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"emit JSON reports") in
+  let telemetry =
+    Arg.(value & flag & info [ "telemetry" ] ~doc:"dump merged fabric telemetry")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "exit non-zero unless the IPSA fleet loses no in-rollout traffic (and \
+             a PISA fleet, when run, loses some)")
+  in
+  Term.(
+    ret
+      (const fabric $ topo $ topo_file $ case $ arch $ packets $ interval $ gap
+     $ seed $ start $ json $ telemetry $ check))
+
+let () =
+  let info = Cmd.info "ipbm" ~doc:"IPSA behavioral-model software switch" in
+  let run_cmd =
+    Cmd.v (Cmd.info "run" ~doc:"boot one device and inject traffic") run_term
+  in
+  let fabric_cmd =
+    Cmd.v
+      (Cmd.info "fabric" ~doc:"multi-switch fabric with rolling in-situ rollouts")
+      fabric_term
+  in
+  exit (Cmd.eval (Cmd.group ~default:run_term info [ run_cmd; fabric_cmd ]))

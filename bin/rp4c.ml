@@ -322,6 +322,21 @@ let bundled_packet i =
   | 2 -> Net.Flowgen.ipv6_udp ~in_port:1 Usecases.Base_l23.routed_v6_flow
   | _ -> Net.Flowgen.l2 ~in_port:5 Usecases.Base_l23.bridged_flow
 
+(* Each bundled use case: the in-situ update script (base -> updated
+   design), the new tables' population, and a demo traffic profile that
+   exercises the loaded function. *)
+let bundled_usecase = function
+  | "c1" | "ecmp" ->
+    ( Usecases.Ecmp.script ^ "\n" ^ Usecases.Ecmp.population,
+      Usecases.Ecmp.demo_packet )
+  | "c2" | "srv6" ->
+    ( Usecases.Srv6.script ^ "\n" ^ Usecases.Srv6.population,
+      Usecases.Srv6.demo_packet )
+  | "c3" | "flowprobe" | "probe" ->
+    ( Usecases.Flowprobe.script ^ "\n" ^ Usecases.Flowprobe.population,
+      Usecases.Flowprobe.demo_packet )
+  | other -> invalid_arg ("unknown usecase " ^ other ^ " (c1 | c2 | c3)")
+
 let render_metrics tel =
   let module T = Prelude.Texttab in
   let int_rows kvs = List.map (fun (k, v) -> [ k; string_of_int v ]) kvs in
@@ -374,8 +389,18 @@ let stats_cmd =
       & info [ "populate" ] ~docv:"SCRIPT"
           ~doc:
             "Controller script (table_add / load / commit commands) run after \
-             boot, before traffic. Defaults to the bundled population when no \
-             $(b,FILE.rp4) is given.")
+             boot, before traffic. Without $(b,FILE.rp4) it runs on top of the \
+             bundled base design and its population.")
+  in
+  let usecase =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "usecase" ] ~docv:"CASE"
+          ~doc:
+            "Apply a bundled in-situ update (c1 | c2 | c3) to the base design \
+             and drive demo traffic through the loaded function. Only \
+             meaningful without $(b,FILE.rp4).")
   in
   let packets =
     Arg.(value & opt int 64 & info [ "packets" ] ~doc:"synthetic packets to inject")
@@ -395,17 +420,28 @@ let stats_cmd =
       & info [ "trace" ]
           ~doc:"inject one extra packet with a stage tracer and dump its per-TSP trace")
   in
-  let run file populate packets seed ntsps json trace =
+  let run file populate usecase packets seed ntsps json trace =
     try
       let tel = Telemetry.create () in
       let device = Ipsa.Device.create ~telemetry:tel ~ntsps () in
       let source, population, resolve_file, packet_of =
         match file with
         | None ->
+          let case_script, case_packet =
+            match usecase with
+            | Some c ->
+              let script, pkt = bundled_usecase c in
+              ([ script ], pkt)
+            | None -> ([], bundled_packet)
+          in
+          let scripts =
+            (Usecases.Base_l23.population :: case_script)
+            @ match populate with Some s -> [ read_file s ] | None -> []
+          in
           ( Usecases.Base_l23.source,
-            Some Usecases.Base_l23.population,
+            Some (String.concat "\n" scripts),
             bundled_resolve,
-            bundled_packet )
+            case_packet )
         | Some f ->
           let resolve_file name =
             let dir =
@@ -466,7 +502,10 @@ let stats_cmd =
          "run synthetic traffic through a telemetry-enabled device and report \
           the metrics registry (counters, gauges, histograms, optional \
           per-packet stage trace)")
-    Term.(ret (const run $ file $ populate $ packets $ seed $ ntsps $ json $ trace))
+    Term.(
+      ret
+        (const run $ file $ populate $ usecase $ packets $ seed $ ntsps $ json
+       $ trace))
 
 let () =
   let doc = "rP4 compiler tool-chain (front end, back end, incremental patches)" in

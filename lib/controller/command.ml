@@ -122,3 +122,25 @@ let parse_line line : t option =
 
 let parse_script text =
   String.split_on_char '\n' text |> List.filter_map parse_line
+
+(* Canonical printed form; [parse_line (to_string c)] yields [c] again
+   (scripts can be captured, stored and replayed — the fleet controller
+   ships per-node scripts around in exactly this shape). *)
+let to_string = function
+  | Load { file; func_name } -> Printf.sprintf "load %s --func_name %s" file func_name
+  | Unload { func_name } -> Printf.sprintf "unload --func_name %s" func_name
+  | Add_link (a, b) -> Printf.sprintf "add_link %s %s" a b
+  | Del_link (a, b) -> Printf.sprintf "del_link %s %s" a b
+  | Link_header { pre; next; tag } ->
+    Printf.sprintf "link_header --pre %s --next %s --tag %Ld" pre next tag
+  | Unlink_header { pre; next } ->
+    Printf.sprintf "unlink_header --pre %s --next %s" pre next
+  | Set_entry { pipe; stage } -> Printf.sprintf "set_entry --pipe %s --stage %s" pipe stage
+  | Commit -> "commit"
+  | Table_add { table; action; keys; args } ->
+    String.concat " " (("table_add" :: table :: action :: keys) @ ("=>" :: args))
+  | Table_del { table; keys } -> String.concat " " ("table_del" :: table :: keys)
+  | Show_mapping -> "show_mapping"
+  | Show_design -> "show_design"
+
+let print_script cmds = String.concat "\n" (List.map to_string cmds)

@@ -130,6 +130,12 @@ let compile_pending t : (Rp4bc.Compile.result_t, string list) result =
       Rp4bc.Compile.insert_function ~verify t.design ~snippet:Rp4.Ast.empty_program
         ~func_name:"__links__" ~cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device))
 
+(* Configuration volume of a prepared patch — what a fleet controller
+   charges against the control-channel bandwidth when it sizes the
+   in-service window of a rolling rollout. *)
+let prepared_bytes (p : prepared) =
+  Ipsa.Config.byte_size p.pre_result.Rp4bc.Compile.patch
+
 let prepare t : (prepared, string list) result =
   let start = now_ns () in
   match compile_pending t with

@@ -74,6 +74,11 @@ val apply_prepared : t -> prepared -> (timing, string list) result
 (** Push a prepared patch; rejected if the base design has changed since
     it was compiled. *)
 
+val prepared_bytes : prepared -> int
+(** Configuration volume of the prepared patch, in bytes — the quantity a
+    fleet controller divides by the control-channel bandwidth to size the
+    in-service window of a rolling rollout. *)
+
 (** {1 Command execution} *)
 
 val exec : t -> Command.t -> (string, string) result

@@ -1,0 +1,374 @@
+(* Fleet-wide rolling rollouts.
+
+   One update (C1/C2/C3 or a custom script) is deployed across every node
+   of a fabric, one node per wave, with live traffic flowing throughout.
+   Per wave the fabric charges an in-service window of virtual time sized
+   by a small timing model:
+
+     IPSA  window = drain + prepared-patch bytes / channel bandwidth
+     PISA  window = full-image bytes / channel bandwidth
+                    + repopulated entries x per-entry cost
+
+   and the two architectures differ in what happens to packets that reach
+   the node inside its window: the IPSA node's CM closes with
+   [Ipsa.Device.begin_update] so arrivals *wait* (make-before-break — the
+   patched pipeline and its population are committed before the buffer is
+   released), while the PISA node is mid-reload and *drops* them. The
+   scenario report counts exactly that difference: packets injected during
+   the rollout span that were lost vs. merely delayed. *)
+
+type timing_model = {
+  tm_channel_bw : int; (* config bytes transferred per tick *)
+  tm_entry_ticks : int; (* ticks to replay one table entry *)
+  tm_drain_ticks : int; (* pipeline drain before an in-situ patch *)
+}
+
+let default_timing = { tm_channel_bw = 64; tm_entry_ticks = 4; tm_drain_ticks = 8 }
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type update = {
+  u_name : string;
+  u_script : string; (* staged controller commands, no trailing commit *)
+  u_population : Topo.t -> string -> string; (* per-node post-update entries *)
+  u_p4_source : string; (* whole-program source for the PISA flow *)
+}
+
+let strip_commit script =
+  String.split_on_char '\n' script
+  |> List.filter (fun l -> String.trim l <> "commit")
+  |> String.concat "\n"
+
+let c1 =
+  {
+    u_name = "c1-ecmp";
+    u_script = strip_commit Usecases.Ecmp.script;
+    u_population = Profiles.ecmp_population;
+    u_p4_source = Usecases.P4_base.source_with_ecmp;
+  }
+
+let c2 =
+  {
+    u_name = "c2-srv6";
+    u_script = strip_commit Usecases.Srv6.script;
+    u_population = (fun _ _ -> Usecases.Srv6.population);
+    u_p4_source = Usecases.P4_base.source_with_srv6;
+  }
+
+let c3 =
+  {
+    u_name = "c3-flowprobe";
+    u_script = strip_commit Usecases.Flowprobe.script;
+    u_population = (fun _ _ -> Usecases.Flowprobe.population);
+    u_p4_source = Usecases.P4_base.source_with_probe;
+  }
+
+let update_of_name = function
+  | "c1" | "ecmp" | "c1-ecmp" -> c1
+  | "c2" | "srv6" | "c2-srv6" -> c2
+  | "c3" | "flowprobe" | "c3-flowprobe" -> c3
+  | other -> invalid_arg ("unknown update " ^ other ^ " (c1 | c2 | c3)")
+
+(* ------------------------------------------------------------------ *)
+(* Waves                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type wave = {
+  w_node : string;
+  w_start : int;
+  w_window : int;
+}
+
+exception Rollout_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Rollout_error s)) fmt
+
+let run_script_exn session node script =
+  match Controller.Session.run_script session script with
+  | Ok _ -> ()
+  | Error e -> fail "%s: %s" node e
+
+(* Replay a population script against a PISA device, skipping entries for
+   tables the (re)loaded design no longer instantiates — e.g. C1 removes
+   the [nexthop] stage, so the base population's nexthop entries have
+   nowhere to go; a real fleet controller diffs its intent against the
+   device's table inventory in just this way. *)
+let pisa_populate device design script =
+  let apis = Controller.Runtime.of_design design in
+  let n = ref 0 in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Controller.Command.Table_add { table; action; keys; args } -> (
+        match Pisa.Device.find_table device table with
+        | None -> ()
+        | Some _ -> (
+          match
+            Controller.Runtime.table_add_with
+              ~lookup:(Pisa.Device.find_table device)
+              ~apis ~table ~action ~keys ~args
+          with
+          | Ok () -> incr n
+          | Error e -> fail "pisa populate: %s" e))
+      | _ -> ())
+    (Controller.Command.parse_script script);
+  Pisa.Device.note_repopulated device !n;
+  !n
+
+(* Compile the post-update whole design once for the PISA fleet (its
+   nodes all reload the same image; population stays per node). *)
+let pisa_target_design update =
+  let p4 = P4lite.Parser.parse_string update.u_p4_source in
+  let rp4_prog = Rp4fc.Translate.translate p4 in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~pool rp4_prog with
+  | Ok c -> c.Rp4bc.Compile.design
+  | Error errs -> fail "pisa compile: %s" (String.concat "; " errs)
+
+let design_image_bytes design =
+  Array.fold_left
+    (fun acc t -> acc + match t with Some t -> Ipsa.Template.byte_size t | None -> 0)
+    0
+    (Pisa.Deploy.templates_of_design design)
+
+let entry_count script =
+  List.length
+    (List.filter
+       (function Controller.Command.Table_add _ -> true | _ -> false)
+       (Controller.Command.parse_script script))
+
+let cdiv a b = (a + b - 1) / max 1 b
+
+(* ------------------------------------------------------------------ *)
+(* Rolling rollout                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type rollout = {
+  r_update : string;
+  r_waves : wave list; (* rollout order *)
+  r_start : int;
+  r_end : int;
+}
+
+(* Roll [update] across [sim]'s nodes (topology order), one maintenance
+   window per node, [gap] idle ticks between waves. Waves are chained
+   through the event queue — each wave's window length is only known when
+   its patch is prepared, so wave k+1 is scheduled by wave k's closing
+   event. [on_done] fires at the end of the last window. *)
+let schedule_rollout ?(timing = default_timing) ?(gap = 4) ~at ~update
+    ?(on_done = fun (_ : rollout) -> ()) (sim : Sim.t) =
+  let topo = Sim.topology sim in
+  let waves = ref [] in
+  let pisa_design = lazy (pisa_target_design update) in
+  let note_wave node window =
+    let tel = Sim.telemetry sim in
+    Telemetry.Gauge.set (Telemetry.gauge tel "rollout.wave") (List.length !waves);
+    Telemetry.Gauge.set
+      (Telemetry.gauge ~labels:[ ("node", node) ] tel "rollout.window_ticks")
+      window
+  in
+  let finish last_end =
+    let ws = List.rev !waves in
+    let r =
+      {
+        r_update = update.u_name;
+        r_waves = ws;
+        r_start = (match ws with [] -> at | w :: _ -> w.w_start);
+        r_end = last_end;
+      }
+    in
+    on_done r
+  in
+  let rec wave_at t0 = function
+    | [] -> Sim.schedule_control sim ~at:t0 (fun () -> finish (Sim.now sim))
+    | node :: rest -> (
+      match Sim.session sim node with
+      | Some session ->
+        (* IPSA wave: stage + pre-compile now; commit the patch and its
+           population behind a closed CM, sized by the patch volume. *)
+        Sim.schedule_control sim ~at:t0 (fun () ->
+            run_script_exn session node update.u_script;
+            let prepared =
+              match Controller.Session.prepare session with
+              | Ok p -> p
+              | Error errs -> fail "%s: prepare: %s" node (String.concat "; " errs)
+            in
+            let window =
+              timing.tm_drain_ticks
+              + cdiv (Controller.Session.prepared_bytes prepared) timing.tm_channel_bw
+            in
+            let device = Controller.Session.device session in
+            (match Controller.Session.apply_prepared session prepared with
+            | Ok _ -> ()
+            | Error errs -> fail "%s: apply: %s" node (String.concat "; " errs));
+            run_script_exn session node (update.u_population topo node);
+            (* ... and only now does the CM reopen, [window] ticks later:
+               arrivals in between wait and resume through the committed
+               pipeline (make-before-break). *)
+            Ipsa.Device.begin_update device;
+            Sim.set_maintenance sim node ~until:(Sim.now sim + window);
+            note_wave node window;
+            waves := { w_node = node; w_start = Sim.now sim; w_window = window } :: !waves;
+            Sim.schedule_control sim ~at:(Sim.now sim + window) (fun () ->
+                Ipsa.Device.end_update device;
+                Sim.pump_node sim node;
+                wave_at (Sim.now sim + gap) rest))
+      | None ->
+        (* PISA wave: the node reloads the whole-program image and then
+           replays every table entry; arrivals meanwhile are dropped. *)
+        Sim.schedule_control sim ~at:t0 (fun () ->
+            let device = Sim.pisa_device_exn sim node in
+            let design = Lazy.force pisa_design in
+            let population =
+              Profiles.population topo node ^ "\n" ^ update.u_population topo node
+            in
+            let window =
+              cdiv (design_image_bytes design) timing.tm_channel_bw
+              + (entry_count population * timing.tm_entry_ticks)
+            in
+            Pisa.Device.begin_reload device;
+            Sim.set_maintenance sim node ~until:(Sim.now sim + window);
+            note_wave node window;
+            waves := { w_node = node; w_start = Sim.now sim; w_window = window } :: !waves;
+            Sim.schedule_control sim ~at:(Sim.now sim + window) (fun () ->
+                (match Pisa.Deploy.install device design with
+                | Ok _ -> ()
+                | Error e -> fail "%s: install: %s" node e);
+                ignore (pisa_populate device design population);
+                Sim.set_pisa_design sim node design;
+                Pisa.Device.end_reload device;
+                wave_at (Sim.now sim + gap) rest)))
+  in
+  wave_at at (Sim.node_order sim)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario: rollout under live traffic                                *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  sc_topo : Topo.t;
+  sc_update : update;
+  sc_packets : int; (* minimum packets injected *)
+  sc_interval : int; (* ticks between injections *)
+  sc_gap : int; (* idle ticks between waves *)
+  sc_seed : int;
+  sc_start : int; (* first wave start *)
+}
+
+let default_scenario =
+  {
+    sc_topo = Topo.leaf_spine_4 ();
+    sc_update = c2;
+    sc_packets = 60;
+    sc_interval = 3;
+    sc_gap = 4;
+    sc_seed = 42;
+    sc_start = 5;
+  }
+
+type report = {
+  p_arch : Sim.arch;
+  p_update : string;
+  p_summary : Sim.summary;
+  p_rollout : rollout;
+  p_in_rollout : int; (* injected inside the rollout span *)
+  p_in_rollout_lost : int;
+  p_in_rollout_delayed : int;
+  p_sim : Sim.t;
+}
+
+(* Run [sc] on a fresh fabric of [arch] nodes: traffic at a fixed cadence
+   from t=0, the rolling rollout starting at [sc_start], injection
+   continuing until both the packet budget and the rollout (plus a drain
+   margin) are spent. Everything is seeded — two runs of the same
+   scenario produce identical verdicts. *)
+let run_scenario ?(timing = default_timing) ~arch sc =
+  let sim = Sim.create ~seed:sc.sc_seed ~arch sc.sc_topo in
+  let inj_node, inj_port = Profiles.inject_point sc.sc_topo in
+  let rollout = ref None in
+  schedule_rollout ~timing ~gap:sc.sc_gap ~at:sc.sc_start ~update:sc.sc_update
+    ~on_done:(fun r -> rollout := Some r)
+    sim;
+  let injected_at = Hashtbl.create 64 in
+  let rec injector i =
+    Sim.schedule_control sim ~at:(i * sc.sc_interval) (fun () ->
+        let id =
+          Sim.inject sim ~at:(Sim.now sim) ~node:inj_node ~port:inj_port
+            (Net.Packet.contents (Profiles.packet i))
+        in
+        Hashtbl.replace injected_at id (Sim.now sim);
+        let keep_going =
+          match !rollout with
+          | None -> true (* never stop while the rollout is live *)
+          | Some r ->
+            i + 1 < sc.sc_packets
+            || Sim.now sim < r.r_end + (2 * sc.sc_interval) (* drain margin *)
+        in
+        if keep_going then injector (i + 1))
+  in
+  injector 0;
+  Sim.run sim;
+  let r =
+    match !rollout with Some r -> r | None -> fail "rollout never completed"
+  in
+  let in_span id =
+    match Hashtbl.find_opt injected_at id with
+    | Some t -> t >= r.r_start && t < r.r_end
+    | None -> false
+  in
+  let in_rollout = ref 0 and lost = ref 0 and delayed = ref 0 in
+  List.iter
+    (fun v ->
+      match v with
+      | Sim.Delivered { d_id; d_buffered; _ } when in_span d_id ->
+        incr in_rollout;
+        if d_buffered then incr delayed
+      | Sim.Dropped { x_id; _ } when in_span x_id ->
+        incr in_rollout;
+        incr lost
+      | _ -> ())
+    (Sim.verdicts sim);
+  {
+    p_arch = arch;
+    p_update = sc.sc_update.u_name;
+    p_summary = Sim.summarize sim;
+    p_rollout = r;
+    p_in_rollout = !in_rollout;
+    p_in_rollout_lost = !lost;
+    p_in_rollout_delayed = !delayed;
+    p_sim = sim;
+  }
+
+let report_json (p : report) =
+  let module J = Prelude.Json in
+  let s = p.p_summary in
+  J.Obj
+    [
+      ("arch", J.String (Sim.arch_name p.p_arch));
+      ("update", J.String p.p_update);
+      ("injected", J.Int s.Sim.s_injected);
+      ("delivered", J.Int s.Sim.s_delivered);
+      ("dropped", J.Int s.Sim.s_dropped);
+      ("delayed", J.Int s.Sim.s_delayed);
+      ("max_latency_ticks", J.Int s.Sim.s_max_latency);
+      ( "drops_by_reason",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) s.Sim.s_by_reason) );
+      ("rollout_start", J.Int p.p_rollout.r_start);
+      ("rollout_end", J.Int p.p_rollout.r_end);
+      ( "waves",
+        J.List
+          (List.map
+             (fun w ->
+               J.Obj
+                 [
+                   ("node", J.String w.w_node);
+                   ("start", J.Int w.w_start);
+                   ("window", J.Int w.w_window);
+                 ])
+             p.p_rollout.r_waves) );
+      ("in_rollout_injected", J.Int p.p_in_rollout);
+      ("in_rollout_lost", J.Int p.p_in_rollout_lost);
+      ("in_rollout_delayed", J.Int p.p_in_rollout_delayed);
+    ]

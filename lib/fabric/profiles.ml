@@ -1,0 +1,125 @@
+(* Routing profiles: per-node table populations for a topology.
+
+   Every fabric node boots the same base L2/L3 design
+   ([Usecases.Base_l23]); what differs per node is its table population —
+   which egress port routed traffic leaves through. The profile uses a
+   shared router MAC on every switch (an anycast gateway, as leaf-spine
+   fabrics deploy): each hop's [nexthop] action rewrites the DMAC back to
+   the router MAC, so the next switch routes rather than bridges, and the
+   TTL/hop-limit decrements naturally per hop.
+
+   Bridge-domain convention: routed IPv4 uses bd 2 (ECMP member [j] uses
+   bd [2 + 10 j]), routed IPv6 uses bd 3. The DMAC table then maps
+   (bd, router_mac) to the per-node egress port chosen by the topology's
+   [route] entries. *)
+
+let router_mac = Usecases.Base_l23.router_mac
+let v4_prefix = "10.1.0.0/16"
+let v6_prefix = "2001:db8::/32"
+
+let member_bd j = 2 + (10 * j)
+let v6_bd = 3
+
+let default_route = { Topo.rt_node = ""; rt_v4_ports = [ 1 ]; rt_v6_port = 1 }
+
+let route_for topo node =
+  match Topo.route_of topo node with
+  | Some r -> r
+  | None -> { default_route with Topo.rt_node = node }
+
+(* The base (pre-update) population: single-path v4 via the first route
+   member, v6 via the v6 port. *)
+let population topo node =
+  let r = route_for topo node in
+  let v4_port = List.hd r.Topo.rt_v4_ports in
+  String.concat "\n"
+    (List.init 8 (fun p ->
+         Printf.sprintf "table_add port_map set_ifindex %d => %d" p (100 + p))
+    @ List.init 8 (fun p ->
+          Printf.sprintf "table_add bridge_vrf set_bd_vrf %d => 1 10" (100 + p))
+    @ [
+        Printf.sprintf "table_add routable_v4 set_l3_v4 10 %s =>" router_mac;
+        Printf.sprintf "table_add routable_v6 set_l3_v6 10 %s =>" router_mac;
+        Printf.sprintf "table_add ipv4_lpm set_nexthop 10 %s => 1" v4_prefix;
+        Printf.sprintf "table_add ipv6_lpm set_nexthop 10 %s => 3" v6_prefix;
+        Printf.sprintf "table_add nexthop set_bd_dmac 1 => %d %s" (member_bd 0)
+          router_mac;
+        Printf.sprintf "table_add nexthop set_bd_dmac 3 => %d %s" v6_bd router_mac;
+        Printf.sprintf "table_add smac_v4 rewrite_v4 %d => %s" (member_bd 0)
+          router_mac;
+        Printf.sprintf "table_add smac_v6 rewrite_v6 %d => %s" v6_bd router_mac;
+        Printf.sprintf "table_add dmac set_out_port %d %s => %d" (member_bd 0)
+          router_mac v4_port;
+        Printf.sprintf "table_add dmac set_out_port %d %s => %d" v6_bd router_mac
+          r.Topo.rt_v6_port;
+      ])
+
+(* C1 per-node population: one ECMP member per v4 route port. Members
+   beyond the first need their own bridge domain's SMAC and DMAC entries
+   (the base population only covers member 0's). *)
+let ecmp_population topo node =
+  let r = route_for topo node in
+  let members =
+    List.concat
+      (List.mapi
+         (fun j port ->
+           Printf.sprintf "table_add ecmp_ipv4 set_bd_dmac * * => %d %s"
+             (member_bd j) router_mac
+           ::
+           (if j = 0 then []
+            else
+              [
+                Printf.sprintf "table_add smac_v4 rewrite_v4 %d => %s" (member_bd j)
+                  router_mac;
+                Printf.sprintf "table_add dmac set_out_port %d %s => %d"
+                  (member_bd j) router_mac port;
+              ]))
+         r.Topo.rt_v4_ports)
+  in
+  String.concat "\n"
+    (members
+    @ [
+        Printf.sprintf "table_add ecmp_ipv6 set_bd_dmac * * => %d %s" v6_bd
+          router_mac;
+      ])
+
+(* The smallest unwired (edge) port of [node] — where hosts attach. *)
+let edge_port topo node =
+  let peers = Topo.peers topo in
+  let rec go p =
+    if p >= 8 then invalid_arg (node ^ ": no edge port")
+    else if Hashtbl.mem peers (node, p) then go (p + 1)
+    else p
+  in
+  go 0
+
+(* Canonical injection point: an edge port of the first node. *)
+let inject_point topo =
+  match topo.Topo.nodes with
+  | [] -> invalid_arg "inject_point: empty topology"
+  | n :: _ -> (n, edge_port topo n)
+
+(* Canonical fabric flows: same addressing as the single-device tests,
+   destinations covered by [v4_prefix]/[v6_prefix] on every node. *)
+let v4_flow i =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn router_mac)
+    ~src_ip4:(Net.Addr.Ipv4.of_int (0x0A000000 lor (i land 0xFF)))
+    ~dst_ip4:(Net.Addr.Ipv4.of_int (0x0A010000 lor (i land 0xFFFF)))
+    ~sport:(1024 + (i mod 1000))
+    ()
+
+let v6_flow i =
+  Net.Flowgen.make_flow
+    ~dst_mac:(Net.Addr.Mac.of_string_exn router_mac)
+    ~dst_ip6:(Net.Addr.Ipv6.of_string_exn "2001:db8::42")
+    ~src_ip6:(Net.Addr.Ipv6.of_index (100 + (i land 0xFF)))
+    ()
+
+(* Mixed fabric traffic: mostly routed v4 (with varying destinations, so
+   post-C1 the ECMP hash actually spreads), some routed v6. *)
+let packet i =
+  if i mod 4 = 3 then Net.Flowgen.ipv6_udp (v6_flow i)
+  else Net.Flowgen.ipv4_udp (v4_flow i)
+
+let packet_bytes i = Net.Packet.contents (packet i)

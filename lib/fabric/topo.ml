@@ -1,0 +1,286 @@
+(* Fabric topology model.
+
+   A topology is a set of named switches joined by point-to-point links.
+   Each link binds one port on each endpoint and carries a small channel
+   model: latency (ticks per traversal), queue depth (packets in flight
+   before tail drop) and a loss probability in parts per million. Ports
+   not bound to any link are *edge* ports — packets egressing there leave
+   the fabric (host delivery), packets injected there enter it.
+
+   The canned shapes below (line, ring, leaf-spine-4) cover the three
+   behaviours the fabric tests exercise: multi-hop delivery, loop
+   guarding, and rolling rollouts with redundant paths. A tiny text
+   format ([parse_spec]/[to_spec]) lets `ipbm fabric` load custom
+   topologies; `route` lines carry the per-node egress choices the
+   routing profile turns into table populations. *)
+
+type link_spec = {
+  latency : int; (* ticks per traversal, >= 1 *)
+  queue_depth : int; (* packets in flight before tail drop *)
+  loss_ppm : int; (* random loss, parts per million *)
+}
+
+let default_link = { latency = 1; queue_depth = 32; loss_ppm = 0 }
+
+type endpoint = { ep_node : string; ep_port : int }
+
+type link = {
+  link_id : int;
+  a : endpoint;
+  b : endpoint;
+  spec : link_spec;
+}
+
+(* Per-node egress choices for the routing profile: where routed IPv4 and
+   IPv6 leave this node. More than one v4 port marks an ECMP fan-out
+   (leaf-spine uplinks). *)
+type route = {
+  rt_node : string;
+  rt_v4_ports : int list; (* first member doubles as the non-ECMP path *)
+  rt_v6_port : int;
+}
+
+type t = {
+  nodes : string list; (* declaration order, also rollout order *)
+  links : link list;
+  routes : route list;
+}
+
+exception Spec_error of string
+
+let spec_error fmt = Format.kasprintf (fun s -> raise (Spec_error s)) fmt
+
+let link_name l =
+  Printf.sprintf "%s:%d-%s:%d" l.a.ep_node l.a.ep_port l.b.ep_node l.b.ep_port
+
+let validate t =
+  let seen_nodes = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen_nodes n then spec_error "duplicate node %s" n;
+      Hashtbl.replace seen_nodes n ())
+    t.nodes;
+  let seen_ports = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun ep ->
+          if not (Hashtbl.mem seen_nodes ep.ep_node) then
+            spec_error "link %s references unknown node %s" (link_name l) ep.ep_node;
+          if Hashtbl.mem seen_ports (ep.ep_node, ep.ep_port) then
+            spec_error "port %s:%d wired twice" ep.ep_node ep.ep_port;
+          Hashtbl.replace seen_ports (ep.ep_node, ep.ep_port) ())
+        [ l.a; l.b ];
+      if l.spec.latency < 1 then spec_error "link %s: latency < 1" (link_name l);
+      if l.spec.queue_depth < 1 then spec_error "link %s: queue_depth < 1" (link_name l))
+    t.links;
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem seen_nodes r.rt_node) then
+        spec_error "route references unknown node %s" r.rt_node;
+      if r.rt_v4_ports = [] then spec_error "route %s: no v4 ports" r.rt_node)
+    t.routes;
+  t
+
+let make ~nodes ~links ~routes = validate { nodes; links; routes }
+
+let route_of t node = List.find_opt (fun r -> r.rt_node = node) t.routes
+
+(* (node, port) -> (link, far endpoint); edge ports are absent. *)
+let peers t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace tbl (l.a.ep_node, l.a.ep_port) (l, l.b);
+      Hashtbl.replace tbl (l.b.ep_node, l.b.ep_port) (l, l.a))
+    t.links;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Canned shapes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let node_name i = Printf.sprintf "s%d" i
+
+let mk_link id a b spec = { link_id = id; a; b; spec }
+let ep node port = { ep_node = node; ep_port = port }
+
+(* s0:1 <-> s1:0, s1:1 <-> s2:0, ...; traffic enters at s0:0 and exits at
+   the last node's port 3 (an unwired edge port). *)
+let line ?(n = 3) ?(spec = default_link) () =
+  if n < 1 then spec_error "line: need at least one node";
+  let nodes = List.init n node_name in
+  let links =
+    List.init (n - 1) (fun i ->
+        mk_link i (ep (node_name i) 1) (ep (node_name (i + 1)) 0) spec)
+  in
+  let routes =
+    List.init n (fun i ->
+        let last = i = n - 1 in
+        {
+          rt_node = node_name i;
+          rt_v4_ports = [ (if last then 3 else 1) ];
+          rt_v6_port = (if last then 3 else 1);
+        })
+  in
+  make ~nodes ~links ~routes
+
+(* A cycle: every node forwards routed traffic to its clockwise
+   neighbour, so a routed packet never reaches an edge port — the
+   loop-guard regression shape. *)
+let ring ?(n = 3) ?(spec = default_link) () =
+  if n < 2 then spec_error "ring: need at least two nodes";
+  let nodes = List.init n node_name in
+  let links =
+    List.init n (fun i ->
+        mk_link i (ep (node_name i) 1) (ep (node_name ((i + 1) mod n)) 0) spec)
+  in
+  let routes =
+    List.init n (fun i ->
+        { rt_node = node_name i; rt_v4_ports = [ 1 ]; rt_v6_port = 1 })
+  in
+  make ~nodes ~links ~routes
+
+(* Two leaves, two spines:
+
+       spine1   spine2
+        /  \     /  \
+    leaf1    X      leaf2        (each leaf uplinks to both spines)
+
+   leaf1:1 <-> spine1:0   leaf1:2 <-> spine2:0
+   leaf2:1 <-> spine1:1   leaf2:2 <-> spine2:1
+
+   Hosts sit on leaf port 0 (ingress) and leaf2 port 3 (delivery).
+   leaf1 has two equal-cost v4 uplinks — the ECMP fan-out C1 spreads
+   over after its rolling rollout. Rollout order: leaves first, then
+   spines (nodes list order). *)
+let leaf_spine_4 ?(spec = default_link) () =
+  let nodes = [ "leaf1"; "leaf2"; "spine1"; "spine2" ] in
+  let links =
+    [
+      mk_link 0 (ep "leaf1" 1) (ep "spine1" 0) spec;
+      mk_link 1 (ep "leaf1" 2) (ep "spine2" 0) spec;
+      mk_link 2 (ep "leaf2" 1) (ep "spine1" 1) spec;
+      mk_link 3 (ep "leaf2" 2) (ep "spine2" 1) spec;
+    ]
+  in
+  let routes =
+    [
+      (* leaf1: uplinks toward the spines; leaf2: host delivery. *)
+      { rt_node = "leaf1"; rt_v4_ports = [ 1; 2 ]; rt_v6_port = 1 };
+      { rt_node = "leaf2"; rt_v4_ports = [ 3 ]; rt_v6_port = 3 };
+      (* spines: downlink toward leaf2 (port 1). *)
+      { rt_node = "spine1"; rt_v4_ports = [ 1 ]; rt_v6_port = 1 };
+      { rt_node = "spine2"; rt_v4_ports = [ 1 ]; rt_v6_port = 1 };
+    ]
+  in
+  make ~nodes ~links ~routes
+
+let canned = function
+  | "line" -> line ()
+  | "ring" -> ring ()
+  | "leaf-spine-4" -> leaf_spine_4 ()
+  | other -> spec_error "unknown topology %S (line | ring | leaf-spine-4)" other
+
+(* ------------------------------------------------------------------ *)
+(* Text format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One directive per line; '#' starts a comment.
+
+     node <name>
+     link <node>:<port> <node>:<port> [latency=N] [queue=N] [loss_ppm=N]
+     route <node> v4 <port>[,<port>...]
+     route <node> v6 <port>
+*)
+
+let parse_endpoint s =
+  match String.split_on_char ':' s with
+  | [ node; port ] -> (
+    match int_of_string_opt port with
+    | Some p when p >= 0 -> ep node p
+    | _ -> spec_error "bad port in endpoint %S" s)
+  | _ -> spec_error "bad endpoint %S (want node:port)" s
+
+let parse_link_opt spec tok =
+  match String.split_on_char '=' tok with
+  | [ "latency"; v ] -> { spec with latency = int_of_string v }
+  | [ "queue"; v ] -> { spec with queue_depth = int_of_string v }
+  | [ "loss_ppm"; v ] -> { spec with loss_ppm = int_of_string v }
+  | _ -> spec_error "unknown link option %S" tok
+
+let parse_spec text =
+  let nodes = ref [] and links = ref [] in
+  let v4 = Hashtbl.create 8 and v6 = Hashtbl.create 8 in
+  let next_link = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         match
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (( <> ) "")
+         with
+         | [] -> ()
+         | "node" :: [ name ] -> nodes := name :: !nodes
+         | "link" :: a :: b :: opts ->
+           let spec =
+             try List.fold_left parse_link_opt default_link opts
+             with Failure _ -> spec_error "bad link options in %S" line
+           in
+           let l = mk_link !next_link (parse_endpoint a) (parse_endpoint b) spec in
+           incr next_link;
+           links := l :: !links
+         | [ "route"; node; "v4"; ports ] ->
+           let ps =
+             String.split_on_char ',' ports
+             |> List.map (fun p ->
+                    match int_of_string_opt p with
+                    | Some v when v >= 0 -> v
+                    | _ -> spec_error "bad v4 port list %S" ports)
+           in
+           Hashtbl.replace v4 node ps
+         | [ "route"; node; "v6"; port ] -> (
+           match int_of_string_opt port with
+           | Some p when p >= 0 -> Hashtbl.replace v6 node p
+           | _ -> spec_error "bad v6 port %S" port)
+         | _ -> spec_error "unparseable topology line %S" line);
+  let nodes = List.rev !nodes in
+  let routes =
+    List.filter_map
+      (fun n ->
+        match (Hashtbl.find_opt v4 n, Hashtbl.find_opt v6 n) with
+        | None, None -> None
+        | v4p, v6p ->
+          Some
+            {
+              rt_node = n;
+              rt_v4_ports = Option.value v4p ~default:[ 1 ];
+              rt_v6_port = Option.value v6p ~default:(List.hd (Option.value v4p ~default:[ 1 ]));
+            })
+      nodes
+  in
+  make ~nodes ~links:(List.rev !links) ~routes
+
+let to_spec t =
+  let buf = Buffer.create 256 in
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "node %s\n" n)) t.nodes;
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %s:%d %s:%d latency=%d queue=%d loss_ppm=%d\n"
+           l.a.ep_node l.a.ep_port l.b.ep_node l.b.ep_port l.spec.latency
+           l.spec.queue_depth l.spec.loss_ppm))
+    t.links;
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "route %s v4 %s\n" r.rt_node
+           (String.concat "," (List.map string_of_int r.rt_v4_ports)));
+      Buffer.add_string buf (Printf.sprintf "route %s v6 %d\n" r.rt_node r.rt_v6_port))
+    t.routes;
+  Buffer.contents buf

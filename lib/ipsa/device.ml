@@ -118,6 +118,8 @@ let registry t = t.registry
 let pool t = t.pool
 let crossbar t = t.crossbar
 let telemetry t = t.tel
+let nports t = t.nports
+let updating t = t.updating
 
 (* Mirror the pull-style state — pool occupancy, crossbar wiring, selector
    split — into gauges. Called after every patch; callers presenting
@@ -285,6 +287,30 @@ let inject_traced t pkt =
   let out = process_one ~trace t pkt in
   (out, trace)
 
+(* Release buffered arrivals through the (current) pipeline. *)
+let flush_input_buffer t =
+  let rec flush () =
+    match Queue.take_opt t.input_buffer with
+    | Some pkt ->
+      ignore (process_one t pkt);
+      flush ()
+    | None -> ()
+  in
+  flush ()
+
+(* Maintenance windows for multi-switch simulation. [apply_patch] is
+   synchronous, so on its own the CM back-pressure window is never
+   observable from outside the call; a fleet controller modelling the
+   update in *virtual* time brackets it with [begin_update] ... patch ...
+   ([apply_patch] reopens the input itself; [end_update] covers windows
+   that end without one). Arrivals in between wait in the CM buffer and
+   resume through the post-update pipeline — the paper's no-loss story. *)
+let begin_update t = t.updating <- true
+
+let end_update t =
+  t.updating <- false;
+  flush_input_buffer t
+
 (* CM: packet output. *)
 let collect t port =
   if port < 0 || port >= t.nports then invalid_arg "Device.collect: bad port";
@@ -435,14 +461,7 @@ let apply_patch t (patch : Config.t) : (load_report, string) result =
      buffered arrivals are released through the new pipeline. *)
   relink t;
   (* Release buffered arrivals through the (new) pipeline. *)
-  let rec flush () =
-    match Queue.take_opt t.input_buffer with
-    | Some pkt ->
-      ignore (process_one t pkt);
-      flush ()
-    | None -> ()
-  in
-  flush ();
+  flush_input_buffer t;
   match result with
   | Error e -> Error e
   | Ok () ->

@@ -89,6 +89,8 @@ let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles)
 
 let stats t = t.stats
 let nstages t = Array.length t.stages
+let nports t = t.nports
+let reloading t = t.reloading
 
 let find_table t name =
   Array.fold_left

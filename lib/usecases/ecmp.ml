@@ -60,3 +60,20 @@ let population =
 
 (* The set of ports ECMP may legitimately choose for routed IPv4. *)
 let v4_member_ports = [ 1; 2 ]
+
+(* Demo traffic for the post-C1 design (`rp4c stats --usecase c1`):
+   routed IPv4 with spread source/destination pairs so the ECMP hash
+   actually fans out over the members, plus some routed IPv6 and a
+   bridged frame for the untouched base paths. *)
+let demo_packet i =
+  match i mod 8 with
+  | 6 -> Net.Flowgen.ipv6_udp ~in_port:1 Base_l23.routed_v6_flow
+  | 7 -> Net.Flowgen.l2 ~in_port:5 Base_l23.bridged_flow
+  | _ ->
+    Net.Flowgen.ipv4_udp ~in_port:0
+      (Net.Flowgen.make_flow
+         ~dst_mac:(Net.Addr.Mac.of_string_exn Base_l23.router_mac)
+         ~src_ip4:(Net.Addr.Ipv4.of_int (0x0A000000 lor (i land 0xFF)))
+         ~dst_ip4:(Net.Addr.Ipv4.of_int (0x0A010000 lor ((i * 13) land 0xFFFF)))
+         ~sport:(1024 + (i mod 1000))
+         ())

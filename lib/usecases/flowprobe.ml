@@ -53,3 +53,13 @@ let probed_flow =
     ~src_ip4:(Net.Addr.Ipv4.of_string_exn probed_src)
     ~dst_ip4:(Net.Addr.Ipv4.of_string_exn probed_dst)
     ()
+
+(* Demo traffic for the post-C3 design (`rp4c stats --usecase c3`): a
+   heavy hitter on the probed 5-tuple (crossing [threshold] within a
+   small demo run so the probe marks), diluted with unprobed routed and
+   bridged background traffic. *)
+let demo_packet i =
+  match i mod 4 with
+  | 0 | 1 -> Net.Flowgen.ipv4_udp ~in_port:0 probed_flow
+  | 2 -> Net.Flowgen.ipv4_udp ~in_port:0 Base_l23.routed_v4_flow
+  | _ -> Net.Flowgen.l2 ~in_port:5 Base_l23.bridged_flow

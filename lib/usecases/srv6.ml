@@ -125,3 +125,12 @@ let srv6_flow =
 
 (* After End processing the packet routes to seg_final via nexthop 3. *)
 let expected_port = 3
+
+(* Demo traffic for the post-C2 design (`rp4c stats --usecase c2`):
+   SRv6-encapsulated packets whose active segment is this node's SID
+   (exercising End processing and the transit FIB), alternating with
+   plain routed IPv4 that bypasses the SRH path. *)
+let demo_packet i =
+  if i mod 2 = 0 then
+    Net.Flowgen.srv6_ipv4 ~in_port:1 ~segments ~segments_left:1 srv6_flow
+  else Net.Flowgen.ipv4_udp ~in_port:0 Base_l23.routed_v4_flow

