@@ -117,8 +117,30 @@ let bench_packet_path_telemetry =
          let pkt = Net.Packet.create ~in_port:0 (Lazy.force routed_v4_bytes) in
          ignore (Ipsa.Device.inject device pkt)))
 
+(* packet-forward-flat: the same wire bytes through the batched
+   zero-allocation path — no [Packet.t], no context, no per-packet heap
+   traffic at all. *)
+let flat_device =
+  lazy
+    (let _, device = Harness.Cases.boot_base () in
+     if not (Ipsa.Device.flat_ready device) then
+       failwith "bench: base design did not compile into the flat subset";
+     device)
+
+let bench_packet_path_flat =
+  Test.make ~name:"ipbm/packet-forward-flat"
+    (Staged.stage (fun () ->
+         let device = Lazy.force flat_device in
+         ignore
+           (Ipsa.Device.inject_flat device ~in_port:0 (Lazy.force routed_v4_bytes))))
+
 let packet_path_tests =
-  [ bench_packet_path; bench_packet_path_linked; bench_packet_path_telemetry ]
+  [
+    bench_packet_path;
+    bench_packet_path_linked;
+    bench_packet_path_flat;
+    bench_packet_path_telemetry;
+  ]
 
 (* Fleet rollout pair: one full rolling rollout (boot, waves, traffic,
    drain) on a two-node line, IPSA in-situ patches vs PISA monolithic
@@ -186,20 +208,71 @@ let run_micro ?(limit = 200) ?(quota = 0.5) ?tests () =
   Prelude.Texttab.print ~header:[ "benchmark"; "estimated time" ] rows;
   results
 
-(* The artifact the CI smoke publishes: interpreted vs linked packet path. *)
+(* Bytes allocated per packet on each path, measured with the GC's own
+   allocation counter (Bechamel's monotonic clock says nothing about
+   allocation): warm up until buffers and lazy caches are stable, then
+   average over a fixed packet count. *)
+let measure_allocs ?(warmup = 512) ?(runs = 4096) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  (Gc.allocated_bytes () -. before) /. float_of_int runs
+
+let alloc_profiles () =
+  let bytes = Lazy.force routed_v4_bytes in
+  let _, dev_i = Harness.Cases.boot_base ~linked:false () in
+  let _, dev_l = Harness.Cases.boot_base () in
+  let dev_f = Lazy.force flat_device in
+  [
+    ( "interp",
+      measure_allocs (fun () ->
+          ignore (Ipsa.Device.inject dev_i (Net.Packet.create ~in_port:0 bytes))) );
+    ( "linked",
+      measure_allocs (fun () ->
+          ignore (Ipsa.Device.inject dev_l (Net.Packet.create ~in_port:0 bytes))) );
+    ( "flat",
+      measure_allocs (fun () -> ignore (Ipsa.Device.inject_flat dev_f ~in_port:0 bytes))
+    );
+  ]
+
+(* The artifact the CI smoke publishes: the interpreted, linked and flat
+   packet paths. Legacy top-level keys (interp/linked/speedup) are kept
+   for older consumers; per-path detail lives under ["paths"]. *)
 let write_bench_link results =
   let module J = Prelude.Json in
   let find n = Option.join (List.assoc_opt n results) in
   match
-    (find "ipbm/packet-forward", find "ipbm/packet-forward-linked")
+    ( find "ipbm/packet-forward",
+      find "ipbm/packet-forward-linked",
+      find "ipbm/packet-forward-flat" )
   with
-  | Some interp, Some linked when linked > 0.0 ->
+  | Some interp, Some linked, Some flat when linked > 0.0 && flat > 0.0 ->
+    let allocs = alloc_profiles () in
+    let path_obj name ns =
+      ( name,
+        J.Obj
+          [
+            ("ns_per_packet", J.Float ns);
+            ("pkt_per_sec", J.Float (1e9 /. ns));
+            ( "allocs_per_packet",
+              J.Float (try List.assoc name allocs with Not_found -> nan) );
+          ] )
+    in
     let j =
       J.Obj
         [
           ("interp_ns_per_packet", J.Float interp);
           ("linked_ns_per_packet", J.Float linked);
           ("speedup", J.Float (interp /. linked));
+          ("flat_ns_per_packet", J.Float flat);
+          ("flat_speedup_vs_linked", J.Float (linked /. flat));
+          ( "paths",
+            J.Obj [ path_obj "interp" interp; path_obj "linked" linked; path_obj "flat" flat ]
+          );
         ]
     in
     let oc = open_out "BENCH_link.json" in
@@ -207,8 +280,47 @@ let write_bench_link results =
     output_string oc "\n";
     close_out oc;
     Printf.printf "BENCH_link.json: linked speedup %.2fx (%.0f -> %.0f ns)\n"
-      (interp /. linked) interp linked
+      (interp /. linked) interp linked;
+    Printf.printf
+      "BENCH_link.json: flat %.2fx vs linked (%.0f -> %.0f ns, %.2f Mpkt/s, %.3f B alloc/pkt)\n"
+      (linked /. flat) linked flat (1e3 /. flat)
+      (try List.assoc "flat" allocs with Not_found -> nan)
   | _ -> prerr_endline "BENCH_link.json not written: missing estimates"
+
+(* CI perf gate over a freshly generated BENCH_link.json: the flat path
+   must stay allocation-free (tiny tolerance for GC-counter noise) and
+   strictly faster than the linked path. *)
+let perf_gate () =
+  let module J = Prelude.Json in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let j = J.of_string (read_file "BENCH_link.json") in
+  let field p f =
+    J.member_exn "paths" j |> J.member_exn p |> J.member_exn f |> J.to_float
+  in
+  let flat_ns = field "flat" "ns_per_packet" in
+  let linked_ns = field "linked" "ns_per_packet" in
+  let flat_allocs = field "flat" "allocs_per_packet" in
+  Printf.printf
+    "perf gate: flat %.0f ns/pkt (%.2fx vs linked %.0f ns), %.3f bytes alloc/pkt, %.2f Mpkt/s\n"
+    flat_ns (linked_ns /. flat_ns) linked_ns flat_allocs (1e3 /. flat_ns);
+  let failed = ref false in
+  if not (flat_allocs <= 2.0) then begin
+    Printf.eprintf "perf gate FAIL: flat path allocates %.3f bytes/packet (limit 2.0)\n"
+      flat_allocs;
+    failed := true
+  end;
+  if not (flat_ns < linked_ns) then begin
+    Printf.eprintf "perf gate FAIL: flat path (%.0f ns) not faster than linked (%.0f ns)\n"
+      flat_ns linked_ns;
+    failed := true
+  end;
+  if !failed then exit 1;
+  print_endline "perf gate OK"
 
 (* The fabric artifact: the leaf-spine-4 rolling C2 rollout, IPSA fleet
    vs PISA fleet, with the bench pair's ns/rollout estimates when the
@@ -289,6 +401,7 @@ let all_experiments =
         in
         write_bench_link results;
         write_bench_fabric results );
+    ("perf-gate", perf_gate);
   ]
 
 let () =

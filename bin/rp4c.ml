@@ -405,6 +405,15 @@ let stats_cmd =
   let packets =
     Arg.(value & opt int 64 & info [ "packets" ] ~doc:"synthetic packets to inject")
   in
+  let batch =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "drive traffic through the batched fast path ($(b,inject_batch)) \
+             in chunks of $(docv) packets instead of one-at-a-time injection; \
+             0 disables batching")
+  in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"flow generator seed (with FILE.rp4)")
   in
@@ -420,7 +429,7 @@ let stats_cmd =
       & info [ "trace" ]
           ~doc:"inject one extra packet with a stage tracer and dump its per-TSP trace")
   in
-  let run file populate usecase packets seed ntsps json trace =
+  let run file populate usecase packets batch seed ntsps json trace =
     try
       let tel = Telemetry.create () in
       let device = Ipsa.Device.create ~telemetry:tel ~ntsps () in
@@ -468,9 +477,19 @@ let stats_cmd =
         match populated with
         | Error e -> `Error (false, e)
         | Ok () ->
-          for i = 0 to packets - 1 do
-            ignore (Ipsa.Device.inject device (packet_of i))
-          done;
+          if batch > 0 then begin
+            let i = ref 0 in
+            while !i < packets do
+              let n = min batch (packets - !i) in
+              let chunk = Array.init n (fun j -> packet_of (!i + j)) in
+              ignore (Ipsa.Device.inject_batch device chunk);
+              i := !i + n
+            done
+          end
+          else
+            for i = 0 to packets - 1 do
+              ignore (Ipsa.Device.inject device (packet_of i))
+            done;
           let traced =
             if trace then Some (snd (Ipsa.Device.inject_traced device (packet_of 0)))
             else None
@@ -504,8 +523,8 @@ let stats_cmd =
           per-packet stage trace)")
     Term.(
       ret
-        (const run $ file $ populate $ usecase $ packets $ seed $ ntsps $ json
-       $ trace))
+        (const run $ file $ populate $ usecase $ packets $ batch $ seed $ ntsps
+       $ json $ trace))
 
 let () =
   let doc = "rP4 compiler tool-chain (front end, back end, incremental patches)" in

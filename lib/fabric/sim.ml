@@ -334,29 +334,33 @@ let node_receive t node ~port ~bytes meta =
     record_drop t meta ~reason:Hop_limit ~where:node.n_name
   else
     let pkt = Net.Packet.create ~in_port:port bytes in
+    (* Per-hop processing rides the devices' batched fast path: a
+       single-packet batch runs through the zero-alloc flat engine when
+       the node's design compiled into the flat subset, and falls back to
+       the context interpreter otherwise — same observable outcome. *)
     match node.n_impl with
     | Pisa_node p -> (
-      match Pisa.Device.inject p.device pkt with
-      | Some (out_port, ctx) ->
+      match Pisa.Device.inject_batch p.device [| pkt |] with
+      | [| Some r |] ->
+        let out_port = r.Ipsa.Device.br_port in
         ignore (Pisa.Device.collect p.device out_port);
         emit t node ~out_port
           ~bytes:(Net.Packet.contents pkt)
-          ~meta_bindings:(Net.Meta.bindings ctx.Ipsa.Context.meta)
-          meta
-      | None ->
+          ~meta_bindings:r.Ipsa.Device.br_meta meta
+      | _ ->
         if Pisa.Device.reloading p.device then
           record_drop t meta ~reason:Node_reload ~where:node.n_name
         else record_drop t meta ~reason:Node_drop ~where:node.n_name)
     | Ipsa_node session -> (
       let device = Controller.Session.device session in
-      match Ipsa.Device.inject device pkt with
-      | Some (out_port, ctx) ->
+      match Ipsa.Device.inject_batch device [| pkt |] with
+      | [| Some r |] ->
+        let out_port = r.Ipsa.Device.br_port in
         ignore (Ipsa.Device.collect device out_port);
         emit t node ~out_port
           ~bytes:(Net.Packet.contents pkt)
-          ~meta_bindings:(Net.Meta.bindings ctx.Ipsa.Context.meta)
-          meta
-      | None ->
+          ~meta_bindings:r.Ipsa.Device.br_meta meta
+      | _ ->
         if Ipsa.Device.updating device then begin
           (* CM back-pressure: the packet waits, id-stamped, in the input
              buffer; [pump_node] re-emits it after the update. *)

@@ -17,6 +17,7 @@
 let log = Logs.Src.create "ipsa.device" ~doc:"ipbm device"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module F = Net.Flatpkt
 
 type stats = {
   mutable injected : int;
@@ -58,6 +59,15 @@ type t = {
   mutable updating : bool;
   mutable use_linked : bool; (* run pre-bound programs off the fast path *)
   mutable next_pkt_id : int; (* per-device packet id sequence *)
+  (* Batched zero-alloc plan, snapshotted by [relink]: the powered
+     ingress/egress slots paired with their flat programs. [flat_ok] means
+     every slot that would touch a packet compiled into the flat subset,
+     so the batch path can bypass contexts entirely. *)
+  mutable flat_ingress : (Tsp.slot * Flat.prog) array;
+  mutable flat_egress : (Tsp.slot * Flat.prog) array;
+  mutable flat_ok : bool;
+  flat_one : F.t; (* reusable record for the single-packet fast path *)
+  ring : F.Ring.t; (* reusable records for [inject_batch] *)
   stats : stats;
   tel : Telemetry.t;
   instr : instruments;
@@ -87,6 +97,11 @@ let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
     updating = false;
     use_linked = linked;
     next_pkt_id = 0;
+    flat_ingress = [||];
+    flat_egress = [||];
+    flat_ok = false;
+    flat_one = F.create ();
+    ring = F.Ring.create ();
     stats =
       {
         injected = 0;
@@ -207,30 +222,58 @@ let relink t =
   in
   for i = 0 to Pipeline.ntsps t.pipeline - 1 do
     let slot = Pipeline.slot t.pipeline i in
-    slot.Tsp.linked <-
-      (match slot.Tsp.template with
-      | Some tmpl when t.use_linked -> Some (Linked.link lenv ~tsp:i tmpl)
-      | _ -> None)
-  done
+    (match slot.Tsp.template with
+    | Some tmpl when t.use_linked ->
+      slot.Tsp.linked <- Some (Linked.link lenv ~tsp:i tmpl);
+      (* [None] = the template uses something outside the flat subset
+         (wide arithmetic, >56-bit selectors); the batch path then falls
+         back to contexts for the whole device. *)
+      slot.Tsp.flat <- Flat.link lenv ~tsp:i tmpl
+    | _ ->
+      slot.Tsp.linked <- None;
+      slot.Tsp.flat <- None)
+  done;
+  (* Snapshot the batched plan: the powered slots per role, in pipeline
+     order, paired with their flat programs. *)
+  let ok = ref t.use_linked in
+  let collect want =
+    let acc = ref [] in
+    for i = Pipeline.ntsps t.pipeline - 1 downto 0 do
+      let slot = Pipeline.slot t.pipeline i in
+      if Pipeline.role t.pipeline i = want && slot.Tsp.powered
+         && slot.Tsp.template <> None
+      then
+        match slot.Tsp.flat with
+        | Some prog -> acc := (slot, prog) :: !acc
+        | None -> ok := false
+    done;
+    Array.of_list !acc
+  in
+  t.flat_ingress <- collect Pipeline.Ingress;
+  t.flat_egress <- collect Pipeline.Egress;
+  t.flat_ok <- !ok
 
 (* ------------------------------------------------------------------ *)
 (* PM: packet processing                                               *)
 (* ------------------------------------------------------------------ *)
 
-let process_one ?trace t pkt =
-  let ctx = Context.create ?trace ~layout:t.meta_layout pkt in
+let account t cycles =
+  t.stats.total_cycles <- t.stats.total_cycles + cycles;
+  Telemetry.Counter.add t.instr.i_cycles cycles;
+  Telemetry.Histogram.observe t.instr.h_packet_cycles cycles
+
+(* The pipeline walk over an already-built context: everything
+   [process_one] does except allocating the context and queueing the
+   packet on its output port. Shared with the batch fallback, which does
+   its own output queueing. *)
+let process_ctx t ctx =
   let env = env t in
-  let account ctx =
-    t.stats.total_cycles <- t.stats.total_cycles + ctx.Context.cycles;
-    Telemetry.Counter.add t.instr.i_cycles ctx.Context.cycles;
-    Telemetry.Histogram.observe t.instr.h_packet_cycles ctx.Context.cycles
-  in
   Pipeline.process_ingress env t.pipeline ctx;
   if Context.dropped ctx then begin
     Context.finalize ctx;
     t.stats.dropped <- t.stats.dropped + 1;
     Telemetry.Counter.incr t.instr.i_dropped;
-    account ctx;
+    account t ctx.Context.cycles;
     None
   end
   else begin
@@ -240,7 +283,7 @@ let process_one ?trace t pkt =
     | Some ctx ->
       Pipeline.process_egress env t.pipeline ctx;
       Context.finalize ctx;
-      account ctx;
+      account t ctx.Context.cycles;
       if Context.dropped ctx then begin
         t.stats.dropped <- t.stats.dropped + 1;
         Telemetry.Counter.incr t.instr.i_dropped;
@@ -252,10 +295,17 @@ let process_one ?trace t pkt =
         let port =
           Net.Meta.get_int_slot ctx.Context.meta Net.Meta.slot_out_port mod t.nports
         in
-        Queue.add ctx.Context.pkt t.outputs.(port);
         Some (port, ctx)
       end
   end
+
+let process_one ?trace t pkt =
+  let ctx = Context.create ?trace ~layout:t.meta_layout pkt in
+  match process_ctx t ctx with
+  | Some (port, ctx) as out ->
+    Queue.add ctx.Context.pkt t.outputs.(port);
+    out
+  | None -> None
 
 (* Restamp with this device's own id sequence, so ids are per-device
    rather than shared process-wide. *)
@@ -286,6 +336,157 @@ let inject_traced t pkt =
   let trace = Telemetry.Trace.create () in
   let out = process_one ~trace t pkt in
   (out, trace)
+
+(* ------------------------------------------------------------------ *)
+(* PM: batched zero-allocation path                                     *)
+(* ------------------------------------------------------------------ *)
+
+let flat_ready t = t.flat_ok
+
+(* Mirror of [Tsp.process] over a flat packet, minus the trace hooks the
+   batch path never carries. *)
+let run_flat_slots t (slots : (Tsp.slot * Flat.prog) array) tmpl_cycles fp =
+  for i = 0 to Array.length slots - 1 do
+    if not (F.dropped fp) then begin
+      let slot, prog = slots.(i) in
+      slot.Tsp.packets <- slot.Tsp.packets + 1;
+      Telemetry.Counter.incr t.probes.(slot.Tsp.id).Telemetry.sp_packets;
+      fp.F.cycles <- fp.F.cycles + tmpl_cycles;
+      Flat.run_stages prog fp
+    end
+  done
+
+(* Run one flat packet through the pipeline. Returns the output port,
+   [-1] for a dropped (finalized) packet, or [-2] when the TM would have
+   dropped it — in that case the packet vanishes unfinalized, exactly as
+   [process_ctx]'s failed enqueue / empty dequeue leaves it. *)
+let process_flat t fp =
+  let tc = Cycles.template_cycles t.cycles_cfg in
+  run_flat_slots t t.flat_ingress tc fp;
+  if F.dropped fp then begin
+    F.finalize fp;
+    t.stats.dropped <- t.stats.dropped + 1;
+    Telemetry.Counter.incr t.instr.i_dropped;
+    account t fp.F.cycles;
+    -1
+  end
+  else if Tm.pass t.tm then begin
+    run_flat_slots t t.flat_egress tc fp;
+    F.finalize fp;
+    account t fp.F.cycles;
+    if F.dropped fp then begin
+      t.stats.dropped <- t.stats.dropped + 1;
+      Telemetry.Counter.incr t.instr.i_dropped;
+      -1
+    end
+    else begin
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      Telemetry.Counter.incr t.instr.i_forwarded;
+      fp.F.out_port mod t.nports
+    end
+  end
+  else -2
+
+(* Wire-bytes-in, port-out fast path: in steady state (plan compiled,
+   no update in progress, TM empty) this allocates nothing — the flat
+   record, its buffers and the ring are all reused. Output queues are
+   not fed (there is no [Packet.t] to queue); callers wanting the
+   transformed bytes read [flat_contents] before the next injection. *)
+let inject_flat t ~in_port bytes =
+  t.stats.injected <- t.stats.injected + 1;
+  Telemetry.Counter.incr t.instr.i_injected;
+  if t.flat_ok && (not t.updating) && Tm.length t.tm = 0 then begin
+    t.next_pkt_id <- t.next_pkt_id + 1;
+    let fp = t.flat_one in
+    F.load fp ~layout:t.meta_layout ~in_port bytes;
+    fp.F.id <- t.next_pkt_id;
+    process_flat t fp
+  end
+  else begin
+    let pkt = Net.Packet.create ~in_port bytes in
+    stamp t pkt;
+    if t.updating then begin
+      Queue.add pkt t.input_buffer;
+      t.stats.buffered_during_update <- t.stats.buffered_during_update + 1;
+      Telemetry.Counter.incr t.instr.i_buffered;
+      -1
+    end
+    else begin
+      let ctx = Context.create ~layout:t.meta_layout pkt in
+      match process_ctx t ctx with Some (port, _) -> port | None -> -1
+    end
+  end
+
+let flat_contents t = F.contents t.flat_one
+
+(* What [inject_batch] reports per forwarded packet: enough for every
+   caller of the context path ([Fabric.Sim] routing on port + metadata,
+   [rp4c stats] on the accounting fields) to run on the batch path. *)
+type batch_result = {
+  br_port : int;
+  br_meta : (string * Net.Bits.t) list;
+  br_cycles : int;
+  br_lookups : int;
+  br_parse_attempts : int;
+}
+
+let batch_result_of_ctx port (ctx : Context.t) =
+  {
+    br_port = port;
+    br_meta = Net.Meta.bindings ctx.Context.meta;
+    br_cycles = ctx.Context.cycles;
+    br_lookups = ctx.Context.lookups;
+    br_parse_attempts = ctx.Context.parse_attempts;
+  }
+
+(* Inject a batch of packets; slot [i] of the result describes packet
+   [i] ([None] = dropped, buffered during an update, or swallowed by the
+   TM). When the flat plan covers the pipeline the packets run through
+   ring-recycled flat records and are written back at the edge;
+   otherwise each falls back to the context path. Either way the
+   device-level semantics (counters, output queues, update buffering)
+   match [inject] exactly. *)
+let inject_batch t (pkts : Net.Packet.t array) : batch_result option array =
+  let use_flat = t.flat_ok && (not t.updating) && Tm.length t.tm = 0 in
+  if use_flat then F.Ring.rewind t.ring;
+  Array.map
+    (fun pkt ->
+      stamp t pkt;
+      t.stats.injected <- t.stats.injected + 1;
+      Telemetry.Counter.incr t.instr.i_injected;
+      if t.updating then begin
+        Queue.add pkt t.input_buffer;
+        t.stats.buffered_during_update <- t.stats.buffered_during_update + 1;
+        Telemetry.Counter.incr t.instr.i_buffered;
+        None
+      end
+      else if use_flat then begin
+        let fp = F.Ring.acquire t.ring in
+        F.of_packet fp ~layout:t.meta_layout pkt;
+        let port = process_flat t fp in
+        if port >= -1 then F.to_packet fp pkt;
+        if port >= 0 then begin
+          Queue.add pkt t.outputs.(port);
+          Some
+            {
+              br_port = port;
+              br_meta = F.meta_bindings fp;
+              br_cycles = fp.F.cycles;
+              br_lookups = fp.F.lookups;
+              br_parse_attempts = fp.F.parse_attempts;
+            }
+        end
+        else None
+      end
+      else begin
+        let ctx = Context.create ~layout:t.meta_layout pkt in
+        match process_ctx t ctx with
+        | Some (port, ctx) ->
+          Queue.add ctx.Context.pkt t.outputs.(port);
+          Some (batch_result_of_ctx port ctx)
+        | None -> None
+      end)
+    pkts
 
 (* Release buffered arrivals through the (current) pipeline. *)
 let flush_input_buffer t =

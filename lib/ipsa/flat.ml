@@ -1,0 +1,995 @@
+(* Zero-allocation compilation of a linked template onto [Net.Flatpkt].
+
+   [Linked] already resolves every name at template-download time, but its
+   packet path still allocates: every field read boxes a [Bits.t], every
+   lookup builds a key list, every action binds an argument array. This
+   module is the second compilation tier: when a template only manipulates
+   values that fit in an unboxed OCaml [int] (width <= 56 bits — wide
+   values are handled for straight header-to-header copies and scan keys,
+   never boxed), it compiles to closures over a [Net.Flatpkt.t] whose
+   steady state allocates nothing at all.
+
+   The compiler is a *partial* twin of [Linked]: any construct outside the
+   flat subset raises [Unsupported] during [link], the device keeps the
+   linked program as its oracle, and the batch entry points fall back to
+   it per template. Everything the flat path does — counter increments,
+   cycle accounting, miss/default behaviour, evaluation order, even which
+   exception escapes on an invalid reference — mirrors [Linked] (and
+   therefore the string interpreter) observably; test_flat.ml holds the
+   three implementations equal.
+
+   Table lookups cannot pre-render entries once: controllers mutate tables
+   between packets. Each flat table keeps a derived cache (hash map /
+   ordered scan list) stamped with [Table.generation] and rebuilds it
+   lazily on the first lookup after a mutation — allocation happens on the
+   control path, never per packet in steady state. *)
+
+module B = Net.Bits
+module F = Net.Flatpkt
+module Bf = Net.Bitfield
+
+(* Raised at compile (link) time only: the template uses a construct the
+   flat subset cannot express; the caller falls back to [Linked]. *)
+exception Unsupported
+
+(* Values are manipulated as unboxed ints masked to their width. 56 keeps
+   every intermediate (including the [Bitfield.get_int] accumulator, which
+   reads up to width+7 bits) inside OCaml's 63-bit int. *)
+let max_int_width = 56
+
+let imask w = (1 lsl w) - 1
+let empty_args : int array = [||]
+
+(* Scratch buffer for wide (> 56-bit) header-to-header copies; sized at
+   compile time, so the packet path never grows it. One global suffices:
+   it is live only within a single statement execution. *)
+let wide_scratch = ref (Bytes.create 64)
+
+let reserve_scratch nbytes =
+  if nbytes > Bytes.length !wide_scratch then
+    wide_scratch := Bytes.create (max nbytes (2 * Bytes.length !wide_scratch))
+
+(* ------------------------------------------------------------------ *)
+(* Closure environment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One mutable scratch environment per program, threaded through every
+   compiled closure; re-pointed at each packet. [ll_*] mirror
+   [Context.last_lookup] ([ll_present] plays the [option]). *)
+type fenv = {
+  mutable ev_fp : F.t;
+  mutable ev_args : int array; (* positional action args, width-masked *)
+  mutable ll_present : bool;
+  mutable ll_tag : int;
+  mutable ll_hit : bool;
+  mutable ll_hits : int;
+  mutable ll_args : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parse graph: [Linked.pgraph] with ids flattened into arrays          *)
+(* ------------------------------------------------------------------ *)
+
+type fpnode = {
+  fn_width : int;
+  fn_sel : (int * int) array; (* selector (bit_off, width) within header *)
+  fn_tags : int array; (* selector tag values, paired with [fn_next] *)
+  fn_next : int array;
+}
+
+type fpgraph = {
+  fg_nodes : fpnode option array; (* indexed by interned header id *)
+  fg_first : int; (* -1 = no first header *)
+}
+
+let build_fpgraph (r : Net.Hdrdef.registry) =
+  let nodes = Array.make (max 1 (Net.Intern.size ())) None in
+  List.iter
+    (fun (def : Net.Hdrdef.t) ->
+      let sel =
+        Array.of_list
+          (List.map (Net.Hdrdef.field_offset_exn def) def.Net.Hdrdef.sel_fields)
+      in
+      let selw = Array.fold_left (fun acc (_, w) -> acc + w) 0 sel in
+      if selw > max_int_width then raise Unsupported;
+      let links = Net.Hdrdef.links_of r def.Net.Hdrdef.name in
+      (* [Hdrdef.link] resizes tags to the selector width, so [to_int] is
+         exact here (selw <= 56). *)
+      let tags =
+        Array.of_list (List.map (fun (l : Net.Hdrdef.link) -> B.to_int l.Net.Hdrdef.tag) links)
+      in
+      let next =
+        Array.of_list
+          (List.map (fun (l : Net.Hdrdef.link) -> Net.Intern.id l.Net.Hdrdef.next) links)
+      in
+      nodes.(def.Net.Hdrdef.id) <-
+        Some { fn_width = def.Net.Hdrdef.width; fn_sel = sel; fn_tags = tags; fn_next = next })
+    (Net.Hdrdef.defs r);
+  {
+    fg_nodes = nodes;
+    fg_first = (match r.Net.Hdrdef.first with Some n -> Net.Intern.id n | None -> -1);
+  }
+
+(* Concatenated selector value, as [Linked.read_selector] computes it. *)
+let rec read_sel fp node ~bit_off i acc =
+  if i >= Array.length node.fn_sel then acc
+  else begin
+    let off, w = node.fn_sel.(i) in
+    read_sel fp node ~bit_off (i + 1)
+      ((acc lsl w) lor Bf.get_int fp.F.buf ~off:(bit_off + off) ~width:w)
+  end
+
+let rec find_next node tag i =
+  if i >= Array.length node.fn_tags then -1
+  else if node.fn_tags.(i) = tag then node.fn_next.(i)
+  else find_next node tag (i + 1)
+
+(* Twin of [Linked.ensure_parsed]'s inner walk, over flat state. *)
+let rec walk g fp target hid bit_off steps =
+  if steps <= 0 then false
+  else
+    match g.fg_nodes.(hid) with
+    | None -> false
+    | Some node ->
+      if bit_off + node.fn_width > 8 * fp.F.len then false
+      else begin
+        fp.F.parse_attempts <- fp.F.parse_attempts + 1;
+        if not (F.hdr_is_valid fp hid) then F.add_hdr fp ~hid ~bit_off;
+        if hid = target then true
+        else if Array.length node.fn_sel = 0 then false (* leaf header *)
+        else begin
+          let tag = read_sel fp node ~bit_off 0 0 in
+          let next = find_next node tag 0 in
+          if next < 0 then false
+          else walk g fp target next (bit_off + node.fn_width) (steps - 1)
+        end
+      end
+
+let ensure_parsed ?(budget = 32) g fp target =
+  if F.hdr_is_valid fp target then true
+  else begin
+    (* Resume from the deepest already-parsed header, as the reference
+       parse engine does. The touched stack enumerates candidates; the
+       first deepest one wins ties, matching the fold in [Linked]. *)
+    let dhid = ref (-1) and doff = ref (-1) in
+    for i = 0 to fp.F.ntouched - 1 do
+      let hid = fp.F.touched.(i) in
+      if fp.F.hdr_valid.(hid) && fp.F.hdr_off.(hid) > !doff then begin
+        dhid := hid;
+        doff := fp.F.hdr_off.(hid)
+      end
+    done;
+    if !dhid >= 0 && !dhid <> target then begin
+      match g.fg_nodes.(!dhid) with
+      | Some node when Array.length node.fn_sel > 0 ->
+        let tag = read_sel fp node ~bit_off:!doff 0 0 in
+        let next = find_next node tag 0 in
+        if next < 0 then false
+        else walk g fp target next (!doff + node.fn_width) budget
+      | _ -> false
+    end
+    else if g.fg_first >= 0 then walk g fp target g.fg_first 0 budget
+    else false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expression / condition / statement compilation                       *)
+(* ------------------------------------------------------------------ *)
+
+let want_or_raise w = if w > max_int_width then raise Unsupported else w
+
+let rec compile_fexpr env ~params ~want (ex : Rp4.Ast.expr) : fenv -> int =
+  match ex with
+  | Rp4.Ast.E_const (v, Some w) ->
+    let c = Int64.to_int v land imask (want_or_raise w) in
+    fun _ -> c
+  | Rp4.Ast.E_const (v, None) ->
+    let c = Int64.to_int v land imask (want_or_raise want) in
+    fun _ -> c
+  | Rp4.Ast.E_field (Rp4.Ast.Meta_field f) -> (
+    match Net.Meta.Layout.slot env.Linked.layout f with
+    | Some s ->
+      ignore (want_or_raise (Net.Meta.Layout.width env.Linked.layout s));
+      fun e -> e.ev_fp.F.meta.(s)
+    | None ->
+      let msg = Printf.sprintf "Meta.get: undeclared field meta.%s" f in
+      fun _ -> invalid_arg msg)
+  | Rp4.Ast.E_field (Rp4.Ast.Hdr_field (h, f)) -> (
+    let msg = Printf.sprintf "read of invalid header field %s.%s" h f in
+    match Linked.resolve_hdr env h f with
+    | Some (hid, off, width) ->
+      ignore (want_or_raise width);
+      fun e ->
+        let fp = e.ev_fp in
+        if F.hdr_is_valid fp hid then
+          Bf.get_int fp.F.buf ~off:(F.hdr_bit_off fp hid + off) ~width
+        else raise (Action_eval.Runtime_error msg)
+    | None -> fun _ -> raise (Action_eval.Runtime_error msg))
+  | Rp4.Ast.E_param p -> (
+    let rec index i = function
+      | [] -> None
+      | (q, _) :: rest -> if q = p then Some i else index (i + 1) rest
+    in
+    match index 0 params with
+    | Some i -> fun e -> e.ev_args.(i)
+    | None ->
+      let msg = Printf.sprintf "unbound action parameter %s" p in
+      fun _ -> raise (Action_eval.Runtime_error msg))
+  | Rp4.Ast.E_binop (op, a, b) ->
+    let w = want_or_raise (Linked.expr_width env ~params ~want a) in
+    let fa = compile_fexpr env ~params ~want a in
+    let fb = compile_fexpr env ~params ~want:w b in
+    let wb = Linked.expr_width env ~params ~want:w b in
+    let trunc = wb > w in
+    let mw = imask w in
+    (* Left operand first, as in the reference interpreter. *)
+    (match op with
+    | Rp4.Ast.Add ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        (va + (if trunc then vb land mw else vb)) land mw
+    | Rp4.Ast.Sub ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        (va - (if trunc then vb land mw else vb)) land mw
+    | Rp4.Ast.Band ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va land if trunc then vb land mw else vb
+    | Rp4.Ast.Bor ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va lor if trunc then vb land mw else vb
+    | Rp4.Ast.Bxor ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va lxor if trunc then vb land mw else vb)
+
+let rec compile_fcond env ~params (c : Rp4.Ast.cond) : fenv -> bool =
+  match c with
+  | Rp4.Ast.C_true -> fun _ -> true
+  | Rp4.Ast.C_valid h ->
+    let hid = Net.Intern.id h in
+    fun e -> F.hdr_is_valid e.ev_fp hid
+  | Rp4.Ast.C_not c ->
+    let f = compile_fcond env ~params c in
+    fun e -> not (f e)
+  | Rp4.Ast.C_and (a, b) ->
+    let fa = compile_fcond env ~params a and fb = compile_fcond env ~params b in
+    fun e -> fa e && fb e
+  | Rp4.Ast.C_or (a, b) ->
+    let fa = compile_fcond env ~params a and fb = compile_fcond env ~params b in
+    fun e -> fa e || fb e
+  | Rp4.Ast.C_rel (op, a, b) ->
+    let w = want_or_raise (Linked.expr_width env ~params ~want:64 a) in
+    let fa = compile_fexpr env ~params ~want:64 a in
+    let fb = compile_fexpr env ~params ~want:w b in
+    let wb = Linked.expr_width env ~params ~want:w b in
+    let trunc = wb > w in
+    let mw = imask w in
+    (* Both sides are nonnegative ints of width [w]; int comparison
+       coincides with [B.compare] at equal widths. *)
+    (match op with
+    | Rp4.Ast.Eq ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va = if trunc then vb land mw else vb
+    | Rp4.Ast.Neq ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va <> if trunc then vb land mw else vb
+    | Rp4.Ast.Lt ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va < if trunc then vb land mw else vb
+    | Rp4.Ast.Gt ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va > if trunc then vb land mw else vb
+    | Rp4.Ast.Le ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va <= if trunc then vb land mw else vb
+    | Rp4.Ast.Ge ->
+      fun e ->
+        let va = fa e in
+        let vb = fb e in
+        va >= if trunc then vb land mw else vb)
+
+(* Chunked bit copy between byte buffers (24-bit chunks keep the
+   [get_int] accumulator small). *)
+let rec blit_bits src ~soff dst ~doff ~w =
+  if w > 0 then begin
+    let cw = if w < 24 then w else 24 in
+    Bf.set_int dst ~off:doff ~width:cw (Bf.get_int src ~off:soff ~width:cw);
+    blit_bits src ~soff:(soff + cw) dst ~doff:(doff + cw) ~w:(w - cw)
+  end
+
+let compile_fstmt env ~params (s : Rp4.Ast.stmt) : fenv -> unit =
+  match s with
+  | Rp4.Ast.S_noop -> fun _ -> ()
+  | Rp4.Ast.S_drop -> fun e -> e.ev_fp.F.meta.(Net.Meta.slot_drop) <- 1
+  | Rp4.Ast.S_mark m ->
+    let fm = compile_fexpr env ~params ~want:8 m in
+    fun e -> e.ev_fp.F.meta.(Net.Meta.slot_mark) <- fm e land 0xFF
+  | Rp4.Ast.S_set_valid _ ->
+    fun _ -> () (* as in the reference: insertion is a controller-level op *)
+  | Rp4.Ast.S_set_invalid h ->
+    let hid = Net.Intern.id h in
+    fun e -> F.invalidate_hdr e.ev_fp hid
+  | Rp4.Ast.S_mark_exceed (th, v) ->
+    let fth = compile_fexpr env ~params ~want:32 th in
+    let fv = compile_fexpr env ~params ~want:8 v in
+    fun e ->
+      let hits = if e.ll_present then e.ll_hits else 0 in
+      let threshold = fth e in
+      if hits > threshold then e.ev_fp.F.meta.(Net.Meta.slot_mark) <- fv e land 0xFF
+  | Rp4.Ast.S_assign (Rp4.Ast.Meta_field f, ex) -> (
+    match Net.Meta.Layout.slot env.Linked.layout f with
+    | Some s ->
+      let w = want_or_raise (Net.Meta.Layout.width env.Linked.layout s) in
+      let fe = compile_fexpr env ~params ~want:w ex in
+      let mw = imask w in
+      fun e -> e.ev_fp.F.meta.(s) <- fe e land mw
+    | None ->
+      (* Reference order: evaluate the RHS, then fail on the write. *)
+      let fe = compile_fexpr env ~params ~want:64 ex in
+      let msg = Printf.sprintf "Meta.set: undeclared field meta.%s" f in
+      fun e ->
+        ignore (fe e);
+        invalid_arg msg)
+  | Rp4.Ast.S_assign (Rp4.Ast.Hdr_field (h, f), ex) -> (
+    let msg = Printf.sprintf "Pmap.set_field: %s.%s not parsed/valid" h f in
+    match Linked.resolve_hdr env h f with
+    | Some (hid, off, w) when w <= max_int_width ->
+      let fe = compile_fexpr env ~params ~want:w ex in
+      let mw = imask w in
+      fun e ->
+        let v = fe e land mw in
+        let fp = e.ev_fp in
+        if F.hdr_is_valid fp hid then
+          Bf.set_int fp.F.buf ~off:(F.hdr_bit_off fp hid + off) ~width:w v
+        else invalid_arg msg
+    | Some (hid, off, w) -> (
+      (* Wide destination: only a straight header-to-header copy stays
+         unboxed (e.g. moving a 128-bit address); anything else falls back
+         to the linked path. *)
+      match ex with
+      | Rp4.Ast.E_field (Rp4.Ast.Hdr_field (h2, f2)) -> (
+        match Linked.resolve_hdr env h2 f2 with
+        | Some (hid2, off2, w2) when w2 >= w ->
+          let soff_rel = off2 + (w2 - w) in (* resize keeps the low bits *)
+          let rmsg = Printf.sprintf "read of invalid header field %s.%s" h2 f2 in
+          reserve_scratch (((w + 7) / 8) + 1);
+          fun e ->
+            let fp = e.ev_fp in
+            if not (F.hdr_is_valid fp hid2) then raise (Action_eval.Runtime_error rmsg);
+            if not (F.hdr_is_valid fp hid) then invalid_arg msg;
+            let scr = !wide_scratch in
+            blit_bits fp.F.buf ~soff:(F.hdr_bit_off fp hid2 + soff_rel) scr ~doff:0 ~w;
+            blit_bits scr ~soff:0 fp.F.buf ~doff:(F.hdr_bit_off fp hid + off) ~w
+        | _ -> raise Unsupported)
+      | _ -> raise Unsupported)
+    | None ->
+      let fe = compile_fexpr env ~params ~want:64 ex in
+      fun e ->
+        ignore (fe e);
+        invalid_arg msg)
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type faction = {
+  fa_name : string;
+  fa_nparams : int;
+  fa_masks : int array; (* declared parameter width masks, positional *)
+  fa_bind : int array; (* preallocated argument binding *)
+  fa_body : (fenv -> unit) array;
+}
+
+let compile_faction env (a : Rp4.Ast.action_decl) =
+  List.iter (fun (_, w) -> ignore (want_or_raise w)) a.Rp4.Ast.ad_params;
+  let widths = Array.of_list (List.map snd a.Rp4.Ast.ad_params) in
+  {
+    fa_name = a.Rp4.Ast.ad_name;
+    fa_nparams = Array.length widths;
+    fa_masks = Array.map imask widths;
+    fa_bind = Array.make (Array.length widths) 0;
+    fa_body =
+      Array.of_list
+        (List.map (compile_fstmt env ~params:a.Rp4.Ast.ad_params) a.Rp4.Ast.ad_body);
+  }
+
+(* Positional binding with the arity check of [Linked.run_laction]. *)
+let run_faction scr fa (args : int array) =
+  let n = fa.fa_nparams in
+  if Array.length args <> n then
+    Action_eval.runtime_error "action %s expects %d args, got %d" fa.fa_name n
+      (Array.length args);
+  for i = 0 to n - 1 do
+    fa.fa_bind.(i) <- args.(i) land fa.fa_masks.(i)
+  done;
+  scr.ev_args <- fa.fa_bind;
+  for i = 0 to Array.length fa.fa_body - 1 do
+    fa.fa_body.(i) scr
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Key readers, resolved per field. Narrow header keys pre-fold the
+   [B.resize v kw] of the linked path into (offset, width) arithmetic. *)
+type fkey =
+  | FK_meta of { slot : int; kmask : int }
+  | FK_hdr of { hid : int; roff : int; rw : int }
+  | FK_hdr_wide of { hid : int; woff : int } (* key bits read in place *)
+  | FK_raise of string (* undeclared meta field: always raises *)
+  | FK_miss (* unresolvable header: always a miss *)
+
+(* Per-field entry pattern for scan/hash caches: masked equality, narrow
+   as ints, wide as left-aligned byte patterns compared in place. *)
+type ffm =
+  | FF_any
+  | FF_narrow of { fv : int; fmask : int }
+  | FF_wide of { vpat : Bytes.t; mpat : Bytes.t; fw : int }
+
+type fentry = {
+  fe_src : Table.entry; (* hit counters flow back to the real entry *)
+  fe_tag : int;
+  fe_args : int array;
+}
+
+type fment = { fm_fields : ffm array; fm_fe : fentry }
+
+type fcache =
+  | FC_none
+  | FC_exact of (string, fentry) Hashtbl.t (* same raw keys as the engine *)
+  | FC_scan of fment array (* ordered: first match wins *)
+  | FC_hash of fment array * int array (* entries + candidate scratch *)
+
+type ftable = {
+  ft_name : string;
+  ft_mem_cycles : int;
+  ft_table : Table.t option; (* unreachable/missing = always miss *)
+  ft_keys : fkey array;
+  ft_kws : int array; (* declared key widths *)
+  ft_hash : bool array; (* hash-kind fields (flow-hash material) *)
+  ft_vals : int array; (* scratch: narrow key values *)
+  ft_offs : int array; (* scratch: wide key absolute bit offsets *)
+  ft_key_pos : int array; (* byte position per field in the exact key *)
+  ft_exact_key : Bytes.t; (* scratch: rendered exact-engine key *)
+  ft_hit_ctr : Telemetry.Counter.t;
+  ft_miss_ctr : Telemetry.Counter.t;
+  mutable ft_gen : int; (* [Table.generation] the cache was built at *)
+  mutable ft_cache : fcache;
+  mutable ft_def_present : bool;
+  mutable ft_def_tag : int;
+}
+
+let compile_fkey env (f : Table.Key.field) : fkey =
+  let kw = f.Table.Key.kf_width in
+  let a, b = Net.Fieldref.split f.Table.Key.kf_ref in
+  if a = "meta" then begin
+    match Net.Meta.Layout.slot env.Linked.layout b with
+    | Some s ->
+      ignore (want_or_raise kw);
+      ignore (want_or_raise (Net.Meta.Layout.width env.Linked.layout s));
+      FK_meta { slot = s; kmask = imask kw }
+    | None -> FK_raise (Printf.sprintf "Meta.get: undeclared field meta.%s" b)
+  end
+  else begin
+    match Linked.resolve_hdr env a b with
+    | Some (hid, off, width) ->
+      if kw <= max_int_width then
+        if kw <= width then FK_hdr { hid; roff = off + width - kw; rw = kw }
+        else FK_hdr { hid; roff = off; rw = width } (* zero-extends *)
+      else if width >= kw then FK_hdr_wide { hid; woff = off + width - kw }
+      else raise Unsupported
+    | None -> FK_miss
+  end
+
+let compile_ftable env ~tsp (ct : Template.compiled_table) =
+  let fields = Array.of_list ct.Template.ct_fields in
+  let n = Array.length fields in
+  let kws = Array.map (fun f -> f.Table.Key.kf_width) fields in
+  let pos = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    pos.(i) <- !total;
+    total := !total + ((kws.(i) + 7) / 8)
+  done;
+  {
+    ft_name = ct.Template.ct_name;
+    ft_mem_cycles =
+      Cycles.mem_access_cycles env.Linked.cycles_cfg
+        ~entry_width:ct.Template.ct_entry_width;
+    ft_table = env.Linked.find_table ~tsp ct.Template.ct_name;
+    ft_keys = Array.map (compile_fkey env) fields;
+    ft_kws = kws;
+    ft_hash = Array.map (fun f -> f.Table.Key.kf_kind = Table.Key.Hash) fields;
+    ft_vals = Array.make n 0;
+    ft_offs = Array.make n 0;
+    ft_key_pos = pos;
+    ft_exact_key = Bytes.create !total;
+    ft_hit_ctr = Telemetry.table_counter env.Linked.tel ~table:ct.Template.ct_name ~hit:true;
+    ft_miss_ctr =
+      Telemetry.table_counter env.Linked.tel ~table:ct.Template.ct_name ~hit:false;
+    ft_gen = -1;
+    ft_cache = FC_none;
+    ft_def_present = false;
+    ft_def_tag = 0;
+  }
+
+(* --- cache construction (control path; allocation is fine here) ------ *)
+
+(* Left-aligned byte pattern of a [Bits.t] (bit 0 of the value at the MSB
+   of byte 0), the form [wide_masked_eq] compares against packet bytes. *)
+let pattern_of v =
+  let w = B.width v in
+  let b = Bytes.make ((w + 7) / 8) '\000' in
+  for k = 0 to w - 1 do
+    if B.get_bit v k then begin
+      let idx = k lsr 3 in
+      Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lor (0x80 lsr (k land 7))))
+    end
+  done;
+  b
+
+let ffm_of_vm v m =
+  let kw = B.width v in
+  if kw <= max_int_width then FF_narrow { fv = B.to_int v; fmask = B.to_int m }
+  else FF_wide { vpat = pattern_of v; mpat = pattern_of m; fw = kw }
+
+let ffm_of_fmatch (m : Table.Key.fmatch) kw =
+  match m with
+  | Table.Key.M_any -> FF_any
+  | Table.Key.M_exact v -> ffm_of_vm v (B.ones kw)
+  | Table.Key.M_lpm (v, plen) -> ffm_of_vm v (B.init kw (fun i -> i < plen))
+  | Table.Key.M_ternary (v, mask) -> ffm_of_vm v mask
+
+let fentry_of (e : Table.entry) =
+  {
+    fe_src = e;
+    fe_tag = (match int_of_string_opt e.Table.action with Some t -> t | None -> 0);
+    fe_args = Array.of_list (List.map B.to_int e.Table.args);
+  }
+
+let refresh t (table : Table.t) =
+  t.ft_gen <- table.Table.generation;
+  (match table.Table.default with
+  | Some (a, _) ->
+    t.ft_def_present <- true;
+    t.ft_def_tag <- (match int_of_string_opt a with Some x -> x | None -> 0)
+  | None ->
+    t.ft_def_present <- false;
+    t.ft_def_tag <- 0);
+  let fields = table.Table.spec.Table.fields in
+  match table.Table.engine with
+  | Table.E_exact h ->
+    let cache = Hashtbl.create (max 16 (Hashtbl.length h)) in
+    Hashtbl.iter (fun k e -> Hashtbl.replace cache k (fentry_of e)) h;
+    t.ft_cache <- FC_exact cache
+  | Table.E_lpm _ ->
+    (* The trie picks the longest matching prefix; an ordered scan over
+       prefix-length-descending entries is equivalent. Deduplicate on the
+       trie key (exact bits + prefix) keeping the newest entry, since
+       [Lpm_trie.insert] replaces. *)
+    let seen = Hashtbl.create 16 in
+    let items = ref [] in
+    List.iter
+      (fun (e : Table.entry) ->
+        let dk = Buffer.create 32 in
+        let eplen = ref 0 in
+        List.iter2
+          (fun (f : Table.Key.field) m ->
+            match (f.Table.Key.kf_kind, m) with
+            | Table.Key.Lpm, Table.Key.M_lpm (v, p) ->
+              eplen := p;
+              Buffer.add_char dk '/';
+              Buffer.add_string dk (string_of_int p);
+              Buffer.add_char dk ':';
+              if p > 0 then Buffer.add_string dk (B.to_raw_string (B.slice v ~off:0 ~len:p))
+            | Table.Key.Lpm, Table.Key.M_exact v ->
+              eplen := f.Table.Key.kf_width;
+              Buffer.add_char dk '/';
+              Buffer.add_string dk (string_of_int f.Table.Key.kf_width);
+              Buffer.add_char dk ':';
+              Buffer.add_string dk (B.to_raw_string v)
+            | _, Table.Key.M_exact v ->
+              Buffer.add_char dk '=';
+              Buffer.add_string dk (B.to_raw_string v)
+            | _ -> ())
+          fields e.Table.matches;
+        let key = Buffer.contents dk in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          let flds =
+            Array.of_list
+              (List.map2
+                 (fun (f : Table.Key.field) m ->
+                   match (f.Table.Key.kf_kind, m) with
+                   | Table.Key.Lpm, Table.Key.M_exact v ->
+                     ffm_of_vm v (B.ones f.Table.Key.kf_width)
+                   | _ -> ffm_of_fmatch m f.Table.Key.kf_width)
+                 fields e.Table.matches)
+          in
+          items := (!eplen, { fm_fields = flds; fm_fe = fentry_of e }) :: !items
+        end)
+      table.Table.entries;
+    let arr = Array.of_list (List.rev !items) in
+    (* Stable: among equal prefix lengths the prefixes are disjoint, so
+       relative order is irrelevant, but keep newest-first anyway. *)
+    Array.stable_sort (fun (a, _) (b, _) -> compare (b : int) a) arr;
+    t.ft_cache <- FC_scan (Array.map snd arr)
+  | Table.E_tcam tc ->
+    (* [Tcam.iter] yields entries in match (priority) order with the
+       value/mask concatenated over the whole key; split per field. *)
+    let widths = Array.of_list (List.map (fun f -> f.Table.Key.kf_width) fields) in
+    let items = ref [] in
+    Table.Tcam.iter tc (fun ~value ~mask ~priority:_ (e : Table.entry) ->
+        let flds = Array.make (Array.length widths) FF_any in
+        let off = ref 0 in
+        Array.iteri
+          (fun i kw ->
+            let v = B.slice value ~off:!off ~len:kw in
+            let m = B.slice mask ~off:!off ~len:kw in
+            off := !off + kw;
+            flds.(i) <- ffm_of_vm v m)
+          widths;
+        items := { fm_fields = flds; fm_fe = fentry_of e } :: !items);
+    t.ft_cache <- FC_scan (Array.of_list (List.rev !items))
+  | Table.E_hash ->
+    (* Candidate filtering over insertion-ordered entries, hash-kind
+       fields wildcarded — the flat twin of [Table.hash_candidates]. *)
+    let items =
+      List.rev_map
+        (fun (e : Table.entry) ->
+          let flds =
+            Array.of_list
+              (List.map2
+                 (fun (f : Table.Key.field) m ->
+                   if f.Table.Key.kf_kind = Table.Key.Hash then FF_any
+                   else ffm_of_fmatch m f.Table.Key.kf_width)
+                 fields e.Table.matches)
+          in
+          { fm_fields = flds; fm_fe = fentry_of e })
+        table.Table.entries
+    in
+    let arr = Array.of_list items in
+    t.ft_cache <- FC_hash (arr, Array.make (max 1 (Array.length arr)) 0)
+
+(* --- per-packet lookup (allocation-free) ------------------------------ *)
+
+(* Read every key field into the scratch arrays; [false] = some header
+   key is invalid, which the linked path treats as a miss before the
+   table is consulted. *)
+let rec read_keys t e i =
+  if i >= Array.length t.ft_keys then true
+  else
+    match t.ft_keys.(i) with
+    | FK_meta { slot; kmask } ->
+      t.ft_vals.(i) <- e.ev_fp.F.meta.(slot) land kmask;
+      read_keys t e (i + 1)
+    | FK_hdr { hid; roff; rw } ->
+      let fp = e.ev_fp in
+      if F.hdr_is_valid fp hid then begin
+        t.ft_vals.(i) <- Bf.get_int fp.F.buf ~off:(F.hdr_bit_off fp hid + roff) ~width:rw;
+        read_keys t e (i + 1)
+      end
+      else false
+    | FK_hdr_wide { hid; woff } ->
+      let fp = e.ev_fp in
+      if F.hdr_is_valid fp hid then begin
+        t.ft_offs.(i) <- F.hdr_bit_off fp hid + woff;
+        read_keys t e (i + 1)
+      end
+      else false
+    | FK_raise msg -> invalid_arg msg
+    | FK_miss -> false
+
+(* Masked comparison of packet bits at [off] against left-aligned
+   patterns, in 24-bit chunks. *)
+let rec wide_masked_eq buf ~off vpat mpat ~k ~w =
+  if k >= w then true
+  else begin
+    let cw = if w - k < 24 then w - k else 24 in
+    let pv = Bf.get_int vpat ~off:k ~width:cw in
+    let pm = Bf.get_int mpat ~off:k ~width:cw in
+    let x = Bf.get_int buf ~off:(off + k) ~width:cw in
+    if (x lxor pv) land pm <> 0 then false
+    else wide_masked_eq buf ~off vpat mpat ~k:(k + cw) ~w
+  end
+
+let rec fment_matches t e flds i =
+  if i >= Array.length flds then true
+  else
+    match flds.(i) with
+    | FF_any -> fment_matches t e flds (i + 1)
+    | FF_narrow { fv; fmask } ->
+      if (t.ft_vals.(i) lxor fv) land fmask = 0 then fment_matches t e flds (i + 1)
+      else false
+    | FF_wide { vpat; mpat; fw } ->
+      if wide_masked_eq e.ev_fp.F.buf ~off:t.ft_offs.(i) vpat mpat ~k:0 ~w:fw then
+        fment_matches t e flds (i + 1)
+      else false
+
+let rec scan_ments t e (ments : fment array) i =
+  if i >= Array.length ments then -1
+  else if fment_matches t e ments.(i).fm_fields 0 then i
+  else scan_ments t e ments (i + 1)
+
+let rec collect_cands t e (ments : fment array) (cand : int array) i n =
+  if i >= Array.length ments then n
+  else if fment_matches t e ments.(i).fm_fields 0 then begin
+    cand.(n) <- i;
+    collect_cands t e ments cand (i + 1) (n + 1)
+  end
+  else collect_cands t e ments cand (i + 1) n
+
+(* Render field [i]'s value into the exact-key scratch: the raw-byte form
+   of [Bits.to_raw_string] (right-aligned big-endian in ceil(kw/8) bytes). *)
+let write_narrow_key dst pos nb v =
+  for j = 0 to nb - 1 do
+    Bytes.unsafe_set dst (pos + j) (Char.unsafe_chr ((v lsr (8 * (nb - 1 - j))) land 0xFF))
+  done
+
+let write_wide_key buf dst pos nb pad ~abs_off =
+  Bytes.unsafe_set dst pos (Char.unsafe_chr (Bf.get_int buf ~off:abs_off ~width:(8 - pad)));
+  for j = 1 to nb - 1 do
+    Bytes.unsafe_set dst (pos + j)
+      (Char.unsafe_chr (Bf.get_int buf ~off:(abs_off + (8 * j) - pad) ~width:8))
+  done
+
+let build_exact_key t e =
+  for i = 0 to Array.length t.ft_keys - 1 do
+    let kw = t.ft_kws.(i) in
+    let nb = (kw + 7) / 8 in
+    match t.ft_keys.(i) with
+    | FK_hdr_wide _ ->
+      write_wide_key e.ev_fp.F.buf t.ft_exact_key t.ft_key_pos.(i) nb ((8 * nb) - kw)
+        ~abs_off:t.ft_offs.(i)
+    | _ -> write_narrow_key t.ft_exact_key t.ft_key_pos.(i) nb t.ft_vals.(i)
+  done
+
+(* Streaming CRC over the hash-kind key fields, bit-identical to
+   [Table.flow_hash] (which digests the concatenated raw strings). *)
+let feed_narrow st nb v =
+  let st = ref st in
+  for j = 0 to nb - 1 do
+    st := Prelude.Crc32.feed_int !st ((v lsr (8 * (nb - 1 - j))) land 0xFF)
+  done;
+  !st
+
+let feed_wide st buf nb pad ~abs_off =
+  let st = ref (Prelude.Crc32.feed_int st (Bf.get_int buf ~off:abs_off ~width:(8 - pad))) in
+  for j = 1 to nb - 1 do
+    st := Prelude.Crc32.feed_int !st (Bf.get_int buf ~off:(abs_off + (8 * j) - pad) ~width:8)
+  done;
+  !st
+
+let hash_key t e =
+  let st = ref Prelude.Crc32.init_int in
+  for i = 0 to Array.length t.ft_keys - 1 do
+    if t.ft_hash.(i) then begin
+      let kw = t.ft_kws.(i) in
+      let nb = (kw + 7) / 8 in
+      match t.ft_keys.(i) with
+      | FK_hdr_wide _ ->
+        st := feed_wide !st e.ev_fp.F.buf nb ((8 * nb) - kw) ~abs_off:t.ft_offs.(i)
+      | _ -> st := feed_narrow !st nb t.ft_vals.(i)
+    end
+  done;
+  Prelude.Crc32.finish_int !st
+
+(* --- the lookup itself, mirroring [Linked.apply_ltable] --------------- *)
+
+let flat_miss probe t e =
+  e.ll_present <- true;
+  e.ll_tag <- 0;
+  e.ll_hit <- false;
+  e.ll_hits <- 0;
+  e.ll_args <- empty_args;
+  Telemetry.Counter.incr probe.Telemetry.sp_misses;
+  Telemetry.Counter.incr t.ft_miss_ctr
+
+let flat_hit probe t e (table : Table.t) fe =
+  table.Table.hits <- table.Table.hits + 1;
+  let src = fe.fe_src in
+  src.Table.hits <- src.Table.hits + 1;
+  e.ll_present <- true;
+  e.ll_tag <- fe.fe_tag;
+  e.ll_hit <- true;
+  e.ll_hits <- src.Table.hits;
+  e.ll_args <- fe.fe_args;
+  Telemetry.Counter.incr probe.Telemetry.sp_hits;
+  Telemetry.Counter.incr t.ft_hit_ctr;
+  e.ev_fp.F.meta.(Net.Meta.slot_switch_tag) <- fe.fe_tag land 0xFFFF
+
+(* Engine miss with a default action: tag comes from the default, the
+   switch tag is still written ([Table.apply] returns an outcome). *)
+let flat_default probe t e =
+  if t.ft_def_present then begin
+    e.ll_present <- true;
+    e.ll_tag <- t.ft_def_tag;
+    e.ll_hit <- false;
+    e.ll_hits <- 0;
+    e.ll_args <- empty_args;
+    Telemetry.Counter.incr probe.Telemetry.sp_misses;
+    Telemetry.Counter.incr t.ft_miss_ctr;
+    e.ev_fp.F.meta.(Net.Meta.slot_switch_tag) <- t.ft_def_tag land 0xFFFF
+  end
+  else flat_miss probe t e
+
+let apply_ftable probe t (e : fenv) =
+  let fp = e.ev_fp in
+  fp.F.lookups <- fp.F.lookups + 1;
+  fp.F.cycles <- fp.F.cycles + t.ft_mem_cycles;
+  Telemetry.Counter.incr probe.Telemetry.sp_lookups;
+  match t.ft_table with
+  | None -> flat_miss probe t e
+  | Some table ->
+    if read_keys t e 0 then begin
+      if t.ft_gen <> table.Table.generation then refresh t table;
+      table.Table.lookups <- table.Table.lookups + 1;
+      match t.ft_cache with
+      | FC_none -> flat_default probe t e (* unreachable: refresh ran *)
+      | FC_exact cache -> (
+        build_exact_key t e;
+        (* [unsafe_to_string] is sound: [find] only reads the key during
+           the call, and stored keys are independent copies. *)
+        match Hashtbl.find cache (Bytes.unsafe_to_string t.ft_exact_key) with
+        | fe -> flat_hit probe t e table fe
+        | exception Not_found -> flat_default probe t e)
+      | FC_scan ments ->
+        let i = scan_ments t e ments 0 in
+        if i >= 0 then flat_hit probe t e table ments.(i).fm_fe
+        else flat_default probe t e
+      | FC_hash (ments, cand) ->
+        let n = collect_cands t e ments cand 0 0 in
+        if n = 0 then flat_default probe t e
+        else flat_hit probe t e table ments.(cand.(hash_key t e mod n)).fm_fe
+    end
+    else flat_miss probe t e
+
+(* ------------------------------------------------------------------ *)
+(* Matcher, executor, stage                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_fmatcher env probe (cs : Template.compiled_stage) ftables
+    (m : Rp4.Ast.matcher) : fenv -> unit =
+  match m with
+  | Rp4.Ast.M_nop -> fun _ -> ()
+  | Rp4.Ast.M_seq ms ->
+    let fs = Array.of_list (List.map (compile_fmatcher env probe cs ftables) ms) in
+    fun e ->
+      for i = 0 to Array.length fs - 1 do
+        fs.(i) e
+      done
+  | Rp4.Ast.M_if (c, a, b) ->
+    let fc = compile_fcond env ~params:[] c in
+    let fa = compile_fmatcher env probe cs ftables a in
+    let fb = compile_fmatcher env probe cs ftables b in
+    fun e -> if fc e then fa e else fb e
+  | Rp4.Ast.M_apply tname -> (
+    match List.find_opt (fun ft -> ft.ft_name = tname) ftables with
+    | Some ft -> fun e -> apply_ftable probe ft e
+    | None ->
+      let msg =
+        Printf.sprintf "stage %s applies table %s missing from template"
+          cs.Template.cs_name tname
+      in
+      fun _ -> raise (Action_eval.Runtime_error msg))
+
+let rec find_case (tags : int array) tag i =
+  if i >= Array.length tags then -1
+  else if tags.(i) = tag then i
+  else find_case tags tag (i + 1)
+
+let link_fstage env ~tsp ~fg scr (cs : Template.compiled_stage) : F.t -> unit =
+  let probe = env.Linked.probes.(tsp) in
+  let parse = Array.of_list (List.map Net.Intern.id cs.Template.cs_parser) in
+  let ftables = List.map (compile_ftable env ~tsp) cs.Template.cs_tables in
+  let matcher = compile_fmatcher env probe cs ftables cs.Template.cs_matcher in
+  let case_tags = Array.of_list (List.map fst cs.Template.cs_cases) in
+  let case_acts =
+    Array.of_list
+      (List.map
+         (fun (_, acts) -> Array.of_list (List.map (compile_faction env) acts))
+         cs.Template.cs_cases)
+  in
+  let default_acts = Array.of_list (List.map (compile_faction env) cs.Template.cs_default) in
+  let parse_per_header = env.Linked.cycles_cfg.Cycles.parse_per_header in
+  let executor_base = env.Linked.cycles_cfg.Cycles.executor_base in
+  fun fp ->
+    (* Parser sub-module: distributed on-demand parsing over the graph. *)
+    let before = fp.F.parse_attempts in
+    for i = 0 to Array.length parse - 1 do
+      ignore (ensure_parsed fg fp parse.(i))
+    done;
+    let parsed_now = fp.F.parse_attempts - before in
+    fp.F.cycles <- fp.F.cycles + (parsed_now * parse_per_header);
+    Telemetry.Counter.add probe.Telemetry.sp_parse_ops parsed_now;
+    (* Matcher, then executor on the lookup outcome. *)
+    scr.ev_fp <- fp;
+    scr.ev_args <- empty_args;
+    scr.ll_present <- false;
+    matcher scr;
+    if scr.ll_present then begin
+      let idx = find_case case_tags scr.ll_tag 0 in
+      if scr.ll_hit && idx >= 0 then begin
+        let acts = case_acts.(idx) in
+        for i = 0 to Array.length acts - 1 do
+          fp.F.cycles <- fp.F.cycles + executor_base;
+          Telemetry.Counter.incr probe.Telemetry.sp_actions;
+          let fa = acts.(i) in
+          (* NoAction-style empty bodies take no args, as in [Linked]. *)
+          run_faction scr fa (if fa.fa_nparams = 0 then empty_args else scr.ll_args)
+        done
+      end
+      else
+        for i = 0 to Array.length default_acts - 1 do
+          fp.F.cycles <- fp.F.cycles + executor_base;
+          Telemetry.Counter.incr probe.Telemetry.sp_actions;
+          run_faction scr default_acts.(i) empty_args
+        done
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type prog = {
+  fp_stages : (F.t -> unit) array;
+  fp_graph : fpgraph;
+  fp_scr : fenv;
+}
+
+let new_fenv () =
+  {
+    ev_fp = F.create ();
+    ev_args = empty_args;
+    ll_present = false;
+    ll_tag = 0;
+    ll_hit = false;
+    ll_hits = 0;
+    ll_args = empty_args;
+  }
+
+(* Compile a full template; [None] = outside the flat subset, fall back
+   to the linked program. *)
+let link env ~tsp (tmpl : Template.t) : prog option =
+  match
+    let fg = build_fpgraph env.Linked.registry in
+    let scr = new_fenv () in
+    {
+      fp_stages = Array.of_list (List.map (link_fstage env ~tsp ~fg scr) tmpl.Template.stages);
+      fp_graph = fg;
+      fp_scr = scr;
+    }
+  with
+  | p -> Some p
+  | exception Unsupported -> None
+
+(* Parse graph alone, for the PISA front parser. *)
+let link_parser registry : fpgraph option =
+  match build_fpgraph registry with g -> Some g | exception Unsupported -> None
+
+(* Run the stage programs; the caller owns template-fetch cycles and the
+   packet counter, as with [Linked.run_stages]. *)
+let run_stages prog fp =
+  let stages = prog.fp_stages in
+  for i = 0 to Array.length stages - 1 do
+    if not (F.dropped fp) then stages.(i) fp
+  done

@@ -545,3 +545,9 @@ let run_stages prog (ctx : Context.t) =
   Array.iter
     (fun f -> if not (Context.dropped ctx) then f ctx)
     prog.lp_stages
+
+(* Batched form, the linked-path twin of [Flat.run_stages] over a context
+   array; it amortises nothing but gives differential tests and the bench
+   one entry point per implementation tier. *)
+let run_batch prog (ctxs : Context.t array) =
+  Array.iter (fun ctx -> run_stages prog ctx) ctxs

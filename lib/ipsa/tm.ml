@@ -51,6 +51,28 @@ let enqueue t x =
     true
   end
 
+(* Enqueue-then-immediately-dequeue on an empty TM, without touching the
+   queue: the counter/gauge effects of [enqueue x; dequeue] exactly, but
+   allocation-free. The batched fast path uses this for its TM handoff
+   (it only runs when the TM is empty, so the dequeued packet is always
+   the one just enqueued). [false] = the TM would have dropped it. *)
+let pass t =
+  let len = Queue.length t.queue in
+  if len >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    Telemetry.Counter.incr t.c_dropped;
+    false
+  end
+  else begin
+    t.enqueued <- t.enqueued + 1;
+    t.high_watermark <- max t.high_watermark (len + 1);
+    Telemetry.Counter.incr t.c_enqueued;
+    Telemetry.Gauge.set t.g_occupancy (len + 1);
+    Telemetry.Gauge.set t.g_high_watermark t.high_watermark;
+    Telemetry.Gauge.set t.g_occupancy len;
+    true
+  end
+
 let dequeue t =
   let x = Queue.take_opt t.queue in
   Telemetry.Gauge.set t.g_occupancy (Queue.length t.queue);

@@ -19,6 +19,12 @@ val length : 'a t -> int
 val enqueue : 'a t -> 'a -> bool
 (** [false] = queue full, the item was dropped (counted). *)
 
+val pass : 'a t -> bool
+(** Counter/gauge effects of [enqueue x] immediately followed by
+    [dequeue], without touching the queue — the allocation-free TM
+    handoff used by the batched fast path (which only runs when the TM
+    is empty). [false] = the TM would have dropped the packet. *)
+
 val dequeue : 'a t -> 'a option
 
 val drain : 'a t -> ('a -> unit) -> int

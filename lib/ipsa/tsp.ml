@@ -10,17 +10,20 @@ type slot = {
   id : int;
   mutable template : Template.t option;
   mutable linked : Linked.prog option; (* pre-bound form; rebuilt by relink *)
+  mutable flat : Flat.prog option; (* zero-alloc form; [None] = outside subset *)
   mutable powered : bool; (* false = bypassed, low-power state *)
   mutable packets : int; (* packets this TSP actively processed *)
 }
 
-let make id = { id; template = None; linked = None; powered = false; packets = 0 }
+let make id =
+  { id; template = None; linked = None; flat = None; powered = false; packets = 0 }
 
 (* Loading a new template invalidates any linked program; the device
    re-links after the configuration patch completes. *)
 let load slot template =
   slot.template <- template;
   slot.linked <- None;
+  slot.flat <- None;
   slot.powered <- template <> None
 
 (* Environment the TSP needs from the device: header linkage for parsing,

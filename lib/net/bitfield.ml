@@ -18,6 +18,32 @@ let get buf ~off ~width =
         let pos = off + i in
         Bytes.get_uint8 buf (pos / 8) land (1 lsl (7 - (pos mod 8))) <> 0)
 
+(* Unboxed-int accessors for the flat fast path: a field of [width] <= 56
+   bits read/written as a plain non-negative int, with no bounds checks
+   beyond the caller's and no allocation. 56 keeps the accumulator within
+   63 bits even when the field straddles up to 8 bytes. *)
+
+let get_int buf ~off ~width =
+  let first = off lsr 3 and last = (off + width - 1) lsr 3 in
+  let acc = ref (Bytes.get_uint8 buf first land (0xFF lsr (off land 7))) in
+  for i = first + 1 to last do
+    acc := (!acc lsl 8) lor Bytes.get_uint8 buf i
+  done;
+  !acc lsr (8 * (last + 1) - (off + width))
+
+let set_int buf ~off ~width v =
+  let first = off lsr 3 and last = (off + width - 1) lsr 3 in
+  for idx = first to last do
+    let bstart = idx * 8 in
+    let lo = max off bstart and hi = min (off + width) (bstart + 8) in
+    let n = hi - lo in
+    let piece = (v lsr (off + width - hi)) land ((1 lsl n) - 1) in
+    let shift = bstart + 8 - hi in
+    let cur = Bytes.get_uint8 buf idx in
+    Bytes.set_uint8 buf idx
+      ((cur land lnot (((1 lsl n) - 1) lsl shift)) lor (piece lsl shift))
+  done
+
 (* Write the value [v] at absolute bit offset [off]. *)
 let set buf ~off v =
   let width = Bits.width v in

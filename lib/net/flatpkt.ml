@@ -1,0 +1,193 @@
+(* Flat packet representation for the zero-allocation fast path.
+
+   A [Flatpkt.t] is the mutable, preallocated mirror of the trio a packet
+   normally travels with ([Packet.t] + [Pmap.t] + [Meta.t]):
+
+   - the wire bytes live in a reusable [Bytes.t] buffer that only grows;
+   - the parsed-header map becomes two int/bool arrays indexed by the
+     *interned* header id ([Intern.id]), replacing the per-packet
+     hashtable — a stack of touched ids makes reset O(parsed);
+   - metadata becomes a plain int array indexed by the dense
+     [Meta.Layout] slot, holding each field's value masked to its width
+     (the flat engine only runs programs whose metadata fields fit in
+     56 bits, so the int domain is exact);
+   - the per-packet accounting of [Ipsa.Context] (cycles, parse
+     attempts, lookups) is carried inline.
+
+   Records are recycled through a [Ring]; in steady state [load] performs
+   a blit and a handful of array fills, allocating nothing. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable len : int; (* valid bytes in [buf] *)
+  mutable in_port : int;
+  mutable out_port : int; (* -1 until finalize commits a decision *)
+  mutable dropped : bool;
+  mutable id : int;
+  (* parsed-header state, indexed by interned header id *)
+  mutable hdr_off : int array;
+  mutable hdr_valid : bool array;
+  mutable touched : int array; (* header ids to clear on reset *)
+  mutable ntouched : int;
+  (* metadata values by dense layout slot, masked to slot width *)
+  mutable layout : Meta.Layout.t;
+  mutable meta : int array;
+  (* accounting, mirroring [Ipsa.Context] *)
+  mutable cycles : int;
+  mutable parse_attempts : int;
+  mutable lookups : int;
+}
+
+let create () =
+  {
+    buf = Bytes.create 256;
+    len = 0;
+    in_port = 0;
+    out_port = -1;
+    dropped = false;
+    id = 0;
+    hdr_off = Array.make (max 16 (Intern.size ())) 0;
+    hdr_valid = Array.make (max 16 (Intern.size ())) false;
+    touched = Array.make 32 0;
+    ntouched = 0;
+    layout = Meta.Layout.create ();
+    meta = Array.make 16 0;
+    cycles = 0;
+    parse_attempts = 0;
+    lookups = 0;
+  }
+
+(* --- parsed-header map ------------------------------------------------ *)
+
+let mark_touched f hid =
+  if f.ntouched >= Array.length f.touched then begin
+    let bigger = Array.make (2 * Array.length f.touched) 0 in
+    Array.blit f.touched 0 bigger 0 f.ntouched;
+    f.touched <- bigger
+  end;
+  f.touched.(f.ntouched) <- hid;
+  f.ntouched <- f.ntouched + 1
+
+let add_hdr f ~hid ~bit_off =
+  f.hdr_off.(hid) <- bit_off;
+  if not f.hdr_valid.(hid) then begin
+    f.hdr_valid.(hid) <- true;
+    mark_touched f hid
+  end
+
+let hdr_is_valid f hid = f.hdr_valid.(hid)
+let hdr_bit_off f hid = f.hdr_off.(hid)
+
+let invalidate_hdr f hid = f.hdr_valid.(hid) <- false
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+(* Size the per-header arrays for every id interned so far. Interning only
+   happens at configuration time, so within a batch this never grows. *)
+let ensure_hdr_capacity f =
+  let n = Intern.size () in
+  if n > Array.length f.hdr_valid then begin
+    let cap = max n (2 * Array.length f.hdr_valid) in
+    f.hdr_off <- Array.make cap 0;
+    f.hdr_valid <- Array.make cap false
+  end
+
+let reset f ~layout =
+  for i = 0 to f.ntouched - 1 do
+    f.hdr_valid.(f.touched.(i)) <- false
+  done;
+  f.ntouched <- 0;
+  ensure_hdr_capacity f;
+  f.layout <- layout;
+  let n = Meta.Layout.size layout in
+  if n > Array.length f.meta then f.meta <- Array.make (max n (2 * Array.length f.meta)) 0
+  else Array.fill f.meta 0 (Array.length f.meta) 0;
+  f.out_port <- -1;
+  f.dropped <- false;
+  f.cycles <- 0;
+  f.parse_attempts <- 0;
+  f.lookups <- 0
+
+let set_wire f bytes_len =
+  if bytes_len > Bytes.length f.buf then
+    f.buf <- Bytes.create (max bytes_len (2 * Bytes.length f.buf));
+  f.len <- bytes_len
+
+(* Load wire bytes from a string (the bench/batch entry form). *)
+let load f ~layout ~in_port bytes =
+  reset f ~layout;
+  set_wire f (String.length bytes);
+  Bytes.blit_string bytes 0 f.buf 0 f.len;
+  f.in_port <- in_port;
+  f.meta.(Meta.slot_in_port) <- in_port land 0xFFFF
+
+(* --- conversion shims at the batch edges ------------------------------ *)
+
+(* Mirror of [Ipsa.Context.create] for an incoming [Packet.t]. *)
+let of_packet f ~layout (pkt : Packet.t) =
+  reset f ~layout;
+  set_wire f pkt.Packet.len;
+  Bytes.blit pkt.Packet.buf 0 f.buf 0 f.len;
+  f.in_port <- pkt.Packet.in_port;
+  f.id <- pkt.Packet.id;
+  f.dropped <- pkt.Packet.dropped;
+  f.meta.(Meta.slot_in_port) <- pkt.Packet.in_port land 0xFFFF
+
+(* Mirror of [Ipsa.Context.finalize] + buffer writeback: commit the
+   routing decision and wire bytes onto the original packet. *)
+let to_packet f (pkt : Packet.t) =
+  Packet.reserve pkt f.len;
+  Bytes.blit f.buf 0 pkt.Packet.buf 0 f.len;
+  pkt.Packet.len <- f.len;
+  pkt.Packet.id <- f.id;
+  if f.dropped then Packet.drop pkt else Packet.set_out_port pkt f.out_port
+
+(* Mirror of [Ipsa.Context.dropped]/[finalize] over the flat fields. *)
+let dropped f = f.dropped || f.meta.(Meta.slot_drop) = 1
+
+let finalize f =
+  if dropped f then f.dropped <- true else f.out_port <- f.meta.(Meta.slot_out_port)
+
+let contents f = Bytes.sub_string f.buf 0 f.len
+
+(* Sorted (name, value) pairs equal to [Meta.bindings] of the equivalent
+   [Meta.t]: never-written (and wide, hence unreferenced) slots read as
+   zero of their declared width. *)
+let meta_bindings f =
+  List.map
+    (fun (name, width) ->
+      let v =
+        match Meta.Layout.slot f.layout name with
+        | Some s when s < Array.length f.meta -> f.meta.(s)
+        | _ -> 0
+      in
+      (name, Bits.of_int ~width v))
+    (Meta.Layout.fields f.layout)
+
+(* --- reusable ring ---------------------------------------------------- *)
+
+let new_flat = create
+
+module Ring = struct
+  type flat = t
+
+  type t = { mutable slots : flat array; mutable next : int }
+
+  let create () = { slots = [||]; next = 0 }
+
+  (* Start handing out records from the top again; previously acquired
+     records stay readable until the next acquisition cycle reuses them. *)
+  let rewind r = r.next <- 0
+
+  let acquire r =
+    if r.next >= Array.length r.slots then begin
+      let cap = max 8 (2 * Array.length r.slots) in
+      let bigger =
+        Array.init cap (fun i -> if i < Array.length r.slots then r.slots.(i) else new_flat ())
+      in
+      r.slots <- bigger
+    end;
+    let f = r.slots.(r.next) in
+    r.next <- r.next + 1;
+    f
+end

@@ -11,6 +11,22 @@
    up by integer — no string hashing. The string-keyed accessors intern on
    entry and serve the reference interpreter and tests. *)
 
+(* The reference interpreter calls the string-keyed accessors with header
+   names taken straight from the AST, which are physically shared across
+   packets — so a one-entry memo keyed by physical equality turns the
+   per-call [Intern.id] string hash into a pointer compare. *)
+let memo_name = ref ""
+let memo_id = ref (-1)
+
+let intern_cached name =
+  if name == !memo_name then !memo_id
+  else begin
+    let hid = Intern.id name in
+    memo_name := name;
+    memo_id := hid;
+    hid
+  end
+
 type inst = { def : Hdrdef.t; mutable bit_off : int; mutable valid : bool }
 
 type t = (int, inst) Hashtbl.t
@@ -34,7 +50,7 @@ let find_id t hid =
   | Some inst when inst.valid -> Some inst
   | _ -> None
 
-let find t name = find_id t (Intern.id name)
+let find t name = find_id t (intern_cached name)
 
 let is_valid_id t hid = find_id t hid <> None
 let is_valid t name = find t name <> None

@@ -27,6 +27,7 @@ type stage = {
   id : int;
   mutable template : Ipsa.Template.t option;
   mutable linked : Ipsa.Linked.prog option; (* pre-bound form, set at reload *)
+  mutable flat : Ipsa.Flat.prog option; (* zero-alloc form, set at reload *)
   tables : (string, Table.t) Hashtbl.t; (* stage-local memory *)
 }
 
@@ -40,6 +41,15 @@ type t = {
   mutable reloading : bool;
   mutable use_linked : bool;
   mutable pgraph : Ipsa.Linked.pgraph option; (* id-indexed front-parse graph *)
+  (* Batched zero-alloc plan, rebuilt at reload: the flat front-parse
+     graph, the header ids the front parser requests, and the flat stage
+     programs in pipeline order. [flat_ok] = the whole design compiled
+     into the flat subset. *)
+  mutable fgraph : Ipsa.Flat.fpgraph option;
+  mutable parse_ids : int array;
+  mutable flat_progs : Ipsa.Flat.prog array;
+  mutable flat_ok : bool;
+  ring : Net.Flatpkt.Ring.t;
   mutable next_pkt_id : int; (* per-device packet id sequence *)
   stats : stats;
   (* The PISA baseline is not instrumented: a no-op sink keeps the shared
@@ -65,13 +75,18 @@ let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles)
     meta_layout = Net.Meta.Layout.create ();
     stages =
       Array.init nstages (fun id ->
-          { id; template = None; linked = None; tables = Hashtbl.create 4 });
+          { id; template = None; linked = None; flat = None; tables = Hashtbl.create 4 });
     nports;
     outputs = Array.init nports (fun _ -> Queue.create ());
     cycles_cfg;
     reloading = false;
     use_linked = linked;
     pgraph = None;
+    fgraph = None;
+    parse_ids = [||];
+    flat_progs = [||];
+    flat_ok = false;
+    ring = Net.Flatpkt.Ring.create ();
     next_pkt_id = 0;
     tel;
     probes = Array.init nstages (fun i -> Telemetry.stage_probe tel ~tsp:i);
@@ -171,22 +186,41 @@ let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
       (if t.use_linked then Some (Ipsa.Linked.build_pgraph t.registry) else None);
     Array.iter
       (fun stage ->
-        stage.linked <-
-          (match stage.template with
-          | Some tmpl when t.use_linked ->
-            let lenv =
-              {
-                Ipsa.Linked.registry = t.registry;
-                find_table = (fun ~tsp:_ name -> Hashtbl.find_opt stage.tables name);
-                cycles_cfg = t.cycles_cfg;
-                tel = t.tel;
-                probes = t.probes;
-                layout = t.meta_layout;
-              }
-            in
-            Some (Ipsa.Linked.link lenv ~tsp:stage.id tmpl)
-          | _ -> None))
+        match stage.template with
+        | Some tmpl when t.use_linked ->
+          let lenv =
+            {
+              Ipsa.Linked.registry = t.registry;
+              find_table = (fun ~tsp:_ name -> Hashtbl.find_opt stage.tables name);
+              cycles_cfg = t.cycles_cfg;
+              tel = t.tel;
+              probes = t.probes;
+              layout = t.meta_layout;
+            }
+          in
+          stage.linked <- Some (Ipsa.Linked.link lenv ~tsp:stage.id tmpl);
+          stage.flat <- Ipsa.Flat.link lenv ~tsp:stage.id tmpl
+        | _ ->
+          stage.linked <- None;
+          stage.flat <- None)
       t.stages;
+    t.fgraph <- (if t.use_linked then Ipsa.Flat.link_parser t.registry else None);
+    t.parse_ids <-
+      Array.of_list
+        (List.map
+           (fun (d : Net.Hdrdef.t) -> d.Net.Hdrdef.id)
+           (Net.Hdrdef.defs t.registry));
+    let flat_all = ref (t.use_linked && t.fgraph <> None) in
+    let progs = ref [] in
+    Array.iter
+      (fun stage ->
+        match (stage.template, stage.flat) with
+        | Some _, Some p -> progs := p :: !progs
+        | Some _, None -> flat_all := false
+        | None, _ -> ())
+      t.stages;
+    t.flat_progs <- Array.of_list (List.rev !progs);
+    t.flat_ok <- !flat_all;
     Ok
       {
         rr_templates =
@@ -237,6 +271,46 @@ let env_for_stage t (stage : stage) : Ipsa.Tsp.env =
     probes = t.probes;
   }
 
+(* The context-path pipeline walk: everything [inject] does after id
+   stamping and the reload gate. Shared with the batch fallback. *)
+let process_pkt t pkt =
+  let ctx = Ipsa.Context.create ~layout:t.meta_layout pkt in
+  front_parse t ctx;
+  Array.iter
+    (fun stage ->
+      if not (Ipsa.Context.dropped ctx) then
+        match (stage.linked, stage.template) with
+        | Some prog, _ ->
+          (* pre-bound stage body: no per-packet template fetch *)
+          Ipsa.Linked.run_stages prog ctx
+        | None, Some tmpl ->
+          let env = env_for_stage t stage in
+          let slot = Ipsa.Tsp.make stage.id in
+          slot.Ipsa.Tsp.template <- Some tmpl;
+          slot.Ipsa.Tsp.powered <- true;
+          (* run the stage body directly: no per-packet template fetch *)
+          List.iter
+            (fun cs ->
+              if not (Ipsa.Context.dropped ctx) then Ipsa.Tsp.run_stage env slot ctx cs)
+            tmpl.Ipsa.Template.stages
+        | None, None -> ())
+    t.stages;
+  Ipsa.Context.finalize ctx;
+  t.stats.total_cycles <- t.stats.total_cycles + ctx.Ipsa.Context.cycles;
+  if Ipsa.Context.dropped ctx then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    None
+  end
+  else begin
+    t.stats.forwarded <- t.stats.forwarded + 1;
+    let port =
+      Net.Meta.get_int_slot ctx.Ipsa.Context.meta Net.Meta.slot_out_port
+      mod t.nports
+    in
+    Queue.add ctx.Ipsa.Context.pkt t.outputs.(port);
+    Some (port, ctx)
+  end
+
 let inject t pkt =
   t.next_pkt_id <- t.next_pkt_id + 1;
   Net.Packet.set_id pkt t.next_pkt_id;
@@ -248,44 +322,89 @@ let inject t pkt =
     Net.Packet.drop pkt;
     None
   end
-  else begin
-    let ctx = Ipsa.Context.create ~layout:t.meta_layout pkt in
-    front_parse t ctx;
-    Array.iter
-      (fun stage ->
-        if not (Ipsa.Context.dropped ctx) then
-          match (stage.linked, stage.template) with
-          | Some prog, _ ->
-            (* pre-bound stage body: no per-packet template fetch *)
-            Ipsa.Linked.run_stages prog ctx
-          | None, Some tmpl ->
-            let env = env_for_stage t stage in
-            let slot = Ipsa.Tsp.make stage.id in
-            slot.Ipsa.Tsp.template <- Some tmpl;
-            slot.Ipsa.Tsp.powered <- true;
-            (* run the stage body directly: no per-packet template fetch *)
-            List.iter
-              (fun cs ->
-                if not (Ipsa.Context.dropped ctx) then Ipsa.Tsp.run_stage env slot ctx cs)
-              tmpl.Ipsa.Template.stages
-          | None, None -> ())
-      t.stages;
-    Ipsa.Context.finalize ctx;
-    t.stats.total_cycles <- t.stats.total_cycles + ctx.Ipsa.Context.cycles;
-    if Ipsa.Context.dropped ctx then begin
-      t.stats.dropped <- t.stats.dropped + 1;
-      None
-    end
-    else begin
-      t.stats.forwarded <- t.stats.forwarded + 1;
-      let port =
-        Net.Meta.get_int_slot ctx.Ipsa.Context.meta Net.Meta.slot_out_port
-        mod t.nports
-      in
-      Queue.add ctx.Ipsa.Context.pkt t.outputs.(port);
-      Some (port, ctx)
-    end
+  else process_pkt t pkt
+
+(* ------------------------------------------------------------------ *)
+(* Batched zero-allocation path                                        *)
+(* ------------------------------------------------------------------ *)
+
+let flat_ready t = t.flat_ok
+
+(* Flat mirror of [front_parse]: request every defined header. *)
+let front_parse_flat t fg fp =
+  match t.registry.Net.Hdrdef.first with
+  | None -> ()
+  | Some _ ->
+    for i = 0 to Array.length t.parse_ids - 1 do
+      ignore (Ipsa.Flat.ensure_parsed fg fp t.parse_ids.(i))
+    done;
+    fp.Net.Flatpkt.cycles <-
+      fp.Net.Flatpkt.cycles
+      + (fp.Net.Flatpkt.parse_attempts * t.cycles_cfg.Ipsa.Cycles.parse_per_header)
+
+(* Flat mirror of [process_pkt] minus the packet write-back: front parse,
+   the fixed stage sequence, finalize. Returns the output port or -1. *)
+let process_flat t fp =
+  (match t.fgraph with
+  | Some fg -> front_parse_flat t fg fp
+  | None -> ());
+  let progs = t.flat_progs in
+  for i = 0 to Array.length progs - 1 do
+    if not (Net.Flatpkt.dropped fp) then Ipsa.Flat.run_stages progs.(i) fp
+  done;
+  Net.Flatpkt.finalize fp;
+  t.stats.total_cycles <- t.stats.total_cycles + fp.Net.Flatpkt.cycles;
+  if Net.Flatpkt.dropped fp then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    -1
   end
+  else begin
+    t.stats.forwarded <- t.stats.forwarded + 1;
+    fp.Net.Flatpkt.out_port mod t.nports
+  end
+
+(* Batch counterpart of [inject], same result shape as the IPSA device's
+   [inject_batch]. Mid-reload the whole batch is dropped (PISA downtime);
+   with a flat-compiled design the packets run through ring-recycled flat
+   records; otherwise each falls back to the context path. *)
+let inject_batch t (pkts : Net.Packet.t array) :
+    Ipsa.Device.batch_result option array =
+  let use_flat = t.flat_ok && not t.reloading in
+  if use_flat then Net.Flatpkt.Ring.rewind t.ring;
+  Array.map
+    (fun pkt ->
+      t.next_pkt_id <- t.next_pkt_id + 1;
+      Net.Packet.set_id pkt t.next_pkt_id;
+      t.stats.injected <- t.stats.injected + 1;
+      if t.reloading then begin
+        t.stats.dropped <- t.stats.dropped + 1;
+        t.stats.dropped_during_reload <- t.stats.dropped_during_reload + 1;
+        Net.Packet.drop pkt;
+        None
+      end
+      else if use_flat then begin
+        let fp = Net.Flatpkt.Ring.acquire t.ring in
+        Net.Flatpkt.of_packet fp ~layout:t.meta_layout pkt;
+        let port = process_flat t fp in
+        Net.Flatpkt.to_packet fp pkt;
+        if port >= 0 then begin
+          Queue.add pkt t.outputs.(port);
+          Some
+            {
+              Ipsa.Device.br_port = port;
+              br_meta = Net.Flatpkt.meta_bindings fp;
+              br_cycles = fp.Net.Flatpkt.cycles;
+              br_lookups = fp.Net.Flatpkt.lookups;
+              br_parse_attempts = fp.Net.Flatpkt.parse_attempts;
+            }
+        end
+        else None
+      end
+      else
+        match process_pkt t pkt with
+        | Some (port, ctx) -> Some (Ipsa.Device.batch_result_of_ctx port ctx)
+        | None -> None)
+    pkts
 
 let collect t port =
   let q = t.outputs.(port) in

@@ -32,3 +32,16 @@ let digest s = update 0l s
 (* CRC folded to a non-negative OCaml int, convenient for modular bucket
    selection. *)
 let digest_int s = Int32.to_int (digest s) land 0x3FFFFFFF
+
+(* Streaming variant over plain ints: bit-identical to [digest_int] but
+   allocation-free, so the flat fast path can hash key material straight
+   out of the wire buffer without building an intermediate string. The
+   running state is the unsigned 32-bit CRC register. *)
+
+let itable = Array.map (fun x -> Int32.to_int x land 0xFFFFFFFF) table
+
+let init_int = 0xFFFFFFFF
+
+let feed_int st byte = itable.((st lxor byte) land 0xFF) lxor (st lsr 8)
+
+let finish_int st = lnot st land 0x3FFFFFFF

@@ -11,3 +11,16 @@ val digest : string -> int32
 val digest_int : string -> int
 (** The CRC folded to a non-negative OCaml [int], convenient for modular
     bucket selection. *)
+
+(** Streaming, allocation-free variant over plain ints; bit-identical to
+    [digest_int] when fed the same bytes:
+    [finish_int (fold_left feed_int init_int bytes) = digest_int s]. *)
+
+val init_int : int
+(** Initial running state (the unsigned 32-bit CRC register). *)
+
+val feed_int : int -> int -> int
+(** [feed_int st byte] folds one byte (low 8 bits used) into the state. *)
+
+val finish_int : int -> int
+(** Folds the state to the same non-negative domain as [digest_int]. *)

@@ -51,6 +51,10 @@ type t = {
   mutable default : (string * Net.Bits.t list) option;
   mutable lookups : int;
   mutable hits : int;
+  (* Bumped on every content mutation (insert/delete/clear/set_default) so
+     derived lookup structures (the flat fast path's caches) can detect
+     staleness with one int compare. Entry hit-counter updates do not bump. *)
+  mutable generation : int;
 }
 
 let spec t = t.spec
@@ -79,9 +83,12 @@ let create spec =
     default = None;
     lookups = 0;
     hits = 0;
+    generation = 0;
   }
 
-let set_default t action args = t.default <- Some (action, args)
+let set_default t action args =
+  t.default <- Some (action, args);
+  t.generation <- t.generation + 1
 let default t = t.default
 
 (* --- engine key construction ---------------------------------------- *)
@@ -175,7 +182,8 @@ let insert t ?(priority = 0) ~matches ~action ~args () =
         (fun e -> not (List.for_all2 Key.fmatch_equal e.matches matches))
         t.entries
   in
-  t.entries <- entry :: others
+  t.entries <- entry :: others;
+  t.generation <- t.generation + 1
 
 let delete t matches =
   let existed =
@@ -194,12 +202,14 @@ let delete t matches =
     | E_tcam tcam ->
       let value, mask = tcam_parts t.spec.fields matches in
       ignore (Tcam.remove tcam ~value ~mask)
-    | E_hash -> ())
+    | E_hash -> ());
+    t.generation <- t.generation + 1
   end;
   existed
 
 let clear t =
   t.entries <- [];
+  t.generation <- t.generation + 1;
   match t.engine with
   | E_exact tbl -> Hashtbl.reset tbl
   | E_lpm trie -> Lpm_trie.clear trie
