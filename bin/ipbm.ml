@@ -105,10 +105,12 @@ let print_report (p : Fabric.Fleet.report) =
     p.Fabric.Fleet.p_update;
   List.iter
     (fun w ->
-      Printf.printf "  wave %-8s t=%d..%d (window %d ticks)\n"
+      Printf.printf "  wave %-8s t=%d..%d (window %d ticks, blast radius %s)\n"
         w.Fabric.Fleet.w_node w.Fabric.Fleet.w_start
         (w.Fabric.Fleet.w_start + w.Fabric.Fleet.w_window)
-        w.Fabric.Fleet.w_window)
+        w.Fabric.Fleet.w_window
+        (if w.Fabric.Fleet.w_total then "total"
+         else string_of_int w.Fabric.Fleet.w_radius ^ " classes"))
     r.Fabric.Fleet.r_waves;
   Printf.printf "  injected %d, delivered %d, dropped %d (max latency %d ticks)\n"
     s.Fabric.Sim.s_injected s.Fabric.Sim.s_delivered s.Fabric.Sim.s_dropped
@@ -170,12 +172,33 @@ let fabric topo_name topo_file case archs packets interval gap seed start json
           (fun p ->
             match p.Fabric.Fleet.p_arch with
             | Fabric.Sim.Ipsa ->
-              if p.Fabric.Fleet.p_in_rollout_lost > 0 then
-                [
-                  Printf.sprintf "ipsa fleet lost %d in-rollout packets (want 0)"
-                    p.Fabric.Fleet.p_in_rollout_lost;
-                ]
-              else []
+              (if p.Fabric.Fleet.p_in_rollout_lost > 0 then
+                 [
+                   Printf.sprintf "ipsa fleet lost %d in-rollout packets (want 0)"
+                     p.Fabric.Fleet.p_in_rollout_lost;
+                 ]
+               else [])
+              @
+              (* Blast-radius gate: traffic the analyzer placed outside
+                 every wave's radius must forward byte-identically with
+                 and without the rollout. *)
+              let rc = Fabric.Fleet.radius_check ~arch:Fabric.Sim.Ipsa sc p in
+              if rc.Fabric.Fleet.rr_total then begin
+                print_endline "check: blast radius unbounded; identity check vacuous";
+                []
+              end
+              else begin
+                Printf.printf "check: %d packets out of radius, %d divergent\n"
+                  rc.Fabric.Fleet.rr_out_of_radius rc.Fabric.Fleet.rr_divergent;
+                if rc.Fabric.Fleet.rr_divergent > 0 then
+                  [
+                    Printf.sprintf
+                      "ipsa fleet: %d out-of-radius packets diverged from the \
+                       no-rollout baseline (want 0)"
+                      rc.Fabric.Fleet.rr_divergent;
+                  ]
+                else []
+              end
             | Fabric.Sim.Pisa ->
               if p.Fabric.Fleet.p_in_rollout_lost = 0 then
                 [ "pisa fleet lost no in-rollout packets (reload should drop)" ]

@@ -158,6 +158,7 @@ let staged_update ~resolve_file text =
         push (Rp4bc.Compile.Set_entry (p, stage))
       | Controller.Command.Commit | Controller.Command.Unload _
       | Controller.Command.Table_add _ | Controller.Command.Table_del _
+      | Controller.Command.Protect _ | Controller.Command.Show_impact
       | Controller.Command.Show_mapping | Controller.Command.Show_design -> ())
     (Controller.Command.parse_script text);
   match !load with
@@ -178,6 +179,81 @@ let check_update_source ~ntsps ~resolve_file ~script source : outcome =
     with
     | Error errs -> Error errs
     | Ok (_result, diags) -> Ok diags)
+
+(* --- symbolic / impact sections ---------------------------------------- *)
+
+(* The designs a check run is about: the full compile of FILE.rp4, plus
+   the post-update design when --script replays an update on top. *)
+let designs_for ~ntsps ~resolve_file ~script source :
+    (Rp4bc.Design.t * Rp4bc.Design.t option, string list) result =
+  let opts = { Rp4bc.Compile.default_options with Rp4bc.Compile.ntsps } in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~opts ~pool (Rp4.Parser.parse_string source) with
+  | Error errs -> Error errs
+  | Ok base -> (
+    match script with
+    | None -> Ok (base.Rp4bc.Compile.design, None)
+    | Some text -> (
+      let func_name, snippet, cmds = staged_update ~resolve_file text in
+      match
+        Rp4bc.Compile.insert_function base.Rp4bc.Compile.design ~snippet ~func_name
+          ~cmds ~algo:Rp4bc.Layout.Dp ~pool
+      with
+      | Error errs -> Error errs
+      | Ok r -> Ok (base.Rp4bc.Compile.design, Some r.Rp4bc.Compile.design)))
+
+let symbolic_json (r : Analysis.Symexec.result) =
+  let module J = Prelude.Json in
+  let sset s = J.List (List.map (fun x -> J.String x) (List.sort compare s)) in
+  J.Obj
+    [
+      ("paths", J.Int r.Analysis.Symexec.r_paths);
+      ( "reached_stages",
+        sset (Analysis.Symexec.SS.elements r.Analysis.Symexec.r_reached) );
+      ( "applied_tables",
+        sset (Analysis.Symexec.SS.elements r.Analysis.Symexec.r_applied) );
+      ( "classes",
+        J.Obj
+          (List.map
+             (fun (stage, classes) ->
+               ( stage,
+                 J.List
+                   (List.map
+                      (fun atoms ->
+                        J.List (List.map Analysis.Symexec.atom_to_json atoms))
+                      classes) ))
+             r.Analysis.Symexec.r_classes) );
+      ( "flat_gaps",
+        J.List
+          (List.map
+             (fun (stage, reason) ->
+               J.Obj [ ("stage", J.String stage); ("reason", J.String reason) ])
+             r.Analysis.Symexec.r_flat_gaps) );
+    ]
+
+let print_symbolic (r : Analysis.Symexec.result) =
+  Printf.printf "== symbolic coverage ==\n";
+  Printf.printf "paths explored: %d\n" r.Analysis.Symexec.r_paths;
+  Printf.printf "stages reached: %s\n"
+    (String.concat ", "
+       (List.sort compare (Analysis.Symexec.SS.elements r.Analysis.Symexec.r_reached)));
+  Printf.printf "tables applied: %s\n"
+    (String.concat ", "
+       (List.sort compare (Analysis.Symexec.SS.elements r.Analysis.Symexec.r_applied)));
+  List.iter
+    (fun (stage, classes) ->
+      Printf.printf "traffic classes at %s:\n" stage;
+      List.iter
+        (fun atoms ->
+          Printf.printf "  - %s\n"
+            (match atoms with
+            | [] -> "any packet"
+            | _ -> String.concat " && " (List.map Analysis.Symexec.atom_to_string atoms)))
+        classes)
+    r.Analysis.Symexec.r_classes;
+  List.iter
+    (fun (stage, reason) -> Printf.printf "off flat path: %s (%s)\n" stage reason)
+    r.Analysis.Symexec.r_flat_gaps
 
 let outcome_json = function
   | Ok diags -> Analysis.Diag.report_to_json diags
@@ -263,7 +339,26 @@ let check_cmd =
       & info [ "usecases" ]
           ~doc:"check every bundled usecase (base designs and update scripts)")
   in
-  let run file script ntsps json usecases =
+  let symbolic =
+    Arg.(
+      value & flag
+      & info [ "symbolic" ]
+          ~doc:
+            "Also run the symbolic walker over the (updated, with --script) \
+             design and report path coverage: stages reached, tables applied, \
+             the traffic classes at each stage, and any stages off the flat \
+             fast path. Needs $(b,FILE.rp4).")
+  in
+  let impact =
+    Arg.(
+      value & flag
+      & info [ "impact" ]
+          ~doc:
+            "Also compute the update's blast radius: the symbolic traffic \
+             classes whose forwarding the patch changes. Needs $(b,FILE.rp4) \
+             and $(b,--script).")
+  in
+  let run file script ntsps json usecases symbolic impact =
     try
       let runs =
         if usecases then usecase_runs ~ntsps
@@ -286,8 +381,74 @@ let check_cmd =
                     (read_file f) );
               ])
       in
-      if report_outcomes ~json runs then
-        `Error (false, "check failed: the report contains errors")
+      (* Optional deep-analysis sections. A compile failure is already in
+         the report above, so the sections just go missing in that case. *)
+      let sym, imp =
+        if not (symbolic || impact) then (None, None)
+        else
+          match file with
+          | None -> invalid_arg "check: --symbolic/--impact need FILE.rp4"
+          | Some f -> (
+            if impact && script = None then
+              invalid_arg "check: --impact needs --script";
+            let script_text, resolve_file =
+              match script with
+              | None -> (None, fun name -> read_file name)
+              | Some s ->
+                let dir = Filename.dirname s in
+                ( Some (read_file s),
+                  fun name ->
+                    read_file
+                      (if Filename.is_relative name then Filename.concat dir name
+                       else name) )
+            in
+            match
+              designs_for ~ntsps ~resolve_file ~script:script_text (read_file f)
+            with
+            | Error _ -> (None, None)
+            | Ok (base, updated) ->
+              ( (if symbolic then
+                   Some
+                     (Analysis.Check.symbolic
+                        (Option.value updated ~default:base))
+                 else None),
+                match (impact, updated) with
+                | true, Some upd ->
+                  Some (Analysis.Check.impact ~old_design:base ~design:upd ())
+                | _ -> None ))
+      in
+      let failed =
+        if json then begin
+          let runs_json = List.map (fun (n, o) -> (n, outcome_json o)) runs in
+          let extra =
+            (match sym with
+            | Some r -> [ ("symbolic", symbolic_json r) ]
+            | None -> [])
+            @
+            match imp with
+            | Some rep -> [ ("impact", Analysis.Impact.to_json rep) ]
+            | None -> []
+          in
+          print_endline
+            (Prelude.Json.to_string_pretty (Prelude.Json.Obj (runs_json @ extra)));
+          List.exists
+            (fun (_, o) ->
+              match o with
+              | Error _ -> true
+              | Ok diags -> Analysis.Diag.has_errors diags)
+            runs
+        end
+        else begin
+          let failed = report_outcomes ~json:false runs in
+          Option.iter print_symbolic sym;
+          Option.iter
+            (fun rep ->
+              Printf.printf "== impact ==\n%s\n" (Analysis.Impact.summary rep))
+            imp;
+          failed
+        end
+      in
+      if failed then `Error (false, "check failed: the report contains errors")
       else `Ok ()
     with
     | Rp4.Parser.Error e | Rp4.Lexer.Error e -> `Error (false, e)
@@ -299,7 +460,9 @@ let check_cmd =
        ~doc:
          "rp4lint: verify parse-before-use dataflow, TSP merge independence and \
           in-situ update safety")
-    Term.(ret (const run $ file $ script $ ntsps $ json $ usecases))
+    Term.(
+      ret
+        (const run $ file $ script $ ntsps $ json $ usecases $ symbolic $ impact))
 
 (* --- stats ------------------------------------------------------------- *)
 

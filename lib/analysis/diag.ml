@@ -42,10 +42,18 @@ let catalog =
     ("RP4E022", "allocated table referenced by no template: leaked pool blocks");
     ("RP4E023", "final state: template's table not connected to its TSP");
     ("RP4E024", "inconsistent table-allocation bookkeeping in the patch");
+    ("RP4E030", "table applied on no feasible path: its guard is statically contradictory");
+    ("RP4E031", "constant does not fit the destination field width");
+    ("RP4E032", "merged stages write conflicting constant values to the same field");
+    ("RP4E033", "field read of a header that is invalid on every feasible path");
     ("RP4W101", "metadata field read but never written upstream");
     ("RP4W102", "stage unreachable from any pipe entry");
     ("RP4W103", "stage orphaned by link removal; its tables are recycled");
     ("RP4W104", "validity probe on a header never parsed on any path");
+    ("RP4W110", "matcher branch unreachable: condition is constant on every feasible path");
+    ("RP4W111", "table key reads a header invalid on every path: lookups always miss");
+    ("RP4W112", "table entry can never match on any feasible path");
+    ("RP4W113", "stage statically outside the flat fast-path subset");
   ]
 
 let describe code = List.assoc_opt code catalog

@@ -1,0 +1,305 @@
+(* Known-bits / interval bitvector domain for the symbolic pipeline
+   analyzer.
+
+   An abstract value approximates the set of bit patterns a header field
+   or metadata slot can hold at a program point. Two refinements are kept
+   side by side and strengthen each other:
+
+     - an unsigned interval [lo, hi], and
+     - a known-bits mask: bit i is known iff it is set in [kmask], and
+       then its value is bit i of [kval].
+
+   Fields up to [max_precise_width] bits are tracked exactly in an
+   OCaml int64 kept non-negative (so built-in signed comparison is the
+   unsigned order); wider fields (the 128-bit IPv6 addresses) collapse
+   to Top — the walker never needs to prove anything arithmetic about
+   them, only validity and prefix membership, which the impact pass
+   handles over Net.Bits directly.
+
+   Stage graphs are DAGs (rp4bc topo-sorts them and rejects cycles), so
+   no widening is needed: every walk terminates. *)
+
+(* Widest field tracked precisely. 62 keeps lo/hi/kmask non-negative in
+   an int64 and leaves headroom for carry in [add]. *)
+let max_precise_width = 62
+
+type bv = { w : int; lo : int64; hi : int64; kmask : int64; kval : int64 }
+
+type t =
+  | Top of int (* width; nothing known (always used for width > 62) *)
+  | Bv of bv
+
+(* Three-valued truth for relations evaluated over abstract operands. *)
+type tri = True | False | Unknown
+
+let tri_not = function True -> False | False -> True | Unknown -> Unknown
+
+let mask_bits w =
+  if w >= 62 then 0x3FFF_FFFF_FFFF_FFFFL
+  else Int64.sub (Int64.shift_left 1L w) 1L
+
+let width = function Top w -> w | Bv b -> b.w
+
+let top w = Top w
+
+(* Normalize: fold the two refinements into each other and detect
+   contradictions (None = bottom, the empty set of values). *)
+let norm ~w ~lo ~hi ~kmask ~kval : t option =
+  if lo > hi then None
+  else
+    let kval = Int64.logand kval kmask in
+    let m = mask_bits w in
+    if Int64.equal kmask m then
+      (* fully known: the constant must sit inside the interval *)
+      if kval < lo || kval > hi then None
+      else Some (Bv { w; lo = kval; hi = kval; kmask; kval })
+    else Some (Bv { w; lo; hi; kmask; kval })
+
+let const w v =
+  if w > max_precise_width then Top w
+  else
+    let v = Int64.logand v (mask_bits w) in
+    Bv { w; lo = v; hi = v; kmask = mask_bits w; kval = v }
+
+let full_range w = Bv { w; lo = 0L; hi = mask_bits w; kmask = 0L; kval = 0L }
+
+(* The canonical unknown value of a width: Top beyond the precise limit,
+   a full-range bitvector below it (so relations can still refine it). *)
+let unknown w = if w > max_precise_width then Top w else full_range w
+
+let is_const = function
+  | Top _ -> None
+  | Bv b -> if Int64.equal b.lo b.hi then Some b.lo else None
+
+let interval = function
+  | Top _ -> None
+  | Bv b -> Some (b.lo, b.hi)
+
+let join a b =
+  match (a, b) with
+  | Top w, _ | _, Top w -> Top (max w (max (width a) (width b)))
+  | Bv x, Bv y ->
+    if x.w <> y.w then Top (max x.w y.w)
+    else
+      let agree =
+        Int64.logand (Int64.logand x.kmask y.kmask)
+          (Int64.lognot (Int64.logxor x.kval y.kval))
+      in
+      Bv
+        {
+          w = x.w;
+          lo = min x.lo y.lo;
+          hi = max x.hi y.hi;
+          kmask = agree;
+          kval = Int64.logand x.kval agree;
+        }
+
+let meet a b : t option =
+  match (a, b) with
+  | Top _, v | v, Top _ -> Some v
+  | Bv x, Bv y ->
+    if x.w <> y.w then Some (Top (max x.w y.w))
+    else if
+      Int64.logand (Int64.logand x.kmask y.kmask) (Int64.logxor x.kval y.kval)
+      <> 0L
+    then None (* both know a bit, and disagree *)
+    else
+      norm ~w:x.w ~lo:(max x.lo y.lo) ~hi:(min x.hi y.hi)
+        ~kmask:(Int64.logor x.kmask y.kmask)
+        ~kval:(Int64.logor x.kval y.kval)
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Truncate / zero-extend to a new width (rP4 assignment semantics:
+   Bits.resize keeps the low bits). *)
+let resize v w' =
+  match v with
+  | Top _ -> if w' > max_precise_width then Top w' else full_range w'
+  | Bv b ->
+    if w' = b.w then v
+    else if w' > max_precise_width then Top w'
+    else if w' > b.w then
+      (* zero-extension: upper bits become known 0 *)
+      Bv
+        {
+          w = w';
+          lo = b.lo;
+          hi = b.hi;
+          kmask = Int64.logor b.kmask (Int64.logxor (mask_bits w') (mask_bits b.w));
+          kval = b.kval;
+        }
+    else
+      let m = mask_bits w' in
+      if b.hi <= m then
+        (* value provably fits: interval survives truncation *)
+        Bv
+          {
+            w = w';
+            lo = b.lo;
+            hi = b.hi;
+            kmask = Int64.logand b.kmask m;
+            kval = Int64.logand b.kval m;
+          }
+      else
+        Bv
+          {
+            w = w';
+            lo = 0L;
+            hi = m;
+            kmask = Int64.logand b.kmask m;
+            kval = Int64.logand b.kval m;
+          }
+
+let lift2 f a b =
+  match (a, b) with
+  | Top w, v | v, Top w -> Top (max w (width v))
+  | Bv x, Bv y -> if x.w <> y.w then Top (max x.w y.w) else f x y
+
+let band =
+  lift2 (fun x y ->
+      (* known-0 in either side forces 0; both-known-1 forces 1 *)
+      let known0 =
+        Int64.logor
+          (Int64.logand x.kmask (Int64.lognot x.kval))
+          (Int64.logand y.kmask (Int64.lognot y.kval))
+      in
+      let known1 = Int64.logand (Int64.logand x.kmask x.kval) (Int64.logand y.kmask y.kval) in
+      let kmask = Int64.logor known0 known1 in
+      Bv { w = x.w; lo = 0L; hi = min x.hi y.hi; kmask; kval = known1 })
+
+let bor =
+  lift2 (fun x y ->
+      let known1 =
+        Int64.logor
+          (Int64.logand x.kmask x.kval)
+          (Int64.logand y.kmask y.kval)
+      in
+      let known0 =
+        Int64.logand
+          (Int64.logand x.kmask (Int64.lognot x.kval))
+          (Int64.logand y.kmask (Int64.lognot y.kval))
+      in
+      let kmask = Int64.logor known0 known1 in
+      Bv
+        { w = x.w; lo = max x.lo y.lo; hi = mask_bits x.w; kmask; kval = known1 })
+
+let bxor =
+  lift2 (fun x y ->
+      let kmask = Int64.logand x.kmask y.kmask in
+      let kval = Int64.logand (Int64.logxor x.kval y.kval) kmask in
+      Bv { w = x.w; lo = 0L; hi = mask_bits x.w; kmask; kval })
+
+let add =
+  lift2 (fun x y ->
+      let m = mask_bits x.w in
+      let lo = Int64.add x.lo y.lo and hi = Int64.add x.hi y.hi in
+      if hi <= m then
+        (* no wrap possible *)
+        let km, kv =
+          match (Int64.equal x.lo x.hi, Int64.equal y.lo y.hi) with
+          | true, true -> (m, lo)
+          | _ -> (0L, 0L)
+        in
+        Bv { w = x.w; lo; hi; kmask = km; kval = kv }
+      else if lo > m then
+        (* both ends wrap exactly once: interval shifts down by 2^w *)
+        let lo = Int64.logand lo m and hi = Int64.logand hi m in
+        if lo <= hi then Bv { w = x.w; lo; hi; kmask = 0L; kval = 0L }
+        else full_range x.w
+      else full_range x.w)
+
+let sub =
+  lift2 (fun x y ->
+      let m = mask_bits x.w in
+      let lo = Int64.sub x.lo y.hi and hi = Int64.sub x.hi y.lo in
+      if lo >= 0L then
+        let km, kv =
+          match (Int64.equal x.lo x.hi, Int64.equal y.lo y.hi) with
+          | true, true -> (m, lo)
+          | _ -> (0L, 0L)
+        in
+        Bv { w = x.w; lo; hi; kmask = km; kval = kv }
+      else if hi < 0L then
+        (* both ends wrap exactly once *)
+        Bv
+          { w = x.w; lo = Int64.logand lo m; hi = Int64.logand hi m; kmask = 0L; kval = 0L }
+      else full_range x.w)
+
+let binop (op : Rp4.Ast.binop) a b =
+  match op with
+  | Rp4.Ast.Add -> add a b
+  | Rp4.Ast.Sub -> sub a b
+  | Rp4.Ast.Band -> band a b
+  | Rp4.Ast.Bor -> bor a b
+  | Rp4.Ast.Bxor -> bxor a b
+
+(* ------------------------------------------------------------------ *)
+(* Relations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eq_tri a b =
+  match (a, b) with
+  | Top _, _ | _, Top _ -> Unknown
+  | Bv x, Bv y ->
+    if x.w <> y.w then Unknown
+    else if x.hi < y.lo || y.hi < x.lo then False
+    else if
+      Int64.logand (Int64.logand x.kmask y.kmask) (Int64.logxor x.kval y.kval)
+      <> 0L
+    then False
+    else if Int64.equal x.lo x.hi && Int64.equal y.lo y.hi && Int64.equal x.lo y.lo
+    then True
+    else Unknown
+
+let lt_tri a b =
+  match (a, b) with
+  | Top _, _ | _, Top _ -> Unknown
+  | Bv x, Bv y ->
+    if x.hi < y.lo then True else if x.lo >= y.hi then False else Unknown
+
+let rel (op : Rp4.Ast.relop) a b : tri =
+  match op with
+  | Rp4.Ast.Eq -> eq_tri a b
+  | Rp4.Ast.Neq -> tri_not (eq_tri a b)
+  | Rp4.Ast.Lt -> lt_tri a b
+  | Rp4.Ast.Ge -> tri_not (lt_tri a b)
+  | Rp4.Ast.Gt -> lt_tri b a
+  | Rp4.Ast.Le -> tri_not (lt_tri b a)
+
+(* Refine [v] under the assumption [v op c] for a constant [c]. None is
+   bottom: the assumption is unsatisfiable. *)
+let assume_rel (op : Rp4.Ast.relop) v c : t option =
+  match v with
+  | Top _ -> Some v (* nothing tracked to refine *)
+  | Bv b -> (
+    let c = Int64.logand c (mask_bits b.w) in
+    match op with
+    | Rp4.Ast.Eq -> meet v (const b.w c)
+    | Rp4.Ast.Neq ->
+      if Int64.equal b.lo b.hi && Int64.equal b.lo c then None
+      else if Int64.equal b.lo c then
+        norm ~w:b.w ~lo:(Int64.succ b.lo) ~hi:b.hi ~kmask:b.kmask ~kval:b.kval
+      else if Int64.equal b.hi c then
+        norm ~w:b.w ~lo:b.lo ~hi:(Int64.pred b.hi) ~kmask:b.kmask ~kval:b.kval
+      else Some v
+    | Rp4.Ast.Lt ->
+      if Int64.equal c 0L then None
+      else norm ~w:b.w ~lo:b.lo ~hi:(min b.hi (Int64.pred c)) ~kmask:b.kmask ~kval:b.kval
+    | Rp4.Ast.Le -> norm ~w:b.w ~lo:b.lo ~hi:(min b.hi c) ~kmask:b.kmask ~kval:b.kval
+    | Rp4.Ast.Gt ->
+      if Int64.equal c (mask_bits b.w) then None
+      else norm ~w:b.w ~lo:(max b.lo (Int64.succ c)) ~hi:b.hi ~kmask:b.kmask ~kval:b.kval
+    | Rp4.Ast.Ge -> norm ~w:b.w ~lo:(max b.lo c) ~hi:b.hi ~kmask:b.kmask ~kval:b.kval)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_string = function
+  | Top w -> Printf.sprintf "top/%d" w
+  | Bv b ->
+    if Int64.equal b.lo b.hi then Printf.sprintf "%Ld/%d" b.lo b.w
+    else if Int64.equal b.kmask 0L then Printf.sprintf "[%Ld,%Ld]/%d" b.lo b.hi b.w
+    else Printf.sprintf "[%Ld,%Ld]&%Lx=%Lx/%d" b.lo b.hi b.kmask b.kval b.w

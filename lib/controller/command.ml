@@ -24,6 +24,8 @@ type t =
   | Commit (* compile pending load/link commands and push to the device *)
   | Table_add of { table : string; action : string; keys : string list; args : string list }
   | Table_del of { table : string; keys : string list }
+  | Protect of string (* protect <[field=]prefix/plen>: blast-radius gate *)
+  | Show_impact (* blast radius of the last incremental compile *)
   | Show_mapping
   | Show_design
 
@@ -116,6 +118,8 @@ let parse_line line : t option =
         match pos with
         | table :: keys -> Table_del { table; keys }
         | [] -> parse_error "table_del: expected <table> <keys...>")
+      | "protect" -> Protect (one_pos "protect")
+      | "show_impact" -> Show_impact
       | "show_mapping" -> Show_mapping
       | "show_design" -> Show_design
       | other -> parse_error "unknown command %S" other)
@@ -140,6 +144,8 @@ let to_string = function
   | Table_add { table; action; keys; args } ->
     String.concat " " (("table_add" :: table :: action :: keys) @ ("=>" :: args))
   | Table_del { table; keys } -> String.concat " " ("table_del" :: table :: keys)
+  | Protect spec -> Printf.sprintf "protect %s" spec
+  | Show_impact -> "show_impact"
   | Show_mapping -> "show_mapping"
   | Show_design -> "show_design"
 

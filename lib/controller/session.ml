@@ -35,6 +35,11 @@ type t = {
   mutable pending_cmds : Rp4bc.Compile.cmd list;
   mutable last_timing : timing option;
   mutable last_warnings : string list; (* rp4lint warnings of the last compile *)
+  (* Blast-radius gate: every incremental update's impact report is kept,
+     and an update is refused when its radius intersects a protected
+     prefix (traffic the operator declared must not change behavior). *)
+  mutable protected_prefixes : Analysis.Impact.prefix list;
+  mutable last_impact : Analysis.Impact.report option;
   instr : instruments;
 }
 
@@ -42,8 +47,13 @@ let now_ns () = 1e9 *. Unix.gettimeofday ()
 
 (* Every compile a session runs goes through the rp4lint verifier: a
    design or patch with errors never reaches the device; warnings are
-   kept for the operator. *)
-let verify = Analysis.Check.verifier
+   kept for the operator. The verifier shares the device's telemetry
+   registry (analysis.findings / analysis.pass_duration_us) and sharpens
+   table feasibility with the device's live entries. *)
+let verify_for device =
+  Analysis.Check.verifier
+    ~telemetry:(Ipsa.Device.telemetry device)
+    ~tables:(Ipsa.Device.find_table device)
 
 let make_instruments tel =
   {
@@ -75,7 +85,8 @@ let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
   in
   let instr = make_instruments (Ipsa.Device.telemetry device) in
   match
-    Rp4bc.Compile.compile_full ~opts ~verify ~pool:(Ipsa.Device.pool device) prog
+    Rp4bc.Compile.compile_full ~opts ~verify:(verify_for device)
+      ~pool:(Ipsa.Device.pool device) prog
   with
   | Error errs -> Error errs
   | Ok compiled -> (
@@ -94,6 +105,8 @@ let boot ?(opts = Rp4bc.Compile.default_options) ?(algo = Rp4bc.Layout.Dp)
           pending_cmds = [];
           last_timing = None;
           last_warnings = compiled.Rp4bc.Compile.warnings;
+          protected_prefixes = [];
+          last_impact = None;
           instr;
         })
 
@@ -103,6 +116,44 @@ let device t = t.device
 let last_timing t = t.last_timing
 let last_warnings t = t.last_warnings
 let metrics t = Ipsa.Device.telemetry t.device
+
+(* --- blast-radius gating --------------------------------------------- *)
+
+let protect t spec : (unit, string) result =
+  match Analysis.Impact.prefix_of_string spec with
+  | Error e -> Error e
+  | Ok pfx ->
+    t.protected_prefixes <- t.protected_prefixes @ [ pfx ];
+    Ok ()
+
+let unprotect_all t = t.protected_prefixes <- []
+let protected_prefixes t = t.protected_prefixes
+let last_impact t = t.last_impact
+
+(* Symbolic blast radius of moving the session from [old_design] to
+   [design], sharpened with the device's live table contents. *)
+let compute_impact t ~old_design ~design =
+  let tables = Ipsa.Device.find_table t.device in
+  Analysis.Check.impact ~telemetry:(metrics t) ~tables ~old_tables:tables
+    ~old_design ~design ()
+
+(* The gate itself: refuse the update when its radius intersects any
+   protected prefix. The report is recorded either way. *)
+let gate_impact t (report : Analysis.Impact.report) : (unit, string list) result =
+  t.last_impact <- Some report;
+  let hits =
+    List.filter (fun p -> Analysis.Impact.intersects report p) t.protected_prefixes
+  in
+  if hits = [] then Ok ()
+  else
+    Error
+      (List.map
+         (fun p ->
+           Printf.sprintf
+             "update refused: blast radius intersects protected prefix %s (%s)"
+             (Analysis.Impact.prefix_to_string p)
+             (Analysis.Impact.summary report))
+         hits)
 
 (* --- pre-compiled updates -------------------------------------------- *)
 
@@ -115,20 +166,22 @@ type prepared = {
   pre_result : Rp4bc.Compile.result_t;
   pre_compile_ns : float;
   pre_base : Rp4bc.Design.t; (* design the patch was compiled against *)
+  pre_impact : Analysis.Impact.report; (* blast radius vs. [pre_base] *)
 }
 
 let compile_pending t : (Rp4bc.Compile.result_t, string list) result =
   match t.pending_load with
   | Some (func_name, snippet) ->
-    Rp4bc.Compile.insert_function ~verify t.design ~snippet ~func_name
-      ~cmds:t.pending_cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device)
+    Rp4bc.Compile.insert_function ~verify:(verify_for t.device) t.design ~snippet
+      ~func_name ~cmds:t.pending_cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device)
   | None -> (
     (* Pure link edits without a new function. *)
     match t.pending_cmds with
     | [] -> Error [ "commit: nothing pending" ]
     | cmds ->
-      Rp4bc.Compile.insert_function ~verify t.design ~snippet:Rp4.Ast.empty_program
-        ~func_name:"__links__" ~cmds ~algo:t.algo ~pool:(Ipsa.Device.pool t.device))
+      Rp4bc.Compile.insert_function ~verify:(verify_for t.device) t.design
+        ~snippet:Rp4.Ast.empty_program ~func_name:"__links__" ~cmds ~algo:t.algo
+        ~pool:(Ipsa.Device.pool t.device))
 
 (* Configuration volume of a prepared patch — what a fleet controller
    charges against the control-channel bandwidth when it sizes the
@@ -142,14 +195,29 @@ let prepare t : (prepared, string list) result =
   | Error errs -> Error errs
   | Ok result ->
     note_compile t.instr result.Rp4bc.Compile.warnings;
+    let impact =
+      compute_impact t ~old_design:t.design ~design:result.Rp4bc.Compile.design
+    in
+    t.last_impact <- Some impact;
     t.pending_load <- None;
     t.pending_cmds <- [];
-    Ok { pre_result = result; pre_compile_ns = now_ns () -. start; pre_base = t.design }
+    Ok
+      {
+        pre_result = result;
+        pre_compile_ns = now_ns () -. start;
+        pre_base = t.design;
+        pre_impact = impact;
+      }
+
+let prepared_impact (p : prepared) = p.pre_impact
 
 let apply_prepared t (p : prepared) : (timing, string list) result =
   if p.pre_base != t.design then
     Error [ "apply_prepared: the base design changed since this patch was compiled" ]
   else begin
+    match gate_impact t p.pre_impact with
+    | Error errs -> Error errs
+    | Ok () ->
     let load_start = now_ns () in
     match Ipsa.Device.apply_patch t.device p.pre_result.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
@@ -178,6 +246,12 @@ let commit t : (timing, string list) result =
   | Ok result -> (
     note_compile t.instr result.Rp4bc.Compile.warnings;
     let compile_ns = now_ns () -. start in
+    let impact =
+      compute_impact t ~old_design:t.design ~design:result.Rp4bc.Compile.design
+    in
+    match gate_impact t impact with
+    | Error errs -> Error errs
+    | Ok () ->
     let load_start = now_ns () in
     match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
@@ -201,13 +275,19 @@ let commit t : (timing, string list) result =
 let unload t ~func_name : (timing, string list) result =
   let start = now_ns () in
   match
-    Rp4bc.Compile.delete_function ~verify t.design ~func_name ~algo:t.algo
-      ~pool:(Ipsa.Device.pool t.device)
+    Rp4bc.Compile.delete_function ~verify:(verify_for t.device) t.design ~func_name
+      ~algo:t.algo ~pool:(Ipsa.Device.pool t.device)
   with
   | Error errs -> Error errs
   | Ok result -> (
     note_compile t.instr result.Rp4bc.Compile.warnings;
     let compile_ns = now_ns () -. start in
+    let impact =
+      compute_impact t ~old_design:t.design ~design:result.Rp4bc.Compile.design
+    in
+    match gate_impact t impact with
+    | Error errs -> Error errs
+    | Ok () ->
     let load_start = now_ns () in
     match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
     | Error e -> Error [ e ]
@@ -280,6 +360,14 @@ let exec t (cmd : Command.t) : (string, string) result =
     match Runtime.table_del ~device:t.device ~apis:(apis t) ~table ~keys with
     | Ok () -> Ok (Printf.sprintf "deleted entry from %s" table)
     | Error e -> Error e)
+  | Command.Protect spec -> (
+    match protect t spec with
+    | Ok () -> Ok (Printf.sprintf "protected %s" spec)
+    | Error e -> Error e)
+  | Command.Show_impact -> (
+    match t.last_impact with
+    | Some report -> Ok (Analysis.Impact.summary report)
+    | None -> Ok "no impact report: no incremental compile has run")
   | Command.Show_mapping -> Ok (Rp4bc.Design.mapping_to_string t.design)
   | Command.Show_design -> Ok (Rp4bc.Design.to_source t.design)
 

@@ -42,6 +42,26 @@ val last_warnings : t -> string list
     commit, prepare/apply or unload). Errors never get this far: a
     design or patch with verifier errors is rejected before loading. *)
 
+(** {1 Blast-radius gating}
+
+    Every incremental update (commit, prepare/apply, unload) gets a
+    symbolic impact analysis: the traffic classes whose forwarding
+    behavior the patch may change. Operators can declare protected
+    prefixes; an update whose blast radius intersects one is refused
+    before it touches the device. *)
+
+val protect : t -> string -> (unit, string) result
+(** Add a protected prefix, e.g. ["10.0.0.0/8"] or
+    ["ipv6.dst_addr=2001:db8::/32"] (see
+    {!Analysis.Impact.prefix_of_string}). *)
+
+val unprotect_all : t -> unit
+val protected_prefixes : t -> Analysis.Impact.prefix list
+
+val last_impact : t -> Analysis.Impact.report option
+(** The impact report of the most recent incremental compile — including
+    one whose application was refused by the gate. *)
+
 val metrics : t -> Telemetry.t
 (** The telemetry registry shared with the connected device. Data-plane
     instruments ([tsp.*], [table.*], [tm.*], [device.*], [pool.*],
@@ -73,6 +93,11 @@ val prepare : t -> (prepared, string list) result
 val apply_prepared : t -> prepared -> (timing, string list) result
 (** Push a prepared patch; rejected if the base design has changed since
     it was compiled. *)
+
+val prepared_impact : prepared -> Analysis.Impact.report
+(** The blast radius computed at prepare time, against the base design
+    the patch was compiled for. [apply_prepared] re-checks it against
+    the session's protected prefixes at push time. *)
 
 val prepared_bytes : prepared -> int
 (** Configuration volume of the prepared patch, in bytes — the quantity a

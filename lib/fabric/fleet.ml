@@ -79,6 +79,12 @@ type wave = {
   w_node : string;
   w_start : int;
   w_window : int;
+  (* Blast radius of this wave's patch: how many symbolic traffic classes
+     may change behavior. [w_total] = the analysis could not bound the
+     radius (or the node reloads its whole image, as PISA does), so all
+     traffic counts as in-radius. *)
+  w_radius : int;
+  w_total : bool;
 }
 
 exception Rollout_error of string
@@ -150,6 +156,7 @@ type rollout = {
   r_waves : wave list; (* rollout order *)
   r_start : int;
   r_end : int;
+  r_impacts : (string * Analysis.Impact.report) list; (* per IPSA node *)
 }
 
 (* Roll [update] across [sim]'s nodes (topology order), one maintenance
@@ -161,13 +168,17 @@ let schedule_rollout ?(timing = default_timing) ?(gap = 4) ~at ~update
     ?(on_done = fun (_ : rollout) -> ()) (sim : Sim.t) =
   let topo = Sim.topology sim in
   let waves = ref [] in
+  let impacts = ref [] in
   let pisa_design = lazy (pisa_target_design update) in
-  let note_wave node window =
+  let note_wave node window ~radius =
     let tel = Sim.telemetry sim in
     Telemetry.Gauge.set (Telemetry.gauge tel "rollout.wave") (List.length !waves);
     Telemetry.Gauge.set
       (Telemetry.gauge ~labels:[ ("node", node) ] tel "rollout.window_ticks")
-      window
+      window;
+    Telemetry.Gauge.set
+      (Telemetry.gauge ~labels:[ ("node", node) ] tel "rollout.blast_radius")
+      radius
   in
   let finish last_end =
     let ws = List.rev !waves in
@@ -177,6 +188,7 @@ let schedule_rollout ?(timing = default_timing) ?(gap = 4) ~at ~update
         r_waves = ws;
         r_start = (match ws with [] -> at | w :: _ -> w.w_start);
         r_end = last_end;
+        r_impacts = List.rev !impacts;
       }
     in
     on_done r
@@ -199,6 +211,13 @@ let schedule_rollout ?(timing = default_timing) ?(gap = 4) ~at ~update
               timing.tm_drain_ticks
               + cdiv (Controller.Session.prepared_bytes prepared) timing.tm_channel_bw
             in
+            (* Blast radius of the prepared patch: the traffic classes the
+               wave may change; the --check gate later asserts everything
+               outside it forwards byte-identically. *)
+            let impact = Controller.Session.prepared_impact prepared in
+            let radius = Analysis.Impact.radius_size impact in
+            let total = impact.Analysis.Impact.i_total in
+            impacts := (node, impact) :: !impacts;
             let device = Controller.Session.device session in
             (match Controller.Session.apply_prepared session prepared with
             | Ok _ -> ()
@@ -209,8 +228,16 @@ let schedule_rollout ?(timing = default_timing) ?(gap = 4) ~at ~update
                pipeline (make-before-break). *)
             Ipsa.Device.begin_update device;
             Sim.set_maintenance sim node ~until:(Sim.now sim + window);
-            note_wave node window;
-            waves := { w_node = node; w_start = Sim.now sim; w_window = window } :: !waves;
+            note_wave node window ~radius;
+            waves :=
+              {
+                w_node = node;
+                w_start = Sim.now sim;
+                w_window = window;
+                w_radius = radius;
+                w_total = total;
+              }
+              :: !waves;
             Sim.schedule_control sim ~at:(Sim.now sim + window) (fun () ->
                 Ipsa.Device.end_update device;
                 Sim.pump_node sim node;
@@ -230,8 +257,18 @@ let schedule_rollout ?(timing = default_timing) ?(gap = 4) ~at ~update
             in
             Pisa.Device.begin_reload device;
             Sim.set_maintenance sim node ~until:(Sim.now sim + window);
-            note_wave node window;
-            waves := { w_node = node; w_start = Sim.now sim; w_window = window } :: !waves;
+            (* A whole-image reload has no incremental diff to bound: the
+               blast radius is total by construction. *)
+            note_wave node window ~radius:0;
+            waves :=
+              {
+                w_node = node;
+                w_start = Sim.now sim;
+                w_window = window;
+                w_radius = 0;
+                w_total = true;
+              }
+              :: !waves;
             Sim.schedule_control sim ~at:(Sim.now sim + window) (fun () ->
                 (match Pisa.Deploy.install device design with
                 | Ok _ -> ()
@@ -341,6 +378,86 @@ let run_scenario ?(timing = default_timing) ~arch sc =
     p_sim = sim;
   }
 
+(* --- out-of-radius byte-identity ------------------------------------- *)
+
+type radius_result = {
+  rr_out_of_radius : int; (* injected packets outside every wave's radius *)
+  rr_divergent : int; (* of those, verdicts differing from the baseline *)
+  rr_total : bool; (* vacuous: some wave's radius was unbounded *)
+}
+
+(* Assert the radius: re-run the same seeded scenario with NO rollout and
+   compare verdicts packet by packet. Every injected packet outside every
+   wave's blast radius must behave byte-identically with and without the
+   rollout — delivered at the same node and port with the same bytes, or
+   dropped at the same place. [rr_total = true] means some wave's radius
+   was unbounded (every PISA wave reloads its whole image; an IPSA wave
+   whose classes the walker could not enumerate), so nothing is provably
+   out of radius and the check is vacuous. *)
+let radius_check ~arch sc (p : report) : radius_result =
+  let total =
+    List.exists (fun w -> w.w_total) p.p_rollout.r_waves
+    || p.p_rollout.r_impacts = []
+  in
+  if total then { rr_out_of_radius = 0; rr_divergent = 0; rr_total = true }
+  else begin
+    let n = p.p_summary.Sim.s_injected in
+    let sim = Sim.create ~seed:sc.sc_seed ~arch sc.sc_topo in
+    let inj_node, inj_port = Profiles.inject_point sc.sc_topo in
+    for i = 0 to n - 1 do
+      Sim.schedule_control sim ~at:(i * sc.sc_interval) (fun () ->
+          ignore
+            (Sim.inject sim ~at:(Sim.now sim) ~node:inj_node ~port:inj_port
+               (Net.Packet.contents (Profiles.packet i))))
+    done;
+    Sim.run sim;
+    let env =
+      match Sim.session sim inj_node with
+      | Some s -> (Controller.Session.design s).Rp4bc.Design.env
+      | None -> fail "radius_check: injection node %s has no session" inj_node
+    in
+    let sig_of = function
+      | Sim.Delivered { d_node; d_port; d_bytes; _ } ->
+        Printf.sprintf "d:%s:%d:%s" d_node d_port d_bytes
+      | Sim.Dropped { x_where; _ } -> Printf.sprintf "x:%s" x_where
+    in
+    let tbl_of vs =
+      let h = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          let id =
+            match v with
+            | Sim.Delivered { d_id; _ } -> d_id
+            | Sim.Dropped { x_id; _ } -> x_id
+          in
+          Hashtbl.replace h id (sig_of v))
+        vs;
+      h
+    in
+    let base = tbl_of (Sim.verdicts sim) in
+    let roll = tbl_of (Sim.verdicts p.p_sim) in
+    let out = ref 0 and div = ref 0 in
+    for i = 0 to n - 1 do
+      let pkt = Profiles.packet i in
+      let covered =
+        List.exists
+          (fun (_, rep) ->
+            Analysis.Impact.covers_packet rep ~env ~in_port:inj_port pkt)
+          p.p_rollout.r_impacts
+      in
+      if not covered then begin
+        incr out;
+        (* Packet ids are assigned in injection order starting at 1, and
+           both runs inject the same sequence. *)
+        let id = i + 1 in
+        match (Hashtbl.find_opt base id, Hashtbl.find_opt roll id) with
+        | Some a, Some b when String.equal a b -> ()
+        | _ -> incr div
+      end
+    done;
+    { rr_out_of_radius = !out; rr_divergent = !div; rr_total = false }
+  end
+
 let report_json (p : report) =
   let module J = Prelude.Json in
   let s = p.p_summary in
@@ -366,6 +483,8 @@ let report_json (p : report) =
                    ("node", J.String w.w_node);
                    ("start", J.Int w.w_start);
                    ("window", J.Int w.w_window);
+                   ("blast_radius", J.Int w.w_radius);
+                   ("radius_total", J.Bool w.w_total);
                  ])
              p.p_rollout.r_waves) );
       ("in_rollout_injected", J.Int p.p_in_rollout);

@@ -66,6 +66,9 @@ type t = {
   mutable flat_ingress : (Tsp.slot * Flat.prog) array;
   mutable flat_egress : (Tsp.slot * Flat.prog) array;
   mutable flat_ok : bool;
+  (* Per-slot reasons the flat compiler fell back to the linked path,
+     (tsp, reason), refreshed by [relink]; empty when [flat_ok]. *)
+  mutable flat_gaps : (int * string) list;
   flat_one : F.t; (* reusable record for the single-packet fast path *)
   ring : F.Ring.t; (* reusable records for [inject_batch] *)
   stats : stats;
@@ -100,6 +103,7 @@ let create ?(ntsps = 8) ?(nports = 16) ?(cycles_cfg = Cycles.default)
     flat_ingress = [||];
     flat_egress = [||];
     flat_ok = false;
+    flat_gaps = [];
     flat_one = F.create ();
     ring = F.Ring.create ();
     stats =
@@ -220,19 +224,26 @@ let relink t =
       layout = t.meta_layout;
     }
   in
+  let gaps = ref [] in
   for i = 0 to Pipeline.ntsps t.pipeline - 1 do
     let slot = Pipeline.slot t.pipeline i in
     (match slot.Tsp.template with
-    | Some tmpl when t.use_linked ->
+    | Some tmpl when t.use_linked -> (
       slot.Tsp.linked <- Some (Linked.link lenv ~tsp:i tmpl);
-      (* [None] = the template uses something outside the flat subset
+      (* A gap = the template uses something outside the flat subset
          (wide arithmetic, >56-bit selectors); the batch path then falls
-         back to contexts for the whole device. *)
-      slot.Tsp.flat <- Flat.link lenv ~tsp:i tmpl
+         back to contexts for the whole device, and the reason is kept
+         for [flat_report]. *)
+      match Flat.link_explained lenv ~tsp:i tmpl with
+      | Ok p -> slot.Tsp.flat <- Some p
+      | Error reason ->
+        slot.Tsp.flat <- None;
+        gaps := (i, reason) :: !gaps)
     | _ ->
       slot.Tsp.linked <- None;
       slot.Tsp.flat <- None)
   done;
+  t.flat_gaps <- List.rev !gaps;
   (* Snapshot the batched plan: the powered slots per role, in pipeline
      order, paired with their flat programs. *)
   let ok = ref t.use_linked in
@@ -342,6 +353,10 @@ let inject_traced t pkt =
 (* ------------------------------------------------------------------ *)
 
 let flat_ready t = t.flat_ok
+
+(* Why slots are off the zero-alloc path: (tsp, reason) per fallback,
+   empty when the whole plan is flat. *)
+let flat_report t = t.flat_gaps
 
 (* Mirror of [Tsp.process] over a flat packet, minus the trace hooks the
    batch path never carries. *)

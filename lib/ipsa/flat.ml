@@ -29,8 +29,13 @@ module F = Net.Flatpkt
 module Bf = Net.Bitfield
 
 (* Raised at compile (link) time only: the template uses a construct the
-   flat subset cannot express; the caller falls back to [Linked]. *)
-exception Unsupported
+   flat subset cannot express; the caller falls back to [Linked]. The
+   payload says which construct, so devices can report *why* a slot is
+   off the fast path ([Device.flat_report]) and the symbolic analyzer's
+   static prediction can be cross-checked against it. *)
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
 (* Values are manipulated as unboxed ints masked to their width. 56 keeps
    every intermediate (including the [Bitfield.get_int] accumulator, which
@@ -91,7 +96,9 @@ let build_fpgraph (r : Net.Hdrdef.registry) =
           (List.map (Net.Hdrdef.field_offset_exn def) def.Net.Hdrdef.sel_fields)
       in
       let selw = Array.fold_left (fun acc (_, w) -> acc + w) 0 sel in
-      if selw > max_int_width then raise Unsupported;
+      if selw > max_int_width then
+        unsupported "header %s: %d-bit selector exceeds the %d-bit flat limit"
+          def.Net.Hdrdef.name selw max_int_width;
       let links = Net.Hdrdef.links_of r def.Net.Hdrdef.name in
       (* [Hdrdef.link] resizes tags to the selector width, so [to_int] is
          exact here (selw <= 56). *)
@@ -176,20 +183,26 @@ let ensure_parsed ?(budget = 32) g fp target =
 (* Expression / condition / statement compilation                       *)
 (* ------------------------------------------------------------------ *)
 
-let want_or_raise w = if w > max_int_width then raise Unsupported else w
+let want_or_raise ~what w =
+  if w > max_int_width then
+    unsupported "%s: %d bits exceeds the %d-bit flat limit" what w max_int_width
+  else w
 
 let rec compile_fexpr env ~params ~want (ex : Rp4.Ast.expr) : fenv -> int =
   match ex with
   | Rp4.Ast.E_const (v, Some w) ->
-    let c = Int64.to_int v land imask (want_or_raise w) in
+    let c = Int64.to_int v land imask (want_or_raise ~what:"constant" w) in
     fun _ -> c
   | Rp4.Ast.E_const (v, None) ->
-    let c = Int64.to_int v land imask (want_or_raise want) in
+    let c = Int64.to_int v land imask (want_or_raise ~what:"constant" want) in
     fun _ -> c
   | Rp4.Ast.E_field (Rp4.Ast.Meta_field f) -> (
     match Net.Meta.Layout.slot env.Linked.layout f with
     | Some s ->
-      ignore (want_or_raise (Net.Meta.Layout.width env.Linked.layout s));
+      ignore
+        (want_or_raise
+           ~what:(Printf.sprintf "read of meta.%s" f)
+           (Net.Meta.Layout.width env.Linked.layout s));
       fun e -> e.ev_fp.F.meta.(s)
     | None ->
       let msg = Printf.sprintf "Meta.get: undeclared field meta.%s" f in
@@ -198,7 +211,7 @@ let rec compile_fexpr env ~params ~want (ex : Rp4.Ast.expr) : fenv -> int =
     let msg = Printf.sprintf "read of invalid header field %s.%s" h f in
     match Linked.resolve_hdr env h f with
     | Some (hid, off, width) ->
-      ignore (want_or_raise width);
+      ignore (want_or_raise ~what:(Printf.sprintf "read of %s.%s" h f) width);
       fun e ->
         let fp = e.ev_fp in
         if F.hdr_is_valid fp hid then
@@ -216,7 +229,7 @@ let rec compile_fexpr env ~params ~want (ex : Rp4.Ast.expr) : fenv -> int =
       let msg = Printf.sprintf "unbound action parameter %s" p in
       fun _ -> raise (Action_eval.Runtime_error msg))
   | Rp4.Ast.E_binop (op, a, b) ->
-    let w = want_or_raise (Linked.expr_width env ~params ~want a) in
+    let w = want_or_raise ~what:"arithmetic operand" (Linked.expr_width env ~params ~want a) in
     let fa = compile_fexpr env ~params ~want a in
     let fb = compile_fexpr env ~params ~want:w b in
     let wb = Linked.expr_width env ~params ~want:w b in
@@ -266,7 +279,7 @@ let rec compile_fcond env ~params (c : Rp4.Ast.cond) : fenv -> bool =
     let fa = compile_fcond env ~params a and fb = compile_fcond env ~params b in
     fun e -> fa e || fb e
   | Rp4.Ast.C_rel (op, a, b) ->
-    let w = want_or_raise (Linked.expr_width env ~params ~want:64 a) in
+    let w = want_or_raise ~what:"comparison operand" (Linked.expr_width env ~params ~want:64 a) in
     let fa = compile_fexpr env ~params ~want:64 a in
     let fb = compile_fexpr env ~params ~want:w b in
     let wb = Linked.expr_width env ~params ~want:w b in
@@ -337,7 +350,11 @@ let compile_fstmt env ~params (s : Rp4.Ast.stmt) : fenv -> unit =
   | Rp4.Ast.S_assign (Rp4.Ast.Meta_field f, ex) -> (
     match Net.Meta.Layout.slot env.Linked.layout f with
     | Some s ->
-      let w = want_or_raise (Net.Meta.Layout.width env.Linked.layout s) in
+      let w =
+        want_or_raise
+          ~what:(Printf.sprintf "write of meta.%s" f)
+          (Net.Meta.Layout.width env.Linked.layout s)
+      in
       let fe = compile_fexpr env ~params ~want:w ex in
       let mw = imask w in
       fun e -> e.ev_fp.F.meta.(s) <- fe e land mw
@@ -378,8 +395,13 @@ let compile_fstmt env ~params (s : Rp4.Ast.stmt) : fenv -> unit =
             let scr = !wide_scratch in
             blit_bits fp.F.buf ~soff:(F.hdr_bit_off fp hid2 + soff_rel) scr ~doff:0 ~w;
             blit_bits scr ~soff:0 fp.F.buf ~doff:(F.hdr_bit_off fp hid + off) ~w
-        | _ -> raise Unsupported)
-      | _ -> raise Unsupported)
+        | _ ->
+          unsupported "wide write to %s.%s: source %s.%s is narrower than %d bits"
+            h f h2 f2 w)
+      | _ ->
+        unsupported
+          "wide write to %s.%s (%d bits): only straight header-to-header copies stay flat"
+          h f w)
     | None ->
       let fe = compile_fexpr env ~params ~want:64 ex in
       fun e ->
@@ -399,7 +421,13 @@ type faction = {
 }
 
 let compile_faction env (a : Rp4.Ast.action_decl) =
-  List.iter (fun (_, w) -> ignore (want_or_raise w)) a.Rp4.Ast.ad_params;
+  List.iter
+    (fun (p, w) ->
+      ignore
+        (want_or_raise
+           ~what:(Printf.sprintf "action %s parameter %s" a.Rp4.Ast.ad_name p)
+           w))
+    a.Rp4.Ast.ad_params;
   let widths = Array.of_list (List.map snd a.Rp4.Ast.ad_params) in
   {
     fa_name = a.Rp4.Ast.ad_name;
@@ -484,8 +512,11 @@ let compile_fkey env (f : Table.Key.field) : fkey =
   if a = "meta" then begin
     match Net.Meta.Layout.slot env.Linked.layout b with
     | Some s ->
-      ignore (want_or_raise kw);
-      ignore (want_or_raise (Net.Meta.Layout.width env.Linked.layout s));
+      ignore (want_or_raise ~what:(Printf.sprintf "key meta.%s" b) kw);
+      ignore
+        (want_or_raise
+           ~what:(Printf.sprintf "key meta.%s" b)
+           (Net.Meta.Layout.width env.Linked.layout s));
       FK_meta { slot = s; kmask = imask kw }
     | None -> FK_raise (Printf.sprintf "Meta.get: undeclared field meta.%s" b)
   end
@@ -496,7 +527,9 @@ let compile_fkey env (f : Table.Key.field) : fkey =
         if kw <= width then FK_hdr { hid; roff = off + width - kw; rw = kw }
         else FK_hdr { hid; roff = off; rw = width } (* zero-extends *)
       else if width >= kw then FK_hdr_wide { hid; woff = off + width - kw }
-      else raise Unsupported
+      else
+        unsupported "key %s.%s: %d-bit key zero-extends a %d-bit wide field" a b kw
+          width
     | None -> FK_miss
   end
 
@@ -967,9 +1000,10 @@ let new_fenv () =
     ll_args = empty_args;
   }
 
-(* Compile a full template; [None] = outside the flat subset, fall back
-   to the linked program. *)
-let link env ~tsp (tmpl : Template.t) : prog option =
+(* Compile a full template; [Error reason] = outside the flat subset
+   (the reason names the offending construct), fall back to the linked
+   program. *)
+let link_explained env ~tsp (tmpl : Template.t) : (prog, string) result =
   match
     let fg = build_fpgraph env.Linked.registry in
     let scr = new_fenv () in
@@ -979,12 +1013,15 @@ let link env ~tsp (tmpl : Template.t) : prog option =
       fp_scr = scr;
     }
   with
-  | p -> Some p
-  | exception Unsupported -> None
+  | p -> Ok p
+  | exception Unsupported reason -> Error reason
+
+let link env ~tsp (tmpl : Template.t) : prog option =
+  match link_explained env ~tsp tmpl with Ok p -> Some p | Error _ -> None
 
 (* Parse graph alone, for the PISA front parser. *)
 let link_parser registry : fpgraph option =
-  match build_fpgraph registry with g -> Some g | exception Unsupported -> None
+  match build_fpgraph registry with g -> Some g | exception Unsupported _ -> None
 
 (* Run the stage programs; the caller owns template-fetch cycles and the
    packet counter, as with [Linked.run_stages]. *)

@@ -49,6 +49,8 @@ type t = {
   mutable parse_ids : int array;
   mutable flat_progs : Ipsa.Flat.prog array;
   mutable flat_ok : bool;
+  (* Per-stage reasons the flat compiler fell back, (stage, reason). *)
+  mutable flat_gaps : (int * string) list;
   ring : Net.Flatpkt.Ring.t;
   mutable next_pkt_id : int; (* per-device packet id sequence *)
   stats : stats;
@@ -86,6 +88,7 @@ let create ?(nstages = 8) ?(nports = 16) ?(cycles_cfg = pisa_cycles)
     parse_ids = [||];
     flat_progs = [||];
     flat_ok = false;
+    flat_gaps = [];
     ring = Net.Flatpkt.Ring.create ();
     next_pkt_id = 0;
     tel;
@@ -184,6 +187,7 @@ let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
        binding each stage's program against its local table memory. *)
     t.pgraph <-
       (if t.use_linked then Some (Ipsa.Linked.build_pgraph t.registry) else None);
+    let gaps = ref [] in
     Array.iter
       (fun stage ->
         match stage.template with
@@ -199,7 +203,11 @@ let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
             }
           in
           stage.linked <- Some (Ipsa.Linked.link lenv ~tsp:stage.id tmpl);
-          stage.flat <- Ipsa.Flat.link lenv ~tsp:stage.id tmpl
+          (match Ipsa.Flat.link_explained lenv ~tsp:stage.id tmpl with
+          | Ok p -> stage.flat <- Some p
+          | Error reason ->
+            stage.flat <- None;
+            gaps := (stage.id, reason) :: !gaps)
         | _ ->
           stage.linked <- None;
           stage.flat <- None)
@@ -221,6 +229,7 @@ let reload t ~(registry_headers : Net.Hdrdef.t list) ~first_header
       t.stages;
     t.flat_progs <- Array.of_list (List.rev !progs);
     t.flat_ok <- !flat_all;
+    t.flat_gaps <- List.rev !gaps;
     Ok
       {
         rr_templates =
@@ -329,6 +338,7 @@ let inject t pkt =
 (* ------------------------------------------------------------------ *)
 
 let flat_ready t = t.flat_ok
+let flat_report t = t.flat_gaps
 
 (* Flat mirror of [front_parse]: request every defined header. *)
 let front_parse_flat t fg fp =

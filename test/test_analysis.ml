@@ -568,6 +568,320 @@ let test_diag_renderers () =
   check Alcotest.bool "catalog knows every emitted code" true
     (Analysis.Diag.describe "RP4E001" <> None && Analysis.Diag.describe "RP4W103" <> None)
 
+(* --- abstract domain ----------------------------------------------------- *)
+
+module D = Analysis.Domain
+
+let iv name expect v =
+  check Alcotest.bool name true (D.interval v = expect)
+
+let test_domain_const_and_join () =
+  iv "const is a singleton" (Some (5L, 5L)) (D.const 8 5L);
+  iv "join spans both" (Some (5L, 7L)) (D.join (D.const 8 5L) (D.const 8 7L));
+  iv "unknown spans the width" (Some (0L, 255L)) (D.unknown 8);
+  check Alcotest.bool "wide values degrade to top" true
+    (D.interval (D.unknown 64) = None)
+
+let test_domain_meet () =
+  check Alcotest.bool "disjoint constants meet to bottom" true
+    (D.meet (D.const 8 5L) (D.const 8 7L) = None);
+  (match D.meet (D.join (D.const 8 5L) (D.const 8 7L)) (D.const 8 7L) with
+  | Some v -> iv "meet refines to the constant" (Some (7L, 7L)) v
+  | None -> Alcotest.fail "meet of overlapping values should not be bottom")
+
+let test_domain_tri_relations () =
+  check Alcotest.bool "eq of equal constants" true
+    (D.eq_tri (D.const 8 5L) (D.const 8 5L) = D.True);
+  check Alcotest.bool "eq of distinct constants" true
+    (D.eq_tri (D.const 8 5L) (D.const 8 7L) = D.False);
+  check Alcotest.bool "eq against an interval is unknown" true
+    (D.eq_tri (D.join (D.const 8 5L) (D.const 8 7L)) (D.const 8 5L) = D.Unknown);
+  check Alcotest.bool "lt of ordered constants" true
+    (D.lt_tri (D.const 8 5L) (D.const 8 7L) = D.True);
+  check Alcotest.bool "rel Neq of distinct constants" true
+    (D.rel Rp4.Ast.Neq (D.const 8 5L) (D.const 8 7L) = D.True)
+
+let test_domain_assume_rel () =
+  (match D.assume_rel Rp4.Ast.Le (D.unknown 8) 10L with
+  | Some v -> iv "Le clamps the upper bound" (Some (0L, 10L)) v
+  | None -> Alcotest.fail "Le 10 over bit<8> is satisfiable");
+  check Alcotest.bool "contradictory Eq is bottom" true
+    (D.assume_rel Rp4.Ast.Eq (D.const 8 5L) 7L = None);
+  check Alcotest.bool "Gt max is bottom" true
+    (D.assume_rel Rp4.Ast.Gt (D.unknown 8) 255L = None)
+
+let test_domain_arith () =
+  iv "constant addition" (Some (12L, 12L)) (D.add (D.const 8 5L) (D.const 8 7L));
+  (* band tracks exact known bits even where its interval stays coarse *)
+  let b = D.band (D.const 8 12L) (D.const 8 10L) in
+  check Alcotest.bool "band knows the result can be 8" true
+    (D.meet b (D.const 8 8L) <> None);
+  check Alcotest.bool "band knows the result cannot be 9" true
+    (D.meet b (D.const 8 9L) = None);
+  iv "resize widens losslessly" (Some (5L, 5L)) (D.resize (D.const 4 5L) 8)
+
+(* --- seeded-defect examples (examples/rp4/bad) --------------------------- *)
+
+(* dune copies the example tree next to the test binary, same convention
+   as test_golden. *)
+let bad_root =
+  Filename.concat ".." (Filename.concat "examples" (Filename.concat "rp4" "bad"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_bad_example name =
+  let src = read_file (Filename.concat bad_root name) in
+  match Analysis.Check.check_program (Rp4.Parser.parse_string src) with
+  | Error errs -> Alcotest.failf "%s failed to compile: %s" name (String.concat "; " errs)
+  | Ok (_, diags) -> diags
+
+let assert_exact_errors name expected diags =
+  let got = List.sort compare (codes (Analysis.Diag.errors diags)) in
+  if got <> List.sort compare expected then
+    Alcotest.failf "%s: expected errors %s, got:\n%s" name
+      (String.concat ", " expected)
+      (Analysis.Diag.render_lines diags)
+
+let test_bad_dead_table () =
+  let diags = check_bad_example "dead_table.rp4" in
+  assert_code "RP4E030" diags;
+  assert_exact_errors "dead_table" [ "RP4E030" ] diags
+
+let test_bad_width_overflow () =
+  let diags = check_bad_example "width_overflow.rp4" in
+  assert_code "RP4E031" diags;
+  assert_exact_errors "width_overflow" [ "RP4E031" ] diags
+
+let test_bad_invalid_header_read () =
+  let diags = check_bad_example "invalid_header_read.rp4" in
+  assert_code "RP4E033" diags;
+  assert_exact_errors "invalid_header_read" [ "RP4E033" ] diags
+
+let test_bad_conflicting_merge () =
+  let diags = check_bad_example "conflicting_merge.rp4" in
+  assert_code "RP4E011" diags;
+  assert_code "RP4E032" diags;
+  assert_exact_errors "conflicting_merge" [ "RP4E011"; "RP4E032" ] diags
+
+(* --- blast radius --------------------------------------------------------- *)
+
+let pfx s =
+  match Analysis.Impact.prefix_of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad prefix %s: %s" s e
+
+let test_impact_prefix_parsing () =
+  let p = pfx "10.1.0.0/16" in
+  check Alcotest.string "bare v4 defaults to ipv4.dst_addr" "ipv4.dst_addr"
+    p.Analysis.Impact.pf_field;
+  check Alcotest.int "v4 prefix length" 16 p.Analysis.Impact.pf_plen;
+  let p6 = pfx "2001:db8::/32" in
+  check Alcotest.string "bare v6 defaults to ipv6.dst_addr" "ipv6.dst_addr"
+    p6.Analysis.Impact.pf_field;
+  let ps = pfx "ipv4.src_addr=192.0.2.0/24" in
+  check Alcotest.string "explicit field wins" "ipv4.src_addr"
+    ps.Analysis.Impact.pf_field;
+  (match Analysis.Impact.prefix_of_string "not-a-prefix" with
+  | Ok _ -> Alcotest.fail "junk prefix should not parse"
+  | Error _ -> ())
+
+let empty_report =
+  {
+    Analysis.Impact.i_added = [];
+    i_removed = [];
+    i_edited = [];
+    i_tables_added = [];
+    i_tables_removed = [];
+    i_classes = [];
+    i_total = false;
+    i_paths = 0;
+  }
+
+let test_impact_intersects () =
+  check Alcotest.bool "empty radius intersects nothing" false
+    (Analysis.Impact.intersects empty_report (pfx "0.0.0.0/0"));
+  check Alcotest.bool "total radius intersects everything" true
+    (Analysis.Impact.intersects { empty_report with i_total = true }
+       (pfx "203.0.113.0/24"));
+  let cls atoms =
+    { Analysis.Impact.tc_stage = "s"; tc_design = "new"; tc_atoms = atoms }
+  in
+  let eq_report =
+    { empty_report with
+      i_classes = [ cls [ Analysis.Symexec.A_eq ("ipv4.dst_addr", 0x0A010203L) ] ] }
+  in
+  check Alcotest.bool "constant inside the prefix intersects" true
+    (Analysis.Impact.intersects eq_report (pfx "10.1.0.0/16"));
+  check Alcotest.bool "constant outside the prefix does not" false
+    (Analysis.Impact.intersects eq_report (pfx "10.2.0.0/16"));
+  let no_v4 =
+    { empty_report with
+      i_classes = [ cls [ Analysis.Symexec.A_valid ("ipv4", false) ] ] }
+  in
+  check Alcotest.bool "class without the header cannot intersect" false
+    (Analysis.Impact.intersects no_v4 (pfx "10.0.0.0/8"));
+  let unconstrained = { empty_report with i_classes = [ cls [] ] } in
+  check Alcotest.bool "unconstrained class intersects conservatively" true
+    (Analysis.Impact.intersects unconstrained (pfx "10.0.0.0/8"))
+
+let test_impact_ecmp_bounded () =
+  let base = base_design () in
+  match
+    Analysis.Check.check_update base
+      ~snippet:(Rp4.Parser.parse_string Usecases.Ecmp.source) ~func_name:"ecmp"
+      ~cmds:(update_cmds Usecases.Ecmp.script) ()
+  with
+  | Error errs -> Alcotest.failf "ecmp update failed: %s" (String.concat "; " errs)
+  | Ok (r, _) ->
+    let rep =
+      Analysis.Check.impact ~old_design:base ~design:r.Rp4bc.Compile.design ()
+    in
+    check Alcotest.bool "ecmp stage is in the diff" true
+      (List.mem "ecmp" rep.Analysis.Impact.i_added);
+    check Alcotest.bool "radius is not total" false rep.Analysis.Impact.i_total;
+    check Alcotest.bool "radius has concrete classes" true
+      (Analysis.Impact.radius_size rep > 0);
+    check Alcotest.bool "routed v4 traffic is inside the radius" true
+      (Analysis.Impact.intersects rep (pfx "10.0.0.0/8"));
+    check Alcotest.bool "summary mentions the class count" true
+      (contains_sub (Analysis.Impact.summary rep)
+         (string_of_int (Analysis.Impact.radius_size rep)))
+
+(* --- session gating: protected prefixes refuse in-radius patches --------- *)
+
+let resolve_file name =
+  match name with
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | "srv6.rp4" -> Usecases.Srv6.source
+  | "probe.rp4" -> Usecases.Flowprobe.source
+  | other -> invalid_arg ("no such file " ^ other)
+
+let test_session_protect_gate () =
+  let device = Ipsa.Device.create ~ntsps:8 () in
+  match Controller.Session.boot ~resolve_file ~source:Usecases.Base_l23.source device with
+  | Error errs -> Alcotest.failf "boot failed: %s" (String.concat "; " errs)
+  | Ok session ->
+    (match Controller.Session.run_script session Usecases.Base_l23.population with
+    | Error e -> Alcotest.failf "population failed: %s" e
+    | Ok _ -> ());
+    (match Controller.Session.protect session "10.0.0.0/8" with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "protect failed: %s" e);
+    (match Controller.Session.run_script session Usecases.Ecmp.script with
+    | Ok _ -> Alcotest.fail "commit inside a protected prefix must be refused"
+    | Error e ->
+      check Alcotest.bool "refusal names the blast radius" true
+        (contains_sub e "blast radius"));
+    (match Controller.Session.last_impact session with
+    | None -> Alcotest.fail "refused commit should still record its impact"
+    | Some rep ->
+      check Alcotest.bool "recorded radius is non-empty" true
+        (Analysis.Impact.radius_size rep > 0));
+    (* the transaction stays pending: lifting the protection lets the
+       very same commit through *)
+    Controller.Session.unprotect_all session;
+    (match Controller.Session.commit session with
+    | Ok _ -> ()
+    | Error errs ->
+      Alcotest.failf "commit after unprotect failed: %s" (String.concat "; " errs))
+
+(* --- flat-path prediction vs. the device's linker ------------------------ *)
+
+(* bit<64> arithmetic is outside the flat subset: the analyzer must
+   predict the gap that Device.relink later reports for the same TSP. *)
+let wide_arith_src =
+  {src|
+headers {
+  header ethernet {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ethertype;
+    implicit parser (ethertype) { }
+  }
+}
+
+structs {
+  struct metadata_t {
+    bit<64> acc;
+  } meta;
+}
+
+action bump() { meta.acc = meta.acc + 1; }
+action set_out(bit<16> port) { meta.out_port = port; }
+
+table wide_map {
+  key = { ethernet.dst_addr : exact; }
+  size = 16;
+}
+table out_map {
+  key = { meta.out_port : exact; }
+  size = 16;
+}
+
+control rP4_Ingress {
+  stage wide {
+    parser { ethernet };
+    matcher { wide_map.apply(); };
+    executor {
+      1 : set_out;
+      default : bump;
+    }
+  }
+}
+
+control rP4_Egress {
+  stage out_st {
+    parser { };
+    matcher { out_map.apply(); };
+    executor {
+      1 : set_out;
+      default : NoAction;
+    }
+  }
+}
+
+user_funcs {
+  func wide_fn { wide out_st }
+  ingress_entry : wide;
+  egress_entry : out_st;
+}
+|src}
+
+let test_flat_prediction_matches_device () =
+  let prog = Rp4.Parser.parse_string wide_arith_src in
+  let pool = Ipsa.Device.default_pool () in
+  match Rp4bc.Compile.compile_full ~pool prog with
+  | Error errs -> Alcotest.failf "wide compile failed: %s" (String.concat "; " errs)
+  | Ok c ->
+    let design = c.Rp4bc.Compile.design in
+    let r = Analysis.Symexec.run design in
+    check Alcotest.bool "analyzer predicts a flat gap on [wide]" true
+      (List.mem_assoc "wide" r.Analysis.Symexec.r_flat_gaps);
+    let device = Ipsa.Device.create ~ntsps:8 () in
+    (match Ipsa.Device.apply_patch device c.Rp4bc.Compile.patch with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "boot failed: %s" e);
+    check Alcotest.bool "device is off the flat path" false
+      (Ipsa.Device.flat_ready device);
+    let report = Ipsa.Device.flat_report device in
+    check Alcotest.bool "device reports per-slot reasons" true (report <> []);
+    let wide_tsps =
+      List.filter_map
+        (fun (i, stages, _) -> if List.mem "wide" stages then Some i else None)
+        (Rp4bc.Design.mapping design)
+    in
+    check Alcotest.bool "the gapped slot hosts the predicted stage" true
+      (List.exists (fun (i, _) -> List.mem i wide_tsps) report);
+    (* and on the clean base design both sides agree there is no gap *)
+    let base = base_design () in
+    let rb = Analysis.Symexec.run base in
+    check Alcotest.bool "base design predicts no flat gaps" true
+      (rb.Analysis.Symexec.r_flat_gaps = [])
+
 let () =
   Alcotest.run "analysis"
     [
@@ -628,5 +942,35 @@ let () =
             test_session_boot_clean;
           Alcotest.test_case "compile_full verify hook" `Quick test_verify_hook_direct;
           Alcotest.test_case "diag renderers" `Quick test_diag_renderers;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "const and join" `Quick test_domain_const_and_join;
+          Alcotest.test_case "meet" `Quick test_domain_meet;
+          Alcotest.test_case "tri-valued relations" `Quick test_domain_tri_relations;
+          Alcotest.test_case "assume_rel refinement" `Quick test_domain_assume_rel;
+          Alcotest.test_case "arithmetic transfer" `Quick test_domain_arith;
+        ] );
+      ( "seeded-defects",
+        [
+          Alcotest.test_case "dead table (E030)" `Quick test_bad_dead_table;
+          Alcotest.test_case "width overflow (E031)" `Quick test_bad_width_overflow;
+          Alcotest.test_case "invalid header read (E033)" `Quick
+            test_bad_invalid_header_read;
+          Alcotest.test_case "conflicting merge (E011+E032)" `Quick
+            test_bad_conflicting_merge;
+        ] );
+      ( "blast-radius",
+        [
+          Alcotest.test_case "prefix parsing" `Quick test_impact_prefix_parsing;
+          Alcotest.test_case "intersection logic" `Quick test_impact_intersects;
+          Alcotest.test_case "ecmp radius is bounded" `Quick test_impact_ecmp_bounded;
+          Alcotest.test_case "protected prefix refuses the patch" `Quick
+            test_session_protect_gate;
+        ] );
+      ( "flat-prediction",
+        [
+          Alcotest.test_case "analyzer matches the device linker" `Quick
+            test_flat_prediction_matches_device;
         ] );
     ]
