@@ -134,11 +134,29 @@ let bench_packet_path_flat =
          ignore
            (Ipsa.Device.inject_flat device ~in_port:0 (Lazy.force routed_v4_bytes))))
 
+(* packet-forward-fdd: the same wire bytes through the whole-pipeline
+   decision diagram — every stage boundary, guard and table program
+   pre-resolved into one pointer-chased graph. *)
+let fdd_device =
+  lazy
+    (let _, device = Harness.Cases.boot_base () in
+     if not (Ipsa.Device.fdd_ready device) then
+       failwith "bench: base design did not compile into a complete fdd";
+     device)
+
+let bench_packet_path_fdd =
+  Test.make ~name:"ipbm/packet-forward-fdd"
+    (Staged.stage (fun () ->
+         let device = Lazy.force fdd_device in
+         ignore
+           (Ipsa.Device.inject_fdd device ~in_port:0 (Lazy.force routed_v4_bytes))))
+
 let packet_path_tests =
   [
     bench_packet_path;
     bench_packet_path_linked;
     bench_packet_path_flat;
+    bench_packet_path_fdd;
     bench_packet_path_telemetry;
   ]
 
@@ -216,6 +234,10 @@ let measure_allocs ?(warmup = 512) ?(runs = 4096) f =
   for _ = 1 to warmup do
     f ()
   done;
+  (* Flush pending young-heap garbage: the counter only advances at minor
+     collections, so boot/warmup allocations would otherwise be charged
+     to whichever window the next collection happens to land in. *)
+  Gc.full_major ();
   let before = Gc.allocated_bytes () in
   for _ = 1 to runs do
     f ()
@@ -227,6 +249,7 @@ let alloc_profiles () =
   let _, dev_i = Harness.Cases.boot_base ~linked:false () in
   let _, dev_l = Harness.Cases.boot_base () in
   let dev_f = Lazy.force flat_device in
+  let dev_d = Lazy.force fdd_device in
   [
     ( "interp",
       measure_allocs (fun () ->
@@ -236,6 +259,9 @@ let alloc_profiles () =
           ignore (Ipsa.Device.inject dev_l (Net.Packet.create ~in_port:0 bytes))) );
     ( "flat",
       measure_allocs (fun () -> ignore (Ipsa.Device.inject_flat dev_f ~in_port:0 bytes))
+    );
+    ( "fdd",
+      measure_allocs (fun () -> ignore (Ipsa.Device.inject_fdd dev_d ~in_port:0 bytes))
     );
   ]
 
@@ -248,9 +274,11 @@ let write_bench_link results =
   match
     ( find "ipbm/packet-forward",
       find "ipbm/packet-forward-linked",
-      find "ipbm/packet-forward-flat" )
+      find "ipbm/packet-forward-flat",
+      find "ipbm/packet-forward-fdd" )
   with
-  | Some interp, Some linked, Some flat when linked > 0.0 && flat > 0.0 ->
+  | Some interp, Some linked, Some flat, Some fdd
+    when linked > 0.0 && flat > 0.0 && fdd > 0.0 ->
     let allocs = alloc_profiles () in
     let path_obj name ns =
       ( name,
@@ -270,9 +298,16 @@ let write_bench_link results =
           ("speedup", J.Float (interp /. linked));
           ("flat_ns_per_packet", J.Float flat);
           ("flat_speedup_vs_linked", J.Float (linked /. flat));
+          ("fdd_ns_per_packet", J.Float fdd);
+          ("fdd_speedup_vs_linked", J.Float (linked /. fdd));
           ( "paths",
-            J.Obj [ path_obj "interp" interp; path_obj "linked" linked; path_obj "flat" flat ]
-          );
+            J.Obj
+              [
+                path_obj "interp" interp;
+                path_obj "linked" linked;
+                path_obj "flat" flat;
+                path_obj "fdd" fdd;
+              ] );
         ]
     in
     let oc = open_out "BENCH_link.json" in
@@ -284,12 +319,16 @@ let write_bench_link results =
     Printf.printf
       "BENCH_link.json: flat %.2fx vs linked (%.0f -> %.0f ns, %.2f Mpkt/s, %.3f B alloc/pkt)\n"
       (linked /. flat) linked flat (1e3 /. flat)
-      (try List.assoc "flat" allocs with Not_found -> nan)
+      (try List.assoc "flat" allocs with Not_found -> nan);
+    Printf.printf
+      "BENCH_link.json: fdd %.2fx vs linked (%.0f -> %.0f ns, %.2f Mpkt/s, %.3f B alloc/pkt)\n"
+      (linked /. fdd) linked fdd (1e3 /. fdd)
+      (try List.assoc "fdd" allocs with Not_found -> nan)
   | _ -> prerr_endline "BENCH_link.json not written: missing estimates"
 
-(* CI perf gate over a freshly generated BENCH_link.json: the flat path
-   must stay allocation-free (tiny tolerance for GC-counter noise) and
-   strictly faster than the linked path. *)
+(* CI perf gate over a freshly generated BENCH_link.json: the flat and
+   fdd paths must stay allocation-free (tiny tolerance for GC-counter
+   noise) and strictly faster than the linked path. *)
 let perf_gate () =
   let module J = Prelude.Json in
   let read_file path =
@@ -305,9 +344,14 @@ let perf_gate () =
   let flat_ns = field "flat" "ns_per_packet" in
   let linked_ns = field "linked" "ns_per_packet" in
   let flat_allocs = field "flat" "allocs_per_packet" in
+  let fdd_ns = field "fdd" "ns_per_packet" in
+  let fdd_allocs = field "fdd" "allocs_per_packet" in
   Printf.printf
     "perf gate: flat %.0f ns/pkt (%.2fx vs linked %.0f ns), %.3f bytes alloc/pkt, %.2f Mpkt/s\n"
     flat_ns (linked_ns /. flat_ns) linked_ns flat_allocs (1e3 /. flat_ns);
+  Printf.printf
+    "perf gate: fdd %.0f ns/pkt (%.2fx vs linked), %.3f bytes alloc/pkt, %.2f Mpkt/s\n"
+    fdd_ns (linked_ns /. fdd_ns) fdd_allocs (1e3 /. fdd_ns);
   let failed = ref false in
   if not (flat_allocs <= 2.0) then begin
     Printf.eprintf "perf gate FAIL: flat path allocates %.3f bytes/packet (limit 2.0)\n"
@@ -317,6 +361,16 @@ let perf_gate () =
   if not (flat_ns < linked_ns) then begin
     Printf.eprintf "perf gate FAIL: flat path (%.0f ns) not faster than linked (%.0f ns)\n"
       flat_ns linked_ns;
+    failed := true
+  end;
+  if not (fdd_allocs <= 2.0) then begin
+    Printf.eprintf "perf gate FAIL: fdd path allocates %.3f bytes/packet (limit 2.0)\n"
+      fdd_allocs;
+    failed := true
+  end;
+  if not (fdd_ns < linked_ns) then begin
+    Printf.eprintf "perf gate FAIL: fdd path (%.0f ns) not faster than linked (%.0f ns)\n"
+      fdd_ns linked_ns;
     failed := true
   end;
   if !failed then exit 1;

@@ -219,7 +219,11 @@ let apply_prepared t (p : prepared) : (timing, string list) result =
     | Error errs -> Error errs
     | Ok () ->
     let load_start = now_ns () in
-    match Ipsa.Device.apply_patch t.device p.pre_result.Rp4bc.Compile.patch with
+    match
+      Ipsa.Device.apply_patch
+        ~dirty_stages:(Analysis.Impact.changed_stages p.pre_impact)
+        t.device p.pre_result.Rp4bc.Compile.patch
+    with
     | Error e -> Error [ e ]
     | Ok report ->
       note_patch t.instr p.pre_result.Rp4bc.Compile.patch;
@@ -253,7 +257,11 @@ let commit t : (timing, string list) result =
     | Error errs -> Error errs
     | Ok () ->
     let load_start = now_ns () in
-    match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
+    match
+      Ipsa.Device.apply_patch
+        ~dirty_stages:(Analysis.Impact.changed_stages impact)
+        t.device result.Rp4bc.Compile.patch
+    with
     | Error e -> Error [ e ]
     | Ok report ->
       note_patch t.instr result.Rp4bc.Compile.patch;
@@ -289,7 +297,11 @@ let unload t ~func_name : (timing, string list) result =
     | Error errs -> Error errs
     | Ok () ->
     let load_start = now_ns () in
-    match Ipsa.Device.apply_patch t.device result.Rp4bc.Compile.patch with
+    match
+      Ipsa.Device.apply_patch
+        ~dirty_stages:(Analysis.Impact.changed_stages impact)
+        t.device result.Rp4bc.Compile.patch
+    with
     | Error e -> Error [ e ]
     | Ok report ->
       note_patch t.instr result.Rp4bc.Compile.patch;

@@ -334,13 +334,14 @@ let node_receive t node ~port ~bytes meta =
     record_drop t meta ~reason:Hop_limit ~where:node.n_name
   else
     let pkt = Net.Packet.create ~in_port:port bytes in
-    (* Per-hop processing rides the devices' batched fast path: a
-       single-packet batch runs through the zero-alloc flat engine when
-       the node's design compiled into the flat subset, and falls back to
-       the context interpreter otherwise — same observable outcome. *)
+    (* Per-hop processing prefers the devices' whole-pipeline decision
+       diagram: a single-packet batch is one O(depth) diagram walk over
+       ring-recycled flat records; the call degrades to the flat engine
+       and then the context interpreter when the diagram (or the flat
+       subset) does not cover the design — same observable outcome. *)
     match node.n_impl with
     | Pisa_node p -> (
-      match Pisa.Device.inject_batch p.device [| pkt |] with
+      match Pisa.Device.inject_batch_fdd p.device [| pkt |] with
       | [| Some r |] ->
         let out_port = r.Ipsa.Device.br_port in
         ignore (Pisa.Device.collect p.device out_port);
@@ -353,7 +354,7 @@ let node_receive t node ~port ~bytes meta =
         else record_drop t meta ~reason:Node_drop ~where:node.n_name)
     | Ipsa_node session -> (
       let device = Controller.Session.device session in
-      match Ipsa.Device.inject_batch device [| pkt |] with
+      match Ipsa.Device.inject_batch_fdd device [| pkt |] with
       | [| Some r |] ->
         let out_port = r.Ipsa.Device.br_port in
         ignore (Ipsa.Device.collect device out_port);

@@ -1,0 +1,172 @@
+(* Shared differential-testing kit.
+
+   The linked, flat, fdd and symdiff suites all prove the same shape of
+   theorem — "two executions of the same pipeline agree on everything a
+   packet traversal can observably produce" — and they used to each carry
+   a private copy of the traffic generators and the device-twin plumbing.
+   This module is the single home for:
+
+   - the random packet builders ([build_packet] for the use-case spread,
+     [mixed_packet] for the deterministic radius stream);
+   - device-twin boot helpers ([boot_pair] / [boot_triple] / [boot_quad]);
+   - one observation type covering egress port, metadata bindings, wire
+     bytes and cycle/lookup/parse accounting, with [observe] (context
+     path), [observe_flat] (batched flat path) and [observe_fdd]
+     (decision-diagram path) producing it;
+   - [assert_same_forwarding], the field-by-field comparison used by
+     unit tests (QCheck properties compare observations structurally);
+   - [to_alcotest], which threads a deterministic QCheck seed: runs are
+     reproducible by default, and CI soak jobs override it with the
+     QCHECK_SEED environment variable. *)
+
+(* --- seeded QCheck runs ------------------------------------------------- *)
+
+(* Fixed unless QCHECK_SEED is set: local `dune runtest` is reproducible,
+   while CI can sweep seeds without any code change. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> invalid_arg ("QCHECK_SEED is not an integer: " ^ s))
+  | None -> 0x1057
+
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) test
+
+(* --- traffic ------------------------------------------------------------ *)
+
+(* The QCheck spec space every equivalence property draws from:
+   (packet kind, flow index, ingress port). *)
+let packet_spec = QCheck.(triple (int_range 0 4) (int_range 0 63) (int_range 0 7))
+let equivalence_count = 120
+
+let build_packet (kind, idx, in_port) =
+  let flow = Net.Flowgen.flow_of_index idx in
+  match kind with
+  | 0 -> Net.Flowgen.l2 ~in_port flow
+  | 1 -> Net.Flowgen.ipv4_udp ~in_port flow
+  | 2 -> Net.Flowgen.ipv4_tcp ~in_port flow
+  | 3 -> Net.Flowgen.ipv6_udp ~in_port flow
+  | _ ->
+    Net.Flowgen.srv6_ipv4 ~in_port ~segments:Usecases.Srv6.segments
+      ~segments_left:(idx mod 2) flow
+
+(* A deterministic mixed stream: routed v4 with spread addresses, routed
+   v6, and bridged L2 frames — the shape the blast-radius differential
+   needs (regenerate the same packet twice; injection rewrites buffers). *)
+let mixed_packet seed i =
+  let v = ((seed * 7919) + (i * 104729)) land 0xFFFFFF in
+  match i mod 6 with
+  | 0 -> Net.Flowgen.l2 ~in_port:(i mod 8) (Net.Flowgen.make_flow ())
+  | 1 -> Net.Flowgen.ipv6_udp ~in_port:(i mod 8) Usecases.Base_l23.routed_v6_flow
+  | _ ->
+    Net.Flowgen.ipv4_udp ~in_port:(i mod 8)
+      (Net.Flowgen.make_flow
+         ~dst_mac:(Net.Addr.Mac.of_string_exn Usecases.Base_l23.router_mac)
+         ~src_ip4:(Net.Addr.Ipv4.of_int (0x0A000000 lor (v land 0xFF)))
+         ~dst_ip4:(Net.Addr.Ipv4.of_int (0x0A010000 lor ((v * 13) land 0xFFFF)))
+         ~sport:(1024 + (v mod 1000))
+         ())
+
+(* --- device twins ------------------------------------------------------- *)
+
+(* Every bundled use case the equivalence properties run over. *)
+let cases =
+  [
+    ("base_l23", None);
+    ("c1_ecmp", Some Harness.Paper.C1);
+    ("c2_srv6", Some Harness.Paper.C2);
+    ("c3_flow_probe", Some Harness.Paper.C3);
+  ]
+
+let boot ?linked case =
+  let session, device = Harness.Cases.boot_base ?linked () in
+  (match case with
+  | None -> ()
+  | Some c -> ignore (Harness.Cases.apply_case session c));
+  (session, device)
+
+(* One fast-path device plus one reference interpreter. *)
+let boot_pair case =
+  let _, dev_l = boot case in
+  let _, dev_i = boot ~linked:false case in
+  (dev_l, dev_i)
+
+(* flat / linked / interpreter triple: the stateful hit counters of each
+   twin advance in lockstep when driven with the same packet sequence. *)
+let boot_triple case =
+  let _, dev_f = boot case in
+  let _, dev_l = boot case in
+  let _, dev_i = boot ~linked:false case in
+  (dev_f, dev_l, dev_i)
+
+(* fdd / flat / linked / interpreter quad for the four-way property. *)
+let boot_quad case =
+  let _, dev_d = boot case in
+  let dev_f, dev_l, dev_i = boot_triple case in
+  (dev_d, dev_f, dev_l, dev_i)
+
+(* --- observations ------------------------------------------------------- *)
+
+(* Everything a packet's traversal can observably produce. *)
+type observation =
+  int option
+  * (string * Net.Bits.t) list
+  * string
+  * (int * int * int) (* cycles, lookups, parse attempts *)
+
+(* Context path ([inject]): interpreter, or linked when programs exist. *)
+let observe device bytes ~in_port : observation =
+  let pkt = Net.Packet.create ~in_port bytes in
+  match Ipsa.Device.inject device pkt with
+  | Some (port, ctx) ->
+    ( Some port,
+      Net.Meta.bindings ctx.Ipsa.Context.meta,
+      Net.Packet.contents ctx.Ipsa.Context.pkt,
+      ( ctx.Ipsa.Context.cycles,
+        ctx.Ipsa.Context.lookups,
+        ctx.Ipsa.Context.parse_attempts ) )
+  | None -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
+
+(* Same observable, via the batched flat path. *)
+let observe_flat device bytes ~in_port : observation =
+  let pkt = Net.Packet.create ~in_port bytes in
+  match Ipsa.Device.inject_batch device [| pkt |] with
+  | [| Some r |] ->
+    ( Some r.Ipsa.Device.br_port,
+      r.Ipsa.Device.br_meta,
+      Net.Packet.contents pkt,
+      ( r.Ipsa.Device.br_cycles,
+        r.Ipsa.Device.br_lookups,
+        r.Ipsa.Device.br_parse_attempts ) )
+  | _ -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
+
+(* Same observable, via the compiled decision diagram. *)
+let observe_fdd device bytes ~in_port : observation =
+  let pkt = Net.Packet.create ~in_port bytes in
+  match Ipsa.Device.inject_batch_fdd device [| pkt |] with
+  | [| Some r |] ->
+    ( Some r.Ipsa.Device.br_port,
+      r.Ipsa.Device.br_meta,
+      Net.Packet.contents pkt,
+      ( r.Ipsa.Device.br_cycles,
+        r.Ipsa.Device.br_lookups,
+        r.Ipsa.Device.br_parse_attempts ) )
+  | _ -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
+
+(* --- comparison --------------------------------------------------------- *)
+
+(* Field-by-field check so a failure names the diverging facet instead of
+   dumping two opaque tuples. *)
+let assert_same_forwarding ~what (a : observation) (b : observation) =
+  let pa, ma, ba, (ca, la, ra) = a and pb, mb, bb, (cb, lb, rb) = b in
+  let port = function Some p -> string_of_int p | None -> "drop" in
+  if pa <> pb then
+    Alcotest.failf "%s: egress ports differ (%s vs %s)" what (port pa) (port pb);
+  if ma <> mb then Alcotest.failf "%s: metadata bindings differ" what;
+  if ba <> bb then Alcotest.failf "%s: wire bytes differ" what;
+  if ca <> cb then Alcotest.failf "%s: cycle counts differ (%d vs %d)" what ca cb;
+  if la <> lb then Alcotest.failf "%s: lookup counts differ (%d vs %d)" what la lb;
+  if ra <> rb then
+    Alcotest.failf "%s: parse attempts differ (%d vs %d)" what ra rb

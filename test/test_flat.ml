@@ -52,54 +52,10 @@ let test_tm_pass () =
 
 (* --- flat batch = linked = reference interpreter ------------------------ *)
 
-let boot_triple case =
-  let session_f, dev_f = Harness.Cases.boot_base () in
-  let session_l, dev_l = Harness.Cases.boot_base () in
-  let session_i, dev_i = Harness.Cases.boot_base ~linked:false () in
-  (match case with
-  | None -> ()
-  | Some c ->
-    ignore (Harness.Cases.apply_case session_f c);
-    ignore (Harness.Cases.apply_case session_l c);
-    ignore (Harness.Cases.apply_case session_i c));
-  (dev_f, dev_l, dev_i)
-
-(* Observable outcome via the context path ([inject]). *)
-let observe_ctx device bytes ~in_port =
-  let pkt = Net.Packet.create ~in_port bytes in
-  match Ipsa.Device.inject device pkt with
-  | Some (port, ctx) ->
-    ( Some port,
-      Net.Meta.bindings ctx.Ipsa.Context.meta,
-      Net.Packet.contents ctx.Ipsa.Context.pkt,
-      ( ctx.Ipsa.Context.cycles,
-        ctx.Ipsa.Context.lookups,
-        ctx.Ipsa.Context.parse_attempts ) )
-  | None -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
-
-(* Same observable, via the batched flat path. *)
-let observe_flat device bytes ~in_port =
-  let pkt = Net.Packet.create ~in_port bytes in
-  match Ipsa.Device.inject_batch device [| pkt |] with
-  | [| Some r |] ->
-    ( Some r.Ipsa.Device.br_port,
-      r.Ipsa.Device.br_meta,
-      Net.Packet.contents pkt,
-      ( r.Ipsa.Device.br_cycles,
-        r.Ipsa.Device.br_lookups,
-        r.Ipsa.Device.br_parse_attempts ) )
-  | _ -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
-
-let build_packet (kind, idx, in_port) =
-  let flow = Net.Flowgen.flow_of_index idx in
-  match kind with
-  | 0 -> Net.Flowgen.l2 ~in_port flow
-  | 1 -> Net.Flowgen.ipv4_udp ~in_port flow
-  | 2 -> Net.Flowgen.ipv4_tcp ~in_port flow
-  | 3 -> Net.Flowgen.ipv6_udp ~in_port flow
-  | _ ->
-    Net.Flowgen.srv6_ipv4 ~in_port ~segments:Usecases.Srv6.segments
-      ~segments_left:(idx mod 2) flow
+(* Twin boot, traffic generators and observation come from [Diffkit]. *)
+let observe_ctx = Diffkit.observe
+let observe_flat = Diffkit.observe_flat
+let build_packet = Diffkit.build_packet
 
 let equivalence_prop name case =
   (* One device triple per property: QCheck drives the same packet
@@ -108,13 +64,14 @@ let equivalence_prop name case =
      into the flat subset, or the test degenerates into linked=linked. *)
   let devices =
     lazy
-      (let (dev_f, _, _) as t = boot_triple case in
+      (let (dev_f, _, _) as t = Diffkit.boot_triple case in
        if not (Ipsa.Device.flat_ready dev_f) then
          Alcotest.failf "%s: flat plan does not cover the pipeline" name;
        t)
   in
-  QCheck.Test.make ~count:120 ~name:(name ^ ": flat batch = linked = interpreter")
-    QCheck.(triple (int_range 0 4) (int_range 0 63) (int_range 0 7))
+  QCheck.Test.make ~count:Diffkit.equivalence_count
+    ~name:(name ^ ": flat batch = linked = interpreter")
+    Diffkit.packet_spec
     (fun ((_, _, in_port) as spec) ->
       let dev_f, dev_l, dev_i = Lazy.force devices in
       let bytes = Net.Packet.contents (build_packet spec) in
@@ -125,18 +82,13 @@ let equivalence_prop name case =
 
 let equivalence_tests =
   List.map
-    (fun (name, case) -> QCheck_alcotest.to_alcotest (equivalence_prop name case))
-    [
-      ("base_l23", None);
-      ("c1_ecmp", Some Harness.Paper.C1);
-      ("c2_srv6", Some Harness.Paper.C2);
-      ("c3_flow_probe", Some Harness.Paper.C3);
-    ]
+    (fun (name, case) -> Diffkit.to_alcotest (equivalence_prop name case))
+    Diffkit.cases
 
 (* A many-packet batch through one device matches packet-at-a-time
    injection into an identically-configured twin. *)
 let test_batch_many () =
-  let dev_f, dev_l, _ = boot_triple (Some Harness.Paper.C1) in
+  let dev_f, dev_l, _ = Diffkit.boot_triple (Some Harness.Paper.C1) in
   check bool "flat ready" true (Ipsa.Device.flat_ready dev_f);
   let specs = List.init 64 (fun i -> (i mod 5, i, i mod 8)) in
   let mk (_, _, in_port) bytes = Net.Packet.create ~in_port bytes in
@@ -226,8 +178,8 @@ let () =
     [
       ( "primitives",
         [
-          QCheck_alcotest.to_alcotest bitfield_prop;
-          QCheck_alcotest.to_alcotest crc_stream_prop;
+          Diffkit.to_alcotest bitfield_prop;
+          Diffkit.to_alcotest crc_stream_prop;
           Alcotest.test_case "tm pass" `Quick test_tm_pass;
         ] );
       ("equivalence", equivalence_tests);

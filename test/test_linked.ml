@@ -130,60 +130,26 @@ let test_packet_ids () =
 
 (* --- linked/interpreted equivalence ------------------------------------ *)
 
-let boot_pair case =
-  let session_l, dev_l = Harness.Cases.boot_base () in
-  let session_i, dev_i = Harness.Cases.boot_base ~linked:false () in
-  (match case with
-  | None -> ()
-  | Some c ->
-    ignore (Harness.Cases.apply_case session_l c);
-    ignore (Harness.Cases.apply_case session_i c));
-  (dev_l, dev_i)
-
-(* Everything a packet's traversal can observably produce. *)
-let observe device bytes ~in_port =
-  let pkt = Net.Packet.create ~in_port bytes in
-  match Ipsa.Device.inject device pkt with
-  | Some (port, ctx) ->
-    ( Some port,
-      Net.Meta.bindings ctx.Ipsa.Context.meta,
-      Net.Packet.contents ctx.Ipsa.Context.pkt,
-      ( ctx.Ipsa.Context.cycles,
-        ctx.Ipsa.Context.lookups,
-        ctx.Ipsa.Context.parse_attempts ) )
-  | None -> (None, [], Net.Packet.contents pkt, (0, 0, 0))
-
-let build_packet (kind, idx, in_port) =
-  let flow = Net.Flowgen.flow_of_index idx in
-  match kind with
-  | 0 -> Net.Flowgen.l2 ~in_port flow
-  | 1 -> Net.Flowgen.ipv4_udp ~in_port flow
-  | 2 -> Net.Flowgen.ipv4_tcp ~in_port flow
-  | 3 -> Net.Flowgen.ipv6_udp ~in_port flow
-  | _ ->
-    Net.Flowgen.srv6_ipv4 ~in_port ~segments:Usecases.Srv6.segments
-      ~segments_left:(idx mod 2) flow
+(* Generators, twin boot and observation all come from the shared
+   differential kit ([Diffkit]); this suite only states the property. *)
+let observe = Diffkit.observe
 
 let equivalence_prop name case =
   (* One device pair per property: QCheck drives the same packet sequence
      through both, so stateful table hit counters stay in lockstep. *)
-  let pair = lazy (boot_pair case) in
-  QCheck.Test.make ~count:120 ~name:(name ^ ": linked = reference interpreter")
-    QCheck.(triple (int_range 0 4) (int_range 0 63) (int_range 0 7))
+  let pair = lazy (Diffkit.boot_pair case) in
+  QCheck.Test.make ~count:Diffkit.equivalence_count
+    ~name:(name ^ ": linked = reference interpreter")
+    Diffkit.packet_spec
     (fun ((_, _, in_port) as spec) ->
       let dev_l, dev_i = Lazy.force pair in
-      let bytes = Net.Packet.contents (build_packet spec) in
+      let bytes = Net.Packet.contents (Diffkit.build_packet spec) in
       observe dev_l bytes ~in_port = observe dev_i bytes ~in_port)
 
 let equivalence_tests =
   List.map
-    (fun (name, case) -> QCheck_alcotest.to_alcotest (equivalence_prop name case))
-    [
-      ("base_l23", None);
-      ("c1_ecmp", Some Harness.Paper.C1);
-      ("c2_srv6", Some Harness.Paper.C2);
-      ("c3_flow_probe", Some Harness.Paper.C3);
-    ]
+    (fun (name, case) -> Diffkit.to_alcotest (equivalence_prop name case))
+    Diffkit.cases
 
 (* --- relink regression -------------------------------------------------- *)
 
@@ -230,12 +196,13 @@ let test_relink_after_patch () =
   check bool "relink rebuilt the programs" false stale;
   (* the re-linked fast path resolves the *new* ecmp tables and drops the
      freed nexthop table: outcomes still match the interpreter *)
-  let _, dev_i = boot_pair (Some Harness.Paper.C1) in
+  let _, dev_i = Diffkit.boot_pair (Some Harness.Paper.C1) in
   let bytes =
     Net.Packet.contents (Net.Flowgen.ipv4_udp Usecases.Base_l23.routed_v4_flow)
   in
-  check bool "post-patch traffic matches interpreter" true
-    (observe device bytes ~in_port:0 = observe dev_i bytes ~in_port:0);
+  Diffkit.assert_same_forwarding ~what:"post-patch traffic"
+    (observe device bytes ~in_port:0)
+    (observe dev_i bytes ~in_port:0);
   match observe device bytes ~in_port:0 with
   | Some _, _, _, _ -> ()
   | None, _, _, _ -> Alcotest.fail "post-patch packet was dropped"

@@ -106,20 +106,9 @@ let radius_fixture =
      (dbase, dpatch, rep, env))
 
 (* A deterministic mixed stream: routed v4 with spread addresses (the
-   traffic C1 actually moves), routed v6, and bridged L2 frames. *)
-let gen_packet seed i =
-  let v = ((seed * 7919) + (i * 104729)) land 0xFFFFFF in
-  match i mod 6 with
-  | 0 -> Net.Flowgen.l2 ~in_port:(i mod 8) (Net.Flowgen.make_flow ())
-  | 1 -> Net.Flowgen.ipv6_udp ~in_port:(i mod 8) Usecases.Base_l23.routed_v6_flow
-  | _ ->
-    Net.Flowgen.ipv4_udp ~in_port:(i mod 8)
-      (Net.Flowgen.make_flow
-         ~dst_mac:(Net.Addr.Mac.of_string_exn Usecases.Base_l23.router_mac)
-         ~src_ip4:(Net.Addr.Ipv4.of_int (0x0A000000 lor (v land 0xFF)))
-         ~dst_ip4:(Net.Addr.Ipv4.of_int (0x0A010000 lor ((v * 13) land 0xFFFF)))
-         ~sport:(1024 + (v mod 1000))
-         ())
+   traffic C1 actually moves), routed v6, and bridged L2 frames — shared
+   with the other differential suites via [Diffkit]. *)
+let gen_packet = Diffkit.mixed_packet
 
 let out device pkt =
   match Ipsa.Device.inject device pkt with
@@ -164,12 +153,12 @@ let () =
       ( "reachability",
         [
           Alcotest.test_case "static verdict" `Quick test_dead_table_static_verdict;
-          QCheck_alcotest.to_alcotest dead_table_prop;
+          Diffkit.to_alcotest dead_table_prop;
         ] );
       ( "blast-radius",
         [
           Alcotest.test_case "report rules traffic in and out" `Quick
             test_radius_nonvacuous;
-          QCheck_alcotest.to_alcotest radius_prop;
+          Diffkit.to_alcotest radius_prop;
         ] );
     ]
