@@ -265,6 +265,117 @@ let alloc_profiles () =
     );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Residency sweep: the Synapse-style virtualization cost curve.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Working set: the base population plus [sweep_hosts] exact host routes,
+   driven round-robin so every flow is periodically the coldest tier
+   entry. At 100% residency the hot tier covers the whole set — the pure
+   tier-bookkeeping overhead vs the unvirtualized flat path — while at
+   10% it thrashes and the escalation penalty dominates. *)
+let sweep_hosts = 48
+
+let sweep_flows =
+  lazy
+    (Array.init sweep_hosts (fun i ->
+         Net.Packet.contents
+           (Net.Flowgen.ipv4_udp
+              (Net.Flowgen.make_flow
+                 ~dst_mac:(Net.Addr.Mac.of_string_exn Usecases.Base_l23.router_mac)
+                 ~dst_ip4:
+                   (Net.Addr.Ipv4.of_string_exn
+                      (Printf.sprintf "10.1.0.%d" (10 + i)))
+                 ()))))
+
+let sweep_population =
+  String.concat "\n"
+    (List.init sweep_hosts (fun i ->
+         Printf.sprintf "table_add ipv4_host set_nexthop 10 10.1.0.%d => %d"
+           (10 + i)
+           (1 + (i mod 3))))
+
+(* Skewed arrival order: three of every four packets target the first 8
+   hosts, the rest cycle the cold tail. A plain round-robin would be
+   LRU's pathological case (0% hits at any partial residency); the skew
+   makes hit rate degrade gradually as capacity shrinks, like the
+   flow-popularity curves the virtualization papers assume. *)
+let sweep_schedule =
+  lazy
+    (let flows = Lazy.force sweep_flows in
+     Array.init 256 (fun i ->
+         if i land 3 <> 3 then flows.(i land 7)
+         else flows.(8 + ((i lsr 2) mod (sweep_hosts - 8)))))
+
+(* One sweep step: a freshly booted flat-path device with the widened
+   population, the host-route table virtualized at [virt]% of its entry
+   count (skipped for the unvirtualized baseline), warmed to steady
+   state, then timed over best-of-three windows. Only [ipv4_host] is
+   tiered: it is the table whose resolution working set tracks the flow
+   mix (the Synapse overflow case), so the residency knob maps directly
+   onto hit rate. Tiering an LPM table's single covering route would
+   instead measure resolution-key thrash at every residency. *)
+let sweep_table = "ipv4_host"
+
+let sweep_step ?virt ?(rounds = 400) () =
+  let flows = Lazy.force sweep_schedule in
+  let session, device = Harness.Cases.boot_base () in
+  (match Controller.Session.run_script session sweep_population with
+  | Ok _ -> ()
+  | Error e -> failwith ("virt sweep population: " ^ e));
+  if not (Ipsa.Device.flat_ready device) then
+    failwith "virt sweep: base design did not compile into the flat subset";
+  (match virt with
+  | None -> ()
+  | Some pct -> (
+    match Ipsa.Device.find_table device sweep_table with
+    | None -> failwith ("virt sweep: no table " ^ sweep_table)
+    | Some tb ->
+      Table.virtualize tb ~capacity:(max 1 (Table.entry_count tb * pct / 100))));
+  let drive () =
+    Array.iter
+      (fun bytes -> ignore (Ipsa.Device.inject_flat device ~in_port:0 bytes))
+      flows
+  in
+  for _ = 1 to 32 do
+    drive ()
+  done;
+  let window () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      drive ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (rounds * Array.length flows)
+  in
+  let ns = min (window ()) (min (window ()) (window ())) in
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, _, ts) -> (h + ts.Table.ts_hits, m + ts.Table.ts_misses))
+      (0, 0)
+      (Ipsa.Device.virt_tables device)
+  in
+  let lookups = hits + misses in
+  let hit_rate =
+    if lookups = 0 then 1.0 else float_of_int hits /. float_of_int lookups
+  in
+  (ns, hit_rate, misses)
+
+let virt_sweep_points = [ 100; 75; 50; 25; 10 ]
+
+(* The bench pair: the unvirtualized flat baseline and the residency
+   curve, measured with the same loop over the same flow mix. Returns
+   the baseline ns/pkt and per-point rows. *)
+let virt_sweep () =
+  let base_ns, _, _ = sweep_step () in
+  let rows =
+    List.map
+      (fun pct ->
+        let ns, hit_rate, misses = sweep_step ~virt:pct () in
+        (pct, ns, hit_rate, misses))
+      virt_sweep_points
+  in
+  (base_ns, rows)
+
 (* The artifact the CI smoke publishes: the interpreted, linked and flat
    packet paths. Legacy top-level keys (interp/linked/speedup) are kept
    for older consumers; per-path detail lives under ["paths"]. *)
@@ -280,6 +391,7 @@ let write_bench_link results =
   | Some interp, Some linked, Some flat, Some fdd
     when linked > 0.0 && flat > 0.0 && fdd > 0.0 ->
     let allocs = alloc_profiles () in
+    let sweep_base_ns, sweep_rows = virt_sweep () in
     let path_obj name ns =
       ( name,
         J.Obj
@@ -308,6 +420,23 @@ let write_bench_link results =
                 path_obj "flat" flat;
                 path_obj "fdd" fdd;
               ] );
+          ( "virt_sweep",
+            J.Obj
+              [
+                ("flat_ns_per_packet", J.Float sweep_base_ns);
+                ( "points",
+                  J.List
+                    (List.map
+                       (fun (pct, ns, hit_rate, misses) ->
+                         J.Obj
+                           [
+                             ("residency_pct", J.Int pct);
+                             ("ns_per_packet", J.Float ns);
+                             ("tier_hit_rate", J.Float hit_rate);
+                             ("tier_misses", J.Int misses);
+                           ])
+                       sweep_rows) );
+              ] );
         ]
     in
     let oc = open_out "BENCH_link.json" in
@@ -323,7 +452,15 @@ let write_bench_link results =
     Printf.printf
       "BENCH_link.json: fdd %.2fx vs linked (%.0f -> %.0f ns, %.2f Mpkt/s, %.3f B alloc/pkt)\n"
       (linked /. fdd) linked fdd (1e3 /. fdd)
-      (try List.assoc "fdd" allocs with Not_found -> nan)
+      (try List.assoc "fdd" allocs with Not_found -> nan);
+    Printf.printf "BENCH_link.json: virt sweep baseline %.0f ns/pkt (flat, unvirtualized)\n"
+      sweep_base_ns;
+    List.iter
+      (fun (pct, ns, hit_rate, _) ->
+        Printf.printf
+          "BENCH_link.json: virt %3d%% resident: %.0f ns/pkt (%.2fx baseline), hit rate %.3f\n"
+          pct ns (ns /. sweep_base_ns) hit_rate)
+      sweep_rows
   | _ -> prerr_endline "BENCH_link.json not written: missing estimates"
 
 (* CI perf gate over a freshly generated BENCH_link.json: the flat and
@@ -373,6 +510,35 @@ let perf_gate () =
       fdd_ns linked_ns;
     failed := true
   end;
+  (* The virtualization tax: a fully-resident hot tier must stay within
+     10% of the unvirtualized flat path measured by the same loop. *)
+  (match J.member "virt_sweep" j with
+  | None ->
+    Printf.eprintf
+      "perf gate FAIL: BENCH_link.json has no virt_sweep (regenerate with micro-smoke)\n";
+    failed := true
+  | Some sweep ->
+    let base_ns = J.member_exn "flat_ns_per_packet" sweep |> J.to_float in
+    let resident =
+      List.find_opt
+        (fun r -> J.member_exn "residency_pct" r |> J.to_int = 100)
+        (J.member_exn "points" sweep |> J.to_list)
+    in
+    (match resident with
+    | None ->
+      Printf.eprintf "perf gate FAIL: virt_sweep has no 100%%-resident point\n";
+      failed := true
+    | Some r ->
+      let ns = J.member_exn "ns_per_packet" r |> J.to_float in
+      Printf.printf
+        "perf gate: engine 100%% resident %.0f ns/pkt vs unvirtualized flat %.0f ns (%.2fx)\n"
+        ns base_ns (ns /. base_ns);
+      if not (ns <= base_ns *. 1.10) then begin
+        Printf.eprintf
+          "perf gate FAIL: fully-resident tier %.0f ns/pkt exceeds flat %.0f ns by more than 10%%\n"
+          ns base_ns;
+        failed := true
+      end));
   if !failed then exit 1;
   print_endline "perf gate OK"
 

@@ -126,8 +126,8 @@ let print_report (p : Fabric.Fleet.report) =
     r.Fabric.Fleet.r_start r.Fabric.Fleet.r_end p.Fabric.Fleet.p_in_rollout
     p.Fabric.Fleet.p_in_rollout_lost p.Fabric.Fleet.p_in_rollout_delayed
 
-let fabric topo_name topo_file case archs packets interval gap seed start json
-    telemetry check =
+let fabric topo_name topo_file case archs packets interval gap seed start virt
+    json telemetry check =
   try
     let topo =
       match topo_file with
@@ -151,6 +151,8 @@ let fabric topo_name topo_file case archs packets interval gap seed start json
         sc_gap = gap;
         sc_seed = seed;
         sc_start = start;
+        sc_virt_residency = virt;
+        sc_virt_miss_ticks = 1;
       }
     in
     let reports = List.map (fun arch -> Fabric.Fleet.run_scenario ~arch sc) archs in
@@ -267,6 +269,16 @@ let fabric_term =
   let start =
     Arg.(value & opt int 5 & info [ "start" ] ~doc:"tick of the first wave")
   in
+  let virt =
+    Arg.(
+      value
+      & opt ~vopt:(Some 50) (some int) None
+      & info [ "virt" ] ~docv:"PCT"
+          ~doc:
+            "Virtualize every IPSA node's tables at $(docv)%% residency \
+             (default 50) before traffic: hot-tier misses escalate and add \
+             per-packet delay in virtual time")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"emit JSON reports") in
   let telemetry =
     Arg.(value & flag & info [ "telemetry" ] ~doc:"dump merged fabric telemetry")
@@ -282,7 +294,7 @@ let fabric_term =
   Term.(
     ret
       (const fabric $ topo $ topo_file $ case $ arch $ packets $ interval $ gap
-     $ seed $ start $ json $ telemetry $ check))
+     $ seed $ start $ virt $ json $ telemetry $ check))
 
 let () =
   let info = Cmd.info "ipbm" ~doc:"IPSA behavioral-model software switch" in

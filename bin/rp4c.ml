@@ -159,7 +159,9 @@ let staged_update ~resolve_file text =
       | Controller.Command.Commit | Controller.Command.Unload _
       | Controller.Command.Table_add _ | Controller.Command.Table_del _
       | Controller.Command.Protect _ | Controller.Command.Show_impact
-      | Controller.Command.Show_mapping | Controller.Command.Show_design -> ())
+      | Controller.Command.Show_mapping | Controller.Command.Show_design
+      | Controller.Command.Virtualize _ | Controller.Command.Devirtualize _
+      | Controller.Command.Pin _ | Controller.Command.Show_virt -> ())
     (Controller.Command.parse_script text);
   match !load with
   | Some (func_name, snippet) -> (func_name, snippet, !cmds)
@@ -586,6 +588,16 @@ let stats_cmd =
              ($(b,inject_fdd) / $(b,inject_batch_fdd)) and report diagram \
              readiness, node count and splice telemetry")
   in
+  let virt =
+    Arg.(
+      value
+      & opt ~vopt:(Some 100) (some int) None
+      & info [ "virt" ] ~docv:"PCT"
+          ~doc:
+            "Virtualize every table before traffic, capping its hot tier at \
+             $(docv)%% of its populated entry count (default 100), and report \
+             per-table tier residency and hit/miss statistics")
+  in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"flow generator seed (with FILE.rp4)")
   in
@@ -601,7 +613,7 @@ let stats_cmd =
       & info [ "trace" ]
           ~doc:"inject one extra packet with a stage tracer and dump its per-TSP trace")
   in
-  let run file populate usecase packets batch fdd seed ntsps json trace =
+  let run file populate usecase packets batch fdd virt seed ntsps json trace =
     try
       let tel = Telemetry.create () in
       let device = Ipsa.Device.create ~telemetry:tel ~ntsps () in
@@ -649,6 +661,20 @@ let stats_cmd =
         match populated with
         | Error e -> `Error (false, e)
         | Ok () ->
+          (* Tiered-table mode: cap every populated table's hot tier at the
+             requested residency before traffic flows. *)
+          (match virt with
+          | None -> ()
+          | Some pct ->
+            if pct <= 0 || pct > 100 then invalid_arg "stats: --virt wants 1..100";
+            List.iter
+              (fun name ->
+                match Ipsa.Device.find_table device name with
+                | Some tb ->
+                  let cap = max 1 (Table.entry_count tb * pct / 100) in
+                  Table.virtualize tb ~capacity:cap
+                | None -> ())
+              (Ipsa.Device.table_names device));
           if batch > 0 then begin
             let inject_chunk =
               if fdd then Ipsa.Device.inject_batch_fdd else Ipsa.Device.inject_batch
@@ -680,6 +706,30 @@ let stats_cmd =
           let tel = Controller.Session.metrics session in
           if json then begin
             let metrics = Telemetry.to_json tel in
+            let virt_field =
+              if virt = None then []
+              else
+                let module J = Prelude.Json in
+                [
+                  ( "virt",
+                    J.List
+                      (List.map
+                         (fun (name, entries, ts) ->
+                           J.Obj
+                             [
+                               ("table", J.String name);
+                               ("entries", J.Int entries);
+                               ("capacity", J.Int ts.Table.ts_capacity);
+                               ("resident", J.Int ts.Table.ts_resident);
+                               ("pinned", J.Int ts.Table.ts_pinned);
+                               ("hits", J.Int ts.Table.ts_hits);
+                               ("misses", J.Int ts.Table.ts_misses);
+                               ("promotions", J.Int ts.Table.ts_promotions);
+                               ("evictions", J.Int ts.Table.ts_evictions);
+                             ])
+                         (Ipsa.Device.virt_tables device)) );
+                ]
+            in
             let fdd_field =
               if not fdd then []
               else
@@ -706,8 +756,10 @@ let stats_cmd =
               match (metrics, traced) with
               | Prelude.Json.Obj fields, Some tr ->
                 Prelude.Json.Obj
-                  (fields @ fdd_field @ [ ("trace", Telemetry.Trace.to_json tr) ])
-              | Prelude.Json.Obj fields, None -> Prelude.Json.Obj (fields @ fdd_field)
+                  (fields @ fdd_field @ virt_field
+                  @ [ ("trace", Telemetry.Trace.to_json tr) ])
+              | Prelude.Json.Obj fields, None ->
+                Prelude.Json.Obj (fields @ fdd_field @ virt_field)
               | _, _ -> metrics
             in
             print_endline (Prelude.Json.to_string_pretty out)
@@ -729,6 +781,11 @@ let stats_cmd =
                 (Ipsa.Device.fdd_splices device)
                 (Ipsa.Device.fdd_splice_nodes device)
             end;
+            if virt <> None then begin
+              print_endline "== virtualized tables ==";
+              print_endline (Controller.Runtime.virt_summary ~device);
+              print_newline ()
+            end;
             render_metrics tel;
             Option.iter render_trace traced
           end;
@@ -745,8 +802,8 @@ let stats_cmd =
           per-packet stage trace)")
     Term.(
       ret
-        (const run $ file $ populate $ usecase $ packets $ batch $ fdd $ seed
-       $ ntsps $ json $ trace))
+        (const run $ file $ populate $ usecase $ packets $ batch $ fdd $ virt
+       $ seed $ ntsps $ json $ trace))
 
 let () =
   let doc = "rP4 compiler tool-chain (front end, back end, incremental patches)" in

@@ -28,6 +28,12 @@ type t =
   | Show_impact (* blast radius of the last incremental compile *)
   | Show_mapping
   | Show_design
+  | Virtualize of { table : string; capacity : int }
+    (* cap the table's in-pool hot tier; the rest lives controller-side *)
+  | Devirtualize of string (* back to fully resident *)
+  | Pin of { table : string; spec : string }
+    (* pin <table> <[field=]prefix/plen>: evictions skip these flows *)
+  | Show_virt (* tier residency + hit/miss of every virtualized table *)
 
 exception Parse_error of string
 
@@ -119,6 +125,16 @@ let parse_line line : t option =
         | table :: keys -> Table_del { table; keys }
         | [] -> parse_error "table_del: expected <table> <keys...>")
       | "protect" -> Protect (one_pos "protect")
+      | "virtualize" ->
+        let cap = flag_exn flags "capacity" "virtualize" in
+        (match int_of_string_opt cap with
+        | Some capacity -> Virtualize { table = one_pos "virtualize"; capacity }
+        | None -> parse_error "virtualize: bad --capacity %S" cap)
+      | "devirtualize" -> Devirtualize (one_pos "devirtualize")
+      | "pin" ->
+        let table, spec = two_pos "pin" in
+        Pin { table; spec }
+      | "show_virt" -> Show_virt
       | "show_impact" -> Show_impact
       | "show_mapping" -> Show_mapping
       | "show_design" -> Show_design
@@ -145,6 +161,11 @@ let to_string = function
     String.concat " " (("table_add" :: table :: action :: keys) @ ("=>" :: args))
   | Table_del { table; keys } -> String.concat " " ("table_del" :: table :: keys)
   | Protect spec -> Printf.sprintf "protect %s" spec
+  | Virtualize { table; capacity } ->
+    Printf.sprintf "virtualize %s --capacity %d" table capacity
+  | Devirtualize table -> Printf.sprintf "devirtualize %s" table
+  | Pin { table; spec } -> Printf.sprintf "pin %s %s" table spec
+  | Show_virt -> "show_virt"
   | Show_impact -> "show_impact"
   | Show_mapping -> "show_mapping"
   | Show_design -> "show_design"

@@ -169,6 +169,24 @@ let table_add_with ~(lookup : string -> Table.t option) ~apis ~table ~action
         | Bad_literal m | Invalid_argument m -> Error m
         | Table.Full t -> Error (Printf.sprintf "table %s is full" t))))
 
+(* Residency view of every virtualized table — what [show_virt] prints
+   and [rp4c stats --virt] serializes. The controller holds the
+   authoritative contents; the device holds [ts_resident] of them. *)
+let virt_summary ~(device : Ipsa.Device.t) : string =
+  match Ipsa.Device.virt_tables device with
+  | [] -> "no virtualized tables"
+  | vts ->
+    String.concat "\n"
+      (List.map
+         (fun (name, entries, ts) ->
+           Printf.sprintf
+             "%s: %d entries, %d/%d resident (%d pinned), hits %d misses %d \
+              promotions %d evictions %d"
+             name entries ts.Table.ts_resident ts.Table.ts_capacity
+             ts.Table.ts_pinned ts.Table.ts_hits ts.Table.ts_misses
+             ts.Table.ts_promotions ts.Table.ts_evictions)
+         vts)
+
 let table_add ~(device : Ipsa.Device.t) ~apis ~table ~action ~keys ~args =
   table_add_with ~lookup:(Ipsa.Device.find_table device) ~apis ~table ~action ~keys ~args
 

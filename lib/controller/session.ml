@@ -119,11 +119,29 @@ let metrics t = Ipsa.Device.telemetry t.device
 
 (* --- blast-radius gating --------------------------------------------- *)
 
+(* Pin a protected prefix into a virtualized table so LRU eviction never
+   drops resolutions for traffic the operator declared untouchable —
+   the blast-radius gate's reach into the tiering policy. *)
+let pin_prefix_into tb (p : Analysis.Impact.prefix) =
+  Table.pin tb ~field:p.Analysis.Impact.pf_field ~bits:p.Analysis.Impact.pf_bits
+    ~plen:p.Analysis.Impact.pf_plen
+
+let pin_protected_everywhere t =
+  List.iter
+    (fun (name, _, _) ->
+      match Ipsa.Device.find_table t.device name with
+      | Some tb ->
+        List.iter (fun p -> ignore (pin_prefix_into tb p)) t.protected_prefixes
+      | None -> ())
+    (Ipsa.Device.virt_tables t.device)
+
 let protect t spec : (unit, string) result =
   match Analysis.Impact.prefix_of_string spec with
   | Error e -> Error e
   | Ok pfx ->
     t.protected_prefixes <- t.protected_prefixes @ [ pfx ];
+    (* Already-virtualized tables learn the new pin immediately. *)
+    pin_protected_everywhere t;
     Ok ()
 
 let unprotect_all t = t.protected_prefixes <- []
@@ -154,6 +172,46 @@ let gate_impact t (report : Analysis.Impact.report) : (unit, string list) result
              (Analysis.Impact.prefix_to_string p)
              (Analysis.Impact.summary report))
          hits)
+
+(* --- table virtualization -------------------------------------------- *)
+
+(* Cap [table]'s in-pool hot tier at [capacity] resolutions; the full
+   contents stay authoritative (conceptually controller-side), and the
+   session's protected prefixes are pinned so the gate's guarantees
+   survive eviction. *)
+let virtualize t ~table ~capacity : (unit, string) result =
+  match Ipsa.Device.find_table t.device table with
+  | None -> Error (Printf.sprintf "no such table %s" table)
+  | Some tb ->
+    if capacity < 0 then Error "virtualize: capacity must be >= 0"
+    else begin
+      Table.virtualize tb ~capacity;
+      List.iter (fun p -> ignore (pin_prefix_into tb p)) t.protected_prefixes;
+      Ipsa.Device.refresh_telemetry t.device;
+      Ok ()
+    end
+
+let devirtualize t ~table : (unit, string) result =
+  match Ipsa.Device.find_table t.device table with
+  | None -> Error (Printf.sprintf "no such table %s" table)
+  | Some tb ->
+    Table.devirtualize tb;
+    Ipsa.Device.refresh_telemetry t.device;
+    Ok ()
+
+let pin t ~table ~spec : (unit, string) result =
+  match Ipsa.Device.find_table t.device table with
+  | None -> Error (Printf.sprintf "no such table %s" table)
+  | Some tb -> (
+    match Analysis.Impact.prefix_of_string spec with
+    | Error e -> Error e
+    | Ok p ->
+      if pin_prefix_into tb p then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "pin: table %s is not virtualized or %s is not a key field" table
+             p.Analysis.Impact.pf_field))
 
 (* --- pre-compiled updates -------------------------------------------- *)
 
@@ -376,6 +434,19 @@ let exec t (cmd : Command.t) : (string, string) result =
     match protect t spec with
     | Ok () -> Ok (Printf.sprintf "protected %s" spec)
     | Error e -> Error e)
+  | Command.Virtualize { table; capacity } -> (
+    match virtualize t ~table ~capacity with
+    | Ok () -> Ok (Printf.sprintf "virtualized %s at capacity %d" table capacity)
+    | Error e -> Error e)
+  | Command.Devirtualize table -> (
+    match devirtualize t ~table with
+    | Ok () -> Ok (Printf.sprintf "devirtualized %s" table)
+    | Error e -> Error e)
+  | Command.Pin { table; spec } -> (
+    match pin t ~table ~spec with
+    | Ok () -> Ok (Printf.sprintf "pinned %s in %s" spec table)
+    | Error e -> Error e)
+  | Command.Show_virt -> Ok (Runtime.virt_summary ~device:t.device)
   | Command.Show_impact -> (
     match t.last_impact with
     | Some report -> Ok (Analysis.Impact.summary report)

@@ -62,6 +62,26 @@ val last_impact : t -> Analysis.Impact.report option
 (** The impact report of the most recent incremental compile — including
     one whose application was refused by the gate. *)
 
+(** {1 Table virtualization}
+
+    Synapse-style tiering: a virtualized table keeps only a hot set of
+    resolutions in the memory pool; misses escalate to the authoritative
+    full contents (conceptually controller-side) at a modeled latency
+    penalty. Protected prefixes are pinned into every virtualized table,
+    so LRU eviction never drops traffic the blast-radius gate guards. *)
+
+val virtualize : t -> table:string -> capacity:int -> (unit, string) result
+(** Cap [table]'s hot tier at [capacity] resolutions. Idempotent;
+    re-issuing with a smaller capacity evicts down to it. *)
+
+val devirtualize : t -> table:string -> (unit, string) result
+(** Return [table] to fully-resident operation. *)
+
+val pin : t -> table:string -> spec:string -> (unit, string) result
+(** Pin a prefix (["[field=]addr/plen"], as {!protect}) in [table]'s hot
+    tier: matching resolutions are never evicted. Fails when the table is
+    not virtualized or the field is not part of its key. *)
+
 val metrics : t -> Telemetry.t
 (** The telemetry registry shared with the connected device. Data-plane
     instruments ([tsp.*], [table.*], [tm.*], [device.*], [pool.*],

@@ -292,6 +292,8 @@ type scenario = {
   sc_gap : int; (* idle ticks between waves *)
   sc_seed : int;
   sc_start : int; (* first wave start *)
+  sc_virt_residency : int option; (* virtualize tables at pct% residency *)
+  sc_virt_miss_ticks : int; (* virtual-time delay per hot-tier miss *)
 }
 
 let default_scenario =
@@ -303,6 +305,8 @@ let default_scenario =
     sc_gap = 4;
     sc_seed = 42;
     sc_start = 5;
+    sc_virt_residency = None;
+    sc_virt_miss_ticks = 1;
   }
 
 type report = {
@@ -322,7 +326,13 @@ type report = {
    margin) are spent. Everything is seeded — two runs of the same
    scenario produce identical verdicts. *)
 let run_scenario ?(timing = default_timing) ~arch sc =
-  let sim = Sim.create ~seed:sc.sc_seed ~arch sc.sc_topo in
+  let sim =
+    Sim.create ~seed:sc.sc_seed ~virt_miss_ticks:sc.sc_virt_miss_ticks ~arch
+      sc.sc_topo
+  in
+  (match sc.sc_virt_residency with
+  | Some pct -> Sim.virtualize_all sim ~pct
+  | None -> ());
   let inj_node, inj_port = Profiles.inject_point sc.sc_topo in
   let rollout = ref None in
   schedule_rollout ~timing ~gap:sc.sc_gap ~at:sc.sc_start ~update:sc.sc_update
@@ -402,7 +412,13 @@ let radius_check ~arch sc (p : report) : radius_result =
   if total then { rr_out_of_radius = 0; rr_divergent = 0; rr_total = true }
   else begin
     let n = p.p_summary.Sim.s_injected in
-    let sim = Sim.create ~seed:sc.sc_seed ~arch sc.sc_topo in
+    let sim =
+      Sim.create ~seed:sc.sc_seed ~virt_miss_ticks:sc.sc_virt_miss_ticks ~arch
+        sc.sc_topo
+    in
+    (match sc.sc_virt_residency with
+    | Some pct -> Sim.virtualize_all sim ~pct
+    | None -> ());
     let inj_node, inj_port = Profiles.inject_point sc.sc_topo in
     for i = 0 to n - 1 do
       Sim.schedule_control sim ~at:(i * sc.sc_interval) (fun () ->

@@ -102,9 +102,11 @@ type t = {
   links : link_state list;
   rng : Prelude.Rng.t;
   hop_limit : int;
+  virt_miss_ticks : int; (* per hot-tier miss delay added before egress *)
   tel : Telemetry.t; (* fabric-level registry *)
   c_injected : Telemetry.Counter.t;
   c_delivered : Telemetry.Counter.t;
+  c_virt_delay : Telemetry.Counter.t; (* cumulative ticks of added delay *)
   mutable queue : event Eq.t;
   mutable seq : int;
   mutable now : int;
@@ -175,8 +177,8 @@ let boot_node ~arch ~base_design name population =
       n_pending = Hashtbl.create 8;
     }
 
-let create ?(seed = 42) ?(hop_limit = 16) ?(population = Profiles.population)
-    ~arch (topo : Topo.t) =
+let create ?(seed = 42) ?(hop_limit = 16) ?(virt_miss_ticks = 0)
+    ?(population = Profiles.population) ~arch (topo : Topo.t) =
   let tel = Telemetry.create () in
   let base_design = lazy (compile_base ()) in
   let nodes = Hashtbl.create 8 in
@@ -216,9 +218,11 @@ let create ?(seed = 42) ?(hop_limit = 16) ?(population = Profiles.population)
     links;
     rng = Prelude.Rng.create seed;
     hop_limit;
+    virt_miss_ticks;
     tel;
     c_injected = Telemetry.counter tel "fabric.injected";
     c_delivered = Telemetry.counter tel "fabric.delivered";
+    c_virt_delay = Telemetry.counter tel "fabric.virt_miss_delay";
     queue = Eq.empty;
     seq = 0;
     now = 0;
@@ -326,6 +330,18 @@ let emit t node ~out_port ~bytes ~meta_bindings meta =
            { node = far.Topo.ep_node; port = far.Topo.ep_port; bytes; meta })
     end
 
+(* Forward a processed packet onward, charging the modeled escalation
+   latency first: each hot-tier miss the packet took inside a virtualized
+   table stalls it [virt_miss_ticks] of virtual time before egress. *)
+let forward t node ~out_port ~bytes ~meta_bindings ~virt_misses meta =
+  let delay = t.virt_miss_ticks * virt_misses in
+  if delay = 0 then emit t node ~out_port ~bytes ~meta_bindings meta
+  else begin
+    Telemetry.Counter.add t.c_virt_delay delay;
+    schedule_control t ~at:(t.now + delay) (fun () ->
+        emit t node ~out_port ~bytes ~meta_bindings meta)
+  end
+
 (* A packet reaching [node] on [port]: hop accounting, then the device. *)
 let node_receive t node ~port ~bytes meta =
   meta.pm_hops <- meta.pm_hops + 1;
@@ -345,9 +361,10 @@ let node_receive t node ~port ~bytes meta =
       | [| Some r |] ->
         let out_port = r.Ipsa.Device.br_port in
         ignore (Pisa.Device.collect p.device out_port);
-        emit t node ~out_port
+        forward t node ~out_port
           ~bytes:(Net.Packet.contents pkt)
-          ~meta_bindings:r.Ipsa.Device.br_meta meta
+          ~meta_bindings:r.Ipsa.Device.br_meta
+          ~virt_misses:r.Ipsa.Device.br_virt_misses meta
       | _ ->
         if Pisa.Device.reloading p.device then
           record_drop t meta ~reason:Node_reload ~where:node.n_name
@@ -358,9 +375,10 @@ let node_receive t node ~port ~bytes meta =
       | [| Some r |] ->
         let out_port = r.Ipsa.Device.br_port in
         ignore (Ipsa.Device.collect device out_port);
-        emit t node ~out_port
+        forward t node ~out_port
           ~bytes:(Net.Packet.contents pkt)
-          ~meta_bindings:r.Ipsa.Device.br_meta meta
+          ~meta_bindings:r.Ipsa.Device.br_meta
+          ~virt_misses:r.Ipsa.Device.br_virt_misses meta
       | _ ->
         if Ipsa.Device.updating device then begin
           (* CM back-pressure: the packet waits, id-stamped, in the input
@@ -399,6 +417,28 @@ let pump_node t name =
     (List.sort (fun a b -> compare a.pm_id b.pm_id) leftovers)
 
 let set_maintenance t name ~until = (node t name).n_maintenance_until <- until
+
+(* Virtualize every table on every IPSA node, capping each hot tier at
+   [pct]% of the table's populated entry count — the whole-fabric
+   residency knob of the rollout-under-memory-pressure experiment. PISA
+   nodes are untouched (their local table memory is not virtualizable). *)
+let virtualize_all t ~pct =
+  if pct <= 0 || pct > 100 then invalid_arg "Sim.virtualize_all: pct in 1..100";
+  Hashtbl.iter
+    (fun _ n ->
+      match n.n_impl with
+      | Pisa_node _ -> ()
+      | Ipsa_node session ->
+        let device = Controller.Session.device session in
+        List.iter
+          (fun name ->
+            match Ipsa.Device.find_table device name with
+            | Some tb ->
+              Table.virtualize tb
+                ~capacity:(max 1 (Table.entry_count tb * pct / 100))
+            | None -> ())
+          (Ipsa.Device.table_names device))
+    t.nodes
 
 (* Inject external traffic at an edge port. *)
 let inject t ~at ~node:name ~port bytes =

@@ -19,6 +19,7 @@ type t = {
   mutable cycles : int;
   mutable parse_attempts : int; (* distributed-parsing work counter *)
   mutable lookups : int;
+  mutable virt_misses : int; (* hot-tier misses on virtualized tables *)
   (* Per-packet stage tracer; [None] on the steady-state path, so every
      trace event site costs one branch. *)
   mutable trace : Telemetry.Trace.t option;
@@ -41,6 +42,7 @@ let create ?trace ?layout pkt =
     cycles = 0;
     parse_attempts = 0;
     lookups = 0;
+    virt_misses = 0;
     trace;
   }
 

@@ -14,6 +14,7 @@ type t = {
   template_fetch : int; (* cycles to load TSP template parameters, per packet *)
   executor_base : int; (* cycles per executed action *)
   tsp_pipelined : bool; (* pipelined TSP internals hide template fetch *)
+  virt_miss : int; (* penalty when a virtualized table misses its hot tier *)
 }
 
 let default =
@@ -24,6 +25,7 @@ let default =
     template_fetch = 2;
     executor_base = 1;
     tsp_pipelined = false;
+    virt_miss = 8;
   }
 
 (* Cycles to read one table entry of [entry_width] bits over the bus. *)

@@ -13,6 +13,9 @@ type t = {
   template_fetch : int;  (** per-packet TSP template load *)
   executor_base : int;  (** cycles per executed action *)
   tsp_pipelined : bool;  (** pipelined TSP internals hide the fetch *)
+  virt_miss : int;
+      (** added cycles when a virtualized table misses its hot tier and
+          escalates to the controller-side full table *)
 }
 
 val default : t

@@ -162,6 +162,29 @@ let refresh_telemetry t =
     Telemetry.Gauge.set (Telemetry.gauge t.tel "pool.blocks_used") used;
     Telemetry.Gauge.set (Telemetry.gauge t.tel "pool.blocks_free") free;
     Telemetry.Gauge.set (Telemetry.gauge t.tel "pool.peak_used") (Mem.Pool.peak_used t.pool);
+    (* Pull-style sources mirrored into counters by delta, so the
+       telemetry view stays monotone however often this runs. *)
+    let mirror ?labels name target =
+      let c = Telemetry.counter ?labels t.tel name in
+      Telemetry.Counter.add c (target - Telemetry.Counter.value c)
+    in
+    mirror "pool.moved_entries" (Mem.Pool.moved_entries t.pool);
+    (* Virtualized tables: residency gauges + tier counters per table. *)
+    Hashtbl.iter
+      (fun name tb ->
+        match Table.tier_stats tb with
+        | None -> ()
+        | Some ts ->
+          let labels = [ ("table", name) ] in
+          let g n v = Telemetry.Gauge.set (Telemetry.gauge ~labels t.tel n) v in
+          g "table.tier_capacity" ts.Table.ts_capacity;
+          g "table.tier_resident" ts.Table.ts_resident;
+          g "table.tier_pinned" ts.Table.ts_pinned;
+          mirror ~labels "table.tier_hits" ts.Table.ts_hits;
+          mirror ~labels "table.tier_misses" ts.Table.ts_misses;
+          mirror ~labels "table.tier_promotions" ts.Table.ts_promotions;
+          mirror ~labels "table.tier_evictions" ts.Table.ts_evictions)
+      t.tables;
     List.iter
       (fun (c, cused, ctotal) ->
         let labels = [ ("cluster", string_of_int c) ] in
@@ -192,6 +215,17 @@ let refresh_telemetry t =
   end
 
 let find_table t name = Hashtbl.find_opt t.tables name
+
+(* Virtualized tables with their tier statistics, sorted by name — the
+   source for [rp4c stats --virt] and the controller's residency view. *)
+let virt_tables t =
+  Hashtbl.fold
+    (fun name tb acc ->
+      match Table.tier_stats tb with
+      | Some ts -> (name, Table.entry_count tb, ts) :: acc
+      | None -> acc)
+    t.tables []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 (* Sorted for deterministic stats/trace output. *)
 let table_names t =
@@ -560,6 +594,7 @@ type batch_result = {
   br_cycles : int;
   br_lookups : int;
   br_parse_attempts : int;
+  br_virt_misses : int; (* hot-tier misses this packet escalated *)
 }
 
 let batch_result_of_ctx port (ctx : Context.t) =
@@ -569,6 +604,7 @@ let batch_result_of_ctx port (ctx : Context.t) =
     br_cycles = ctx.Context.cycles;
     br_lookups = ctx.Context.lookups;
     br_parse_attempts = ctx.Context.parse_attempts;
+    br_virt_misses = ctx.Context.virt_misses;
   }
 
 (* Inject a batch of packets; slot [i] of the result describes packet
@@ -606,6 +642,7 @@ let inject_batch t (pkts : Net.Packet.t array) : batch_result option array =
               br_cycles = fp.F.cycles;
               br_lookups = fp.F.lookups;
               br_parse_attempts = fp.F.parse_attempts;
+              br_virt_misses = fp.F.virt_misses;
             }
         end
         else None
@@ -648,6 +685,7 @@ let inject_batch_fdd t (pkts : Net.Packet.t array) : batch_result option array =
               br_cycles = fp.F.cycles;
               br_lookups = fp.F.lookups;
               br_parse_attempts = fp.F.parse_attempts;
+              br_virt_misses = fp.F.virt_misses;
             }
         end
         else None)
@@ -720,19 +758,31 @@ let apply_op t = function
     if Hashtbl.mem t.tables ct.Template.ct_name then Ok () (* already present *)
     else begin
       match
-        Mem.Pool.allocate t.pool ~table:ct.Template.ct_name
+        Mem.Pool.allocate_best_effort t.pool ~table:ct.Template.ct_name
           ~entry_width:ct.Template.ct_entry_width ~depth:ct.Template.ct_size ?cluster ()
       with
       | Error e -> Error e
       | Ok alloc ->
         Hashtbl.replace t.allocations ct.Template.ct_name alloc;
-        Hashtbl.replace t.tables ct.Template.ct_name
-          (Table.create
-             {
-               Table.name = ct.Template.ct_name;
-               fields = ct.Template.ct_fields;
-               size = ct.Template.ct_size;
-             });
+        let tb =
+          Table.create
+            {
+              Table.name = ct.Template.ct_name;
+              fields = ct.Template.ct_fields;
+              size = ct.Template.ct_size;
+            }
+        in
+        (* Short grant: the pool could not hold the declared depth, so
+           the in-pool part becomes the hot tier and the rest lives
+           controller-side — Synapse-style virtualization instead of a
+           hard allocation failure. *)
+        if alloc.Mem.Pool.depth < ct.Template.ct_size then begin
+          Table.virtualize tb ~capacity:alloc.Mem.Pool.depth;
+          Log.info (fun m ->
+              m "table %s virtualized: %d of %d entries resident"
+                ct.Template.ct_name alloc.Mem.Pool.depth ct.Template.ct_size)
+        end;
+        Hashtbl.replace t.tables ct.Template.ct_name tb;
         Ok ()
     end
   | Config.Free_table name ->

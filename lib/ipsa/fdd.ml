@@ -31,6 +31,7 @@
    context path otherwise, exactly like [Flat]'s [Unsupported] protocol. *)
 
 module F = Net.Flatpkt
+module E = Table.Engine
 
 (* ------------------------------------------------------------------ *)
 (* Nodes                                                               *)
@@ -59,6 +60,9 @@ and kind =
       on_entry : node array;
       default : node;
     }
+  | K_vprobe of { table : string; cases : (int * node) array; lose : node }
+    (* virtualized table: entries are not baked — the step runs the
+       engine-tier lookup live and dispatches on the outcome registers *)
   | K_act of { tsp : int; name : string; case : bool; next : node }
 
 let rec done_node = { n_id = 0; n_kind = K_done; n_step = (fun _ -> done_node) }
@@ -85,6 +89,9 @@ let iter_children k f =
   | K_hash { on_entry; default; _ } ->
     Array.iter f on_entry;
     f default
+  | K_vprobe { cases; lose; _ } ->
+    Array.iter (fun (_, n) -> f n) cases;
+    f lose
 
 (* ------------------------------------------------------------------ *)
 (* Table instances                                                     *)
@@ -210,19 +217,19 @@ let hex_bytes by =
   Bytes.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) by;
   Buffer.contents b
 
-let ffm_repr : Flat.ffm -> string = function
-  | Flat.FF_any -> "*"
-  | Flat.FF_narrow { fv; fmask } -> Printf.sprintf "%x/%x" fv fmask
-  | Flat.FF_wide { vpat; mpat; fw } ->
+let ffm_repr : E.ffm -> string = function
+  | E.FF_any -> "*"
+  | E.FF_narrow { fv; fmask } -> Printf.sprintf "%x/%x" fv fmask
+  | E.FF_wide { vpat; mpat; fw } ->
     Printf.sprintf "%s/%s:%d" (hex_bytes vpat) (hex_bytes mpat) fw
 
-let fment_repr (m : Flat.fment) =
+let fment_repr (m : E.fment) =
   Printf.sprintf "%s -> %d(%s)"
     (String.concat ","
-       (Array.to_list (Array.map ffm_repr m.Flat.fm_fields)))
-    m.Flat.fm_fe.Flat.fe_tag
+       (Array.to_list (Array.map ffm_repr m.E.fm_fields)))
+    m.E.fm_fe.E.fe_tag
     (String.concat ","
-       (List.map string_of_int (Array.to_list m.Flat.fm_fe.Flat.fe_args)))
+       (List.map string_of_int (Array.to_list m.E.fm_fe.E.fe_args)))
 
 let kind_str : Table.Key.match_kind -> string = function
   | Table.Key.Exact -> "e"
@@ -289,31 +296,17 @@ let ftinst t (env : Linked.env) ~tsp (ct : Template.compiled_table) =
     remember fi
 
 (* First-match-wins view of a table's contents for chain compilation.
-   lpm/tcam/hash reuse [Flat.refresh]'s ordered caches verbatim; the
-   exact engine (hashtable at lookup time) becomes a scan over its
+   lpm/tcam/hash reuse the engine's ordered flat views verbatim; the
+   exact index (hashtable at lookup time) becomes a scan over its
    entries — unique keys, so order is irrelevant. *)
 let scan_view (ft : Flat.ftable) (table : Table.t) =
-  if ft.Flat.ft_gen <> table.Table.generation then Flat.refresh ft table;
-  match ft.Flat.ft_cache with
-  | Flat.FC_scan ments -> `Scan ments
-  | Flat.FC_hash (ments, _) -> `Hash ments
-  | Flat.FC_exact _ | Flat.FC_none ->
-    let fields = table.Table.spec.Table.fields in
-    let ments =
-      List.map
-        (fun (e : Table.entry) ->
-          {
-            Flat.fm_fields =
-              Array.of_list
-                (List.map2
-                   (fun (f : Table.Key.field) m ->
-                     Flat.ffm_of_fmatch m f.Table.Key.kf_width)
-                   fields e.Table.matches);
-            fm_fe = Flat.fentry_of e;
-          })
-        table.Table.entries
-    in
-    `Scan (Array.of_list ments)
+  let eng = Table.engine table in
+  let v = E.view eng in
+  ft.Flat.ft_gen <- v.E.v_gen;
+  match v.E.v_kind with
+  | E.V_scan ments -> `Scan ments
+  | E.V_hash (ments, _) -> `Hash ments
+  | E.V_exact _ -> `Scan (E.scan_of_entries eng)
 
 (* ------------------------------------------------------------------ *)
 (* Node constructors (effects fold the [Flat] lookup protocol)          *)
@@ -414,12 +407,13 @@ let apply_node t ~(probe : Telemetry.stage_probe) fi ~resolved next =
 let keys_node t ~(probe : Telemetry.stage_probe) fi (table : Table.t) ~ok
     ~invalid =
   let ft = fi.fi_ft in
+  let eng = Table.engine table in
   cons t
     (Printf.sprintf "K|%d|%d|%d" fi.fi_stamp ok.n_id invalid.n_id)
     (K_keys { table = ft.Flat.ft_name; ok; invalid })
     (fun e ->
       if Flat.read_keys ft e 0 then begin
-        table.Table.lookups <- table.Table.lookups + 1;
+        eng.E.lookups <- eng.E.lookups + 1;
         ok
       end
       else begin
@@ -431,15 +425,16 @@ let keys_node t ~(probe : Telemetry.stage_probe) fi (table : Table.t) ~ok
    mutation gives its chain fresh nodes wrapping fresh [fentry] records,
    so hit counters always flow to live entries. *)
 let match_node t ~(probe : Telemetry.stage_probe) fi (table : Table.t) ~gen
-    ~idx (m : Flat.fment) ~hit ~miss =
+    ~idx (m : E.fment) ~hit ~miss =
   let ft = fi.fi_ft in
-  let flds = m.Flat.fm_fields and fe = m.Flat.fm_fe in
+  let eng = Table.engine table in
+  let flds = m.E.fm_fields and fe = m.E.fm_fe in
   cons t
     (Printf.sprintf "M|%d|%d|%d|%d|%d" fi.fi_stamp gen idx hit.n_id miss.n_id)
     (K_match { table = ft.Flat.ft_name; pat = fment_repr m; hit; miss })
     (fun e ->
       if Flat.fment_matches ft e flds 0 then begin
-        Flat.flat_hit probe ft e table fe;
+        Flat.flat_hit probe ft e eng fe;
         hit
       end
       else miss)
@@ -467,8 +462,9 @@ let default_node t ~(probe : Telemetry.stage_probe) fi ~present ~tag next =
     step
 
 let hash_node t ~(probe : Telemetry.stage_probe) fi (table : Table.t) ~gen
-    (ments : Flat.fment array) ~(on_entry : node array) ~default =
+    (ments : E.fment array) ~(on_entry : node array) ~default =
   let ft = fi.fi_ft in
+  let eng = Table.engine table in
   let cand = Array.make (max 1 (Array.length ments)) 0 in
   cons t
     (Printf.sprintf "H|%d|%d|%s|%d" fi.fi_stamp gen
@@ -487,9 +483,40 @@ let hash_node t ~(probe : Telemetry.stage_probe) fi (table : Table.t) ~gen
       if n = 0 then default
       else begin
         let i = cand.(Flat.hash_key ft e mod n) in
-        Flat.flat_hit probe ft e table ments.(i).Flat.fm_fe;
+        Flat.flat_hit probe ft e eng ments.(i).E.fm_fe;
         on_entry.(i)
       end)
+
+(* Virtualized table: entries cannot be baked into the diagram (the hot
+   tier mutates per packet), so the node runs [Flat.apply_ftable] — the
+   exact tier-aware lookup the flat path uses, penalty and promotion
+   included — and dispatches on the outcome registers to continuations
+   compiled per declared case tag. The node's key carries no generation:
+   content churn on a virtualized table never resplices the diagram. *)
+let vprobe_node t ~(probe : Telemetry.stage_probe) fi ~(case_tags : int array)
+    ~(on_case : node array) ~lose =
+  let ft = fi.fi_ft in
+  cons t
+    (Printf.sprintf "V|%d|%s|%d" fi.fi_stamp
+       (String.concat ","
+          (Array.to_list
+             (Array.map2
+                (fun tag (n : node) -> Printf.sprintf "%d:%d" tag n.n_id)
+                case_tags on_case)))
+       lose.n_id)
+    (K_vprobe
+       {
+         table = ft.Flat.ft_name;
+         cases = Array.map2 (fun tag n -> (tag, n)) case_tags on_case;
+         lose;
+       })
+    (fun e ->
+      Flat.apply_ftable probe ft e;
+      if e.Flat.ll_hit then begin
+        let i = Flat.find_case case_tags e.Flat.ll_tag 0 in
+        if i >= 0 then on_case.(i) else lose
+      end
+      else lose)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
@@ -531,17 +558,23 @@ let executor t env ~probe ~tsp ~exec_base (cs : Template.compiled_stage) next
     chain_actions t env ~probe ~tsp ~case:false ~exec_base
       cs.Template.cs_default next
 
-let comp_apply t env ~probe ~tsp (ct : Template.compiled_table)
-    (k : outcome -> node) =
+let comp_apply t env ~probe ~tsp ~(case_tags : int array)
+    (ct : Template.compiled_table) (k : outcome -> node) =
   let k = memo_k k in
   let fi = ftinst t env ~tsp ct in
   let ft = fi.fi_ft in
   match ft.Flat.ft_table with
   | None -> apply_node t ~probe fi ~resolved:false (k O_lose)
+  | Some table when Table.virtualized table ->
+    (* Hot-tier state is per packet; bake the outcome continuations only
+       and resolve the lookup live through the engine. *)
+    vprobe_node t ~probe fi ~case_tags
+      ~on_case:(Array.map (fun tag -> k (O_hit tag)) case_tags)
+      ~lose:(k O_lose)
   | Some table ->
-    let gen = table.Table.generation in
+    let gen = Table.generation table in
     let def_present, def_tag =
-      match table.Table.default with
+      match Table.default table with
       | Some (a, _) ->
         (true, match int_of_string_opt a with Some x -> x | None -> 0)
       | None -> (false, 0)
@@ -556,13 +589,13 @@ let comp_apply t env ~probe ~tsp (ct : Template.compiled_table)
           if i >= n then dnode
           else
             match_node t ~probe fi table ~gen ~idx:i ments.(i)
-              ~hit:(k (O_hit ments.(i).Flat.fm_fe.Flat.fe_tag))
+              ~hit:(k (O_hit ments.(i).E.fm_fe.E.fe_tag))
               ~miss:(build (i + 1))
         in
         build 0
       | `Hash ments ->
         let on_entry =
-          Array.map (fun (m : Flat.fment) -> k (O_hit m.Flat.fm_fe.Flat.fe_tag)) ments
+          Array.map (fun (m : E.fment) -> k (O_hit m.E.fm_fe.E.fe_tag)) ments
         in
         hash_node t ~probe fi table ~gen ments ~on_entry ~default:dnode
     in
@@ -597,7 +630,9 @@ let rec comp_matcher t env ~probe ~tsp (cs : Template.compiled_stage)
       fail_node t
         (Printf.sprintf "stage %s applies table %s missing from template"
            cs.Template.cs_name tname)
-    | Some ct -> comp_apply t env ~probe ~tsp ct k)
+    | Some ct ->
+      let case_tags = Array.of_list (List.map fst cs.Template.cs_cases) in
+      comp_apply t env ~probe ~tsp ~case_tags ct k)
 
 let comp_stage t env ~probe ~tsp fg (cs : Template.compiled_stage) next =
   let cfg = env.Linked.cycles_cfg in
@@ -636,7 +671,10 @@ let slot_memo_key t env (slot : Tsp.slot) (tmpl : Template.t) next =
       Buffer.add_char b ':';
       Buffer.add_string b
         (match fi.fi_ft.Flat.ft_table with
-        | Some tb -> string_of_int tb.Table.generation
+        (* Virtualized tables compile to live probes: their content
+           churn must not invalidate the slot memo. *)
+        | Some tb when Table.virtualized tb -> "V"
+        | Some tb -> string_of_int (Table.generation tb)
         | None -> "-"))
     (Template.tables tmpl);
   Buffer.contents b
@@ -717,6 +755,9 @@ let update t (env : Linked.env) ~ingress ~egress ?(dirty_stages = [])
       (List.filter_map
          (fun fi ->
            match fi.fi_ft.Flat.ft_table with
+           (* Virtualized tables are probed live, never baked: excluding
+              them keeps hot-tier churn from triggering resplices. *)
+           | Some tb when Table.virtualized tb -> None
            | Some tb -> Some (fi.fi_ft, tb)
            | None -> None)
          t.used);
@@ -735,7 +776,7 @@ let rec stale_from (d : (Flat.ftable * Table.t) array) n i =
   if i >= n then false
   else begin
     let ft, tb = d.(i) in
-    if ft.Flat.ft_gen <> tb.Table.generation then true
+    if ft.Flat.ft_gen <> Table.generation tb then true
     else stale_from d n (i + 1)
   end
 
@@ -837,6 +878,14 @@ let pp t =
                (Array.to_list
                   (Array.map (fun x -> "n" ^ string_of_int (lid x)) on_entry)))
             (lid default)
+        | K_vprobe { table; cases; lose } ->
+          Printf.sprintf "virt %s {%s} lose-> n%d" table
+            (String.concat "; "
+               (Array.to_list
+                  (Array.map
+                     (fun (tag, n) -> Printf.sprintf "%d-> n%d" tag (lid n))
+                     cases)))
+            (lid lose)
         | K_act { tsp; name; case; next } ->
           Printf.sprintf "act %s%s @%d -> n%d" name
             (if case then "" else " (default)")

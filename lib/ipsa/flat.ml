@@ -19,10 +19,14 @@
    three implementations equal.
 
    Table lookups cannot pre-render entries once: controllers mutate tables
-   between packets. Each flat table keeps a derived cache (hash map /
-   ordered scan list) stamped with [Table.generation] and rebuilds it
-   lazily on the first lookup after a mutation — allocation happens on the
-   control path, never per packet in steady state. *)
+   between packets. The derived int-keyed structures (hash map / ordered
+   scan list) live in [Table.Engine] as the table's *flat view*, stamped
+   with the generation and rebuilt lazily on the first lookup after a
+   mutation — allocation happens on the control path, never per packet in
+   steady state. The view is shared with the FDD compiler, so both
+   compiled paths resolve through the same engine state. Virtualized
+   tables probe the engine's hot tier first; a miss charges the modeled
+   escalation penalty before resolving against the full view. *)
 
 module B = Net.Bits
 module F = Net.Flatpkt
@@ -45,22 +49,16 @@ let max_int_width = 56
 let imask w = (1 lsl w) - 1
 let empty_args : int array = [||]
 
-(* Scratch buffer for wide (> 56-bit) header-to-header copies; sized at
-   compile time, so the packet path never grows it. One global suffices:
-   it is live only within a single statement execution. *)
-let wide_scratch = ref (Bytes.create 64)
-
-let reserve_scratch nbytes =
-  if nbytes > Bytes.length !wide_scratch then
-    wide_scratch := Bytes.create (max nbytes (2 * Bytes.length !wide_scratch))
-
 (* ------------------------------------------------------------------ *)
 (* Closure environment                                                 *)
 (* ------------------------------------------------------------------ *)
 
 (* One mutable scratch environment per program, threaded through every
    compiled closure; re-pointed at each packet. [ll_*] mirror
-   [Context.last_lookup] ([ll_present] plays the [option]). *)
+   [Context.last_lookup] ([ll_present] plays the [option]). [ev_scratch]
+   backs wide (> 56-bit) header-to-header copies: per program, not
+   global, so concurrent devices (or a lookup-miss escalation re-entering
+   mid-packet) can never alias each other's copy buffer. *)
 type fenv = {
   mutable ev_fp : F.t;
   mutable ev_args : int array; (* positional action args, width-masked *)
@@ -69,7 +67,12 @@ type fenv = {
   mutable ll_hit : bool;
   mutable ll_hits : int;
   mutable ll_args : int array;
+  mutable ev_scratch : Bytes.t; (* wide-copy scratch; grows once, on first use *)
 }
+
+let ensure_scratch e nbytes =
+  if nbytes > Bytes.length e.ev_scratch then
+    e.ev_scratch <- Bytes.create (max nbytes (2 * Bytes.length e.ev_scratch))
 
 (* ------------------------------------------------------------------ *)
 (* Parse graph: [Linked.pgraph] with ids flattened into arrays          *)
@@ -387,12 +390,13 @@ let compile_fstmt env ~params (s : Rp4.Ast.stmt) : fenv -> unit =
         | Some (hid2, off2, w2) when w2 >= w ->
           let soff_rel = off2 + (w2 - w) in (* resize keeps the low bits *)
           let rmsg = Printf.sprintf "read of invalid header field %s.%s" h2 f2 in
-          reserve_scratch (((w + 7) / 8) + 1);
+          let nbytes = ((w + 7) / 8) + 1 in
           fun e ->
             let fp = e.ev_fp in
             if not (F.hdr_is_valid fp hid2) then raise (Action_eval.Runtime_error rmsg);
             if not (F.hdr_is_valid fp hid) then invalid_arg msg;
-            let scr = !wide_scratch in
+            ensure_scratch e nbytes;
+            let scr = e.ev_scratch in
             blit_bits fp.F.buf ~soff:(F.hdr_bit_off fp hid2 + soff_rel) scr ~doff:0 ~w;
             blit_bits scr ~soff:0 fp.F.buf ~doff:(F.hdr_bit_off fp hid + off) ~w
         | _ ->
@@ -466,30 +470,10 @@ type fkey =
   | FK_raise of string (* undeclared meta field: always raises *)
   | FK_miss (* unresolvable header: always a miss *)
 
-(* Per-field entry pattern for scan/hash caches: masked equality, narrow
-   as ints, wide as left-aligned byte patterns compared in place. *)
-type ffm =
-  | FF_any
-  | FF_narrow of { fv : int; fmask : int }
-  | FF_wide of { vpat : Bytes.t; mpat : Bytes.t; fw : int }
-
-type fentry = {
-  fe_src : Table.entry; (* hit counters flow back to the real entry *)
-  fe_tag : int;
-  fe_args : int array;
-}
-
-type fment = { fm_fields : ffm array; fm_fe : fentry }
-
-type fcache =
-  | FC_none
-  | FC_exact of (string, fentry) Hashtbl.t (* same raw keys as the engine *)
-  | FC_scan of fment array (* ordered: first match wins *)
-  | FC_hash of fment array * int array (* entries + candidate scratch *)
-
 type ftable = {
   ft_name : string;
   ft_mem_cycles : int;
+  ft_virt_cycles : int; (* added on a virtualized hot-tier miss *)
   ft_table : Table.t option; (* unreachable/missing = always miss *)
   ft_keys : fkey array;
   ft_kws : int array; (* declared key widths *)
@@ -500,10 +484,7 @@ type ftable = {
   ft_exact_key : Bytes.t; (* scratch: rendered exact-engine key *)
   ft_hit_ctr : Telemetry.Counter.t;
   ft_miss_ctr : Telemetry.Counter.t;
-  mutable ft_gen : int; (* [Table.generation] the cache was built at *)
-  mutable ft_cache : fcache;
-  mutable ft_def_present : bool;
-  mutable ft_def_tag : int;
+  mutable ft_gen : int; (* [Table.generation] this instance last synced at *)
 }
 
 let compile_fkey env (f : Table.Key.field) : fkey =
@@ -548,6 +529,7 @@ let compile_ftable env ~tsp (ct : Template.compiled_table) =
     ft_mem_cycles =
       Cycles.mem_access_cycles env.Linked.cycles_cfg
         ~entry_width:ct.Template.ct_entry_width;
+    ft_virt_cycles = env.Linked.cycles_cfg.Cycles.virt_miss;
     ft_table = env.Linked.find_table ~tsp ct.Template.ct_name;
     ft_keys = Array.map (compile_fkey env) fields;
     ft_kws = kws;
@@ -560,148 +542,7 @@ let compile_ftable env ~tsp (ct : Template.compiled_table) =
     ft_miss_ctr =
       Telemetry.table_counter env.Linked.tel ~table:ct.Template.ct_name ~hit:false;
     ft_gen = -1;
-    ft_cache = FC_none;
-    ft_def_present = false;
-    ft_def_tag = 0;
   }
-
-(* --- cache construction (control path; allocation is fine here) ------ *)
-
-(* Left-aligned byte pattern of a [Bits.t] (bit 0 of the value at the MSB
-   of byte 0), the form [wide_masked_eq] compares against packet bytes. *)
-let pattern_of v =
-  let w = B.width v in
-  let b = Bytes.make ((w + 7) / 8) '\000' in
-  for k = 0 to w - 1 do
-    if B.get_bit v k then begin
-      let idx = k lsr 3 in
-      Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lor (0x80 lsr (k land 7))))
-    end
-  done;
-  b
-
-let ffm_of_vm v m =
-  let kw = B.width v in
-  if kw <= max_int_width then FF_narrow { fv = B.to_int v; fmask = B.to_int m }
-  else FF_wide { vpat = pattern_of v; mpat = pattern_of m; fw = kw }
-
-let ffm_of_fmatch (m : Table.Key.fmatch) kw =
-  match m with
-  | Table.Key.M_any -> FF_any
-  | Table.Key.M_exact v -> ffm_of_vm v (B.ones kw)
-  | Table.Key.M_lpm (v, plen) -> ffm_of_vm v (B.init kw (fun i -> i < plen))
-  | Table.Key.M_ternary (v, mask) -> ffm_of_vm v mask
-
-let fentry_of (e : Table.entry) =
-  {
-    fe_src = e;
-    fe_tag = (match int_of_string_opt e.Table.action with Some t -> t | None -> 0);
-    fe_args = Array.of_list (List.map B.to_int e.Table.args);
-  }
-
-let refresh t (table : Table.t) =
-  t.ft_gen <- table.Table.generation;
-  (match table.Table.default with
-  | Some (a, _) ->
-    t.ft_def_present <- true;
-    t.ft_def_tag <- (match int_of_string_opt a with Some x -> x | None -> 0)
-  | None ->
-    t.ft_def_present <- false;
-    t.ft_def_tag <- 0);
-  let fields = table.Table.spec.Table.fields in
-  match table.Table.engine with
-  | Table.E_exact h ->
-    let cache = Hashtbl.create (max 16 (Hashtbl.length h)) in
-    Hashtbl.iter (fun k e -> Hashtbl.replace cache k (fentry_of e)) h;
-    t.ft_cache <- FC_exact cache
-  | Table.E_lpm _ ->
-    (* The trie picks the longest matching prefix; an ordered scan over
-       prefix-length-descending entries is equivalent. Deduplicate on the
-       trie key (exact bits + prefix) keeping the newest entry, since
-       [Lpm_trie.insert] replaces. *)
-    let seen = Hashtbl.create 16 in
-    let items = ref [] in
-    List.iter
-      (fun (e : Table.entry) ->
-        let dk = Buffer.create 32 in
-        let eplen = ref 0 in
-        List.iter2
-          (fun (f : Table.Key.field) m ->
-            match (f.Table.Key.kf_kind, m) with
-            | Table.Key.Lpm, Table.Key.M_lpm (v, p) ->
-              eplen := p;
-              Buffer.add_char dk '/';
-              Buffer.add_string dk (string_of_int p);
-              Buffer.add_char dk ':';
-              if p > 0 then Buffer.add_string dk (B.to_raw_string (B.slice v ~off:0 ~len:p))
-            | Table.Key.Lpm, Table.Key.M_exact v ->
-              eplen := f.Table.Key.kf_width;
-              Buffer.add_char dk '/';
-              Buffer.add_string dk (string_of_int f.Table.Key.kf_width);
-              Buffer.add_char dk ':';
-              Buffer.add_string dk (B.to_raw_string v)
-            | _, Table.Key.M_exact v ->
-              Buffer.add_char dk '=';
-              Buffer.add_string dk (B.to_raw_string v)
-            | _ -> ())
-          fields e.Table.matches;
-        let key = Buffer.contents dk in
-        if not (Hashtbl.mem seen key) then begin
-          Hashtbl.add seen key ();
-          let flds =
-            Array.of_list
-              (List.map2
-                 (fun (f : Table.Key.field) m ->
-                   match (f.Table.Key.kf_kind, m) with
-                   | Table.Key.Lpm, Table.Key.M_exact v ->
-                     ffm_of_vm v (B.ones f.Table.Key.kf_width)
-                   | _ -> ffm_of_fmatch m f.Table.Key.kf_width)
-                 fields e.Table.matches)
-          in
-          items := (!eplen, { fm_fields = flds; fm_fe = fentry_of e }) :: !items
-        end)
-      table.Table.entries;
-    let arr = Array.of_list (List.rev !items) in
-    (* Stable: among equal prefix lengths the prefixes are disjoint, so
-       relative order is irrelevant, but keep newest-first anyway. *)
-    Array.stable_sort (fun (a, _) (b, _) -> compare (b : int) a) arr;
-    t.ft_cache <- FC_scan (Array.map snd arr)
-  | Table.E_tcam tc ->
-    (* [Tcam.iter] yields entries in match (priority) order with the
-       value/mask concatenated over the whole key; split per field. *)
-    let widths = Array.of_list (List.map (fun f -> f.Table.Key.kf_width) fields) in
-    let items = ref [] in
-    Table.Tcam.iter tc (fun ~value ~mask ~priority:_ (e : Table.entry) ->
-        let flds = Array.make (Array.length widths) FF_any in
-        let off = ref 0 in
-        Array.iteri
-          (fun i kw ->
-            let v = B.slice value ~off:!off ~len:kw in
-            let m = B.slice mask ~off:!off ~len:kw in
-            off := !off + kw;
-            flds.(i) <- ffm_of_vm v m)
-          widths;
-        items := { fm_fields = flds; fm_fe = fentry_of e } :: !items);
-    t.ft_cache <- FC_scan (Array.of_list (List.rev !items))
-  | Table.E_hash ->
-    (* Candidate filtering over insertion-ordered entries, hash-kind
-       fields wildcarded — the flat twin of [Table.hash_candidates]. *)
-    let items =
-      List.rev_map
-        (fun (e : Table.entry) ->
-          let flds =
-            Array.of_list
-              (List.map2
-                 (fun (f : Table.Key.field) m ->
-                   if f.Table.Key.kf_kind = Table.Key.Hash then FF_any
-                   else ffm_of_fmatch m f.Table.Key.kf_width)
-                 fields e.Table.matches)
-          in
-          { fm_fields = flds; fm_fe = fentry_of e })
-        table.Table.entries
-    in
-    let arr = Array.of_list items in
-    t.ft_cache <- FC_hash (arr, Array.make (max 1 (Array.length arr)) 0)
 
 (* --- per-packet lookup (allocation-free) ------------------------------ *)
 
@@ -732,44 +573,19 @@ let rec read_keys t e i =
     | FK_raise msg -> invalid_arg msg
     | FK_miss -> false
 
-(* Masked comparison of packet bits at [off] against left-aligned
-   patterns, in 24-bit chunks. *)
-let rec wide_masked_eq buf ~off vpat mpat ~k ~w =
-  if k >= w then true
-  else begin
-    let cw = if w - k < 24 then w - k else 24 in
-    let pv = Bf.get_int vpat ~off:k ~width:cw in
-    let pm = Bf.get_int mpat ~off:k ~width:cw in
-    let x = Bf.get_int buf ~off:(off + k) ~width:cw in
-    if (x lxor pv) land pm <> 0 then false
-    else wide_masked_eq buf ~off vpat mpat ~k:(k + cw) ~w
-  end
+(* Entry matching against the scratch arrays delegates to the engine's
+   probe helpers (the single home of the masked-comparison code, shared
+   with the boxed view construction and the FDD's baked nodes). *)
+module E = Table.Engine
 
-let rec fment_matches t e flds i =
-  if i >= Array.length flds then true
-  else
-    match flds.(i) with
-    | FF_any -> fment_matches t e flds (i + 1)
-    | FF_narrow { fv; fmask } ->
-      if (t.ft_vals.(i) lxor fv) land fmask = 0 then fment_matches t e flds (i + 1)
-      else false
-    | FF_wide { vpat; mpat; fw } ->
-      if wide_masked_eq e.ev_fp.F.buf ~off:t.ft_offs.(i) vpat mpat ~k:0 ~w:fw then
-        fment_matches t e flds (i + 1)
-      else false
+let fment_matches t e flds i =
+  E.fment_matches ~vals:t.ft_vals ~offs:t.ft_offs ~buf:e.ev_fp.F.buf flds i
 
-let rec scan_ments t e (ments : fment array) i =
-  if i >= Array.length ments then -1
-  else if fment_matches t e ments.(i).fm_fields 0 then i
-  else scan_ments t e ments (i + 1)
+let scan_ments t e (ments : E.fment array) i =
+  E.scan_ments ~vals:t.ft_vals ~offs:t.ft_offs ~buf:e.ev_fp.F.buf ments i
 
-let rec collect_cands t e (ments : fment array) (cand : int array) i n =
-  if i >= Array.length ments then n
-  else if fment_matches t e ments.(i).fm_fields 0 then begin
-    cand.(n) <- i;
-    collect_cands t e ments cand (i + 1) (n + 1)
-  end
-  else collect_cands t e ments cand (i + 1) n
+let collect_cands t e (ments : E.fment array) (cand : int array) i n =
+  E.collect_cands ~vals:t.ft_vals ~offs:t.ft_offs ~buf:e.ev_fp.F.buf ments cand i n
 
 (* Render field [i]'s value into the exact-key scratch: the raw-byte form
    of [Bits.to_raw_string] (right-aligned big-endian in ceil(kw/8) bytes). *)
@@ -837,33 +653,50 @@ let flat_miss probe t e =
   Telemetry.Counter.incr probe.Telemetry.sp_misses;
   Telemetry.Counter.incr t.ft_miss_ctr
 
-let flat_hit probe t e (table : Table.t) fe =
-  table.Table.hits <- table.Table.hits + 1;
-  let src = fe.fe_src in
-  src.Table.hits <- src.Table.hits + 1;
+let flat_hit probe t e (eng : E.t) (fe : E.fentry) =
+  eng.E.hits <- eng.E.hits + 1;
+  let src = fe.E.fe_src in
+  src.E.hits <- src.E.hits + 1;
   e.ll_present <- true;
-  e.ll_tag <- fe.fe_tag;
+  e.ll_tag <- fe.E.fe_tag;
   e.ll_hit <- true;
-  e.ll_hits <- src.Table.hits;
-  e.ll_args <- fe.fe_args;
+  e.ll_hits <- src.E.hits;
+  e.ll_args <- fe.E.fe_args;
   Telemetry.Counter.incr probe.Telemetry.sp_hits;
   Telemetry.Counter.incr t.ft_hit_ctr;
-  e.ev_fp.F.meta.(Net.Meta.slot_switch_tag) <- fe.fe_tag land 0xFFFF
+  e.ev_fp.F.meta.(Net.Meta.slot_switch_tag) <- fe.E.fe_tag land 0xFFFF
 
 (* Engine miss with a default action: tag comes from the default, the
    switch tag is still written ([Table.apply] returns an outcome). *)
-let flat_default probe t e =
-  if t.ft_def_present then begin
+let flat_default probe t e (v : E.view) =
+  if v.E.v_def_present then begin
     e.ll_present <- true;
-    e.ll_tag <- t.ft_def_tag;
+    e.ll_tag <- v.E.v_def_tag;
     e.ll_hit <- false;
     e.ll_hits <- 0;
     e.ll_args <- empty_args;
     Telemetry.Counter.incr probe.Telemetry.sp_misses;
     Telemetry.Counter.incr t.ft_miss_ctr;
-    e.ev_fp.F.meta.(Net.Meta.slot_switch_tag) <- t.ft_def_tag land 0xFFFF
+    e.ev_fp.F.meta.(Net.Meta.slot_switch_tag) <- v.E.v_def_tag land 0xFFFF
   end
   else flat_miss probe t e
+
+(* Resolve the already-read key against the full view; raises [Not_found]
+   on a miss (constant exception: no allocation). *)
+let resolve_view t e (v : E.view) : E.fentry =
+  match v.E.v_kind with
+  | E.V_exact cache ->
+    build_exact_key t e;
+    (* [unsafe_to_string] is sound: [find] only reads the key during the
+       call, and stored keys are independent copies. *)
+    Hashtbl.find cache (Bytes.unsafe_to_string t.ft_exact_key)
+  | E.V_scan ments ->
+    let i = scan_ments t e ments 0 in
+    if i >= 0 then ments.(i).E.fm_fe else raise Not_found
+  | E.V_hash (ments, cand) ->
+    let n = collect_cands t e ments cand 0 0 in
+    if n = 0 then raise Not_found
+    else ments.(cand.(hash_key t e mod n)).E.fm_fe
 
 let apply_ftable probe t (e : fenv) =
   let fp = e.ev_fp in
@@ -874,25 +707,35 @@ let apply_ftable probe t (e : fenv) =
   | None -> flat_miss probe t e
   | Some table ->
     if read_keys t e 0 then begin
-      if t.ft_gen <> table.Table.generation then refresh t table;
-      table.Table.lookups <- table.Table.lookups + 1;
-      match t.ft_cache with
-      | FC_none -> flat_default probe t e (* unreachable: refresh ran *)
-      | FC_exact cache -> (
+      let eng = Table.engine table in
+      let v = E.view eng in
+      t.ft_gen <- v.E.v_gen;
+      eng.E.lookups <- eng.E.lookups + 1;
+      match eng.E.tier with
+      | None -> (
+        match resolve_view t e v with
+        | fe -> flat_hit probe t e eng fe
+        | exception Not_found -> flat_default probe t e v)
+      | Some tr -> (
+        (* Virtualized: probe the hot resolution set on the full rendered
+           key; a miss charges the modeled escalation penalty, resolves
+           against the authoritative view and promotes the resolution
+           (key copied out of the scratch buffer). *)
+        eng.E.tier_missed <- false;
         build_exact_key t e;
-        (* [unsafe_to_string] is sound: [find] only reads the key during
-           the call, and stored keys are independent copies. *)
-        match Hashtbl.find cache (Bytes.unsafe_to_string t.ft_exact_key) with
-        | fe -> flat_hit probe t e table fe
-        | exception Not_found -> flat_default probe t e)
-      | FC_scan ments ->
-        let i = scan_ments t e ments 0 in
-        if i >= 0 then flat_hit probe t e table ments.(i).fm_fe
-        else flat_default probe t e
-      | FC_hash (ments, cand) ->
-        let n = collect_cands t e ments cand 0 0 in
-        if n = 0 then flat_default probe t e
-        else flat_hit probe t e table ments.(cand.(hash_key t e mod n)).fm_fe
+        match E.hot_find tr (Bytes.unsafe_to_string t.ft_exact_key) with
+        | r ->
+          E.tier_touch tr r;
+          flat_hit probe t e eng r.E.r_fe
+        | exception Not_found -> (
+          E.tier_miss eng tr;
+          fp.F.cycles <- fp.F.cycles + t.ft_virt_cycles;
+          fp.F.virt_misses <- fp.F.virt_misses + 1;
+          match resolve_view t e v with
+          | fe ->
+            E.tier_promote tr (Bytes.to_string t.ft_exact_key) fe;
+            flat_hit probe t e eng fe
+          | exception Not_found -> flat_default probe t e v))
     end
     else flat_miss probe t e
 
@@ -998,6 +841,7 @@ let new_fenv () =
     ll_hit = false;
     ll_hits = 0;
     ll_args = empty_args;
+    ev_scratch = Bytes.create 64;
   }
 
 (* Compile a full template; [Error reason] = outside the flat subset

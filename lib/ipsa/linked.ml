@@ -428,7 +428,15 @@ let apply_ltable env probe lt (ctx : Context.t) =
     match values 0 [] with
     | None -> miss ()
     | Some values -> (
-      match Table.apply table values with
+      let outcome = Table.apply table values in
+      (* Virtualized tables: a hot-tier miss escalated to the full table;
+         charge the modeled penalty whatever the lookup concluded, as the
+         flat path does. *)
+      if Table.tier_missed table then begin
+        Context.add_cycles ctx env.cycles_cfg.Cycles.virt_miss;
+        ctx.Context.virt_misses <- ctx.Context.virt_misses + 1
+      end;
+      match outcome with
       | Some o ->
         let tag =
           match int_of_string_opt o.Table.o_action with Some t -> t | None -> 0

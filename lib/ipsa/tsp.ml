@@ -99,7 +99,14 @@ let apply_table env slot (ctx : Context.t) (ct : Template.compiled_table) =
     match key_values ctx ct with
     | None -> miss ()
     | Some values -> (
-      match Table.apply table values with
+      let outcome = Table.apply table values in
+      (* Virtualized tables: a hot-tier miss escalated to the full table;
+         charge the modeled penalty whatever the lookup concluded. *)
+      if Table.tier_missed table then begin
+        Context.add_cycles ctx env.cycles_cfg.Cycles.virt_miss;
+        ctx.Context.virt_misses <- ctx.Context.virt_misses + 1
+      end;
+      match outcome with
       | Some o ->
         let tag =
           match int_of_string_opt o.Table.o_action with Some t -> t | None -> 0

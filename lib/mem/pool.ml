@@ -19,6 +19,7 @@ type t = {
   block_depth : int; (* entries *)
   nclusters : int;
   mutable peak_used : int; (* high watermark of occupied blocks *)
+  mutable moved_entries : int; (* cumulative entries copied by [migrate] *)
 }
 
 let create ~nblocks ~block_width ~block_depth ~nclusters =
@@ -33,6 +34,7 @@ let create ~nblocks ~block_width ~block_depth ~nclusters =
     block_depth;
     nclusters;
     peak_used = 0;
+    moved_entries = 0;
   }
 
 let nblocks t = Array.length t.blocks
@@ -79,12 +81,16 @@ type allocation = {
 (* Allocate blocks for [table]. Blocks need not be adjacent (the paper:
    "an SRAM table can be mapped to some non-adjacent memory blocks"), but
    when [cluster] is given, all must come from that cluster — the
-   clustered-crossbar constraint. *)
-let allocate t ~table ~entry_width ~depth ?cluster () =
+   clustered-crossbar constraint. When [best_effort] and blocks run short,
+   grant whole rows of whatever is free: the allocation's [depth] then
+   records the granted capacity (< requested), and the caller is expected
+   to virtualize the table over the shortfall. *)
+let alloc_core t ~table ~entry_width ~depth ~best_effort ?cluster () =
   if owner_blocks t table <> [] then
     Error (Printf.sprintf "table %s already has an allocation" table)
   else begin
     let needed = blocks_needed t ~entry_width ~depth in
+    let cols = (entry_width + t.block_width - 1) / t.block_width in
     let candidates =
       match cluster with
       | Some c when c < 0 || c >= t.nclusters ->
@@ -99,20 +105,41 @@ let allocate t ~table ~entry_width ~depth ?cluster () =
         in
         List.concat by_cluster
     in
-    if List.length candidates < needed then
+    let avail = List.length candidates in
+    let grant, granted_depth =
+      if avail >= needed then (needed, depth)
+      else if best_effort && avail >= cols then
+        (* Whole rows only: a partial row can't hold a full-width entry. *)
+        let rows = avail / cols in
+        (rows * cols, min depth (rows * t.block_depth))
+      else (-1, 0)
+    in
+    if grant < 0 then
       Error
         (Printf.sprintf "table %s needs %d blocks, only %d free%s" table needed
-           (List.length candidates)
+           avail
            (match cluster with
            | Some c -> Printf.sprintf " in cluster %d" c
            | None -> ""))
     else begin
-      let chosen = List.filteri (fun i _ -> i < needed) candidates in
+      let chosen = List.filteri (fun i _ -> i < grant) candidates in
       List.iter (fun b -> b.owner <- Some table) chosen;
       t.peak_used <- max t.peak_used (List.length (used_blocks t));
-      Ok { table; blocks = List.map (fun b -> b.id) chosen; entry_width; depth }
+      Ok
+        {
+          table;
+          blocks = List.map (fun b -> b.id) chosen;
+          entry_width;
+          depth = granted_depth;
+        }
     end
   end
+
+let allocate t ~table ~entry_width ~depth ?cluster () =
+  alloc_core t ~table ~entry_width ~depth ~best_effort:false ?cluster ()
+
+let allocate_best_effort t ~table ~entry_width ~depth ?cluster () =
+  alloc_core t ~table ~entry_width ~depth ~best_effort:true ?cluster ()
 
 (* Recycle all blocks owned by [table]; returns how many were freed. *)
 let release t ~table =
@@ -130,12 +157,16 @@ let migrate t ~table ~entry_width ~depth ~cluster =
     (* Release first so same-cluster shrink/regrow can reuse blocks. *)
     let _ = release t ~table in
     match allocate t ~table ~entry_width ~depth ~cluster () with
-    | Ok alloc -> Ok (alloc, depth)
+    | Ok alloc ->
+      t.moved_entries <- t.moved_entries + depth;
+      Ok (alloc, depth)
     | Error e ->
       (* Roll back. *)
       List.iter (fun b -> b.owner <- Some table) old_blocks;
       Error e
   end
+
+let moved_entries t = t.moved_entries
 
 let stats t =
   let used = List.length (used_blocks t) in

@@ -49,6 +49,15 @@ val allocate :
     filled most-free-first to keep tables colocated. Fails without side
     effects when the table already has an allocation or blocks run out. *)
 
+val allocate_best_effort :
+  t -> table:string -> entry_width:int -> depth:int -> ?cluster:int -> unit ->
+  (allocation, string) result
+(** Like {!allocate}, but when fewer blocks are free than the table needs,
+    grants whole rows of whatever is available: the returned allocation's
+    [depth] records the granted capacity (< requested depth), and the
+    caller is expected to virtualize the table over the shortfall. Fails
+    only when not even one row ([⌈W/w⌉] blocks) fits. *)
+
 val release : t -> table:string -> int
 (** Recycle all blocks owned by [table]; returns how many were freed. *)
 
@@ -64,6 +73,10 @@ val stats : t -> int * int
 val peak_used : t -> int
 (** High watermark of occupied blocks over the pool's lifetime — what the
     [pool.peak_used] telemetry gauge reports during incremental updates. *)
+
+val moved_entries : t -> int
+(** Cumulative entries copied by {!migrate} over the pool's lifetime —
+    surfaced as the [pool.moved_entries] telemetry counter. *)
 
 val cluster_stats : t -> (int * int * int) list
 (** Per cluster: [(cluster, used, total)]. *)

@@ -36,6 +36,7 @@ type t = {
   mutable cycles : int;
   mutable parse_attempts : int;
   mutable lookups : int;
+  mutable virt_misses : int; (* hot-tier misses on virtualized tables *)
 }
 
 let create () =
@@ -55,6 +56,7 @@ let create () =
     cycles = 0;
     parse_attempts = 0;
     lookups = 0;
+    virt_misses = 0;
   }
 
 (* --- parsed-header map ------------------------------------------------ *)
@@ -106,7 +108,8 @@ let reset f ~layout =
   f.dropped <- false;
   f.cycles <- 0;
   f.parse_attempts <- 0;
-  f.lookups <- 0
+  f.lookups <- 0;
+  f.virt_misses <- 0
 
 let set_wire f bytes_len =
   if bytes_len > Bytes.length f.buf then

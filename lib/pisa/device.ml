@@ -431,6 +431,7 @@ let inject_batch t (pkts : Net.Packet.t array) :
               br_cycles = fp.Net.Flatpkt.cycles;
               br_lookups = fp.Net.Flatpkt.lookups;
               br_parse_attempts = fp.Net.Flatpkt.parse_attempts;
+              br_virt_misses = fp.Net.Flatpkt.virt_misses;
             }
         end
         else None
@@ -499,6 +500,7 @@ let inject_batch_fdd t (pkts : Net.Packet.t array) :
               br_cycles = fp.Net.Flatpkt.cycles;
               br_lookups = fp.Net.Flatpkt.lookups;
               br_parse_attempts = fp.Net.Flatpkt.parse_attempts;
+              br_virt_misses = fp.Net.Flatpkt.virt_misses;
             }
         end
         else None)

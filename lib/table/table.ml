@@ -1,8 +1,15 @@
-(* Unified match-action table.
+(* Unified match-action table: the authority layer over [Engine].
 
    One table = a key spec (ordered fields with match kinds), a bounded set
-   of entries, and a default action. The lookup engine is chosen from the
-   field kinds:
+   of entries, and a default action. All match *resolution* — physical
+   index selection (exact hash / LPM trie / TCAM / hash-bucket), the
+   int-keyed flat view used by the compiled paths, and the optional
+   Synapse-style virtualization tier — lives in [Engine]; this module
+   keeps authority over *contents*: it validates matches against the
+   declared spec, enforces the declared capacity, and owns the public
+   entry/default/stats surface the rest of the system programs against.
+
+   The index is chosen from the field kinds:
 
    - all exact                  -> hash index on the concatenated key
    - one lpm (+ exacts)         -> LPM trie (exact bits form the top of the prefix)
@@ -15,22 +22,30 @@
 
    A generic entry list remains the source of truth so entries can be
    enumerated (table migration, PISA full repopulation) regardless of the
-   engine. Entries carry hit counters, which the event-triggered flow
-   probe use case reads. *)
+   index. Entries carry hit counters, which the event-triggered flow
+   probe use case reads.
+
+   A *virtualized* table is declared larger than its in-pool residency:
+   [virtualize ~capacity] caps the engine's hot tier at [capacity]
+   resolutions while the full contents stay in the authoritative index
+   (conceptually controller-side). Lookups that miss the hot set incur a
+   modeled penalty ([tier_missed] is observable after each [lookup]/
+   [apply]) before escalating; [pin] protects prefixes from eviction. *)
 
 (* This file doubles as the library's root module (it shares the library
    name), so the sibling modules are re-exported here. *)
 module Key = Key
 module Lpm_trie = Lpm_trie
 module Tcam = Tcam
+module Engine = Engine
 
 type spec = {
   name : string;
   fields : Key.field list;
-  size : int; (* capacity in entries *)
+  size : int; (* declared capacity in entries *)
 }
 
-type entry = {
+type entry = Engine.entry = {
   matches : Key.fmatch list;
   action : string;
   args : Net.Bits.t list;
@@ -38,121 +53,25 @@ type entry = {
   mutable hits : int;
 }
 
-type engine =
-  | E_exact of (string, entry) Hashtbl.t
-  | E_lpm of entry Lpm_trie.t
-  | E_tcam of entry Tcam.t
-  | E_hash (* resolved over the entry list at lookup time *)
-
-type t = {
-  spec : spec;
-  mutable entries : entry list; (* newest first *)
-  engine : engine;
-  mutable default : (string * Net.Bits.t list) option;
-  mutable lookups : int;
-  mutable hits : int;
-  (* Bumped on every content mutation (insert/delete/clear/set_default) so
-     derived lookup structures (the flat fast path's caches) can detect
-     staleness with one int compare. Entry hit-counter updates do not bump. *)
-  mutable generation : int;
-}
+type t = { spec : spec; eng : Engine.t }
 
 let spec t = t.spec
 let name t = t.spec.name
 let key_width t = Key.total_width t.spec.fields
-let entry_count t = List.length t.entries
+let entry_count t = List.length t.eng.Engine.entries
 let capacity t = t.spec.size
-let entries t = List.rev t.entries
-let stats t = (t.lookups, t.hits)
-
-let choose_engine fields =
-  let kinds = List.map (fun f -> f.Key.kf_kind) fields in
-  let count k = List.length (List.filter (( = ) k) kinds) in
-  if count Key.Hash > 0 then E_hash
-  else if count Key.Ternary > 0 || count Key.Lpm > 1 then E_tcam (Tcam.create ())
-  else if count Key.Lpm = 1 then E_lpm (Lpm_trie.create ())
-  else E_exact (Hashtbl.create 64)
+let entries t = List.rev t.eng.Engine.entries
+let stats t = (t.eng.Engine.lookups, t.eng.Engine.hits)
+let generation t = t.eng.Engine.generation
+let engine t = t.eng
 
 let create spec =
   if spec.size <= 0 then invalid_arg "Table.create: size must be positive";
   if spec.fields = [] then invalid_arg "Table.create: empty key";
-  {
-    spec;
-    entries = [];
-    engine = choose_engine spec.fields;
-    default = None;
-    lookups = 0;
-    hits = 0;
-    generation = 0;
-  }
+  { spec; eng = Engine.create ~name:spec.name spec.fields }
 
-let set_default t action args =
-  t.default <- Some (action, args);
-  t.generation <- t.generation + 1
-let default t = t.default
-
-(* --- engine key construction ---------------------------------------- *)
-
-(* Concatenated exact key (raw bytes) for the hash engine. *)
-let exact_key_of_values values =
-  String.concat "" (List.map Net.Bits.to_raw_string values)
-
-let exact_key_of_matches matches =
-  String.concat ""
-    (List.map
-       (function
-         | Key.M_exact v -> Net.Bits.to_raw_string v
-         | _ -> invalid_arg "Table: exact engine requires exact matches")
-       matches)
-
-(* For the LPM engine: exact fields first, the single LPM field last, so a
-   single prefix covers all exact bits plus the route prefix. *)
-let lpm_parts fields matches =
-  let exacts = ref [] and lpm = ref None in
-  List.iter2
-    (fun f m ->
-      match (f.Key.kf_kind, m) with
-      | Key.Lpm, Key.M_lpm (v, plen) -> lpm := Some (v, plen)
-      | Key.Lpm, Key.M_exact v -> lpm := Some (v, f.Key.kf_width)
-      | _, Key.M_exact v -> exacts := v :: !exacts
-      | _ -> invalid_arg "Table: lpm engine requires exact/lpm matches")
-    fields matches;
-  match !lpm with
-  | None -> invalid_arg "Table: lpm engine entry lacks the lpm field"
-  | Some (v, plen) ->
-    let exact_bits = Net.Bits.concat_list (List.rev !exacts) in
-    (Net.Bits.concat exact_bits v, Net.Bits.width exact_bits + plen)
-
-let lpm_key fields values =
-  let exacts = ref [] and lpm = ref None in
-  List.iter2
-    (fun f v ->
-      match f.Key.kf_kind with
-      | Key.Lpm -> lpm := Some v
-      | _ -> exacts := v :: !exacts)
-    fields values;
-  match !lpm with
-  | None -> invalid_arg "Table: lpm engine key lacks the lpm field"
-  | Some v -> Net.Bits.concat (Net.Bits.concat_list (List.rev !exacts)) v
-
-(* For the TCAM engine: value/mask over the concatenated key. *)
-let tcam_parts fields matches =
-  let values = ref [] and masks = ref [] in
-  List.iter2
-    (fun f m ->
-      let w = f.Key.kf_width in
-      let v, mask =
-        match m with
-        | Key.M_exact v -> (v, Net.Bits.ones w)
-        | Key.M_lpm (v, plen) ->
-          (v, Net.Bits.init w (fun i -> i < plen))
-        | Key.M_ternary (v, mask) -> (v, mask)
-        | Key.M_any -> (Net.Bits.zero w, Net.Bits.zero w)
-      in
-      values := v :: !values;
-      masks := mask :: !masks)
-    fields matches;
-  (Net.Bits.concat_list (List.rev !values), Net.Bits.concat_list (List.rev !masks))
+let set_default t action args = Engine.set_default t.eng action args
+let default t = t.eng.Engine.default
 
 (* --- mutation --------------------------------------------------------- *)
 
@@ -160,61 +79,11 @@ exception Full of string
 
 let insert t ?(priority = 0) ~matches ~action ~args () =
   Key.check_matches t.spec.fields matches;
-  if List.length t.entries >= t.spec.size then raise (Full t.spec.name);
-  let entry = { matches; action; args; priority; hits = 0 } in
-  (match t.engine with
-  | E_exact tbl -> Hashtbl.replace tbl (exact_key_of_matches matches) entry
-  | E_lpm trie ->
-    let prefix, plen = lpm_parts t.spec.fields matches in
-    Lpm_trie.insert trie ~prefix ~plen entry
-  | E_tcam tcam ->
-    let value, mask = tcam_parts t.spec.fields matches in
-    Tcam.insert tcam ~value ~mask ~priority entry
-  | E_hash -> ());
-  (* Replace an identical-key entry to mirror engine semantics — except in
-     hash tables, where multiple identical wildcard entries are exactly how
-     ECMP members are expressed. *)
-  let others =
-    match t.engine with
-    | E_hash -> t.entries
-    | _ ->
-      List.filter
-        (fun e -> not (List.for_all2 Key.fmatch_equal e.matches matches))
-        t.entries
-  in
-  t.entries <- entry :: others;
-  t.generation <- t.generation + 1
+  if List.length t.eng.Engine.entries >= t.spec.size then raise (Full t.spec.name);
+  Engine.insert t.eng ~priority ~matches ~action ~args
 
-let delete t matches =
-  let existed =
-    List.exists (fun e -> List.for_all2 Key.fmatch_equal e.matches matches) t.entries
-  in
-  if existed then begin
-    t.entries <-
-      List.filter
-        (fun e -> not (List.for_all2 Key.fmatch_equal e.matches matches))
-        t.entries;
-    (match t.engine with
-    | E_exact tbl -> Hashtbl.remove tbl (exact_key_of_matches matches)
-    | E_lpm trie ->
-      let prefix, plen = lpm_parts t.spec.fields matches in
-      ignore (Lpm_trie.remove trie ~prefix ~plen)
-    | E_tcam tcam ->
-      let value, mask = tcam_parts t.spec.fields matches in
-      ignore (Tcam.remove tcam ~value ~mask)
-    | E_hash -> ());
-    t.generation <- t.generation + 1
-  end;
-  existed
-
-let clear t =
-  t.entries <- [];
-  t.generation <- t.generation + 1;
-  match t.engine with
-  | E_exact tbl -> Hashtbl.reset tbl
-  | E_lpm trie -> Lpm_trie.clear trie
-  | E_tcam tcam -> Tcam.clear tcam
-  | E_hash -> ()
+let delete t matches = Engine.remove t.eng matches
+let clear t = Engine.reset t.eng
 
 (* --- lookup ----------------------------------------------------------- *)
 
@@ -232,60 +101,77 @@ let check_key t values =
              f.Key.kf_ref f.Key.kf_width (Net.Bits.width v)))
     t.spec.fields values
 
-(* Entries whose non-hash fields match the key; used by the hash engine. *)
-let hash_candidates t values =
-  List.filter
-    (fun e ->
-      List.for_all2
-        (fun (f, m) v ->
-          match f.Key.kf_kind with
-          | Key.Hash -> true
-          | _ -> Key.fmatch_matches m v)
-        (List.combine t.spec.fields e.matches)
-        values)
-    (List.rev t.entries)
-
-let flow_hash t values =
-  let material =
-    List.concat_map
-      (fun (f, v) ->
-        match f.Key.kf_kind with
-        | Key.Hash -> [ Net.Bits.to_raw_string v ]
-        | _ -> [])
-      (List.combine t.spec.fields values)
-  in
-  Prelude.Crc32.digest_int (String.concat "" material)
-
 let lookup t values =
   check_key t values;
-  t.lookups <- t.lookups + 1;
-  let result =
-    match t.engine with
-    | E_exact tbl -> Hashtbl.find_opt tbl (exact_key_of_values values)
-    | E_lpm trie -> Lpm_trie.lookup trie (lpm_key t.spec.fields values)
-    | E_tcam tcam -> Tcam.lookup tcam (Net.Bits.concat_list values)
-    | E_hash -> (
-      match hash_candidates t values with
-      | [] -> None
-      | candidates ->
-        let n = List.length candidates in
-        Some (List.nth candidates (flow_hash t values mod n)))
-  in
-  (match result with
-  | Some e ->
-    t.hits <- t.hits + 1;
-    e.hits <- e.hits + 1
-  | None -> ());
-  result
+  Engine.lookup t.eng values
+
+(* Did the last [lookup]/[apply] on this table miss the virtualization
+   tier's hot set? (Always false on non-virtualized tables.) Execution
+   paths read this to charge the modeled escalation penalty. *)
+let tier_missed t = t.eng.Engine.tier_missed
 
 (* Lookup falling back to the default action on miss. Returns the action
    name, arguments, hit flag, and entry hit count (0 on default). *)
-type outcome = { o_action : string; o_args : Net.Bits.t list; o_hit : bool; o_hits : int }
+type outcome = {
+  o_action : string;
+  o_args : Net.Bits.t list;
+  o_hit : bool;
+  o_hits : int;
+  o_tier_miss : bool;
+}
 
 let apply t values =
   match lookup t values with
-  | Some e -> Some { o_action = e.action; o_args = e.args; o_hit = true; o_hits = e.hits }
+  | Some e ->
+    Some
+      {
+        o_action = e.action;
+        o_args = e.args;
+        o_hit = true;
+        o_hits = e.hits;
+        o_tier_miss = t.eng.Engine.tier_missed;
+      }
   | None -> (
-    match t.default with
-    | Some (action, args) -> Some { o_action = action; o_args = args; o_hit = false; o_hits = 0 }
+    match t.eng.Engine.default with
+    | Some (action, args) ->
+      Some
+        {
+          o_action = action;
+          o_args = args;
+          o_hit = false;
+          o_hits = 0;
+          o_tier_miss = t.eng.Engine.tier_missed;
+        }
     | None -> None)
+
+(* --- virtualization --------------------------------------------------- *)
+
+let virtualize t ~capacity = Engine.virtualize t.eng ~capacity
+let devirtualize t = Engine.devirtualize t.eng
+let virtualized t = Engine.virtualized t.eng
+
+(* Pin a prefix on the named key field so eviction never drops its
+   resolutions. Returns false when the table is not virtualized or the
+   field is not part of the key. *)
+let pin t ~field ~bits ~plen =
+  let rec idx_of i = function
+    | [] -> None
+    | f :: _ when f.Key.kf_ref = field -> Some i
+    | _ :: rest -> idx_of (i + 1) rest
+  in
+  match idx_of 0 t.spec.fields with
+  | None -> false
+  | Some idx -> Engine.pin t.eng ~idx ~bits ~plen
+
+type tier_stats = Engine.tier_stats = {
+  ts_capacity : int;
+  ts_resident : int;
+  ts_pinned : int;
+  ts_hits : int;
+  ts_misses : int;
+  ts_promotions : int;
+  ts_evictions : int;
+  ts_pin_blocked : int;
+}
+
+let tier_stats t = Engine.tier_stats t.eng

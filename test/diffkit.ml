@@ -107,6 +107,34 @@ let boot_quad case =
   let dev_f, dev_l, dev_i = boot_triple case in
   (dev_d, dev_f, dev_l, dev_i)
 
+(* --- virtualization twins ------------------------------------------------ *)
+
+(* Tier every table at [pct]% of its current entry count. Resolution
+   counts can exceed entry counts (LPM/ternary tables cache one
+   resolution per distinct key), so partial residency produces real
+   escalations and evictions, not just smaller tables. *)
+let virtualize_all device ~pct =
+  List.iter
+    (fun name ->
+      match Ipsa.Device.find_table device name with
+      | None -> ()
+      | Some tb ->
+        Table.virtualize tb ~capacity:(max 1 (Table.entry_count tb * pct / 100)))
+    (Ipsa.Device.table_names device)
+
+(* Virtualized twin of [boot_quad]: all four paths resolve through the
+   same engine tier, so driven with the same packet sequence they must
+   stay in exact lockstep with each other (including the modeled
+   escalation penalty) and agree with a fully-resident twin on
+   everything but timing. *)
+let boot_virt_quad ?(pct = 25) case =
+  let ((dev_d, dev_f, dev_l, dev_i) as q) = boot_quad case in
+  virtualize_all dev_d ~pct;
+  virtualize_all dev_f ~pct;
+  virtualize_all dev_l ~pct;
+  virtualize_all dev_i ~pct;
+  q
+
 (* --- observations ------------------------------------------------------- *)
 
 (* Everything a packet's traversal can observably produce. *)
@@ -170,3 +198,18 @@ let assert_same_forwarding ~what (a : observation) (b : observation) =
   if la <> lb then Alcotest.failf "%s: lookup counts differ (%d vs %d)" what la lb;
   if ra <> rb then
     Alcotest.failf "%s: parse attempts differ (%d vs %d)" what ra rb
+
+(* Forwarding-only comparison for virtualized-vs-resident twins: a tier
+   miss changes cycle accounting (the modeled escalation penalty) but
+   must never change the egress port, metadata or wire bytes. *)
+let same_forwarding (a : observation) (b : observation) =
+  let pa, ma, ba, _ = a and pb, mb, bb, _ = b in
+  pa = pb && ma = mb && ba = bb
+
+let assert_same_forwarding_weak ~what (a : observation) (b : observation) =
+  let pa, ma, ba, _ = a and pb, mb, bb, _ = b in
+  let port = function Some p -> string_of_int p | None -> "drop" in
+  if pa <> pb then
+    Alcotest.failf "%s: egress ports differ (%s vs %s)" what (port pa) (port pb);
+  if ma <> mb then Alcotest.failf "%s: metadata bindings differ" what;
+  if ba <> bb then Alcotest.failf "%s: wire bytes differ" what
