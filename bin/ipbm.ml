@@ -221,6 +221,78 @@ let fabric topo_name topo_file case archs packets interval gap seed start virt
   | Sys_error e -> `Error (false, e)
 
 (* ------------------------------------------------------------------ *)
+(* ipbm serve / ipbm client                                            *)
+(* ------------------------------------------------------------------ *)
+
+let endpoints_of socket port =
+  (match socket with Some p -> [ Service.Server.Unix_path p ] | None -> [])
+  @ (match port with Some p -> [ Service.Server.Tcp p ] | None -> [])
+
+let serve socket port tick_ms =
+  try
+    let endpoints =
+      match endpoints_of socket port with
+      | [] -> [ Service.Server.Unix_path "ipbm.sock" ]
+      | eps -> eps
+    in
+    let server =
+      Service.Server.create ~tick_s:(float_of_int tick_ms /. 1000.0) ~endpoints ()
+    in
+    List.iter
+      (fun ep ->
+        match ep with
+        | Service.Server.Unix_path p -> Printf.printf "ipbmd: listening on unix:%s\n%!" p
+        | Service.Server.Tcp p -> Printf.printf "ipbmd: listening on 127.0.0.1:%d\n%!" p)
+      endpoints;
+    let stop _ = Service.Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    Service.Server.serve server;
+    `Ok ()
+  with Unix.Unix_error (e, fn, arg) ->
+    `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+
+let client socket port op params_json tenants fib_v4 fib_v6 do_shutdown =
+  let connect () =
+    match (socket, port) with
+    | Some p, _ -> Service.Client.connect_unix p
+    | None, Some p -> Service.Client.connect_tcp p
+    | None, None -> Service.Client.connect_unix "ipbm.sock"
+  in
+  try
+    match op with
+    | "smoke" ->
+      let fib_v6 = if fib_v6 >= 0 then fib_v6 else fib_v4 / 4 in
+      (match
+         Service.Smoke.run ~log:print_endline ~tenants ~fib_v4 ~fib_v6
+           ~shutdown:do_shutdown ~connect ()
+       with
+      | Ok () ->
+        print_endline "smoke: ok";
+        `Ok ()
+      | Error e -> `Error (false, e))
+    | op ->
+      let params =
+        match params_json with
+        | None -> Prelude.Json.Obj []
+        | Some s -> Prelude.Json.of_string s
+      in
+      let c = connect () in
+      let r = Service.Client.call c ~op ~params in
+      Service.Client.close c;
+      (match r with
+      | Ok result ->
+        print_endline (Prelude.Json.to_string result);
+        `Ok ()
+      | Error e -> `Error (false, e))
+  with
+  | Unix.Unix_error (e, fn, arg) ->
+    `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | Prelude.Json.Parse_error e -> `Error (false, "bad --params JSON: " ^ e)
+  | Failure e -> `Error (false, e)
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,6 +368,63 @@ let fabric_term =
       (const fabric $ topo $ topo_file $ case $ arch $ packets $ interval $ gap
      $ seed $ start $ virt $ json $ telemetry $ check))
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"unix socket path (default ipbm.sock)")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1")
+
+let serve_term =
+  let tick_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "tick-ms" ] ~docv:"MS" ~doc:"telemetry tick interval")
+  in
+  Term.(ret (const serve $ socket_arg $ port_arg $ tick_ms))
+
+let client_term =
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "request op (ping | open_session | compile | check | patch | commit \
+             | protect | stats | subscribe | fib_load | fib_lookup | shutdown | \
+             ...), or $(b,smoke) for the multi-tenant end-to-end exercise")
+  in
+  let params =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"PARAMS" ~doc:"request params as a JSON object")
+  in
+  let tenants =
+    Arg.(value & opt int 8 & info [ "tenants" ] ~doc:"smoke: concurrent tenants")
+  in
+  let fib_v4 =
+    Arg.(
+      value & opt int 0 & info [ "fib-v4" ] ~doc:"smoke: IPv4 routes to load on tenant 0")
+  in
+  let fib_v6 =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fib-v6" ] ~doc:"smoke: IPv6 routes (default fib-v4/4)")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"smoke: stop the server afterwards")
+  in
+  Term.(
+    ret
+      (const client $ socket_arg $ port_arg $ op $ params $ tenants $ fib_v4
+     $ fib_v6 $ shutdown))
+
 let () =
   let info = Cmd.info "ipbm" ~doc:"IPSA behavioral-model software switch" in
   let run_cmd =
@@ -306,4 +435,14 @@ let () =
       (Cmd.info "fabric" ~doc:"multi-switch fabric with rolling in-situ rollouts")
       fabric_term
   in
-  exit (Cmd.eval (Cmd.group ~default:run_term info [ run_cmd; fabric_cmd ]))
+  let serve_cmd =
+    Cmd.v
+      (Cmd.info "serve" ~doc:"multi-tenant control-plane daemon (ipbmd)")
+      serve_term
+  in
+  let client_cmd =
+    Cmd.v (Cmd.info "client" ~doc:"talk to a running ipbmd") client_term
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:run_term info [ run_cmd; fabric_cmd; serve_cmd; client_cmd ]))

@@ -241,6 +241,14 @@ let compile_pending t : (Rp4bc.Compile.result_t, string list) result =
         ~snippet:Rp4.Ast.empty_program ~func_name:"__links__" ~cmds ~algo:t.algo
         ~pool:(Ipsa.Device.pool t.device))
 
+(* Drop the staged (uncommitted) transaction: the escape hatch a
+   dry-run consumer (the service's [check] endpoint) uses after a
+   failed staging or prepare, so leftovers never leak into the next
+   transaction. *)
+let discard t =
+  t.pending_load <- None;
+  t.pending_cmds <- []
+
 (* Configuration volume of a prepared patch — what a fleet controller
    charges against the control-channel bandwidth when it sizes the
    in-service window of a rolling rollout. *)

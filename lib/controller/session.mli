@@ -107,6 +107,11 @@ val unload : t -> func_name:string -> (timing, string list) result
 
 type prepared
 
+val discard : t -> unit
+(** Drop the staged (uncommitted) transaction, if any — what a dry-run
+    consumer calls after staging fails, so leftovers never leak into
+    the next transaction. *)
+
 val prepare : t -> (prepared, string list) result
 (** Compile the staged transaction {e without} touching the device. *)
 

@@ -1,0 +1,241 @@
+(* Synthetic internet-scale FIBs.
+
+   Generates v4/v6 route populations with the skewed prefix-length mix
+   real default-free-zone tables carry (v4 dominated by /24s and the
+   /16–/22 band, v6 by /48s and /32s), then loads them through
+   [Table.load] into [Mem.Pool]-backed LPM tables: the pool grant comes
+   from [allocate_best_effort], and a short grant auto-virtualizes the
+   table over the shortfall — exactly the device boot policy from the
+   Synapse-style tier, exercised here at ~1M-route scale. The tables'
+   authoritative [Net.Lpm] tries double as the raw route authority, and
+   [graft] projects the same routes onto a topology node's resolution
+   tries ([Topo.route_tries]). *)
+
+module Rng = Prelude.Rng
+module J = Prelude.Json
+module B = Net.Bits
+
+type route = {
+  r_prefix : string; (* full-width raw key bytes (4 / 16), host bits zero *)
+  r_plen : int;
+  r_port : int;
+}
+
+(* --- prefix-length distributions -------------------------------------- *)
+
+(* Weights shaped after public RouteViews/RIPE snapshots: v4 is ~60% /24
+   with a heavy /19–/23 shoulder; v6 is ~half /48 over a /32 base. *)
+let v4_plen_weights =
+  [|
+    (8, 1); (10, 1); (11, 2); (12, 5); (13, 8); (14, 13); (15, 15);
+    (16, 95); (17, 40); (18, 70); (19, 120); (20, 180); (21, 190);
+    (22, 440); (23, 400); (24, 2400); (25, 4); (26, 3); (27, 3);
+    (28, 3); (29, 3); (30, 2); (32, 6);
+  |]
+
+let v6_plen_weights =
+  [|
+    (19, 1); (20, 2); (24, 3); (28, 6); (29, 25); (30, 10); (32, 190);
+    (33, 15); (34, 12); (36, 30); (38, 10); (40, 60); (42, 15);
+    (44, 80); (46, 35); (48, 470); (52, 6); (56, 18); (64, 12); (128, 6);
+  |]
+
+let pick_plen rng weights total =
+  let r = ref (Rng.int rng total) in
+  let out = ref (fst weights.(0)) in
+  (try
+     Array.iter
+       (fun (plen, w) ->
+         if !r < w then begin
+           out := plen;
+           raise Exit
+         end
+         else r := !r - w)
+       weights
+   with Exit -> ());
+  !out
+
+(* Zero the bits beyond [plen] so the prefix is its own canonical key. *)
+let mask_host_bits b plen =
+  let nb = Bytes.length b in
+  let full = plen / 8 in
+  if plen land 7 <> 0 then
+    Bytes.set b full
+      (Char.chr (Char.code (Bytes.get b full) land (0xFF lxor (0xFF lsr (plen land 7)))));
+  Bytes.fill b (min nb ((plen + 7) / 8)) (nb - min nb ((plen + 7) / 8)) '\000'
+
+(* --- generation -------------------------------------------------------- *)
+
+let generate ~rng ~n ~nports ~width ~weights =
+  let nb = width / 8 in
+  let total = Array.fold_left (fun a (_, w) -> a + w) 0 weights in
+  let seen = Hashtbl.create ((2 * n) + 1) in
+  let out = ref [] in
+  let have = ref 0 in
+  while !have < n do
+    let plen = pick_plen rng weights total in
+    let b = Bytes.of_string (Rng.bytes rng nb) in
+    mask_host_bits b plen;
+    let prefix = Bytes.unsafe_to_string b in
+    let key = (plen, prefix) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := { r_prefix = prefix; r_plen = plen; r_port = 1 + Rng.int rng nports } :: !out;
+      incr have
+    end
+  done;
+  !out
+
+let generate_v4 ~rng ~n ~nports = generate ~rng ~n ~nports ~width:32 ~weights:v4_plen_weights
+let generate_v6 ~rng ~n ~nports = generate ~rng ~n ~nports ~width:128 ~weights:v6_plen_weights
+
+(* --- loading into pool-backed tables ----------------------------------- *)
+
+type loaded = {
+  lt_table : Table.t;
+  lt_requested : int; (* declared depth = route count *)
+  lt_granted : int; (* pool rows actually granted *)
+  lt_load_ns : float; (* wall time of the bulk [Table.load] *)
+}
+
+let lt_virtualized l = l.lt_granted < l.lt_requested
+
+type t = {
+  fib_pool : Mem.Pool.t;
+  fib_v4 : loaded;
+  fib_v6 : loaded;
+  fib_routes_v4 : route list;
+  fib_routes_v6 : route list;
+}
+
+(* The IPSA device pool's shape; callers pass a bigger one to study
+   residency, the service passes the tenant device's own pool. *)
+let default_pool () =
+  Mem.Pool.create ~nblocks:64 ~block_width:128 ~block_depth:1024 ~nclusters:4
+
+let port_width = 16
+
+let load_routes pool ?cluster ~name ~width routes =
+  let requested = List.length routes in
+  let alloc =
+    match
+      Mem.Pool.allocate_best_effort pool ~table:name ~entry_width:(width + port_width)
+        ~depth:requested ?cluster ()
+    with
+    | Ok a -> a
+    | Error e -> failwith (Printf.sprintf "Fibgen: pool refused %s: %s" name e)
+  in
+  let spec =
+    {
+      Table.name;
+      fields = [ { Table.Key.kf_ref = "ip.dst"; kf_width = width; kf_kind = Table.Key.Lpm } ];
+      size = max requested 1;
+    }
+  in
+  let table = Table.create spec in
+  let rows =
+    List.rev_map
+      (fun r ->
+        ( [ Table.Key.M_lpm (B.create ~width r.r_prefix, r.r_plen) ],
+          "set_port",
+          [ B.of_int ~width:port_width r.r_port ] ))
+      routes
+  in
+  let t0 = Unix.gettimeofday () in
+  Table.load table rows;
+  let load_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (* Short grant: the authoritative contents stay, residency shrinks to
+     what the pool could afford (the device-boot auto-virtualization
+     policy at FIB scale). *)
+  if alloc.Mem.Pool.depth < requested then Table.virtualize table ~capacity:alloc.Mem.Pool.depth;
+  { lt_table = table; lt_requested = requested; lt_granted = alloc.Mem.Pool.depth; lt_load_ns = load_ns }
+
+let build ?(seed = 42) ?(nports = 16) ?pool ~n_v4 ~n_v6 () =
+  let pool = match pool with Some p -> p | None -> default_pool () in
+  let rng = Rng.create seed in
+  let routes_v4 = generate_v4 ~rng ~n:n_v4 ~nports in
+  let routes_v6 = generate_v6 ~rng ~n:n_v6 ~nports in
+  (* A best-effort allocation grabs every free block, so two families on
+     one pool must not race for it: v6 is confined to the last cluster
+     (the clustered-crossbar constraint), then v4 sweeps the remainder.
+     Both end up short-granted — and virtualized — at internet scale. *)
+  let fib_v6 =
+    load_routes pool ~cluster:(Mem.Pool.nclusters pool - 1) ~name:"fib_v6" ~width:128
+      routes_v6
+  in
+  let fib_v4 = load_routes pool ~name:"fib_v4" ~width:32 routes_v4 in
+  { fib_pool = pool; fib_v4; fib_v6; fib_routes_v4 = routes_v4; fib_routes_v6 = routes_v6 }
+
+(* --- lookups ----------------------------------------------------------- *)
+
+let port_of_entry (e : Table.entry) =
+  match e.Table.args with a :: _ -> B.to_int a | [] -> -1
+
+(* Raw trie consultation: the authoritative [Net.Lpm] behind the table's
+   index, bypassing tier accounting. *)
+let trie_port loaded key =
+  match Table.lpm_trie loaded.lt_table with
+  | None -> None
+  | Some trie -> Option.map port_of_entry (Net.Lpm.lookup trie key)
+
+let lookup_v4 t key = trie_port t.fib_v4 key
+let lookup_v6 t key = trie_port t.fib_v6 key
+
+(* Boxed table path: counts lookups and exercises the hot tier (misses
+   escalate at the modeled penalty), so residency effects show up. *)
+let table_port loaded ~width key =
+  Option.map (fun (o : Table.outcome) ->
+      match o.Table.o_args with a :: _ -> B.to_int a | [] -> -1)
+    (Table.apply loaded.lt_table [ B.create ~width key ])
+
+let apply_v4 t key = table_port t.fib_v4 ~width:32 key
+let apply_v6 t key = table_port t.fib_v6 ~width:128 key
+
+(* Project the generated routes onto a topology node's resolution tries,
+   so [Topo.resolve_v4/v6] answers with the FIB's specifics instead of
+   the /0 defaults alone. *)
+let graft t ~fibs ~node =
+  List.iter
+    (fun r -> Topo.add_v4_route fibs ~node ~prefix:r.r_prefix ~plen:r.r_plen ~port:r.r_port)
+    t.fib_routes_v4;
+  List.iter
+    (fun r -> Topo.add_v6_route fibs ~node ~prefix:r.r_prefix ~plen:r.r_plen ~port:r.r_port)
+    t.fib_routes_v6
+
+(* --- reporting --------------------------------------------------------- *)
+
+let loaded_json l =
+  let ts = Table.tier_stats l.lt_table in
+  J.Obj
+    [
+      ("routes", J.Int l.lt_requested);
+      ("granted", J.Int l.lt_granted);
+      ("virtualized", J.Bool (lt_virtualized l));
+      ( "residency",
+        J.Float (if l.lt_requested = 0 then 1.0 else float_of_int l.lt_granted /. float_of_int l.lt_requested) );
+      ("load_ns", J.Float l.lt_load_ns);
+      ( "routes_per_sec",
+        J.Float
+          (if l.lt_load_ns <= 0.0 then 0.0
+           else float_of_int l.lt_requested /. (l.lt_load_ns /. 1e9)) );
+      ( "tier",
+        match ts with
+        | None -> J.Null
+        | Some s ->
+          J.Obj
+            [
+              ("capacity", J.Int s.Table.ts_capacity);
+              ("resident", J.Int s.Table.ts_resident);
+              ("hits", J.Int s.Table.ts_hits);
+              ("misses", J.Int s.Table.ts_misses);
+            ] );
+    ]
+
+let to_json t =
+  let used, free = Mem.Pool.stats t.fib_pool in
+  J.Obj
+    [
+      ("v4", loaded_json t.fib_v4);
+      ("v6", loaded_json t.fib_v6);
+      ("pool", J.Obj [ ("used_blocks", J.Int used); ("free_blocks", J.Int free) ]);
+    ]

@@ -86,6 +86,49 @@ let make ~nodes ~links ~routes = validate { nodes; links; routes }
 
 let route_of t node = List.find_opt (fun r -> r.rt_node = node) t.routes
 
+(* --- trie-backed route resolution -------------------------------------- *)
+
+(* Per-node longest-prefix-match authorities. The coarse [route] port
+   maps compile to /0 defaults; callers (Fibgen grafts, the service's
+   FIB endpoints) stack more-specific prefixes on top, and resolution
+   consults the trie instead of the flat per-family port. *)
+type fib = { fb_v4 : int Net.Lpm.t; fb_v6 : int Net.Lpm.t }
+type fibs = (string, fib) Hashtbl.t
+
+let fib_create () = { fb_v4 = Net.Lpm.create ~width:32; fb_v6 = Net.Lpm.create ~width:128 }
+
+let node_fib (fibs : fibs) node =
+  match Hashtbl.find_opt fibs node with
+  | Some fb -> fb
+  | None ->
+    let fb = fib_create () in
+    Hashtbl.replace fibs node fb;
+    fb
+
+let route_tries t : fibs =
+  let fibs = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let fb = node_fib fibs r.rt_node in
+      Net.Lpm.insert fb.fb_v4 ~prefix:(String.make 4 '\000') ~plen:0 (List.hd r.rt_v4_ports);
+      Net.Lpm.insert fb.fb_v6 ~prefix:(String.make 16 '\000') ~plen:0 r.rt_v6_port)
+    t.routes;
+  fibs
+
+let add_v4_route fibs ~node ~prefix ~plen ~port =
+  Net.Lpm.insert (node_fib fibs node).fb_v4 ~prefix ~plen port
+
+let add_v6_route fibs ~node ~prefix ~plen ~port =
+  Net.Lpm.insert (node_fib fibs node).fb_v6 ~prefix ~plen port
+
+let resolve_v4 (fibs : fibs) ~node addr =
+  Option.bind (Hashtbl.find_opt fibs node) (fun fb ->
+      Net.Lpm.lookup fb.fb_v4 (Net.Lpm.key_of_v4 addr))
+
+let resolve_v6 (fibs : fibs) ~node addr =
+  Option.bind (Hashtbl.find_opt fibs node) (fun fb ->
+      Net.Lpm.lookup fb.fb_v6 (Net.Lpm.key_of_v6 (Net.Addr.Ipv6.to_raw addr)))
+
 (* (node, port) -> (link, far endpoint); edge ports are absent. *)
 let peers t =
   let tbl = Hashtbl.create 16 in

@@ -1,0 +1,223 @@
+(* Path-compressed binary LPM trie over raw byte-string keys.
+
+   Each node carries its *absolute* prefix (normalised: ⌈plen/8⌉ bytes,
+   bits beyond plen zeroed), so descending never needs to reassemble a
+   prefix from edge fragments and lookups compare whole bytes at a time.
+   Children extend their parent's prefix by at least one bit; internal
+   nodes with no value and fewer than two children are merged away on
+   delete, which keeps the structure canonical: every valueless non-root
+   node has exactly two children. *)
+
+type 'a node = {
+  mutable n_plen : int;
+  mutable n_bits : string; (* ⌈n_plen/8⌉ bytes, trailing bits zero *)
+  mutable n_value : 'a option;
+  mutable n_zero : 'a node option;
+  mutable n_one : 'a node option;
+}
+
+type 'a t = {
+  t_width : int;
+  t_key_bytes : int;
+  t_root : 'a node;
+  mutable t_count : int;
+}
+
+let new_root () =
+  { n_plen = 0; n_bits = ""; n_value = None; n_zero = None; n_one = None }
+
+let create ~width =
+  if width <= 0 then invalid_arg "Lpm.create: width must be positive";
+  { t_width = width; t_key_bytes = (width + 7) / 8; t_root = new_root (); t_count = 0 }
+
+let width t = t.t_width
+let count t = t.t_count
+
+(* Bit [i] of [s], MSB-first within each byte. *)
+let get_bit s i =
+  (Char.code (String.unsafe_get s (i lsr 3)) lsr (7 - (i land 7))) land 1
+
+(* The canonical ⌈plen/8⌉-byte form of the first [plen] bits of [s]. *)
+let normalize s plen =
+  let nb = (plen + 7) / 8 in
+  if plen land 7 = 0 then String.sub s 0 nb
+  else begin
+    let b = Bytes.of_string (String.sub s 0 nb) in
+    let keep = 0xFF lxor (0xFF lsr (plen land 7)) in
+    Bytes.set b (nb - 1) (Char.chr (Char.code (Bytes.get b (nb - 1)) land keep));
+    Bytes.unsafe_to_string b
+  end
+
+(* First differing bit of [a] and [b] in [from, upto), or [upto]. Both
+   strings must hold at least ⌈upto/8⌉ bytes. Whole-byte comparison on
+   the aligned middle keeps this near-memcmp speed. *)
+let match_len a b ~from ~upto =
+  let i = ref from in
+  while !i < upto && !i land 7 <> 0 && get_bit a !i = get_bit b !i do
+    incr i
+  done;
+  if !i < upto && !i land 7 = 0 then begin
+    let full = upto lsr 3 in
+    let bi = ref (!i lsr 3) in
+    while !bi < full && String.unsafe_get a !bi = String.unsafe_get b !bi do
+      incr bi
+    done;
+    i := !bi lsl 3
+  end;
+  while !i < upto && get_bit a !i = get_bit b !i do
+    incr i
+  done;
+  !i
+
+let child node bit = if bit = 1 then node.n_one else node.n_zero
+
+let set_child node bit c =
+  if bit = 1 then node.n_one <- c else node.n_zero <- c
+
+let check_prefix fname t ~prefix ~plen =
+  if plen < 0 || plen > t.t_width then
+    invalid_arg (Printf.sprintf "Lpm.%s: prefix length %d out of [0,%d]" fname plen t.t_width);
+  if String.length prefix < (plen + 7) / 8 then
+    invalid_arg
+      (Printf.sprintf "Lpm.%s: prefix holds %d bytes, /%d needs %d" fname
+         (String.length prefix) plen ((plen + 7) / 8))
+
+let insert t ~prefix ~plen v =
+  check_prefix "insert" t ~prefix ~plen;
+  let key = normalize prefix plen in
+  let added () = t.t_count <- t.t_count + 1 in
+  let rec go node =
+    if node.n_plen = plen then begin
+      if node.n_value = None then added ();
+      node.n_value <- Some v
+    end
+    else begin
+      let bit = get_bit key node.n_plen in
+      match child node bit with
+      | None ->
+        set_child node bit
+          (Some { n_plen = plen; n_bits = key; n_value = Some v; n_zero = None; n_one = None });
+        added ()
+      | Some c ->
+        let m = match_len key c.n_bits ~from:node.n_plen ~upto:(min plen c.n_plen) in
+        if m = c.n_plen then go c
+        else if m = plen then begin
+          (* The new prefix sits strictly above [c]. *)
+          let n =
+            { n_plen = plen; n_bits = key; n_value = Some v; n_zero = None; n_one = None }
+          in
+          set_child n (get_bit c.n_bits plen) (Some c);
+          set_child node bit (Some n);
+          added ()
+        end
+        else begin
+          (* Diverge at [m]: fork under a fresh internal node. *)
+          let mid =
+            { n_plen = m; n_bits = normalize key m; n_value = None; n_zero = None; n_one = None }
+          in
+          set_child mid (get_bit c.n_bits m) (Some c);
+          set_child mid (get_bit key m)
+            (Some { n_plen = plen; n_bits = key; n_value = Some v; n_zero = None; n_one = None });
+          set_child node bit (Some mid);
+          added ()
+        end
+    end
+  in
+  go t.t_root
+
+let remove t ~prefix ~plen =
+  check_prefix "remove" t ~prefix ~plen;
+  let key = normalize prefix plen in
+  let removed = ref false in
+  (* Returns the canonical replacement for [node] in its parent slot. *)
+  let collapse node =
+    if node == t.t_root then Some node
+    else
+      match (node.n_value, node.n_zero, node.n_one) with
+      | None, None, None -> None
+      | None, Some only, None | None, None, Some only -> Some only
+      | _ -> Some node
+  in
+  let rec go node =
+    (if node.n_plen = plen then begin
+       if node.n_value <> None then begin
+         node.n_value <- None;
+         removed := true;
+         t.t_count <- t.t_count - 1
+       end
+     end
+     else
+       let bit = get_bit key node.n_plen in
+       match child node bit with
+       | Some c
+         when c.n_plen <= plen
+              && match_len key c.n_bits ~from:node.n_plen ~upto:c.n_plen = c.n_plen ->
+         set_child node bit (go c)
+       | _ -> ());
+    collapse node
+  in
+  ignore (go t.t_root);
+  !removed
+
+let lookup t key =
+  if String.length key < t.t_key_bytes then
+    invalid_arg
+      (Printf.sprintf "Lpm.lookup: key holds %d bytes, width %d needs %d"
+         (String.length key) t.t_width t.t_key_bytes);
+  let best = ref None in
+  let rec go node =
+    (match node.n_value with Some _ as v -> best := v | None -> ());
+    if node.n_plen < t.t_width then
+      match child node (get_bit key node.n_plen) with
+      | Some c when match_len key c.n_bits ~from:node.n_plen ~upto:c.n_plen = c.n_plen ->
+        go c
+      | _ -> ()
+  in
+  go t.t_root;
+  !best
+
+let find t ~prefix ~plen =
+  check_prefix "find" t ~prefix ~plen;
+  let key = normalize prefix plen in
+  let rec go node =
+    if node.n_plen = plen then node.n_value
+    else
+      match child node (get_bit key node.n_plen) with
+      | Some c
+        when c.n_plen <= plen
+             && match_len key c.n_bits ~from:node.n_plen ~upto:c.n_plen = c.n_plen ->
+        go c
+      | _ -> None
+  in
+  go t.t_root
+
+let iter t f =
+  let rec go node =
+    (match node.n_value with
+    | Some v -> f ~prefix:node.n_bits ~plen:node.n_plen v
+    | None -> ());
+    (match node.n_zero with Some c -> go c | None -> ());
+    match node.n_one with Some c -> go c | None -> ()
+  in
+  go t.t_root
+
+let clear t =
+  t.t_root.n_value <- None;
+  t.t_root.n_zero <- None;
+  t.t_root.n_one <- None;
+  t.t_count <- 0
+
+let load t rows =
+  List.iter (fun (prefix, plen, v) -> insert t ~prefix ~plen v) rows
+
+let key_of_v4 a =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (Int32.to_int (Int32.shift_right_logical a 24) land 0xFF);
+  Bytes.set_uint8 b 1 (Int32.to_int (Int32.shift_right_logical a 16) land 0xFF);
+  Bytes.set_uint8 b 2 (Int32.to_int (Int32.shift_right_logical a 8) land 0xFF);
+  Bytes.set_uint8 b 3 (Int32.to_int a land 0xFF);
+  Bytes.unsafe_to_string b
+
+let key_of_v6 s =
+  if String.length s <> 16 then invalid_arg "Lpm.key_of_v6: want 16 raw bytes";
+  s

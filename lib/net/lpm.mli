@@ -1,0 +1,61 @@
+(** Path-compressed binary LPM trie over raw byte-string keys.
+
+    The internet-scale route authority: where {!Table}'s per-table index
+    wants Bits-typed keys tied to a field spec, this trie speaks the raw
+    left-aligned byte strings a FIB loader or a packet path produces
+    directly — bit [i] of a key is bit [7-(i mod 8)] of byte [i/8], so a
+    4-byte IPv4 address or 16-byte IPv6 address is its own key.
+
+    Nodes store absolute prefixes and skip runs of non-branching bits
+    (path compression), so depth is bounded by the number of distinct
+    branch points, not the key width — on skewed internet FIBs lookups
+    touch a handful of nodes rather than 32/128.
+
+    Generic in the stored value. Not thread-safe. *)
+
+type 'a t
+
+val create : width:int -> 'a t
+(** A trie over keys of exactly [width] bits ([width > 0]). *)
+
+val width : 'a t -> int
+(** The key width the trie was created with, in bits. *)
+
+val count : 'a t -> int
+(** Number of prefixes currently stored. *)
+
+val insert : 'a t -> prefix:string -> plen:int -> 'a -> unit
+(** [insert t ~prefix ~plen v] stores [v] under the first [plen] bits of
+    [prefix], replacing any previous value of that exact prefix. [prefix]
+    must hold at least [⌈plen/8⌉] bytes; bits beyond [plen] are ignored.
+    @raise Invalid_argument on a bad [plen] or short [prefix]. *)
+
+val remove : 'a t -> prefix:string -> plen:int -> bool
+(** Removes the exact prefix, merging now-redundant internal nodes;
+    [false] if it was not present. *)
+
+val lookup : 'a t -> string -> 'a option
+(** [lookup t key] is the value of the longest stored prefix matching
+    [key] (a zero-length prefix acts as the default route). [key] must
+    hold at least [⌈width/8⌉] bytes.
+    @raise Invalid_argument on a short key. *)
+
+val find : 'a t -> prefix:string -> plen:int -> 'a option
+(** Exact-prefix fetch (no longest-match semantics). *)
+
+val iter : 'a t -> (prefix:string -> plen:int -> 'a -> unit) -> unit
+(** Visits every stored prefix; [prefix] is the normalised [⌈plen/8⌉]-byte
+    form with bits beyond [plen] zeroed. *)
+
+val clear : 'a t -> unit
+
+val load : 'a t -> (string * int * 'a) list -> unit
+(** Bulk [insert] of [(prefix, plen, value)] rows, in order (later rows
+    replace earlier ones on the same prefix). *)
+
+val key_of_v4 : int32 -> string
+(** 4-byte big-endian key of an IPv4 address ({!Net.Addr.Ipv4.t}). *)
+
+val key_of_v6 : string -> string
+(** Checks the 16-byte raw form of an IPv6 address and returns it.
+    @raise Invalid_argument when not 16 bytes. *)

@@ -1,0 +1,126 @@
+(* Blocking client for the ipbmd socket protocol — the `ipbm client`
+   backend and the smoke driver's transport. One connection, pipelining
+   allowed: [send] returns the request id immediately, [await] reads
+   frames until that id's response arrives (stashing out-of-order
+   responses and queueing event frames for [next_event]). *)
+
+module J = Prelude.Json
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  mutable next_id : int;
+  events : J.t Queue.t;
+  stash : (int, J.t) Hashtbl.t; (* out-of-order responses by id *)
+}
+
+let make fd = { fd; dec = Frame.decoder (); next_id = 0; events = Queue.create (); stash = Hashtbl.create 4 }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  make fd
+
+let connect_tcp ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  make fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let send t ~op ~params =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  write_all t.fd
+    (Frame.encode
+       (J.to_string (J.Obj [ ("id", J.Int id); ("op", J.String op); ("params", params) ])));
+  id
+
+(* One whole frame, or [None] on timeout. *)
+let read_frame t ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Frame.next t.dec with
+    | Some payload -> Some payload
+    | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then None
+      else begin
+        match Unix.select [ t.fd ] [] [] left with
+        | [], _, _ -> None
+        | _ -> (
+          match Unix.read t.fd buf 0 (Bytes.length buf) with
+          | 0 -> failwith "ipbm client: server closed the connection"
+          | n ->
+            Frame.feed_bytes t.dec buf 0 n;
+            go ())
+      end
+  in
+  go ()
+
+let classify j =
+  match J.member "event" j with
+  | Some _ -> `Event
+  | None -> (
+    match J.member "id" j with Some (J.Int id) -> `Response id | _ -> `Response (-1))
+
+let result_of j =
+  match J.member "ok" j with
+  | Some (J.Bool true) -> Ok (Option.value (J.member "result" j) ~default:J.Null)
+  | _ -> (
+    match J.member "error" j with
+    | Some (J.String e) -> Error e
+    | _ -> Error ("bad response: " ^ J.to_string j))
+
+let await ?(timeout = 60.0) t id =
+  match Hashtbl.find_opt t.stash id with
+  | Some j ->
+    Hashtbl.remove t.stash id;
+    result_of j
+  | None ->
+    let rec go () =
+      match read_frame t ~timeout with
+      | None -> Error (Printf.sprintf "timeout waiting for response %d" id)
+      | Some payload -> (
+        let j = J.of_string payload in
+        match classify j with
+        | `Event ->
+          Queue.add j t.events;
+          go ()
+        | `Response rid when rid = id -> result_of j
+        | `Response rid ->
+          Hashtbl.replace t.stash rid j;
+          go ())
+    in
+    go ()
+
+let call ?timeout t ~op ~params = await ?timeout t (send t ~op ~params)
+
+let next_event ?(timeout = 60.0) t =
+  if not (Queue.is_empty t.events) then Some (Queue.pop t.events)
+  else begin
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then None
+      else
+        match read_frame t ~timeout:left with
+        | None -> None
+        | Some payload -> (
+          let j = J.of_string payload in
+          match classify j with
+          | `Event -> Some j
+          | `Response rid ->
+            Hashtbl.replace t.stash rid j;
+            go ())
+    in
+    go ()
+  end

@@ -1,0 +1,70 @@
+(* Length-prefixed framing: 4-byte big-endian payload length, then the
+   payload bytes. Pure — no sockets here — so the codec is unit-testable
+   byte by byte: the decoder accepts arbitrary split reads and surfaces
+   exactly one [Error] condition (a declared length over [max_frame]),
+   from which a connection cannot resync and must close. *)
+
+exception Error of string
+
+(* Generous for JSON control traffic; a 1M-route FIB *reply* summary is
+   a few hundred bytes, not the routes themselves. *)
+let max_frame = 8 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_frame then
+    raise (Error (Printf.sprintf "frame of %d bytes exceeds max %d" n max_frame));
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* Incremental decoder: feed whatever bytes arrived, pull zero or more
+   complete payloads. *)
+type decoder = { mutable buf : Bytes.t; mutable len : int (* valid bytes *) }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let feed d s off n =
+  if n > 0 then begin
+    let need = d.len + n in
+    if need > Bytes.length d.buf then begin
+      let cap = ref (Bytes.length d.buf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit d.buf 0 b 0 d.len;
+      d.buf <- b
+    end;
+    Bytes.blit_string s off d.buf d.len n;
+    d.len <- need
+  end
+
+let feed_string d s = feed d s 0 (String.length s)
+
+let feed_bytes d b off n = feed d (Bytes.unsafe_to_string b) off n
+
+(* The next complete payload, or [None] until more bytes arrive.
+   @raise Error when the pending header declares an oversized frame. *)
+let next d =
+  if d.len < 4 then None
+  else begin
+    let g i = Bytes.get_uint8 d.buf i in
+    let n = (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3 in
+    if n > max_frame then
+      raise (Error (Printf.sprintf "peer declared a %d-byte frame (max %d)" n max_frame));
+    if d.len < 4 + n then None
+    else begin
+      let payload = Bytes.sub_string d.buf 4 n in
+      let rest = d.len - 4 - n in
+      if rest > 0 then Bytes.blit d.buf (4 + n) d.buf 0 rest;
+      d.len <- rest;
+      Some payload
+    end
+  end
+
+let pending d = d.len

@@ -1,0 +1,68 @@
+(* The service's JSON request/response shapes.
+
+   Request:  {"id": <any>, "op": "<name>", "params": {...}}
+   Response: {"id": <id echoed>, "ok": true,  "result": {...}}
+           | {"id": <id echoed>, "ok": false, "error": "<message>"}
+   Event:    {"event": "<name>", "data": {...}}   (subscription frames)
+
+   Malformed input never crashes the server: it maps to an ["ok": false]
+   reply with a null id. Parameter accessors raise [Bad_request], which
+   the dispatcher turns into the same structured error reply. *)
+
+module J = Prelude.Json
+
+exception Bad_request of string
+
+let badf fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+type request = { rq_id : J.t; rq_op : string; rq_params : J.t }
+
+let parse payload : (request, string) result =
+  match J.of_string payload with
+  | exception J.Parse_error e -> Error ("malformed JSON: " ^ e)
+  | J.Obj _ as j -> (
+    let id = Option.value (J.member "id" j) ~default:J.Null in
+    match J.member "op" j with
+    | Some (J.String op) ->
+      Ok { rq_id = id; rq_op = op; rq_params = Option.value (J.member "params" j) ~default:(J.Obj []) }
+    | Some _ -> Error "\"op\" must be a string"
+    | None -> Error "request lacks \"op\"")
+  | _ -> Error "request must be a JSON object"
+
+let ok id result = J.to_string (J.Obj [ ("id", id); ("ok", J.Bool true); ("result", result) ])
+
+let error id msg = J.to_string (J.Obj [ ("id", id); ("ok", J.Bool false); ("error", J.String msg) ])
+
+let event name data = J.to_string (J.Obj [ ("event", J.String name); ("data", data) ])
+
+(* --- parameter accessors ----------------------------------------------- *)
+
+let str_opt params name =
+  match J.member name params with
+  | Some (J.String s) -> Some s
+  | Some J.Null | None -> None
+  | Some _ -> badf "param %S must be a string" name
+
+let str params name =
+  match str_opt params name with
+  | Some s -> s
+  | None -> badf "missing param %S" name
+
+let int_opt params name =
+  match J.member name params with
+  | Some (J.Int i) -> Some i
+  | Some J.Null | None -> None
+  | Some _ -> badf "param %S must be an integer" name
+
+let int_default params name d = Option.value (int_opt params name) ~default:d
+
+let int_param params name =
+  match int_opt params name with
+  | Some i -> i
+  | None -> badf "missing param %S" name
+
+let bool_default params name d =
+  match J.member name params with
+  | Some (J.Bool b) -> b
+  | Some J.Null | None -> d
+  | Some _ -> badf "param %S must be a boolean" name

@@ -1,0 +1,782 @@
+(* The in-situ programmability control-plane daemon (ipbmd).
+
+   One process, one [Unix.select] event loop, many tenants: each tenant
+   opens a session over the length-prefixed JSON protocol ([Frame] /
+   [Proto]) and programs its own [Controller.Session] — an isolated
+   [Ipsa.Device] by default, or a named shared device guarded by a
+   writer lease. All the in-situ machinery rides along unchanged:
+   compiles run rp4lint + the symbolic verifier, patches are
+   blast-radius-gated against per-tenant protected prefixes, FIB loads
+   go through [Fabric.Fibgen] into the tenant device's memory pool
+   (auto-virtualizing under pressure), and telemetry is served both as
+   point-in-time [stats] snapshots and as [subscribe]d periodic frames.
+
+   The loop is exposed step-wise ([create] / [step] / [serve]) so tests
+   and embedders can pump it without threads; requests are handled to
+   completion inline, which keeps session state free of locks — the
+   concurrency story is socket-level interleaving, not parallelism. *)
+
+module J = Prelude.Json
+
+type endpoint = Unix_path of string | Tcp of int (* bound on 127.0.0.1 *)
+
+type mode = Isolated | Shared of string (* shared-device group name *)
+
+(* A shared device group: many tenants observe, one writer at a time. *)
+type shared_dev = {
+  sh_name : string;
+  sh_session : Controller.Session.t;
+  sh_device : Ipsa.Device.t;
+  mutable sh_lease : int option; (* session id holding the writer lease *)
+}
+
+type sess = {
+  x_sid : int;
+  x_tenant : string;
+  x_mode : mode;
+  x_session : Controller.Session.t;
+  x_device : Ipsa.Device.t;
+  x_shared : shared_dev option;
+  mutable x_fib : Fabric.Fibgen.t option;
+  x_prepared : (int, Controller.Session.prepared) Hashtbl.t;
+  mutable x_next_patch : int;
+  x_requests : Telemetry.Counter.t;
+  x_errors : Telemetry.Counter.t;
+  x_latency : Telemetry.Histogram.t; (* microseconds *)
+}
+
+type sub = {
+  sb_session : int;
+  sb_every : int; (* ticks between frames *)
+  mutable sb_left : int; (* frames remaining; -1 = unbounded *)
+  mutable sb_due : int; (* next tick to fire at *)
+  mutable sb_seq : int;
+}
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_dec : Frame.decoder;
+  c_out : Buffer.t; (* encoded frames not yet written *)
+  mutable c_ooff : int; (* written prefix of [c_out] *)
+  mutable c_close : bool; (* close once [c_out] drains *)
+  mutable c_subs : sub list;
+}
+
+type t = {
+  sv_listeners : Unix.file_descr list;
+  sv_unlink : string list; (* socket paths to remove on shutdown *)
+  sv_conns : (int, conn) Hashtbl.t;
+  mutable sv_next_conn : int;
+  sv_sessions : (int, sess) Hashtbl.t;
+  mutable sv_next_sid : int;
+  sv_shared : (string, shared_dev) Hashtbl.t;
+  sv_tel : Telemetry.t; (* the service's own registry *)
+  sv_base : string; (* default boot source *)
+  sv_resolve : string -> string;
+  sv_tick_s : float; (* telemetry tick period *)
+  mutable sv_next_tick_at : float;
+  mutable sv_tick : int;
+  mutable sv_stopping : bool;
+  sv_requests : Telemetry.Counter.t;
+  sv_errors : Telemetry.Counter.t;
+  sv_connections : Telemetry.Gauge.t;
+  sv_sessions_g : Telemetry.Gauge.t;
+  sv_read_buf : Bytes.t;
+}
+
+let default_resolve = function
+  | "ecmp.rp4" -> Usecases.Ecmp.source
+  | "srv6.rp4" -> Usecases.Srv6.source
+  | "probe.rp4" -> Usecases.Flowprobe.source
+  | other -> invalid_arg ("no such file " ^ other)
+
+let listen_on = function
+  | Unix_path path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    (fd, Some path)
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    (fd, None)
+
+let create ?(base_source = Usecases.Base_l23.source) ?(resolve_file = default_resolve)
+    ?(tick_s = 0.2) ~endpoints () =
+  if endpoints = [] then invalid_arg "Server.create: no endpoints";
+  let bound = List.map listen_on endpoints in
+  let tel = Telemetry.create () in
+  {
+    sv_listeners = List.map fst bound;
+    sv_unlink = List.filter_map snd bound;
+    sv_conns = Hashtbl.create 16;
+    sv_next_conn = 0;
+    sv_sessions = Hashtbl.create 16;
+    sv_next_sid = 0;
+    sv_shared = Hashtbl.create 4;
+    sv_tel = tel;
+    sv_base = base_source;
+    sv_resolve = resolve_file;
+    sv_tick_s = tick_s;
+    sv_next_tick_at = Unix.gettimeofday () +. tick_s;
+    sv_tick = 0;
+    sv_stopping = false;
+    sv_requests = Telemetry.counter tel "service.requests_total";
+    sv_errors = Telemetry.counter tel "service.errors_total";
+    sv_connections = Telemetry.gauge tel "service.connections";
+    sv_sessions_g = Telemetry.gauge tel "service.sessions";
+    sv_read_buf = Bytes.create 65536;
+  }
+
+let telemetry t = t.sv_tel
+let tick t = t.sv_tick
+
+(* --- session lifecycle ------------------------------------------------- *)
+
+let boot_controller t ~source ~populate =
+  let dev_tel = Telemetry.create () in
+  let device = Ipsa.Device.create ~telemetry:dev_tel ~ntsps:8 () in
+  match Controller.Session.boot ~resolve_file:t.sv_resolve ~source device with
+  | Error errs -> Error (String.concat "; " errs)
+  | Ok session ->
+    if populate then
+      match Controller.Session.run_script session Usecases.Base_l23.population with
+      | Ok _ -> Ok (session, device)
+      | Error e -> Error ("population: " ^ e)
+    else Ok (session, device)
+
+let shared_group t name ~source ~populate =
+  match Hashtbl.find_opt t.sv_shared name with
+  | Some sh -> Ok sh
+  | None -> (
+    match boot_controller t ~source ~populate with
+    | Error e -> Error e
+    | Ok (session, device) ->
+      let sh = { sh_name = name; sh_session = session; sh_device = device; sh_lease = None } in
+      Hashtbl.replace t.sv_shared name sh;
+      Ok sh)
+
+let open_session t ~tenant ~mode ~source ~populate =
+  let booted =
+    match mode with
+    | Isolated ->
+      Result.map (fun (s, d) -> (s, d, None)) (boot_controller t ~source ~populate)
+    | Shared group ->
+      Result.map
+        (fun sh -> (sh.sh_session, sh.sh_device, Some sh))
+        (shared_group t group ~source ~populate)
+  in
+  match booted with
+  | Error e -> Error e
+  | Ok (session, device, shared) ->
+    let sid = t.sv_next_sid in
+    t.sv_next_sid <- sid + 1;
+    let labels = [ ("tenant", tenant) ] in
+    let s =
+      {
+        x_sid = sid;
+        x_tenant = tenant;
+        x_mode = mode;
+        x_session = session;
+        x_device = device;
+        x_shared = shared;
+        x_fib = None;
+        x_prepared = Hashtbl.create 4;
+        x_next_patch = 0;
+        x_requests = Telemetry.counter ~labels t.sv_tel "service.requests";
+        x_errors = Telemetry.counter ~labels t.sv_tel "service.errors";
+        x_latency =
+          Telemetry.histogram ~labels
+            ~buckets:[ 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ]
+            t.sv_tel "service.latency_us";
+      }
+    in
+    Hashtbl.replace t.sv_sessions sid s;
+    Telemetry.Gauge.set t.sv_sessions_g (Hashtbl.length t.sv_sessions);
+    Ok s
+
+let close_session t s =
+  (match s.x_shared with
+  | Some sh when sh.sh_lease = Some s.x_sid -> sh.sh_lease <- None
+  | _ -> ());
+  Hashtbl.remove t.sv_sessions s.x_sid;
+  Telemetry.Gauge.set t.sv_sessions_g (Hashtbl.length t.sv_sessions)
+
+(* Writer-lease discipline on shared devices: the first writer op takes
+   the lease; others read until it is released (or the holder closes). *)
+let acquire_writer s =
+  match s.x_shared with
+  | None -> Ok ()
+  | Some sh -> (
+    match sh.sh_lease with
+    | None ->
+      sh.sh_lease <- Some s.x_sid;
+      Ok ()
+    | Some holder when holder = s.x_sid -> Ok ()
+    | Some holder ->
+      Error (Printf.sprintf "device %s lease held by session %d" sh.sh_name holder))
+
+(* --- request handling --------------------------------------------------- *)
+
+let mode_to_string = function Isolated -> "isolated" | Shared g -> "shared:" ^ g
+
+let sess_exn t params =
+  let sid = Proto.int_param params "session" in
+  match Hashtbl.find_opt t.sv_sessions sid with
+  | Some s -> s
+  | None -> Proto.badf "no such session %d" sid
+
+(* Commands a [compile]/[check] dry-run may stage; everything mutating
+   the device directly belongs to [commit]. *)
+let stage_cmd s (cmd : Controller.Command.t) =
+  match cmd with
+  | Controller.Command.Load _ | Controller.Command.Add_link _ | Controller.Command.Del_link _
+  | Controller.Command.Link_header _ | Controller.Command.Unlink_header _
+  | Controller.Command.Set_entry _ ->
+    Controller.Session.exec s.x_session cmd
+  | other ->
+    Error
+      (Printf.sprintf "command %S is not stageable; use commit"
+         (Controller.Command.to_string other))
+
+let stage_script s text =
+  let cmds =
+    try Ok (Controller.Command.parse_script text)
+    with Controller.Command.Parse_error e -> Error e
+  in
+  match cmds with
+  | Error e -> Error e
+  | Ok cmds ->
+    let rec go = function
+      | [] -> Ok ()
+      | c :: rest -> ( match stage_cmd s c with Ok _ -> go rest | Error e -> Error e)
+    in
+    go cmds
+
+let timing_json (tm : Controller.Session.timing) =
+  J.Obj
+    [
+      ("compile_ns", J.Float tm.Controller.Session.compile_ns);
+      ("load_ns", J.Float tm.Controller.Session.load_ns);
+    ]
+
+let impact_json report =
+  J.Obj
+    [
+      ("summary", J.String (Analysis.Impact.summary report));
+      ("report", Analysis.Impact.to_json report);
+    ]
+
+let session_brief s =
+  J.Obj
+    [
+      ("session", J.Int s.x_sid);
+      ("tenant", J.String s.x_tenant);
+      ("mode", J.String (mode_to_string s.x_mode));
+      ( "lease",
+        match s.x_shared with
+        | None -> J.Null
+        | Some sh -> (
+          match sh.sh_lease with Some l -> J.Int l | None -> J.Null) );
+      ("requests", J.Int (Telemetry.Counter.value s.x_requests));
+      ("errors", J.Int (Telemetry.Counter.value s.x_errors));
+      ("protected", J.Int (List.length (Controller.Session.protected_prefixes s.x_session)));
+    ]
+
+let do_check t params =
+  match Proto.str_opt params "source" with
+  | Some source -> (
+    (* Whole-program lint + symbolic verdicts, no session required. *)
+    match Rp4.Parser.parse_string source with
+    | exception (Rp4.Parser.Error e | Rp4.Lexer.Error e) ->
+      Ok (J.Obj [ ("valid", J.Bool false); ("errors", J.List [ J.String e ]) ])
+    | prog -> (
+      match Analysis.Check.check_program prog with
+      | Error errs ->
+        Ok
+          (J.Obj
+             [
+               ("valid", J.Bool false);
+               ("errors", J.List (List.map (fun e -> J.String e) errs));
+             ])
+      | Ok (result, diags) ->
+        let sym = Analysis.Check.symbolic result.Rp4bc.Compile.design in
+        Ok
+          (J.Obj
+             [
+               ("valid", J.Bool true);
+               ("lint", Analysis.Diag.report_to_json diags);
+               ("symbolic", Analysis.Diag.report_to_json sym.Analysis.Symexec.r_diags);
+               ("paths", J.Int sym.Analysis.Symexec.r_paths);
+             ])))
+  | None -> (
+    (* Dry-run an update script against the session's design: stage,
+       prepare (compile + lint + blast radius), report, discard. *)
+    let s = sess_exn t params in
+    let script = Proto.str params "script" in
+    match stage_script s script with
+    | Error e ->
+      Controller.Session.discard s.x_session;
+      Ok (J.Obj [ ("valid", J.Bool false); ("errors", J.List [ J.String e ]) ])
+    | Ok () -> (
+      match Controller.Session.prepare s.x_session with
+      | Error errs ->
+        Controller.Session.discard s.x_session;
+        Ok
+          (J.Obj
+             [
+               ("valid", J.Bool false);
+               ("errors", J.List (List.map (fun e -> J.String e) errs));
+             ])
+      | Ok prepared ->
+        Ok
+          (J.Obj
+             [
+               ("valid", J.Bool true);
+               ( "warnings",
+                 J.List
+                   (List.map
+                      (fun w -> J.String w)
+                      (Controller.Session.last_warnings s.x_session)) );
+               ("impact", impact_json (Controller.Session.prepared_impact prepared));
+               ("bytes", J.Int (Controller.Session.prepared_bytes prepared));
+             ])))
+
+let do_fib_load t s params =
+  let n_v4 = Proto.int_default params "v4" 100_000 in
+  let n_v6 = Proto.int_default params "v6" (max 1 (n_v4 / 4)) in
+  let seed = Proto.int_default params "seed" 42 in
+  let nports = Proto.int_default params "nports" 16 in
+  if n_v4 < 1 || n_v6 < 1 then Proto.badf "fib_load: route counts must be positive";
+  (* The tenant's device pool is normally fully committed to the booted
+     design's own tables, so the FIB defaults to a dedicated pool of the
+     same geometry — still allocate_best_effort, still short-granted and
+     auto-virtualized at internet scale. [device_pool=true] opts into
+     contending with the design's tables instead. *)
+  let pool =
+    if Proto.bool_default params "device_pool" false then Ipsa.Device.pool s.x_device
+    else Fabric.Fibgen.default_pool ()
+  in
+  let fib = Fabric.Fibgen.build ~seed ~nports ~pool ~n_v4 ~n_v6 () in
+  s.x_fib <- Some fib;
+  ignore t;
+  Ok (Fabric.Fibgen.to_json fib)
+
+let do_fib_lookup s params =
+  let fib =
+    match s.x_fib with
+    | Some f -> f
+    | None -> Proto.badf "fib_lookup: no FIB loaded in session %d" s.x_sid
+  in
+  let addr = Proto.str params "addr" in
+  let trie_port, table_port =
+    if String.contains addr ':' then begin
+      let key = Net.Addr.Ipv6.to_raw (Net.Addr.Ipv6.of_string_exn addr) in
+      (Fabric.Fibgen.lookup_v6 fib key, Fabric.Fibgen.apply_v6 fib key)
+    end
+    else begin
+      let key = Net.Lpm.key_of_v4 (Net.Addr.Ipv4.of_string_exn addr) in
+      (Fabric.Fibgen.lookup_v4 fib key, Fabric.Fibgen.apply_v4 fib key)
+    end
+  in
+  let port_json = function Some p -> J.Int p | None -> J.Null in
+  Ok
+    (J.Obj
+       [
+         ("addr", J.String addr);
+         ("trie_port", port_json trie_port);
+         ("table_port", port_json table_port);
+         ("agree", J.Bool (trie_port = table_port));
+       ])
+
+(* Dispatch one parsed request. Returns the result document and, when
+   the op is attributable to a tenant session, that session (for
+   per-tenant accounting — including on the error path). *)
+let dispatch t conn (rq : Proto.request) : (J.t, string) result * sess option =
+  let params = rq.Proto.rq_params in
+  let attributed = ref None in
+  let result =
+    try
+      match rq.Proto.rq_op with
+      | "ping" -> Ok (J.Obj [ ("pong", J.Int t.sv_tick) ])
+      | "open_session" ->
+        let tenant = Proto.str params "tenant" in
+        let mode =
+          match Proto.str_opt params "mode" with
+          | None | Some "isolated" -> Isolated
+          | Some "shared" ->
+            Shared (Option.value (Proto.str_opt params "device") ~default:"shared0")
+          | Some other -> Proto.badf "unknown mode %S" other
+        in
+        let source =
+          match Proto.str_opt params "source" with Some s -> s | None -> t.sv_base
+        in
+        let populate =
+          Proto.bool_default params "populate" (Proto.str_opt params "source" = None)
+        in
+        Result.map
+          (fun s ->
+            attributed := Some s;
+            J.Obj
+              [
+                ("session", J.Int s.x_sid);
+                ("tenant", J.String s.x_tenant);
+                ("mode", J.String (mode_to_string s.x_mode));
+              ])
+          (open_session t ~tenant ~mode ~source ~populate)
+      | "close_session" ->
+        let s = sess_exn t params in
+        attributed := Some s;
+        close_session t s;
+        Ok (J.Obj [ ("closed", J.Int s.x_sid) ])
+      | "list_sessions" ->
+        Ok (J.List (Hashtbl.fold (fun _ s acc -> session_brief s :: acc) t.sv_sessions []))
+      | "compile" -> (
+        (* Stage + prepare: compiles (rp4lint + blast radius) without
+           touching the device; the patch id applies it later. *)
+        let s = sess_exn t params in
+        attributed := Some s;
+        let script = Proto.str params "script" in
+        match acquire_writer s with
+        | Error e -> Error e
+        | Ok () -> (
+          match stage_script s script with
+          | Error e ->
+            Controller.Session.discard s.x_session;
+            Error e
+          | Ok () -> (
+            match Controller.Session.prepare s.x_session with
+            | Error errs -> Error (String.concat "; " errs)
+            | Ok prepared ->
+              let id = s.x_next_patch in
+              s.x_next_patch <- id + 1;
+              Hashtbl.replace s.x_prepared id prepared;
+              Ok
+                (J.Obj
+                   [
+                     ("patch", J.Int id);
+                     ("bytes", J.Int (Controller.Session.prepared_bytes prepared));
+                     ( "warnings",
+                       J.List
+                         (List.map
+                            (fun w -> J.String w)
+                            (Controller.Session.last_warnings s.x_session)) );
+                     ("impact", impact_json (Controller.Session.prepared_impact prepared));
+                   ]))))
+      | "patch" -> (
+        (* Apply a prepared patch in-service; the blast-radius gate runs
+           against this tenant's protected prefixes at push time. *)
+        let s = sess_exn t params in
+        attributed := Some s;
+        let id = Proto.int_param params "patch" in
+        match Hashtbl.find_opt s.x_prepared id with
+        | None -> Error (Printf.sprintf "no prepared patch %d" id)
+        | Some prepared -> (
+          match acquire_writer s with
+          | Error e -> Error e
+          | Ok () -> (
+            match Controller.Session.apply_prepared s.x_session prepared with
+            | Error errs -> Error (String.concat "; " errs)
+            | Ok tm ->
+              Hashtbl.remove s.x_prepared id;
+              Ok (J.Obj [ ("applied", J.Int id); ("timing", timing_json tm) ]))))
+      | "commit" -> (
+        (* Run a full controller script (loads, links, commit,
+           table_add/del, protect, virtualize ...) — the scripting
+           surface of ipbm, verbatim over the wire. *)
+        let s = sess_exn t params in
+        attributed := Some s;
+        let script = Proto.str params "script" in
+        match acquire_writer s with
+        | Error e -> Error e
+        | Ok () -> (
+          match Controller.Session.run_script s.x_session script with
+          | Error e -> Error e
+          | Ok outputs ->
+            Ok (J.Obj [ ("outputs", J.List (List.map (fun o -> J.String o) outputs)) ])))
+      | "check" ->
+        (match Proto.str_opt params "source" with
+        | None -> attributed := Some (sess_exn t params)
+        | Some _ -> ());
+        do_check t params
+      | "protect" -> (
+        let s = sess_exn t params in
+        attributed := Some s;
+        let prefix = Proto.str params "prefix" in
+        match Controller.Session.protect s.x_session prefix with
+        | Error e -> Error e
+        | Ok () ->
+          Ok
+            (J.Obj
+               [
+                 ( "protected",
+                   J.Int (List.length (Controller.Session.protected_prefixes s.x_session)) );
+               ]))
+      | "release" -> (
+        let s = sess_exn t params in
+        attributed := Some s;
+        match s.x_shared with
+        | Some sh when sh.sh_lease = Some s.x_sid ->
+          sh.sh_lease <- None;
+          Ok (J.Obj [ ("released", J.Bool true) ])
+        | Some _ -> Error "lease not held by this session"
+        | None -> Error "session is not on a shared device")
+      | "fib_load" ->
+        let s = sess_exn t params in
+        attributed := Some s;
+        (match acquire_writer s with Error e -> Error e | Ok () -> do_fib_load t s params)
+      | "fib_lookup" ->
+        let s = sess_exn t params in
+        attributed := Some s;
+        do_fib_lookup s params
+      | "stats" -> (
+        match Proto.int_opt params "session" with
+        | Some _ ->
+          let s = sess_exn t params in
+          attributed := Some s;
+          Ok
+            (J.Obj
+               [
+                 ("session", session_brief s);
+                 ("telemetry", Telemetry.to_json (Controller.Session.metrics s.x_session));
+                 ( "fib",
+                   match s.x_fib with
+                   | Some fib -> Fabric.Fibgen.to_json fib
+                   | None -> J.Null );
+               ])
+        | None ->
+          Ok
+            (J.Obj
+               [
+                 ("tick", J.Int t.sv_tick);
+                 ( "sessions",
+                   J.List
+                     (Hashtbl.fold (fun _ s acc -> session_brief s :: acc) t.sv_sessions [])
+                 );
+                 ("telemetry", Telemetry.to_json t.sv_tel);
+               ]))
+      | "subscribe" ->
+        let s = sess_exn t params in
+        attributed := Some s;
+        let every = max 1 (Proto.int_default params "every" 1) in
+        let count = Proto.int_default params "count" 4 in
+        if count = 0 || count < -1 then Proto.badf "subscribe: bad count %d" count;
+        conn.c_subs <-
+          {
+            sb_session = s.x_sid;
+            sb_every = every;
+            sb_left = count;
+            sb_due = t.sv_tick + every;
+            sb_seq = 0;
+          }
+          :: conn.c_subs;
+        Ok (J.Obj [ ("subscribed", J.Int s.x_sid); ("every", J.Int every); ("count", J.Int count) ])
+      | "unsubscribe" ->
+        let s = sess_exn t params in
+        attributed := Some s;
+        let before = List.length conn.c_subs in
+        conn.c_subs <- List.filter (fun sb -> sb.sb_session <> s.x_sid) conn.c_subs;
+        Ok (J.Obj [ ("unsubscribed", J.Int (before - List.length conn.c_subs)) ])
+      | "shutdown" ->
+        t.sv_stopping <- true;
+        Ok (J.Obj [ ("stopping", J.Bool true) ])
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+    with
+    | Proto.Bad_request msg -> Error msg
+    | Invalid_argument msg -> Error msg
+    | Failure msg -> Error msg
+  in
+  (result, !attributed)
+
+(* --- connection plumbing ------------------------------------------------ *)
+
+let enqueue conn payload = Buffer.add_string conn.c_out (Frame.encode payload)
+
+let handle_payload t conn payload =
+  Telemetry.Counter.incr t.sv_requests;
+  match Proto.parse payload with
+  | Error e ->
+    Telemetry.Counter.incr t.sv_errors;
+    enqueue conn (Proto.error J.Null e)
+  | Ok rq ->
+    let t0 = Unix.gettimeofday () in
+    let result, attributed =
+      try dispatch t conn rq
+      with exn -> (Error ("internal error: " ^ Printexc.to_string exn), None)
+    in
+    let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    (match attributed with
+    | Some s ->
+      Telemetry.Counter.incr s.x_requests;
+      Telemetry.Histogram.observe s.x_latency us
+    | None -> ());
+    (match result with
+    | Ok doc -> enqueue conn (Proto.ok rq.Proto.rq_id doc)
+    | Error msg ->
+      Telemetry.Counter.incr t.sv_errors;
+      (match attributed with Some s -> Telemetry.Counter.incr s.x_errors | None -> ());
+      enqueue conn (Proto.error rq.Proto.rq_id msg))
+
+let drop_conn t conn =
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove t.sv_conns conn.c_id;
+  Telemetry.Gauge.set t.sv_connections (Hashtbl.length t.sv_conns)
+
+let read_conn t conn =
+  match Unix.read conn.c_fd t.sv_read_buf 0 (Bytes.length t.sv_read_buf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn t conn
+  | 0 -> drop_conn t conn
+  | n -> (
+    Frame.feed_bytes conn.c_dec t.sv_read_buf 0 n;
+    try
+      let rec drain () =
+        match Frame.next conn.c_dec with
+        | Some payload ->
+          handle_payload t conn payload;
+          drain ()
+        | None -> ()
+      in
+      drain ()
+    with Frame.Error msg ->
+      (* Unresyncable: answer once, then close after the flush. *)
+      Telemetry.Counter.incr t.sv_errors;
+      enqueue conn (Proto.error J.Null msg);
+      conn.c_close <- true)
+
+let flush_conn t conn =
+  let len = Buffer.length conn.c_out in
+  if len > conn.c_ooff then begin
+    let chunk = min 65536 (len - conn.c_ooff) in
+    let s = Buffer.sub conn.c_out conn.c_ooff chunk in
+    match Unix.write_substring conn.c_fd s 0 chunk with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> drop_conn t conn
+    | n ->
+      conn.c_ooff <- conn.c_ooff + n;
+      if conn.c_ooff >= Buffer.length conn.c_out then begin
+        Buffer.clear conn.c_out;
+        conn.c_ooff <- 0
+      end
+  end;
+  if conn.c_close && Buffer.length conn.c_out = 0 then drop_conn t conn
+
+let accept_new t lfd =
+  let rec go () =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      let id = t.sv_next_conn in
+      t.sv_next_conn <- id + 1;
+      Hashtbl.replace t.sv_conns id
+        {
+          c_id = id;
+          c_fd = fd;
+          c_dec = Frame.decoder ();
+          c_out = Buffer.create 4096;
+          c_ooff = 0;
+          c_close = false;
+          c_subs = [];
+        };
+      Telemetry.Gauge.set t.sv_connections (Hashtbl.length t.sv_conns);
+      go ()
+  in
+  go ()
+
+(* Periodic telemetry frames for every due subscription. *)
+let push_events t =
+  Hashtbl.iter
+    (fun _ conn ->
+      conn.c_subs <-
+        List.filter
+          (fun sb ->
+            if sb.sb_left <> 0 && t.sv_tick >= sb.sb_due then begin
+              sb.sb_due <- t.sv_tick + sb.sb_every;
+              sb.sb_seq <- sb.sb_seq + 1;
+              if sb.sb_left > 0 then sb.sb_left <- sb.sb_left - 1;
+              match Hashtbl.find_opt t.sv_sessions sb.sb_session with
+              | None -> false (* session closed: drop the subscription *)
+              | Some s ->
+                enqueue conn
+                  (Proto.event "telemetry"
+                     (J.Obj
+                        [
+                          ("tick", J.Int t.sv_tick);
+                          ("seq", J.Int sb.sb_seq);
+                          ("session", J.Int s.x_sid);
+                          ("tenant", J.String s.x_tenant);
+                          ("requests", J.Int (Telemetry.Counter.value s.x_requests));
+                          ("errors", J.Int (Telemetry.Counter.value s.x_errors));
+                          ( "telemetry",
+                            Telemetry.to_json (Controller.Session.metrics s.x_session) );
+                        ]));
+                sb.sb_left <> 0
+            end
+            else sb.sb_left <> 0)
+          conn.c_subs)
+    t.sv_conns
+
+(* One event-loop round: accept, read, dispatch, write, tick. Returns
+   [false] once a shutdown has drained — the [serve] exit condition. *)
+let step ?(timeout = 0.05) t =
+  if t.sv_stopping then
+    Hashtbl.iter (fun _ conn -> conn.c_close <- true) t.sv_conns;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.sv_conns [] in
+  let reads =
+    (if t.sv_stopping then [] else t.sv_listeners) @ List.map (fun c -> c.c_fd) conns
+  in
+  let writes =
+    List.filter_map
+      (fun c -> if Buffer.length c.c_out > 0 || c.c_close then Some c.c_fd else None)
+      conns
+  in
+  let readable, writable, _ =
+    try Unix.select reads writes [] timeout
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  List.iter
+    (fun lfd -> if List.memq lfd readable then accept_new t lfd)
+    t.sv_listeners;
+  List.iter
+    (fun c ->
+      if Hashtbl.mem t.sv_conns c.c_id && List.memq c.c_fd readable then read_conn t c)
+    conns;
+  (* Anything dispatched above may have queued replies; flush both the
+     select-writable set and freshly filled buffers opportunistically. *)
+  List.iter
+    (fun c ->
+      if
+        Hashtbl.mem t.sv_conns c.c_id
+        && (List.memq c.c_fd writable || Buffer.length c.c_out > 0 || c.c_close)
+      then flush_conn t c)
+    conns;
+  let now = Unix.gettimeofday () in
+  if now >= t.sv_next_tick_at then begin
+    t.sv_tick <- t.sv_tick + 1;
+    t.sv_next_tick_at <- now +. t.sv_tick_s;
+    push_events t;
+    (* Event frames should leave promptly, not wait for the next round. *)
+    Hashtbl.iter (fun _ c -> if Buffer.length c.c_out > 0 then flush_conn t c) t.sv_conns
+  end;
+  not (t.sv_stopping && Hashtbl.length t.sv_conns = 0)
+
+let shutdown t =
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.sv_listeners;
+  Hashtbl.iter (fun _ c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) t.sv_conns;
+  Hashtbl.reset t.sv_conns;
+  List.iter (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ()) t.sv_unlink
+
+let serve t =
+  while step t do
+    ()
+  done;
+  shutdown t
+
+let stop t = t.sv_stopping <- true

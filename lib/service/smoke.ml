@@ -1,0 +1,197 @@
+(* The multi-tenant service smoke: what CI's service-gate job drives via
+   `ipbm client smoke`. N tenants connect, open isolated sessions, and
+   run the full lifecycle — compile (prepare) the C1 ECMP update, check
+   (dry-run) the C2 SRv6 update, apply the prepared patch, commit the
+   ECMP member population, protect a per-tenant prefix, read stats,
+   subscribe to telemetry frames — with the requests *pipelined across
+   all connections* so the server demonstrably interleaves tenants
+   rather than serializing them. Tenant 0 additionally loads a
+   [Fabric.Fibgen] FIB through its device pool and cross-checks trie vs
+   table lookups. Everything asserts; any failure is an [Error]. *)
+
+module J = Prelude.Json
+
+(* The use-case scripts minus their trailing `commit`: the staging
+   subset [compile]/[check] accept. *)
+let staging_of script =
+  String.concat "\n"
+    (List.filter
+       (fun l ->
+         let l = String.trim l in
+         l <> "" && l <> "commit")
+       (String.split_on_char '\n' script))
+
+let obj fields = J.Obj fields
+
+type progress = string -> unit
+
+let run ?(log : progress = ignore) ?(tenants = 8) ?(fib_v4 = 0) ?(fib_v6 = 0)
+    ?(shutdown = false) ~connect () : (unit, string) result =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let conns = Array.init tenants (fun _ -> (connect () : Client.t)) in
+  let finally () = Array.iter Client.close conns in
+  let phase name send_one =
+    (* Pipelining: write every tenant's request before reading any
+       response, so the server sees all N in flight. *)
+    let ids = Array.mapi (fun i c -> send_one i c) conns in
+    let results = Array.mapi (fun i c -> Client.await c ids.(i)) conns in
+    let rec first_err i =
+      if i >= Array.length results then Ok (Array.to_list results |> List.map Result.get_ok)
+      else
+        match results.(i) with
+        | Error e -> fail "%s: tenant %d: %s" name i e
+        | Ok _ -> first_err (i + 1)
+    in
+    let r = first_err 0 in
+    (match r with Ok _ -> log (Printf.sprintf "%-12s ok across %d tenants" name tenants) | Error _ -> ());
+    r
+  in
+  let int_member name j =
+    match J.member name j with Some (J.Int i) -> i | _ -> -1
+  in
+  let result =
+    (* 1. Sessions. *)
+    let* opened =
+      phase "open" (fun i c ->
+          Client.send c ~op:"open_session"
+            ~params:(obj [ ("tenant", J.String (Printf.sprintf "t%d" i)) ]))
+    in
+    let sids = Array.of_list (List.map (int_member "session") opened) in
+    let sid i = J.Int sids.(i) in
+    (* 2. Compile (prepare) the ECMP update on every tenant. *)
+    let ecmp_staging = staging_of Usecases.Ecmp.script in
+    let* compiled =
+      phase "compile" (fun i c ->
+          Client.send c ~op:"compile"
+            ~params:(obj [ ("session", sid i); ("script", J.String ecmp_staging) ]))
+    in
+    let patches = Array.of_list (List.map (int_member "patch") compiled) in
+    (* 3. Dry-run check of the SRv6 update: must report a blast radius
+       without touching the device. *)
+    let srv6_staging = staging_of Usecases.Srv6.script in
+    let* checks =
+      phase "check" (fun i c ->
+          Client.send c ~op:"check"
+            ~params:(obj [ ("session", sid i); ("script", J.String srv6_staging) ]))
+    in
+    let* () =
+      if List.for_all (fun j -> J.member "impact" j <> None) checks then Ok ()
+      else fail "check: missing impact report"
+    in
+    (* 4. Apply the prepared patches. *)
+    let* _ =
+      phase "patch" (fun i c ->
+          Client.send c ~op:"patch"
+            ~params:(obj [ ("session", sid i); ("patch", J.Int patches.(i)) ]))
+    in
+    (* 5. Commit the ECMP member population (runtime table_adds). *)
+    let* _ =
+      phase "commit" (fun i c ->
+          Client.send c ~op:"commit"
+            ~params:
+              (obj [ ("session", sid i); ("script", J.String Usecases.Ecmp.population) ]))
+    in
+    (* 6. Per-tenant protected prefixes — disjoint by construction. *)
+    let* _ =
+      phase "protect" (fun i c ->
+          Client.send c ~op:"protect"
+            ~params:
+              (obj
+                 [
+                   ("session", sid i);
+                   ("prefix", J.String (Printf.sprintf "10.%d.0.0/16" (100 + i)));
+                 ]))
+    in
+    (* 7. Stats: per-tenant request counters must be live. *)
+    let* stats =
+      phase "stats" (fun i c ->
+          Client.send c ~op:"stats" ~params:(obj [ ("session", sid i) ]))
+    in
+    let* () =
+      if
+        List.for_all
+          (fun j ->
+            match J.member "session" j with
+            | Some s -> int_member "requests" s > 0
+            | None -> false)
+          stats
+      then Ok ()
+      else fail "stats: dead per-tenant request counters"
+    in
+    (* 8. Streaming telemetry: two frames per tenant. *)
+    let* _ =
+      phase "subscribe" (fun i c ->
+          Client.send c ~op:"subscribe"
+            ~params:(obj [ ("session", sid i); ("count", J.Int 2) ]))
+    in
+    let* () =
+      let missing = ref [] in
+      Array.iteri
+        (fun i c ->
+          for _ = 1 to 2 do
+            match Client.next_event ~timeout:30.0 c with
+            | Some _ -> ()
+            | None -> missing := i :: !missing
+          done)
+        conns;
+      match !missing with
+      | [] ->
+        log "subscribe    2 telemetry frames per tenant";
+        Ok ()
+      | l -> fail "subscribe: tenants %s missed frames" (String.concat "," (List.map string_of_int l))
+    in
+    (* 9. Internet-scale FIB on tenant 0's device pool. *)
+    let* () =
+      if fib_v4 = 0 then Ok ()
+      else begin
+        let c = conns.(0) in
+        let* fib =
+          Result.map_error (Printf.sprintf "fib_load: %s")
+            (Client.call ~timeout:600.0 c ~op:"fib_load"
+               ~params:
+                 (obj [ ("session", sid 0); ("v4", J.Int fib_v4); ("v6", J.Int fib_v6) ]))
+        in
+        let residency fam =
+          match J.member fam fib with
+          | Some f -> (int_member "routes" f, int_member "granted" f)
+          | None -> (-1, -1)
+        in
+        let r4, g4 = residency "v4" in
+        let r6, g6 = residency "v6" in
+        log
+          (Printf.sprintf "fib_load     v4 %d routes (granted %d), v6 %d (granted %d)" r4 g4
+             r6 g6);
+        let* () = if r4 = fib_v4 && r6 = fib_v6 then Ok () else fail "fib_load: wrong route counts" in
+        let addrs = [ "10.1.2.3"; "192.0.2.1"; "8.8.8.8"; "2001:db8::1" ] in
+        let rec check_addrs = function
+          | [] -> Ok ()
+          | a :: rest ->
+            let* looked =
+              Result.map_error (Printf.sprintf "fib_lookup %s: %s" a)
+                (Client.call c ~op:"fib_lookup"
+                   ~params:(obj [ ("session", sid 0); ("addr", J.String a) ]))
+            in
+            (match J.member "agree" looked with
+            | Some (J.Bool true) -> check_addrs rest
+            | _ -> fail "fib_lookup %s: trie and table disagree: %s" a (J.to_string looked))
+        in
+        let* () = check_addrs addrs in
+        log "fib_lookup   trie = table on probe addresses";
+        Ok ()
+      end
+    in
+    (* 10. Tear down. *)
+    let* _ =
+      phase "close" (fun i c ->
+          Client.send c ~op:"close_session" ~params:(obj [ ("session", sid i) ]))
+    in
+    let* () =
+      if not shutdown then Ok ()
+      else
+        Result.map (fun _ -> ()) (Client.call conns.(0) ~op:"shutdown" ~params:(obj []))
+    in
+    Ok ()
+  in
+  finally ();
+  result

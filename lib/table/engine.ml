@@ -43,7 +43,7 @@ type entry = {
 
 type index =
   | I_exact of (string, entry) Hashtbl.t
-  | I_lpm of entry Lpm_trie.t
+  | I_lpm of entry Net.Lpm.t (* path-compressed, raw-byte keys *)
   | I_tcam of entry Tcam.t
   | I_hash (* resolved over the entry list at lookup time *)
 
@@ -123,7 +123,7 @@ let choose_index fields =
   let count k = List.length (List.filter (( = ) k) kinds) in
   if count Key.Hash > 0 then I_hash
   else if count Key.Ternary > 0 || count Key.Lpm > 1 then I_tcam (Tcam.create ())
-  else if count Key.Lpm = 1 then I_lpm (Lpm_trie.create ())
+  else if count Key.Lpm = 1 then I_lpm (Net.Lpm.create ~width:(Key.total_width fields))
   else I_exact (Hashtbl.create 64)
 
 let create ~name fields =
@@ -189,6 +189,27 @@ let lpm_key fields values =
   match !lpm with
   | None -> invalid_arg "Engine: lpm index key lacks the lpm field"
   | Some v -> B.concat (B.concat_list (List.rev !exacts)) v
+
+(* Left-aligned byte pattern of a [Bits.t] (bit 0 of the value at the MSB
+   of byte 0): the form [wide_masked_eq] compares against packet bytes,
+   and the key form [Net.Lpm] takes. *)
+let pattern_of v =
+  let w = B.width v in
+  let b = Bytes.make ((w + 7) / 8) '\000' in
+  for k = 0 to w - 1 do
+    if B.get_bit v k then begin
+      let idx = k lsr 3 in
+      Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lor (0x80 lsr (k land 7))))
+    end
+  done;
+  b
+
+(* Raw trie key of a [Bits.t]. Right-aligned storage coincides with the
+   left-aligned form on whole-byte widths (the hot FIB case); odd widths
+   go through the bit-by-bit pattern builder. *)
+let lpm_raw v =
+  if B.width v land 7 = 0 then B.to_raw_string v
+  else Bytes.unsafe_to_string (pattern_of v)
 
 (* For the TCAM index: value/mask over the concatenated key. *)
 let tcam_parts fields matches =
@@ -403,7 +424,7 @@ let insert t ~priority ~matches ~action ~args =
   | I_exact tbl -> Hashtbl.replace tbl (exact_key_of_matches matches) entry
   | I_lpm trie ->
     let prefix, plen = lpm_parts t.e_fields matches in
-    Lpm_trie.insert trie ~prefix ~plen entry
+    Net.Lpm.insert trie ~prefix:(lpm_raw prefix) ~plen entry
   | I_tcam tcam ->
     let value, mask = tcam_parts t.e_fields matches in
     Tcam.insert tcam ~value ~mask ~priority entry
@@ -422,6 +443,59 @@ let insert t ~priority ~matches ~action ~args =
   t.entries <- entry :: others;
   touch_contents t
 
+(* Bulk content load: one generation bump and hashtable dedup instead of
+   the per-insert scan over the entry list — the 1M-route FIB loader's
+   path, O(n) where repeated [insert] is O(n²). Rows apply in order;
+   later rows replace earlier ones (and existing entries) on the same
+   match key, except under hash indexes where identical wildcard rows
+   are legitimate ECMP members and everything is kept. *)
+let bulk_insert t rows =
+  let mk (priority, matches, action, args) =
+    { matches; action; args; priority; hits = 0 }
+  in
+  (match t.index with
+  | I_hash ->
+    let fresh = List.rev_map mk rows in
+    (* [fresh] is newest-first; keep it that way ahead of the old set. *)
+    t.entries <- List.rev_append (List.rev fresh) t.entries
+  | _ ->
+    let keyof matches = String.concat "|" (List.map Key.fmatch_to_string matches) in
+    let arr = Array.of_list rows in
+    let n = Array.length arr in
+    let seen = Hashtbl.create ((2 * n) + 1) in
+    let keep = Array.make n true in
+    for i = n - 1 downto 0 do
+      let _, matches, _, _ = arr.(i) in
+      let k = keyof matches in
+      if Hashtbl.mem seen k then keep.(i) <- false else Hashtbl.add seen k ()
+    done;
+    let fresh = ref [] in
+    for i = 0 to n - 1 do
+      if keep.(i) then fresh := mk arr.(i) :: !fresh
+    done;
+    List.iter
+      (fun e ->
+        match t.index with
+        | I_exact tbl -> Hashtbl.replace tbl (exact_key_of_matches e.matches) e
+        | I_lpm trie ->
+          let prefix, plen = lpm_parts t.e_fields e.matches in
+          Net.Lpm.insert trie ~prefix:(lpm_raw prefix) ~plen e
+        | I_tcam tcam ->
+          let value, mask = tcam_parts t.e_fields e.matches in
+          Tcam.insert tcam ~value ~mask ~priority:e.priority e
+        | I_hash -> ())
+      !fresh;
+    let kept_old =
+      List.filter (fun e -> not (Hashtbl.mem seen (keyof e.matches))) t.entries
+    in
+    t.entries <- List.rev_append (List.rev !fresh) kept_old);
+  touch_contents t
+
+(* The authoritative LPM index, when this table resolves through one —
+   consumers like [Fabric.Fibgen] and the control-plane service consult
+   the same trie the data path escalates to on tier misses. *)
+let lpm_index t = match t.index with I_lpm trie -> Some trie | _ -> None
+
 let remove t matches =
   let existed =
     List.exists (fun e -> List.for_all2 Key.fmatch_equal e.matches matches) t.entries
@@ -435,7 +509,7 @@ let remove t matches =
     | I_exact tbl -> Hashtbl.remove tbl (exact_key_of_matches matches)
     | I_lpm trie ->
       let prefix, plen = lpm_parts t.e_fields matches in
-      ignore (Lpm_trie.remove trie ~prefix ~plen)
+      ignore (Net.Lpm.remove trie ~prefix:(lpm_raw prefix) ~plen)
     | I_tcam tcam ->
       let value, mask = tcam_parts t.e_fields matches in
       ignore (Tcam.remove tcam ~value ~mask)
@@ -448,7 +522,7 @@ let reset t =
   t.entries <- [];
   (match t.index with
   | I_exact tbl -> Hashtbl.reset tbl
-  | I_lpm trie -> Lpm_trie.clear trie
+  | I_lpm trie -> Net.Lpm.clear trie
   | I_tcam tcam -> Tcam.clear tcam
   | I_hash -> ());
   touch_contents t
@@ -488,7 +562,7 @@ let flow_hash t values =
 let find t values =
   match t.index with
   | I_exact tbl -> Hashtbl.find_opt tbl (exact_key_of_values values)
-  | I_lpm trie -> Lpm_trie.lookup trie (lpm_key t.e_fields values)
+  | I_lpm trie -> Net.Lpm.lookup trie (lpm_raw (lpm_key t.e_fields values))
   | I_tcam tcam -> Tcam.lookup tcam (B.concat_list values)
   | I_hash -> (
     match hash_candidates t values with
@@ -538,19 +612,6 @@ let lookup t values =
       | None -> None))
 
 (* --- flat view construction (control path; allocation is fine) -------- *)
-
-(* Left-aligned byte pattern of a [Bits.t] (bit 0 of the value at the MSB
-   of byte 0), the form [wide_masked_eq] compares against packet bytes. *)
-let pattern_of v =
-  let w = B.width v in
-  let b = Bytes.make ((w + 7) / 8) '\000' in
-  for k = 0 to w - 1 do
-    if B.get_bit v k then begin
-      let idx = k lsr 3 in
-      Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lor (0x80 lsr (k land 7))))
-    end
-  done;
-  b
 
 (* Values are manipulated as unboxed ints masked to their width; 56 keeps
    every intermediate inside OCaml's 63-bit int (the same bound as the

@@ -82,8 +82,26 @@ let insert t ?(priority = 0) ~matches ~action ~args () =
   if List.length t.eng.Engine.entries >= t.spec.size then raise (Full t.spec.name);
   Engine.insert t.eng ~priority ~matches ~action ~args
 
+(* Bulk population: one validation pass, one capacity check, one engine
+   generation bump — O(rows) where repeated [insert] is O(rows²). Rows
+   are (matches, action, args) at priority 0, applied in order (later
+   rows replace earlier ones on the same match key). The capacity check
+   counts incoming rows without netting out replacements, so it is
+   conservatively stricter than repeated [insert]. *)
+let load t rows =
+  List.iter (fun (matches, _, _) -> Key.check_matches t.spec.fields matches) rows;
+  if List.length t.eng.Engine.entries + List.length rows > t.spec.size then
+    raise (Full t.spec.name);
+  Engine.bulk_insert t.eng
+    (List.map (fun (matches, action, args) -> (0, matches, action, args)) rows)
+
 let delete t matches = Engine.remove t.eng matches
 let clear t = Engine.reset t.eng
+
+(* The authoritative LPM trie behind this table's index, when its key
+   resolves through one ([Net.Lpm] raw-byte keys: exact fields first,
+   the lpm field last). *)
+let lpm_trie t = Engine.lpm_index t.eng
 
 (* --- lookup ----------------------------------------------------------- *)
 

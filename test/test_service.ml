@@ -1,0 +1,385 @@
+(* The ipbmd control-plane service: framing/protocol codecs (pure), then
+   a forked live server exercised over its Unix socket — malformed input
+   robustness, ≥8-tenant concurrency with pipelined requests, protect-set
+   isolation between tenants, and deterministic per-tenant telemetry. *)
+
+module J = Prelude.Json
+
+let check = Alcotest.check
+
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- framing (pure) ------------------------------------------------------ *)
+
+(* Round-trip through the decoder one byte at a time: partial reads can
+   split the header and payload anywhere. *)
+let test_frame_roundtrip () =
+  let payloads =
+    [ ""; "x"; String.make 300 'a'; String.init 70000 (fun i -> Char.chr (i land 0xFF)) ]
+  in
+  let wire = String.concat "" (List.map Service.Frame.encode payloads) in
+  let d = Service.Frame.decoder () in
+  let out = ref [] in
+  String.iter
+    (fun c ->
+      Service.Frame.feed_string d (String.make 1 c);
+      let rec drain () =
+        match Service.Frame.next d with
+        | Some p ->
+          out := p :: !out;
+          drain ()
+        | None -> ()
+      in
+      drain ())
+    wire;
+  check (Alcotest.list Alcotest.string) "payloads survive byte-split feeds" payloads
+    (List.rev !out);
+  check Alcotest.int "decoder fully drained" 0 (Service.Frame.pending d)
+
+(* Many frames arriving in one read drain in order. *)
+let test_frame_batched () =
+  let payloads = List.init 50 (fun i -> Printf.sprintf "{\"i\":%d}" i) in
+  let d = Service.Frame.decoder () in
+  Service.Frame.feed_string d (String.concat "" (List.map Service.Frame.encode payloads));
+  let rec drain acc =
+    match Service.Frame.next d with Some p -> drain (p :: acc) | None -> List.rev acc
+  in
+  check (Alcotest.list Alcotest.string) "batched frames drain in order" payloads (drain [])
+
+let test_frame_oversized () =
+  (* A header declaring more than max_frame is unresyncable. *)
+  let n = Service.Frame.max_frame + 1 in
+  let header = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF)) in
+  let d = Service.Frame.decoder () in
+  Service.Frame.feed_string d header;
+  (match Service.Frame.next d with
+  | exception Service.Frame.Error _ -> ()
+  | _ -> Alcotest.fail "oversized declared length must raise");
+  (* And the encoder refuses to produce one. *)
+  match Service.Frame.encode (String.make n 'x') with
+  | exception Service.Frame.Error _ -> ()
+  | _ -> Alcotest.fail "encode of an oversized payload must raise"
+
+(* --- protocol (pure) ----------------------------------------------------- *)
+
+let test_proto_parse () =
+  (match Service.Proto.parse {|{"id":7,"op":"ping","params":{"a":1}}|} with
+  | Ok rq ->
+    check Alcotest.string "op" "ping" rq.Service.Proto.rq_op;
+    check Alcotest.bool "id" true (rq.Service.Proto.rq_id = J.Int 7)
+  | Error e -> Alcotest.failf "good request rejected: %s" e);
+  (match Service.Proto.parse {|{"id":1,"op":"ping"}|} with
+  | Ok rq ->
+    check Alcotest.bool "params default to {}" true (rq.Service.Proto.rq_params = J.Obj [])
+  | Error e -> Alcotest.failf "param-less request rejected: %s" e);
+  let expect_err what payload sub =
+    match Service.Proto.parse payload with
+    | Ok _ -> Alcotest.failf "%s must be rejected" what
+    | Error e -> check Alcotest.bool (what ^ " error mentions " ^ sub) true (contains_sub e sub)
+  in
+  expect_err "malformed JSON" "{nope" "malformed JSON";
+  expect_err "non-object" "[1,2]" "must be a JSON object";
+  expect_err "missing op" {|{"id":1}|} "lacks \"op\"";
+  expect_err "non-string op" {|{"id":1,"op":3}|} "must be a string"
+
+(* --- a live server, forked ----------------------------------------------- *)
+
+let sock_counter = ref 0
+
+let with_server f =
+  incr sock_counter;
+  let path = Printf.sprintf "/tmp/ipbmd-test-%d-%d.sock" (Unix.getpid ()) !sock_counter in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let server =
+         Service.Server.create ~tick_s:0.05 ~endpoints:[ Service.Server.Unix_path path ] ()
+       in
+       Service.Server.serve server
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    let rec wait_ready tries =
+      if tries = 0 then Alcotest.fail "server did not come up"
+      else
+        match Service.Client.connect_unix path with
+        | c -> c
+        | exception Unix.Unix_error _ ->
+          ignore (Unix.select [] [] [] 0.05);
+          wait_ready (tries - 1)
+    in
+    let c0 = wait_ready 100 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try ignore (Service.Client.call ~timeout:5.0 c0 ~op:"shutdown" ~params:(J.Obj []))
+         with _ -> ());
+        Service.Client.close c0;
+        ignore (Unix.waitpid [] pid);
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+      (fun () -> f path c0)
+
+let call_ok c ~op ~params =
+  match Service.Client.call c ~op ~params with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s failed: %s" op e
+
+let int_member name j =
+  match J.member name j with Some (J.Int i) -> i | _ -> Alcotest.failf "no int %S" name
+
+let open_tenant c name =
+  int_member "session"
+    (call_ok c ~op:"open_session" ~params:(J.Obj [ ("tenant", J.String name) ]))
+
+(* Staged (commit-less) variant of a use-case script. *)
+let staging_of script =
+  String.concat "\n"
+    (List.filter
+       (fun l ->
+         let l = String.trim l in
+         l <> "" && l <> "commit")
+       (String.split_on_char '\n' script))
+
+(* Malformed input never crashes the server: framed garbage gets a
+   structured error on the same (still-usable) connection; an oversized
+   header gets an error and a close — and other connections live on. *)
+let test_malformed_input () =
+  with_server (fun path c0 ->
+      ignore (call_ok c0 ~op:"ping" ~params:(J.Obj []));
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+      let read_reply () =
+        let d = Service.Frame.decoder () in
+        let buf = Bytes.create 4096 in
+        let rec go tries =
+          if tries = 0 then Alcotest.fail "no reply to malformed frame"
+          else
+            match Service.Frame.next d with
+            | Some p -> J.of_string p
+            | None -> (
+              match Unix.select [ fd ] [] [] 5.0 with
+              | [], _, _ -> Alcotest.fail "timeout waiting for error reply"
+              | _ ->
+                let n = Unix.read fd buf 0 4096 in
+                if n = 0 then Alcotest.fail "connection closed without a reply"
+                else begin
+                  Service.Frame.feed_bytes d buf 0 n;
+                  go (tries - 1)
+                end)
+        in
+        go 100
+      in
+      (* 1. framed non-JSON: structured error, connection survives *)
+      send (Service.Frame.encode "{definitely not json");
+      let r = read_reply () in
+      (match J.member "ok" r with
+      | Some (J.Bool false) -> ()
+      | _ -> Alcotest.failf "want ok:false, got %s" (J.to_string r));
+      (match J.member "error" r with
+      | Some (J.String e) ->
+        check Alcotest.bool "names the parse failure" true (contains_sub e "malformed JSON")
+      | _ -> Alcotest.fail "error reply lacks message");
+      (* same connection still serves valid requests *)
+      send (Service.Frame.encode {|{"id":1,"op":"ping","params":{}}|});
+      (match J.member "ok" (read_reply ()) with
+      | Some (J.Bool true) -> ()
+      | _ -> Alcotest.fail "connection unusable after framed garbage");
+      (* 2. an op-level Bad_request is a structured error too *)
+      send (Service.Frame.encode {|{"id":2,"op":"stats","params":{"session":999}}|});
+      (match J.member "ok" (read_reply ()) with
+      | Some (J.Bool false) -> ()
+      | _ -> Alcotest.fail "bad session id must be an error reply");
+      (* 3. oversized declared length: one error frame, then close *)
+      let n = Service.Frame.max_frame + 1 in
+      send (String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF)));
+      let r = read_reply () in
+      (match J.member "ok" r with
+      | Some (J.Bool false) -> ()
+      | _ -> Alcotest.fail "oversized header must be answered with an error");
+      let rec drain_to_eof tries =
+        if tries = 0 then
+          Alcotest.fail "server kept the connection after an oversized header"
+        else
+          match Unix.select [ fd ] [] [] 5.0 with
+          | [], _, _ -> Alcotest.fail "timeout waiting for close"
+          | _ ->
+            let n = Unix.read fd (Bytes.create 4096) 0 4096 in
+            if n > 0 then drain_to_eof (tries - 1)
+      in
+      drain_to_eof 100;
+      Unix.close fd;
+      (* 4. the rest of the server never noticed *)
+      ignore (call_ok c0 ~op:"ping" ~params:(J.Obj [])))
+
+(* ≥8 tenants running the full compile→check→patch→commit→stats→subscribe
+   lifecycle with requests pipelined across connections — the smoke
+   driver asserts every step internally. *)
+let test_eight_tenants () =
+  with_server (fun path _c0 ->
+      match
+        Service.Smoke.run ~tenants:8
+          ~connect:(fun () -> Service.Client.connect_unix path)
+          ()
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "smoke: %s" e)
+
+(* One tenant's protect set never gates another: A protects 10.0.0.0/8
+   (inside the ECMP update's blast radius) and is refused; B, unprotected
+   on an isolated device, applies the identical patch. *)
+let test_protect_isolation () =
+  with_server (fun path _c0 ->
+      let ca = Service.Client.connect_unix path in
+      let cb = Service.Client.connect_unix path in
+      let sa = open_tenant ca "alice" and sb = open_tenant cb "bob" in
+      ignore
+        (call_ok ca ~op:"protect"
+           ~params:(J.Obj [ ("session", J.Int sa); ("prefix", J.String "10.0.0.0/8") ]));
+      let staged = staging_of Usecases.Ecmp.script in
+      let compile c sid =
+        int_member "patch"
+          (call_ok c ~op:"compile"
+             ~params:(J.Obj [ ("session", J.Int sid); ("script", J.String staged) ]))
+      in
+      let pa = compile ca sa and pb = compile cb sb in
+      (match
+         Service.Client.call ca ~op:"patch"
+           ~params:(J.Obj [ ("session", J.Int sa); ("patch", J.Int pa) ])
+       with
+      | Ok _ -> Alcotest.fail "protected tenant's patch must be refused"
+      | Error e ->
+        check Alcotest.bool "refusal names the blast radius" true
+          (contains_sub e "blast radius"));
+      (match
+         Service.Client.call cb ~op:"patch"
+           ~params:(J.Obj [ ("session", J.Int sb); ("patch", J.Int pb) ])
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unprotected tenant gated by a foreign protect set: %s" e);
+      let stats c sid =
+        let j = call_ok c ~op:"stats" ~params:(J.Obj [ ("session", J.Int sid) ]) in
+        match J.member "session" j with
+        | Some s -> s
+        | None -> Alcotest.fail "stats lacks session"
+      in
+      check Alcotest.int "A's protect set has one prefix" 1
+        (int_member "protected" (stats ca sa));
+      check Alcotest.int "B's protect set is empty" 0 (int_member "protected" (stats cb sb));
+      check Alcotest.int "A's refusal counted as A's error" 1
+        (int_member "errors" (stats ca sa));
+      check Alcotest.int "B saw no errors" 0 (int_member "errors" (stats cb sb));
+      Service.Client.close ca;
+      Service.Client.close cb)
+
+(* Per-tenant request/error counters advance deterministically: the
+   counter a stats reply reports equals the number of prior attributed
+   requests, independent of what other tenants did in between. *)
+let test_telemetry_deterministic () =
+  with_server (fun path _c0 ->
+      let ca = Service.Client.connect_unix path in
+      let cb = Service.Client.connect_unix path in
+      let sa = open_tenant ca "t-a" in
+      let sb = open_tenant cb "t-b" in
+      ignore
+        (call_ok ca ~op:"commit"
+           ~params:
+             (J.Obj
+                [ ("session", J.Int sa); ("script", J.String Usecases.Base_l23.population) ]));
+      (* B interleaves its own traffic — must not leak into A's counters *)
+      ignore (call_ok cb ~op:"stats" ~params:(J.Obj [ ("session", J.Int sb) ]));
+      (match
+         Service.Client.call ca ~op:"patch"
+           ~params:(J.Obj [ ("session", J.Int sa); ("patch", J.Int 999) ])
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "phantom patch id must fail");
+      let stats c sid =
+        match
+          J.member "session"
+            (call_ok c ~op:"stats" ~params:(J.Obj [ ("session", J.Int sid) ]))
+        with
+        | Some s -> s
+        | None -> Alcotest.fail "stats lacks session"
+      in
+      (* open + commit + failed patch = 3 attributed requests before this
+         stats call (which counts itself only after replying). *)
+      let a = stats ca sa in
+      check Alcotest.int "A requests" 3 (int_member "requests" a);
+      check Alcotest.int "A errors" 1 (int_member "errors" a);
+      (* B: open + stats = 2; counters are per-tenant, so A's error never
+         shows up here. *)
+      let b = stats cb sb in
+      check Alcotest.int "B requests" 2 (int_member "requests" b);
+      check Alcotest.int "B errors" 0 (int_member "errors" b);
+      (* replay the same sequence on a fresh tenant: same numbers *)
+      let cc = Service.Client.connect_unix path in
+      let sc = open_tenant cc "t-c" in
+      ignore
+        (call_ok cc ~op:"commit"
+           ~params:
+             (J.Obj
+                [ ("session", J.Int sc); ("script", J.String Usecases.Base_l23.population) ]));
+      ignore
+        (Service.Client.call cc ~op:"patch"
+           ~params:(J.Obj [ ("session", J.Int sc); ("patch", J.Int 999) ]));
+      let c = stats cc sc in
+      check Alcotest.int "replayed tenant matches A's requests" 3 (int_member "requests" c);
+      check Alcotest.int "replayed tenant matches A's errors" 1 (int_member "errors" c);
+      Service.Client.close ca;
+      Service.Client.close cb;
+      Service.Client.close cc)
+
+(* Subscriptions stream exactly [count] telemetry frames for the right
+   tenant, with a monotonically increasing sequence number. *)
+let test_subscribe_stream () =
+  with_server (fun path _c0 ->
+      let c = Service.Client.connect_unix path in
+      let sid = open_tenant c "streamer" in
+      ignore
+        (call_ok c ~op:"subscribe"
+           ~params:(J.Obj [ ("session", J.Int sid); ("count", J.Int 3); ("every", J.Int 1) ]));
+      let seqs = ref [] in
+      for _ = 1 to 3 do
+        match Service.Client.next_event ~timeout:30.0 c with
+        | None -> Alcotest.fail "missing telemetry frame"
+        | Some ev -> (
+          match J.member "data" ev with
+          | Some d ->
+            check Alcotest.string "frame names the tenant" "streamer"
+              (match J.member "tenant" d with Some (J.String s) -> s | _ -> "?");
+            seqs := int_member "seq" d :: !seqs
+          | None -> Alcotest.fail "event lacks data")
+      done;
+      check (Alcotest.list Alcotest.int) "sequence numbers advance" [ 1; 2; 3 ]
+        (List.rev !seqs);
+      (* count exhausted: a ping round-trip later, no fourth frame *)
+      ignore (call_ok c ~op:"ping" ~params:(J.Obj []));
+      (match Service.Client.next_event ~timeout:0.3 c with
+      | None -> ()
+      | Some _ -> Alcotest.fail "subscription outlived its count");
+      Service.Client.close c)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "byte-split round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "batched frames" `Quick test_frame_batched;
+          Alcotest.test_case "oversized frames refused" `Quick test_frame_oversized;
+        ] );
+      ("proto", [ Alcotest.test_case "request parsing" `Quick test_proto_parse ]);
+      ( "server",
+        [
+          Alcotest.test_case "malformed input never crashes" `Quick test_malformed_input;
+          Alcotest.test_case "eight tenants, pipelined lifecycle" `Quick test_eight_tenants;
+          Alcotest.test_case "protect sets are per-tenant" `Quick test_protect_isolation;
+          Alcotest.test_case "per-tenant telemetry is deterministic" `Quick
+            test_telemetry_deterministic;
+          Alcotest.test_case "subscription streams" `Quick test_subscribe_stream;
+        ] );
+    ]
